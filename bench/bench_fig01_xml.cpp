@@ -1,0 +1,89 @@
+// Fig. 1 — the Jedule XML task definition: parse the paper's exact example,
+// verify every field, and measure parser/writer throughput at schedule
+// sizes up to the paper's "hundreds or thousands of schedules" batch use.
+
+#include "bench_report.hpp"
+#include "jedule/io/jedule_xml.hpp"
+#include "jedule/model/builder.hpp"
+#include "jedule/util/rng.hpp"
+
+namespace {
+
+using namespace jedule;
+
+const char kFig1Doc[] = R"(<jedule version="1.0">
+  <platform><cluster id="0" name="cluster-0" hosts="8"/></platform>
+  <node_infos>
+    <node_statistics>
+      <node_property name="id" value="1"/>
+      <node_property name="type" value="computation"/>
+      <node_property name="start_time" value="0.000"/>
+      <node_property name="end_time" value="0.310"/>
+      <configuration>
+        <conf_property name="cluster_id" value="0"/>
+        <conf_property name="host_nb" value="8"/>
+        <host_lists><hosts start="0" nb="8"/></host_lists>
+      </configuration>
+    </node_statistics>
+  </node_infos>
+</jedule>)";
+
+model::Schedule synthetic_schedule(int tasks) {
+  util::Rng rng(42);
+  model::ScheduleBuilder builder;
+  builder.cluster(0, "c0", 64);
+  for (int i = 0; i < tasks; ++i) {
+    const double start = rng.uniform(0, 1000);
+    const int first = static_cast<int>(rng.uniform_int(0, 56));
+    builder
+        .task(std::to_string(i), i % 3 ? "computation" : "transfer", start,
+              start + rng.uniform(0.1, 30))
+        .on(0, first, static_cast<int>(rng.uniform_int(1, 8)));
+  }
+  return builder.build();
+}
+
+void report() {
+  using namespace jedule::bench;
+  report_header("Fig. 1", "XML definition of a task (id 1, computation, "
+                          "[0, 0.310], cluster 0, 8 hosts starting at 0)");
+  const auto s = io::read_schedule_xml(kFig1Doc);
+  const auto& t = s.tasks().at(0);
+  report_row("parsed id / type", t.id() + " / " + t.type());
+  report_row("parsed interval",
+             "[" + fmt(t.start_time()) + ", " + fmt(t.end_time()) + "]");
+  report_row("parsed allocation",
+             "cluster " + std::to_string(t.configurations()[0].cluster_id) +
+                 ", " + std::to_string(t.configurations()[0].host_count()) +
+                 " hosts");
+  report_check("all Fig. 1 fields round-trip",
+               t.id() == "1" && t.type() == "computation" &&
+                   t.start_time() == 0.0 && t.end_time() == 0.31 &&
+                   t.configurations()[0].host_count() == 8);
+  const auto back = io::read_schedule_xml(io::write_schedule_xml(s));
+  report_check("write -> parse is lossless", back.tasks().size() == 1);
+  report_footer();
+}
+
+void BM_ParseScheduleXml(benchmark::State& state) {
+  const std::string xml =
+      io::write_schedule_xml(synthetic_schedule(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(io::read_schedule_xml(xml));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(xml.size()));
+}
+BENCHMARK(BM_ParseScheduleXml)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_WriteScheduleXml(benchmark::State& state) {
+  const auto schedule = synthetic_schedule(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(io::write_schedule_xml(schedule));
+  }
+}
+BENCHMARK(BM_WriteScheduleXml)->Arg(100)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+JEDULE_BENCH_MAIN(report)

@@ -1,0 +1,83 @@
+// Fig. 2 — the colormap format: parse the paper's "standard map" example,
+// verify the colors and composite rule, and measure lookup/parse costs.
+
+#include "bench_report.hpp"
+#include "jedule/color/colormap.hpp"
+#include "jedule/io/colormap_xml.hpp"
+
+namespace {
+
+using namespace jedule;
+
+const char kFig2Doc[] = R"(<cmap name="standard_map">
+  <conf name="min_fontsize_label" value="11"/>
+  <conf name="fontsize_label" value="13"/>
+  <conf name="font_size_axes" value="12"/>
+  <task id="computation">
+    <color type="fg" rgb="FFFFFF"/><color type="bg" rgb="0000FF"/>
+  </task>
+  <task id="transfer">
+    <color type="fg" rgb="000000"/><color type="bg" rgb="f10000"/>
+  </task>
+  <composite>
+    <task id="computation"/><task id="transfer"/>
+    <color type="fg" rgb="FFFFFF"/><color type="bg" rgb="ff6200"/>
+  </composite>
+</cmap>)";
+
+void report() {
+  using namespace jedule::bench;
+  report_header("Fig. 2", "sample color map with one composite type "
+                          "(blue computation, red transfer, orange overlap)");
+  const auto map = io::read_colormap_xml(kFig2Doc);
+  report_row("computation bg",
+             "#" + color::to_hex(map.style_for("computation").background));
+  report_row("transfer bg",
+             "#" + color::to_hex(map.style_for("transfer").background));
+  report_row("composite {computation, transfer} bg",
+             "#" + color::to_hex(
+                       map.composite_style({"computation", "transfer"})
+                           .background));
+  report_check("colors match the paper's hex values",
+               color::to_hex(map.style_for("computation").background) ==
+                       "0000ff" &&
+                   color::to_hex(map.style_for("transfer").background) ==
+                       "f10000" &&
+                   color::to_hex(map.composite_style(
+                                         {"computation", "transfer"})
+                                     .background) == "ff6200");
+  const auto gray = map.grayscale();
+  report_check("grayscale derivation keeps structure",
+               gray.styles().size() == map.styles().size());
+  report_footer();
+}
+
+void BM_ParseColormapXml(benchmark::State& state) {
+  const std::string doc(kFig2Doc);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(io::read_colormap_xml(doc));
+  }
+}
+BENCHMARK(BM_ParseColormapXml);
+
+void BM_StyleLookup(benchmark::State& state) {
+  const auto map = color::standard_colormap();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.style_for("computation"));
+    benchmark::DoNotOptimize(map.style_for("unknown-type"));
+  }
+}
+BENCHMARK(BM_StyleLookup);
+
+void BM_CompositeLookup(benchmark::State& state) {
+  const auto map = color::standard_colormap();
+  const std::set<std::string> members{"computation", "transfer"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.composite_style(members));
+  }
+}
+BENCHMARK(BM_CompositeLookup);
+
+}  // namespace
+
+JEDULE_BENCH_MAIN(report)

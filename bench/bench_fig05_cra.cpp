@@ -1,0 +1,163 @@
+// Fig. 5 — "Jedule output for the schedule produced by the CRA_WIDTH
+// algorithm. Four mixed-parallel applications, each having its own color,
+// are scheduled on a cluster of 20 processors. The resource constraints
+// imposed by the algorithm are respected." The paper also observes that
+// the top processors (17-19) are clearly underused, motivating the
+// conservative backfilling step whose effect is quantified here.
+
+#include <algorithm>
+#include <set>
+
+#include "bench_report.hpp"
+#include "jedule/dag/generators.hpp"
+#include "jedule/model/stats.hpp"
+#include "jedule/sched/cra.hpp"
+#include "jedule/util/rng.hpp"
+
+namespace {
+
+using namespace jedule;
+
+std::vector<dag::Dag> four_apps() {
+  util::Rng rng(5);
+  std::vector<dag::Dag> apps;
+  apps.push_back(dag::fork_join_dag(3, 5, rng));
+  apps.push_back(dag::long_dag(10, rng));
+  apps.push_back(dag::wide_dag(8, rng));
+  dag::LayeredDagOptions o;
+  o.levels = 5;
+  o.min_width = 2;
+  o.max_width = 4;
+  apps.push_back(layered_random(o, rng));
+  return apps;
+}
+
+void report() {
+  using namespace jedule::bench;
+  report_header("Fig. 5",
+                "4 applications on 20 processors under CRA: per-app "
+                "processor blocks are respected; the last processors are "
+                "underused; backfilling reduces idle time without delaying "
+                "any task");
+  const auto apps = four_apps();
+  const auto platform = platform::homogeneous_cluster(20);
+
+  for (const auto metric :
+       {sched::ShareMetric::kWork, sched::ShareMetric::kWidth}) {
+    sched::CraOptions options;
+    options.metric = metric;
+    options.backfill = true;
+    const auto result = sched::schedule_multi_dag(apps, platform, options);
+
+    std::string blocks;
+    for (const auto& app : result.apps) {
+      blocks += "[" + std::to_string(app.first_host) + "," +
+                std::to_string(app.first_host + app.host_count) + ") ";
+    }
+    report_row(std::string(sched::share_metric_name(metric)) + " blocks",
+               blocks);
+    report_row(std::string(sched::share_metric_name(metric)) +
+                   " makespan / max stretch",
+               fmt(result.overall_makespan) + " / " +
+                   fmt(result.max_stretch, 2));
+    report_row(std::string(sched::share_metric_name(metric)) +
+                   " idle before/after backfill",
+               fmt(result.idle_before_backfill, 1) + " / " +
+                   fmt(result.idle_after_backfill, 1) + " (" +
+                   std::to_string(result.backfilled_tasks) + " tasks moved)");
+
+    // Constraint check (the Fig. 5 visual check): every task inside its
+    // application's block. Backfilling may legitimately move tasks across
+    // blocks, so it runs on the pre-backfill schedule.
+    bool constrained = true;
+    sched::CraOptions strict = options;
+    strict.backfill = false;
+    const auto raw = sched::schedule_multi_dag(apps, platform, strict);
+    for (const auto& task : raw.schedule.tasks()) {
+      const auto& app = raw.apps[static_cast<std::size_t>(
+          std::stoi(std::string(*task.property("app"))))];
+      for (const auto& cfg : task.configurations()) {
+        for (int h : cfg.host_list()) {
+          if (h < app.first_host || h >= app.first_host + app.host_count) {
+            constrained = false;
+          }
+        }
+      }
+    }
+    report_check(std::string(sched::share_metric_name(metric)) +
+                     ": resource constraints respected",
+                 constrained);
+
+    // "processors 17 to 19 are clearly underused ... the initial
+    // distribution of the processors among the applications can be too
+    // restrictive": which processors end up starved depends on the app
+    // mix, so the check targets the paper's actual point — the three
+    // least-used processors fall clearly below the cluster average.
+    const auto stats = model::compute_stats(raw.schedule);
+    std::vector<std::pair<double, int>> busy;
+    for (int h = 0; h < 20; ++h) {
+      busy.emplace_back(stats.busy_by_resource[static_cast<std::size_t>(h)],
+                        h);
+    }
+    std::sort(busy.begin(), busy.end());
+    const double bottom3 =
+        (busy[0].first + busy[1].first + busy[2].first) / 3.0;
+    const double avg = stats.covered_time / 20.0;
+    report_row(std::string(sched::share_metric_name(metric)) +
+                   " least-used processors",
+               std::to_string(busy[0].second) + "," +
+                   std::to_string(busy[1].second) + "," +
+                   std::to_string(busy[2].second) + " avg busy " +
+                   fmt(bottom3, 1) + " vs cluster avg " + fmt(avg, 1));
+    if (metric == sched::ShareMetric::kWidth) {
+      // The figure's algorithm: width-based shares ignore the actual work
+      // per application, so some blocks starve (the paper's processors
+      // 17-19). Work-based shares balance by construction, so the check
+      // applies to CRA_WIDTH only.
+      report_check(std::string(sched::share_metric_name(metric)) +
+                       ": distribution leaves processors clearly underused",
+                   bottom3 < 0.7 * avg);
+    }
+    report_check(std::string(sched::share_metric_name(metric)) +
+                     ": backfilling reduced idle time",
+                 result.idle_after_backfill <=
+                     result.idle_before_backfill + 1e-9);
+  }
+
+  // Ablation: the mu knob of beta_i = mu/|A| + (1-mu) W(i)/sum W(j)
+  // trades overall makespan against fairness (Sec. IV's bi-criteria view).
+  std::printf("  mu sweep (CRA_WORK):  mu  makespan  max-stretch\n");
+  for (double mu : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    sched::CraOptions options;
+    options.mu = mu;
+    const auto r = sched::schedule_multi_dag(apps, platform, options);
+    std::printf("    %.2f  %8.1f  %6.2f\n", mu, r.overall_makespan,
+                r.max_stretch);
+  }
+  report_footer();
+}
+
+void BM_ScheduleMultiDag(benchmark::State& state) {
+  const auto apps = four_apps();
+  const auto platform = platform::homogeneous_cluster(20);
+  sched::CraOptions options;
+  options.backfill = state.range(0) != 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sched::schedule_multi_dag(apps, platform, options));
+  }
+}
+BENCHMARK(BM_ScheduleMultiDag)->Arg(0)->Arg(1);
+
+void BM_CraShares(benchmark::State& state) {
+  const auto apps = four_apps();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sched::cra_shares(apps, sched::ShareMetric::kWork, 0.5));
+  }
+}
+BENCHMARK(BM_CraShares);
+
+}  // namespace
+
+JEDULE_BENCH_MAIN(report)

@@ -1,0 +1,68 @@
+// Fig. 6 — "Structure of the Montage workflow (nodes with the same color
+// are of same task type)": regenerate the workflow DAG, verify its stage
+// structure, and emit the DOT rendering the figure is drawn from.
+
+#include <map>
+
+#include "bench_report.hpp"
+#include "jedule/dag/dot.hpp"
+#include "jedule/dag/montage.hpp"
+
+namespace {
+
+using namespace jedule;
+
+void report() {
+  using namespace jedule::bench;
+  report_header("Fig. 6", "Montage workflow structure; the paper's instance "
+                          "has 50 compute nodes (ours: 48, the closest "
+                          "member of the 5k+3 family, k = 9)");
+  const auto dag = dag::montage_case_study();
+  report_row("nodes / edges", std::to_string(dag.node_count()) + " / " +
+                                  std::to_string(dag.edges().size()));
+  std::map<std::string, int> stages;
+  for (const auto& n : dag.nodes()) ++stages[n.type];
+  for (const auto& [stage, count] : stages) {
+    report_row("  " + stage, std::to_string(count));
+  }
+  report_check("single mConcatFit/mBgModel/mImgtbl/mAdd/mShrink/mJPEG",
+               stages["mConcatFit"] == 1 && stages["mBgModel"] == 1 &&
+                   stages["mImgtbl"] == 1 && stages["mAdd"] == 1 &&
+                   stages["mShrink"] == 1 && stages["mJPEG"] == 1);
+  report_check("one mBackground per input image",
+               stages["mBackground"] == stages["mProject"]);
+  const std::string dot = dag::to_dot(dag);
+  report_row("DOT export size", std::to_string(dot.size()) + " bytes");
+  report_check("DOT colors nodes by type",
+               dot.find("fillcolor") != std::string::npos);
+  report_footer();
+}
+
+void BM_MontageGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dag::montage_dag(static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_MontageGeneration)->Arg(4)->Arg(9)->Arg(32);
+
+void BM_MontageToDot(benchmark::State& state) {
+  const auto dag = dag::montage_case_study();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dag::to_dot(dag));
+  }
+}
+BENCHMARK(BM_MontageToDot);
+
+void BM_MontageAnalyses(benchmark::State& state) {
+  const auto dag = dag::montage_case_study();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dag.topological_order());
+    benchmark::DoNotOptimize(dag.precedence_levels());
+    benchmark::DoNotOptimize(dag.width());
+  }
+}
+BENCHMARK(BM_MontageAnalyses);
+
+}  // namespace
+
+JEDULE_BENCH_MAIN(report)

@@ -1,0 +1,66 @@
+// Fig. 7 — "Heterogeneous platform used for the case study": two clusters
+// of four 1.65 Gflop/s processors and two clusters of two 3.3 Gflop/s
+// processors behind one backbone. Verifies the model and measures the
+// communication-cost queries HEFT issues.
+
+#include "bench_report.hpp"
+#include "jedule/platform/platform.hpp"
+
+namespace {
+
+using namespace jedule;
+
+void report() {
+  using namespace jedule::bench;
+  report_header("Fig. 7", "4 clusters: 2x(4 procs @1.65 Gflop/s) + "
+                          "2x(2 procs @3.3 Gflop/s), single backbone");
+  const auto p = platform::heterogeneous_case_study(5e-2);
+  report_row("description", p.describe());
+  report_row("total hosts", std::to_string(p.total_hosts()));
+  bool speeds_ok = true;
+  for (int h : {0, 1, 6, 7}) speeds_ok = speeds_ok && p.host_speed(h) == 3.3;
+  for (int h : {2, 3, 4, 5, 8, 9, 10, 11}) {
+    speeds_ok = speeds_ok && p.host_speed(h) == 1.65;
+  }
+  report_check("fast processors are 0-1 and 6-7, twice as fast", speeds_ok);
+  report_row("intra-cluster 1 MB transfer",
+             fmt(p.comm_time(2, 3, 1.0), 6) + " s");
+  report_row("inter-cluster 1 MB transfer",
+             fmt(p.comm_time(2, 8, 1.0), 6) + " s");
+  report_check("backbone dominates inter-cluster cost",
+               p.comm_time(2, 8, 1.0) > p.comm_time(2, 3, 1.0) + 0.04);
+  const auto flat = platform::heterogeneous_case_study(0.0);
+  report_check("flat description prices remote == local (the Fig. 8 bug)",
+               flat.comm_time(2, 8, 1.0) == flat.comm_time(2, 3, 1.0));
+  report_footer();
+}
+
+void BM_CommTime(benchmark::State& state) {
+  const auto p = platform::heterogeneous_case_study(5e-2);
+  int src = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.comm_time(src % 12, (src + 7) % 12, 4.0));
+    ++src;
+  }
+}
+BENCHMARK(BM_CommTime);
+
+void BM_PlatformAverages(benchmark::State& state) {
+  const auto p = platform::heterogeneous_case_study(5e-2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.average_latency());
+    benchmark::DoNotOptimize(p.average_bandwidth());
+  }
+}
+BENCHMARK(BM_PlatformAverages);
+
+void BM_PlatformConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(platform::heterogeneous_case_study(5e-2));
+  }
+}
+BENCHMARK(BM_PlatformConstruction);
+
+}  // namespace
+
+JEDULE_BENCH_MAIN(report)

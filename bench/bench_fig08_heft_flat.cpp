@@ -1,0 +1,63 @@
+// Fig. 8 — "Jedule output of the schedule of a Montage instance on the
+// heterogeneous platform described by Figure 7": the platform description
+// prices inter-cluster routes like intra-cluster ones, and HEFT takes a
+// "strange scheduling decision" — a task rides across the backbone although
+// a data-local host finished it at exactly the same time. Detected as
+// free-ride placements (see sched::HeftResult).
+
+#include "bench_report.hpp"
+#include "jedule/dag/montage.hpp"
+#include "jedule/sched/heft.hpp"
+
+namespace {
+
+using namespace jedule;
+
+void report() {
+  using namespace jedule::bench;
+  report_header("Fig. 8",
+                "buggy flat-latency description: HEFT's decisions are "
+                "EFT-correct but a task moves off-cluster 'for free'");
+  const auto montage = dag::montage_case_study();
+  const auto platform = platform::heterogeneous_case_study(0.0);
+  const auto result = sched::schedule_heft(montage, platform);
+  report_row("makespan", fmt(result.makespan, 1) + " s");
+  report_row("free-ride placements",
+             std::to_string(result.free_ride_nodes.size()));
+  for (int v : result.free_ride_nodes) {
+    report_row("  anomalous placement",
+               montage.node(v).name + " -> processor " +
+                   std::to_string(result.host[static_cast<std::size_t>(v)]) +
+                   " (cluster " +
+                   std::to_string(platform.cluster_of(
+                       result.host[static_cast<std::size_t>(v)])) +
+                   ")");
+  }
+  report_check(
+      "the anomaly is visible: at least one free ride across the backbone",
+      !result.free_ride_nodes.empty());
+  report_footer();
+}
+
+void BM_HeftMontageFlat(benchmark::State& state) {
+  const auto montage = dag::montage_case_study();
+  const auto platform = platform::heterogeneous_case_study(0.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::schedule_heft(montage, platform));
+  }
+}
+BENCHMARK(BM_HeftMontageFlat);
+
+void BM_HeftLargerInstances(benchmark::State& state) {
+  const auto montage = dag::montage_dag(static_cast<int>(state.range(0)));
+  const auto platform = platform::heterogeneous_case_study(0.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sched::schedule_heft(montage, platform));
+  }
+  state.SetItemsProcessed(state.iterations() * montage.node_count());
+}
+BENCHMARK(BM_HeftLargerInstances)->Arg(16)->Arg(64)->Arg(128);
+
+}  // namespace
+
+JEDULE_BENCH_MAIN(report)

@@ -1,0 +1,92 @@
+// Fig. 10 — the task-based execution scheme (create_initial_task / get /
+// execute / free loop): exercised end-to-end, plus the overhead
+// measurements that motivate the section's "low overhead of the task pool
+// is an important requirement".
+
+#include <atomic>
+
+#include "bench_report.hpp"
+#include "jedule/taskpool/pool.hpp"
+
+namespace {
+
+using namespace jedule;
+using taskpool::TaskContext;
+using taskpool::TaskPool;
+
+void report() {
+  using namespace jedule::bench;
+  report_header("Fig. 10", "task-pool execution scheme: initial tasks, "
+                           "worker loop, tasks creating tasks");
+  TaskPool::Options options;
+  options.threads = 4;
+  TaskPool pool(options);
+  std::atomic<int> executed{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.create_initial_task([&executed](TaskContext& ctx) {
+      ++executed;
+      ctx.submit([&executed](TaskContext&) { ++executed; });
+    });
+  }
+  const auto log = pool.run();
+  report_row("tasks executed (8 initial + 8 spawned)",
+             std::to_string(log.tasks_executed));
+  report_row("threads / wallclock",
+             std::to_string(log.threads) + " / " + fmt(log.wallclock, 4) +
+                 " s");
+  report_check("every created task executed exactly once",
+               executed.load() == 16 && log.tasks_executed == 16);
+  std::size_t logged = 0;
+  for (const auto& tl : log.per_thread) logged += tl.exec.size();
+  report_check("per-thread logs cover all executions", logged == 16);
+  report_footer();
+}
+
+void BM_PoolThroughput(benchmark::State& state) {
+  // Tasks per second through the pool for empty tasks (pure overhead),
+  // central queue vs work stealing.
+  const bool stealing = state.range(0) != 0;
+  const int tasks = 20000;
+  for (auto _ : state) {
+    TaskPool::Options options;
+    options.threads = 4;
+    options.work_stealing = stealing;
+    TaskPool pool(options);
+    std::atomic<int> sink{0};
+    for (int i = 0; i < tasks; ++i) {
+      pool.create_initial_task([&sink](TaskContext&) {
+        sink.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    const auto log = pool.run();
+    benchmark::DoNotOptimize(log.tasks_executed);
+  }
+  state.SetItemsProcessed(state.iterations() * tasks);
+  state.SetLabel(stealing ? "work-stealing" : "central-queue");
+}
+BENCHMARK(BM_PoolThroughput)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_RecursiveFanout(benchmark::State& state) {
+  // Tasks spawning tasks (the Quicksort pattern) to the given depth.
+  const int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    TaskPool::Options options;
+    options.threads = 4;
+    TaskPool pool(options);
+    std::function<void(TaskContext&, int)> fan = [&fan](TaskContext& ctx,
+                                                        int d) {
+      if (d == 0) return;
+      ctx.submit([&fan, d](TaskContext& c) { fan(c, d - 1); });
+      ctx.submit([&fan, d](TaskContext& c) { fan(c, d - 1); });
+    };
+    pool.create_initial_task([&fan, depth](TaskContext& c) { fan(c, depth); });
+    const auto log = pool.run();
+    benchmark::DoNotOptimize(log.tasks_executed);
+  }
+  state.SetLabel("2^" + std::to_string(depth + 1) + "-1 tasks");
+}
+BENCHMARK(BM_RecursiveFanout)->Arg(8)->Arg(12)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+JEDULE_BENCH_MAIN(report)

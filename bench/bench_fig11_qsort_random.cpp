@@ -1,0 +1,79 @@
+// Fig. 11 — "Quicksort with random 10,000,000 integers" (scaled down by
+// default to keep the bench fast; the shape is size-independent): limited
+// initial parallelism delays the ramp-up, and short low-utilization phases
+// appear during the run.
+
+#include "bench_report.hpp"
+#include "jedule/model/stats.hpp"
+#include "jedule/taskpool/log_schedule.hpp"
+#include "jedule/taskpool/quicksort.hpp"
+
+namespace {
+
+using namespace jedule;
+using taskpool::QuicksortOptions;
+using taskpool::TaskPool;
+
+constexpr int kThreads = 8;
+constexpr std::size_t kElements = 2'000'000;
+
+void report() {
+  using namespace jedule::bench;
+  report_header("Fig. 11", "parallel Quicksort on random input: ramp-up "
+                           "phase, then high but imperfect utilization");
+  TaskPool::Options pool;
+  pool.threads = kThreads;
+  QuicksortOptions qs;
+  qs.elements = kElements;
+  qs.input = QuicksortOptions::Input::kRandom;
+  const auto run = run_parallel_quicksort(pool, qs);
+  report_row("elements / threads",
+             std::to_string(kElements) + " / " + std::to_string(kThreads));
+  report_row("tasks executed", std::to_string(run.tasks));
+  report_row("wallclock", fmt(run.log.wallclock, 3) + " s");
+  report_check("output is sorted", run.sorted);
+
+  const auto schedule = taskpool::log_to_schedule(run.log);
+  const auto stats = model::compute_stats(schedule, {"computation"});
+  const double solo =
+      model::fraction_of_time_with_busy(schedule, 1, {"computation"});
+  report_row("compute utilization", fmt(stats.utilization * 100, 1) + "%");
+  report_row("fraction of time with exactly 1 busy thread", fmt(solo, 3));
+  report_check("ramp-up visible but short (solo fraction < 0.3)",
+               solo < 0.3);
+  report_check("a real parallel phase exists (utilization > 40%)",
+               stats.utilization > 0.4);
+  report_footer();
+}
+
+void BM_QuicksortRandom(benchmark::State& state) {
+  TaskPool::Options pool;
+  pool.threads = static_cast<int>(state.range(0));
+  QuicksortOptions qs;
+  qs.elements = 1'000'000;
+  qs.input = QuicksortOptions::Input::kRandom;
+  for (auto _ : state) {
+    const auto run = run_parallel_quicksort(pool, qs);
+    benchmark::DoNotOptimize(run.sorted);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(qs.elements));
+}
+BENCHMARK(BM_QuicksortRandom)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LogToSchedule(benchmark::State& state) {
+  TaskPool::Options pool;
+  pool.threads = 8;
+  QuicksortOptions qs;
+  qs.elements = 500'000;
+  const auto run = run_parallel_quicksort(pool, qs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(taskpool::log_to_schedule(run.log));
+  }
+}
+BENCHMARK(BM_LogToSchedule);
+
+}  // namespace
+
+JEDULE_BENCH_MAIN(report)

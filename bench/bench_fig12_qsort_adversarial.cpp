@@ -1,0 +1,95 @@
+// Fig. 12 — "Quicksort with inversely sorted integers" and the middle
+// element as pivot: the first task swaps every pair of the whole array, so
+// "only one processor is busy in almost half the total execution time",
+// and mid-run holes appear when memory bandwidth is contended (the NUMA
+// effect, reproduced here with the extra_work contention knob).
+
+#include "bench_report.hpp"
+#include "jedule/model/stats.hpp"
+#include "jedule/taskpool/log_schedule.hpp"
+#include "jedule/taskpool/quicksort.hpp"
+
+namespace {
+
+using namespace jedule;
+using taskpool::QuicksortOptions;
+using taskpool::TaskPool;
+
+constexpr int kThreads = 8;
+constexpr std::size_t kElements = 1'000'000;
+
+void report() {
+  using namespace jedule::bench;
+  report_header("Fig. 12",
+                "adversarial input (inversely sorted, middle pivot): one "
+                "thread busy for a large fraction of the run");
+  TaskPool::Options pool;
+  pool.threads = kThreads;
+  QuicksortOptions qs;
+  qs.elements = kElements;
+  qs.input = QuicksortOptions::Input::kReversed;
+  const auto run = run_parallel_quicksort(pool, qs);
+  report_row("elements / threads",
+             std::to_string(kElements) + " / " + std::to_string(kThreads));
+  report_row("tasks executed", std::to_string(run.tasks));
+  report_row("wallclock", fmt(run.log.wallclock, 3) + " s");
+  report_check("output is sorted", run.sorted);
+
+  const auto schedule = taskpool::log_to_schedule(run.log);
+  const double solo =
+      model::fraction_of_time_with_busy(schedule, 1, {"computation"});
+  report_row("fraction of time with exactly 1 busy thread", fmt(solo, 3));
+  report_check("pronounced sequential phase (solo fraction > 0.2; paper: "
+               "'almost half')",
+               solo > 0.2);
+
+  // Compare against the random-input run: the adversarial solo phase must
+  // be clearly longer.
+  QuicksortOptions random_qs = qs;
+  random_qs.input = QuicksortOptions::Input::kRandom;
+  random_qs.extra_work = 0;
+  const auto random_run = run_parallel_quicksort(pool, random_qs);
+  const double random_solo = model::fraction_of_time_with_busy(
+      taskpool::log_to_schedule(random_run.log), 1, {"computation"});
+  report_row("solo fraction on random input (Fig. 11)", fmt(random_solo, 3));
+  report_check("adversarial input shows a much longer sequential head",
+               solo > 1.5 * random_solo);
+  report_footer();
+}
+
+void BM_QuicksortAdversarial(benchmark::State& state) {
+  TaskPool::Options pool;
+  pool.threads = static_cast<int>(state.range(0));
+  QuicksortOptions qs;
+  qs.elements = 1'000'000;
+  qs.input = QuicksortOptions::Input::kReversed;
+  for (auto _ : state) {
+    const auto run = run_parallel_quicksort(pool, qs);
+    benchmark::DoNotOptimize(run.sorted);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(qs.elements));
+}
+BENCHMARK(BM_QuicksortAdversarial)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ContentionKnob(benchmark::State& state) {
+  // Ablation for the NUMA stand-in: runtime as the per-element extra work
+  // grows (the Fig. 12 'bandwidth hole' becomes deeper).
+  TaskPool::Options pool;
+  pool.threads = 8;
+  QuicksortOptions qs;
+  qs.elements = 500'000;
+  qs.input = QuicksortOptions::Input::kReversed;
+  qs.extra_work = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const auto run = run_parallel_quicksort(pool, qs);
+    benchmark::DoNotOptimize(run.sorted);
+  }
+}
+BENCHMARK(BM_ContentionKnob)->Arg(0)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+JEDULE_BENCH_MAIN(report)

@@ -1,0 +1,111 @@
+// Fig. 13 — "Visualization of the parallel workload of the LLNL Thunder
+// Cluster on one day in 2007. Yellow rectangles denote jobs of a selected
+// user": 1024 nodes, 834 jobs, 20 reserved login/debug nodes, user 6447
+// highlighted. The real trace is proprietary; the synthetic generator
+// reproduces the documented properties (DESIGN.md §2).
+
+#include "bench_report.hpp"
+#include "jedule/model/stats.hpp"
+#include "jedule/render/export.hpp"
+#include "jedule/workload/thunder.hpp"
+#include "jedule/workload/trace_schedule.hpp"
+
+namespace {
+
+using namespace jedule;
+
+workload::TraceScheduleResult converted_day() {
+  const workload::ThunderOptions opts;
+  const auto trace = workload::generate_thunder_day(opts);
+  workload::TraceScheduleOptions conv;
+  conv.cluster_name = "thunder";
+  conv.reserved_nodes = opts.reserved_nodes;
+  return workload::trace_to_schedule(trace, conv);
+}
+
+void report() {
+  using namespace jedule::bench;
+  report_header("Fig. 13", "one day of a 1024-node cluster: 834 jobs, nodes "
+                           "0-19 reserved, user 6447 highlighted in yellow");
+  const auto result = converted_day();
+  const auto& schedule = result.schedule;
+  report_row("jobs placed", std::to_string(schedule.tasks().size()));
+  report_row("nodes", std::to_string(schedule.total_hosts()));
+  report_row("jobs with placement conflicts (trace overcommit)",
+             std::to_string(result.overlapped_jobs));
+  report_check("834 jobs on 1024 nodes (paper's day)",
+               schedule.tasks().size() == 834 &&
+                   schedule.total_hosts() == 1024);
+
+  // "20 nodes of this cluster were reserved ... jobs get only executed by
+  // nodes with a number greater than 20."
+  const auto stats = model::compute_stats(schedule);
+  bool reserved_empty = true;
+  for (int h = 0; h < 20; ++h) {
+    if (stats.busy_by_resource[static_cast<std::size_t>(h)] > 0) {
+      reserved_empty = false;
+    }
+  }
+  report_check("reserved nodes 0-19 carry no jobs", reserved_empty);
+
+  int highlighted = 0;
+  for (const auto& t : schedule.tasks()) {
+    if (t.property("user") == "6447") ++highlighted;
+  }
+  report_row("jobs of user 6447 (yellow)", std::to_string(highlighted));
+  report_check("highlighted user has a visible minority of jobs",
+               highlighted >= 10 &&
+                   highlighted < static_cast<int>(schedule.tasks().size()) / 4);
+
+  render::GanttStyle style;
+  style.width = 1280;
+  style.height = 720;
+  style.show_labels = false;
+  style.show_composites = false;
+  style.highlight_key = "user";
+  style.highlight_value = "6447";
+  const auto png = render::render_to_bytes(schedule,
+                                           color::standard_colormap(), style,
+                                           render::ImageFormat::kPng);
+  report_row("rendered PNG size", std::to_string(png.size()) + " bytes");
+  report_check("bird's-eye render succeeds", png.size() > 10000);
+  report_footer();
+}
+
+void BM_GenerateThunderDay(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload::generate_thunder_day());
+  }
+}
+BENCHMARK(BM_GenerateThunderDay)->Unit(benchmark::kMillisecond);
+
+void BM_PlaceTrace(benchmark::State& state) {
+  const workload::ThunderOptions opts;
+  const auto trace = workload::generate_thunder_day(opts);
+  workload::TraceScheduleOptions conv;
+  conv.reserved_nodes = opts.reserved_nodes;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workload::trace_to_schedule(trace, conv));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.jobs.size()));
+}
+BENCHMARK(BM_PlaceTrace)->Unit(benchmark::kMillisecond);
+
+void BM_RenderThunderDay(benchmark::State& state) {
+  const auto result = converted_day();
+  render::GanttStyle style;
+  style.width = 1280;
+  style.height = 720;
+  style.show_labels = false;
+  style.show_composites = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(render::render_raster(
+        result.schedule, color::standard_colormap(), style));
+  }
+}
+BENCHMARK(BM_RenderThunderDay)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+JEDULE_BENCH_MAIN(report)

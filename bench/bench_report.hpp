@@ -1,0 +1,63 @@
+#pragma once
+
+// Shared reporting helper for the figure-reproduction benches. Every bench
+// binary first prints an experiment report — the qualitative paper-vs-
+// measured rows collected in EXPERIMENTS.md — and then runs its
+// google-benchmark timings.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+#include <string>
+
+namespace jedule::bench {
+
+inline void report_header(const char* experiment, const char* paper_claim) {
+  std::printf("==============================================================\n");
+  std::printf("EXPERIMENT %s\n", experiment);
+  std::printf("paper: %s\n", paper_claim);
+  std::printf("--------------------------------------------------------------\n");
+}
+
+inline void report_row(const std::string& name, const std::string& value) {
+  std::printf("  %-44s %s\n", name.c_str(), value.c_str());
+}
+
+inline void report_check(const std::string& name, bool ok) {
+  std::printf("  [%s] %s\n", ok ? "OK" : "FAIL", name.c_str());
+}
+
+inline void report_footer() {
+  std::printf("==============================================================\n\n");
+}
+
+inline std::string fmt(double v, int digits = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+}  // namespace jedule::bench
+
+/// Prints the report, then hands over to google-benchmark. A short default
+/// measuring time keeps the full `for b in build/bench/*; do $b; done`
+/// sweep quick; pass --benchmark_min_time explicitly to override.
+#define JEDULE_BENCH_MAIN(report_fn)                                    \
+  int main(int argc, char** argv) {                                     \
+    report_fn();                                                        \
+    std::vector<char*> args;                                            \
+    args.push_back(argv[0]);                                            \
+    char default_min_time[] = "--benchmark_min_time=0.05";             \
+    args.push_back(default_min_time);                                   \
+    for (int i = 1; i < argc; ++i) args.push_back(argv[i]);             \
+    int args_count = static_cast<int>(args.size());                     \
+    ::benchmark::Initialize(&args_count, args.data());                  \
+    if (::benchmark::ReportUnrecognizedArguments(args_count,            \
+                                                 args.data())) {        \
+      return 1;                                                         \
+    }                                                                   \
+    ::benchmark::RunSpecifiedBenchmarks();                              \
+    ::benchmark::Shutdown();                                            \
+    return 0;                                                           \
+  }

@@ -1,0 +1,51 @@
+// Case study Sec. III: schedule the same moldable-task DAG with CPA, MCPA
+// and the MCPA2 poly-algorithm on a homogeneous cluster, and export the
+// side-by-side schedules a developer would eyeball — the workflow behind
+// the paper's Fig. 4, where MCPA shows large idle holes.
+//
+//   ./mtask_cpa_vs_mcpa [procs] [output-directory]
+
+#include <iostream>
+
+#include "jedule/jedule.hpp"
+
+int main(int argc, char** argv) {
+  using namespace jedule;
+
+  const int procs = argc > 1 ? std::atoi(argv[1]) : 16;
+  const std::string dir = argc > 2 ? argv[2] : ".";
+
+  // The Fig. 4 trigger: one precedence level mixing cheap and expensive
+  // tasks, as wide as the machine.
+  const dag::Dag graph = dag::mcpa_pathological_dag(procs);
+  const platform::Platform cluster = platform::homogeneous_cluster(procs);
+
+  const color::ColorMap cmap = color::standard_colormap();
+  render::GanttStyle style;
+  style.width = 900;
+  style.height = 500;
+
+  std::cout << "DAG: " << graph.node_count() << " nodes, width "
+            << graph.width() << "; cluster: " << procs << " procs\n\n";
+
+  for (const auto algo : {sched::MTaskAlgorithm::kCpa,
+                          sched::MTaskAlgorithm::kMcpa,
+                          sched::MTaskAlgorithm::kMcpa2}) {
+    const auto result = sched::schedule_mtask(graph, cluster, algo);
+    const auto schedule = sched::mtask_to_schedule(graph, cluster, result);
+    const auto stats = model::compute_stats(schedule);
+
+    std::cout << result.algorithm << ": makespan " << result.makespan
+              << ", idle " << stats.idle_time << " (utilization "
+              << stats.utilization * 100.0 << "%)\n";
+
+    const std::string file =
+        dir + "/mtask_" + std::string(sched::algorithm_name(algo)) + ".png";
+    render::export_schedule(schedule, cmap, style, file);
+    std::cout << "  -> " << file << "\n";
+  }
+
+  std::cout << "\nMCPA shows the load-imbalance holes of paper Fig. 4; "
+               "MCPA2 picks the CPA schedule.\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Case study Sec. VII: bird's-eye view of one day of a 1024-node cluster.
+// Generates a synthetic LLNL-Thunder-like SWF trace (or loads a real .swf
+// file if given), reconstructs node placements, highlights one user's jobs
+// in yellow, and drives the headless interactive session to zoom into the
+// busiest hours — paper Fig. 13 plus the Sec. II.D.1 interactions.
+//
+//   ./workload_browser [trace.swf] [output-directory]
+
+#include <iostream>
+
+#include "jedule/jedule.hpp"
+
+int main(int argc, char** argv) {
+  using namespace jedule;
+
+  std::string trace_file;
+  std::string dir = ".";
+  if (argc > 1) trace_file = argv[1];
+  if (argc > 2) dir = argv[2];
+
+  io::SwfTrace trace;
+  workload::TraceScheduleOptions conv;
+  conv.cluster_name = "thunder";
+  if (!trace_file.empty()) {
+    trace = io::load_swf(trace_file);
+    std::cout << "loaded " << trace.jobs.size() << " jobs from "
+              << trace_file << "\n";
+  } else {
+    const workload::ThunderOptions opts;
+    trace = workload::generate_thunder_day(opts);
+    conv.reserved_nodes = opts.reserved_nodes;
+    std::cout << "generated synthetic Thunder day: " << trace.jobs.size()
+              << " jobs on " << opts.nodes << " nodes\n";
+  }
+
+  const auto converted = workload::trace_to_schedule(trace, conv);
+  std::cout << "placed " << converted.schedule.tasks().size() << " jobs ("
+            << converted.overlapped_jobs << " with placement conflicts, "
+            << converted.dropped_jobs << " dropped)\n";
+
+  // Highlight user 6447's jobs in yellow (the paper's Fig. 13).
+  render::GanttStyle style;
+  style.width = 1280;
+  style.height = 720;
+  style.show_labels = false;
+  style.show_composites = false;
+  style.highlight_key = "user";
+  style.highlight_value = "6447";
+
+  const color::ColorMap cmap = color::standard_colormap();
+  render::export_schedule(converted.schedule, cmap, style,
+                          dir + "/thunder_day.png");
+  std::cout << "-> " << dir << "/thunder_day.png\n";
+
+  // Interactive-mode tour: info, zoom into the afternoon, inspect a pixel.
+  interactive::Session session(converted.schedule, cmap, style);
+  for (const char* cmd : {"info", "zoom 40000 70000", "inspect 640 360",
+                          "reset"}) {
+    std::cout << "view> " << cmd << "\n  " << session.execute(cmd) << "\n";
+  }
+  session.execute("zoom 40000 70000");
+  session.snapshot(dir + "/thunder_afternoon.png");
+  std::cout << "-> " << dir << "/thunder_afternoon.png\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+#include "jedule/cli/args.hpp"
+
+#include <algorithm>
+
+#include "jedule/util/error.hpp"
+#include "jedule/util/strings.hpp"
+
+namespace jedule::cli {
+
+Args::Args(int argc, const char* const* argv,
+           const std::vector<std::string>& value_flags) {
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!util::starts_with(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    const bool takes_value =
+        std::find(value_flags.begin(), value_flags.end(), body) !=
+        value_flags.end();
+    if (takes_value) {
+      if (i + 1 >= argc) {
+        throw ArgumentError("flag --" + body + " requires a value");
+      }
+      flags_[body] = argv[++i];
+    } else {
+      flags_[body] = "";
+    }
+  }
+}
+
+bool Args::has(const std::string& flag) const {
+  return flags_.count(flag) != 0;
+}
+
+std::optional<std::string> Args::value(const std::string& flag) const {
+  auto it = flags_.find(flag);
+  if (it == flags_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Args::value_or(const std::string& flag,
+                           const std::string& fallback) const {
+  auto v = value(flag);
+  return v ? *v : fallback;
+}
+
+std::vector<std::string> Args::unused(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : flags_) {
+    if (std::find(known.begin(), known.end(), k) == known.end()) {
+      out.push_back(k);
+    }
+  }
+  return out;
+}
+
+}  // namespace jedule::cli

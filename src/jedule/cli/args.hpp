@@ -1,0 +1,36 @@
+#pragma once
+
+// Tiny declarative flag parser for the jedule CLI.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace jedule::cli {
+
+/// Splits argv into positional arguments and --key[=value] flags.
+/// Flags listed in `value_flags` consume the next argument as their value
+/// when not written as --key=value; other flags are boolean.
+class Args {
+ public:
+  Args(int argc, const char* const* argv,
+       const std::vector<std::string>& value_flags);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  bool has(const std::string& flag) const;
+  std::optional<std::string> value(const std::string& flag) const;
+  std::string value_or(const std::string& flag,
+                       const std::string& fallback) const;
+
+  /// Flags the command did not consume; used to reject typos.
+  std::vector<std::string> unused(
+      const std::vector<std::string>& known) const;
+
+ private:
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string> flags_;  // value "" = boolean
+};
+
+}  // namespace jedule::cli

@@ -1,0 +1,117 @@
+#include "jedule/cli/demos.hpp"
+
+#include "jedule/dag/generators.hpp"
+#include "jedule/dag/montage.hpp"
+#include "jedule/model/builder.hpp"
+#include "jedule/sched/cra.hpp"
+#include "jedule/sched/heft.hpp"
+#include "jedule/sched/mtask.hpp"
+#include "jedule/taskpool/log_schedule.hpp"
+#include "jedule/taskpool/quicksort.hpp"
+#include "jedule/util/error.hpp"
+#include "jedule/util/rng.hpp"
+#include "jedule/workload/thunder.hpp"
+#include "jedule/workload/trace_schedule.hpp"
+
+namespace jedule::cli {
+
+namespace {
+
+model::Schedule demo_composite() {
+  return model::ScheduleBuilder()
+      .cluster(0, "cluster-0", 8)
+      .meta("demo", "fig3")
+      .task("1", "computation", 0.0, 0.31)
+      .on(0, 0, 8)
+      .task("2", "transfer", 0.25, 0.50)
+      .on(0, 2, 4)
+      .build();
+}
+
+model::Schedule demo_mtask(sched::MTaskAlgorithm algo) {
+  const auto dag = dag::mcpa_pathological_dag(16);
+  const auto platform = platform::homogeneous_cluster(16);
+  const auto result = sched::schedule_mtask(dag, platform, algo);
+  return sched::mtask_to_schedule(dag, platform, result);
+}
+
+model::Schedule demo_cra() {
+  util::Rng rng(5);
+  std::vector<dag::Dag> apps;
+  apps.push_back(dag::fork_join_dag(3, 5, rng));
+  apps.push_back(dag::long_dag(10, rng));
+  apps.push_back(dag::wide_dag(8, rng));
+  dag::LayeredDagOptions o;
+  o.levels = 5;
+  apps.push_back(layered_random(o, rng));
+  sched::CraOptions options;
+  options.metric = sched::ShareMetric::kWidth;
+  return sched::schedule_multi_dag(apps, platform::homogeneous_cluster(20),
+                                   options)
+      .schedule;
+}
+
+model::Schedule demo_heft(double backbone_latency) {
+  const auto montage = dag::montage_case_study();
+  const auto platform = platform::heterogeneous_case_study(backbone_latency);
+  const auto result = sched::schedule_heft(montage, platform);
+  return sched::heft_to_schedule(montage, platform, result);
+}
+
+model::Schedule demo_quicksort(taskpool::QuicksortOptions::Input input) {
+  taskpool::TaskPool::Options pool;
+  pool.threads = 8;
+  taskpool::QuicksortOptions qs;
+  qs.elements = 1 << 20;
+  qs.input = input;
+  const auto run = run_parallel_quicksort(pool, qs);
+  taskpool::LogScheduleOptions ls;
+  ls.merge_gap = run.log.wallclock / 4000.0;
+  return log_to_schedule(run.log, ls);
+}
+
+model::Schedule demo_thunder() {
+  const workload::ThunderOptions opts;
+  const auto trace = workload::generate_thunder_day(opts);
+  workload::TraceScheduleOptions conv;
+  conv.cluster_name = "thunder";
+  conv.reserved_nodes = opts.reserved_nodes;
+  return workload::trace_to_schedule(trace, conv).schedule;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, std::string>> demo_catalog() {
+  return {
+      {"composite", "overlapping computation/transfer (paper Fig. 3)"},
+      {"cpa", "CPA on the load-imbalance DAG (Fig. 4 left)"},
+      {"mcpa", "MCPA on the same DAG: idle holes (Fig. 4 right)"},
+      {"cra", "4 applications under CRA_WIDTH on 20 procs (Fig. 5)"},
+      {"heft-flat", "HEFT Montage, buggy flat backbone (Fig. 8)"},
+      {"heft", "HEFT Montage, realistic backbone (Fig. 9)"},
+      {"qsort", "parallel Quicksort, random input (Fig. 11)"},
+      {"qsort-adversarial",
+       "Quicksort, inversely sorted input: sequential head (Fig. 12)"},
+      {"thunder", "synthetic 1024-node cluster day (Fig. 13)"},
+  };
+}
+
+model::Schedule make_demo(const std::string& name) {
+  if (name == "composite") return demo_composite();
+  if (name == "cpa") return demo_mtask(sched::MTaskAlgorithm::kCpa);
+  if (name == "mcpa") return demo_mtask(sched::MTaskAlgorithm::kMcpa);
+  if (name == "cra") return demo_cra();
+  if (name == "heft-flat") return demo_heft(0.0);
+  if (name == "heft") return demo_heft(5e-2);
+  if (name == "qsort") {
+    return demo_quicksort(taskpool::QuicksortOptions::Input::kRandom);
+  }
+  if (name == "qsort-adversarial") {
+    return demo_quicksort(taskpool::QuicksortOptions::Input::kReversed);
+  }
+  if (name == "thunder") return demo_thunder();
+  throw ArgumentError("unknown demo '" + name +
+                      "' (run 'jedule demo' for the catalog)");
+}
+
+}  // namespace jedule::cli

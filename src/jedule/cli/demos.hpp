@@ -1,0 +1,20 @@
+#pragma once
+
+// Built-in demo schedules for `jedule demo <name>` — the paper's
+// educational use case: each regenerates one case-study schedule so users
+// can explore the tool without writing input files.
+
+#include <string>
+#include <vector>
+
+#include "jedule/model/schedule.hpp"
+
+namespace jedule::cli {
+
+/// Names accepted by make_demo(), with one-line descriptions.
+std::vector<std::pair<std::string, std::string>> demo_catalog();
+
+/// Builds the named demo schedule; throws ArgumentError for unknown names.
+model::Schedule make_demo(const std::string& name);
+
+}  // namespace jedule::cli

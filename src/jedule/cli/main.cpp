@@ -1,0 +1,327 @@
+// jedule — command-line mode of the schedule visualizer (paper Sec. II.D.2).
+//
+//   jedule render <schedule> --out out.png [options]   batch image export
+//   jedule view <schedule> [--script file]             scripted interactive mode
+//   jedule info <schedule>                             summary + statistics
+//   jedule convert <schedule> --out out.{xml,csv}      format conversion
+//   jedule formats                                     registered parsers
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "jedule/cli/args.hpp"
+#include "jedule/cli/demos.hpp"
+#include "jedule/color/colormap.hpp"
+#include "jedule/interactive/session.hpp"
+#include "jedule/io/colormap_xml.hpp"
+#include "jedule/io/csv.hpp"
+#include "jedule/io/file.hpp"
+#include "jedule/io/jedule_xml.hpp"
+#include "jedule/io/registry.hpp"
+#include "jedule/model/stats.hpp"
+#include "jedule/render/ascii.hpp"
+#include "jedule/render/export.hpp"
+#include "jedule/render/profile.hpp"
+#include "jedule/util/error.hpp"
+#include "jedule/util/log.hpp"
+#include "jedule/util/strings.hpp"
+#include "jedule/workload/swf_parser.hpp"
+
+namespace jedule::cli {
+namespace {
+
+const char kUsage[] =
+    "usage: jedule <command> [options]\n"
+    "\n"
+    "commands:\n"
+    "  render <schedule> --out FILE    export an image (.png .ppm .svg .pdf)\n"
+    "  view <schedule> [--script FILE] scripted interactive session\n"
+    "  info <schedule>                 print schedule statistics\n"
+    "  convert <schedule> --out FILE   convert between formats (.xml .csv)\n"
+    "  formats                         list registered input parsers\n"
+    "  demo [NAME] [--out FILE]        regenerate a case-study schedule\n"
+    "                                  (no NAME lists the catalog)\n"
+    "  profile <schedule> --out FILE   utilization-over-time chart\n"
+    "                                  (.png .ppm .svg)\n"
+    "\n"
+    "render options:\n"
+    "  --out FILE          output image (required)\n"
+    "  --cmap FILE         colormap XML (default: built-in standard map)\n"
+    "  --grayscale         collapse the colormap to grays\n"
+    "  --width N           image width in pixels (default 1000)\n"
+    "  --height N          image height in pixels (default 600)\n"
+    "  --aligned           align cluster time axes (default: scaled)\n"
+    "  --window T0:T1      restrict the time axis to [T0, T1]\n"
+    "  --clusters IDS      comma-separated cluster ids to display\n"
+    "  --types NAMES       comma-separated task types to display\n"
+    "  --no-composites     do not synthesize overlap (composite) tasks\n"
+    "  --no-labels         do not draw task-id labels\n"
+    "  --hatch-composites  hatch composite rectangles (grayscale safety)\n"
+    "  --highlight K=V     highlight tasks whose property K equals V\n"
+    "  --format NAME       force the input parser (see 'jedule formats')\n"
+    "  --verbose           log progress to stderr\n";
+
+render::GanttStyle style_from_args(const Args& args) {
+  render::GanttStyle style;
+  if (auto w = args.value("width")) {
+    auto v = util::parse_int(*w);
+    if (!v || *v <= 0) throw ArgumentError("bad --width");
+    style.width = static_cast<int>(*v);
+  }
+  if (auto h = args.value("height")) {
+    auto v = util::parse_int(*h);
+    if (!v || *v <= 0) throw ArgumentError("bad --height");
+    style.height = static_cast<int>(*v);
+  }
+  if (args.has("aligned")) style.view_mode = model::ViewMode::kAligned;
+  style.show_composites = !args.has("no-composites");
+  style.show_labels = !args.has("no-labels");
+  style.hatch_composites = args.has("hatch-composites");
+  if (auto window = args.value("window")) {
+    const auto parts = util::split(*window, ':');
+    if (parts.size() != 2) throw ArgumentError("--window expects T0:T1");
+    auto t0 = util::parse_double(parts[0]);
+    auto t1 = util::parse_double(parts[1]);
+    if (!t0 || !t1 || *t1 <= *t0) throw ArgumentError("bad --window range");
+    style.time_window = model::TimeRange{*t0, *t1};
+  }
+  if (auto clusters = args.value("clusters")) {
+    for (const auto& part : util::split(*clusters, ',')) {
+      auto id = util::parse_int(part);
+      if (!id) throw ArgumentError("bad cluster id '" + part + "'");
+      style.cluster_filter.push_back(static_cast<int>(*id));
+    }
+  }
+  if (auto types = args.value("types")) {
+    style.type_filter = util::split(*types, ',');
+  }
+  if (auto highlight = args.value("highlight")) {
+    const auto eq = highlight->find('=');
+    if (eq == std::string::npos) throw ArgumentError("--highlight expects K=V");
+    style.highlight_key = highlight->substr(0, eq);
+    style.highlight_value = highlight->substr(eq + 1);
+  }
+  return style;
+}
+
+color::ColorMap colormap_from_args(const Args& args) {
+  color::ColorMap map = args.value("cmap")
+                            ? io::load_colormap_xml(*args.value("cmap"))
+                            : color::standard_colormap();
+  if (args.has("grayscale")) map = map.grayscale();
+  return map;
+}
+
+int cmd_render(const Args& args) {
+  if (args.positional().size() != 2) {
+    throw ArgumentError("render: expected exactly one schedule file");
+  }
+  auto out = args.value("out");
+  if (!out) throw ArgumentError("render: --out FILE is required");
+  const auto schedule =
+      io::load_schedule(args.positional()[1], args.value_or("format", ""));
+  JED_INFO() << "loaded " << schedule.tasks().size() << " tasks from "
+             << args.positional()[1];
+  render::export_schedule(schedule, colormap_from_args(args),
+                          style_from_args(args), *out);
+  JED_INFO() << "wrote " << *out;
+  return 0;
+}
+
+int cmd_view(const Args& args) {
+  if (args.positional().size() != 2) {
+    throw ArgumentError("view: expected exactly one schedule file");
+  }
+  interactive::Session session(args.positional()[1], colormap_from_args(args),
+                               style_from_args(args));
+  std::istringstream script_stream;
+  std::istream* in = &std::cin;
+  if (auto script = args.value("script")) {
+    script_stream.str(io::read_file(*script));
+    in = &script_stream;
+  }
+  std::string line;
+  while (std::getline(*in, line)) {
+    const auto trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    if (trimmed == "quit" || trimmed == "exit") break;
+    try {
+      const std::string output = session.execute(std::string(trimmed));
+      if (!output.empty()) std::cout << output << "\n";
+    } catch (const Error& e) {
+      std::cout << "error: " << e.what() << "\n";
+    }
+  }
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  if (args.positional().size() != 2) {
+    throw ArgumentError("info: expected exactly one schedule file");
+  }
+  const auto schedule =
+      io::load_schedule(args.positional()[1], args.value_or("format", ""));
+  const auto stats = model::compute_stats(schedule);
+  std::cout << "clusters:    " << schedule.clusters().size() << "\n";
+  for (const auto& c : schedule.clusters()) {
+    std::cout << "  [" << c.id << "] " << c.name << ": " << c.hosts
+              << " hosts\n";
+  }
+  std::cout << "tasks:       " << stats.task_count << "\n";
+  std::cout << "makespan:    " << util::format_fixed(stats.makespan, 3)
+            << "\n";
+  std::cout << "utilization: "
+            << util::format_fixed(stats.utilization * 100.0, 1) << "%\n";
+  std::cout << "idle time:   " << util::format_fixed(stats.idle_time, 3)
+            << "\n";
+  for (const auto& [type, area] : stats.area_by_type) {
+    std::cout << "  area[" << type << "] = " << util::format_fixed(area, 3)
+              << "\n";
+  }
+  if (!schedule.meta().empty()) {
+    std::cout << "meta:\n";
+    for (const auto& [k, v] : schedule.meta()) {
+      std::cout << "  " << k << " = " << v << "\n";
+    }
+  }
+  return 0;
+}
+
+int cmd_convert(const Args& args) {
+  if (args.positional().size() != 2) {
+    throw ArgumentError("convert: expected exactly one schedule file");
+  }
+  auto out = args.value("out");
+  if (!out) throw ArgumentError("convert: --out FILE is required");
+  const auto schedule =
+      io::load_schedule(args.positional()[1], args.value_or("format", ""));
+  if (util::ends_with(*out, ".csv")) {
+    io::save_schedule_csv(schedule, *out);
+  } else if (util::ends_with(*out, ".xml") ||
+             util::ends_with(*out, ".jed")) {
+    io::save_schedule_xml(schedule, *out);
+  } else {
+    throw ArgumentError("convert: output must end in .xml, .jed or .csv");
+  }
+  return 0;
+}
+
+int cmd_profile(const Args& args) {
+  if (args.positional().size() != 2) {
+    throw ArgumentError("profile: expected exactly one schedule file");
+  }
+  auto out = args.value("out");
+  if (!out) throw ArgumentError("profile: --out FILE is required");
+  const auto schedule =
+      io::load_schedule(args.positional()[1], args.value_or("format", ""));
+  render::ProfileStyle style;
+  if (auto w = args.value("width")) {
+    auto v = util::parse_int(*w);
+    if (!v || *v <= 0) throw ArgumentError("bad --width");
+    style.width = static_cast<int>(*v);
+  }
+  if (auto h = args.value("height")) {
+    auto v = util::parse_int(*h);
+    if (!v || *v <= 0) throw ArgumentError("bad --height");
+    style.height = static_cast<int>(*v);
+  }
+  if (auto types = args.value("types")) {
+    style.type_filter = util::split(*types, ',');
+  }
+  render::export_profile(schedule, style, *out);
+  return 0;
+}
+
+int cmd_demo(const Args& args) {
+  if (args.positional().size() == 1) {
+    for (const auto& [name, description] : demo_catalog()) {
+      std::printf("  %-18s %s\n", name.c_str(), description.c_str());
+    }
+    return 0;
+  }
+  if (args.positional().size() != 2) {
+    throw ArgumentError("demo: expected at most one demo name");
+  }
+  const auto schedule = make_demo(args.positional()[1]);
+  auto style = style_from_args(args);
+  if (args.positional()[1] == "thunder") {
+    // The bird's-eye view needs the Fig. 13 styling to be readable.
+    style.show_labels = false;
+    style.show_composites = false;
+    if (style.highlight_key.empty()) {
+      style.highlight_key = "user";
+      style.highlight_value = "6447";
+    }
+  }
+  if (auto out = args.value("out")) {
+    if (util::ends_with(*out, ".jed") || util::ends_with(*out, ".xml")) {
+      io::save_schedule_xml(schedule, *out);
+    } else if (util::ends_with(*out, ".csv")) {
+      io::save_schedule_csv(schedule, *out);
+    } else {
+      render::export_schedule(schedule, colormap_from_args(args), style,
+                              *out);
+    }
+    std::cout << "wrote " << *out << "\n";
+  } else {
+    render::AsciiOptions ascii;
+    ascii.type_filter = style.type_filter;
+    std::cout << render::render_ascii(schedule, ascii);
+  }
+  return 0;
+}
+
+int cmd_formats() {
+  for (const auto& name : io::ParserRegistry::instance().parser_names()) {
+    std::cout << name << "\n";
+  }
+  return 0;
+}
+
+int run(int argc, char** argv) {
+  // Register the SWF parser the same way a user extension would, so
+  // `jedule render trace.swf` works out of the box.
+  workload::register_swf_parser();
+
+  const std::vector<std::string> value_flags = {
+      "out",     "cmap",   "width",  "height",   "window",
+      "clusters", "types", "highlight", "format", "script"};
+  const std::vector<std::string> known_flags = {
+      "out",       "cmap",          "width",      "height",
+      "window",    "clusters",      "types",      "highlight",  "format",
+      "script",    "grayscale",     "aligned",    "no-composites",
+      "no-labels", "hatch-composites", "verbose"};
+
+  Args args(argc - 1, argv + 1, value_flags);
+  if (args.has("verbose")) util::set_log_level(util::LogLevel::kInfo);
+  for (const auto& flag : args.unused(known_flags)) {
+    throw ArgumentError("unknown flag --" + flag);
+  }
+  if (args.positional().empty()) {
+    std::cerr << kUsage;
+    return 2;
+  }
+  const std::string& command = args.positional()[0];
+  if (command == "render") return cmd_render(args);
+  if (command == "view") return cmd_view(args);
+  if (command == "info") return cmd_info(args);
+  if (command == "convert") return cmd_convert(args);
+  if (command == "formats") return cmd_formats();
+  if (command == "demo") return cmd_demo(args);
+  if (command == "profile") return cmd_profile(args);
+  std::cerr << "unknown command '" << command << "'\n\n" << kUsage;
+  return 2;
+}
+
+}  // namespace
+}  // namespace jedule::cli
+
+int main(int argc, char** argv) {
+  try {
+    return jedule::cli::run(argc, argv);
+  } catch (const jedule::Error& e) {
+    std::cerr << "jedule: " << e.what() << "\n";
+    return 1;
+  }
+}

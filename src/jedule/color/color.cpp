@@ -1,0 +1,122 @@
+#include "jedule/color/color.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "jedule/util/error.hpp"
+
+namespace jedule::color {
+
+namespace {
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::uint8_t hex_byte(std::string_view s, size_t pos) {
+  int hi = hex_digit(s[pos]);
+  int lo = hex_digit(s[pos + 1]);
+  if (hi < 0 || lo < 0) {
+    throw ParseError("invalid hex color '" + std::string(s) + "'");
+  }
+  return static_cast<std::uint8_t>(hi * 16 + lo);
+}
+}  // namespace
+
+Color parse_color(std::string_view s) {
+  if (!s.empty() && s[0] == '#') s.remove_prefix(1);
+  if (s.size() != 6 && s.size() != 8) {
+    throw ParseError("invalid hex color '" + std::string(s) +
+                     "' (expected RRGGBB or RRGGBBAA)");
+  }
+  Color c;
+  c.r = hex_byte(s, 0);
+  c.g = hex_byte(s, 2);
+  c.b = hex_byte(s, 4);
+  c.a = s.size() == 8 ? hex_byte(s, 6) : 255;
+  return c;
+}
+
+std::string to_hex(const Color& c) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  auto put = [&](std::uint8_t v) {
+    out += digits[v >> 4];
+    out += digits[v & 0xF];
+  };
+  put(c.r);
+  put(c.g);
+  put(c.b);
+  if (c.a != 255) put(c.a);
+  return out;
+}
+
+std::uint8_t luminance(const Color& c) {
+  const double y = 0.299 * c.r + 0.587 * c.g + 0.114 * c.b;
+  return static_cast<std::uint8_t>(std::clamp(y, 0.0, 255.0));
+}
+
+Color to_gray(const Color& c) {
+  const std::uint8_t y = luminance(c);
+  return Color{y, y, y, c.a};
+}
+
+Color lerp(const Color& a, const Color& b, double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  auto mix = [t](std::uint8_t x, std::uint8_t y) {
+    return static_cast<std::uint8_t>(std::lround(x + t * (y - x)));
+  };
+  return Color{mix(a.r, b.r), mix(a.g, b.g), mix(a.b, b.b), mix(a.a, b.a)};
+}
+
+Color blend_over(const Color& dst, const Color& src) {
+  if (src.a == 255) return Color{src.r, src.g, src.b, 255};
+  if (src.a == 0) return dst;
+  const double t = src.a / 255.0;
+  auto mix = [t](std::uint8_t d, std::uint8_t s) {
+    return static_cast<std::uint8_t>(std::lround(d * (1.0 - t) + s * t));
+  };
+  return Color{mix(dst.r, src.r), mix(dst.g, src.g), mix(dst.b, src.b), 255};
+}
+
+Color from_hsv(double h, double s, double v) {
+  s = std::clamp(s, 0.0, 1.0);
+  v = std::clamp(v, 0.0, 1.0);
+  h = std::fmod(h, 360.0);
+  if (h < 0) h += 360.0;
+  const double c = v * s;
+  const double hp = h / 60.0;
+  const double x = c * (1.0 - std::fabs(std::fmod(hp, 2.0) - 1.0));
+  double r = 0;
+  double g = 0;
+  double b = 0;
+  if (hp < 1) { r = c; g = x; }
+  else if (hp < 2) { r = x; g = c; }
+  else if (hp < 3) { g = c; b = x; }
+  else if (hp < 4) { g = x; b = c; }
+  else if (hp < 5) { r = x; b = c; }
+  else { r = c; b = x; }
+  const double m = v - c;
+  auto to8 = [m](double ch) {
+    return static_cast<std::uint8_t>(std::lround(std::clamp(ch + m, 0.0, 1.0) * 255.0));
+  };
+  return Color{to8(r), to8(g), to8(b), 255};
+}
+
+Color palette_color(std::size_t n) {
+  // Golden-angle stepping keeps neighbouring indices far apart in hue;
+  // cycling saturation/value bands keeps large palettes distinguishable.
+  constexpr double kGoldenAngle = 137.50776405003785;
+  const double h = std::fmod(kGoldenAngle * static_cast<double>(n) + 211.0, 360.0);
+  const double s = (n % 3 == 1) ? 0.55 : 0.8;
+  const double v = (n % 3 == 2) ? 0.7 : 0.9;
+  return from_hsv(h, s, v);
+}
+
+Color contrast_color(const Color& background) {
+  return luminance(background) >= 140 ? kBlack : kWhite;
+}
+
+}  // namespace jedule::color

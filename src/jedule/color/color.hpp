@@ -1,0 +1,56 @@
+#pragma once
+
+// RGB color type and helpers shared by colormaps and the renderer.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace jedule::color {
+
+struct Color {
+  std::uint8_t r = 0;
+  std::uint8_t g = 0;
+  std::uint8_t b = 0;
+  std::uint8_t a = 255;
+
+  friend bool operator==(const Color&, const Color&) = default;
+};
+
+inline constexpr Color kBlack{0, 0, 0, 255};
+inline constexpr Color kWhite{255, 255, 255, 255};
+
+/// Parses "RRGGBB", "#RRGGBB", "RRGGBBAA" or "#RRGGBBAA" (case-insensitive,
+/// as the paper's colormap files use both "FFFFFF" and "f10000").
+/// Throws jedule::ParseError on malformed input.
+Color parse_color(std::string_view s);
+
+/// "rrggbb" lowercase hex (alpha omitted when 255, else "rrggbbaa").
+std::string to_hex(const Color& c);
+
+/// Rec. 601 luma in [0,255].
+std::uint8_t luminance(const Color& c);
+
+/// Color with the same luma on the gray axis (used for grayscale colormaps
+/// required by journal style guides, per Sec. II.D.2 of the paper).
+Color to_gray(const Color& c);
+
+/// Linear interpolation a + t*(b-a) per channel, t clamped to [0,1].
+Color lerp(const Color& a, const Color& b, double t);
+
+/// Source-over alpha blending of `src` onto opaque `dst`.
+Color blend_over(const Color& dst, const Color& src);
+
+/// HSV (h in [0,360), s,v in [0,1]) to RGB.
+Color from_hsv(double h, double s, double v);
+
+/// `n`-th color of a deterministic, well-spread categorical palette
+/// (golden-angle hue stepping with alternating saturation/value bands).
+/// Used to auto-assign colors, e.g. one per application in the multi-DAG
+/// case study (Fig. 5).
+Color palette_color(std::size_t n);
+
+/// Black or white, whichever contrasts better with `background`.
+Color contrast_color(const Color& background);
+
+}  // namespace jedule::color

@@ -1,0 +1,120 @@
+#include "jedule/color/colormap.hpp"
+
+#include <functional>
+
+#include "jedule/util/strings.hpp"
+
+namespace jedule::color {
+
+void ColorMap::set_config(std::string key, std::string value) {
+  config_[std::move(key)] = std::move(value);
+}
+
+std::optional<std::string_view> ColorMap::config_value(
+    std::string_view key) const {
+  auto it = config_.find(std::string(key));
+  if (it == config_.end()) return std::nullopt;
+  return std::string_view(it->second);
+}
+
+int ColorMap::config_int(std::string_view key, int fallback) const {
+  auto v = config_value(key);
+  if (!v) return fallback;
+  auto parsed = util::parse_int(*v);
+  return parsed ? static_cast<int>(*parsed) : fallback;
+}
+
+void ColorMap::set_style(std::string task_type, TaskStyle style) {
+  for (auto& [type, s] : styles_) {
+    if (type == task_type) {
+      s = style;
+      return;
+    }
+  }
+  styles_.emplace_back(std::move(task_type), style);
+}
+
+bool ColorMap::has_style(std::string_view task_type) const {
+  for (const auto& [type, s] : styles_) {
+    if (type == task_type) return true;
+  }
+  return false;
+}
+
+void ColorMap::add_composite_rule(CompositeRule rule) {
+  composite_rules_.push_back(std::move(rule));
+}
+
+TaskStyle ColorMap::style_for(std::string_view task_type) const {
+  for (const auto& [type, s] : styles_) {
+    if (type == task_type) return s;
+  }
+  // Unknown type: derive a stable palette slot from the type name so the
+  // same type always gets the same color within and across runs.
+  const std::size_t slot =
+      std::hash<std::string_view>{}(task_type) % 1024;
+  TaskStyle s;
+  s.background = palette_color(slot);
+  s.foreground = contrast_color(s.background);
+  return s;
+}
+
+TaskStyle ColorMap::composite_style(
+    const std::set<std::string>& member_types) const {
+  for (const auto& rule : composite_rules_) {
+    if (rule.members == member_types) return rule.style;
+  }
+  if (member_types.empty()) return style_for("composite");
+  // Fallback: average the member backgrounds.
+  long r = 0;
+  long g = 0;
+  long b = 0;
+  for (const auto& type : member_types) {
+    const Color bg = style_for(type).background;
+    r += bg.r;
+    g += bg.g;
+    b += bg.b;
+  }
+  const auto n = static_cast<long>(member_types.size());
+  TaskStyle s;
+  s.background = Color{static_cast<std::uint8_t>(r / n),
+                       static_cast<std::uint8_t>(g / n),
+                       static_cast<std::uint8_t>(b / n), 255};
+  s.foreground = contrast_color(s.background);
+  return s;
+}
+
+ColorMap ColorMap::grayscale() const {
+  ColorMap out = *this;
+  for (auto& [type, style] : out.styles_) {
+    style.foreground = to_gray(style.foreground);
+    style.background = to_gray(style.background);
+  }
+  for (auto& rule : out.composite_rules_) {
+    rule.style.foreground = to_gray(rule.style.foreground);
+    rule.style.background = to_gray(rule.style.background);
+  }
+  return out;
+}
+
+ColorMap standard_colormap() {
+  ColorMap map("standard_map");
+  map.set_config("min_fontsize_label", "11");
+  map.set_config("font_size_label", "13");
+  map.set_config("font_size_axes", "12");
+  map.set_style("computation",
+                TaskStyle{parse_color("FFFFFF"), parse_color("0000FF")});
+  map.set_style("transfer",
+                TaskStyle{parse_color("000000"), parse_color("f10000")});
+  // "idle"/"waiting" red and work blue are also what the task-pool case
+  // study (Figs. 11-12) uses.
+  map.set_style("waiting",
+                TaskStyle{parse_color("000000"), parse_color("f10000")});
+  CompositeRule rule;
+  rule.members = {"computation", "transfer"};
+  rule.style = TaskStyle{parse_color("FFFFFF"), parse_color("ff6200")};
+  map.add_composite_rule(std::move(rule));
+  return map;
+}
+
+}  // namespace jedule::color

@@ -1,0 +1,96 @@
+#pragma once
+
+// User-defined color maps (paper Sec. II.C.4, Fig. 2).
+//
+// A colormap assigns a foreground (label) and background (fill) color to each
+// task *type*, plus optional explicit colors for composite tasks formed by a
+// given set of member types. It also carries the style configuration knobs
+// the paper's format embeds in the same file (font sizes).
+//
+// Lookup semantics:
+//  * style_for(type): the explicit style if present, otherwise a
+//    deterministic auto-assigned palette color (so unknown types still
+//    render distinguishably).
+//  * composite_style(types): an explicit composite rule whose member set
+//    equals `types` if one exists, otherwise the member background colors
+//    averaged (and a contrasting foreground).
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "jedule/color/color.hpp"
+
+namespace jedule::color {
+
+struct TaskStyle {
+  Color foreground = kWhite;
+  Color background{0, 0, 255, 255};
+
+  friend bool operator==(const TaskStyle&, const TaskStyle&) = default;
+};
+
+struct CompositeRule {
+  std::set<std::string> members;  // task types whose overlap this rule styles
+  TaskStyle style;
+};
+
+class ColorMap {
+ public:
+  ColorMap() = default;
+  explicit ColorMap(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Free-form configuration entries (`<conf name=... value=.../>`).
+  const std::map<std::string, std::string>& config() const { return config_; }
+  void set_config(std::string key, std::string value);
+  std::optional<std::string_view> config_value(std::string_view key) const;
+
+  /// Typed accessors for the font-size knobs of the paper's format; the
+  /// defaults match Fig. 2's "standard map".
+  int font_size_label() const { return config_int("font_size_label", 13); }
+  int min_font_size_label() const {
+    return config_int("min_fontsize_label", 11);
+  }
+  int font_size_axes() const { return config_int("font_size_axes", 12); }
+
+  void set_style(std::string task_type, TaskStyle style);
+  bool has_style(std::string_view task_type) const;
+
+  /// Styles in insertion order, for serialization.
+  const std::vector<std::pair<std::string, TaskStyle>>& styles() const {
+    return styles_;
+  }
+
+  void add_composite_rule(CompositeRule rule);
+  const std::vector<CompositeRule>& composite_rules() const {
+    return composite_rules_;
+  }
+
+  TaskStyle style_for(std::string_view task_type) const;
+  TaskStyle composite_style(const std::set<std::string>& member_types) const;
+
+  /// Copy with every color collapsed to its gray of equal luma (journal
+  /// grayscale style guides, paper Sec. II.D.2).
+  ColorMap grayscale() const;
+
+ private:
+  int config_int(std::string_view key, int fallback) const;
+
+  std::string name_ = "standard_map";
+  std::map<std::string, std::string> config_;
+  std::vector<std::pair<std::string, TaskStyle>> styles_;
+  std::vector<CompositeRule> composite_rules_;
+};
+
+/// The map the tool ships with: blue computation on white text, red transfer,
+/// orange composite of the two — the exact colors of paper Figs. 2 and 3.
+ColorMap standard_colormap();
+
+}  // namespace jedule::color

@@ -1,0 +1,44 @@
+#include "jedule/dag/dot.hpp"
+
+#include <fstream>
+#include <map>
+
+#include "jedule/util/error.hpp"
+
+namespace jedule::dag {
+
+namespace {
+// Small fixed palette; types beyond it cycle.
+const char* kFills[] = {"#4a90d9", "#e9583f", "#f5a623", "#7ed321",
+                        "#9b59b6", "#1abc9c", "#d35400", "#7f8c8d"};
+}  // namespace
+
+std::string to_dot(const Dag& dag) {
+  std::map<std::string, const char*> fill_of;
+  std::string out = "digraph \"" + dag.name() + "\" {\n";
+  out += "  rankdir=TB;\n  node [style=filled, shape=box, fontsize=10];\n";
+  for (const auto& n : dag.nodes()) {
+    auto it = fill_of.find(n.type);
+    if (it == fill_of.end()) {
+      const auto slot = fill_of.size() % (sizeof(kFills) / sizeof(kFills[0]));
+      it = fill_of.emplace(n.type, kFills[slot]).first;
+    }
+    out += "  n" + std::to_string(n.id) + " [label=\"" + n.name +
+           "\", fillcolor=\"" + it->second + "\"];\n";
+  }
+  for (const auto& e : dag.edges()) {
+    out += "  n" + std::to_string(e.src) + " -> n" + std::to_string(e.dst) +
+           ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+void save_dot(const Dag& dag, const std::string& path) {
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) throw IoError("cannot open '" + path + "' for writing");
+  f << to_dot(dag);
+  if (!f) throw IoError("error while writing '" + path + "'");
+}
+
+}  // namespace jedule::dag

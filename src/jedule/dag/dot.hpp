@@ -1,0 +1,18 @@
+#pragma once
+
+// Graphviz DOT export of a task graph — how we regenerate the workflow-
+// structure figure (paper Fig. 6: "nodes with the same color are of same
+// task type").
+
+#include <string>
+
+#include "jedule/dag/dag.hpp"
+
+namespace jedule::dag {
+
+/// DOT text with one fill color per node type (deterministic palette).
+std::string to_dot(const Dag& dag);
+
+void save_dot(const Dag& dag, const std::string& path);
+
+}  // namespace jedule::dag

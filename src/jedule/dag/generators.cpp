@@ -1,0 +1,125 @@
+#include "jedule/dag/generators.hpp"
+
+#include <algorithm>
+
+#include "jedule/util/error.hpp"
+
+namespace jedule::dag {
+
+Dag layered_random(const LayeredDagOptions& options, util::Rng& rng) {
+  JED_ASSERT(options.levels >= 1);
+  JED_ASSERT(options.min_width >= 1 &&
+             options.max_width >= options.min_width);
+  Dag dag("layered");
+
+  std::vector<std::vector<int>> layers;
+  for (int l = 0; l < options.levels; ++l) {
+    const int width = static_cast<int>(
+        rng.uniform_int(options.min_width, options.max_width));
+    std::vector<int> layer;
+    for (int i = 0; i < width; ++i) {
+      Node n;
+      n.name = "t" + std::to_string(dag.node_count());
+      n.work = rng.uniform(options.min_work, options.max_work);
+      n.serial_fraction = options.serial_fraction;
+      n.overhead_per_proc = options.overhead_per_proc;
+      layer.push_back(dag.add_node(std::move(n)));
+    }
+    layers.push_back(std::move(layer));
+  }
+
+  for (std::size_t l = 1; l < layers.size(); ++l) {
+    for (int v : layers[l]) {
+      bool has_pred = false;
+      for (int u : layers[l - 1]) {
+        if (rng.bernoulli(options.edge_density)) {
+          dag.add_edge(u, v, rng.uniform(options.min_data, options.max_data));
+          has_pred = true;
+        }
+      }
+      if (!has_pred) {
+        const int u = layers[l - 1][static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(layers[l - 1].size()) - 1))];
+        dag.add_edge(u, v, rng.uniform(options.min_data, options.max_data));
+      }
+    }
+  }
+  return dag;
+}
+
+Dag long_dag(int levels, util::Rng& rng) {
+  LayeredDagOptions o;
+  o.levels = levels;
+  o.min_width = 1;
+  o.max_width = 3;
+  o.edge_density = 0.6;
+  return layered_random(o, rng);
+}
+
+Dag wide_dag(int width, util::Rng& rng) {
+  LayeredDagOptions o;
+  o.levels = 3;
+  o.min_width = std::max(2, width / 2);
+  o.max_width = width;
+  o.edge_density = 0.3;
+  return layered_random(o, rng);
+}
+
+Dag serial_dag(int length, util::Rng& rng) {
+  JED_ASSERT(length >= 1);
+  Dag dag("serial");
+  int prev = -1;
+  for (int i = 0; i < length; ++i) {
+    const int v = dag.add_node("s" + std::to_string(i),
+                               rng.uniform(5.0, 60.0), 0.02, 0.02);
+    if (prev >= 0) dag.add_edge(prev, v, rng.uniform(0.5, 8.0));
+    prev = v;
+  }
+  return dag;
+}
+
+Dag fork_join_dag(int phases, int width, util::Rng& rng) {
+  JED_ASSERT(phases >= 1 && width >= 1);
+  Dag dag("fork-join");
+  int join = dag.add_node("start", 1.0, 0.0, 0.0);
+  for (int phase = 0; phase < phases; ++phase) {
+    std::vector<int> fanout;
+    for (int i = 0; i < width; ++i) {
+      const int v = dag.add_node(
+          "p" + std::to_string(phase) + "_" + std::to_string(i),
+          rng.uniform(10.0, 50.0), 0.02, 0.02);
+      dag.add_edge(join, v, rng.uniform(0.5, 4.0));
+      fanout.push_back(v);
+    }
+    join = dag.add_node("join" + std::to_string(phase), 1.0, 0.0, 0.0);
+    for (int v : fanout) dag.add_edge(v, join, rng.uniform(0.5, 4.0));
+  }
+  return dag;
+}
+
+Dag mcpa_pathological_dag(int machine_procs) {
+  JED_ASSERT(machine_procs >= 4);
+  Dag dag("mcpa-pathology");
+
+  // Source feeding a level as wide as the machine. Under MCPA the level's
+  // allocation is capped at `machine_procs` total, i.e. one processor per
+  // task, so the heavy tasks cannot grow; under CPA they can.
+  const int src = dag.add_node("src", 2.0, 0.0, 0.0);
+  const int width = machine_procs;
+  std::vector<int> layer;
+  for (int i = 0; i < width; ++i) {
+    // Two heavy tasks (the paper's "tasks 2 and 5"), the rest cheap.
+    const bool heavy = (i == 1 || i == width / 2);
+    const int v = dag.add_node("w" + std::to_string(i),
+                               heavy ? 400.0 : 8.0,
+                               /*serial_fraction=*/0.02,
+                               /*overhead=*/0.02);
+    dag.add_edge(src, v, 1.0);
+    layer.push_back(v);
+  }
+  const int sink = dag.add_node("sink", 2.0, 0.0, 0.0);
+  for (int v : layer) dag.add_edge(v, sink, 1.0);
+  return dag;
+}
+
+}  // namespace jedule::dag

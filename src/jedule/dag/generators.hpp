@@ -1,0 +1,49 @@
+#pragma once
+
+// DAG generators for the experiments. The CPA/MCPA evaluation of the paper
+// sweeps "different types of DAGs (long, wide, serial, etc.)" (Sec. III.B);
+// layered_random() with the presets below produces those families, and
+// mcpa_pathological_dag() reconstructs the Fig. 4 trigger: a precedence
+// level whose tasks have very different costs.
+
+#include "jedule/dag/dag.hpp"
+#include "jedule/util/rng.hpp"
+
+namespace jedule::dag {
+
+struct LayeredDagOptions {
+  int levels = 8;
+  int min_width = 2;
+  int max_width = 6;
+  /// Probability of an edge from a level-l node to a level-(l+1) node
+  /// (each non-source node keeps at least one predecessor).
+  double edge_density = 0.35;
+  double min_work = 5.0;
+  double max_work = 60.0;
+  double serial_fraction = 0.02;
+  double overhead_per_proc = 0.02;
+  double min_data = 0.5;   // MB on each edge
+  double max_data = 8.0;
+};
+
+/// Random layered DAG; connected source-to-sink by construction.
+Dag layered_random(const LayeredDagOptions& options, util::Rng& rng);
+
+/// Preset families from the paper's experiment sweep.
+Dag long_dag(int levels, util::Rng& rng);    // deep, narrow
+Dag wide_dag(int width, util::Rng& rng);     // shallow, broad
+Dag serial_dag(int length, util::Rng& rng);  // a chain
+
+/// Fork-join: source -> `width` parallel tasks -> sink, repeated `phases`
+/// times.
+Dag fork_join_dag(int phases, int width, util::Rng& rng);
+
+/// The Fig. 4 pathology: a DAG whose second precedence level contains both
+/// very expensive and very cheap tasks. MCPA gives every task of the level
+/// one processor (the level is as wide as the machine), so the cheap tasks
+/// finish early and their processors idle while the expensive ones crawl —
+/// the "large holes" of the figure. CPA lets the expensive tasks grow.
+/// `machine_procs` should equal the cluster size the schedule targets.
+Dag mcpa_pathological_dag(int machine_procs);
+
+}  // namespace jedule::dag

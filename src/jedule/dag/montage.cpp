@@ -1,0 +1,73 @@
+#include "jedule/dag/montage.hpp"
+
+#include "jedule/util/error.hpp"
+
+namespace jedule::dag {
+
+Dag montage_dag(int images) {
+  JED_ASSERT(images >= 2);
+  Dag dag("montage-" + std::to_string(images));
+
+  auto add = [&dag](const std::string& type, int index, double work,
+                    double serial = 0.0) {
+    Node n;
+    n.name = index >= 0 ? type + "_" + std::to_string(index) : type;
+    n.type = type;
+    n.work = work;
+    n.serial_fraction = serial;
+    return dag.add_node(std::move(n));
+  };
+
+  // Stage costs in Gflop (relative shape of published Montage profiles:
+  // projection and co-addition dominate).
+  std::vector<int> project;
+  for (int i = 0; i < images; ++i) {
+    project.push_back(add("mProject", i, 24.0));
+  }
+
+  // Each image overlaps a handful of neighbours; a ring plus skip links
+  // yields the standard ~3 overlaps per image (3k - 3 pair fits).
+  std::vector<int> diffs;
+  const int pair_count = 3 * images - 3;
+  for (int d = 0; d < pair_count; ++d) {
+    const int a = d % images;
+    const int b = (a + 1 + d / images) % images;
+    const int v = add("mDiffFit", d, 3.0);
+    dag.add_edge(project[static_cast<std::size_t>(a)], v, 4.0);
+    dag.add_edge(project[static_cast<std::size_t>(b)], v, 4.0);
+    diffs.push_back(v);
+  }
+
+  const int concat = add("mConcatFit", -1, 4.0, 0.3);
+  for (int v : diffs) dag.add_edge(v, concat, 0.5);
+
+  const int bgmodel = add("mBgModel", -1, 10.0, 0.3);
+  dag.add_edge(concat, bgmodel, 0.5);
+
+  std::vector<int> background;
+  for (int i = 0; i < images; ++i) {
+    const int v = add("mBackground", i, 7.0);
+    dag.add_edge(bgmodel, v, 0.5);
+    dag.add_edge(project[static_cast<std::size_t>(i)], v, 4.0);
+    background.push_back(v);
+  }
+
+  const int imgtbl = add("mImgtbl", -1, 3.0, 0.5);
+  for (int v : background) dag.add_edge(v, imgtbl, 0.2);
+
+  const int madd = add("mAdd", -1, 36.0, 0.2);
+  dag.add_edge(imgtbl, madd, 0.2);
+  for (int v : background) dag.add_edge(v, madd, 4.0);
+
+  const int shrink = add("mShrink", -1, 6.0, 0.3);
+  dag.add_edge(madd, shrink, 16.0);
+
+  const int jpeg = add("mJPEG", -1, 3.0, 0.5);
+  dag.add_edge(shrink, jpeg, 4.0);
+
+  return dag;
+}
+
+Dag montage_case_study() { return montage_dag(9); }
+
+}  // namespace jedule::dag

@@ -1,0 +1,312 @@
+#include "jedule/interactive/session.hpp"
+
+#include <algorithm>
+
+#include "jedule/io/colormap_xml.hpp"
+#include "jedule/io/registry.hpp"
+#include "jedule/model/stats.hpp"
+#include "jedule/render/ascii.hpp"
+#include "jedule/render/export.hpp"
+#include "jedule/util/error.hpp"
+#include "jedule/util/strings.hpp"
+
+namespace jedule::interactive {
+
+using model::TimeRange;
+
+Session::Session(model::Schedule schedule, color::ColorMap colormap,
+                 render::GanttStyle style)
+    : schedule_(std::move(schedule)),
+      colormap_(colormap),
+      original_colormap_(std::move(colormap)),
+      style_(std::move(style)) {
+  schedule_.validate();
+}
+
+Session::Session(const std::string& path, color::ColorMap colormap,
+                 render::GanttStyle style)
+    : colormap_(colormap),
+      original_colormap_(std::move(colormap)),
+      style_(std::move(style)),
+      path_(path) {
+  schedule_ = io::load_schedule(path_);
+}
+
+const render::GanttLayout& Session::layout() {
+  if (!layout_) {
+    layout_ = render::layout_gantt(schedule_, colormap_, style_);
+  }
+  return *layout_;
+}
+
+TimeRange Session::current_window() const {
+  if (style_.time_window) return *style_.time_window;
+  auto range = schedule_.time_range();
+  return range ? *range : TimeRange{0, 1};
+}
+
+void Session::zoom(double factor, double center_frac) {
+  if (factor <= 0) throw ArgumentError("zoom factor must be positive");
+  center_frac = std::clamp(center_frac, 0.0, 1.0);
+  const TimeRange window = current_window();
+  const double center = window.begin + window.length() * center_frac;
+  const double new_len = window.length() / factor;
+  style_.time_window =
+      TimeRange{center - new_len * center_frac,
+                center + new_len * (1.0 - center_frac)};
+  invalidate();
+}
+
+void Session::zoom_to_pixels(double x0, double x1) {
+  if (x1 < x0) std::swap(x0, x1);
+  const auto& lay = layout();
+  if (lay.panels.empty()) return;
+  // Rectangle zoom uses the time axis of the first panel; in aligned mode
+  // all panels agree, in scaled mode this matches zooming "in" that panel.
+  const auto& panel = lay.panels.front();
+  auto time_of_x = [&](double x) {
+    const double frac =
+        std::clamp((x - panel.x) / panel.w, 0.0, 1.0);
+    return panel.time_range.begin + frac * panel.time_range.length();
+  };
+  const double t0 = time_of_x(x0);
+  const double t1 = time_of_x(x1);
+  if (t1 <= t0) throw ArgumentError("zoom rectangle selects no time span");
+  style_.time_window = TimeRange{t0, t1};
+  invalidate();
+}
+
+void Session::zoom_to_time(double t0, double t1) {
+  if (t1 <= t0) throw ArgumentError("zoom window must have t1 > t0");
+  style_.time_window = TimeRange{t0, t1};
+  invalidate();
+}
+
+void Session::pan(double dt) {
+  const TimeRange window = current_window();
+  style_.time_window = TimeRange{window.begin + dt, window.end + dt};
+  invalidate();
+}
+
+void Session::reset_view() {
+  style_.time_window.reset();
+  style_.cluster_filter.clear();
+  invalidate();
+}
+
+void Session::select_clusters(std::vector<int> cluster_ids) {
+  for (int id : cluster_ids) {
+    if (!schedule_.has_cluster(id)) {
+      throw ArgumentError("unknown cluster id " + std::to_string(id));
+    }
+  }
+  style_.cluster_filter = std::move(cluster_ids);
+  invalidate();
+}
+
+void Session::select_all_clusters() {
+  style_.cluster_filter.clear();
+  invalidate();
+}
+
+void Session::set_view_mode(model::ViewMode mode) {
+  style_.view_mode = mode;
+  invalidate();
+}
+
+void Session::set_colormap(color::ColorMap colormap) {
+  original_colormap_ = std::move(colormap);
+  colormap_ = grayscale_ ? original_colormap_.grayscale() : original_colormap_;
+  invalidate();
+}
+
+void Session::set_grayscale(bool on) {
+  grayscale_ = on;
+  colormap_ = on ? original_colormap_.grayscale() : original_colormap_;
+  invalidate();
+}
+
+std::string Session::inspect(double x, double y) {
+  const auto& lay = layout();
+  const render::TaskBox* box = render::hit_test(lay, x, y);
+  if (box == nullptr) {
+    return "no task at (" + util::format_fixed(x, 0) + ", " +
+           util::format_fixed(y, 0) + ")";
+  }
+  const model::Task& t = lay.tasks[box->task_index];
+  std::string out = "task " + t.id() + ": type=" + t.type() +
+                    " start=" + util::format_fixed(t.start_time(), 3) +
+                    " end=" + util::format_fixed(t.end_time(), 3) +
+                    " resources=";
+  std::vector<std::string> parts;
+  for (const auto& cfg : t.configurations()) {
+    std::string part = "cluster " + std::to_string(cfg.cluster_id) + " hosts";
+    for (const auto& hr : cfg.hosts) {
+      part += " " + std::to_string(hr.start);
+      if (hr.nb > 1) part += "-" + std::to_string(hr.start + hr.nb - 1);
+    }
+    parts.push_back(std::move(part));
+  }
+  out += util::join(parts, "; ");
+  for (const auto& [k, v] : t.properties()) {
+    out += " " + k + "=" + v;
+  }
+  return out;
+}
+
+std::string Session::info() const {
+  const auto stats = model::compute_stats(schedule_);
+  std::string out = std::to_string(schedule_.clusters().size()) +
+                    " cluster(s), " + std::to_string(stats.task_count) +
+                    " task(s), " + std::to_string(schedule_.total_hosts()) +
+                    " host(s), makespan=" +
+                    util::format_fixed(stats.makespan, 3) + ", utilization=" +
+                    util::format_fixed(stats.utilization * 100.0, 1) + "%";
+  return out;
+}
+
+void Session::reread() {
+  if (path_.empty()) {
+    throw Error("reread: session is not bound to a file");
+  }
+  schedule_ = io::load_schedule(path_);
+  invalidate();
+}
+
+void Session::snapshot(const std::string& path) {
+  render::export_schedule(schedule_, colormap_, style_, path);
+}
+
+std::string Session::execute(const std::string& command) {
+  const auto words = util::split_ws(command);
+  if (words.empty()) return "";
+  const std::string& op = words[0];
+
+  auto need_args = [&](std::size_t n) {
+    if (words.size() != n + 1) {
+      throw ArgumentError("command '" + op + "' expects " + std::to_string(n) +
+                          " argument(s)");
+    }
+  };
+  auto as_double = [&](const std::string& s) {
+    auto v = util::parse_double(s);
+    if (!v) throw ArgumentError("'" + s + "' is not a number");
+    return *v;
+  };
+
+  if (op == "zoom") {
+    if (words.size() == 2) {
+      zoom(as_double(words[1]));
+      const auto w = current_window();
+      return "window [" + util::format_fixed(w.begin, 3) + ", " +
+             util::format_fixed(w.end, 3) + "]";
+    }
+    need_args(2);
+    zoom_to_time(as_double(words[1]), as_double(words[2]));
+    return "window [" + words[1] + ", " + words[2] + "]";
+  }
+  if (op == "pan") {
+    need_args(1);
+    pan(as_double(words[1]));
+    const auto w = current_window();
+    return "window [" + util::format_fixed(w.begin, 3) + ", " +
+           util::format_fixed(w.end, 3) + "]";
+  }
+  if (op == "reset") {
+    need_args(0);
+    reset_view();
+    return "view reset";
+  }
+  if (op == "clusters") {
+    need_args(1);
+    if (words[1] == "all") {
+      select_all_clusters();
+      return "showing all clusters";
+    }
+    std::vector<int> ids;
+    for (const auto& part : util::split(words[1], ',')) {
+      auto v = util::parse_int(part);
+      if (!v) throw ArgumentError("bad cluster id '" + part + "'");
+      ids.push_back(static_cast<int>(*v));
+    }
+    const std::size_t count = ids.size();
+    select_clusters(std::move(ids));
+    return "showing " + std::to_string(count) + " cluster(s)";
+  }
+  if (op == "types") {
+    // Task-type filter ("a user might only be interested in a certain task
+    // type", Sec. II.B).
+    need_args(1);
+    if (words[1] == "all") {
+      style_.type_filter.clear();
+      invalidate();
+      return "showing all task types";
+    }
+    style_.type_filter = util::split(words[1], ',');
+    invalidate();
+    return "showing " + std::to_string(style_.type_filter.size()) +
+           " task type(s)";
+  }
+  if (op == "mode") {
+    need_args(1);
+    if (words[1] == "scaled") {
+      set_view_mode(model::ViewMode::kScaled);
+    } else if (words[1] == "aligned") {
+      set_view_mode(model::ViewMode::kAligned);
+    } else {
+      throw ArgumentError("mode must be 'scaled' or 'aligned'");
+    }
+    return "mode " + words[1];
+  }
+  if (op == "cmap") {
+    // "Color maps can also be changed on the fly" (paper conclusions).
+    need_args(1);
+    set_colormap(io::load_colormap_xml(words[1]));
+    return "colormap " + words[1];
+  }
+  if (op == "grayscale") {
+    need_args(1);
+    if (words[1] == "on") set_grayscale(true);
+    else if (words[1] == "off") set_grayscale(false);
+    else throw ArgumentError("grayscale must be 'on' or 'off'");
+    return "grayscale " + words[1];
+  }
+  if (op == "inspect" || op == "click") {
+    need_args(2);
+    return inspect(as_double(words[1]), as_double(words[2]));
+  }
+  if (op == "info") {
+    need_args(0);
+    return info();
+  }
+  if (op == "ascii") {
+    // In-terminal view of the current zoom/selection (the stand-in for the
+    // Swing window when no display is available).
+    need_args(0);
+    render::AsciiOptions ao;
+    ao.time_window = style_.time_window;
+    ao.cluster_filter = style_.cluster_filter;
+    ao.type_filter = style_.type_filter;
+    ao.view_mode = style_.view_mode;
+    return render::render_ascii(schedule_, ao);
+  }
+  if (op == "reread") {
+    need_args(0);
+    reread();
+    return "reloaded " + path_;
+  }
+  if (op == "export") {
+    need_args(1);
+    snapshot(words[1]);
+    return "wrote " + words[1];
+  }
+  if (op == "help") {
+    return "commands: zoom <factor>|zoom <t0> <t1>, pan <dt>, reset, "
+           "clusters all|<ids>, types all|<names>, mode scaled|aligned, "
+           "grayscale on|off, cmap <file>, inspect <x> <y>, info, ascii, reread, "
+           "export <path>, help";
+  }
+  throw ArgumentError("unknown command '" + op + "' (try 'help')");
+}
+
+}  // namespace jedule::interactive

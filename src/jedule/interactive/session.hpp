@@ -1,0 +1,107 @@
+#pragma once
+
+// Headless implementation of Jedule's interactive mode (paper Sec. II.D.1).
+//
+// The Swing GUI of the original maps input events to a small set of view
+// operations: select clusters, zoom (wheel / rectangle selection), pan
+// (drag), inspect a task (click), re-read the schedule file, and export a
+// snapshot. This class implements those operations against the shared
+// layout engine; the `view` subcommand of the CLI drives it from a script
+// or stdin, and the test suite drives it directly (see DESIGN.md §2 for why
+// the event loop itself is substituted).
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "jedule/color/colormap.hpp"
+#include "jedule/model/schedule.hpp"
+#include "jedule/render/gantt.hpp"
+
+namespace jedule::interactive {
+
+class Session {
+ public:
+  /// Session over an in-memory schedule; reread() is unavailable.
+  Session(model::Schedule schedule, color::ColorMap colormap,
+          render::GanttStyle style = {});
+
+  /// Session bound to a schedule file; reread() reloads it (the paper's
+  /// fast simulate-and-look development loop).
+  Session(const std::string& path, color::ColorMap colormap,
+          render::GanttStyle style = {});
+
+  const model::Schedule& schedule() const { return schedule_; }
+  const render::GanttStyle& style() const { return style_; }
+
+  /// Current layout (recomputed lazily after every view change).
+  const render::GanttLayout& layout();
+
+  // -- view operations ------------------------------------------------
+
+  /// Wheel zoom: shrink (factor > 1) or grow (factor < 1) the time window
+  /// by `factor`, keeping the time at `center_frac` (0..1 across the panel
+  /// width) fixed.
+  void zoom(double factor, double center_frac = 0.5);
+
+  /// Rectangle-selection zoom: window = the time span between two pixel
+  /// x-coordinates. Pixels outside panels clamp to the panel edges.
+  void zoom_to_pixels(double x0, double x1);
+
+  /// Explicit window in schedule time units.
+  void zoom_to_time(double t0, double t1);
+
+  /// Drag: shift the current window by `dt` time units (positive = later).
+  void pan(double dt);
+
+  /// Drop zoom and cluster selection.
+  void reset_view();
+
+  void select_clusters(std::vector<int> cluster_ids);
+  void select_all_clusters();
+
+  void set_view_mode(model::ViewMode mode);
+  void set_colormap(color::ColorMap colormap);
+  void set_grayscale(bool on);
+
+  // -- queries ---------------------------------------------------------
+
+  /// Click-to-inspect: human-readable description (id, type, start/finish,
+  /// per-cluster resource list) of the task drawn at pixel (x, y), or
+  /// "no task at (x, y)".
+  std::string inspect(double x, double y);
+
+  /// One-line schedule summary (clusters, tasks, makespan).
+  std::string info() const;
+
+  // -- file operations --------------------------------------------------
+
+  /// Reloads the bound file, keeping the current view. Throws Error if the
+  /// session is not file-bound.
+  void reread();
+
+  /// Exports the current view (format from the extension).
+  void snapshot(const std::string& path);
+
+  /// Executes one script command and returns its textual output. Commands:
+  ///   zoom <factor> | zoom <t0> <t1> | pan <dt> | reset
+  ///   clusters all | clusters <id>[,<id>...]
+  ///   mode scaled|aligned | grayscale on|off
+  ///   inspect <x> <y> | info | reread | export <path> | help
+  /// Throws ArgumentError on unknown commands or malformed arguments.
+  std::string execute(const std::string& command);
+
+ private:
+  void invalidate() { layout_.reset(); }
+  model::TimeRange current_window() const;
+
+  model::Schedule schedule_;
+  color::ColorMap colormap_;
+  color::ColorMap original_colormap_;
+  bool grayscale_ = false;
+  render::GanttStyle style_;
+  std::string path_;  // empty when in-memory
+  std::optional<render::GanttLayout> layout_;
+};
+
+}  // namespace jedule::interactive

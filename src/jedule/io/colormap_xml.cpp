@@ -1,0 +1,114 @@
+#include "jedule/io/colormap_xml.hpp"
+
+#include "jedule/io/file.hpp"
+#include "jedule/util/error.hpp"
+#include "jedule/xml/xml.hpp"
+
+namespace jedule::io {
+
+namespace {
+
+using color::ColorMap;
+using color::CompositeRule;
+using color::TaskStyle;
+
+/// Reads the fg/bg <color> children of a <task> or <composite> element into
+/// a style; missing entries keep the defaults.
+TaskStyle parse_style(const xml::Element& e) {
+  TaskStyle style;
+  for (const auto* c : e.children_named("color")) {
+    const auto type = c->require_attr("type");
+    const auto rgb = color::parse_color(c->require_attr("rgb"));
+    if (type == "fg") {
+      style.foreground = rgb;
+    } else if (type == "bg") {
+      style.background = rgb;
+    } else {
+      throw ParseError("color type must be 'fg' or 'bg', got '" +
+                           std::string(type) + "'",
+                       c->source_line());
+    }
+  }
+  return style;
+}
+
+}  // namespace
+
+color::ColorMap read_colormap_xml(const std::string& xml_text) {
+  const xml::Document doc = xml::parse(xml_text);
+  const xml::Element& root = *doc.root;
+  if (root.name() != "cmap") {
+    throw ParseError("root element must be <cmap>, got <" + root.name() + ">",
+                     root.source_line());
+  }
+  ColorMap map;
+  if (auto name = root.attr("name")) map.set_name(std::string(*name));
+
+  for (const auto& child : root.children()) {
+    if (child->name() == "conf") {
+      map.set_config(std::string(child->require_attr("name")),
+                     std::string(child->require_attr("value")));
+    } else if (child->name() == "task") {
+      map.set_style(std::string(child->require_attr("id")),
+                    parse_style(*child));
+    } else if (child->name() == "composite") {
+      CompositeRule rule;
+      for (const auto* member : child->children_named("task")) {
+        rule.members.insert(std::string(member->require_attr("id")));
+      }
+      if (rule.members.empty()) {
+        throw ParseError("<composite> rule lists no member task types",
+                         child->source_line());
+      }
+      rule.style = parse_style(*child);
+      map.add_composite_rule(std::move(rule));
+    } else {
+      throw ParseError("unexpected element <" + child->name() +
+                           "> inside <cmap>",
+                       child->source_line());
+    }
+  }
+  return map;
+}
+
+color::ColorMap load_colormap_xml(const std::string& path) {
+  return read_colormap_xml(read_file(path));
+}
+
+std::string write_colormap_xml(const color::ColorMap& map) {
+  xml::Element root("cmap");
+  root.set_attr("name", map.name());
+  for (const auto& [k, v] : map.config()) {
+    auto& conf = root.add_child("conf");
+    conf.set_attr("name", k);
+    conf.set_attr("value", v);
+  }
+  auto add_colors = [](xml::Element& parent, const TaskStyle& style) {
+    auto& fg = parent.add_child("color");
+    fg.set_attr("type", "fg");
+    fg.set_attr("rgb", color::to_hex(style.foreground));
+    auto& bg = parent.add_child("color");
+    bg.set_attr("type", "bg");
+    bg.set_attr("rgb", color::to_hex(style.background));
+  };
+  for (const auto& [type, style] : map.styles()) {
+    auto& task = root.add_child("task");
+    task.set_attr("id", type);
+    add_colors(task, style);
+  }
+  for (const auto& rule : map.composite_rules()) {
+    auto& comp = root.add_child("composite");
+    for (const auto& member : rule.members) {
+      auto& t = comp.add_child("task");
+      t.set_attr("id", member);
+    }
+    add_colors(comp, rule.style);
+  }
+  return xml::serialize(root);
+}
+
+void save_colormap_xml(const color::ColorMap& map, const std::string& path) {
+  write_file(path, write_colormap_xml(map));
+}
+
+}  // namespace jedule::io

@@ -1,0 +1,31 @@
+#pragma once
+
+// Colormap XML format (paper Fig. 2):
+//
+//   <cmap name="standard_map">
+//     <conf name="min_fontsize_label" value="11"/>
+//     <task id="computation">
+//       <color type="fg" rgb="FFFFFF"/>
+//       <color type="bg" rgb="0000FF"/>
+//     </task>
+//     <composite>
+//       <task id="computation"/>
+//       <task id="transfer"/>
+//       <color type="fg" rgb="FFFFFF"/>
+//       <color type="bg" rgb="ff6200"/>
+//     </composite>
+//   </cmap>
+
+#include <string>
+
+#include "jedule/color/colormap.hpp"
+
+namespace jedule::io {
+
+color::ColorMap read_colormap_xml(const std::string& xml_text);
+color::ColorMap load_colormap_xml(const std::string& path);
+
+std::string write_colormap_xml(const color::ColorMap& map);
+void save_colormap_xml(const color::ColorMap& map, const std::string& path);
+
+}  // namespace jedule::io

@@ -1,0 +1,167 @@
+#include "jedule/io/csv.hpp"
+
+#include <algorithm>
+
+#include "jedule/io/file.hpp"
+#include "jedule/util/error.hpp"
+#include "jedule/util/strings.hpp"
+
+namespace jedule::io {
+
+namespace {
+
+using model::Configuration;
+using model::HostRange;
+using model::Schedule;
+using model::Task;
+
+Configuration parse_alloc(std::string_view spec, long line) {
+  const auto colon = spec.find(':');
+  if (colon == std::string_view::npos) {
+    throw ParseError("alloc '" + std::string(spec) +
+                         "' lacks the '<cluster>:' prefix",
+                     line);
+  }
+  Configuration cfg;
+  auto cluster = util::parse_int(spec.substr(0, colon));
+  if (!cluster) {
+    throw ParseError("bad cluster id in alloc '" + std::string(spec) + "'",
+                     line);
+  }
+  cfg.cluster_id = static_cast<int>(*cluster);
+  for (const auto& item : util::split(spec.substr(colon + 1), ';')) {
+    const auto dash = item.find('-');
+    if (dash == std::string::npos) {
+      auto h = util::parse_int(item);
+      if (!h) throw ParseError("bad host '" + item + "'", line);
+      cfg.hosts.push_back(HostRange{static_cast<int>(*h), 1});
+    } else {
+      auto lo = util::parse_int(std::string_view(item).substr(0, dash));
+      auto hi = util::parse_int(std::string_view(item).substr(dash + 1));
+      if (!lo || !hi || *hi < *lo) {
+        throw ParseError("bad host range '" + item + "'", line);
+      }
+      cfg.hosts.push_back(
+          HostRange{static_cast<int>(*lo), static_cast<int>(*hi - *lo + 1)});
+    }
+  }
+  if (cfg.hosts.empty()) {
+    throw ParseError("alloc '" + std::string(spec) + "' lists no hosts",
+                     line);
+  }
+  return cfg;
+}
+
+}  // namespace
+
+model::Schedule read_schedule_csv(const std::string& csv_text) {
+  Schedule schedule;
+  bool have_clusters = false;
+  bool have_header = false;
+  int max_host = -1;
+  std::vector<Task> tasks;
+
+  long line_no = 0;
+  for (const auto& raw : util::split(csv_text, '\n')) {
+    ++line_no;
+    const auto line = util::trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    const auto fields = util::split(line, ',');
+    if (line[0] == '!') {
+      if (fields[0] == "!cluster") {
+        if (fields.size() != 4) {
+          throw ParseError("!cluster needs id,name,hosts", line_no);
+        }
+        auto id = util::parse_int(fields[1]);
+        auto hosts = util::parse_int(fields[3]);
+        if (!id || !hosts) throw ParseError("bad !cluster line", line_no);
+        schedule.add_cluster(static_cast<int>(*id), fields[2],
+                             static_cast<int>(*hosts));
+        have_clusters = true;
+      } else if (fields[0] == "!meta") {
+        if (fields.size() < 3) throw ParseError("!meta needs key,value", line_no);
+        schedule.set_meta(fields[1], fields[2]);
+      } else {
+        throw ParseError("unknown directive '" + fields[0] + "'", line_no);
+      }
+      continue;
+    }
+    if (!have_header) {
+      if (fields.size() < 5 || fields[0] != "task_id") {
+        throw ParseError(
+            "expected header 'task_id,type,start,end,allocs'", line_no);
+      }
+      have_header = true;
+      continue;
+    }
+    if (fields.size() != 5) {
+      throw ParseError("expected 5 fields, got " +
+                           std::to_string(fields.size()),
+                       line_no);
+    }
+    auto start = util::parse_double(fields[2]);
+    auto end = util::parse_double(fields[3]);
+    if (!start || !end) throw ParseError("bad start/end time", line_no);
+    Task t(fields[0], fields[1], *start, *end);
+    for (const auto& alloc : util::split(fields[4], '|')) {
+      Configuration cfg = parse_alloc(alloc, line_no);
+      for (const auto& r : cfg.hosts) {
+        max_host = std::max(max_host, r.start + r.nb - 1);
+      }
+      t.add_configuration(std::move(cfg));
+    }
+    tasks.push_back(std::move(t));
+  }
+
+  if (!have_header) {
+    throw ParseError("missing 'task_id,type,start,end,allocs' header");
+  }
+  if (!have_clusters) {
+    schedule.add_cluster(0, "cluster-0", std::max(max_host + 1, 1));
+  }
+  for (auto& t : tasks) schedule.add_task(std::move(t));
+  schedule.validate();
+  return schedule;
+}
+
+model::Schedule load_schedule_csv(const std::string& path) {
+  return read_schedule_csv(read_file(path));
+}
+
+std::string write_schedule_csv(const model::Schedule& schedule) {
+  std::string out;
+  for (const auto& c : schedule.clusters()) {
+    out += "!cluster," + std::to_string(c.id) + "," + c.name + "," +
+           std::to_string(c.hosts) + "\n";
+  }
+  for (const auto& [k, v] : schedule.meta()) {
+    out += "!meta," + k + "," + v + "\n";
+  }
+  out += "task_id,type,start,end,allocs\n";
+  for (const auto& t : schedule.tasks()) {
+    out += t.id() + "," + t.type() + "," +
+           util::format_fixed(t.start_time(), 6) + "," +
+           util::format_fixed(t.end_time(), 6) + ",";
+    std::vector<std::string> allocs;
+    for (const auto& cfg : t.configurations()) {
+      std::string spec = std::to_string(cfg.cluster_id) + ":";
+      std::vector<std::string> items;
+      for (const auto& r : cfg.hosts) {
+        items.push_back(r.nb == 1 ? std::to_string(r.start)
+                                  : std::to_string(r.start) + "-" +
+                                        std::to_string(r.start + r.nb - 1));
+      }
+      spec += util::join(items, ";");
+      allocs.push_back(std::move(spec));
+    }
+    out += util::join(allocs, "|") + "\n";
+  }
+  return out;
+}
+
+void save_schedule_csv(const model::Schedule& schedule,
+                       const std::string& path) {
+  write_file(path, write_schedule_csv(schedule));
+}
+
+}  // namespace jedule::io

@@ -1,0 +1,31 @@
+#pragma once
+
+// A compact CSV schedule format, provided as the bundled example of the
+// paper's "one can extend Jedule with a different parser ... not necessarily
+// in XML" extension point.
+//
+//   !cluster,0,cluster-0,8
+//   !meta,algorithm,CPA
+//   task_id,type,start,end,allocs
+//   1,computation,0.0,0.31,0:0-7
+//   2,transfer,0.31,0.5,0:0-3;6|1:0-1
+//
+// `allocs` is a '|'-separated list of configurations; each is
+// `<cluster>:<hostspec>` where hostspec is a ';'-separated list of single
+// hosts or inclusive `a-b` ranges. If no !cluster line appears, a single
+// cluster 0 is inferred, sized to the largest host index used.
+
+#include <string>
+
+#include "jedule/model/schedule.hpp"
+
+namespace jedule::io {
+
+model::Schedule read_schedule_csv(const std::string& csv_text);
+model::Schedule load_schedule_csv(const std::string& path);
+
+std::string write_schedule_csv(const model::Schedule& schedule);
+void save_schedule_csv(const model::Schedule& schedule,
+                       const std::string& path);
+
+}  // namespace jedule::io

@@ -1,0 +1,26 @@
+#include "jedule/io/file.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "jedule/util/error.hpp"
+
+namespace jedule::io {
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw IoError("cannot open '" + path + "' for reading");
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  if (f.bad()) throw IoError("error while reading '" + path + "'");
+  return buf.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw IoError("cannot open '" + path + "' for writing");
+  f.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!f) throw IoError("error while writing '" + path + "'");
+}
+
+}  // namespace jedule::io

@@ -1,0 +1,15 @@
+#pragma once
+
+// Whole-file read/write helpers shared by the io and render exporters.
+
+#include <string>
+
+namespace jedule::io {
+
+/// Reads the entire file; throws jedule::IoError on failure.
+std::string read_file(const std::string& path);
+
+/// Writes (truncates) the entire file; throws jedule::IoError on failure.
+void write_file(const std::string& path, const std::string& content);
+
+}  // namespace jedule::io

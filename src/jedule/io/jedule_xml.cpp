@@ -1,0 +1,243 @@
+#include "jedule/io/jedule_xml.hpp"
+
+#include <cmath>
+
+#include "jedule/io/file.hpp"
+#include "jedule/util/error.hpp"
+#include "jedule/util/strings.hpp"
+#include "jedule/xml/xml.hpp"
+
+namespace jedule::io {
+
+namespace {
+
+using model::Configuration;
+using model::HostRange;
+using model::Schedule;
+using model::Task;
+
+int require_int_attr(const xml::Element& e, std::string_view name) {
+  auto v = util::parse_int(e.require_attr(name));
+  if (!v) {
+    throw ParseError("attribute '" + std::string(name) + "' of <" + e.name() +
+                         "> is not an integer",
+                     e.source_line());
+  }
+  return static_cast<int>(*v);
+}
+
+Configuration parse_configuration(const xml::Element& e) {
+  Configuration cfg;
+  bool have_cluster = false;
+  int declared_hosts = -1;
+  for (const auto* prop : e.children_named("conf_property")) {
+    const auto name = prop->require_attr("name");
+    const auto value = prop->require_attr("value");
+    if (name == "cluster_id") {
+      auto v = util::parse_int(value);
+      if (!v) throw ParseError("bad cluster_id", prop->source_line());
+      cfg.cluster_id = static_cast<int>(*v);
+      have_cluster = true;
+    } else if (name == "host_nb") {
+      auto v = util::parse_int(value);
+      if (!v) throw ParseError("bad host_nb", prop->source_line());
+      declared_hosts = static_cast<int>(*v);
+    } else {
+      throw ParseError("unknown conf_property '" + std::string(name) + "'",
+                       prop->source_line());
+    }
+  }
+  if (!have_cluster) {
+    throw ParseError("<configuration> lacks a cluster_id conf_property",
+                     e.source_line());
+  }
+  const xml::Element* lists = e.first_child("host_lists");
+  if (lists == nullptr) {
+    throw ParseError("<configuration> lacks <host_lists>", e.source_line());
+  }
+  for (const auto* hosts : lists->children_named("hosts")) {
+    HostRange r;
+    r.start = require_int_attr(*hosts, "start");
+    r.nb = require_int_attr(*hosts, "nb");
+    cfg.hosts.push_back(r);
+  }
+  if (declared_hosts >= 0 && declared_hosts != cfg.host_count()) {
+    throw ParseError(
+        "host_nb (" + std::to_string(declared_hosts) +
+            ") disagrees with the host ranges (" +
+            std::to_string(cfg.host_count()) + " hosts)",
+        e.source_line());
+  }
+  return cfg;
+}
+
+Task parse_node(const xml::Element& e) {
+  Task t;
+  bool have_id = false;
+  bool have_type = false;
+  bool have_start = false;
+  bool have_end = false;
+  double start = 0;
+  double end = 0;
+  for (const auto* prop : e.children_named("node_property")) {
+    const auto name = prop->require_attr("name");
+    const auto value = std::string(prop->require_attr("value"));
+    if (name == "id") {
+      t.set_id(value);
+      have_id = true;
+    } else if (name == "type") {
+      t.set_type(value);
+      have_type = true;
+    } else if (name == "start_time") {
+      auto v = util::parse_double(value);
+      if (!v) throw ParseError("bad start_time", prop->source_line());
+      start = *v;
+      have_start = true;
+    } else if (name == "end_time") {
+      auto v = util::parse_double(value);
+      if (!v) throw ParseError("bad end_time", prop->source_line());
+      end = *v;
+      have_end = true;
+    } else {
+      t.set_property(std::string(name), value);
+    }
+  }
+  if (!have_id || !have_type || !have_start || !have_end) {
+    throw ParseError(
+        "<node_statistics> requires id, type, start_time and end_time "
+        "node_property entries",
+        e.source_line());
+  }
+  t.set_times(start, end);
+  for (const auto* cfg : e.children_named("configuration")) {
+    t.add_configuration(parse_configuration(*cfg));
+  }
+  return t;
+}
+
+}  // namespace
+
+model::Schedule read_schedule_xml(const std::string& xml_text) {
+  const xml::Document doc = xml::parse(xml_text);
+  const xml::Element& root = *doc.root;
+  if (root.name() != "jedule") {
+    throw ParseError("root element must be <jedule>, got <" + root.name() +
+                         ">",
+                     root.source_line());
+  }
+
+  Schedule schedule;
+
+  if (const auto* meta = root.first_child("jedule_meta")) {
+    for (const auto* info : meta->children_named("meta")) {
+      schedule.set_meta(std::string(info->require_attr("name")),
+                        std::string(info->require_attr("value")));
+    }
+  }
+
+  const xml::Element* platform = root.first_child("platform");
+  if (platform == nullptr) {
+    throw ParseError("<jedule> lacks a <platform> section (at least one "
+                         "cluster is required)",
+                     root.source_line());
+  }
+  for (const auto* cluster : platform->children_named("cluster")) {
+    model::Cluster c;
+    c.id = require_int_attr(*cluster, "id");
+    if (auto name = cluster->attr("name")) {
+      c.name = std::string(*name);
+    } else {
+      c.name = "cluster-" + std::to_string(c.id);
+    }
+    c.hosts = require_int_attr(*cluster, "hosts");
+    schedule.add_cluster(std::move(c));
+  }
+
+  if (const auto* nodes = root.first_child("node_infos")) {
+    for (const auto* node : nodes->children_named("node_statistics")) {
+      schedule.add_task(parse_node(*node));
+    }
+  }
+
+  schedule.validate();
+  return schedule;
+}
+
+model::Schedule load_schedule_xml(const std::string& path) {
+  return read_schedule_xml(read_file(path));
+}
+
+namespace {
+
+/// Times are written with enough digits to round-trip a double exactly,
+/// trimmed of trailing zeros past the third decimal so simple files keep the
+/// paper's "0.310" look.
+std::string format_time(double t) {
+  std::string full = util::format_fixed(t, 3);
+  if (auto parsed = util::parse_double(full); parsed && *parsed == t) {
+    return full;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", t);
+  return buf;
+}
+
+void add_kv(xml::Element& parent, const char* element, std::string name,
+            std::string value) {
+  auto& e = parent.add_child(element);
+  e.set_attr("name", std::move(name));
+  e.set_attr("value", std::move(value));
+}
+
+}  // namespace
+
+std::string write_schedule_xml(const model::Schedule& schedule) {
+  xml::Element root("jedule");
+  root.set_attr("version", "1.0");
+
+  if (!schedule.meta().empty()) {
+    auto& meta = root.add_child("jedule_meta");
+    for (const auto& [k, v] : schedule.meta()) add_kv(meta, "meta", k, v);
+  }
+
+  auto& platform = root.add_child("platform");
+  for (const auto& c : schedule.clusters()) {
+    auto& e = platform.add_child("cluster");
+    e.set_attr("id", std::to_string(c.id));
+    e.set_attr("name", c.name);
+    e.set_attr("hosts", std::to_string(c.hosts));
+  }
+
+  auto& nodes = root.add_child("node_infos");
+  for (const auto& t : schedule.tasks()) {
+    auto& node = nodes.add_child("node_statistics");
+    add_kv(node, "node_property", "id", t.id());
+    add_kv(node, "node_property", "type", t.type());
+    add_kv(node, "node_property", "start_time", format_time(t.start_time()));
+    add_kv(node, "node_property", "end_time", format_time(t.end_time()));
+    for (const auto& [k, v] : t.properties()) {
+      add_kv(node, "node_property", k, v);
+    }
+    for (const auto& cfg : t.configurations()) {
+      auto& c = node.add_child("configuration");
+      add_kv(c, "conf_property", "cluster_id",
+             std::to_string(cfg.cluster_id));
+      add_kv(c, "conf_property", "host_nb", std::to_string(cfg.host_count()));
+      auto& lists = c.add_child("host_lists");
+      for (const auto& r : cfg.hosts) {
+        auto& h = lists.add_child("hosts");
+        h.set_attr("start", std::to_string(r.start));
+        h.set_attr("nb", std::to_string(r.nb));
+      }
+    }
+  }
+
+  return xml::serialize(root);
+}
+
+void save_schedule_xml(const model::Schedule& schedule,
+                       const std::string& path) {
+  write_file(path, write_schedule_xml(schedule));
+}
+
+}  // namespace jedule::io

@@ -1,0 +1,56 @@
+#pragma once
+
+// The default Jedule XML schedule format (paper Sec. II.C.1, Fig. 1).
+//
+// Document layout:
+//
+//   <jedule version="1.0">
+//     <jedule_meta>
+//       <meta name="mindelta" value="-2"/> ...
+//     </jedule_meta>
+//     <platform>
+//       <cluster id="0" name="cluster-0" hosts="8"/> ...
+//     </platform>
+//     <node_infos>
+//       <node_statistics>
+//         <node_property name="id" value="1"/>
+//         <node_property name="type" value="computation"/>
+//         <node_property name="start_time" value="0.000"/>
+//         <node_property name="end_time" value="0.310"/>
+//         <configuration>
+//           <conf_property name="cluster_id" value="0"/>
+//           <conf_property name="host_nb" value="8"/>
+//           <host_lists>
+//             <hosts start="0" nb="8"/>
+//           </host_lists>
+//         </configuration>
+//       </node_statistics> ...
+//     </node_infos>
+//   </jedule>
+//
+// A node may carry several <configuration> elements (e.g. a communication
+// between clusters, as the paper's Fig. 1 caption notes). node_property
+// entries beyond the four standard ones round-trip as Task properties.
+
+#include <string>
+
+#include "jedule/model/schedule.hpp"
+
+namespace jedule::io {
+
+/// Parses a schedule from Jedule XML text; validates before returning.
+model::Schedule read_schedule_xml(const std::string& xml_text);
+
+/// Reads and parses the file at `path`.
+model::Schedule load_schedule_xml(const std::string& path);
+
+/// Serializes (start/end times with millisecond precision, matching the
+/// paper's "0.310" style — full double precision is kept via an extra
+/// attribute when needed).
+std::string write_schedule_xml(const model::Schedule& schedule);
+
+/// Serializes and writes to `path`.
+void save_schedule_xml(const model::Schedule& schedule,
+                       const std::string& path);
+
+}  // namespace jedule::io

@@ -1,0 +1,112 @@
+#include "jedule/io/registry.hpp"
+
+#include "jedule/io/csv.hpp"
+#include "jedule/io/file.hpp"
+#include "jedule/io/jedule_xml.hpp"
+#include "jedule/util/error.hpp"
+#include "jedule/util/strings.hpp"
+
+namespace jedule::io {
+
+namespace {
+
+class JeduleXmlParser final : public ScheduleParser {
+ public:
+  std::string name() const override { return "jedule-xml"; }
+
+  bool sniff(const std::string& path, const std::string& head) const override {
+    if (util::ends_with(path, ".jed") || util::ends_with(path, ".jedule")) {
+      return true;
+    }
+    const auto body = util::trim(head);
+    return util::ends_with(path, ".xml") ||
+           util::starts_with(body, "<?xml") ||
+           util::starts_with(body, "<jedule");
+  }
+
+  model::Schedule parse(const std::string& content) const override {
+    return read_schedule_xml(content);
+  }
+};
+
+class CsvParser final : public ScheduleParser {
+ public:
+  std::string name() const override { return "csv"; }
+
+  bool sniff(const std::string& path, const std::string& head) const override {
+    if (util::ends_with(path, ".csv")) return true;
+    const auto body = util::trim(head);
+    return util::starts_with(body, "!cluster") ||
+           util::starts_with(body, "task_id,");
+  }
+
+  model::Schedule parse(const std::string& content) const override {
+    return read_schedule_csv(content);
+  }
+};
+
+}  // namespace
+
+ParserRegistry& ParserRegistry::instance() {
+  static ParserRegistry* registry = [] {
+    auto* r = new ParserRegistry();
+    r->register_parser(std::make_unique<JeduleXmlParser>());
+    r->register_parser(std::make_unique<CsvParser>());
+    return r;
+  }();
+  return *registry;
+}
+
+void ParserRegistry::register_parser(std::unique_ptr<ScheduleParser> parser) {
+  JED_ASSERT(parser != nullptr);
+  for (auto& p : parsers_) {
+    if (p->name() == parser->name()) {
+      p = std::move(parser);
+      return;
+    }
+  }
+  parsers_.push_back(std::move(parser));
+}
+
+const ScheduleParser* ParserRegistry::find(const std::string& name) const {
+  for (const auto& p : parsers_) {
+    if (p->name() == name) return p.get();
+  }
+  return nullptr;
+}
+
+const ScheduleParser* ParserRegistry::sniff(const std::string& path,
+                                            const std::string& head) const {
+  for (auto it = parsers_.rbegin(); it != parsers_.rend(); ++it) {
+    if ((*it)->sniff(path, head)) return it->get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> ParserRegistry::parser_names() const {
+  std::vector<std::string> names;
+  names.reserve(parsers_.size());
+  for (const auto& p : parsers_) names.push_back(p->name());
+  return names;
+}
+
+model::Schedule load_schedule(const std::string& path,
+                              const std::string& format) {
+  const std::string content = read_file(path);
+  const ParserRegistry& registry = ParserRegistry::instance();
+  const ScheduleParser* parser = nullptr;
+  if (!format.empty()) {
+    parser = registry.find(format);
+    if (parser == nullptr) {
+      throw ParseError("no parser registered for format '" + format + "'");
+    }
+  } else {
+    parser = registry.sniff(path, content.substr(0, 512));
+    if (parser == nullptr) {
+      throw ParseError("no registered parser recognizes '" + path + "'");
+    }
+  }
+  return parser->parse(content);
+}
+
+}  // namespace jedule::io

@@ -1,0 +1,65 @@
+#pragma once
+
+// Pluggable schedule parsers (paper Sec. II.C.1: "One can also extend Jedule
+// with a different parser and it is therefore possible to have different
+// input formats, not necessarily in XML").
+//
+// Parsers register with the global registry; load_schedule() picks one by
+// sniffing the file name and the first bytes of content. The Jedule-XML and
+// CSV parsers are built in; jedule::workload registers an SWF parser the
+// same way a user extension would.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "jedule/model/schedule.hpp"
+
+namespace jedule::io {
+
+class ScheduleParser {
+ public:
+  virtual ~ScheduleParser() = default;
+
+  /// Short unique format name ("jedule-xml", "csv", "swf", ...).
+  virtual std::string name() const = 0;
+
+  /// True if this parser recognizes the file. `path` is the file name and
+  /// `head` the first bytes of its content (possibly the whole file).
+  virtual bool sniff(const std::string& path, const std::string& head) const = 0;
+
+  /// Parses the whole content into a validated schedule.
+  virtual model::Schedule parse(const std::string& content) const = 0;
+};
+
+class ParserRegistry {
+ public:
+  /// The process-wide registry, pre-populated with the built-in parsers.
+  static ParserRegistry& instance();
+
+  /// Registers a parser; a parser with the same name replaces the old one.
+  void register_parser(std::unique_ptr<ScheduleParser> parser);
+
+  /// Parser by format name, or nullptr.
+  const ScheduleParser* find(const std::string& name) const;
+
+  /// First parser whose sniff() accepts the file, or nullptr. Registration
+  /// order is probe order, with later registrations probed first so user
+  /// parsers can override built-ins.
+  const ScheduleParser* sniff(const std::string& path,
+                              const std::string& head) const;
+
+  std::vector<std::string> parser_names() const;
+
+ private:
+  std::vector<std::unique_ptr<ScheduleParser>> parsers_;
+};
+
+/// Loads `path` using the registry. If `format` is nonempty it selects the
+/// parser by name; otherwise the format is sniffed. Throws ParseError when
+/// no parser accepts the file.
+model::Schedule load_schedule(const std::string& path,
+                              const std::string& format = "");
+
+}  // namespace jedule::io

@@ -1,0 +1,116 @@
+#include "jedule/io/swf.hpp"
+
+#include <algorithm>
+
+#include "jedule/io/file.hpp"
+#include "jedule/util/error.hpp"
+#include "jedule/util/strings.hpp"
+
+namespace jedule::io {
+
+int SwfTrace::max_procs() const {
+  for (const char* key : {"MaxProcs", "MaxNodes"}) {
+    auto it = header.find(key);
+    if (it != header.end()) {
+      if (auto v = util::parse_int(it->second)) return static_cast<int>(*v);
+    }
+  }
+  int m = 0;
+  for (const auto& j : jobs) m = std::max(m, j.allocated_procs);
+  return m;
+}
+
+SwfTrace read_swf(const std::string& text) {
+  SwfTrace trace;
+  long line_no = 0;
+  for (const auto& raw : util::split(text, '\n')) {
+    ++line_no;
+    const auto line = util::trim(raw);
+    if (line.empty()) continue;
+    if (line[0] == ';') {
+      // "; Key: Value" header comment.
+      auto body = util::trim(line.substr(1));
+      const auto colon = body.find(':');
+      if (colon != std::string_view::npos) {
+        const auto key = util::trim(body.substr(0, colon));
+        const auto value = util::trim(body.substr(colon + 1));
+        if (!key.empty()) {
+          trace.header[std::string(key)] = std::string(value);
+        }
+      }
+      continue;
+    }
+    const auto fields = util::split_ws(line);
+    if (fields.size() < 18) {
+      throw ParseError("SWF data line has " + std::to_string(fields.size()) +
+                           " fields, expected 18",
+                       line_no);
+    }
+    auto as_int = [&](std::size_t i) {
+      auto v = util::parse_int(fields[i]);
+      if (!v) throw ParseError("bad integer field '" + fields[i] + "'", line_no);
+      return *v;
+    };
+    auto as_double = [&](std::size_t i) {
+      auto v = util::parse_double(fields[i]);
+      if (!v) throw ParseError("bad numeric field '" + fields[i] + "'", line_no);
+      return *v;
+    };
+    SwfJob j;
+    j.job_id = as_int(0);
+    j.submit_time = as_double(1);
+    j.wait_time = as_double(2);
+    j.run_time = as_double(3);
+    j.allocated_procs = static_cast<int>(as_int(4));
+    j.avg_cpu_time = as_double(5);
+    j.used_memory = as_double(6);
+    j.requested_procs = static_cast<int>(as_int(7));
+    j.requested_time = as_double(8);
+    j.requested_memory = as_double(9);
+    j.status = static_cast<int>(as_int(10));
+    j.user_id = static_cast<int>(as_int(11));
+    j.group_id = static_cast<int>(as_int(12));
+    j.executable = static_cast<int>(as_int(13));
+    j.queue = static_cast<int>(as_int(14));
+    j.partition = static_cast<int>(as_int(15));
+    j.preceding_job = as_int(16);
+    j.think_time = as_double(17);
+    trace.jobs.push_back(j);
+  }
+  return trace;
+}
+
+SwfTrace load_swf(const std::string& path) { return read_swf(read_file(path)); }
+
+std::string write_swf(const SwfTrace& trace) {
+  std::string out;
+  for (const auto& [k, v] : trace.header) {
+    out += "; " + k + ": " + v + "\n";
+  }
+  auto num = [](double v) {
+    // SWF stores integral values without decimals; keep that convention.
+    if (v == static_cast<long long>(v)) {
+      return std::to_string(static_cast<long long>(v));
+    }
+    return util::format_fixed(v, 2);
+  };
+  for (const auto& j : trace.jobs) {
+    out += std::to_string(j.job_id) + " " + num(j.submit_time) + " " +
+           num(j.wait_time) + " " + num(j.run_time) + " " +
+           std::to_string(j.allocated_procs) + " " + num(j.avg_cpu_time) +
+           " " + num(j.used_memory) + " " + std::to_string(j.requested_procs) +
+           " " + num(j.requested_time) + " " + num(j.requested_memory) + " " +
+           std::to_string(j.status) + " " + std::to_string(j.user_id) + " " +
+           std::to_string(j.group_id) + " " + std::to_string(j.executable) +
+           " " + std::to_string(j.queue) + " " + std::to_string(j.partition) +
+           " " + std::to_string(j.preceding_job) + " " + num(j.think_time) +
+           "\n";
+  }
+  return out;
+}
+
+void save_swf(const SwfTrace& trace, const std::string& path) {
+  write_file(path, write_swf(trace));
+}
+
+}  // namespace jedule::io

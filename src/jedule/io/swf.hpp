@@ -1,0 +1,56 @@
+#pragma once
+
+// Standard Workload Format (SWF) parser/writer — the format of the Parallel
+// Workloads Archive traces the paper's Sec. VII case study visualizes
+// (LLNL-Thunder-2007). See Feitelson's PWA documentation for field meanings.
+//
+// A data line has 18 whitespace-separated fields; '-1' means "unknown".
+// Header lines start with ';' and carry 'Key: Value' metadata.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace jedule::io {
+
+struct SwfJob {
+  std::int64_t job_id = -1;
+  double submit_time = -1;  // seconds since trace start
+  double wait_time = -1;    // seconds in queue
+  double run_time = -1;     // seconds of execution
+  int allocated_procs = -1;
+  double avg_cpu_time = -1;
+  double used_memory = -1;
+  int requested_procs = -1;
+  double requested_time = -1;
+  double requested_memory = -1;
+  int status = -1;  // 1 = completed normally
+  int user_id = -1;
+  int group_id = -1;
+  int executable = -1;
+  int queue = -1;
+  int partition = -1;
+  std::int64_t preceding_job = -1;
+  double think_time = -1;
+
+  double start_time() const { return submit_time + wait_time; }
+  double end_time() const { return start_time() + run_time; }
+};
+
+struct SwfTrace {
+  /// Header metadata ("MaxNodes", "MaxProcs", "UnixStartTime", ...).
+  std::map<std::string, std::string> header;
+  std::vector<SwfJob> jobs;
+
+  /// MaxProcs header if present, else MaxNodes, else the max over jobs.
+  int max_procs() const;
+};
+
+SwfTrace read_swf(const std::string& text);
+SwfTrace load_swf(const std::string& path);
+
+std::string write_swf(const SwfTrace& trace);
+void save_swf(const SwfTrace& trace, const std::string& path);
+
+}  // namespace jedule::io

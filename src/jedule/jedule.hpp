@@ -1,0 +1,46 @@
+#pragma once
+
+// Umbrella header: the public API of the jedule schedule-visualization
+// library and its substrates. Include selectively in production code; this
+// header is a convenience for examples and quick starts.
+
+// Core data model.
+#include "jedule/model/builder.hpp"
+#include "jedule/model/composite.hpp"
+#include "jedule/model/schedule.hpp"
+#include "jedule/model/stats.hpp"
+
+// Colors and colormaps.
+#include "jedule/color/color.hpp"
+#include "jedule/color/colormap.hpp"
+
+// Input/output formats.
+#include "jedule/io/colormap_xml.hpp"
+#include "jedule/io/csv.hpp"
+#include "jedule/io/jedule_xml.hpp"
+#include "jedule/io/registry.hpp"
+#include "jedule/io/swf.hpp"
+
+// Rendering and export.
+#include "jedule/render/ascii.hpp"
+#include "jedule/render/export.hpp"
+#include "jedule/render/gantt.hpp"
+#include "jedule/render/profile.hpp"
+
+// Interactive mode.
+#include "jedule/interactive/session.hpp"
+
+// Schedule-producing substrates (case studies).
+#include "jedule/dag/dag.hpp"
+#include "jedule/dag/dot.hpp"
+#include "jedule/dag/generators.hpp"
+#include "jedule/dag/montage.hpp"
+#include "jedule/platform/platform.hpp"
+#include "jedule/sched/cra.hpp"
+#include "jedule/sched/heft.hpp"
+#include "jedule/sched/mtask.hpp"
+#include "jedule/sim/dag_execution.hpp"
+#include "jedule/taskpool/log_schedule.hpp"
+#include "jedule/taskpool/quicksort.hpp"
+#include "jedule/workload/thunder.hpp"
+#include "jedule/workload/trace_schedule.hpp"

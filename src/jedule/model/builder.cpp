@@ -1,0 +1,75 @@
+#include "jedule/model/builder.hpp"
+
+#include <algorithm>
+
+#include "jedule/util/error.hpp"
+
+namespace jedule::model {
+
+ScheduleBuilder& ScheduleBuilder::cluster(int id, std::string name,
+                                          int hosts) {
+  schedule_.add_cluster(id, std::move(name), hosts);
+  return *this;
+}
+
+ScheduleBuilder& ScheduleBuilder::meta(std::string key, std::string value) {
+  schedule_.set_meta(std::move(key), std::move(value));
+  return *this;
+}
+
+ScheduleBuilder& ScheduleBuilder::task(std::string id, std::string type,
+                                       Time start, Time end) {
+  flush_task();
+  pending_ = Task(std::move(id), std::move(type), start, end);
+  has_pending_ = true;
+  return *this;
+}
+
+ScheduleBuilder& ScheduleBuilder::on(int cluster_id, int first_host,
+                                     int host_count) {
+  if (!has_pending_) throw ArgumentError("on() called before task()");
+  pending_.allocate(cluster_id, first_host, host_count);
+  return *this;
+}
+
+ScheduleBuilder& ScheduleBuilder::hosts(int cluster_id,
+                                        const std::vector<int>& host_list) {
+  if (!has_pending_) throw ArgumentError("hosts() called before task()");
+  if (host_list.empty()) throw ArgumentError("hosts() with an empty list");
+  std::vector<int> sorted = host_list;
+  std::sort(sorted.begin(), sorted.end());
+  Configuration cfg;
+  cfg.cluster_id = cluster_id;
+  for (int h : sorted) {
+    if (!cfg.hosts.empty() &&
+        cfg.hosts.back().start + cfg.hosts.back().nb == h) {
+      ++cfg.hosts.back().nb;
+    } else {
+      cfg.hosts.push_back(HostRange{h, 1});
+    }
+  }
+  pending_.add_configuration(std::move(cfg));
+  return *this;
+}
+
+ScheduleBuilder& ScheduleBuilder::property(std::string key,
+                                           std::string value) {
+  if (!has_pending_) throw ArgumentError("property() called before task()");
+  pending_.set_property(std::move(key), std::move(value));
+  return *this;
+}
+
+Schedule ScheduleBuilder::build() {
+  flush_task();
+  schedule_.validate();
+  return std::move(schedule_);
+}
+
+void ScheduleBuilder::flush_task() {
+  if (has_pending_) {
+    schedule_.add_task(std::move(pending_));
+    has_pending_ = false;
+  }
+}
+
+}  // namespace jedule::model

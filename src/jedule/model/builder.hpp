@@ -1,0 +1,49 @@
+#pragma once
+
+// Fluent construction helper for schedules, used by examples and tests:
+//
+//   Schedule s = ScheduleBuilder()
+//       .cluster(0, "cluster-0", 8)
+//       .meta("algorithm", "CPA")
+//       .task("1", "computation", 0.0, 0.31).on(0, /*first=*/0, /*count=*/8)
+//       .task("2", "transfer", 0.31, 0.5).on(0, 0, 4).hosts(0, {6, 7})
+//       .build();
+
+#include <string>
+#include <vector>
+
+#include "jedule/model/schedule.hpp"
+
+namespace jedule::model {
+
+class ScheduleBuilder {
+ public:
+  ScheduleBuilder& cluster(int id, std::string name, int hosts);
+
+  ScheduleBuilder& meta(std::string key, std::string value);
+
+  /// Starts a new task; subsequent on()/hosts()/property() calls apply to it.
+  ScheduleBuilder& task(std::string id, std::string type, Time start,
+                        Time end);
+
+  /// Adds a contiguous allocation [first, first+count) on `cluster_id`.
+  ScheduleBuilder& on(int cluster_id, int first_host, int host_count);
+
+  /// Adds a scattered allocation: one configuration with one single-host
+  /// range per listed host (non-contiguous layout, paper Sec. II.A).
+  ScheduleBuilder& hosts(int cluster_id, const std::vector<int>& host_list);
+
+  ScheduleBuilder& property(std::string key, std::string value);
+
+  /// Validates and returns the schedule; throws ValidationError on problems.
+  Schedule build();
+
+ private:
+  void flush_task();
+
+  Schedule schedule_;
+  Task pending_;
+  bool has_pending_ = false;
+};
+
+}  // namespace jedule::model

@@ -1,0 +1,177 @@
+#include "jedule/model/composite.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "jedule/util/error.hpp"
+#include "jedule/util/strings.hpp"
+
+namespace jedule::model {
+
+namespace {
+
+struct Interval {
+  std::size_t task_index;
+  Time begin;
+  Time end;
+};
+
+// Key identifying one composite rectangle group within a cluster: same
+// member set and same time interval; hosts are merged below.
+struct GroupKey {
+  int cluster_id;
+  Time begin;
+  Time end;
+  std::vector<std::size_t> members;  // sorted task indices
+
+  bool operator<(const GroupKey& o) const {
+    return std::tie(cluster_id, begin, end, members) <
+           std::tie(o.cluster_id, o.begin, o.end, o.members);
+  }
+};
+
+std::vector<HostRange> compress_hosts(std::vector<int> hosts) {
+  std::sort(hosts.begin(), hosts.end());
+  std::vector<HostRange> ranges;
+  for (int h : hosts) {
+    if (!ranges.empty() &&
+        ranges.back().start + ranges.back().nb == h) {
+      ++ranges.back().nb;
+    } else {
+      ranges.push_back(HostRange{h, 1});
+    }
+  }
+  return ranges;
+}
+
+}  // namespace
+
+std::vector<Composite> synthesize_composites(
+    const Schedule& schedule,
+    const std::function<bool(const Task&)>& include_task) {
+  const auto& tasks = schedule.tasks();
+
+  // Per (cluster, host) interval lists. Host key: cluster-local index; we
+  // keep a per-cluster map to avoid allocating total_hosts vectors when the
+  // schedule is sparse (e.g. a 1024-node day trace).
+  std::map<std::pair<int, int>, std::vector<Interval>> per_resource;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const Task& t = tasks[i];
+    if (include_task && !include_task(t)) continue;
+    if (!(t.end_time() > t.start_time())) continue;  // zero area
+    for (const auto& cfg : t.configurations()) {
+      for (const auto& range : cfg.hosts) {
+        for (int h = range.start; h < range.start + range.nb; ++h) {
+          per_resource[{cfg.cluster_id, h}].push_back(
+              Interval{i, t.start_time(), t.end_time()});
+        }
+      }
+    }
+  }
+
+  // Per resource: sweep the intervals, emitting (members, t0, t1) segments
+  // where >= 2 tasks are simultaneously active; accumulate hosts per group.
+  std::map<GroupKey, std::vector<int>> groups;
+  for (auto& [resource, intervals] : per_resource) {
+    if (intervals.size() < 2) continue;
+
+    struct Event {
+      Time time;
+      bool is_start;
+      std::size_t task_index;
+    };
+    std::vector<Event> events;
+    events.reserve(intervals.size() * 2);
+    for (const auto& iv : intervals) {
+      events.push_back(Event{iv.begin, true, iv.task_index});
+      events.push_back(Event{iv.end, false, iv.task_index});
+    }
+    // Ends sort before starts at equal times, so half-open touching
+    // intervals never co-occur.
+    std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+      if (a.time != b.time) return a.time < b.time;
+      if (a.is_start != b.is_start) return !a.is_start;
+      return a.task_index < b.task_index;
+    });
+
+    std::vector<std::size_t> active;  // kept sorted
+    std::size_t e = 0;
+    Time prev_time = 0;
+    bool have_prev = false;
+    while (e < events.size()) {
+      const Time now = events[e].time;
+      if (have_prev && active.size() >= 2 && now > prev_time) {
+        GroupKey key{resource.first, prev_time, now, active};
+        groups[key].push_back(resource.second);
+      }
+      while (e < events.size() && events[e].time == now) {
+        if (events[e].is_start) {
+          active.insert(
+              std::lower_bound(active.begin(), active.end(),
+                               events[e].task_index),
+              events[e].task_index);
+        } else {
+          auto it = std::lower_bound(active.begin(), active.end(),
+                                     events[e].task_index);
+          JED_ASSERT(it != active.end() && *it == events[e].task_index);
+          active.erase(it);
+        }
+        ++e;
+      }
+      prev_time = now;
+      have_prev = true;
+    }
+  }
+
+  // Materialize one composite task per group.
+  std::vector<Composite> out;
+  out.reserve(groups.size());
+  for (auto& [key, hosts] : groups) {
+    Composite comp;
+    std::vector<std::string> ids;
+    for (std::size_t idx : key.members) {
+      ids.push_back(tasks[idx].id());
+      comp.member_types.insert(tasks[idx].type());
+    }
+    comp.member_ids = ids;
+    comp.task.set_id(util::join(ids, "+"));
+    comp.task.set_type("composite");
+    comp.task.set_times(key.begin, key.end);
+    Configuration cfg;
+    cfg.cluster_id = key.cluster_id;
+    cfg.hosts = compress_hosts(std::move(hosts));
+    comp.task.add_configuration(std::move(cfg));
+    out.push_back(std::move(comp));
+  }
+  return out;
+}
+
+bool has_resource_conflicts(
+    const Schedule& schedule,
+    const std::function<bool(const Task&)>& include_task) {
+  return !synthesize_composites(schedule, include_task).empty();
+}
+
+Schedule with_composites(const Schedule& schedule) {
+  Schedule out = schedule;
+  auto composites = synthesize_composites(schedule);
+  // Composite ids are concatenations of member ids; when the same member set
+  // overlaps in several disjoint rectangles the id would repeat, so a
+  // disambiguating suffix keeps task ids unique (validate() requires it).
+  std::map<std::string, int> seen;
+  for (auto& comp : composites) {
+    Task t = std::move(comp.task);
+    int& n = seen[t.id()];
+    if (n > 0) t.set_id(t.id() + "#" + std::to_string(n));
+    ++n;
+    t.set_property("members", util::join(comp.member_ids, ","));
+    std::vector<std::string> types(comp.member_types.begin(),
+                                   comp.member_types.end());
+    t.set_property("member_types", util::join(types, ","));
+    out.add_task(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace jedule::model

@@ -1,0 +1,49 @@
+#pragma once
+
+// Composite-task synthesis (paper Sec. II.C.3, Fig. 3).
+//
+// When several tasks share a resource for some time, Jedule introduces a
+// *composite task* covering exactly the shared region: its identifier is the
+// concatenation of the member identifiers and its type is "composite".
+//
+// The sweep below finds, per resource, the maximal time intervals covered by
+// two or more tasks with a constant member set, then merges equal
+// (member-set, interval) segments of adjacent hosts of the same cluster into
+// host ranges, yielding one composite task per maximal rectangle group.
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "jedule/model/schedule.hpp"
+
+namespace jedule::model {
+
+struct Composite {
+  Task task;                            // id, "composite" type, time, hosts
+  std::vector<std::string> member_ids;  // sorted by schedule order
+  std::set<std::string> member_types;   // distinct member types (for colors)
+};
+
+/// Synthesizes all composite tasks of `schedule`. Intervals are half-open:
+/// a task ending exactly when another starts does not overlap it.
+/// `include_task` filters which tasks participate (default: all); the
+/// schedulers use it to e.g. ignore communication when checking compute
+/// exclusivity.
+std::vector<Composite> synthesize_composites(
+    const Schedule& schedule,
+    const std::function<bool(const Task&)>& include_task = nullptr);
+
+/// True if two `include_task`-selected tasks ever share a resource. A
+/// feasible single-occupancy schedule (DESIGN.md §6.5) has no conflicts.
+bool has_resource_conflicts(
+    const Schedule& schedule,
+    const std::function<bool(const Task&)>& include_task = nullptr);
+
+/// Copy of `schedule` with every composite appended as a task; each carries
+/// properties "members" (comma-joined member ids) and "member_types"
+/// (comma-joined distinct member types) so exports keep the information.
+Schedule with_composites(const Schedule& schedule);
+
+}  // namespace jedule::model

@@ -1,0 +1,238 @@
+#include "jedule/model/schedule.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "jedule/util/error.hpp"
+
+namespace jedule::model {
+
+int Configuration::host_count() const {
+  int n = 0;
+  for (const auto& r : hosts) n += r.nb;
+  return n;
+}
+
+std::vector<int> Configuration::host_list() const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(host_count()));
+  for (const auto& r : hosts) {
+    for (int h = r.start; h < r.start + r.nb; ++h) out.push_back(h);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Task::allocate(int cluster_id, int first_host, int host_count) {
+  Configuration c;
+  c.cluster_id = cluster_id;
+  c.hosts.push_back(HostRange{first_host, host_count});
+  configs_.push_back(std::move(c));
+}
+
+int Task::total_hosts() const {
+  int n = 0;
+  for (const auto& c : configs_) n += c.host_count();
+  return n;
+}
+
+void Task::set_property(std::string key, std::string value) {
+  for (auto& [k, v] : properties_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  properties_.emplace_back(std::move(key), std::move(value));
+}
+
+std::optional<std::string_view> Task::property(std::string_view key) const {
+  for (const auto& [k, v] : properties_) {
+    if (k == key) return std::string_view(v);
+  }
+  return std::nullopt;
+}
+
+std::size_t Schedule::add_cluster(Cluster c) {
+  if (cluster_index_.count(c.id) != 0) {
+    throw ValidationError("duplicate cluster id " + std::to_string(c.id));
+  }
+  if (c.hosts <= 0) {
+    throw ValidationError("cluster " + std::to_string(c.id) +
+                          " must have a positive host count");
+  }
+  const std::size_t index = clusters_.size();
+  cluster_index_[c.id] = index;
+  clusters_.push_back(std::move(c));
+  return index;
+}
+
+std::size_t Schedule::add_cluster(int id, std::string name, int hosts) {
+  return add_cluster(Cluster{id, std::move(name), hosts});
+}
+
+const Cluster& Schedule::cluster_by_id(int id) const {
+  auto it = cluster_index_.find(id);
+  if (it == cluster_index_.end()) {
+    throw ValidationError("unknown cluster id " + std::to_string(id));
+  }
+  return clusters_[it->second];
+}
+
+bool Schedule::has_cluster(int id) const {
+  return cluster_index_.count(id) != 0;
+}
+
+int Schedule::total_hosts() const {
+  int n = 0;
+  for (const auto& c : clusters_) n += c.hosts;
+  return n;
+}
+
+int Schedule::global_resource_index(int cluster_id, int host) const {
+  int offset = 0;
+  for (const auto& c : clusters_) {
+    if (c.id == cluster_id) {
+      JED_ASSERT(host >= 0 && host < c.hosts);
+      return offset + host;
+    }
+    offset += c.hosts;
+  }
+  throw ValidationError("unknown cluster id " + std::to_string(cluster_id));
+}
+
+const Task* Schedule::find_task(std::string_view id) const {
+  for (const auto& t : tasks_) {
+    if (t.id() == id) return &t;
+  }
+  return nullptr;
+}
+
+void Schedule::set_meta(std::string key, std::string value) {
+  for (auto& [k, v] : meta_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  meta_.emplace_back(std::move(key), std::move(value));
+}
+
+std::optional<std::string_view> Schedule::meta_value(
+    std::string_view key) const {
+  for (const auto& [k, v] : meta_) {
+    if (k == key) return std::string_view(v);
+  }
+  return std::nullopt;
+}
+
+std::optional<TimeRange> Schedule::time_range() const {
+  if (tasks_.empty()) return std::nullopt;
+  TimeRange r{tasks_.front().start_time(), tasks_.front().end_time()};
+  for (const auto& t : tasks_) {
+    r.begin = std::min(r.begin, t.start_time());
+    r.end = std::max(r.end, t.end_time());
+  }
+  return r;
+}
+
+std::optional<TimeRange> Schedule::cluster_time_range(int cluster_id) const {
+  std::optional<TimeRange> r;
+  for (const auto& t : tasks_) {
+    bool in_cluster = false;
+    for (const auto& c : t.configurations()) {
+      if (c.cluster_id == cluster_id) {
+        in_cluster = true;
+        break;
+      }
+    }
+    if (!in_cluster) continue;
+    if (!r) {
+      r = TimeRange{t.start_time(), t.end_time()};
+    } else {
+      r->begin = std::min(r->begin, t.start_time());
+      r->end = std::max(r->end, t.end_time());
+    }
+  }
+  return r;
+}
+
+std::optional<TimeRange> Schedule::view_time_range(int cluster_id,
+                                                   ViewMode mode) const {
+  if (mode == ViewMode::kAligned) return time_range();
+  auto local = cluster_time_range(cluster_id);
+  return local ? local : time_range();
+}
+
+std::vector<const Task*> Schedule::tasks_in_cluster(int cluster_id) const {
+  std::vector<const Task*> out;
+  for (const auto& t : tasks_) {
+    for (const auto& c : t.configurations()) {
+      if (c.cluster_id == cluster_id) {
+        out.push_back(&t);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void Schedule::validate() const {
+  if (clusters_.empty()) {
+    throw ValidationError("a schedule requires at least one cluster");
+  }
+  std::set<std::string_view> seen_ids;
+  for (const auto& t : tasks_) {
+    if (t.id().empty()) {
+      throw ValidationError("task with empty id");
+    }
+    if (!seen_ids.insert(t.id()).second) {
+      throw ValidationError("duplicate task id '" + t.id() + "'");
+    }
+    if (!(t.end_time() >= t.start_time())) {
+      throw ValidationError("task '" + t.id() + "' has end_time " +
+                            std::to_string(t.end_time()) +
+                            " before start_time " +
+                            std::to_string(t.start_time()));
+    }
+    if (t.configurations().empty()) {
+      throw ValidationError("task '" + t.id() + "' has no configuration");
+    }
+    for (const auto& cfg : t.configurations()) {
+      if (!has_cluster(cfg.cluster_id)) {
+        throw ValidationError("task '" + t.id() +
+                              "' references unknown cluster " +
+                              std::to_string(cfg.cluster_id));
+      }
+      const Cluster& cluster = cluster_by_id(cfg.cluster_id);
+      if (cfg.hosts.empty()) {
+        throw ValidationError("task '" + t.id() +
+                              "' has a configuration without hosts");
+      }
+      std::set<int> used;
+      for (const auto& range : cfg.hosts) {
+        if (range.nb <= 0) {
+          throw ValidationError("task '" + t.id() +
+                                "' has a host range with nb <= 0");
+        }
+        if (range.start < 0 || range.start + range.nb > cluster.hosts) {
+          throw ValidationError(
+              "task '" + t.id() + "' host range [" +
+              std::to_string(range.start) + ", " +
+              std::to_string(range.start + range.nb) +
+              ") exceeds cluster " + std::to_string(cluster.id) + " size " +
+              std::to_string(cluster.hosts));
+        }
+        for (int h = range.start; h < range.start + range.nb; ++h) {
+          if (!used.insert(h).second) {
+            throw ValidationError("task '" + t.id() + "' lists host " +
+                                  std::to_string(h) + " of cluster " +
+                                  std::to_string(cluster.id) + " twice");
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace jedule::model

@@ -1,0 +1,145 @@
+#include "jedule/model/stats.hpp"
+
+#include <algorithm>
+
+#include "jedule/util/error.hpp"
+
+namespace jedule::model {
+
+namespace {
+
+bool type_selected(const Task& t, const std::vector<std::string>& filter) {
+  if (filter.empty()) return true;
+  return std::find(filter.begin(), filter.end(), t.type()) != filter.end();
+}
+
+/// Total length of the union of half-open intervals.
+double union_length(std::vector<std::pair<Time, Time>>& iv) {
+  std::sort(iv.begin(), iv.end());
+  double total = 0;
+  Time cur_begin = 0;
+  Time cur_end = 0;
+  bool open = false;
+  for (const auto& [b, e] : iv) {
+    if (e <= b) continue;
+    if (!open || b > cur_end) {
+      if (open) total += cur_end - cur_begin;
+      cur_begin = b;
+      cur_end = e;
+      open = true;
+    } else {
+      cur_end = std::max(cur_end, e);
+    }
+  }
+  if (open) total += cur_end - cur_begin;
+  return total;
+}
+
+}  // namespace
+
+ScheduleStats compute_stats(const Schedule& schedule,
+                            const std::vector<std::string>& type_filter) {
+  ScheduleStats s;
+  const int hosts = schedule.total_hosts();
+  s.busy_by_resource.assign(static_cast<std::size_t>(hosts), 0.0);
+
+  std::vector<std::vector<std::pair<Time, Time>>> per_resource(
+      static_cast<std::size_t>(hosts));
+
+  bool any = false;
+  for (const auto& t : schedule.tasks()) {
+    if (!type_selected(t, type_filter)) continue;
+    ++s.task_count;
+    if (!any) {
+      s.begin = t.start_time();
+      s.end = t.end_time();
+      any = true;
+    } else {
+      s.begin = std::min(s.begin, t.start_time());
+      s.end = std::max(s.end, t.end_time());
+    }
+    const double area = t.duration() * t.total_hosts();
+    s.busy_area += area;
+    s.area_by_type[t.type()] += area;
+    for (const auto& cfg : t.configurations()) {
+      for (const auto& range : cfg.hosts) {
+        for (int h = range.start; h < range.start + range.nb; ++h) {
+          const int g = schedule.global_resource_index(cfg.cluster_id, h);
+          per_resource[static_cast<std::size_t>(g)].emplace_back(
+              t.start_time(), t.end_time());
+        }
+      }
+    }
+  }
+
+  for (std::size_t g = 0; g < per_resource.size(); ++g) {
+    s.busy_by_resource[g] = union_length(per_resource[g]);
+    s.covered_time += s.busy_by_resource[g];
+  }
+
+  s.makespan = any ? s.end - s.begin : 0.0;
+  const double capacity = s.makespan * hosts;
+  s.idle_time = capacity - s.covered_time;
+  s.utilization = capacity > 0 ? s.covered_time / capacity : 0.0;
+  return s;
+}
+
+std::vector<int> concurrency_profile(
+    const Schedule& schedule, int samples,
+    const std::vector<std::string>& type_filter) {
+  JED_ASSERT(samples > 0);
+  std::vector<int> profile(static_cast<std::size_t>(samples), 0);
+  auto range = schedule.time_range();
+  if (!range || range->length() <= 0) return profile;
+
+  // Busy resource count at the *midpoint* of each sample bucket, computed
+  // via a sweep over per-resource busy indicators.
+  const int hosts = schedule.total_hosts();
+  std::vector<std::vector<std::pair<Time, Time>>> per_resource(
+      static_cast<std::size_t>(hosts));
+  for (const auto& t : schedule.tasks()) {
+    if (!type_selected(t, type_filter)) continue;
+    for (const auto& cfg : t.configurations()) {
+      for (const auto& r : cfg.hosts) {
+        for (int h = r.start; h < r.start + r.nb; ++h) {
+          const int g = schedule.global_resource_index(cfg.cluster_id, h);
+          per_resource[static_cast<std::size_t>(g)].emplace_back(
+              t.start_time(), t.end_time());
+        }
+      }
+    }
+  }
+  for (auto& iv : per_resource) std::sort(iv.begin(), iv.end());
+
+  for (int i = 0; i < samples; ++i) {
+    const Time t = range->begin +
+                   range->length() * (static_cast<double>(i) + 0.5) /
+                       static_cast<double>(samples);
+    int busy = 0;
+    for (const auto& iv : per_resource) {
+      for (const auto& [b, e] : iv) {
+        if (b > t) break;
+        if (t < e) {
+          ++busy;
+          break;
+        }
+      }
+    }
+    profile[static_cast<std::size_t>(i)] = busy;
+  }
+  return profile;
+}
+
+double fraction_of_time_with_busy(
+    const Schedule& schedule, int k,
+    const std::vector<std::string>& type_filter) {
+  constexpr int kSamples = 2048;
+  const auto profile = concurrency_profile(schedule, kSamples, type_filter);
+  long hits = 0;
+  for (int busy : profile) {
+    if (busy == k) ++hits;
+  }
+  return static_cast<double>(hits) / kSamples;
+}
+
+}  // namespace jedule::model

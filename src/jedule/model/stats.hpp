@@ -1,0 +1,58 @@
+#pragma once
+
+// Schedule statistics: the quantitative side of the "sanity checks" the
+// paper's case studies perform visually (idle holes in Fig. 4, underused
+// processors in Fig. 5, single-busy-thread phases in Fig. 12).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "jedule/model/schedule.hpp"
+
+namespace jedule::model {
+
+struct ScheduleStats {
+  std::size_t task_count = 0;
+  Time begin = 0;
+  Time end = 0;
+  Time makespan = 0;  // end - begin
+
+  /// Sum over tasks of duration * allocated hosts ("area"; counts
+  /// double-booked time twice).
+  double busy_area = 0;
+
+  /// Sum over resources of the *union* of busy intervals (double-booked
+  /// time counted once).
+  double covered_time = 0;
+
+  /// total_hosts * makespan - covered_time.
+  double idle_time = 0;
+
+  /// covered_time / (total_hosts * makespan); 0 for an empty schedule.
+  double utilization = 0;
+
+  /// Busy area per task type.
+  std::map<std::string, double> area_by_type;
+
+  /// Union-of-intervals busy time per global resource index.
+  std::vector<double> busy_by_resource;
+};
+
+/// Computes the statistics over tasks selected by `type_filter` (empty
+/// filter = all types).
+ScheduleStats compute_stats(const Schedule& schedule,
+                            const std::vector<std::string>& type_filter = {});
+
+/// Utilization profile: number of busy resources as a step function of time,
+/// sampled at `samples` uniform points of the schedule's span. Used by the
+/// Quicksort case study to assert "only one processor busy for ~half the
+/// time" (Fig. 12).
+std::vector<int> concurrency_profile(const Schedule& schedule, int samples,
+                                     const std::vector<std::string>& type_filter = {});
+
+/// Fraction of the makespan during which exactly `k` resources are busy.
+double fraction_of_time_with_busy(const Schedule& schedule, int k,
+                                  const std::vector<std::string>& type_filter = {});
+
+}  // namespace jedule::model

@@ -1,0 +1,158 @@
+#include "jedule/platform/platform.hpp"
+
+#include <algorithm>
+
+#include "jedule/util/error.hpp"
+#include "jedule/util/strings.hpp"
+
+namespace jedule::platform {
+
+void Platform::add_cluster(ClusterSpec cluster) {
+  if (cluster.hosts <= 0) {
+    throw ValidationError("cluster must have a positive host count");
+  }
+  if (cluster.host_speed <= 0) {
+    throw ValidationError("cluster host speed must be positive");
+  }
+  for (const auto& c : clusters_) {
+    if (c.id == cluster.id) {
+      throw ValidationError("duplicate cluster id " +
+                            std::to_string(cluster.id));
+    }
+  }
+  first_host_.push_back(total_hosts());
+  clusters_.push_back(std::move(cluster));
+}
+
+int Platform::total_hosts() const {
+  int n = 0;
+  for (const auto& c : clusters_) n += c.hosts;
+  return n;
+}
+
+int Platform::cluster_of(int host) const {
+  JED_ASSERT(host >= 0 && host < total_hosts());
+  for (std::size_t i = clusters_.size(); i-- > 0;) {
+    if (host >= first_host_[i]) return clusters_[i].id;
+  }
+  throw ValidationError("host out of range");
+}
+
+const ClusterSpec& Platform::cluster(int id) const {
+  for (const auto& c : clusters_) {
+    if (c.id == id) return c;
+  }
+  throw ValidationError("unknown cluster id " + std::to_string(id));
+}
+
+int Platform::local_index(int host) const {
+  const int cid = cluster_of(host);
+  return host - first_host(cid);
+}
+
+int Platform::first_host(int id) const {
+  for (std::size_t i = 0; i < clusters_.size(); ++i) {
+    if (clusters_[i].id == id) return first_host_[i];
+  }
+  throw ValidationError("unknown cluster id " + std::to_string(id));
+}
+
+double Platform::host_speed(int host) const {
+  return cluster(cluster_of(host)).host_speed;
+}
+
+double Platform::comm_time(int src, int dst, double mb) const {
+  JED_ASSERT(mb >= 0);
+  if (src == dst) return 0.0;
+  const ClusterSpec& cs = cluster(cluster_of(src));
+  const ClusterSpec& cd = cluster(cluster_of(dst));
+  if (cs.id == cd.id) {
+    return 2.0 * cs.link.latency + mb / cs.link.bandwidth;
+  }
+  const double bw = std::min({cs.link.bandwidth, cd.link.bandwidth,
+                              backbone_.bandwidth});
+  return cs.link.latency + cd.link.latency + backbone_.latency + mb / bw;
+}
+
+double Platform::average_latency() const {
+  const int n = total_hosts();
+  if (n < 2) return 0.0;
+  double total = 0.0;
+  long pairs = 0;
+  for (int s = 0; s < n; ++s) {
+    for (int d = 0; d < n; ++d) {
+      if (s == d) continue;
+      total += comm_time(s, d, 0.0);
+      ++pairs;
+    }
+  }
+  return total / static_cast<double>(pairs);
+}
+
+double Platform::average_bandwidth() const {
+  const int n = total_hosts();
+  if (n < 2) return clusters_.empty() ? 0.0 : clusters_[0].link.bandwidth;
+  double total = 0.0;
+  long pairs = 0;
+  for (int s = 0; s < n; ++s) {
+    for (int d = 0; d < n; ++d) {
+      if (s == d) continue;
+      // Per-MB transfer cost beyond latency.
+      const double per_mb = comm_time(s, d, 1.0) - comm_time(s, d, 0.0);
+      total += 1.0 / per_mb;
+      ++pairs;
+    }
+  }
+  return total / static_cast<double>(pairs);
+}
+
+std::string Platform::describe() const {
+  std::vector<std::string> parts;
+  for (const auto& c : clusters_) {
+    parts.push_back(c.name + ":" + std::to_string(c.hosts) + "x" +
+                    util::format_fixed(c.host_speed, 2) + "Gf");
+  }
+  return util::join(parts, " ") +
+         " backbone(lat=" + util::format_fixed(backbone_.latency, 6) +
+         "s,bw=" + util::format_fixed(backbone_.bandwidth, 0) + "MB/s)";
+}
+
+Platform homogeneous_cluster(int hosts, double speed, LinkSpec link) {
+  Platform p;
+  ClusterSpec c;
+  c.id = 0;
+  c.name = "cluster-0";
+  c.hosts = hosts;
+  c.host_speed = speed;
+  c.link = link;
+  p.add_cluster(std::move(c));
+  p.set_backbone(link);
+  return p;
+}
+
+Platform heterogeneous_case_study(double backbone_latency) {
+  Platform p;
+  const LinkSpec local{1e-4, 1250.0};  // ~gigabit with 100us latency
+
+  auto add = [&p, &local](int id, int hosts, double speed) {
+    ClusterSpec c;
+    c.id = id;
+    c.name = "cluster-" + std::to_string(id);
+    c.hosts = hosts;
+    c.host_speed = speed;
+    c.link = local;
+    p.add_cluster(std::move(c));
+  };
+  add(0, 2, 3.3);   // hosts 0-1, fast
+  add(1, 4, 1.65);  // hosts 2-5
+  add(2, 2, 3.3);   // hosts 6-7, fast
+  add(3, 4, 1.65);  // hosts 8-11
+
+  LinkSpec backbone;
+  backbone.latency = backbone_latency;
+  backbone.bandwidth = 1250.0;
+  p.set_backbone(backbone);
+  return p;
+}
+
+}  // namespace jedule::platform

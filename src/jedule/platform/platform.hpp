@@ -1,0 +1,92 @@
+#pragma once
+
+// Execution platform model (paper Secs. III and V, Fig. 7): clusters of
+// hosts behind switches, interconnected by a single backbone. Each host has
+// its own link to its cluster switch; communication time over a route is
+//   latency(route) + bytes / bottleneck_bandwidth(route)
+// which is the standard SimGrid-style model the paper's simulator used
+// (DESIGN.md §2).
+
+#include <string>
+#include <vector>
+
+namespace jedule::platform {
+
+struct LinkSpec {
+  double latency = 1e-4;      // seconds
+  double bandwidth = 1000.0;  // MB/s
+};
+
+struct ClusterSpec {
+  int id = 0;
+  std::string name;
+  int hosts = 0;
+  double host_speed = 1.0;  // Gflop/s, homogeneous within a cluster
+  LinkSpec link;            // host <-> cluster switch
+};
+
+class Platform {
+ public:
+  Platform() = default;
+
+  /// Adds a cluster; host ids are assigned globally in insertion order.
+  void add_cluster(ClusterSpec cluster);
+
+  void set_backbone(LinkSpec backbone) { backbone_ = backbone; }
+  const LinkSpec& backbone() const { return backbone_; }
+
+  const std::vector<ClusterSpec>& clusters() const { return clusters_; }
+  int total_hosts() const;
+
+  /// Cluster owning global host `h`.
+  int cluster_of(int host) const;
+  const ClusterSpec& cluster(int id) const;
+
+  /// Host index within its own cluster.
+  int local_index(int host) const;
+
+  /// First global host id of cluster `id`.
+  int first_host(int id) const;
+
+  double host_speed(int host) const;
+
+  /// Transfer time for `mb` megabytes from `src` to `dst`:
+  ///  - same host: 0 (local memory);
+  ///  - same cluster: 2 link latencies + mb / link bandwidth;
+  ///  - across clusters: 2 link latencies + backbone latency +
+  ///    mb / min(link bw, backbone bw).
+  /// The Fig. 8 anomaly comes from setting the backbone latency equal to
+  /// the link latency, making remote and local transfers nearly equal.
+  double comm_time(int src, int dst, double mb) const;
+
+  /// Mean comm_time over all (src != dst) host pairs per MB plus mean
+  /// latency; HEFT's rank computation uses averaged costs.
+  double average_latency() const;
+  double average_bandwidth() const;
+
+  /// One-line description (used by schedule meta info).
+  std::string describe() const;
+
+ private:
+  std::vector<ClusterSpec> clusters_;
+  std::vector<int> first_host_;  // prefix sums of cluster sizes
+  LinkSpec backbone_;
+};
+
+/// Homogeneous cluster of `hosts` processors at `speed` Gflop/s (the
+/// CPA/MCPA and multi-DAG case studies, Secs. III-IV).
+Platform homogeneous_cluster(int hosts, double speed = 1.0,
+                             LinkSpec link = {});
+
+/// The Sec. V platform (Fig. 7): four clusters —
+///   cluster 0: hosts 0-1  at 3.3  Gflop/s (fast)
+///   cluster 1: hosts 2-5  at 1.65 Gflop/s
+///   cluster 2: hosts 6-7  at 3.3  Gflop/s (fast)
+///   cluster 3: hosts 8-11 at 1.65 Gflop/s
+/// `backbone_latency` is the knob the case study turns. The paper's buggy
+/// platform description priced inter-cluster routes the same as
+/// intra-cluster ones — pass 0 so the backbone adds nothing (Fig. 8); the
+/// fixed description uses a much larger value, e.g. 0.05 s (Fig. 9).
+Platform heterogeneous_case_study(double backbone_latency);
+
+}  // namespace jedule::platform

@@ -1,0 +1,25 @@
+#include "jedule/render/canvas.hpp"
+
+namespace jedule::render {
+
+void Canvas::hatch_rect(double x, double y, double w, double h, int spacing,
+                        color::Color c) {
+  // Default: clipped 45-degree lines built from the line() primitive.
+  for (double k = 0; k < w + h; k += spacing) {
+    double x0 = x + k;
+    double y0 = y;
+    if (x0 > x + w) {
+      y0 = y + (x0 - (x + w));
+      x0 = x + w;
+    }
+    double x1 = x;
+    double y1 = y + k;
+    if (y1 > y + h) {
+      x1 = x + (y1 - (y + h));
+      y1 = y + h;
+    }
+    line(x0, y0, x1, y1, c);
+  }
+}
+
+}  // namespace jedule::render

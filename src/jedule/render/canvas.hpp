@@ -1,0 +1,44 @@
+#pragma once
+
+// Drawing backend interface. The Gantt painter draws through this, so the
+// raster (PNG/PPM), SVG, and PDF exporters share one layout/paint pipeline —
+// the C++ equivalent of the Java original painting one Swing graphics object
+// exported to multiple formats.
+
+#include <string>
+#include <string_view>
+
+#include "jedule/color/color.hpp"
+
+namespace jedule::render {
+
+class Canvas {
+ public:
+  virtual ~Canvas() = default;
+
+  virtual int width() const = 0;
+  virtual int height() const = 0;
+
+  virtual void fill_rect(double x, double y, double w, double h,
+                         color::Color c) = 0;
+  virtual void stroke_rect(double x, double y, double w, double h,
+                           color::Color c) = 0;
+  virtual void line(double x0, double y0, double x1, double y1,
+                    color::Color c) = 0;
+
+  /// Diagonal hatching inside a rectangle (composite emphasis).
+  virtual void hatch_rect(double x, double y, double w, double h, int spacing,
+                          color::Color c);
+
+  /// Draws `text` with its top-left corner at (x, y), at `size` pixels.
+  virtual void text(double x, double y, std::string_view text, color::Color c,
+                    int size) = 0;
+
+  /// Backend-specific advance width of `text` at `size` pixels; the painter
+  /// uses it to decide whether a label fits inside its task rectangle.
+  virtual double text_width(std::string_view text, int size) const = 0;
+
+  virtual double text_height(int size) const = 0;
+};
+
+}  // namespace jedule::render

@@ -1,0 +1,262 @@
+#include "jedule/render/deflate.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "jedule/util/error.hpp"
+
+namespace jedule::render {
+
+std::uint32_t adler32(const std::uint8_t* data, std::size_t size) {
+  constexpr std::uint32_t kMod = 65521;
+  std::uint32_t a = 1;
+  std::uint32_t b = 0;
+  // Process in chunks small enough that the sums cannot overflow 32 bits.
+  while (size > 0) {
+    const std::size_t chunk = std::min<std::size_t>(size, 5552);
+    for (std::size_t i = 0; i < chunk; ++i) {
+      a += data[i];
+      b += a;
+    }
+    a %= kMod;
+    b %= kMod;
+    data += chunk;
+    size -= chunk;
+  }
+  return (b << 16) | a;
+}
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size,
+                    std::uint32_t seed) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t n = 0; n < 256; ++n) {
+      std::uint32_t c = n;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[n] = c;
+    }
+    return t;
+  }();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ data[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+namespace {
+
+/// LSB-first bit writer (DEFLATE bit order).
+class BitWriter {
+ public:
+  void put_bits(std::uint32_t value, int count) {
+    JED_ASSERT(count >= 0 && count <= 24);
+    acc_ |= static_cast<std::uint64_t>(value) << filled_;
+    filled_ += count;
+    while (filled_ >= 8) {
+      out_.push_back(static_cast<std::uint8_t>(acc_ & 0xFF));
+      acc_ >>= 8;
+      filled_ -= 8;
+    }
+  }
+
+  /// Huffman codes are transmitted most-significant-bit first.
+  void put_huffman(std::uint32_t code, int bits) {
+    std::uint32_t reversed = 0;
+    for (int i = 0; i < bits; ++i) {
+      reversed = (reversed << 1) | ((code >> i) & 1);
+    }
+    put_bits(reversed, bits);
+  }
+
+  void align_to_byte() {
+    if (filled_ > 0) {
+      out_.push_back(static_cast<std::uint8_t>(acc_ & 0xFF));
+      acc_ = 0;
+      filled_ = 0;
+    }
+  }
+
+  void put_byte(std::uint8_t b) {
+    JED_ASSERT(filled_ == 0);
+    out_.push_back(b);
+  }
+
+  std::vector<std::uint8_t> take() {
+    align_to_byte();
+    return std::move(out_);
+  }
+
+ private:
+  std::vector<std::uint8_t> out_;
+  std::uint64_t acc_ = 0;
+  int filled_ = 0;
+};
+
+// RFC 1951 §3.2.5 length code table: base length and extra bits per code
+// 257..285.
+struct LengthCode {
+  int base;
+  int extra;
+};
+constexpr LengthCode kLengthCodes[29] = {
+    {3, 0},   {4, 0},   {5, 0},   {6, 0},   {7, 0},  {8, 0},  {9, 0},
+    {10, 0},  {11, 1},  {13, 1},  {15, 1},  {17, 1}, {19, 2}, {23, 2},
+    {27, 2},  {31, 2},  {35, 3},  {43, 3},  {51, 3}, {59, 3}, {67, 4},
+    {83, 4},  {99, 4},  {115, 4}, {131, 5}, {163, 5}, {195, 5}, {227, 5},
+    {258, 0}};
+
+constexpr LengthCode kDistCodes[30] = {
+    {1, 0},     {2, 0},     {3, 0},      {4, 0},      {5, 1},    {7, 1},
+    {9, 2},     {13, 2},    {17, 3},     {25, 3},     {33, 4},   {49, 4},
+    {65, 5},    {97, 5},    {129, 6},    {193, 6},    {257, 7},  {385, 7},
+    {513, 8},   {769, 8},   {1025, 9},   {1537, 9},   {2049, 10}, {3073, 10},
+    {4097, 11}, {6145, 11}, {8193, 12},  {12289, 12}, {16385, 13}, {24577, 13}};
+
+void write_fixed_symbol(BitWriter& bw, int symbol) {
+  // Fixed literal/length Huffman code (RFC 1951 §3.2.6).
+  if (symbol <= 143) {
+    bw.put_huffman(static_cast<std::uint32_t>(0x30 + symbol), 8);
+  } else if (symbol <= 255) {
+    bw.put_huffman(static_cast<std::uint32_t>(0x190 + symbol - 144), 9);
+  } else if (symbol <= 279) {
+    bw.put_huffman(static_cast<std::uint32_t>(symbol - 256), 7);
+  } else {
+    bw.put_huffman(static_cast<std::uint32_t>(0xC0 + symbol - 280), 8);
+  }
+}
+
+void write_length(BitWriter& bw, int length) {
+  JED_ASSERT(length >= 3 && length <= 258);
+  int code = 28;
+  while (code > 0 && kLengthCodes[code].base > length) --code;
+  // Length 258 belongs to code 285 even though code 284's range reaches 257.
+  if (length == 258) code = 28;
+  write_fixed_symbol(bw, 257 + code);
+  bw.put_bits(static_cast<std::uint32_t>(length - kLengthCodes[code].base),
+              kLengthCodes[code].extra);
+}
+
+void write_distance(BitWriter& bw, int distance) {
+  JED_ASSERT(distance >= 1 && distance <= 32768);
+  int code = 29;
+  while (code > 0 && kDistCodes[code].base > distance) --code;
+  bw.put_huffman(static_cast<std::uint32_t>(code), 5);
+  bw.put_bits(static_cast<std::uint32_t>(distance - kDistCodes[code].base),
+              kDistCodes[code].extra);
+}
+
+constexpr int kMinMatch = 3;
+constexpr int kMaxMatch = 258;
+constexpr int kWindowSize = 32768;
+constexpr int kHashBits = 15;
+constexpr int kHashSize = 1 << kHashBits;
+constexpr int kMaxChainLength = 64;
+
+inline std::uint32_t hash3(const std::uint8_t* p) {
+  const std::uint32_t v = static_cast<std::uint32_t>(p[0]) |
+                          (static_cast<std::uint32_t>(p[1]) << 8) |
+                          (static_cast<std::uint32_t>(p[2]) << 16);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> deflate_compress(const std::uint8_t* data,
+                                           std::size_t size) {
+  BitWriter bw;
+  bw.put_bits(1, 1);  // BFINAL
+  bw.put_bits(1, 2);  // BTYPE = 01 (fixed Huffman)
+
+  std::vector<std::int64_t> head(kHashSize, -1);
+  std::vector<std::int64_t> prev(size > 0 ? size : 1, -1);
+
+  std::size_t pos = 0;
+  while (pos < size) {
+    int best_len = 0;
+    std::int64_t best_dist = 0;
+    if (pos + kMinMatch <= size) {
+      const std::uint32_t h = hash3(data + pos);
+      std::int64_t candidate = head[h];
+      int chain = kMaxChainLength;
+      const int max_len =
+          static_cast<int>(std::min<std::size_t>(kMaxMatch, size - pos));
+      while (candidate >= 0 && chain-- > 0) {
+        const std::int64_t dist = static_cast<std::int64_t>(pos) - candidate;
+        if (dist > kWindowSize) break;
+        int len = 0;
+        const std::uint8_t* a = data + candidate;
+        const std::uint8_t* b = data + pos;
+        while (len < max_len && a[len] == b[len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_dist = dist;
+          if (len == max_len) break;
+        }
+        candidate = prev[static_cast<std::size_t>(candidate)];
+      }
+      // Insert the current position into the chain.
+      prev[pos] = head[h];
+      head[h] = static_cast<std::int64_t>(pos);
+    }
+
+    if (best_len >= kMinMatch) {
+      write_length(bw, best_len);
+      write_distance(bw, static_cast<int>(best_dist));
+      // Register the skipped positions so future matches can reference them.
+      const std::size_t end = pos + static_cast<std::size_t>(best_len);
+      for (std::size_t p = pos + 1; p < end && p + kMinMatch <= size; ++p) {
+        const std::uint32_t h = hash3(data + p);
+        prev[p] = head[h];
+        head[h] = static_cast<std::int64_t>(p);
+      }
+      pos = end;
+    } else {
+      write_fixed_symbol(bw, data[pos]);
+      ++pos;
+    }
+  }
+
+  write_fixed_symbol(bw, 256);  // end of block
+  return bw.take();
+}
+
+std::vector<std::uint8_t> deflate_store(const std::uint8_t* data,
+                                        std::size_t size) {
+  std::vector<std::uint8_t> out;
+  std::size_t pos = 0;
+  do {
+    const std::size_t chunk = std::min<std::size_t>(size - pos, 65535);
+    const bool final = pos + chunk == size;
+    out.push_back(final ? 1 : 0);  // BFINAL, BTYPE=00, byte-aligned
+    const auto len = static_cast<std::uint16_t>(chunk);
+    out.push_back(static_cast<std::uint8_t>(len & 0xFF));
+    out.push_back(static_cast<std::uint8_t>(len >> 8));
+    out.push_back(static_cast<std::uint8_t>(~len & 0xFF));
+    out.push_back(static_cast<std::uint8_t>((~len >> 8) & 0xFF));
+    out.insert(out.end(), data + pos, data + pos + chunk);
+    pos += chunk;
+  } while (pos < size);
+  return out;
+}
+
+std::vector<std::uint8_t> zlib_compress(const std::uint8_t* data,
+                                        std::size_t size, bool compress) {
+  std::vector<std::uint8_t> out;
+  out.push_back(0x78);  // CMF: deflate, 32K window
+  out.push_back(0x01);  // FLG: fastest, no dict; (0x7801 % 31 == 0)
+  auto body = compress ? deflate_compress(data, size)
+                       : deflate_store(data, size);
+  out.insert(out.end(), body.begin(), body.end());
+  const std::uint32_t a = adler32(data, size);
+  out.push_back(static_cast<std::uint8_t>(a >> 24));
+  out.push_back(static_cast<std::uint8_t>(a >> 16));
+  out.push_back(static_cast<std::uint8_t>(a >> 8));
+  out.push_back(static_cast<std::uint8_t>(a));
+  return out;
+}
+
+}  // namespace jedule::render

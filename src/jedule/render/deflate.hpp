@@ -1,0 +1,37 @@
+#pragma once
+
+// From-scratch DEFLATE (RFC 1951) encoder and zlib (RFC 1950) framing, used
+// by the PNG exporter. The encoder emits one final fixed-Huffman block with
+// greedy hash-chain LZ77 matching — simple, deterministic, and effective on
+// the long runs a filtered Gantt raster produces. inflate.hpp provides the
+// matching decoder so the codec is verified end-to-end in-tree.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace jedule::render {
+
+/// RFC 1950 Adler-32 checksum.
+std::uint32_t adler32(const std::uint8_t* data, std::size_t size);
+
+/// CRC-32 (ISO 3309, as used by PNG chunks), optionally chained via `seed`.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+/// Raw DEFLATE stream (single final fixed-Huffman block).
+std::vector<std::uint8_t> deflate_compress(const std::uint8_t* data,
+                                           std::size_t size);
+
+/// Raw DEFLATE stream of stored (uncompressed) blocks; used as a fallback
+/// and to exercise the stored-block path of the decoder.
+std::vector<std::uint8_t> deflate_store(const std::uint8_t* data,
+                                        std::size_t size);
+
+/// zlib stream: 2-byte header + deflate data + Adler-32. `compress` selects
+/// fixed-Huffman (true) or stored blocks (false).
+std::vector<std::uint8_t> zlib_compress(const std::uint8_t* data,
+                                        std::size_t size,
+                                        bool compress = true);
+
+}  // namespace jedule::render

@@ -1,0 +1,66 @@
+#include "jedule/render/export.hpp"
+
+#include "jedule/io/file.hpp"
+#include "jedule/render/pdf.hpp"
+#include "jedule/render/png.hpp"
+#include "jedule/render/ppm.hpp"
+#include "jedule/render/raster_canvas.hpp"
+#include "jedule/render/svg.hpp"
+#include "jedule/util/error.hpp"
+#include "jedule/util/strings.hpp"
+
+namespace jedule::render {
+
+ImageFormat format_for_path(const std::string& path) {
+  const std::string lower = util::to_lower(path);
+  if (util::ends_with(lower, ".png")) return ImageFormat::kPng;
+  if (util::ends_with(lower, ".ppm")) return ImageFormat::kPpm;
+  if (util::ends_with(lower, ".svg")) return ImageFormat::kSvg;
+  if (util::ends_with(lower, ".pdf")) return ImageFormat::kPdf;
+  throw ArgumentError("unknown image extension on '" + path +
+                      "' (use .png, .ppm, .svg or .pdf)");
+}
+
+Framebuffer render_raster(const model::Schedule& schedule,
+                          const color::ColorMap& colormap,
+                          const GanttStyle& style) {
+  const GanttLayout layout = layout_gantt(schedule, colormap, style);
+  Framebuffer fb(style.width, style.height);
+  RasterCanvas canvas(fb);
+  paint_gantt(layout, canvas, style);
+  return fb;
+}
+
+std::string render_to_bytes(const model::Schedule& schedule,
+                            const color::ColorMap& colormap,
+                            const GanttStyle& style, ImageFormat format) {
+  switch (format) {
+    case ImageFormat::kPng:
+      return encode_png(render_raster(schedule, colormap, style));
+    case ImageFormat::kPpm:
+      return encode_ppm(render_raster(schedule, colormap, style));
+    case ImageFormat::kSvg: {
+      const GanttLayout layout = layout_gantt(schedule, colormap, style);
+      SvgCanvas canvas(style.width, style.height);
+      paint_gantt(layout, canvas, style);
+      return canvas.finish();
+    }
+    case ImageFormat::kPdf: {
+      const GanttLayout layout = layout_gantt(schedule, colormap, style);
+      PdfCanvas canvas(style.width, style.height);
+      paint_gantt(layout, canvas, style);
+      return canvas.finish();
+    }
+  }
+  throw ArgumentError("unhandled image format");
+}
+
+void export_schedule(const model::Schedule& schedule,
+                     const color::ColorMap& colormap, const GanttStyle& style,
+                     const std::string& path) {
+  io::write_file(path,
+                 render_to_bytes(schedule, colormap, style,
+                                 format_for_path(path)));
+}
+
+}  // namespace jedule::render

@@ -1,0 +1,36 @@
+#pragma once
+
+// One-call export of a schedule to an image file — the core of the command
+// line mode (paper Sec. II.D.2). The output format is chosen by file
+// extension: .png, .ppm, .svg, .pdf.
+
+#include <string>
+
+#include "jedule/color/colormap.hpp"
+#include "jedule/model/schedule.hpp"
+#include "jedule/render/framebuffer.hpp"
+#include "jedule/render/gantt.hpp"
+
+namespace jedule::render {
+
+enum class ImageFormat { kPng, kPpm, kSvg, kPdf };
+
+/// Format for `path` from its extension; throws ArgumentError if unknown.
+ImageFormat format_for_path(const std::string& path);
+
+/// Renders to an in-memory raster (the PNG/PPM pipeline).
+Framebuffer render_raster(const model::Schedule& schedule,
+                          const color::ColorMap& colormap,
+                          const GanttStyle& style);
+
+/// Renders and returns the bytes of the image in `format`.
+std::string render_to_bytes(const model::Schedule& schedule,
+                            const color::ColorMap& colormap,
+                            const GanttStyle& style, ImageFormat format);
+
+/// Renders and writes `path` (format from the extension).
+void export_schedule(const model::Schedule& schedule,
+                     const color::ColorMap& colormap, const GanttStyle& style,
+                     const std::string& path);
+
+}  // namespace jedule::render

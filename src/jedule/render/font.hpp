@@ -1,0 +1,43 @@
+#pragma once
+
+// Embedded 5x7 bitmap font (ASCII 32..126) plus text drawing.
+//
+// The Java original relies on platform fonts via Swing; a self-contained
+// bitmap font keeps raster output byte-reproducible across machines, which
+// the test suite depends on (DESIGN.md §6.8). Sizes scale by integer pixel
+// replication: a requested pixel size s maps to scale max(1, round(s/8)).
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "jedule/render/framebuffer.hpp"
+
+namespace jedule::render {
+
+inline constexpr int kGlyphWidth = 5;
+inline constexpr int kGlyphHeight = 7;
+
+/// Rows of the glyph for `c`; bit 4 is the leftmost column. Characters
+/// outside 32..126 map to a filled "tofu" box.
+const std::array<std::uint8_t, kGlyphHeight>& glyph_bitmap(char c);
+
+/// Integer replication factor used for a requested pixel size.
+int scale_for_font_size(int pixel_size);
+
+/// Width in pixels of `text` at `scale` (glyph + 1-column spacing).
+int text_width(std::string_view text, int scale);
+
+/// Height in pixels of one text line at `scale`.
+int text_height(int scale);
+
+/// Draws `text` with its top-left corner at (x, y).
+void draw_text(Framebuffer& fb, int x, int y, std::string_view text,
+               Color color, int scale = 1);
+
+/// Draws `text` horizontally centered in [x, x+w) and vertically centered
+/// in [y, y+h).
+void draw_text_centered(Framebuffer& fb, int x, int y, int w, int h,
+                        std::string_view text, Color color, int scale = 1);
+
+}  // namespace jedule::render

@@ -1,0 +1,121 @@
+#include "jedule/render/framebuffer.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "jedule/util/error.hpp"
+
+namespace jedule::render {
+
+Framebuffer::Framebuffer(int width, int height, Color background)
+    : width_(width), height_(height) {
+  JED_ASSERT(width > 0 && height > 0);
+  pixels_.resize(static_cast<std::size_t>(width) * height * 4);
+  clear(background);
+}
+
+void Framebuffer::clear(Color c) {
+  for (std::size_t i = 0; i < pixels_.size(); i += 4) {
+    pixels_[i] = c.r;
+    pixels_[i + 1] = c.g;
+    pixels_[i + 2] = c.b;
+    pixels_[i + 3] = 255;
+  }
+}
+
+void Framebuffer::set_pixel(int x, int y, Color c) {
+  if (x < 0 || y < 0 || x >= width_ || y >= height_ || c.a == 0) return;
+  if (c.a == 255) {
+    set_pixel_unchecked(x, y, c);
+    return;
+  }
+  const Color blended = color::blend_over(pixel(x, y), c);
+  set_pixel_unchecked(x, y, blended);
+}
+
+void Framebuffer::set_pixel_unchecked(int x, int y, Color c) {
+  const std::size_t i =
+      (static_cast<std::size_t>(y) * width_ + static_cast<std::size_t>(x)) * 4;
+  pixels_[i] = c.r;
+  pixels_[i + 1] = c.g;
+  pixels_[i + 2] = c.b;
+  pixels_[i + 3] = 255;
+}
+
+Color Framebuffer::pixel(int x, int y) const {
+  JED_ASSERT(x >= 0 && y >= 0 && x < width_ && y < height_);
+  const std::size_t i =
+      (static_cast<std::size_t>(y) * width_ + static_cast<std::size_t>(x)) * 4;
+  return Color{pixels_[i], pixels_[i + 1], pixels_[i + 2], pixels_[i + 3]};
+}
+
+void Framebuffer::fill_rect(int x, int y, int w, int h, Color c) {
+  if (c.a == 0) return;
+  const int x0 = std::max(x, 0);
+  const int y0 = std::max(y, 0);
+  const int x1 = std::min(x + w, width_);
+  const int y1 = std::min(y + h, height_);
+  if (c.a == 255) {
+    for (int yy = y0; yy < y1; ++yy) {
+      for (int xx = x0; xx < x1; ++xx) set_pixel_unchecked(xx, yy, c);
+    }
+  } else {
+    for (int yy = y0; yy < y1; ++yy) {
+      for (int xx = x0; xx < x1; ++xx) set_pixel(xx, yy, c);
+    }
+  }
+}
+
+void Framebuffer::draw_rect(int x, int y, int w, int h, Color c) {
+  if (w <= 0 || h <= 0) return;
+  draw_hline(x, x + w - 1, y, c);
+  draw_hline(x, x + w - 1, y + h - 1, c);
+  draw_vline(x, y, y + h - 1, c);
+  draw_vline(x + w - 1, y, y + h - 1, c);
+}
+
+void Framebuffer::draw_hline(int x0, int x1, int y, Color c) {
+  if (x1 < x0) std::swap(x0, x1);
+  for (int x = x0; x <= x1; ++x) set_pixel(x, y, c);
+}
+
+void Framebuffer::draw_vline(int x, int y0, int y1, Color c) {
+  if (y1 < y0) std::swap(y0, y1);
+  for (int y = y0; y <= y1; ++y) set_pixel(x, y, c);
+}
+
+void Framebuffer::draw_line(int x0, int y0, int x1, int y1, Color c) {
+  const int dx = std::abs(x1 - x0);
+  const int dy = -std::abs(y1 - y0);
+  const int sx = x0 < x1 ? 1 : -1;
+  const int sy = y0 < y1 ? 1 : -1;
+  int err = dx + dy;
+  while (true) {
+    set_pixel(x0, y0, c);
+    if (x0 == x1 && y0 == y1) break;
+    const int e2 = 2 * err;
+    if (e2 >= dy) {
+      err += dy;
+      x0 += sx;
+    }
+    if (e2 <= dx) {
+      err += dx;
+      y0 += sy;
+    }
+  }
+}
+
+void Framebuffer::hatch_rect(int x, int y, int w, int h, int spacing,
+                             Color c) {
+  JED_ASSERT(spacing > 0);
+  // 45-degree lines x + y == k, restricted to the rectangle.
+  const int x1 = x + w - 1;
+  const int y1 = y + h - 1;
+  for (int k = x + y; k <= x1 + y1; k += spacing) {
+    for (int yy = std::max(y, k - x1); yy <= std::min(y1, k - x); ++yy) {
+      set_pixel(k - yy, yy, c);
+    }
+  }
+}
+
+}  // namespace jedule::render

@@ -1,0 +1,339 @@
+#include "jedule/render/gantt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "jedule/util/error.hpp"
+#include "jedule/util/strings.hpp"
+
+namespace jedule::render {
+
+namespace {
+
+using model::Schedule;
+using model::Task;
+using model::TimeRange;
+
+// Fixed chrome dimensions (pixels).
+constexpr double kMarginLeft = 56;    // host labels
+constexpr double kMarginRight = 14;
+constexpr double kMarginTop = 8;
+constexpr double kHeaderHeight = 18;  // meta line
+constexpr double kTitleHeight = 16;   // per-panel cluster title
+constexpr double kAxisHeight = 22;    // per-panel time axis
+constexpr double kPanelGap = 10;
+
+std::string format_tick(double v, double step) {
+  // Enough decimals to distinguish consecutive ticks.
+  int digits = 0;
+  if (step < 1.0) {
+    digits = static_cast<int>(std::ceil(-std::log10(step)));
+    digits = std::clamp(digits, 0, 6);
+  }
+  return util::format_fixed(v, digits);
+}
+
+}  // namespace
+
+std::vector<double> nice_ticks(const TimeRange& range, int about) {
+  JED_ASSERT(about >= 2);
+  std::vector<double> ticks;
+  const double span = range.length();
+  if (span <= 0) {
+    ticks.push_back(range.begin);
+    return ticks;
+  }
+  const double raw_step = span / about;
+  const double mag = std::pow(10.0, std::floor(std::log10(raw_step)));
+  double step = mag;
+  for (double mult : {1.0, 2.0, 5.0, 10.0}) {
+    if (mag * mult >= raw_step) {
+      step = mag * mult;
+      break;
+    }
+  }
+  const double first = std::ceil(range.begin / step) * step;
+  for (double t = first; t <= range.end + step * 1e-9; t += step) {
+    // Snap values like 0.30000000000000004 back onto the grid.
+    ticks.push_back(std::round(t / step) * step);
+  }
+  return ticks;
+}
+
+GanttLayout layout_gantt(const Schedule& schedule,
+                         const color::ColorMap& colormap,
+                         const GanttStyle& style) {
+  schedule.validate();
+  if (style.width < 160 || style.height < 120) {
+    throw ArgumentError("gantt: canvas smaller than 160x120");
+  }
+  if (style.time_window && style.time_window->length() <= 0) {
+    throw ArgumentError("gantt: empty time window");
+  }
+
+  GanttLayout layout;
+  layout.width = style.width;
+  layout.height = style.height;
+  layout.label_font_size = colormap.font_size_label();
+  layout.min_label_font_size = colormap.min_font_size_label();
+  layout.axes_font_size = colormap.font_size_axes();
+
+  // Which clusters, in which order.
+  std::vector<const model::Cluster*> shown;
+  if (style.cluster_filter.empty()) {
+    for (const auto& c : schedule.clusters()) shown.push_back(&c);
+  } else {
+    for (int id : style.cluster_filter) {
+      shown.push_back(&schedule.cluster_by_id(id));  // throws if unknown
+    }
+  }
+
+  // Header.
+  if (style.show_meta && !schedule.meta().empty()) {
+    std::vector<std::string> parts;
+    for (const auto& [k, v] : schedule.meta()) parts.push_back(k + "=" + v);
+    layout.header = util::join(parts, "  ");
+  }
+
+  // Tasks (+ composites).
+  const auto type_selected = [&style](const Task& t) {
+    return style.type_filter.empty() ||
+           std::find(style.type_filter.begin(), style.type_filter.end(),
+                     t.type()) != style.type_filter.end();
+  };
+  if (style.type_filter.empty()) {
+    layout.tasks = schedule.tasks();
+  } else {
+    for (const auto& t : schedule.tasks()) {
+      if (type_selected(t)) layout.tasks.push_back(t);
+    }
+  }
+  layout.composite_begin = layout.tasks.size();
+  if (style.show_composites) {
+    for (auto& comp : model::synthesize_composites(schedule, type_selected)) {
+      // Keep members on the task so click-to-inspect and the colormap's
+      // composite rules can see them.
+      comp.task.set_property("members", util::join(comp.member_ids, ","));
+      std::vector<std::string> types(comp.member_types.begin(),
+                                     comp.member_types.end());
+      comp.task.set_property("member_types", util::join(types, ","));
+      layout.tasks.push_back(std::move(comp.task));
+    }
+  }
+
+  // Vertical space distribution: panel heights proportional to host counts.
+  const double header = style.show_meta && !layout.header.empty()
+                            ? kHeaderHeight
+                            : 0.0;
+  const double avail_y0 = kMarginTop + header;
+  const double avail_h =
+      style.height - avail_y0 -
+      static_cast<double>(shown.size()) * (kTitleHeight + kAxisHeight) -
+      static_cast<double>(shown.size() - 1) * kPanelGap - 6;
+  if (avail_h < static_cast<double>(shown.size()) * 8) {
+    throw ArgumentError("gantt: canvas too small for " +
+                        std::to_string(shown.size()) + " cluster panels");
+  }
+  int total_hosts = 0;
+  for (const auto* c : shown) total_hosts += c->hosts;
+
+  const double panel_x = kMarginLeft;
+  const double panel_w = style.width - kMarginLeft - kMarginRight;
+  double cursor_y = avail_y0;
+  for (const auto* c : shown) {
+    PanelLayout panel;
+    panel.cluster_id = c->id;
+    panel.title = c->name + " (" + std::to_string(c->hosts) + " hosts)";
+    panel.hosts = c->hosts;
+    panel.x = panel_x;
+    panel.w = panel_w;
+    panel.y = cursor_y + kTitleHeight;
+    panel.h = std::max(8.0, avail_h * c->hosts / std::max(1, total_hosts));
+
+    auto range = schedule.view_time_range(c->id, style.view_mode);
+    if (!range || range->length() <= 0) {
+      range = TimeRange{0, 1};  // empty cluster: unit axis
+    }
+    panel.time_range = style.time_window ? *style.time_window : *range;
+    layout.panels.push_back(panel);
+    cursor_y = panel.y + panel.h + kAxisHeight + kPanelGap;
+  }
+
+  // Boxes. Ordinary tasks first, composites after (paint order == z-order).
+  auto add_boxes = [&](std::size_t first, std::size_t last, bool composite) {
+    for (std::size_t i = first; i < last; ++i) {
+      const Task& t = layout.tasks[i];
+      color::TaskStyle task_style;
+      if (composite) {
+        // Recover member types for the colormap's composite rules.
+        std::set<std::string> member_types;
+        if (auto types = t.property("member_types")) {
+          for (auto& part : util::split(*types, ',')) {
+            member_types.insert(part);
+          }
+        }
+        task_style = colormap.composite_style(member_types);
+      } else {
+        task_style = colormap.style_for(t.type());
+      }
+
+      bool highlighted = false;
+      if (!style.highlight_key.empty()) {
+        auto v = t.property(style.highlight_key);
+        if (v && *v == style.highlight_value) {
+          highlighted = true;
+          task_style.background = style.highlight_bg;
+          task_style.foreground = color::contrast_color(style.highlight_bg);
+        }
+      }
+
+      for (const auto& cfg : t.configurations()) {
+        for (const auto& panel : layout.panels) {
+          if (panel.cluster_id != cfg.cluster_id) continue;
+          // Clip to the panel's time window.
+          const double t0 =
+              std::max(t.start_time(), panel.time_range.begin);
+          const double t1 = std::min(t.end_time(), panel.time_range.end);
+          if (t1 <= t0 && !(t.start_time() == t.end_time() &&
+                            t0 == t.start_time())) {
+            continue;
+          }
+          for (const auto& hr : cfg.hosts) {
+            TaskBox box;
+            box.task_index = i;
+            box.cluster_id = cfg.cluster_id;
+            box.x = panel.x_of_time(t0);
+            box.w = panel.x_of_time(t1) - box.x;
+            box.y = panel.y + panel.row_height() * hr.start;
+            box.h = panel.row_height() * hr.nb;
+            box.style = task_style;
+            box.label = t.id();
+            box.composite = composite;
+            box.highlighted = highlighted;
+            layout.boxes.push_back(std::move(box));
+          }
+        }
+      }
+    }
+  };
+  add_boxes(0, layout.composite_begin, false);
+  add_boxes(layout.composite_begin, layout.tasks.size(), true);
+
+  return layout;
+}
+
+namespace {
+
+const color::Color kFrame{60, 60, 60, 255};
+const color::Color kGrid{225, 225, 225, 255};
+const color::Color kAxisText{30, 30, 30, 255};
+const color::Color kOutline{0, 0, 0, 90};
+
+void paint_panel_chrome(const GanttLayout& layout, const PanelLayout& panel,
+                        Canvas& canvas, const GanttStyle& style) {
+  // Title.
+  canvas.text(panel.x, panel.y - kTitleHeight + 2, panel.title, kAxisText,
+              layout.axes_font_size);
+
+  // Host grid lines + labels.
+  const double row_h = panel.row_height();
+  if (style.show_grid && row_h >= 4.0) {
+    for (int h = 1; h < panel.hosts; ++h) {
+      canvas.line(panel.x, panel.y + row_h * h, panel.x + panel.w,
+                  panel.y + row_h * h, kGrid);
+    }
+  }
+  const double label_h = canvas.text_height(layout.axes_font_size);
+  const int label_stride =
+      std::max(1, static_cast<int>(std::ceil((label_h + 2) / row_h)));
+  for (int h = 0; h < panel.hosts; h += label_stride) {
+    const std::string label = std::to_string(h);
+    canvas.text(panel.x - canvas.text_width(label, layout.axes_font_size) - 5,
+                panel.y + row_h * h + (row_h - label_h) / 2, label, kAxisText,
+                layout.axes_font_size);
+  }
+
+  // Time axis.
+  const auto ticks = nice_ticks(panel.time_range, style.time_ticks);
+  const double step =
+      ticks.size() >= 2 ? ticks[1] - ticks[0] : panel.time_range.length();
+  const double axis_y = panel.y + panel.h;
+  canvas.line(panel.x, axis_y, panel.x + panel.w, axis_y, kFrame);
+  for (double t : ticks) {
+    const double x = panel.x_of_time(t);
+    canvas.line(x, axis_y, x, axis_y + 4, kFrame);
+    const std::string label = format_tick(t, step);
+    canvas.text(x - canvas.text_width(label, layout.axes_font_size) / 2,
+                axis_y + 6, label, kAxisText, layout.axes_font_size);
+  }
+
+  // Frame on top of grid lines.
+  canvas.stroke_rect(panel.x, panel.y, panel.w, panel.h, kFrame);
+}
+
+void paint_box(const GanttLayout& layout, const TaskBox& box, Canvas& canvas,
+               const GanttStyle& style) {
+  canvas.fill_rect(box.x, box.y, box.w, box.h, box.style.background);
+  if (box.w >= 3 && box.h >= 3) {
+    canvas.stroke_rect(box.x, box.y, box.w, box.h, kOutline);
+  }
+  if (box.composite && style.hatch_composites && box.w >= 6 && box.h >= 6) {
+    canvas.hatch_rect(box.x, box.y, box.w, box.h, 6, box.style.foreground);
+  }
+  if (!style.show_labels || box.label.empty()) return;
+
+  // Label fitting (paper's fontsize_label / min_fontsize_label semantics):
+  // try the preferred size, fall back to the minimum, else draw nothing.
+  for (int size : {layout.label_font_size, layout.min_label_font_size}) {
+    const double tw = canvas.text_width(box.label, size);
+    const double th = canvas.text_height(size);
+    if (tw + 2 <= box.w && th + 2 <= box.h) {
+      canvas.text(box.x + (box.w - tw) / 2, box.y + (box.h - th) / 2,
+                  box.label, box.style.foreground, size);
+      return;
+    }
+    if (size == layout.min_label_font_size) break;
+  }
+}
+
+}  // namespace
+
+void paint_gantt(const GanttLayout& layout, Canvas& canvas,
+                 const GanttStyle& style) {
+  canvas.fill_rect(0, 0, layout.width, layout.height, color::kWhite);
+  if (!layout.header.empty()) {
+    canvas.text(kMarginLeft, kMarginTop, layout.header, kAxisText,
+                layout.axes_font_size);
+  }
+  for (const auto& box : layout.boxes) {
+    paint_box(layout, box, canvas, style);
+  }
+  // Chrome last so frames and axes stay crisp over task fills.
+  for (const auto& panel : layout.panels) {
+    paint_panel_chrome(layout, panel, canvas, style);
+  }
+}
+
+const TaskBox* hit_test(const GanttLayout& layout, double x, double y) {
+  // Reverse order: composites and later boxes are drawn on top.
+  for (auto it = layout.boxes.rbegin(); it != layout.boxes.rend(); ++it) {
+    if (x >= it->x && x < it->x + std::max(it->w, 1.0) && y >= it->y &&
+        y < it->y + std::max(it->h, 1.0)) {
+      return &*it;
+    }
+  }
+  return nullptr;
+}
+
+const PanelLayout* panel_at(const GanttLayout& layout, double x, double y) {
+  for (const auto& panel : layout.panels) {
+    if (x >= panel.x && x < panel.x + panel.w && y >= panel.y &&
+        y < panel.y + panel.h) {
+      return &panel;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace jedule::render

@@ -1,0 +1,132 @@
+#pragma once
+
+// Gantt chart layout and painting (paper Sec. II).
+//
+// layout_gantt() computes device-independent geometry: one panel per
+// displayed cluster (stacked vertically, height proportional to the host
+// count), one TaskBox per (task configuration x host range) rectangle —
+// a multiprocessor task with a scattered allocation yields several boxes,
+// exactly as in the Java tool. paint_gantt() draws a layout onto any Canvas
+// backend. hit_test() maps a pixel back to the box it shows (interactive
+// mode's click-to-inspect).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "jedule/color/colormap.hpp"
+#include "jedule/model/composite.hpp"
+#include "jedule/model/schedule.hpp"
+#include "jedule/render/canvas.hpp"
+
+namespace jedule::render {
+
+struct GanttStyle {
+  int width = 1000;
+  int height = 600;
+
+  model::ViewMode view_mode = model::ViewMode::kScaled;
+
+  /// Synthesize and draw composite tasks over their members.
+  bool show_composites = true;
+
+  /// Draw task-id labels inside rectangles that can fit them.
+  bool show_labels = true;
+
+  /// Light horizontal lines at host boundaries (skipped automatically when
+  /// rows get thinner than 4 px, e.g. 1024-node workload charts).
+  bool show_grid = true;
+
+  /// Meta key/value header line above the panels.
+  bool show_meta = true;
+
+  /// Extra diagonal hatching on composite rectangles so they survive
+  /// grayscale colormaps.
+  bool hatch_composites = false;
+
+  /// Zoom: restrict the time axis to this window (interactive mode).
+  std::optional<model::TimeRange> time_window;
+
+  /// Display only these cluster ids (empty = all), preserving order.
+  std::vector<int> cluster_filter;
+
+  /// Display only tasks of these types (empty = all). Composites are
+  /// synthesized from the filtered tasks, so hiding e.g. "transfer" also
+  /// hides its overlaps (the paper's "focus on specific parts of the
+  /// schedule by filtering").
+  std::vector<std::string> type_filter;
+
+  /// When nonempty, tasks whose property `highlight_key` equals
+  /// `highlight_value` are filled with `highlight_bg` (paper Fig. 13:
+  /// "highlighted in yellow the jobs of user 6447").
+  std::string highlight_key;
+  std::string highlight_value;
+  color::Color highlight_bg{255, 221, 0, 255};
+
+  /// Approximate number of ticks on the time axis.
+  int time_ticks = 8;
+};
+
+struct TaskBox {
+  /// Index into GanttLayout::tasks.
+  std::size_t task_index = 0;
+  int cluster_id = 0;
+  double x = 0, y = 0, w = 0, h = 0;
+  color::TaskStyle style;
+  std::string label;
+  bool composite = false;
+  bool highlighted = false;
+};
+
+struct PanelLayout {
+  int cluster_id = 0;
+  std::string title;
+  double x = 0, y = 0, w = 0, h = 0;
+  model::TimeRange time_range;  // the window this panel displays
+  int hosts = 0;
+
+  double x_of_time(double t) const {
+    return x + (t - time_range.begin) / time_range.length() * w;
+  }
+  double row_height() const { return h / hosts; }
+};
+
+struct GanttLayout {
+  int width = 0;
+  int height = 0;
+  std::string header;
+  std::vector<PanelLayout> panels;
+
+  /// Schedule tasks (by index) followed by synthesized composites.
+  std::vector<model::Task> tasks;
+  std::size_t composite_begin = 0;  // tasks[composite_begin..) are composites
+
+  /// Ordinary boxes first, composite boxes after (paint order).
+  std::vector<TaskBox> boxes;
+
+  int label_font_size = 13;
+  int min_label_font_size = 11;
+  int axes_font_size = 12;
+};
+
+/// Computes the layout; throws ValidationError on an invalid schedule and
+/// ArgumentError on an empty time window or unknown filter clusters.
+GanttLayout layout_gantt(const model::Schedule& schedule,
+                         const color::ColorMap& colormap,
+                         const GanttStyle& style);
+
+/// Paints a layout. The canvas must have the layout's dimensions.
+void paint_gantt(const GanttLayout& layout, Canvas& canvas,
+                 const GanttStyle& style);
+
+/// Topmost box containing pixel (x, y): composites win over their members,
+/// later-drawn boxes over earlier ones. nullptr if the pixel shows no task.
+const TaskBox* hit_test(const GanttLayout& layout, double x, double y);
+
+/// Panel containing pixel (x, y), or nullptr.
+const PanelLayout* panel_at(const GanttLayout& layout, double x, double y);
+
+/// "Nice" tick positions (1/2/5 x 10^k steps) covering `range`.
+std::vector<double> nice_ticks(const model::TimeRange& range, int about);
+
+}  // namespace jedule::render

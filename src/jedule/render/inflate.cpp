@@ -1,0 +1,245 @@
+#include "jedule/render/inflate.hpp"
+
+#include <array>
+
+#include "jedule/render/deflate.hpp"
+#include "jedule/util/error.hpp"
+
+namespace jedule::render {
+
+namespace {
+
+class BitReader {
+ public:
+  BitReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint32_t get_bits(int count) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < count; ++i) {
+      v |= static_cast<std::uint32_t>(get_bit()) << i;
+    }
+    return v;
+  }
+
+  int get_bit() {
+    if (byte_ >= size_) throw ParseError("deflate: truncated stream");
+    const int bit = (data_[byte_] >> bit_) & 1;
+    if (++bit_ == 8) {
+      bit_ = 0;
+      ++byte_;
+    }
+    return bit;
+  }
+
+  void align_to_byte() {
+    if (bit_ != 0) {
+      bit_ = 0;
+      ++byte_;
+    }
+  }
+
+  std::uint8_t get_byte() {
+    JED_ASSERT(bit_ == 0);
+    if (byte_ >= size_) throw ParseError("deflate: truncated stored block");
+    return data_[byte_++];
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t byte_ = 0;
+  int bit_ = 0;
+};
+
+/// Canonical Huffman decoder built from code lengths (RFC 1951 §3.2.2),
+/// decoding with the standard first-code-per-length walk: O(code length)
+/// per symbol.
+class HuffmanTable {
+ public:
+  explicit HuffmanTable(const std::vector<int>& lengths) {
+    for (int len : lengths) {
+      JED_ASSERT(len >= 0 && len <= kMaxBits);
+      ++count_[static_cast<std::size_t>(len)];
+    }
+    count_[0] = 0;
+    int code = 0;
+    int offset = 0;
+    for (int bits = 1; bits <= kMaxBits; ++bits) {
+      first_code_[static_cast<std::size_t>(bits)] = code;
+      first_index_[static_cast<std::size_t>(bits)] = offset;
+      code = (code + count_[static_cast<std::size_t>(bits)]) << 1;
+      offset += count_[static_cast<std::size_t>(bits)];
+    }
+    symbols_.resize(static_cast<std::size_t>(offset));
+    std::array<int, kMaxBits + 1> next = first_index_;
+    for (std::size_t sym = 0; sym < lengths.size(); ++sym) {
+      if (lengths[sym] == 0) continue;
+      symbols_[static_cast<std::size_t>(
+          next[static_cast<std::size_t>(lengths[sym])]++)] =
+          static_cast<int>(sym);
+    }
+  }
+
+  int decode(BitReader& br) const {
+    int code = 0;
+    for (int len = 1; len <= kMaxBits; ++len) {
+      code = (code << 1) | br.get_bit();
+      const int index = code - first_code_[static_cast<std::size_t>(len)];
+      if (index >= 0 && index < count_[static_cast<std::size_t>(len)]) {
+        return symbols_[static_cast<std::size_t>(
+            first_index_[static_cast<std::size_t>(len)] + index)];
+      }
+    }
+    throw ParseError("deflate: invalid Huffman code");
+  }
+
+ private:
+  static constexpr int kMaxBits = 15;
+  std::array<int, kMaxBits + 1> count_{};
+  std::array<int, kMaxBits + 1> first_code_{};
+  std::array<int, kMaxBits + 1> first_index_{};
+  std::vector<int> symbols_;
+};
+
+struct LengthCode {
+  int base;
+  int extra;
+};
+constexpr LengthCode kLengthCodes[29] = {
+    {3, 0},   {4, 0},   {5, 0},   {6, 0},   {7, 0},  {8, 0},  {9, 0},
+    {10, 0},  {11, 1},  {13, 1},  {15, 1},  {17, 1}, {19, 2}, {23, 2},
+    {27, 2},  {31, 2},  {35, 3},  {43, 3},  {51, 3}, {59, 3}, {67, 4},
+    {83, 4},  {99, 4},  {115, 4}, {131, 5}, {163, 5}, {195, 5}, {227, 5},
+    {258, 0}};
+constexpr LengthCode kDistCodes[30] = {
+    {1, 0},     {2, 0},     {3, 0},      {4, 0},      {5, 1},    {7, 1},
+    {9, 2},     {13, 2},    {17, 3},     {25, 3},     {33, 4},   {49, 4},
+    {65, 5},    {97, 5},    {129, 6},    {193, 6},    {257, 7},  {385, 7},
+    {513, 8},   {769, 8},   {1025, 9},   {1537, 9},   {2049, 10}, {3073, 10},
+    {4097, 11}, {6145, 11}, {8193, 12},  {12289, 12}, {16385, 13}, {24577, 13}};
+
+std::vector<int> fixed_literal_lengths() {
+  std::vector<int> lengths(288);
+  for (int i = 0; i <= 143; ++i) lengths[static_cast<std::size_t>(i)] = 8;
+  for (int i = 144; i <= 255; ++i) lengths[static_cast<std::size_t>(i)] = 9;
+  for (int i = 256; i <= 279; ++i) lengths[static_cast<std::size_t>(i)] = 7;
+  for (int i = 280; i <= 287; ++i) lengths[static_cast<std::size_t>(i)] = 8;
+  return lengths;
+}
+
+std::vector<int> fixed_distance_lengths() { return std::vector<int>(30, 5); }
+
+void inflate_block(BitReader& br, const HuffmanTable& literals,
+                   const HuffmanTable& distances,
+                   std::vector<std::uint8_t>& out) {
+  while (true) {
+    const int sym = literals.decode(br);
+    if (sym == 256) return;
+    if (sym < 256) {
+      out.push_back(static_cast<std::uint8_t>(sym));
+      continue;
+    }
+    if (sym > 285) throw ParseError("deflate: invalid length symbol");
+    const auto& lc = kLengthCodes[sym - 257];
+    const int length = lc.base + static_cast<int>(br.get_bits(lc.extra));
+    const int dsym = distances.decode(br);
+    if (dsym > 29) throw ParseError("deflate: invalid distance symbol");
+    const auto& dc = kDistCodes[dsym];
+    const int distance = dc.base + static_cast<int>(br.get_bits(dc.extra));
+    if (distance <= 0 || static_cast<std::size_t>(distance) > out.size()) {
+      throw ParseError("deflate: distance exceeds output");
+    }
+    for (int i = 0; i < length; ++i) {
+      out.push_back(out[out.size() - static_cast<std::size_t>(distance)]);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> inflate_decompress(const std::uint8_t* data,
+                                             std::size_t size) {
+  BitReader br(data, size);
+  std::vector<std::uint8_t> out;
+  bool final_block = false;
+  while (!final_block) {
+    final_block = br.get_bit() != 0;
+    const std::uint32_t type = br.get_bits(2);
+    if (type == 0) {  // stored
+      br.align_to_byte();
+      const std::uint32_t len = br.get_byte() |
+                                (static_cast<std::uint32_t>(br.get_byte()) << 8);
+      const std::uint32_t nlen =
+          br.get_byte() | (static_cast<std::uint32_t>(br.get_byte()) << 8);
+      if ((len ^ nlen) != 0xFFFF) {
+        throw ParseError("deflate: stored block LEN/NLEN mismatch");
+      }
+      for (std::uint32_t i = 0; i < len; ++i) out.push_back(br.get_byte());
+    } else if (type == 1) {  // fixed Huffman
+      static const HuffmanTable literals(fixed_literal_lengths());
+      static const HuffmanTable distances(fixed_distance_lengths());
+      inflate_block(br, literals, distances, out);
+    } else if (type == 2) {  // dynamic Huffman
+      const int hlit = static_cast<int>(br.get_bits(5)) + 257;
+      const int hdist = static_cast<int>(br.get_bits(5)) + 1;
+      const int hclen = static_cast<int>(br.get_bits(4)) + 4;
+      static constexpr int kOrder[19] = {16, 17, 18, 0, 8,  7, 9,  6, 10, 5,
+                                         11, 4,  12, 3, 13, 2, 14, 1, 15};
+      std::vector<int> code_lengths(19, 0);
+      for (int i = 0; i < hclen; ++i) {
+        code_lengths[static_cast<std::size_t>(kOrder[i])] =
+            static_cast<int>(br.get_bits(3));
+      }
+      const HuffmanTable code_table(code_lengths);
+      std::vector<int> lengths;
+      lengths.reserve(static_cast<std::size_t>(hlit + hdist));
+      while (lengths.size() < static_cast<std::size_t>(hlit + hdist)) {
+        const int sym = code_table.decode(br);
+        if (sym < 16) {
+          lengths.push_back(sym);
+        } else if (sym == 16) {
+          if (lengths.empty()) throw ParseError("deflate: bad repeat");
+          const int count = 3 + static_cast<int>(br.get_bits(2));
+          for (int i = 0; i < count; ++i) lengths.push_back(lengths.back());
+        } else if (sym == 17) {
+          const int count = 3 + static_cast<int>(br.get_bits(3));
+          for (int i = 0; i < count; ++i) lengths.push_back(0);
+        } else {
+          const int count = 11 + static_cast<int>(br.get_bits(7));
+          for (int i = 0; i < count; ++i) lengths.push_back(0);
+        }
+      }
+      const HuffmanTable literals(
+          std::vector<int>(lengths.begin(), lengths.begin() + hlit));
+      const HuffmanTable distances(
+          std::vector<int>(lengths.begin() + hlit, lengths.end()));
+      inflate_block(br, literals, distances, out);
+    } else {
+      throw ParseError("deflate: reserved block type");
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> zlib_decompress(const std::uint8_t* data,
+                                          std::size_t size) {
+  if (size < 6) throw ParseError("zlib: stream too short");
+  if ((data[0] & 0x0F) != 8) throw ParseError("zlib: not a deflate stream");
+  if (((static_cast<unsigned>(data[0]) << 8) | data[1]) % 31 != 0) {
+    throw ParseError("zlib: header check failed");
+  }
+  if (data[1] & 0x20) throw ParseError("zlib: preset dictionaries unsupported");
+  auto out = inflate_decompress(data + 2, size - 6);
+  const std::uint32_t expected =
+      (static_cast<std::uint32_t>(data[size - 4]) << 24) |
+      (static_cast<std::uint32_t>(data[size - 3]) << 16) |
+      (static_cast<std::uint32_t>(data[size - 2]) << 8) |
+      static_cast<std::uint32_t>(data[size - 1]);
+  if (adler32(out.data(), out.size()) != expected) {
+    throw ParseError("zlib: Adler-32 mismatch");
+  }
+  return out;
+}
+
+}  // namespace jedule::render

@@ -1,0 +1,45 @@
+#pragma once
+
+// Minimal from-scratch PDF 1.4 writer: a single page whose content stream
+// is produced through the Canvas interface. Replaces the Java original's
+// Swing-based PDF export (paper Sec. II.D.2: "high quality graphics of
+// schedules ... to be included in articles or reports").
+
+#include <string>
+
+#include "jedule/render/canvas.hpp"
+
+namespace jedule::render {
+
+class PdfCanvas final : public Canvas {
+ public:
+  /// Page size in points; chart pixels map 1:1 to points.
+  PdfCanvas(int width, int height);
+
+  int width() const override { return width_; }
+  int height() const override { return height_; }
+
+  void fill_rect(double x, double y, double w, double h,
+                 color::Color c) override;
+  void stroke_rect(double x, double y, double w, double h,
+                   color::Color c) override;
+  void line(double x0, double y0, double x1, double y1,
+            color::Color c) override;
+  void text(double x, double y, std::string_view text, color::Color c,
+            int size) override;
+  double text_width(std::string_view text, int size) const override;
+  double text_height(int size) const override;
+
+  /// Complete PDF file bytes.
+  std::string finish() const;
+
+ private:
+  /// PDF pages have a bottom-left origin; charts use top-left.
+  double flip(double y) const { return height_ - y; }
+
+  int width_;
+  int height_;
+  std::string content_;
+};
+
+}  // namespace jedule::render

@@ -1,0 +1,181 @@
+#include "jedule/render/png.hpp"
+
+#include <cstring>
+
+#include "jedule/io/file.hpp"
+#include "jedule/render/deflate.hpp"
+#include "jedule/render/inflate.hpp"
+#include "jedule/util/error.hpp"
+
+namespace jedule::render {
+
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out += static_cast<char>(v >> 24);
+  out += static_cast<char>(v >> 16);
+  out += static_cast<char>(v >> 8);
+  out += static_cast<char>(v);
+}
+
+void put_chunk(std::string& out, const char type[4], const std::string& data) {
+  put_u32(out, static_cast<std::uint32_t>(data.size()));
+  const std::size_t crc_start = out.size();
+  out.append(type, 4);
+  out += data;
+  const std::uint32_t crc =
+      crc32(reinterpret_cast<const std::uint8_t*>(out.data() + crc_start),
+            out.size() - crc_start);
+  put_u32(out, crc);
+}
+
+int paeth(int a, int b, int c) {
+  const int p = a + b - c;
+  const int pa = std::abs(p - a);
+  const int pb = std::abs(p - b);
+  const int pc = std::abs(p - c);
+  if (pa <= pb && pa <= pc) return a;
+  if (pb <= pc) return b;
+  return c;
+}
+
+}  // namespace
+
+std::string encode_png(const Framebuffer& fb) {
+  std::string out("\x89PNG\r\n\x1a\n", 8);
+
+  std::string ihdr;
+  put_u32(ihdr, static_cast<std::uint32_t>(fb.width()));
+  put_u32(ihdr, static_cast<std::uint32_t>(fb.height()));
+  ihdr += static_cast<char>(8);  // bit depth
+  ihdr += static_cast<char>(2);  // color type: truecolor RGB
+  ihdr += static_cast<char>(0);  // compression
+  ihdr += static_cast<char>(0);  // filter method
+  ihdr += static_cast<char>(0);  // no interlace
+  put_chunk(out, "IHDR", ihdr);
+
+  // Raw scanlines: filter byte 0 (None) + RGB triples. The deflate LZ77
+  // stage captures the long horizontal runs of a Gantt chart directly.
+  const std::size_t stride = static_cast<std::size_t>(fb.width()) * 3 + 1;
+  std::vector<std::uint8_t> raw(stride * static_cast<std::size_t>(fb.height()));
+  const auto& px = fb.pixels();
+  for (int y = 0; y < fb.height(); ++y) {
+    std::uint8_t* row = raw.data() + static_cast<std::size_t>(y) * stride;
+    row[0] = 0;  // filter: None
+    const std::uint8_t* src =
+        px.data() + static_cast<std::size_t>(y) * fb.width() * 4;
+    for (int x = 0; x < fb.width(); ++x) {
+      row[1 + x * 3] = src[x * 4];
+      row[2 + x * 3] = src[x * 4 + 1];
+      row[3 + x * 3] = src[x * 4 + 2];
+    }
+  }
+
+  const auto z = zlib_compress(raw.data(), raw.size(), /*compress=*/true);
+  put_chunk(out, "IDAT",
+            std::string(reinterpret_cast<const char*>(z.data()), z.size()));
+  put_chunk(out, "IEND", "");
+  return out;
+}
+
+void save_png(const Framebuffer& fb, const std::string& path) {
+  io::write_file(path, encode_png(fb));
+}
+
+Framebuffer decode_png(const std::string& bytes) {
+  const auto* data = reinterpret_cast<const std::uint8_t*>(bytes.data());
+  const std::size_t size = bytes.size();
+  if (size < 8 || std::memcmp(data, "\x89PNG\r\n\x1a\n", 8) != 0) {
+    throw ParseError("png: bad signature");
+  }
+  auto read_u32 = [&](std::size_t pos) {
+    return (static_cast<std::uint32_t>(data[pos]) << 24) |
+           (static_cast<std::uint32_t>(data[pos + 1]) << 16) |
+           (static_cast<std::uint32_t>(data[pos + 2]) << 8) |
+           static_cast<std::uint32_t>(data[pos + 3]);
+  };
+
+  int width = 0;
+  int height = 0;
+  int channels = 0;
+  std::vector<std::uint8_t> idat;
+  std::size_t pos = 8;
+  bool done = false;
+  while (!done) {
+    if (pos + 8 > size) throw ParseError("png: truncated chunk header");
+    const std::uint32_t len = read_u32(pos);
+    const char* type = reinterpret_cast<const char*>(data + pos + 4);
+    if (pos + 12 + len > size) throw ParseError("png: truncated chunk");
+    const std::uint8_t* body = data + pos + 8;
+    if (std::memcmp(type, "IHDR", 4) == 0) {
+      if (len != 13) throw ParseError("png: bad IHDR");
+      width = static_cast<int>(read_u32(pos + 8));
+      height = static_cast<int>(read_u32(pos + 12));
+      if (body[8] != 8) throw ParseError("png: only 8-bit depth supported");
+      if (body[9] == 2) channels = 3;
+      else if (body[9] == 6) channels = 4;
+      else throw ParseError("png: only RGB/RGBA supported");
+      if (body[12] != 0) throw ParseError("png: interlacing unsupported");
+    } else if (std::memcmp(type, "IDAT", 4) == 0) {
+      idat.insert(idat.end(), body, body + len);
+    } else if (std::memcmp(type, "IEND", 4) == 0) {
+      done = true;
+    }
+    pos += 12 + len;
+  }
+  if (width <= 0 || height <= 0 || channels == 0) {
+    throw ParseError("png: missing IHDR");
+  }
+
+  const auto raw = zlib_decompress(idat.data(), idat.size());
+  const std::size_t stride =
+      static_cast<std::size_t>(width) * static_cast<std::size_t>(channels) + 1;
+  if (raw.size() != stride * static_cast<std::size_t>(height)) {
+    throw ParseError("png: pixel data size mismatch");
+  }
+
+  // Undo per-scanline filtering.
+  std::vector<std::uint8_t> img(stride * static_cast<std::size_t>(height));
+  const int bpp = channels;
+  for (int y = 0; y < height; ++y) {
+    const std::uint8_t* src = raw.data() + static_cast<std::size_t>(y) * stride;
+    std::uint8_t* dst = img.data() + static_cast<std::size_t>(y) * stride;
+    const std::uint8_t* above =
+        y > 0 ? img.data() + static_cast<std::size_t>(y - 1) * stride : nullptr;
+    const int filter = src[0];
+    dst[0] = 0;
+    const int rowlen = static_cast<int>(stride) - 1;
+    for (int i = 0; i < rowlen; ++i) {
+      const int x = src[1 + i];
+      const int a = i >= bpp ? dst[1 + i - bpp] : 0;
+      const int b = above != nullptr ? above[1 + i] : 0;
+      const int c = (above != nullptr && i >= bpp) ? above[1 + i - bpp] : 0;
+      int v = 0;
+      switch (filter) {
+        case 0: v = x; break;
+        case 1: v = x + a; break;
+        case 2: v = x + b; break;
+        case 3: v = x + (a + b) / 2; break;
+        case 4: v = x + paeth(a, b, c); break;
+        default: throw ParseError("png: unknown filter type");
+      }
+      dst[1 + i] = static_cast<std::uint8_t>(v & 0xFF);
+    }
+  }
+
+  Framebuffer fb(width, height);
+  for (int y = 0; y < height; ++y) {
+    const std::uint8_t* row = img.data() + static_cast<std::size_t>(y) * stride + 1;
+    for (int x = 0; x < width; ++x) {
+      Color c;
+      c.r = row[x * channels];
+      c.g = row[x * channels + 1];
+      c.b = row[x * channels + 2];
+      c.a = channels == 4 ? row[x * channels + 3] : 255;
+      fb.set_pixel_unchecked(x, y, c);
+    }
+  }
+  return fb;
+}
+
+}  // namespace jedule::render

@@ -1,0 +1,23 @@
+#pragma once
+
+// PNG (RFC 2083) encoder for Framebuffer images, plus a decoder for the
+// subset this encoder emits (8-bit RGB/RGBA, filter types 0/1), used by the
+// round-trip tests.
+
+#include <string>
+
+#include "jedule/render/framebuffer.hpp"
+
+namespace jedule::render {
+
+/// Encodes as an 8-bit RGB PNG (the framebuffer is always opaque). The
+/// zlib payload uses the in-tree fixed-Huffman deflate.
+std::string encode_png(const Framebuffer& fb);
+
+void save_png(const Framebuffer& fb, const std::string& path);
+
+/// Decodes a PNG produced by encode_png (or any 8-bit RGB/RGBA PNG with
+/// filters None/Sub/Up/Average/Paeth and no interlacing).
+Framebuffer decode_png(const std::string& bytes);
+
+}  // namespace jedule::render

@@ -1,0 +1,25 @@
+#include "jedule/render/ppm.hpp"
+
+#include "jedule/io/file.hpp"
+
+namespace jedule::render {
+
+std::string encode_ppm(const Framebuffer& fb) {
+  std::string out = "P6\n" + std::to_string(fb.width()) + " " +
+                    std::to_string(fb.height()) + "\n255\n";
+  out.reserve(out.size() +
+              static_cast<std::size_t>(fb.width()) * fb.height() * 3);
+  const auto& px = fb.pixels();
+  for (std::size_t i = 0; i < px.size(); i += 4) {
+    out += static_cast<char>(px[i]);
+    out += static_cast<char>(px[i + 1]);
+    out += static_cast<char>(px[i + 2]);
+  }
+  return out;
+}
+
+void save_ppm(const Framebuffer& fb, const std::string& path) {
+  io::write_file(path, encode_ppm(fb));
+}
+
+}  // namespace jedule::render

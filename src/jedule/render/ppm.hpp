@@ -1,0 +1,15 @@
+#pragma once
+
+// Binary PPM (P6) export — the simplest interchange format, handy for
+// piping renders into external tools.
+
+#include <string>
+
+#include "jedule/render/framebuffer.hpp"
+
+namespace jedule::render {
+
+std::string encode_ppm(const Framebuffer& fb);
+void save_ppm(const Framebuffer& fb, const std::string& path);
+
+}  // namespace jedule::render

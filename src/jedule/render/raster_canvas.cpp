@@ -1,0 +1,53 @@
+#include "jedule/render/raster_canvas.hpp"
+
+#include <cmath>
+
+#include "jedule/render/font.hpp"
+
+namespace jedule::render {
+
+namespace {
+int px(double v) { return static_cast<int>(std::lround(v)); }
+}  // namespace
+
+void RasterCanvas::fill_rect(double x, double y, double w, double h,
+                             color::Color c) {
+  // Round edges, not sizes, so adjacent rectangles tile without gaps.
+  const int x0 = px(x);
+  const int y0 = px(y);
+  fb_.fill_rect(x0, y0, px(x + w) - x0, px(y + h) - y0, c);
+}
+
+void RasterCanvas::stroke_rect(double x, double y, double w, double h,
+                               color::Color c) {
+  const int x0 = px(x);
+  const int y0 = px(y);
+  fb_.draw_rect(x0, y0, px(x + w) - x0, px(y + h) - y0, c);
+}
+
+void RasterCanvas::line(double x0, double y0, double x1, double y1,
+                        color::Color c) {
+  fb_.draw_line(px(x0), px(y0), px(x1), px(y1), c);
+}
+
+void RasterCanvas::hatch_rect(double x, double y, double w, double h,
+                              int spacing, color::Color c) {
+  const int x0 = px(x);
+  const int y0 = px(y);
+  fb_.hatch_rect(x0, y0, px(x + w) - x0, px(y + h) - y0, spacing, c);
+}
+
+void RasterCanvas::text(double x, double y, std::string_view text,
+                        color::Color c, int size) {
+  draw_text(fb_, px(x), px(y), text, c, scale_for_font_size(size));
+}
+
+double RasterCanvas::text_width(std::string_view text, int size) const {
+  return render::text_width(text, scale_for_font_size(size));
+}
+
+double RasterCanvas::text_height(int size) const {
+  return render::text_height(scale_for_font_size(size));
+}
+
+}  // namespace jedule::render

@@ -1,0 +1,38 @@
+#pragma once
+
+// Canvas backend that rasterizes into a Framebuffer using the embedded
+// bitmap font — the byte-reproducible path behind PNG and PPM export.
+
+#include <string>
+
+#include "jedule/render/canvas.hpp"
+#include "jedule/render/framebuffer.hpp"
+
+namespace jedule::render {
+
+class RasterCanvas final : public Canvas {
+ public:
+  /// Draws onto `fb`, which must outlive the canvas.
+  explicit RasterCanvas(Framebuffer& fb) : fb_(fb) {}
+
+  int width() const override { return fb_.width(); }
+  int height() const override { return fb_.height(); }
+
+  void fill_rect(double x, double y, double w, double h,
+                 color::Color c) override;
+  void stroke_rect(double x, double y, double w, double h,
+                   color::Color c) override;
+  void line(double x0, double y0, double x1, double y1,
+            color::Color c) override;
+  void hatch_rect(double x, double y, double w, double h, int spacing,
+                  color::Color c) override;
+  void text(double x, double y, std::string_view text, color::Color c,
+            int size) override;
+  double text_width(std::string_view text, int size) const override;
+  double text_height(int size) const override;
+
+ private:
+  Framebuffer& fb_;
+};
+
+}  // namespace jedule::render

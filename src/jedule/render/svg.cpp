@@ -1,0 +1,69 @@
+#include "jedule/render/svg.hpp"
+
+#include "jedule/util/strings.hpp"
+
+namespace jedule::render {
+
+namespace {
+std::string num(double v) {
+  // Two decimals are plenty at chart scale and keep files small and stable.
+  std::string s = util::format_fixed(v, 2);
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s.empty() ? "0" : s;
+}
+
+std::string rgb(color::Color c) { return "#" + color::to_hex(c); }
+}  // namespace
+
+SvgCanvas::SvgCanvas(int width, int height) : width_(width), height_(height) {}
+
+void SvgCanvas::fill_rect(double x, double y, double w, double h,
+                          color::Color c) {
+  body_ += "<rect x=\"" + num(x) + "\" y=\"" + num(y) + "\" width=\"" +
+           num(w) + "\" height=\"" + num(h) + "\" fill=\"" + rgb(c) + "\"";
+  if (c.a != 255) {
+    body_ += " fill-opacity=\"" + num(c.a / 255.0) + "\"";
+  }
+  body_ += "/>\n";
+}
+
+void SvgCanvas::stroke_rect(double x, double y, double w, double h,
+                            color::Color c) {
+  body_ += "<rect x=\"" + num(x) + "\" y=\"" + num(y) + "\" width=\"" +
+           num(w) + "\" height=\"" + num(h) + "\" fill=\"none\" stroke=\"" +
+           rgb(c) + "\" stroke-width=\"1\"/>\n";
+}
+
+void SvgCanvas::line(double x0, double y0, double x1, double y1,
+                     color::Color c) {
+  body_ += "<line x1=\"" + num(x0) + "\" y1=\"" + num(y0) + "\" x2=\"" +
+           num(x1) + "\" y2=\"" + num(y1) + "\" stroke=\"" + rgb(c) +
+           "\" stroke-width=\"1\"/>\n";
+}
+
+void SvgCanvas::text(double x, double y, std::string_view text,
+                     color::Color c, int size) {
+  // Canvas anchors text at the top-left; SVG anchors at the baseline.
+  body_ += "<text x=\"" + num(x) + "\" y=\"" + num(y + size * 0.8) +
+           "\" font-family=\"monospace\" font-size=\"" +
+           std::to_string(size) + "\" fill=\"" + rgb(c) + "\">" +
+           util::xml_escape(text) + "</text>\n";
+}
+
+double SvgCanvas::text_width(std::string_view text, int size) const {
+  // Monospace advance is ~0.6 em.
+  return static_cast<double>(text.size()) * size * 0.6;
+}
+
+double SvgCanvas::text_height(int size) const { return size; }
+
+std::string SvgCanvas::finish() const {
+  return "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+         "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" +
+         std::to_string(width_) + "\" height=\"" + std::to_string(height_) +
+         "\" viewBox=\"0 0 " + std::to_string(width_) + " " +
+         std::to_string(height_) + "\">\n" + body_ + "</svg>\n";
+}
+
+}  // namespace jedule::render

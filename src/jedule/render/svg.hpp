@@ -1,0 +1,39 @@
+#pragma once
+
+// SVG vector canvas. Substitutes for the Java original's JPEG export with a
+// resolution-independent format (see DESIGN.md §2).
+
+#include <string>
+
+#include "jedule/render/canvas.hpp"
+
+namespace jedule::render {
+
+class SvgCanvas final : public Canvas {
+ public:
+  SvgCanvas(int width, int height);
+
+  int width() const override { return width_; }
+  int height() const override { return height_; }
+
+  void fill_rect(double x, double y, double w, double h,
+                 color::Color c) override;
+  void stroke_rect(double x, double y, double w, double h,
+                   color::Color c) override;
+  void line(double x0, double y0, double x1, double y1,
+            color::Color c) override;
+  void text(double x, double y, std::string_view text, color::Color c,
+            int size) override;
+  double text_width(std::string_view text, int size) const override;
+  double text_height(int size) const override;
+
+  /// Complete SVG document.
+  std::string finish() const;
+
+ private:
+  int width_;
+  int height_;
+  std::string body_;
+};
+
+}  // namespace jedule::render

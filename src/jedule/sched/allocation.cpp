@@ -1,0 +1,90 @@
+#include "jedule/sched/allocation.hpp"
+
+#include <algorithm>
+
+#include "jedule/util/error.hpp"
+
+namespace jedule::sched {
+
+AllocationResult allocate(const dag::Dag& dag,
+                          const AllocationOptions& options) {
+  JED_ASSERT(options.total_procs >= 1);
+  JED_ASSERT(options.host_speed > 0);
+  const int n = dag.node_count();
+  const int P = options.total_procs;
+
+  AllocationResult r;
+  r.procs.assign(static_cast<std::size_t>(n), 1);
+  r.times.resize(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    r.times[static_cast<std::size_t>(v)] =
+        dag.node(v).exec_time(1, options.host_speed);
+  }
+
+  const auto levels = dag.precedence_levels();
+  std::vector<int> level_alloc;
+  for (int v = 0; v < n; ++v) {
+    const auto level = static_cast<std::size_t>(levels[static_cast<std::size_t>(v)]);
+    if (level >= level_alloc.size()) level_alloc.resize(level + 1, 0);
+    ++level_alloc[level];
+  }
+
+  // Each iteration adds one processor to one task, so n*(P-1) bounds the
+  // reachable states; the loop also exits as soon as no growth helps.
+  const int max_iter = options.max_iterations > 0 ? options.max_iterations
+                                                  : n * std::max(1, P - 1);
+
+  r.t_cp = dag.critical_path_time(r.times);
+  r.t_a = dag.average_area(r.times, r.procs, P);
+
+  while (r.t_cp > r.t_a && r.iterations < max_iter) {
+    const auto path = dag.critical_path(r.times);
+    int best = -1;
+    double best_gain = 0.0;
+    for (int v : path) {
+      const auto vi = static_cast<std::size_t>(v);
+      const int p = r.procs[vi];
+      if (p >= P) continue;
+      if (options.level_cap) {
+        const auto level = static_cast<std::size_t>(levels[vi]);
+        if (level_alloc[level] >= P) continue;  // MCPA: level saturated
+      }
+      const double gain =
+          r.times[vi] - dag.node(v).exec_time(p + 1, options.host_speed);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = v;
+      }
+    }
+    if (best < 0) break;  // no critical task can usefully grow
+
+    const auto bi = static_cast<std::size_t>(best);
+    ++r.procs[bi];
+    ++level_alloc[static_cast<std::size_t>(levels[bi])];
+    r.times[bi] = dag.node(best).exec_time(r.procs[bi], options.host_speed);
+    ++r.iterations;
+    r.t_cp = dag.critical_path_time(r.times);
+    r.t_a = dag.average_area(r.times, r.procs, P);
+  }
+  return r;
+}
+
+AllocationResult cpa_allocate(const dag::Dag& dag, int total_procs,
+                              double host_speed) {
+  AllocationOptions o;
+  o.total_procs = total_procs;
+  o.host_speed = host_speed;
+  o.level_cap = false;
+  return allocate(dag, o);
+}
+
+AllocationResult mcpa_allocate(const dag::Dag& dag, int total_procs,
+                               double host_speed) {
+  AllocationOptions o;
+  o.total_procs = total_procs;
+  o.host_speed = host_speed;
+  o.level_cap = true;
+  return allocate(dag, o);
+}
+
+}  // namespace jedule::sched

@@ -1,0 +1,52 @@
+#pragma once
+
+// Allocation phase of the two-step moldable-task schedulers (paper
+// Sec. III.B).
+//
+// CPA (Radulescu & van Gemund): start every task at one processor; while
+// the critical-path length T_CP exceeds the average area T_A, grow the
+// allocation of the critical-path task whose extra processor shortens it
+// the most. Both T_CP and T_A are lower bounds on the makespan, so the loop
+// balances them.
+//
+// MCPA (Bansal et al.): same loop, but a task may only grow while the total
+// allocation of its precedence level stays within the machine size —
+// preserving task parallelism within a level. This is exactly the behaviour
+// that backfires in Fig. 4 when one level mixes cheap and expensive tasks.
+
+#include <vector>
+
+#include "jedule/dag/dag.hpp"
+
+namespace jedule::sched {
+
+struct AllocationOptions {
+  int total_procs = 1;
+  double host_speed = 1.0;
+
+  /// MCPA's per-precedence-level cap (ignored by CPA).
+  bool level_cap = false;
+
+  /// Safety bound on allocation-growing iterations (0 = automatic).
+  int max_iterations = 0;
+};
+
+struct AllocationResult {
+  std::vector<int> procs;       // p(v) per node
+  std::vector<double> times;    // T(v, p(v)) at host_speed
+  double t_cp = 0;              // critical path with these times
+  double t_a = 0;               // average area
+  int iterations = 0;
+};
+
+/// Runs the CPA/MCPA allocation loop (level_cap selects MCPA).
+AllocationResult allocate(const dag::Dag& dag,
+                          const AllocationOptions& options);
+
+/// Convenience wrappers.
+AllocationResult cpa_allocate(const dag::Dag& dag, int total_procs,
+                              double host_speed = 1.0);
+AllocationResult mcpa_allocate(const dag::Dag& dag, int total_procs,
+                               double host_speed = 1.0);
+
+}  // namespace jedule::sched

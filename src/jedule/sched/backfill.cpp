@@ -1,0 +1,157 @@
+#include "jedule/sched/backfill.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "jedule/util/error.hpp"
+
+namespace jedule::sched {
+
+namespace {
+
+/// Busy intervals per host (multiset: several tasks can contribute equal
+/// intervals); supports free queries, earliest-fit, and release of one
+/// specific interval when its task is being re-placed.
+class Timeline {
+ public:
+  bool is_free(double t0, double t1) const {
+    for (const auto& [b, e] : busy_) {
+      if (b >= t1) break;
+      if (e > t0) return false;
+    }
+    return true;
+  }
+
+  /// Earliest t >= ready with [t, t+len) free.
+  double earliest_fit(double ready, double len) const {
+    double t = ready;
+    for (const auto& [b, e] : busy_) {
+      if (b >= t + len) break;
+      if (e > t) t = e;
+    }
+    return t;
+  }
+
+  void occupy(double t0, double t1) { busy_.emplace(t0, t1); }
+
+  void release(double t0, double t1) {
+    const auto it = busy_.find({t0, t1});
+    JED_ASSERT(it != busy_.end());
+    busy_.erase(it);
+  }
+
+ private:
+  std::multiset<std::pair<double, double>> busy_;
+};
+
+}  // namespace
+
+BackfillResult conservative_backfill(
+    const std::vector<PlacedTask>& tasks, int total_hosts,
+    const std::vector<std::vector<int>>& deps,
+    const std::vector<std::vector<double>>& dep_delay) {
+  JED_ASSERT(deps.size() == tasks.size());
+  JED_ASSERT(dep_delay.empty() || dep_delay.size() == tasks.size());
+
+  BackfillResult result;
+  result.tasks = tasks;
+
+  // Every task's current slot is reserved up front, so a move can never
+  // collide with a task that has not been revisited yet — the property
+  // that makes the pass conservative.
+  std::vector<Timeline> timeline(static_cast<std::size_t>(total_hosts));
+  for (const auto& t : tasks) {
+    for (int h : t.hosts) {
+      JED_ASSERT(h >= 0 && h < total_hosts);
+      timeline[static_cast<std::size_t>(h)].occupy(t.start, t.finish);
+    }
+  }
+
+  // Revisit in nondecreasing current start time (schedule FIFO order).
+  std::vector<std::size_t> order(tasks.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return tasks[a].start < tasks[b].start;
+                   });
+
+  for (std::size_t i : order) {
+    PlacedTask& t = result.tasks[i];
+    const double len = t.finish - t.start;
+
+    double ready = 0;
+    for (std::size_t d = 0; d < deps[i].size(); ++d) {
+      const auto j = static_cast<std::size_t>(deps[i][d]);
+      const double delay =
+          dep_delay.empty() || dep_delay[i].empty() ? 0.0 : dep_delay[i][d];
+      // result.tasks[j] holds j's final position if already revisited and
+      // its original one otherwise; either way a position it will not
+      // leave for a later one (moves only go earlier... and revisit order
+      // is by start time, so dependencies come first).
+      ready = std::max(ready, result.tasks[j].finish + delay);
+    }
+
+    // Take the task off the board while searching for its new slot.
+    for (int h : t.hosts) {
+      timeline[static_cast<std::size_t>(h)].release(t.start, t.finish);
+    }
+
+    auto fits = [&](const std::vector<int>& hosts, double at) {
+      for (int h : hosts) {
+        if (!timeline[static_cast<std::size_t>(h)].is_free(at, at + len)) {
+          return false;
+        }
+      }
+      return true;
+    };
+
+    double best_start = t.start;  // staying put is always feasible
+    std::vector<int> best_hosts = t.hosts;
+
+    // 1. Squeeze earlier on the original hosts: iterate the combined
+    // earliest fit (raising the bound on one host can invalidate another).
+    {
+      double at = ready;
+      for (int round = 0; round < 16; ++round) {
+        double next = at;
+        for (int h : t.hosts) {
+          next = std::max(
+              next, timeline[static_cast<std::size_t>(h)].earliest_fit(at, len));
+        }
+        if (next == at) break;
+        at = next;
+      }
+      if (at < best_start && fits(t.hosts, at)) {
+        best_start = at;
+        best_hosts = t.hosts;
+      }
+    }
+
+    // 2. Anywhere at the ready time: any |hosts| processors free there.
+    if (best_start > ready) {
+      std::vector<int> chosen;
+      for (int h = 0;
+           h < total_hosts && chosen.size() < t.hosts.size(); ++h) {
+        if (timeline[static_cast<std::size_t>(h)].is_free(ready,
+                                                          ready + len)) {
+          chosen.push_back(h);
+        }
+      }
+      if (chosen.size() == t.hosts.size()) {
+        best_start = ready;
+        best_hosts = std::move(chosen);
+      }
+    }
+
+    if (best_start < t.start) ++result.moved;
+    t.start = best_start;
+    t.finish = best_start + len;
+    t.hosts = best_hosts;
+    for (int h : t.hosts) {
+      timeline[static_cast<std::size_t>(h)].occupy(t.start, t.finish);
+    }
+  }
+  return result;
+}
+
+}  // namespace jedule::sched

@@ -1,0 +1,43 @@
+#pragma once
+
+// Conservative backfilling over a placed task list (paper Sec. IV.B: "a
+// conservative backfilling step applied at the end of the scheduling
+// process ... a check that no task is delayed by this step").
+//
+// Tasks are revisited in start order; each may move to an earlier time on
+// any set of processors of the same size, provided its predecessors'
+// (possibly already moved) finish times are respected and no other task is
+// displaced. Moves only go earlier, so no task is ever delayed —
+// conservative by construction.
+
+#include <vector>
+
+#include "jedule/dag/dag.hpp"
+
+namespace jedule::sched {
+
+/// One placed task in the flat representation the backfiller works on.
+struct PlacedTask {
+  int node = -1;                 // DAG node id, or -1 for non-DAG tasks
+  std::vector<int> hosts;        // global host ids (size preserved by moves)
+  double start = 0;
+  double finish = 0;
+  int app = -1;                  // owning application (multi-DAG)
+};
+
+struct BackfillResult {
+  std::vector<PlacedTask> tasks;  // same order as the input
+  int moved = 0;                  // how many tasks started earlier
+};
+
+/// Backfills `tasks` on `total_hosts` processors. `deps[i]` lists indices
+/// (into `tasks`) that must finish before task i starts, with an optional
+/// communication delay per dependency in `dep_delay` (same shape, may be
+/// empty for all-zero). Keeps host-set sizes; prefers keeping the original
+/// hosts when the earlier slot fits there.
+BackfillResult conservative_backfill(
+    const std::vector<PlacedTask>& tasks, int total_hosts,
+    const std::vector<std::vector<int>>& deps,
+    const std::vector<std::vector<double>>& dep_delay = {});
+
+}  // namespace jedule::sched

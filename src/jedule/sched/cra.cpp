@@ -1,0 +1,230 @@
+#include "jedule/sched/cra.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "jedule/sched/backfill.hpp"
+#include "jedule/util/error.hpp"
+#include "jedule/util/strings.hpp"
+
+namespace jedule::sched {
+
+const char* share_metric_name(ShareMetric metric) {
+  switch (metric) {
+    case ShareMetric::kWork: return "CRA_WORK";
+    case ShareMetric::kWidth: return "CRA_WIDTH";
+    case ShareMetric::kEqual: return "CRA_EQUAL";
+  }
+  return "?";
+}
+
+std::vector<double> cra_shares(const std::vector<dag::Dag>& apps,
+                               ShareMetric metric, double mu) {
+  if (apps.empty()) throw ArgumentError("no applications");
+  if (mu < 0 || mu > 1) throw ArgumentError("mu outside [0, 1]");
+
+  std::vector<double> weight(apps.size(), 1.0);
+  if (metric == ShareMetric::kWork) {
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+      // W(i) with the reference sequential allocation p(v) = 1, for which
+      // T(v, 1) * 1 equals the node work.
+      double w = 0;
+      for (const auto& node : apps[i].nodes()) w += node.work;
+      weight[i] = w;
+    }
+  } else if (metric == ShareMetric::kWidth) {
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+      weight[i] = apps[i].width();
+    }
+  }
+  const double total = std::accumulate(weight.begin(), weight.end(), 0.0);
+  JED_ASSERT(total > 0);
+
+  std::vector<double> beta(apps.size());
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    beta[i] = mu / static_cast<double>(apps.size()) +
+              (1.0 - mu) * weight[i] / total;
+  }
+  return beta;
+}
+
+namespace {
+
+/// Integer processor counts from the fractional shares: every app gets at
+/// least 1; leftovers go to the largest remainders.
+std::vector<int> integral_shares(const std::vector<double>& beta, int P) {
+  const auto n = beta.size();
+  if (static_cast<int>(n) > P) {
+    throw ArgumentError("more applications (" + std::to_string(n) +
+                        ") than processors (" + std::to_string(P) + ")");
+  }
+  std::vector<int> procs(n, 1);
+  std::vector<double> remainder(n);
+  int used = static_cast<int>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double exact = beta[i] * P;
+    const int extra = std::max(0, static_cast<int>(exact) - 1);
+    procs[i] += extra;
+    used += extra;
+    remainder[i] = exact - static_cast<double>(procs[i]);
+  }
+  // Too many (rounding of large shares after the +1 floor): trim from the
+  // most over-served apps.
+  while (used > P) {
+    std::size_t worst = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (procs[i] > 1 &&
+          (procs[worst] <= 1 || remainder[i] < remainder[worst])) {
+        worst = i;
+      }
+    }
+    JED_ASSERT(procs[worst] > 1);
+    --procs[worst];
+    remainder[worst] += 1.0;
+    --used;
+  }
+  // Leftovers: largest remainder first.
+  while (used < P) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (remainder[i] > remainder[best]) best = i;
+    }
+    ++procs[best];
+    remainder[best] -= 1.0;
+    ++used;
+  }
+  return procs;
+}
+
+}  // namespace
+
+CraResult schedule_multi_dag(const std::vector<dag::Dag>& apps,
+                             const platform::Platform& platform,
+                             const CraOptions& options) {
+  if (platform.clusters().size() != 1) {
+    throw ArgumentError("CRA targets a single homogeneous cluster");
+  }
+  const auto& cluster = platform.clusters()[0];
+  const int P = cluster.hosts;
+  const double speed = cluster.host_speed;
+
+  const auto beta = cra_shares(apps, options.metric, options.mu);
+  const auto procs = integral_shares(beta, P);
+
+  CraResult result;
+  sim::add_platform_clusters(platform, result.schedule);
+  result.schedule.set_meta("algorithm", share_metric_name(options.metric));
+  result.schedule.set_meta("mu", util::format_fixed(options.mu, 2));
+  result.schedule.set_meta("apps", std::to_string(apps.size()));
+
+  const bool level_cap = options.inner == MTaskAlgorithm::kMcpa;
+
+  // Flat task list for the optional backfill pass.
+  std::vector<PlacedTask> placed;
+  std::vector<std::vector<int>> deps;
+  std::vector<std::vector<std::size_t>> index_of_node(apps.size());
+
+  int next_host = platform.first_host(cluster.id);
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    CraAppResult app;
+    app.first_host = next_host;
+    app.host_count = procs[i];
+    next_host += procs[i];
+
+    // Allocation constrained to the app's block size, then list mapping on
+    // exactly that block.
+    AllocationOptions ao;
+    ao.total_procs = app.host_count;
+    ao.host_speed = speed;
+    ao.level_cap = level_cap;
+    const auto alloc = allocate(apps[i], ao);
+
+    std::vector<int> pool(static_cast<std::size_t>(app.host_count));
+    std::iota(pool.begin(), pool.end(), app.first_host);
+    const auto mapped = map_allocations(apps[i], platform, pool, alloc.procs);
+    const auto sim = sim::simulate_dag(apps[i], platform, mapped.mapping);
+    app.makespan = sim.makespan;
+
+    // Dedicated baseline: the whole cluster to itself.
+    const auto dedicated = schedule_mtask(
+        apps[i], platform,
+        level_cap ? MTaskAlgorithm::kMcpa : MTaskAlgorithm::kCpa);
+    app.dedicated = dedicated.makespan;
+    app.stretch = app.dedicated > 0 ? app.makespan / app.dedicated : 0.0;
+
+    // Record tasks into the flat list (used for the merged schedule too).
+    index_of_node[i].resize(static_cast<std::size_t>(apps[i].node_count()));
+    for (int v = 0; v < apps[i].node_count(); ++v) {
+      PlacedTask t;
+      t.node = v;
+      t.hosts = mapped.mapping.items[static_cast<std::size_t>(v)].hosts;
+      t.start = sim.start[static_cast<std::size_t>(v)];
+      t.finish = sim.finish[static_cast<std::size_t>(v)];
+      t.app = static_cast<int>(i);
+      index_of_node[i][static_cast<std::size_t>(v)] = placed.size();
+      placed.push_back(std::move(t));
+    }
+    result.apps.push_back(app);
+  }
+
+  deps.resize(placed.size());
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    for (const auto& e : apps[i].edges()) {
+      deps[index_of_node[i][static_cast<std::size_t>(e.dst)]].push_back(
+          static_cast<int>(index_of_node[i][static_cast<std::size_t>(e.src)]));
+    }
+  }
+
+  auto idle_of = [&](const std::vector<PlacedTask>& tasks) {
+    double makespan = 0;
+    double busy = 0;
+    for (const auto& t : tasks) {
+      makespan = std::max(makespan, t.finish);
+      busy += (t.finish - t.start) * static_cast<double>(t.hosts.size());
+    }
+    return makespan * P - busy;
+  };
+  result.idle_before_backfill = idle_of(placed);
+
+  if (options.backfill) {
+    auto backfilled = conservative_backfill(placed, P, deps);
+    result.backfilled_tasks = backfilled.moved;
+    placed = std::move(backfilled.tasks);
+  }
+  result.idle_after_backfill = idle_of(placed);
+
+  // Merged jedule view: one task type per application so the colormap gives
+  // "each having its own color" (Fig. 5).
+  for (const auto& t : placed) {
+    const auto& node = apps[static_cast<std::size_t>(t.app)].node(t.node);
+    model::Task task("a" + std::to_string(t.app) + "." + node.name,
+                     "app" + std::to_string(t.app), t.start, t.finish);
+    std::vector<int> hosts = t.hosts;
+    std::sort(hosts.begin(), hosts.end());
+    model::Configuration cfg;
+    cfg.cluster_id = cluster.id;
+    const int base = platform.first_host(cluster.id);
+    for (int h : hosts) {
+      const int local = h - base;
+      if (!cfg.hosts.empty() &&
+          cfg.hosts.back().start + cfg.hosts.back().nb == local) {
+        ++cfg.hosts.back().nb;
+      } else {
+        cfg.hosts.push_back(model::HostRange{local, 1});
+      }
+    }
+    task.add_configuration(std::move(cfg));
+    task.set_property("app", std::to_string(t.app));
+    result.schedule.add_task(std::move(task));
+    result.overall_makespan = std::max(result.overall_makespan, t.finish);
+  }
+  for (const auto& app : result.apps) {
+    result.max_stretch = std::max(result.max_stretch, app.stretch);
+  }
+  result.schedule.set_meta(
+      "makespan", util::format_fixed(result.overall_makespan, 3));
+  result.schedule.validate();
+  return result;
+}
+
+}  // namespace jedule::sched

@@ -1,0 +1,69 @@
+#pragma once
+
+// Constrained Resource Allocation for concurrent mixed-parallel
+// applications (paper Sec. IV; N'takpe & Suter, PDSEC 2009).
+//
+// The cluster's P processors are split among the N applications: app i gets
+// a share
+//     beta_i = mu / |A|  +  (1 - mu) * w(i) / sum_j w(j)
+// where w(i) is the share metric — the application's total work (CRA_WORK),
+// its width (CRA_WIDTH), or 1 (equal split) — and mu in [0,1] blends toward
+// an even division. Each application is then scheduled by CPA (or MCPA)
+// strictly inside its own processor block, which is the property Fig. 5
+// checks visually: "the tasks of each application are mapped on distinct
+// processors".
+
+#include <string>
+#include <vector>
+
+#include "jedule/dag/dag.hpp"
+#include "jedule/model/schedule.hpp"
+#include "jedule/platform/platform.hpp"
+#include "jedule/sched/mtask.hpp"
+
+namespace jedule::sched {
+
+enum class ShareMetric { kWork, kWidth, kEqual };
+
+const char* share_metric_name(ShareMetric metric);
+
+struct CraOptions {
+  ShareMetric metric = ShareMetric::kWork;
+  double mu = 0.5;
+  MTaskAlgorithm inner = MTaskAlgorithm::kCpa;
+
+  /// Apply the conservative backfilling pass of Sec. IV.B after the
+  /// constrained schedules are merged.
+  bool backfill = false;
+};
+
+struct CraAppResult {
+  int first_host = 0;      // the app's processor block [first, first+count)
+  int host_count = 0;
+  double makespan = 0;     // within the shared run
+  double dedicated = 0;    // same algorithm, whole cluster to itself
+  double stretch = 0;      // makespan / dedicated (lower is better)
+};
+
+struct CraResult {
+  model::Schedule schedule;           // merged view; task type = "app<i>"
+  std::vector<CraAppResult> apps;
+  double overall_makespan = 0;
+  double max_stretch = 0;
+  double idle_before_backfill = 0;    // idle area within the makespan
+  double idle_after_backfill = 0;     // == before when backfill is off
+  int backfilled_tasks = 0;
+};
+
+/// Schedules `apps` concurrently on the single homogeneous cluster of
+/// `platform`. Throws ArgumentError when there are more applications than
+/// processors (every app needs at least one).
+CraResult schedule_multi_dag(const std::vector<dag::Dag>& apps,
+                             const platform::Platform& platform,
+                             const CraOptions& options = {});
+
+/// The share fractions beta_i (sum to 1) for the given metric and mu.
+std::vector<double> cra_shares(const std::vector<dag::Dag>& apps,
+                               ShareMetric metric, double mu);
+
+}  // namespace jedule::sched

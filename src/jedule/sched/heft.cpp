@@ -1,0 +1,231 @@
+#include "jedule/sched/heft.hpp"
+#include <cmath>
+
+#include <algorithm>
+
+#include "jedule/util/error.hpp"
+#include "jedule/util/strings.hpp"
+
+namespace jedule::sched {
+
+namespace {
+
+using dag::Dag;
+using platform::Platform;
+
+/// Busy slots per host, kept sorted, for insertion-based EST search.
+struct HostTimeline {
+  struct Slot {
+    double start;
+    double end;
+  };
+  std::vector<Slot> slots;
+
+  /// Earliest time >= `ready` at which a task of length `len` fits.
+  double earliest_fit(double ready, double len, bool use_insertion) const {
+    if (slots.empty()) return ready;
+    if (!use_insertion) return std::max(ready, slots.back().end);
+    // Gap before the first slot.
+    if (ready + len <= slots.front().start) return ready;
+    for (std::size_t i = 0; i + 1 < slots.size(); ++i) {
+      const double gap_start = std::max(ready, slots[i].end);
+      if (gap_start + len <= slots[i + 1].start) return gap_start;
+    }
+    return std::max(ready, slots.back().end);
+  }
+
+  void insert(double start, double end) {
+    const Slot slot{start, end};
+    const auto pos = std::lower_bound(
+        slots.begin(), slots.end(), slot,
+        [](const Slot& a, const Slot& b) { return a.start < b.start; });
+    slots.insert(pos, slot);
+  }
+};
+
+}  // namespace
+
+HeftResult schedule_heft(const Dag& dag, const Platform& platform,
+                         const HeftOptions& options) {
+  const int n = dag.node_count();
+  const int hosts = platform.total_hosts();
+  JED_ASSERT(hosts >= 1);
+
+  // Average execution cost per node and average communication cost factors.
+  std::vector<double> avg_cost(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    double total = 0;
+    for (int h = 0; h < hosts; ++h) {
+      total += dag.node(v).work / platform.host_speed(h);
+    }
+    avg_cost[static_cast<std::size_t>(v)] = total / hosts;
+  }
+  const double avg_lat = platform.average_latency();
+  const double avg_bw = platform.average_bandwidth();
+
+  HeftResult r;
+  r.upward_rank.assign(static_cast<std::size_t>(n), 0.0);
+  const auto topo = dag.topological_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const int v = *it;
+    double below = 0;
+    for (int s : dag.successors(v)) {
+      const double comm = avg_lat + dag.edge_data(v, s) / avg_bw;
+      below = std::max(below,
+                       comm + r.upward_rank[static_cast<std::size_t>(s)]);
+    }
+    r.upward_rank[static_cast<std::size_t>(v)] =
+        avg_cost[static_cast<std::size_t>(v)] + below;
+  }
+
+  r.order.resize(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) r.order[static_cast<std::size_t>(v)] = v;
+  std::sort(r.order.begin(), r.order.end(), [&](int a, int b) {
+    const double ra = r.upward_rank[static_cast<std::size_t>(a)];
+    const double rb = r.upward_rank[static_cast<std::size_t>(b)];
+    if (ra != rb) return ra > rb;
+    return a < b;
+  });
+
+  r.host.assign(static_cast<std::size_t>(n), -1);
+  r.start.assign(static_cast<std::size_t>(n), 0.0);
+  r.finish.assign(static_cast<std::size_t>(n), 0.0);
+  std::vector<HostTimeline> timeline(static_cast<std::size_t>(hosts));
+
+  std::vector<double> eft_of(static_cast<std::size_t>(hosts));
+  std::vector<bool> ready_bound(static_cast<std::size_t>(hosts));
+  for (int v : r.order) {
+    const auto vi = static_cast<std::size_t>(v);
+    // HEFT's rank order is a topological order only when ranks strictly
+    // decrease along edges, which averaged costs guarantee for comm >= 0;
+    // predecessors are therefore already placed.
+    double best_eft = 0;
+    int best_host = -1;
+    double best_est = 0;
+    for (int h = 0; h < hosts; ++h) {
+      double ready = 0;
+      for (int p : dag.predecessors(v)) {
+        const auto pi = static_cast<std::size_t>(p);
+        JED_ASSERT(r.host[pi] >= 0);
+        const double comm =
+            platform.comm_time(r.host[pi], h, dag.edge_data(p, v));
+        ready = std::max(ready, r.finish[pi] + comm);
+      }
+      const double len = dag.node(v).work / platform.host_speed(h);
+      const double est = timeline[static_cast<std::size_t>(h)].earliest_fit(
+          ready, len, options.use_insertion);
+      const double eft = est + len;
+      eft_of[static_cast<std::size_t>(h)] = eft;
+      ready_bound[static_cast<std::size_t>(h)] = est == ready;
+      if (best_host < 0 || eft < best_eft) {
+        best_eft = eft;
+        best_host = h;
+        best_est = est;
+      }
+    }
+    r.host[vi] = best_host;
+    r.start[vi] = best_est;
+    r.finish[vi] = best_eft;
+    timeline[static_cast<std::size_t>(best_host)].insert(best_est, best_eft);
+    r.makespan = std::max(r.makespan, best_eft);
+
+    // Fig. 8 anomaly check: the task crossed the backbone "for free".
+    //
+    // A placement is a *free ride* when (a) the chosen host's start is
+    // bound by a data arrival that crossed the backbone, and (b) another
+    // host ties the chosen EFT while its own binding arrival is local to
+    // its cluster. Under a flat backbone latency such ties are exact —
+    // "sending data to another cluster is as costly as executing the task
+    // locally" — and the scheduler may wander off-cluster; any realistic
+    // (higher) backbone latency makes the local candidate strictly better
+    // and the count collapses (Fig. 9). Availability-bound ties and ties
+    // between two unavoidably-remote candidates (predecessors split across
+    // clusters) are deliberately excluded: no latency fixes those.
+    if (!dag.predecessors(v).empty() &&
+        ready_bound[static_cast<std::size_t>(best_host)]) {
+      constexpr double kTieEps = 1e-9;
+      // True iff every arrival achieving the ready bound on `h` crossed a
+      // cluster boundary (nullopt-style -1 when no predecessor).
+      auto binding_is_cross = [&](int h) {
+        double ready = -1;
+        bool cross = false;
+        for (int p : dag.predecessors(v)) {
+          const auto pi = static_cast<std::size_t>(p);
+          const double t = r.finish[pi] +
+                           platform.comm_time(r.host[pi], h,
+                                              dag.edge_data(p, v));
+          const bool edge_cross = platform.cluster_of(r.host[pi]) !=
+                                  platform.cluster_of(h);
+          if (t > ready + kTieEps) {
+            ready = t;
+            cross = edge_cross;
+          } else if (t > ready - kTieEps) {
+            cross = cross && edge_cross;  // a tying local arrival absolves
+          }
+        }
+        return cross;
+      };
+      if (binding_is_cross(best_host)) {
+        for (int h = 0; h < hosts; ++h) {
+          if (h == best_host) continue;
+          if (!ready_bound[static_cast<std::size_t>(h)]) continue;
+          if (eft_of[static_cast<std::size_t>(h)] - best_eft >
+              options.free_ride_margin) {
+            continue;  // staying local costs real time; crossing is earned
+          }
+          if (!binding_is_cross(h)) {
+            r.free_ride_nodes.push_back(v);
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  r.mapping.items.resize(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    r.mapping.items[static_cast<std::size_t>(v)].hosts = {
+        r.host[static_cast<std::size_t>(v)]};
+    r.mapping.items[static_cast<std::size_t>(v)].priority =
+        r.start[static_cast<std::size_t>(v)];
+  }
+  return r;
+}
+
+model::Schedule heft_to_schedule(const Dag& dag, const Platform& platform,
+                                 const HeftResult& result,
+                                 bool include_transfers) {
+  // Reuse the sim -> schedule converter by presenting HEFT's own times as a
+  // simulation result (they come from the same platform model).
+  sim::SimResult sim;
+  sim.start = result.start;
+  sim.finish = result.finish;
+  sim.makespan = result.makespan;
+  if (include_transfers) {
+    for (const auto& e : dag.edges()) {
+      const int hs = result.host[static_cast<std::size_t>(e.src)];
+      const int hd = result.host[static_cast<std::size_t>(e.dst)];
+      const double delay = platform.comm_time(hs, hd, e.data);
+      if (hs == hd || delay <= 0) continue;
+      sim::Transfer tr;
+      tr.src_node = e.src;
+      tr.dst_node = e.dst;
+      tr.src_host = hs;
+      tr.dst_host = hd;
+      tr.start = result.finish[static_cast<std::size_t>(e.src)];
+      tr.end = tr.start + delay;
+      tr.mb = e.data;
+      sim.transfers.push_back(tr);
+    }
+  }
+  sim::ToScheduleOptions o;
+  o.include_transfers = include_transfers;
+  model::Schedule s =
+      sim::to_schedule(dag, platform, result.mapping, sim, o);
+  s.set_meta("algorithm", "HEFT");
+  s.set_meta("makespan", util::format_fixed(result.makespan, 1));
+  s.set_meta("platform", platform.describe());
+  return s;
+}
+
+}  // namespace jedule::sched

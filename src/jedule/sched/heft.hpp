@@ -1,0 +1,63 @@
+#pragma once
+
+// HEFT — Heterogeneous Earliest Finish Time (Topcuoglu, Hariri, Wu 2002),
+// the scheduler of the paper's Sec. V case study.
+//
+// Tasks are single-processor; each is placed, in decreasing upward-rank
+// order, on the host minimizing its Earliest Finish Time, optionally using
+// insertion into idle gaps. Upward rank uses execution costs averaged over
+// all hosts and communication costs averaged over all host pairs.
+
+#include <vector>
+
+#include "jedule/dag/dag.hpp"
+#include "jedule/model/schedule.hpp"
+#include "jedule/platform/platform.hpp"
+#include "jedule/sim/dag_execution.hpp"
+
+namespace jedule::sched {
+
+struct HeftOptions {
+  /// Insertion-based slot search (the variant of the original paper).
+  bool use_insertion = true;
+
+  /// Free-ride detection threshold (seconds): a backbone crossing counts
+  /// as anomalous when it beats the best data-local host by less than
+  /// this. Set it to the latency a realistic backbone would add — under
+  /// the buggy flat description crossings win by microseconds and are
+  /// flagged; under the realistic description any crossing that still
+  /// happens gains more than the margin and is legitimate.
+  double free_ride_margin = 5e-3;
+};
+
+struct HeftResult {
+  std::vector<int> host;        // chosen host per node
+  std::vector<double> start;    // HEFT's own (exact, model-based) times
+  std::vector<double> finish;
+  std::vector<double> upward_rank;
+  std::vector<int> order;       // nodes in scheduling (rank) order
+  double makespan = 0;
+  sim::Mapping mapping;         // for cross-validation via the simulator
+
+  /// The paper's Fig. 8 anomaly, detected at placement time: tasks placed
+  /// on a cluster hosting none of their predecessors although a host in a
+  /// predecessor's cluster achieved the *same* EFT — i.e. "sending data to
+  /// another cluster is as costly as executing the task locally". A flat
+  /// backbone latency produces such free rides; a realistic (higher)
+  /// backbone latency makes remote placement strictly worse and the count
+  /// drops to zero (Fig. 9).
+  std::vector<int> free_ride_nodes;
+};
+
+HeftResult schedule_heft(const dag::Dag& dag,
+                         const platform::Platform& platform,
+                         const HeftOptions& options = {});
+
+/// Jedule view using HEFT's own times (the schedule shown in Figs. 8-9),
+/// including inter-host transfers as "transfer" tasks when requested.
+model::Schedule heft_to_schedule(const dag::Dag& dag,
+                                 const platform::Platform& platform,
+                                 const HeftResult& result,
+                                 bool include_transfers = false);
+
+}  // namespace jedule::sched

@@ -1,0 +1,36 @@
+#pragma once
+
+// Mapping phase of the two-step schedulers: list scheduling of the
+// allocated moldable tasks onto a (subset of a) homogeneous cluster.
+// Ready tasks are served by decreasing bottom level; each takes the p(v)
+// hosts that become free earliest.
+
+#include <vector>
+
+#include "jedule/dag/dag.hpp"
+#include "jedule/platform/platform.hpp"
+#include "jedule/sim/dag_execution.hpp"
+
+namespace jedule::sched {
+
+struct MappingResult {
+  sim::Mapping mapping;
+  std::vector<double> est_start;   // scheduler's own estimates
+  std::vector<double> est_finish;
+  double est_makespan = 0;
+};
+
+/// Maps the DAG with per-node allocation `procs` onto the hosts listed in
+/// `host_pool` (global ids, all in one homogeneous cluster). Data-ready
+/// times include platform communication costs between representative hosts.
+MappingResult map_allocations(const dag::Dag& dag,
+                              const platform::Platform& platform,
+                              const std::vector<int>& host_pool,
+                              const std::vector<int>& procs);
+
+/// Bottom level of each node: T(v) plus the longest chain of successor
+/// times below it (the list-scheduling priority).
+std::vector<double> bottom_levels(const dag::Dag& dag,
+                                  const std::vector<double>& times);
+
+}  // namespace jedule::sched

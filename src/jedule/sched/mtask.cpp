@@ -1,0 +1,118 @@
+#include "jedule/sched/mtask.hpp"
+
+#include "jedule/util/error.hpp"
+#include "jedule/util/strings.hpp"
+
+namespace jedule::sched {
+
+const char* algorithm_name(MTaskAlgorithm algo) {
+  switch (algo) {
+    case MTaskAlgorithm::kCpa: return "CPA";
+    case MTaskAlgorithm::kMcpa: return "MCPA";
+    case MTaskAlgorithm::kMcpa2: return "MCPA2";
+  }
+  return "?";
+}
+
+namespace {
+
+MTaskResult run_one(const dag::Dag& dag, const platform::Platform& platform,
+                    bool level_cap, const char* name) {
+  if (platform.clusters().size() != 1) {
+    throw ArgumentError(
+        "moldable-task scheduling targets a single homogeneous cluster");
+  }
+  const auto& cluster = platform.clusters()[0];
+
+  MTaskResult r;
+  r.algorithm = name;
+
+  AllocationOptions ao;
+  ao.total_procs = cluster.hosts;
+  ao.host_speed = cluster.host_speed;
+  ao.level_cap = level_cap;
+  r.allocation = allocate(dag, ao);
+
+  std::vector<int> pool;
+  for (int h = 0; h < cluster.hosts; ++h) {
+    pool.push_back(platform.first_host(cluster.id) + h);
+  }
+  r.mapping = map_allocations(dag, platform, pool, r.allocation.procs);
+  r.sim = sim::simulate_dag(dag, platform, r.mapping.mapping);
+  r.makespan = r.sim.makespan;
+  return r;
+}
+
+}  // namespace
+
+MTaskResult schedule_mtask(const dag::Dag& dag,
+                           const platform::Platform& platform,
+                           MTaskAlgorithm algorithm) {
+  switch (algorithm) {
+    case MTaskAlgorithm::kCpa:
+      return run_one(dag, platform, /*level_cap=*/false, "CPA");
+    case MTaskAlgorithm::kMcpa:
+      return run_one(dag, platform, /*level_cap=*/true, "MCPA");
+    case MTaskAlgorithm::kMcpa2: {
+      MTaskResult cpa = run_one(dag, platform, false, "CPA");
+      MTaskResult mcpa = run_one(dag, platform, true, "MCPA");
+      MTaskResult& best = cpa.makespan <= mcpa.makespan ? cpa : mcpa;
+      best.algorithm = std::string("MCPA2/") + best.algorithm;
+      return best;
+    }
+  }
+  throw ArgumentError("unknown m-task algorithm");
+}
+
+MTaskResult schedule_baseline(const dag::Dag& dag,
+                              const platform::Platform& platform,
+                              BaselineKind kind) {
+  if (platform.clusters().size() != 1) {
+    throw ArgumentError(
+        "moldable-task scheduling targets a single homogeneous cluster");
+  }
+  const auto& cluster = platform.clusters()[0];
+
+  MTaskResult r;
+  r.algorithm =
+      kind == BaselineKind::kTaskParallel ? "TASK-PARALLEL" : "DATA-PARALLEL";
+
+  const int procs_per_task =
+      kind == BaselineKind::kTaskParallel ? 1 : cluster.hosts;
+  r.allocation.procs.assign(static_cast<std::size_t>(dag.node_count()),
+                            procs_per_task);
+  r.allocation.times.resize(static_cast<std::size_t>(dag.node_count()));
+  for (int v = 0; v < dag.node_count(); ++v) {
+    r.allocation.times[static_cast<std::size_t>(v)] =
+        dag.node(v).exec_time(procs_per_task, cluster.host_speed);
+  }
+  r.allocation.t_cp = dag.critical_path_time(r.allocation.times);
+  r.allocation.t_a = dag.average_area(r.allocation.times, r.allocation.procs,
+                                      cluster.hosts);
+
+  std::vector<int> pool;
+  for (int h = 0; h < cluster.hosts; ++h) {
+    pool.push_back(platform.first_host(cluster.id) + h);
+  }
+  r.mapping = map_allocations(dag, platform, pool, r.allocation.procs);
+  r.sim = sim::simulate_dag(dag, platform, r.mapping.mapping);
+  r.makespan = r.sim.makespan;
+  return r;
+}
+
+model::Schedule mtask_to_schedule(const dag::Dag& dag,
+                                  const platform::Platform& platform,
+                                  const MTaskResult& result,
+                                  bool include_transfers) {
+  sim::ToScheduleOptions o;
+  o.include_transfers = include_transfers;
+  model::Schedule s = sim::to_schedule(dag, platform, result.mapping.mapping,
+                                       result.sim, o);
+  s.set_meta("algorithm", result.algorithm);
+  s.set_meta("makespan", util::format_fixed(result.makespan, 3));
+  s.set_meta("t_cp", util::format_fixed(result.allocation.t_cp, 3));
+  s.set_meta("t_a", util::format_fixed(result.allocation.t_a, 3));
+  return s;
+}
+
+}  // namespace jedule::sched

@@ -1,0 +1,61 @@
+#pragma once
+
+// End-to-end moldable-task scheduling: allocation + mapping + simulated
+// execution, for CPA, MCPA and the MCPA2 poly-algorithm (paper Sec. III.B).
+//
+// MCPA2 (Hunold, CCGrid 2010) selects between CPA and MCPA "depending on
+// the DAG and the parallel platform"; following the paper's description, it
+// evaluates both candidates and keeps the one with the smaller (simulated)
+// makespan — which reproduces the Fig. 4 outcome where MCPA2 generates the
+// same schedule as CPA.
+
+#include <string>
+#include <vector>
+
+#include "jedule/dag/dag.hpp"
+#include "jedule/model/schedule.hpp"
+#include "jedule/platform/platform.hpp"
+#include "jedule/sched/allocation.hpp"
+#include "jedule/sched/mapping.hpp"
+#include "jedule/sim/dag_execution.hpp"
+
+namespace jedule::sched {
+
+enum class MTaskAlgorithm { kCpa, kMcpa, kMcpa2 };
+
+const char* algorithm_name(MTaskAlgorithm algo);
+
+struct MTaskResult {
+  std::string algorithm;        // "CPA", "MCPA", or the MCPA2 pick
+  AllocationResult allocation;
+  MappingResult mapping;
+  sim::SimResult sim;           // simulated execution on the platform
+  double makespan = 0;          // simulated
+};
+
+/// Schedules `dag` on the (single, homogeneous) cluster of `platform`.
+MTaskResult schedule_mtask(const dag::Dag& dag,
+                           const platform::Platform& platform,
+                           MTaskAlgorithm algorithm);
+
+/// The two degenerate strategies the mixed-parallel literature compares
+/// against (paper Sec. III.A: mixed-parallel algorithms "reduce the
+/// completion time ... with regard to schedules that only exploit either
+/// task- or data-parallelism").
+enum class BaselineKind {
+  kTaskParallel,  // every task on 1 processor, list scheduling
+  kDataParallel,  // every task on ALL processors, serialized
+};
+
+MTaskResult schedule_baseline(const dag::Dag& dag,
+                              const platform::Platform& platform,
+                              BaselineKind kind);
+
+/// Jedule view of the result (clusters from the platform; meta records the
+/// algorithm and makespan).
+model::Schedule mtask_to_schedule(const dag::Dag& dag,
+                                  const platform::Platform& platform,
+                                  const MTaskResult& result,
+                                  bool include_transfers = false);
+
+}  // namespace jedule::sched

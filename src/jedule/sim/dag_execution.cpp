@@ -1,0 +1,224 @@
+#include "jedule/sim/dag_execution.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "jedule/sim/engine.hpp"
+#include "jedule/util/error.hpp"
+
+namespace jedule::sim {
+
+namespace {
+
+using dag::Dag;
+using platform::Platform;
+
+void validate_mapping(const Dag& dag, const Platform& platform,
+                      const Mapping& mapping) {
+  if (mapping.items.size() != static_cast<std::size_t>(dag.node_count())) {
+    throw ValidationError("mapping covers " +
+                          std::to_string(mapping.items.size()) + " of " +
+                          std::to_string(dag.node_count()) + " nodes");
+  }
+  const int hosts = platform.total_hosts();
+  for (int v = 0; v < dag.node_count(); ++v) {
+    const auto& item = mapping.items[static_cast<std::size_t>(v)];
+    if (item.hosts.empty()) {
+      throw ValidationError("node " + std::to_string(v) + " has no hosts");
+    }
+    std::set<int> seen;
+    for (int h : item.hosts) {
+      if (h < 0 || h >= hosts) {
+        throw ValidationError("node " + std::to_string(v) +
+                              " mapped to invalid host " + std::to_string(h));
+      }
+      if (!seen.insert(h).second) {
+        throw ValidationError("node " + std::to_string(v) + " lists host " +
+                              std::to_string(h) + " twice");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+SimResult simulate_dag(const Dag& dag, const Platform& platform,
+                       const Mapping& mapping, const SimOptions& options) {
+  validate_mapping(dag, platform, mapping);
+
+  Engine engine;
+  SimResult result;
+  const auto n = static_cast<std::size_t>(dag.node_count());
+  result.start.assign(n, 0.0);
+  result.finish.assign(n, 0.0);
+
+  std::vector<int> missing_inputs(n, 0);
+  for (int v = 0; v < dag.node_count(); ++v) {
+    missing_inputs[static_cast<std::size_t>(v)] =
+        static_cast<int>(dag.predecessors(v).size());
+  }
+
+  std::vector<double> host_free(
+      static_cast<std::size_t>(platform.total_hosts()), 0.0);
+
+  // Ready tasks contending for hosts dispatch in priority order; the set is
+  // drained by an event scheduled after the inserting event, so all tasks
+  // becoming ready at one instant dispatch together.
+  auto ready_before = [&](int a, int b) {
+    const double pa = mapping.items[static_cast<std::size_t>(a)].priority;
+    const double pb = mapping.items[static_cast<std::size_t>(b)].priority;
+    if (pa != pb) return pa < pb;
+    return a < b;
+  };
+  std::set<int, decltype(ready_before)> ready(ready_before);
+
+  // Forward declaration dance via std::function: finish -> transfers ->
+  // ready -> dispatch -> finish.
+  std::function<void(int)> on_node_ready;
+  std::function<void()> drain_ready;
+
+  auto node_exec_time = [&](int v) {
+    const auto& hosts = mapping.items[static_cast<std::size_t>(v)].hosts;
+    // The slowest allocated host paces a multiprocessor task.
+    double speed = platform.host_speed(hosts[0]);
+    for (int h : hosts) speed = std::min(speed, platform.host_speed(h));
+    return dag.node(v).exec_time(static_cast<int>(hosts.size()), speed);
+  };
+
+  std::function<void(int)> on_node_finished = [&](int v) {
+    for (int s : dag.successors(v)) {
+      const double mb = dag.edge_data(v, s);
+      const int src_host = mapping.items[static_cast<std::size_t>(v)].hosts[0];
+      const int dst_host = mapping.items[static_cast<std::size_t>(s)].hosts[0];
+      const double delay = platform.comm_time(src_host, dst_host, mb);
+      if (options.record_transfers && delay > 0 && src_host != dst_host) {
+        result.transfers.push_back(Transfer{v, s, src_host, dst_host,
+                                            engine.now(), engine.now() + delay,
+                                            mb});
+      }
+      engine.schedule_in(delay, [&, s] { on_node_ready(s); });
+    }
+  };
+
+  drain_ready = [&] {
+    while (!ready.empty()) {
+      const int v = *ready.begin();
+      ready.erase(ready.begin());
+      const auto& hosts = mapping.items[static_cast<std::size_t>(v)].hosts;
+      double start = engine.now();
+      for (int h : hosts) {
+        start = std::max(start, host_free[static_cast<std::size_t>(h)]);
+      }
+      const double finish = start + node_exec_time(v);
+      for (int h : hosts) host_free[static_cast<std::size_t>(h)] = finish;
+      result.start[static_cast<std::size_t>(v)] = start;
+      result.finish[static_cast<std::size_t>(v)] = finish;
+      engine.schedule_at(finish, [&, v] { on_node_finished(v); });
+    }
+  };
+
+  on_node_ready = [&](int v) {
+    if (--missing_inputs[static_cast<std::size_t>(v)] > 0) return;
+    ready.insert(v);
+    engine.schedule_in(0.0, drain_ready);
+  };
+
+  for (int v : dag.sources()) {
+    // Sources have no inputs; make them ready at t = 0.
+    missing_inputs[static_cast<std::size_t>(v)] = 1;
+    engine.schedule_at(0.0, [&, v] { on_node_ready(v); });
+  }
+  engine.run();
+
+  for (std::size_t v = 0; v < n; ++v) {
+    if (missing_inputs[v] > 0) {
+      throw ValidationError("node " + std::to_string(v) +
+                            " never became ready (disconnected inputs?)");
+    }
+    result.makespan = std::max(result.makespan, result.finish[v]);
+  }
+  return result;
+}
+
+void add_platform_clusters(const Platform& platform, model::Schedule& out) {
+  for (const auto& c : platform.clusters()) {
+    out.add_cluster(c.id, c.name, c.hosts);
+  }
+}
+
+void append_to_schedule(const Dag& dag, const Platform& platform,
+                        const Mapping& mapping, const SimResult& result,
+                        const ToScheduleOptions& options,
+                        model::Schedule& out) {
+  // Group a node's hosts by cluster into configurations with compressed
+  // local host ranges.
+  auto make_configs = [&](const std::vector<int>& hosts) {
+    std::vector<model::Configuration> configs;
+    std::vector<int> sorted = hosts;
+    std::sort(sorted.begin(), sorted.end());
+    for (int h : sorted) {
+      const int cid = platform.cluster_of(h);
+      const int local = platform.local_index(h);
+      if (configs.empty() || configs.back().cluster_id != cid ||
+          configs.back().hosts.back().start + configs.back().hosts.back().nb !=
+              local) {
+        if (configs.empty() || configs.back().cluster_id != cid) {
+          model::Configuration cfg;
+          cfg.cluster_id = cid;
+          configs.push_back(std::move(cfg));
+        }
+        auto& cfg = configs.back();
+        if (!cfg.hosts.empty() &&
+            cfg.hosts.back().start + cfg.hosts.back().nb == local) {
+          ++cfg.hosts.back().nb;
+        } else {
+          cfg.hosts.push_back(model::HostRange{local, 1});
+        }
+      } else {
+        ++configs.back().hosts.back().nb;
+      }
+    }
+    return configs;
+  };
+
+  for (int v = 0; v < dag.node_count(); ++v) {
+    const auto& node = dag.node(v);
+    model::Task t(options.id_prefix + node.name,
+                  options.type_override.empty() ? node.type
+                                                : options.type_override,
+                  result.start[static_cast<std::size_t>(v)],
+                  result.finish[static_cast<std::size_t>(v)]);
+    for (auto& cfg :
+         make_configs(mapping.items[static_cast<std::size_t>(v)].hosts)) {
+      t.add_configuration(std::move(cfg));
+    }
+    t.set_property("node", std::to_string(v));
+    out.add_task(std::move(t));
+  }
+
+  if (options.include_transfers) {
+    int k = 0;
+    for (const auto& tr : result.transfers) {
+      model::Task t(options.id_prefix + "x" + std::to_string(k++), "transfer",
+                    tr.start, tr.end);
+      for (auto& cfg : make_configs({tr.src_host, tr.dst_host})) {
+        t.add_configuration(std::move(cfg));
+      }
+      t.set_property("from", dag.node(tr.src_node).name);
+      t.set_property("to", dag.node(tr.dst_node).name);
+      out.add_task(std::move(t));
+    }
+  }
+}
+
+model::Schedule to_schedule(const Dag& dag, const Platform& platform,
+                            const Mapping& mapping, const SimResult& result,
+                            const ToScheduleOptions& options) {
+  model::Schedule out;
+  add_platform_clusters(platform, out);
+  append_to_schedule(dag, platform, mapping, result, options, out);
+  out.validate();
+  return out;
+}
+
+}  // namespace jedule::sim

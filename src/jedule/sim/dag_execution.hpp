@@ -1,0 +1,87 @@
+#pragma once
+
+// Simulated execution of a mapped DAG on a platform. A scheduler (CPA,
+// MCPA, HEFT, CRA, ...) decides *where* each task runs; this module decides
+// *when*, by replaying the graph through the event engine with host
+// exclusivity and link delays — the role SimGrid played for the paper.
+// The result converts to a jedule schedule for visualization.
+
+#include <vector>
+
+#include "jedule/dag/dag.hpp"
+#include "jedule/model/schedule.hpp"
+#include "jedule/platform/platform.hpp"
+
+namespace jedule::sim {
+
+/// Placement decision for one DAG: global host ids per node, plus a
+/// dispatch priority (lower runs first when several ready tasks contend for
+/// a host; schedulers pass their intended start order).
+struct Mapping {
+  struct Item {
+    std::vector<int> hosts;
+    double priority = 0.0;
+  };
+  std::vector<Item> items;  // indexed by node id
+};
+
+struct Transfer {
+  int src_node = 0;
+  int dst_node = 0;
+  int src_host = 0;
+  int dst_host = 0;
+  double start = 0;
+  double end = 0;
+  double mb = 0;
+};
+
+struct SimResult {
+  std::vector<double> start;   // per node
+  std::vector<double> finish;  // per node
+  std::vector<Transfer> transfers;
+  double makespan = 0;
+};
+
+struct SimOptions {
+  /// Record inter-host data movements as transfers (they become "transfer"
+  /// tasks in the jedule view, overlapping computation like paper Fig. 3).
+  bool record_transfers = true;
+};
+
+/// Simulates; throws ValidationError if the mapping references invalid
+/// hosts or leaves nodes unmapped.
+SimResult simulate_dag(const dag::Dag& dag, const platform::Platform& platform,
+                       const Mapping& mapping, const SimOptions& options = {});
+
+struct ToScheduleOptions {
+  /// Include transfer tasks in the schedule.
+  bool include_transfers = true;
+
+  /// Prefix prepended to task ids (used when several DAGs share a view,
+  /// as in the multi-DAG case study where each application has a color).
+  std::string id_prefix;
+
+  /// Override the task type of computation nodes with this value (e.g.
+  /// "app3" to color per application in Fig. 5); empty keeps node types.
+  std::string type_override;
+};
+
+/// Converts a simulation result into a jedule schedule over the platform's
+/// clusters. Appends to `out` so several applications can be merged.
+void append_to_schedule(const dag::Dag& dag,
+                        const platform::Platform& platform,
+                        const Mapping& mapping, const SimResult& result,
+                        const ToScheduleOptions& options,
+                        model::Schedule& out);
+
+/// Convenience: fresh schedule with the platform's clusters + one DAG.
+model::Schedule to_schedule(const dag::Dag& dag,
+                            const platform::Platform& platform,
+                            const Mapping& mapping, const SimResult& result,
+                            const ToScheduleOptions& options = {});
+
+/// Adds the platform's clusters to an empty schedule.
+void add_platform_clusters(const platform::Platform& platform,
+                           model::Schedule& out);
+
+}  // namespace jedule::sim

@@ -1,0 +1,33 @@
+#include "jedule/sim/engine.hpp"
+
+#include "jedule/util/error.hpp"
+
+namespace jedule::sim {
+
+void Engine::schedule_at(double time, Action action) {
+  JED_ASSERT(action != nullptr);
+  if (time < now_) {
+    throw ArgumentError("cannot schedule an event in the past (t=" +
+                        std::to_string(time) + " < now=" +
+                        std::to_string(now_) + ")");
+  }
+  queue_.push(Event{time, next_seq_++, std::move(action)});
+}
+
+void Engine::schedule_in(double delay, Action action) {
+  JED_ASSERT(delay >= 0);
+  schedule_at(now_ + delay, std::move(action));
+}
+
+void Engine::run() {
+  while (!queue_.empty()) {
+    // Move out before pop so the action may schedule further events.
+    Event e = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = e.time;
+    ++processed_;
+    e.action();
+  }
+}
+
+}  // namespace jedule::sim

@@ -1,0 +1,52 @@
+#pragma once
+
+// Generic discrete-event simulation engine — the substrate standing in for
+// SimGrid (DESIGN.md §2). Events fire in nondecreasing time; ties run in
+// insertion order, which makes runs fully deterministic.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+
+namespace jedule::sim {
+
+class Engine {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` at absolute time `time` (>= now()).
+  void schedule_at(double time, Action action);
+
+  /// Schedules `action` `delay` seconds from now.
+  void schedule_in(double delay, Action action);
+
+  /// Runs until the event queue drains. Re-entrant scheduling from inside
+  /// actions is allowed (that is how simulations grow).
+  void run();
+
+  /// Current simulation time (0 before the first event).
+  double now() const { return now_; }
+
+  /// Number of events processed so far.
+  std::uint64_t processed() const { return processed_; }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace jedule::sim

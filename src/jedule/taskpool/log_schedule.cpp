@@ -1,0 +1,66 @@
+#include "jedule/taskpool/log_schedule.hpp"
+
+#include <algorithm>
+
+#include "jedule/util/strings.hpp"
+
+namespace jedule::taskpool {
+
+namespace {
+
+std::vector<Interval> merged(std::vector<Interval> intervals, double gap) {
+  if (gap <= 0 || intervals.size() < 2) return intervals;
+  std::sort(intervals.begin(), intervals.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.start < b.start;
+            });
+  std::vector<Interval> out;
+  for (const auto& iv : intervals) {
+    if (!out.empty() && iv.start - out.back().end <= gap) {
+      out.back().end = std::max(out.back().end, iv.end);
+    } else {
+      out.push_back(iv);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+model::Schedule log_to_schedule(const RunLog& log,
+                                const LogScheduleOptions& options) {
+  model::Schedule s;
+  s.add_cluster(0, options.cluster_name, std::max(1, log.threads));
+  s.set_meta("threads", std::to_string(log.threads));
+  s.set_meta("tasks", std::to_string(log.tasks_executed));
+  s.set_meta("wallclock", util::format_fixed(log.wallclock, 3));
+
+  for (int thread = 0; thread < log.threads; ++thread) {
+    const auto& tl = log.per_thread[static_cast<std::size_t>(thread)];
+
+    int k = 0;
+    for (const auto& iv : merged(tl.exec, options.merge_gap)) {
+      model::Task t("t" + std::to_string(thread) + "e" + std::to_string(k++),
+                    "computation", iv.start, iv.end);
+      t.allocate(0, thread, 1);
+      if (iv.task_id >= 0) {
+        t.set_property("task", std::to_string(iv.task_id));
+      }
+      s.add_task(std::move(t));
+    }
+    if (options.include_waits) {
+      k = 0;
+      for (const auto& iv : merged(tl.wait, options.merge_gap)) {
+        model::Task t(
+            "t" + std::to_string(thread) + "w" + std::to_string(k++),
+            "waiting", iv.start, iv.end);
+        t.allocate(0, thread, 1);
+        s.add_task(std::move(t));
+      }
+    }
+  }
+  s.validate();
+  return s;
+}
+
+}  // namespace jedule::taskpool

@@ -1,0 +1,26 @@
+#pragma once
+
+// Conversion of a task-pool run log into a jedule schedule: one host per
+// worker thread, blue "computation" tasks for execution intervals, red
+// "waiting" tasks for get()/wait time — the view of paper Figs. 11-12.
+
+#include "jedule/model/schedule.hpp"
+#include "jedule/taskpool/pool.hpp"
+
+namespace jedule::taskpool {
+
+struct LogScheduleOptions {
+  std::string cluster_name = "smp";
+
+  /// Merge adjacent same-kind intervals closer than this gap (seconds);
+  /// keeps six-figure-task runs displayable. 0 disables merging.
+  double merge_gap = 0;
+
+  /// Include waiting intervals (the red boxes).
+  bool include_waits = true;
+};
+
+model::Schedule log_to_schedule(const RunLog& log,
+                                const LogScheduleOptions& options = {});
+
+}  // namespace jedule::taskpool

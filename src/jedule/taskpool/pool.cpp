@@ -1,0 +1,165 @@
+#include "jedule/taskpool/pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+#include "jedule/util/error.hpp"
+#include "jedule/util/stopwatch.hpp"
+
+namespace jedule::taskpool {
+
+namespace {
+struct PoolTask {
+  std::int64_t id;
+  TaskFn fn;
+};
+}  // namespace
+
+struct TaskPool::Impl {
+  explicit Impl(const Options& opts) : options(opts) {
+    JED_ASSERT(options.threads >= 1);
+    local.resize(static_cast<std::size_t>(options.threads));
+    logs.resize(static_cast<std::size_t>(options.threads));
+  }
+
+  Options options;
+  util::Stopwatch watch;
+
+  // One mutex guards all queues: the pool targets the *structure* of task-
+  // parallel executions (ramp-up, waiting phases), and a single lock keeps
+  // both organizations (central vs stealing) easy to reason about.
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<PoolTask> central;
+  std::vector<std::deque<PoolTask>> local;
+  std::int64_t outstanding = 0;  // created but not yet finished (guarded)
+  std::int64_t next_id = 0;      // guarded
+  std::atomic<std::int64_t> executed{0};
+  std::vector<ThreadLog> logs;
+
+  void submit(int thread, TaskFn fn) {
+    std::lock_guard<std::mutex> lock(mutex);
+    PoolTask task{next_id++, std::move(fn)};
+    ++outstanding;
+    if (options.work_stealing && thread >= 0) {
+      local[static_cast<std::size_t>(thread)].push_back(std::move(task));
+    } else {
+      central.push_back(std::move(task));
+    }
+    cv.notify_one();
+  }
+
+  /// Under the lock: next task for `thread`, if any.
+  bool try_pop_locked(int thread, PoolTask& out) {
+    if (options.work_stealing) {
+      auto& own = local[static_cast<std::size_t>(thread)];
+      if (!own.empty()) {  // LIFO on the own deque (cache friendliness)
+        out = std::move(own.back());
+        own.pop_back();
+        return true;
+      }
+      if (!central.empty()) {  // initial tasks
+        out = std::move(central.front());
+        central.pop_front();
+        return true;
+      }
+      // Steal FIFO from the first non-empty victim after us.
+      for (int d = 1; d < options.threads; ++d) {
+        auto& victim =
+            local[static_cast<std::size_t>((thread + d) % options.threads)];
+        if (!victim.empty()) {
+          out = std::move(victim.front());
+          victim.pop_front();
+          return true;
+        }
+      }
+      return false;
+    }
+    if (!central.empty()) {
+      out = std::move(central.front());
+      central.pop_front();
+      return true;
+    }
+    return false;
+  }
+
+  void log_interval(std::vector<Interval>& to, double start, double end,
+                    std::int64_t id) {
+    if (end - start < options.min_logged_interval) return;
+    to.push_back(Interval{start, end, id});
+  }
+
+  void worker(int thread) {
+    ThreadLog& log = logs[static_cast<std::size_t>(thread)];
+    TaskContext ctx(*this, thread);
+    double wait_begin = watch.seconds();
+    std::unique_lock<std::mutex> lock(mutex);
+    while (true) {
+      PoolTask task;
+      bool have = false;
+      cv.wait(lock, [&] {
+        if (outstanding == 0) return true;
+        have = try_pop_locked(thread, task);
+        return have;
+      });
+      if (!have) break;  // outstanding == 0: everything done
+      lock.unlock();
+
+      const double exec_begin = watch.seconds();
+      log_interval(log.wait, wait_begin, exec_begin, -1);
+      ctx.task_id_ = task.id;
+      task.fn(ctx);
+      const double exec_end = watch.seconds();
+      log_interval(log.exec, exec_begin, exec_end, task.id);
+      executed.fetch_add(1, std::memory_order_relaxed);
+      wait_begin = exec_end;
+
+      lock.lock();
+      if (--outstanding == 0) cv.notify_all();
+    }
+    lock.unlock();
+    log_interval(log.wait, wait_begin, watch.seconds(), -1);
+  }
+};
+
+TaskPool::TaskPool(Options options) : options_(std::move(options)) {
+  JED_ASSERT(options_.threads >= 1);
+}
+
+void TaskPool::create_initial_task(TaskFn fn) {
+  JED_ASSERT(fn != nullptr);
+  initial_.push_back(std::move(fn));
+}
+
+RunLog TaskPool::run() {
+  Impl impl(options_);
+  for (auto& fn : initial_) {
+    impl.submit(/*thread=*/-1, std::move(fn));
+  }
+  initial_.clear();
+
+  impl.watch.reset();
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(options_.threads));
+  for (int i = 0; i < options_.threads; ++i) {
+    workers.emplace_back([&impl, i] { impl.worker(i); });
+  }
+  for (auto& w : workers) w.join();
+
+  RunLog log;
+  log.threads = options_.threads;
+  log.wallclock = impl.watch.seconds();
+  log.tasks_executed = impl.executed.load();
+  log.per_thread = std::move(impl.logs);
+  return log;
+}
+
+void TaskContext::submit(TaskFn fn) {
+  JED_ASSERT(fn != nullptr);
+  impl_.submit(thread_, std::move(fn));
+}
+
+}  // namespace jedule::taskpool

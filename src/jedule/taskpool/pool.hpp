@@ -1,0 +1,91 @@
+#pragma once
+
+// Task-pool runtime for irregular fine-grained parallelism (paper Sec. VI,
+// Fig. 10): tasks live in a pool shared by all worker threads; executing a
+// task may create new tasks. The runtime logs, per thread, the time spent
+// executing tasks and the time spent getting/waiting for tasks — the two
+// interval kinds the case study visualizes (blue execution, red waiting).
+//
+// Two pool organizations are provided: a central locked queue (the paper's
+// baseline) and per-thread deques with work stealing (the organization of
+// Cilk/TBB that the section cites as related).
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace jedule::taskpool {
+
+class TaskContext;
+using TaskFn = std::function<void(TaskContext&)>;
+
+struct Interval {
+  double start = 0;  // seconds since run() began
+  double end = 0;
+  std::int64_t task_id = -1;  // -1 for waiting intervals
+};
+
+struct ThreadLog {
+  std::vector<Interval> exec;
+  std::vector<Interval> wait;
+};
+
+struct RunLog {
+  int threads = 0;
+  double wallclock = 0;  // seconds
+  std::int64_t tasks_executed = 0;
+  std::vector<ThreadLog> per_thread;
+};
+
+class TaskPool {
+ public:
+  struct Options {
+    int threads = 4;
+
+    /// false: one central locked queue; true: per-thread deques with
+    /// random-victim stealing.
+    bool work_stealing = false;
+
+    /// Drop logged intervals shorter than this (seconds); keeps the log of
+    /// a 200k-task run (paper Sec. VI) at a displayable size. 0 keeps all.
+    double min_logged_interval = 0;
+  };
+
+  explicit TaskPool(Options options);
+
+  /// Enqueues a task before run() (Fig. 10's create_initial_task).
+  void create_initial_task(TaskFn fn);
+
+  /// Runs worker threads until every task (including transitively created
+  /// ones) has executed; returns the per-thread interval log.
+  RunLog run();
+
+ private:
+  friend class TaskContext;
+  struct Impl;
+  Options options_;
+  std::vector<TaskFn> initial_;
+};
+
+/// Handed to every task; allows creating further tasks (Fig. 10's
+/// "may create new tasks") and inspecting the executing thread.
+class TaskContext {
+ public:
+  /// Submits a new task to the pool.
+  void submit(TaskFn fn);
+
+  /// Index of the executing worker thread in [0, threads).
+  int thread_index() const { return thread_; }
+
+  /// Id of the currently executing task (dense, in creation order).
+  std::int64_t task_id() const { return task_id_; }
+
+ private:
+  friend struct TaskPool::Impl;
+  TaskContext(TaskPool::Impl& impl, int thread) : impl_(impl), thread_(thread) {}
+  TaskPool::Impl& impl_;
+  int thread_;
+  std::int64_t task_id_ = -1;
+};
+
+}  // namespace jedule::taskpool

@@ -1,0 +1,105 @@
+#include "jedule/taskpool/quicksort.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "jedule/util/error.hpp"
+#include "jedule/util/rng.hpp"
+
+namespace jedule::taskpool {
+
+namespace {
+
+/// Opaque per-element busy work; `volatile` keeps the loop from being
+/// optimized away.
+inline void burn(int units) {
+  volatile int sink = 0;
+  for (int i = 0; i < units; ++i) sink = sink + i;
+}
+
+struct Sorter {
+  std::vector<int>* data;
+  std::size_t cutoff;
+  int extra_work;
+
+  /// Hoare partition around the middle element's value.
+  std::size_t partition(std::size_t lo, std::size_t hi) const {
+    auto& a = *data;
+    const int pivot = a[lo + (hi - lo) / 2];
+    std::size_t i = lo;
+    std::size_t j = hi;
+    while (true) {
+      while (a[i] < pivot) {
+        ++i;
+        if (extra_work > 0) burn(extra_work);
+      }
+      while (a[j] > pivot) {
+        --j;
+        if (extra_work > 0) burn(extra_work);
+      }
+      if (i >= j) return j;
+      std::swap(a[i], a[j]);
+      if (extra_work > 0) burn(4 * extra_work);  // swaps touch both lines
+      ++i;
+      if (j == 0) return 0;
+      --j;
+    }
+  }
+
+  void sort_task(TaskContext& ctx, std::size_t lo, std::size_t hi) const {
+    if (hi <= lo) return;
+    if (hi - lo + 1 <= cutoff) {
+      std::sort(data->begin() + static_cast<std::ptrdiff_t>(lo),
+                data->begin() + static_cast<std::ptrdiff_t>(hi) + 1);
+      if (extra_work > 0) burn(static_cast<int>(hi - lo + 1) * extra_work / 4);
+      return;
+    }
+    const std::size_t split = partition(lo, hi);
+    // Two new tasks per partitioning step (paper Sec. VI.B).
+    const Sorter self = *this;
+    ctx.submit([self, lo, split](TaskContext& c) {
+      self.sort_task(c, lo, split);
+    });
+    ctx.submit([self, split, hi](TaskContext& c) {
+      self.sort_task(c, split + 1, hi);
+    });
+  }
+};
+
+}  // namespace
+
+QuicksortRun run_parallel_quicksort(const TaskPool::Options& pool_options,
+                                    const QuicksortOptions& options) {
+  JED_ASSERT(options.elements >= 2);
+  JED_ASSERT(options.sequential_cutoff >= 2);
+
+  std::vector<int> data(options.elements);
+  if (options.input == QuicksortOptions::Input::kRandom) {
+    util::Rng rng(options.seed);
+    for (auto& v : data) {
+      v = static_cast<int>(rng.uniform_int(0, 1 << 30));
+    }
+  } else {
+    // Inversely sorted; with the middle pivot the first partition swaps
+    // every pair (paper Fig. 12's "specially crafted input").
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<int>(data.size() - i);
+    }
+  }
+
+  Sorter sorter{&data, options.sequential_cutoff, options.extra_work};
+
+  TaskPool pool(pool_options);
+  const std::size_t last = data.size() - 1;
+  pool.create_initial_task(
+      [sorter, last](TaskContext& ctx) { sorter.sort_task(ctx, 0, last); });
+
+  QuicksortRun run;
+  run.log = pool.run();
+  run.tasks = run.log.tasks_executed;
+  run.elements = options.elements;
+  run.sorted = std::is_sorted(data.begin(), data.end());
+  return run;
+}
+
+}  // namespace jedule::taskpool

@@ -1,0 +1,49 @@
+#pragma once
+
+// Instrumented parallel Quicksort on the task pool — the application of the
+// paper's Sec. VI case study. Each partitioning step creates two new tasks
+// for the sub-arrays; sub-arrays below the cutoff sort sequentially.
+//
+// Two inputs matter for the figures:
+//  * random values (Fig. 11): an accidental bad pivot splits the initial
+//    array unevenly, delaying the parallel ramp-up;
+//  * inversely sorted values with the middle element as pivot (Fig. 12):
+//    the first task must swap every pair of the whole array, so one thread
+//    is busy for a large fraction of the run before parallelism appears.
+
+#include <cstdint>
+
+#include "jedule/taskpool/pool.hpp"
+
+namespace jedule::taskpool {
+
+struct QuicksortOptions {
+  std::size_t elements = 1'000'000;
+
+  enum class Input { kRandom, kReversed };
+  Input input = Input::kRandom;
+
+  /// Sub-arrays at or below this size sort sequentially (task granularity).
+  std::size_t sequential_cutoff = 16'384;
+
+  std::uint64_t seed = 42;  // random input only
+
+  /// Extra per-element busy work (relative units) charged during the
+  /// partition scan. Models the memory-bandwidth pressure of the paper's
+  /// NUMA machine where "even two tasks with equal-sized arrays may take a
+  /// different time"; 0 disables it.
+  int extra_work = 0;
+};
+
+struct QuicksortRun {
+  RunLog log;
+  bool sorted = false;          // verification of the result
+  std::int64_t tasks = 0;       // tasks executed
+  std::size_t elements = 0;
+};
+
+/// Sorts and returns the run log.
+QuicksortRun run_parallel_quicksort(const TaskPool::Options& pool_options,
+                                    const QuicksortOptions& options);
+
+}  // namespace jedule::taskpool

@@ -1,0 +1,69 @@
+#pragma once
+
+// Error hierarchy shared by all jedule libraries.
+//
+// Errors that a caller can reasonably anticipate (malformed input files,
+// invalid schedules, missing resources) are reported by throwing one of the
+// exception types below; programming errors are guarded with JED_ASSERT.
+
+#include <stdexcept>
+#include <string>
+
+namespace jedule {
+
+/// Base class of all errors thrown by the jedule libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A file or string could not be parsed (XML, SWF, CSV, colormap, ...).
+/// Carries an optional 1-based line number of the offending input.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what, long line = 0)
+      : Error(line > 0 ? what + " (line " + std::to_string(line) + ")" : what),
+        line_(line) {}
+
+  /// 1-based line of the offending input, or 0 if unknown.
+  long line() const noexcept { return line_; }
+
+ private:
+  long line_;
+};
+
+/// A structurally well-formed object violates a semantic invariant
+/// (overlapping clusters, host index out of range, negative duration, ...).
+class ValidationError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// An operating-system level I/O failure (cannot open/read/write a file).
+class IoError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Bad arguments passed to a public API entry point.
+class ArgumentError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line) {
+  throw Error(std::string("assertion failed: ") + expr + " at " + file + ":" +
+              std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace jedule
+
+/// Internal invariant check that stays enabled in release builds; the
+/// libraries are I/O bound, so the cost is irrelevant and the diagnostics
+/// are worth it.
+#define JED_ASSERT(expr)                                           \
+  ((expr) ? static_cast<void>(0)                                   \
+          : ::jedule::detail::assert_fail(#expr, __FILE__, __LINE__))

@@ -1,0 +1,47 @@
+#pragma once
+
+// Minimal leveled logger. The CLI raises the level for --verbose; libraries
+// log only at debug/info so batch pipelines stay quiet by default.
+
+#include <sstream>
+#include <string>
+
+namespace jedule::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Defaults to kWarn.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line to stderr as "[level] message" if `level` passes the
+/// threshold. Thread-safe (single formatted write).
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, out_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream out_;
+};
+}  // namespace detail
+
+}  // namespace jedule::util
+
+#define JED_LOG(level) ::jedule::util::detail::LogStream(level)
+#define JED_DEBUG() JED_LOG(::jedule::util::LogLevel::kDebug)
+#define JED_INFO() JED_LOG(::jedule::util::LogLevel::kInfo)
+#define JED_WARN() JED_LOG(::jedule::util::LogLevel::kWarn)
+#define JED_ERROR() JED_LOG(::jedule::util::LogLevel::kError)

@@ -1,0 +1,108 @@
+#include "jedule/util/rng.hpp"
+
+#include <cmath>
+
+#include "jedule/util/error.hpp"
+
+namespace jedule::util {
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+// splitmix64; used only to expand the user seed into the 256-bit state.
+inline std::uint64_t splitmix64(std::uint64_t& x) {
+  std::uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+std::uint64_t Rng::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  JED_ASSERT(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>((*this)());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = max() - max() % span;
+  std::uint64_t v;
+  do {
+    v = (*this)();
+  } while (v >= limit);
+  return lo + static_cast<std::int64_t>(v % span);
+}
+
+double Rng::uniform(double lo, double hi) {
+  // 53 random mantissa bits -> uniform in [0,1).
+  const double u =
+      static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  return lo + u * (hi - lo);
+}
+
+double Rng::exponential(double mean) {
+  JED_ASSERT(mean > 0.0);
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::normal(double mean, double stddev) {
+  double u1;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double z = std::sqrt(-2.0 * std::log(u1)) *
+                   std::cos(2.0 * 3.14159265358979323846 * u2);
+  return mean + stddev * z;
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  JED_ASSERT(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    JED_ASSERT(w >= 0.0);
+    total += w;
+  }
+  JED_ASSERT(total > 0.0);
+  double r = uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (r < weights[i]) return i;
+    r -= weights[i];
+  }
+  return weights.size() - 1;  // numeric edge: r landed on the far boundary
+}
+
+}  // namespace jedule::util

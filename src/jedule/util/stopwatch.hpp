@@ -1,0 +1,25 @@
+#pragma once
+
+// Wall-clock stopwatch used by the task-pool runtime to timestamp intervals.
+
+#include <chrono>
+
+namespace jedule::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  /// Seconds elapsed since construction (or the last reset()).
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  void reset() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace jedule::util

@@ -1,0 +1,45 @@
+#pragma once
+
+// Small string utilities used across the jedule libraries. All functions are
+// pure; none allocate more than the returned value requires.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jedule::util {
+
+/// Remove leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Split `s` on `sep`; empty fields are preserved ("a,,b" -> {"a","","b"}).
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Split on any run of ASCII whitespace; no empty fields are produced.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// Join `parts` with `sep` between consecutive elements.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lower-casing (locale independent).
+std::string to_lower(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Strict full-string numeric parses; return nullopt on any trailing junk,
+/// overflow, or empty input. Used by every file parser so malformed fields
+/// are diagnosed rather than truncated.
+std::optional<long long> parse_int(std::string_view s);
+std::optional<double> parse_double(std::string_view s);
+
+/// Format a double the way schedule labels want it: fixed, `digits` decimals,
+/// trailing zeros kept ("0.310").
+std::string format_fixed(double v, int digits);
+
+/// Escape the five XML special characters for use in text or attributes.
+std::string xml_escape(std::string_view s);
+
+}  // namespace jedule::util

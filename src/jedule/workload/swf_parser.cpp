@@ -1,0 +1,46 @@
+#include "jedule/workload/swf_parser.hpp"
+
+#include <memory>
+
+#include "jedule/io/registry.hpp"
+#include "jedule/io/swf.hpp"
+#include "jedule/util/strings.hpp"
+#include "jedule/workload/trace_schedule.hpp"
+
+namespace jedule::workload {
+
+namespace {
+
+class SwfScheduleParser final : public io::ScheduleParser {
+ public:
+  std::string name() const override { return "swf"; }
+
+  bool sniff(const std::string& path, const std::string& head) const override {
+    if (util::ends_with(path, ".swf")) return true;
+    // SWF headers start with "; " comments such as "; Computer: ...".
+    const auto body = util::trim(head);
+    return util::starts_with(body, ";");
+  }
+
+  model::Schedule parse(const std::string& content) const override {
+    const io::SwfTrace trace = io::read_swf(content);
+    TraceScheduleOptions options;
+    options.cluster_name = "trace";
+    auto it = trace.header.find("Reserved");
+    if (it != trace.header.end()) {
+      if (auto v = util::parse_int(it->second); v && *v >= 0) {
+        options.reserved_nodes = static_cast<int>(*v);
+      }
+    }
+    return trace_to_schedule(trace, options).schedule;
+  }
+};
+
+}  // namespace
+
+void register_swf_parser() {
+  io::ParserRegistry::instance().register_parser(
+      std::make_unique<SwfScheduleParser>());
+}
+
+}  // namespace jedule::workload

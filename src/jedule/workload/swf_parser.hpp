@@ -1,0 +1,15 @@
+#pragma once
+
+// Registration of the SWF input format with the parser registry — the
+// worked example of the paper's pluggable-parser extension point.
+
+namespace jedule::workload {
+
+/// Registers the "swf" parser with io::ParserRegistry::instance().
+/// Idempotent. After this, `io::load_schedule("trace.swf")` works: the
+/// parser reads the SWF trace and reconstructs placements via
+/// trace_to_schedule() with default options (reserved nodes taken from the
+/// trace's "Reserved" header when present).
+void register_swf_parser();
+
+}  // namespace jedule::workload

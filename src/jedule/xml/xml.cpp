@@ -1,0 +1,379 @@
+#include "jedule/xml/xml.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "jedule/util/error.hpp"
+#include "jedule/util/strings.hpp"
+
+namespace jedule::xml {
+
+std::optional<std::string_view> Element::attr(std::string_view name) const {
+  for (const auto& a : attributes_) {
+    if (a.name == name) return std::string_view(a.value);
+  }
+  return std::nullopt;
+}
+
+std::string_view Element::require_attr(std::string_view name) const {
+  auto v = attr(name);
+  if (!v) {
+    throw ParseError("element <" + name_ + "> is missing attribute '" +
+                         std::string(name) + "'",
+                     source_line_);
+  }
+  return *v;
+}
+
+void Element::set_attr(std::string name, std::string value) {
+  for (auto& a : attributes_) {
+    if (a.name == name) {
+      a.value = std::move(value);
+      return;
+    }
+  }
+  attributes_.push_back({std::move(name), std::move(value)});
+}
+
+Element& Element::add_child(std::string name) {
+  children_.push_back(std::make_unique<Element>(std::move(name)));
+  return *children_.back();
+}
+
+void Element::add_child(ElementPtr child) {
+  children_.push_back(std::move(child));
+}
+
+const Element* Element::first_child(std::string_view name) const {
+  for (const auto& c : children_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Element*> Element::children_named(
+    std::string_view name) const {
+  std::vector<const Element*> out;
+  for (const auto& c : children_) {
+    if (c->name() == name) out.push_back(c.get());
+  }
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : in_(input) {}
+
+  Document parse_document() {
+    skip_prolog();
+    Document doc;
+    doc.root = parse_element();
+    skip_misc();
+    if (!at_end()) fail("trailing content after root element");
+    return doc;
+  }
+
+ private:
+  std::string_view in_;
+  size_t pos_ = 0;
+  long line_ = 1;
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw ParseError("xml: " + msg, line_);
+  }
+
+  bool at_end() const { return pos_ >= in_.size(); }
+
+  char peek() const { return at_end() ? '\0' : in_[pos_]; }
+
+  char get() {
+    if (at_end()) fail("unexpected end of input");
+    char c = in_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  bool looking_at(std::string_view s) const {
+    return in_.substr(pos_, s.size()) == s;
+  }
+
+  void expect(std::string_view s) {
+    if (!looking_at(s)) fail("expected '" + std::string(s) + "'");
+    for (size_t i = 0; i < s.size(); ++i) get();
+  }
+
+  void skip_ws() {
+    while (!at_end()) {
+      char c = peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        get();
+      } else {
+        break;
+      }
+    }
+  }
+
+  static bool is_name_start(char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  }
+  static bool is_name_char(char c) {
+    return is_name_start(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
+  }
+
+  std::string parse_name() {
+    if (!is_name_start(peek())) fail("expected a name");
+    std::string name;
+    name += get();
+    while (!at_end() && is_name_char(peek())) name += get();
+    return name;
+  }
+
+  void skip_comment() {
+    expect("<!--");
+    while (!looking_at("-->")) {
+      if (at_end()) fail("unterminated comment");
+      get();
+    }
+    expect("-->");
+  }
+
+  void skip_prolog() {
+    skip_ws();
+    if (looking_at("<?xml")) {
+      while (!looking_at("?>")) {
+        if (at_end()) fail("unterminated XML declaration");
+        get();
+      }
+      expect("?>");
+    }
+    skip_misc();
+    if (looking_at("<!DOCTYPE")) {
+      // Skip a (non-nested-subset) DOCTYPE so files exported by other tools
+      // still load; internal subsets are rejected.
+      int depth = 0;
+      while (true) {
+        if (at_end()) fail("unterminated DOCTYPE");
+        char c = get();
+        if (c == '[') fail("DOCTYPE internal subsets are not supported");
+        if (c == '<') ++depth;
+        if (c == '>') {
+          if (depth == 1) break;
+          --depth;
+        }
+      }
+      skip_misc();
+    }
+  }
+
+  void skip_misc() {
+    while (true) {
+      skip_ws();
+      if (looking_at("<!--")) {
+        skip_comment();
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string decode_entity() {
+    expect("&");
+    std::string ent;
+    while (peek() != ';') {
+      if (at_end() || ent.size() > 8) fail("malformed entity reference");
+      ent += get();
+    }
+    expect(";");
+    if (ent == "amp") return "&";
+    if (ent == "lt") return "<";
+    if (ent == "gt") return ">";
+    if (ent == "quot") return "\"";
+    if (ent == "apos") return "'";
+    if (!ent.empty() && ent[0] == '#') {
+      long code = 0;
+      bool ok = false;
+      if (ent.size() > 2 && (ent[1] == 'x' || ent[1] == 'X')) {
+        for (size_t i = 2; i < ent.size(); ++i) {
+          char c = ent[i];
+          int d;
+          if (c >= '0' && c <= '9') d = c - '0';
+          else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+          else if (c >= 'A' && c <= 'F') d = c - 'A' + 10;
+          else { ok = false; break; }
+          code = code * 16 + d;
+          ok = true;
+        }
+      } else {
+        for (size_t i = 1; i < ent.size(); ++i) {
+          char c = ent[i];
+          if (c < '0' || c > '9') { ok = false; break; }
+          code = code * 10 + (c - '0');
+          ok = true;
+        }
+      }
+      if (!ok || code <= 0 || code > 0x10FFFF) fail("bad character reference");
+      return encode_utf8(static_cast<unsigned long>(code));
+    }
+    fail("unknown entity '&" + ent + ";'");
+  }
+
+  static std::string encode_utf8(unsigned long cp) {
+    std::string out;
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+    return out;
+  }
+
+  std::string parse_attr_value() {
+    char quote = get();
+    if (quote != '"' && quote != '\'') fail("expected quoted attribute value");
+    std::string value;
+    while (peek() != quote) {
+      if (at_end()) fail("unterminated attribute value");
+      if (peek() == '&') {
+        value += decode_entity();
+      } else if (peek() == '<') {
+        fail("'<' in attribute value");
+      } else {
+        value += get();
+      }
+    }
+    get();  // closing quote
+    return value;
+  }
+
+  ElementPtr parse_element() {
+    expect("<");
+    long start_line = line_;
+    auto elem = std::make_unique<Element>(parse_name());
+    elem->set_source_line(start_line);
+    // Attributes.
+    while (true) {
+      skip_ws();
+      if (looking_at("/>")) {
+        expect("/>");
+        return elem;
+      }
+      if (peek() == '>') {
+        get();
+        break;
+      }
+      std::string attr_name = parse_name();
+      skip_ws();
+      expect("=");
+      skip_ws();
+      if (elem->attr(attr_name)) {
+        fail("duplicate attribute '" + attr_name + "'");
+      }
+      elem->set_attr(std::move(attr_name), parse_attr_value());
+    }
+    // Content.
+    std::string text;
+    while (true) {
+      if (at_end()) fail("unterminated element <" + elem->name() + ">");
+      if (looking_at("</")) {
+        expect("</");
+        std::string close = parse_name();
+        if (close != elem->name()) {
+          fail("mismatched closing tag </" + close + "> for <" +
+               elem->name() + ">");
+        }
+        skip_ws();
+        expect(">");
+        break;
+      }
+      if (looking_at("<!--")) {
+        skip_comment();
+      } else if (looking_at("<![CDATA[")) {
+        expect("<![CDATA[");
+        while (!looking_at("]]>")) {
+          if (at_end()) fail("unterminated CDATA section");
+          text += get();
+        }
+        expect("]]>");
+      } else if (peek() == '<') {
+        elem->add_child(parse_element());
+      } else if (peek() == '&') {
+        text += decode_entity();
+      } else {
+        text += get();
+      }
+    }
+    elem->set_text(std::string(util::trim(text)));
+    return elem;
+  }
+};
+
+void serialize_element(const Element& e, int indent, std::string& out) {
+  const std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  out += pad;
+  out += '<';
+  out += e.name();
+  for (const auto& a : e.attributes()) {
+    out += ' ';
+    out += a.name;
+    out += "=\"";
+    out += util::xml_escape(a.value);
+    out += '"';
+  }
+  const bool has_children = !e.children().empty();
+  const bool has_text = !e.text().empty();
+  if (!has_children && !has_text) {
+    out += "/>\n";
+    return;
+  }
+  out += '>';
+  if (has_text) out += util::xml_escape(e.text());
+  if (has_children) {
+    out += '\n';
+    for (const auto& c : e.children()) serialize_element(*c, indent + 1, out);
+    out += pad;
+  }
+  out += "</";
+  out += e.name();
+  out += ">\n";
+}
+
+}  // namespace
+
+Document parse(std::string_view input) {
+  return Parser(input).parse_document();
+}
+
+Document parse_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw IoError("cannot open file '" + path + "'");
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  if (f.bad()) throw IoError("error while reading '" + path + "'");
+  return parse(buf.str());
+}
+
+std::string serialize(const Element& root) {
+  std::string out = "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  serialize_element(root, 0, out);
+  return out;
+}
+
+std::string serialize(const Document& doc) {
+  JED_ASSERT(doc.root != nullptr);
+  return serialize(*doc.root);
+}
+
+}  // namespace jedule::xml

@@ -1,0 +1,94 @@
+#pragma once
+
+// Small from-scratch XML DOM, sufficient for the Jedule schedule and colormap
+// formats (Figs. 1 and 2 of the paper) and general enough for user-supplied
+// variants: elements, attributes, text, comments, CDATA, the five predefined
+// entities, numeric character references, and an XML declaration.
+//
+// Deliberately out of scope (not needed by any schedule format): DTDs,
+// namespaces-aware processing (prefixes are kept verbatim in names),
+// processing instructions other than the declaration, and non-UTF-8
+// encodings.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jedule::xml {
+
+struct Attribute {
+  std::string name;
+  std::string value;
+};
+
+class Element;
+using ElementPtr = std::unique_ptr<Element>;
+
+/// One element node. Child *text* is stored merged in `text` (the formats we
+/// parse never interleave meaningful text with child elements); child
+/// elements are stored in document order.
+class Element {
+ public:
+  explicit Element(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Concatenated character data directly inside this element (whitespace
+  /// around child elements is dropped; text is entity-decoded).
+  const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Value of attribute `name`, or nullopt if absent.
+  std::optional<std::string_view> attr(std::string_view name) const;
+
+  /// Value of attribute `name`; throws ParseError if absent.
+  std::string_view require_attr(std::string_view name) const;
+
+  /// Sets (or replaces) an attribute.
+  void set_attr(std::string name, std::string value);
+
+  const std::vector<ElementPtr>& children() const { return children_; }
+
+  /// Appends a child element and returns a reference to it.
+  Element& add_child(std::string name);
+  void add_child(ElementPtr child);
+
+  /// First child with the given element name, or nullptr.
+  const Element* first_child(std::string_view name) const;
+
+  /// All children with the given element name, in document order.
+  std::vector<const Element*> children_named(std::string_view name) const;
+
+  /// 1-based source line where this element started (0 if built in memory).
+  long source_line() const { return source_line_; }
+  void set_source_line(long line) { source_line_ = line; }
+
+ private:
+  std::string name_;
+  std::string text_;
+  std::vector<Attribute> attributes_;
+  std::vector<ElementPtr> children_;
+  long source_line_ = 0;
+};
+
+struct Document {
+  ElementPtr root;
+};
+
+/// Parses a complete XML document; throws jedule::ParseError (with line
+/// numbers) on malformed input.
+Document parse(std::string_view input);
+
+/// Parses the file at `path`; throws jedule::IoError / jedule::ParseError.
+Document parse_file(const std::string& path);
+
+/// Serializes with 2-space indentation and an XML declaration.
+std::string serialize(const Document& doc);
+std::string serialize(const Element& root);
+
+}  // namespace jedule::xml

@@ -1,0 +1,104 @@
+#include "jedule/color/color.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "jedule/util/error.hpp"
+
+namespace jedule::color {
+namespace {
+
+TEST(ParseColor, PaperStyleHexValues) {
+  // Exact values from the paper's Fig. 2 colormap.
+  EXPECT_EQ(parse_color("FFFFFF"), (Color{255, 255, 255, 255}));
+  EXPECT_EQ(parse_color("0000FF"), (Color{0, 0, 255, 255}));
+  EXPECT_EQ(parse_color("f10000"), (Color{241, 0, 0, 255}));
+  EXPECT_EQ(parse_color("ff6200"), (Color{255, 98, 0, 255}));
+}
+
+TEST(ParseColor, HashPrefixAndAlpha) {
+  EXPECT_EQ(parse_color("#102030"), (Color{16, 32, 48, 255}));
+  EXPECT_EQ(parse_color("10203040"), (Color{16, 32, 48, 64}));
+  EXPECT_EQ(parse_color("#10203040"), (Color{16, 32, 48, 64}));
+}
+
+TEST(ParseColor, RejectsMalformed) {
+  EXPECT_THROW(parse_color(""), ParseError);
+  EXPECT_THROW(parse_color("FFF"), ParseError);
+  EXPECT_THROW(parse_color("GGGGGG"), ParseError);
+  EXPECT_THROW(parse_color("1234567"), ParseError);
+}
+
+TEST(ToHex, RoundTrips) {
+  for (const char* s : {"000000", "ff6200", "0a0b0c", "ffffff"}) {
+    EXPECT_EQ(to_hex(parse_color(s)), s);
+  }
+  EXPECT_EQ(to_hex(Color{1, 2, 3, 128}), "01020380");
+}
+
+TEST(Luminance, OrdersIntuitively) {
+  EXPECT_EQ(luminance(kBlack), 0);
+  EXPECT_EQ(luminance(kWhite), 255);
+  EXPECT_GT(luminance(Color{0, 255, 0, 255}),
+            luminance(Color{0, 0, 255, 255}));  // green brighter than blue
+}
+
+TEST(ToGray, ProducesGrayOfEqualLuma) {
+  const Color c = parse_color("ff6200");
+  const Color g = to_gray(c);
+  EXPECT_EQ(g.r, g.g);
+  EXPECT_EQ(g.g, g.b);
+  EXPECT_EQ(g.r, luminance(c));
+  EXPECT_EQ(g.a, c.a);
+}
+
+TEST(Lerp, EndpointsAndMidpoint) {
+  EXPECT_EQ(lerp(kBlack, kWhite, 0.0), kBlack);
+  EXPECT_EQ(lerp(kBlack, kWhite, 1.0), kWhite);
+  const Color mid = lerp(kBlack, kWhite, 0.5);
+  EXPECT_NEAR(mid.r, 128, 1);
+  // t clamped.
+  EXPECT_EQ(lerp(kBlack, kWhite, -3.0), kBlack);
+  EXPECT_EQ(lerp(kBlack, kWhite, 9.0), kWhite);
+}
+
+TEST(BlendOver, OpaqueAndTransparent) {
+  const Color dst{10, 20, 30, 255};
+  EXPECT_EQ(blend_over(dst, Color{1, 2, 3, 255}), (Color{1, 2, 3, 255}));
+  EXPECT_EQ(blend_over(dst, Color{1, 2, 3, 0}), dst);
+  const Color half = blend_over(kBlack, Color{255, 255, 255, 128});
+  EXPECT_NEAR(half.r, 128, 1);
+  EXPECT_EQ(half.a, 255);
+}
+
+TEST(FromHsv, PrimaryCorners) {
+  EXPECT_EQ(from_hsv(0, 1, 1), (Color{255, 0, 0, 255}));
+  EXPECT_EQ(from_hsv(120, 1, 1), (Color{0, 255, 0, 255}));
+  EXPECT_EQ(from_hsv(240, 1, 1), (Color{0, 0, 255, 255}));
+  EXPECT_EQ(from_hsv(0, 0, 1), kWhite);
+  EXPECT_EQ(from_hsv(0, 0, 0), kBlack);
+}
+
+TEST(FromHsv, WrapsHue) {
+  EXPECT_EQ(from_hsv(360, 1, 1), from_hsv(0, 1, 1));
+  EXPECT_EQ(from_hsv(-120, 1, 1), from_hsv(240, 1, 1));
+}
+
+TEST(PaletteColor, DeterministicAndDistinct) {
+  EXPECT_EQ(palette_color(5), palette_color(5));
+  std::set<std::string> seen;
+  for (std::size_t i = 0; i < 24; ++i) {
+    seen.insert(to_hex(palette_color(i)));
+  }
+  EXPECT_EQ(seen.size(), 24u);  // first 24 palette entries all differ
+}
+
+TEST(ContrastColor, PicksReadableText) {
+  EXPECT_EQ(contrast_color(kWhite), kBlack);
+  EXPECT_EQ(contrast_color(kBlack), kWhite);
+  EXPECT_EQ(contrast_color(parse_color("0000FF")), kWhite);  // blue -> white
+}
+
+}  // namespace
+}  // namespace jedule::color

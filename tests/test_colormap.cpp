@@ -1,0 +1,100 @@
+#include "jedule/color/colormap.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jedule::color {
+namespace {
+
+TEST(ColorMap, StyleForExplicitType) {
+  ColorMap map;
+  map.set_style("io", TaskStyle{kBlack, parse_color("00ff00")});
+  EXPECT_EQ(map.style_for("io").background, parse_color("00ff00"));
+}
+
+TEST(ColorMap, SetStyleOverwrites) {
+  ColorMap map;
+  map.set_style("t", TaskStyle{kBlack, kWhite});
+  map.set_style("t", TaskStyle{kWhite, kBlack});
+  EXPECT_EQ(map.style_for("t").background, kBlack);
+  EXPECT_EQ(map.styles().size(), 1u);
+}
+
+TEST(ColorMap, UnknownTypeGetsStableAutoColor) {
+  ColorMap map;
+  const TaskStyle a = map.style_for("never-declared");
+  const TaskStyle b = map.style_for("never-declared");
+  EXPECT_EQ(a, b);
+  // Different unknown types should (in general) get different colors.
+  EXPECT_NE(map.style_for("alpha").background,
+            map.style_for("beta").background);
+}
+
+TEST(ColorMap, CompositeExactRuleWins) {
+  ColorMap map = standard_colormap();
+  const TaskStyle s = map.composite_style({"computation", "transfer"});
+  EXPECT_EQ(s.background, parse_color("ff6200"));  // Fig. 2's orange
+  EXPECT_EQ(s.foreground, parse_color("FFFFFF"));
+}
+
+TEST(ColorMap, CompositeFallbackAveragesMembers) {
+  ColorMap map;
+  map.set_style("a", TaskStyle{kBlack, Color{200, 0, 0, 255}});
+  map.set_style("b", TaskStyle{kBlack, Color{0, 100, 0, 255}});
+  const TaskStyle s = map.composite_style({"a", "b"});
+  EXPECT_EQ(s.background, (Color{100, 50, 0, 255}));
+}
+
+TEST(ColorMap, CompositeRuleMatchingIsExactSet) {
+  ColorMap map = standard_colormap();
+  // A third member means the {computation, transfer} rule must NOT match.
+  const TaskStyle s =
+      map.composite_style({"computation", "transfer", "io"});
+  EXPECT_NE(s.background, parse_color("ff6200"));
+}
+
+TEST(ColorMap, ConfigTypedAccessorsWithDefaults) {
+  ColorMap map;
+  EXPECT_EQ(map.font_size_label(), 13);
+  EXPECT_EQ(map.min_font_size_label(), 11);
+  EXPECT_EQ(map.font_size_axes(), 12);
+  map.set_config("font_size_label", "20");
+  EXPECT_EQ(map.font_size_label(), 20);
+  map.set_config("font_size_axes", "junk");  // unparsable -> default
+  EXPECT_EQ(map.font_size_axes(), 12);
+}
+
+TEST(ColorMap, GrayscaleCollapsesEverything) {
+  const ColorMap gray = standard_colormap().grayscale();
+  for (const auto& [type, style] : gray.styles()) {
+    EXPECT_EQ(style.background.r, style.background.g) << type;
+    EXPECT_EQ(style.background.g, style.background.b) << type;
+    EXPECT_EQ(style.foreground.r, style.foreground.g) << type;
+  }
+  for (const auto& rule : gray.composite_rules()) {
+    EXPECT_EQ(rule.style.background.r, rule.style.background.b);
+  }
+}
+
+TEST(ColorMap, GrayscalePreservesStructure) {
+  const ColorMap orig = standard_colormap();
+  const ColorMap gray = orig.grayscale();
+  EXPECT_EQ(gray.name(), orig.name());
+  EXPECT_EQ(gray.styles().size(), orig.styles().size());
+  EXPECT_EQ(gray.composite_rules().size(), orig.composite_rules().size());
+  EXPECT_EQ(gray.font_size_label(), orig.font_size_label());
+}
+
+TEST(StandardColormap, MatchesPaperFigure2) {
+  const ColorMap map = standard_colormap();
+  EXPECT_TRUE(map.has_style("computation"));
+  EXPECT_TRUE(map.has_style("transfer"));
+  EXPECT_EQ(map.style_for("computation").background, parse_color("0000FF"));
+  EXPECT_EQ(map.style_for("computation").foreground, parse_color("FFFFFF"));
+  EXPECT_EQ(map.style_for("transfer").background, parse_color("f10000"));
+  EXPECT_EQ(map.min_font_size_label(), 11);
+  EXPECT_EQ(map.font_size_label(), 13);
+  EXPECT_EQ(map.font_size_axes(), 12);
+}
+
+}  // namespace
+}  // namespace jedule::color

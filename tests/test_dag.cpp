@@ -1,0 +1,249 @@
+#include "jedule/dag/dag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "jedule/dag/dot.hpp"
+#include "jedule/dag/generators.hpp"
+#include "jedule/dag/montage.hpp"
+#include "jedule/util/error.hpp"
+
+namespace jedule::dag {
+namespace {
+
+Dag diamond() {
+  Dag d("diamond");
+  const int a = d.add_node("a", 10.0);
+  const int b = d.add_node("b", 20.0);
+  const int c = d.add_node("c", 5.0);
+  const int e = d.add_node("e", 10.0);
+  d.add_edge(a, b, 1.0);
+  d.add_edge(a, c, 2.0);
+  d.add_edge(b, e, 3.0);
+  d.add_edge(c, e, 4.0);
+  return d;
+}
+
+TEST(Node, ExecTimeAmdahl) {
+  Node n;
+  n.work = 100.0;
+  n.serial_fraction = 0.2;
+  EXPECT_DOUBLE_EQ(n.exec_time(1), 100.0);
+  EXPECT_DOUBLE_EQ(n.exec_time(4), 100.0 * (0.2 + 0.8 / 4));
+  EXPECT_DOUBLE_EQ(n.exec_time(1, 2.0), 50.0);  // speed scales
+}
+
+TEST(Node, ExecTimeMonotoneUntilOverheadDominates) {
+  Node n;
+  n.work = 100.0;
+  n.serial_fraction = 0.05;
+  n.overhead_per_proc = 0.01;
+  for (int p = 1; p < 32; ++p) {
+    EXPECT_LT(n.exec_time(p + 1), n.exec_time(p)) << p;
+  }
+}
+
+TEST(Dag, ValidationOnConstruction) {
+  Dag d;
+  EXPECT_THROW(d.add_node("bad", 0.0), ValidationError);
+  EXPECT_THROW(d.add_node("bad", -1.0), ValidationError);
+  Node n;
+  n.work = 1;
+  n.serial_fraction = 1.5;
+  EXPECT_THROW(d.add_node(n), ValidationError);
+  const int a = d.add_node("a", 1.0);
+  EXPECT_THROW(d.add_edge(a, a), ValidationError);
+  EXPECT_THROW(d.add_edge(a, 99), ValidationError);
+  EXPECT_THROW(d.add_edge(a, 0, -1.0), ValidationError);
+}
+
+TEST(Dag, AdjacencyAndEdgeData) {
+  const Dag d = diamond();
+  EXPECT_EQ(d.successors(0), (std::vector<int>{1, 2}));
+  EXPECT_EQ(d.predecessors(3), (std::vector<int>{1, 2}));
+  EXPECT_DOUBLE_EQ(d.edge_data(2, 3), 4.0);
+  EXPECT_DOUBLE_EQ(d.edge_data(0, 3), 0.0);
+  EXPECT_EQ(d.sources(), (std::vector<int>{0}));
+  EXPECT_EQ(d.sinks(), (std::vector<int>{3}));
+}
+
+TEST(Dag, TopologicalOrderRespectsEdges) {
+  const Dag d = diamond();
+  const auto order = d.topological_order();
+  std::map<int, std::size_t> pos;
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (const auto& e : d.edges()) EXPECT_LT(pos[e.src], pos[e.dst]);
+}
+
+TEST(Dag, CycleDetected) {
+  Dag d;
+  const int a = d.add_node("a", 1.0);
+  const int b = d.add_node("b", 1.0);
+  d.add_edge(a, b);
+  d.add_edge(b, a);
+  EXPECT_THROW(d.topological_order(), ValidationError);
+}
+
+TEST(Dag, PrecedenceLevelsAreLongestHopCounts) {
+  const Dag d = diamond();
+  const auto levels = d.precedence_levels();
+  EXPECT_EQ(levels, (std::vector<int>{0, 1, 1, 2}));
+}
+
+TEST(Dag, CriticalPathTimeAndPath) {
+  const Dag d = diamond();
+  const std::vector<double> times{10, 20, 5, 10};
+  EXPECT_DOUBLE_EQ(d.critical_path_time(times), 40.0);  // a-b-e
+  EXPECT_EQ(d.critical_path(times), (std::vector<int>{0, 1, 3}));
+}
+
+TEST(Dag, AverageAreaAndWork) {
+  const Dag d = diamond();
+  const std::vector<double> times{10, 20, 5, 10};
+  const std::vector<int> allocs{1, 2, 1, 4};
+  EXPECT_DOUBLE_EQ(d.total_work(times, allocs), 10 + 40 + 5 + 40);
+  EXPECT_DOUBLE_EQ(d.average_area(times, allocs, 10), 9.5);
+}
+
+TEST(Dag, Width) {
+  EXPECT_EQ(diamond().width(), 2);
+  util::Rng rng(1);
+  EXPECT_EQ(serial_dag(5, rng).width(), 1);
+}
+
+// -- generators ----------------------------------------------------------
+
+TEST(Generators, LayeredRandomIsConnectedAcyclic) {
+  util::Rng rng(11);
+  LayeredDagOptions o;
+  o.levels = 6;
+  o.min_width = 2;
+  o.max_width = 5;
+  const Dag d = layered_random(o, rng);
+  EXPECT_NO_THROW(d.topological_order());
+  // Every non-source node keeps at least one predecessor.
+  const auto levels = d.precedence_levels();
+  for (int v = 0; v < d.node_count(); ++v) {
+    if (levels[static_cast<std::size_t>(v)] > 0) {
+      EXPECT_FALSE(d.predecessors(v).empty());
+    }
+  }
+  EXPECT_GE(d.node_count(), 6 * 2);
+  EXPECT_LE(d.node_count(), 6 * 5);
+}
+
+TEST(Generators, Deterministic) {
+  util::Rng rng1(7);
+  util::Rng rng2(7);
+  LayeredDagOptions o;
+  const Dag a = layered_random(o, rng1);
+  const Dag b = layered_random(o, rng2);
+  ASSERT_EQ(a.node_count(), b.node_count());
+  for (int v = 0; v < a.node_count(); ++v) {
+    EXPECT_DOUBLE_EQ(a.node(v).work, b.node(v).work);
+  }
+  EXPECT_EQ(a.edges().size(), b.edges().size());
+}
+
+TEST(Generators, SerialDagIsAChain) {
+  util::Rng rng(2);
+  const Dag d = serial_dag(7, rng);
+  EXPECT_EQ(d.node_count(), 7);
+  EXPECT_EQ(d.edges().size(), 6u);
+  EXPECT_EQ(d.width(), 1);
+}
+
+TEST(Generators, ForkJoinShape) {
+  util::Rng rng(3);
+  const Dag d = fork_join_dag(2, 4, rng);
+  EXPECT_EQ(d.node_count(), 1 + 2 * (4 + 1));
+  EXPECT_EQ(d.width(), 4);
+  EXPECT_EQ(d.sources().size(), 1u);
+  EXPECT_EQ(d.sinks().size(), 1u);
+}
+
+TEST(Generators, McpaPathologyShape) {
+  const Dag d = mcpa_pathological_dag(16);
+  EXPECT_EQ(d.width(), 16);  // level as wide as the machine
+  // Exactly two heavy tasks in the wide level.
+  int heavy = 0;
+  for (const auto& n : d.nodes()) {
+    if (n.work > 100.0) ++heavy;
+  }
+  EXPECT_EQ(heavy, 2);
+}
+
+// -- montage --------------------------------------------------------------
+
+TEST(Montage, NodeCountFormula) {
+  for (int k : {2, 4, 9, 12}) {
+    EXPECT_EQ(montage_dag(k).node_count(), 5 * k + 3) << k;
+  }
+  EXPECT_EQ(montage_case_study().node_count(), 48);
+}
+
+TEST(Montage, StageCounts) {
+  const Dag d = montage_dag(9);
+  std::map<std::string, int> by_type;
+  for (const auto& n : d.nodes()) ++by_type[n.type];
+  EXPECT_EQ(by_type["mProject"], 9);
+  EXPECT_EQ(by_type["mDiffFit"], 24);
+  EXPECT_EQ(by_type["mConcatFit"], 1);
+  EXPECT_EQ(by_type["mBgModel"], 1);
+  EXPECT_EQ(by_type["mBackground"], 9);
+  EXPECT_EQ(by_type["mImgtbl"], 1);
+  EXPECT_EQ(by_type["mAdd"], 1);
+  EXPECT_EQ(by_type["mShrink"], 1);
+  EXPECT_EQ(by_type["mJPEG"], 1);
+}
+
+TEST(Montage, StructureIsValidPipeline) {
+  const Dag d = montage_dag(5);
+  EXPECT_NO_THROW(d.topological_order());
+  // mProjects are the only sources; mJPEG the only sink.
+  for (int v : d.sources()) EXPECT_EQ(d.node(v).type, "mProject");
+  const auto sinks = d.sinks();
+  ASSERT_EQ(sinks.size(), 1u);
+  EXPECT_EQ(d.node(sinks[0]).type, "mJPEG");
+  // Every mDiffFit has exactly two mProject parents.
+  for (const auto& n : d.nodes()) {
+    if (n.type == "mDiffFit") {
+      const auto& preds = d.predecessors(n.id);
+      ASSERT_EQ(preds.size(), 2u);
+      for (int p : preds) EXPECT_EQ(d.node(p).type, "mProject");
+    }
+    if (n.type == "mBackground") {
+      EXPECT_EQ(d.predecessors(n.id).size(), 2u);  // mBgModel + own mProject
+    }
+  }
+}
+
+TEST(Montage, RejectsTooFewImages) {
+  EXPECT_THROW(montage_dag(1), Error);
+}
+
+// -- dot export -------------------------------------------------------------
+
+TEST(Dot, ContainsNodesEdgesAndTypeColors) {
+  const Dag d = montage_dag(3);
+  const std::string dot = to_dot(d);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("mProject_0"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor"), std::string::npos);
+  // Same type -> same color; different types -> different colors (paper
+  // Fig. 6 caption).
+  auto color_of = [&dot](const std::string& label) {
+    const auto pos = dot.find("label=\"" + label + "\"");
+    EXPECT_NE(pos, std::string::npos) << label;
+    const auto c = dot.find("fillcolor=\"", pos);
+    return dot.substr(c + 11, 7);
+  };
+  EXPECT_EQ(color_of("mProject_0"), color_of("mProject_1"));
+  EXPECT_NE(color_of("mProject_0"), color_of("mAdd"));
+}
+
+}  // namespace
+}  // namespace jedule::dag

@@ -1,0 +1,90 @@
+#include "jedule/io/colormap_xml.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "jedule/util/error.hpp"
+
+namespace jedule::io {
+namespace {
+
+// Paper Fig. 2, verbatim structure.
+const char kFig2[] = R"(<cmap name="standard_map">
+  <conf name="min_fontsize_label" value="11"/>
+  <conf name="fontsize_label" value="13"/>
+  <conf name="font_size_axes" value="12"/>
+  <task id="computation">
+    <color type="fg" rgb="FFFFFF"/>
+    <color type="bg" rgb="0000FF"/>
+  </task>
+  <task id="transfer">
+    <color type="fg" rgb="000000"/>
+    <color type="bg" rgb="f10000"/>
+  </task>
+  <composite>
+    <task id="computation"/>
+    <task id="transfer"/>
+    <color type="fg" rgb="FFFFFF"/>
+    <color type="bg" rgb="ff6200"/>
+  </composite>
+</cmap>
+)";
+
+TEST(ReadColormap, ParsesPaperFigure2) {
+  const auto map = read_colormap_xml(kFig2);
+  EXPECT_EQ(map.name(), "standard_map");
+  EXPECT_EQ(map.style_for("computation").background,
+            color::parse_color("0000FF"));
+  EXPECT_EQ(map.style_for("transfer").foreground, color::kBlack);
+  EXPECT_EQ(map.config_value("font_size_axes"), "12");
+  ASSERT_EQ(map.composite_rules().size(), 1u);
+  EXPECT_EQ(map.composite_rules()[0].members,
+            (std::set<std::string>{"computation", "transfer"}));
+  EXPECT_EQ(map.composite_style({"computation", "transfer"}).background,
+            color::parse_color("ff6200"));
+}
+
+TEST(WriteColormap, RoundTrips) {
+  const auto orig = read_colormap_xml(kFig2);
+  const auto back = read_colormap_xml(write_colormap_xml(orig));
+  EXPECT_EQ(back.name(), orig.name());
+  EXPECT_EQ(back.config(), orig.config());
+  ASSERT_EQ(back.styles().size(), orig.styles().size());
+  for (std::size_t i = 0; i < orig.styles().size(); ++i) {
+    EXPECT_EQ(back.styles()[i], orig.styles()[i]);
+  }
+  ASSERT_EQ(back.composite_rules().size(), orig.composite_rules().size());
+  EXPECT_EQ(back.composite_rules()[0].members,
+            orig.composite_rules()[0].members);
+  EXPECT_EQ(back.composite_rules()[0].style,
+            orig.composite_rules()[0].style);
+}
+
+TEST(ReadColormap, RejectsBadDocuments) {
+  EXPECT_THROW(read_colormap_xml("<palette/>"), ParseError);  // wrong root
+  EXPECT_THROW(
+      read_colormap_xml("<cmap><task id='x'><color type='mid' rgb='000000'/>"
+                        "</task></cmap>"),
+      ParseError);  // bad color type
+  EXPECT_THROW(read_colormap_xml("<cmap><composite><color type='fg' "
+                                 "rgb='000000'/></composite></cmap>"),
+               ParseError);  // composite without members
+  EXPECT_THROW(read_colormap_xml("<cmap><what/></cmap>"), ParseError);
+  EXPECT_THROW(
+      read_colormap_xml("<cmap><task id='x'><color type='fg' rgb='XYZ'/>"
+                        "</task></cmap>"),
+      ParseError);  // bad hex
+}
+
+TEST(SaveLoadColormap, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/cmap_rt.xml";
+  save_colormap_xml(read_colormap_xml(kFig2), path);
+  const auto map = load_colormap_xml(path);
+  EXPECT_EQ(map.style_for("transfer").background,
+            color::parse_color("f10000"));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace jedule::io

@@ -1,0 +1,101 @@
+#include "jedule/io/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include "jedule/model/builder.hpp"
+#include "jedule/util/error.hpp"
+
+namespace jedule::io {
+namespace {
+
+TEST(ReadCsv, BasicDocument) {
+  const char* text =
+      "!cluster,0,main,8\n"
+      "!meta,algorithm,CPA\n"
+      "task_id,type,start,end,allocs\n"
+      "1,computation,0.0,0.31,0:0-7\n"
+      "2,transfer,0.31,0.5,0:0-3;6\n";
+  const auto s = read_schedule_csv(text);
+  EXPECT_EQ(s.clusters()[0].hosts, 8);
+  EXPECT_EQ(s.meta_value("algorithm"), "CPA");
+  ASSERT_EQ(s.tasks().size(), 2u);
+  const auto& t2 = s.tasks()[1];
+  ASSERT_EQ(t2.configurations().size(), 1u);
+  EXPECT_EQ(t2.configurations()[0].host_list(),
+            (std::vector<int>{0, 1, 2, 3, 6}));
+}
+
+TEST(ReadCsv, InfersClusterFromHosts) {
+  const char* text =
+      "task_id,type,start,end,allocs\n"
+      "1,t,0,1,0:5\n";
+  const auto s = read_schedule_csv(text);
+  EXPECT_EQ(s.clusters()[0].hosts, 6);  // max host 5 -> size 6
+}
+
+TEST(ReadCsv, MultipleConfigurations) {
+  const char* text =
+      "!cluster,0,a,4\n"
+      "!cluster,1,b,4\n"
+      "task_id,type,start,end,allocs\n"
+      "x,transfer,0,1,0:3|1:0-1\n";
+  const auto s = read_schedule_csv(text);
+  ASSERT_EQ(s.tasks()[0].configurations().size(), 2u);
+  EXPECT_EQ(s.tasks()[0].configurations()[1].cluster_id, 1);
+  EXPECT_EQ(s.tasks()[0].total_hosts(), 3);
+}
+
+TEST(ReadCsv, CommentsAndBlankLinesIgnored) {
+  const char* text =
+      "# a comment\n"
+      "\n"
+      "task_id,type,start,end,allocs\n"
+      "1,t,0,1,0:0\n";
+  EXPECT_EQ(read_schedule_csv(text).tasks().size(), 1u);
+}
+
+TEST(ReadCsv, ErrorsAreDiagnosed) {
+  EXPECT_THROW(read_schedule_csv(""), ParseError);  // no header
+  EXPECT_THROW(read_schedule_csv("task_id,type,start,end,allocs\n"
+                                 "1,t,zero,1,0:0\n"),
+               ParseError);  // bad time
+  EXPECT_THROW(read_schedule_csv("task_id,type,start,end,allocs\n"
+                                 "1,t,0,1,5\n"),
+               ParseError);  // alloc without cluster prefix
+  EXPECT_THROW(read_schedule_csv("task_id,type,start,end,allocs\n"
+                                 "1,t,0,1,0:9-3\n"),
+               ParseError);  // inverted range
+  EXPECT_THROW(read_schedule_csv("!cluster,0,a\n"
+                                 "task_id,type,start,end,allocs\n"),
+               ParseError);  // short !cluster
+  EXPECT_THROW(read_schedule_csv("!bogus,1,2\n"
+                                 "task_id,type,start,end,allocs\n"),
+               ParseError);  // unknown directive
+}
+
+TEST(WriteCsv, RoundTrips) {
+  const auto orig = model::ScheduleBuilder()
+                        .cluster(0, "main", 8)
+                        .cluster(1, "aux", 2)
+                        .meta("algorithm", "demo")
+                        .task("1", "computation", 0.0, 0.31)
+                        .on(0, 0, 8)
+                        .task("2", "transfer", 0.31, 0.5)
+                        .hosts(0, {0, 1, 2, 3, 6})
+                        .on(1, 0, 2)
+                        .build();
+  const auto back = read_schedule_csv(write_schedule_csv(orig));
+  ASSERT_EQ(back.tasks().size(), orig.tasks().size());
+  for (std::size_t i = 0; i < orig.tasks().size(); ++i) {
+    EXPECT_EQ(back.tasks()[i].id(), orig.tasks()[i].id());
+    EXPECT_EQ(back.tasks()[i].configurations(),
+              orig.tasks()[i].configurations());
+    EXPECT_NEAR(back.tasks()[i].start_time(), orig.tasks()[i].start_time(),
+                1e-6);
+  }
+  EXPECT_EQ(back.meta_value("algorithm"), "demo");
+  EXPECT_EQ(back.clusters().size(), 2u);
+}
+
+}  // namespace
+}  // namespace jedule::io

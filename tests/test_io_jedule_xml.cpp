@@ -1,0 +1,195 @@
+#include "jedule/io/jedule_xml.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "jedule/model/builder.hpp"
+#include "jedule/util/error.hpp"
+
+namespace jedule::io {
+namespace {
+
+// The task definition of paper Fig. 1, embedded in a complete document.
+const char kFig1[] = R"(<?xml version="1.0"?>
+<jedule version="1.0">
+  <jedule_meta>
+    <meta name="mindelta" value="-2"/>
+    <meta name="maxdelta" value="2"/>
+    <meta name="sort" value="comm"/>
+  </jedule_meta>
+  <platform>
+    <cluster id="0" name="cluster-0" hosts="8"/>
+  </platform>
+  <node_infos>
+    <node_statistics>
+      <node_property name="id" value="1"/>
+      <node_property name="type" value="computation"/>
+      <node_property name="start_time" value="0.000"/>
+      <node_property name="end_time" value="0.310"/>
+      <configuration>
+        <conf_property name="cluster_id" value="0"/>
+        <conf_property name="host_nb" value="8"/>
+        <host_lists>
+          <hosts start="0" nb="8"/>
+        </host_lists>
+      </configuration>
+    </node_statistics>
+  </node_infos>
+</jedule>
+)";
+
+TEST(ReadJeduleXml, ParsesPaperFigure1) {
+  const auto s = read_schedule_xml(kFig1);
+  ASSERT_EQ(s.clusters().size(), 1u);
+  EXPECT_EQ(s.clusters()[0].name, "cluster-0");
+  EXPECT_EQ(s.clusters()[0].hosts, 8);
+  ASSERT_EQ(s.tasks().size(), 1u);
+  const auto& t = s.tasks()[0];
+  EXPECT_EQ(t.id(), "1");
+  EXPECT_EQ(t.type(), "computation");
+  EXPECT_DOUBLE_EQ(t.start_time(), 0.0);
+  EXPECT_DOUBLE_EQ(t.end_time(), 0.31);
+  ASSERT_EQ(t.configurations().size(), 1u);
+  EXPECT_EQ(t.configurations()[0].cluster_id, 0);
+  EXPECT_EQ(t.configurations()[0].host_count(), 8);
+  EXPECT_EQ(s.meta_value("mindelta"), "-2");
+  EXPECT_EQ(s.meta_value("sort"), "comm");
+}
+
+model::Schedule rich_schedule() {
+  return model::ScheduleBuilder()
+      .cluster(0, "alpha", 4)
+      .cluster(3, "beta", 2)
+      .meta("algorithm", "HEFT")
+      .meta("note", "a <tricky> & \"quoted\" value")
+      .task("1", "computation", 0.0, 0.31)
+      .on(0, 0, 4)
+      .property("user", "6447")
+      .task("x-7", "transfer", 0.25, 0.5)
+      .hosts(0, {1, 3})
+      .on(3, 0, 2)  // spans clusters (Fig. 1 caption's case)
+      .build();
+}
+
+TEST(WriteJeduleXml, RoundTripsEverything) {
+  const model::Schedule orig = rich_schedule();
+  const model::Schedule back = read_schedule_xml(write_schedule_xml(orig));
+
+  ASSERT_EQ(back.clusters().size(), orig.clusters().size());
+  for (std::size_t i = 0; i < orig.clusters().size(); ++i) {
+    EXPECT_EQ(back.clusters()[i], orig.clusters()[i]);
+  }
+  EXPECT_EQ(back.meta(), orig.meta());
+  ASSERT_EQ(back.tasks().size(), orig.tasks().size());
+  for (std::size_t i = 0; i < orig.tasks().size(); ++i) {
+    const auto& a = orig.tasks()[i];
+    const auto& b = back.tasks()[i];
+    EXPECT_EQ(b.id(), a.id());
+    EXPECT_EQ(b.type(), a.type());
+    EXPECT_DOUBLE_EQ(b.start_time(), a.start_time());
+    EXPECT_DOUBLE_EQ(b.end_time(), a.end_time());
+    EXPECT_EQ(b.configurations(), a.configurations());
+    EXPECT_EQ(b.properties(), a.properties());
+  }
+}
+
+TEST(WriteJeduleXml, NonMillisecondTimesSurvive) {
+  const double t = 1.0 / 3.0;
+  model::Schedule s = model::ScheduleBuilder()
+                          .cluster(0, "c", 1)
+                          .task("1", "t", t, 2 * t)
+                          .on(0, 0, 1)
+                          .build();
+  const auto back = read_schedule_xml(write_schedule_xml(s));
+  EXPECT_DOUBLE_EQ(back.tasks()[0].start_time(), t);
+  EXPECT_DOUBLE_EQ(back.tasks()[0].end_time(), 2 * t);
+}
+
+TEST(SaveLoad, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/jed_roundtrip.jed";
+  save_schedule_xml(rich_schedule(), path);
+  const auto back = load_schedule_xml(path);
+  EXPECT_EQ(back.tasks().size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(ReadJeduleXml, RejectsMissingPlatform) {
+  EXPECT_THROW(read_schedule_xml("<jedule><node_infos/></jedule>"),
+               ParseError);
+}
+
+TEST(ReadJeduleXml, RejectsWrongRoot) {
+  EXPECT_THROW(read_schedule_xml("<schedule/>"), ParseError);
+}
+
+TEST(ReadJeduleXml, RejectsHostNbMismatch) {
+  const char* bad = R"(<jedule>
+    <platform><cluster id="0" hosts="8"/></platform>
+    <node_infos><node_statistics>
+      <node_property name="id" value="1"/>
+      <node_property name="type" value="t"/>
+      <node_property name="start_time" value="0"/>
+      <node_property name="end_time" value="1"/>
+      <configuration>
+        <conf_property name="cluster_id" value="0"/>
+        <conf_property name="host_nb" value="4"/>
+        <host_lists><hosts start="0" nb="8"/></host_lists>
+      </configuration>
+    </node_statistics></node_infos></jedule>)";
+  EXPECT_THROW(read_schedule_xml(bad), ParseError);
+}
+
+TEST(ReadJeduleXml, RejectsMissingRequiredNodeProperty) {
+  const char* bad = R"(<jedule>
+    <platform><cluster id="0" hosts="2"/></platform>
+    <node_infos><node_statistics>
+      <node_property name="id" value="1"/>
+      <node_property name="start_time" value="0"/>
+      <node_property name="end_time" value="1"/>
+      <configuration>
+        <conf_property name="cluster_id" value="0"/>
+        <host_lists><hosts start="0" nb="1"/></host_lists>
+      </configuration>
+    </node_statistics></node_infos></jedule>)";
+  EXPECT_THROW(read_schedule_xml(bad), ParseError);
+}
+
+TEST(ReadJeduleXml, ExtraNodePropertiesBecomeTaskProperties) {
+  const char* text = R"(<jedule>
+    <platform><cluster id="0" hosts="2"/></platform>
+    <node_infos><node_statistics>
+      <node_property name="id" value="1"/>
+      <node_property name="type" value="job"/>
+      <node_property name="start_time" value="0"/>
+      <node_property name="end_time" value="1"/>
+      <node_property name="user" value="6447"/>
+      <configuration>
+        <conf_property name="cluster_id" value="0"/>
+        <host_lists><hosts start="0" nb="1"/></host_lists>
+      </configuration>
+    </node_statistics></node_infos></jedule>)";
+  const auto s = read_schedule_xml(text);
+  EXPECT_EQ(s.tasks()[0].property("user"), "6447");
+}
+
+TEST(ReadJeduleXml, ValidatesSemantics) {
+  // Well-formed XML whose host range exceeds the cluster: the semantic
+  // validator must reject it.
+  const char* bad = R"(<jedule>
+    <platform><cluster id="0" hosts="2"/></platform>
+    <node_infos><node_statistics>
+      <node_property name="id" value="1"/>
+      <node_property name="type" value="t"/>
+      <node_property name="start_time" value="0"/>
+      <node_property name="end_time" value="1"/>
+      <configuration>
+        <conf_property name="cluster_id" value="0"/>
+        <host_lists><hosts start="0" nb="5"/></host_lists>
+      </configuration>
+    </node_statistics></node_infos></jedule>)";
+  EXPECT_THROW(read_schedule_xml(bad), ValidationError);
+}
+
+}  // namespace
+}  // namespace jedule::io

@@ -1,0 +1,116 @@
+#include "jedule/io/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "jedule/io/csv.hpp"
+#include "jedule/io/file.hpp"
+#include "jedule/io/jedule_xml.hpp"
+#include "jedule/model/builder.hpp"
+#include "jedule/util/error.hpp"
+#include "jedule/workload/swf_parser.hpp"
+
+namespace jedule::io {
+namespace {
+
+std::string write_temp(const std::string& name, const std::string& content) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  write_file(path, content);
+  return path;
+}
+
+model::Schedule sample_schedule() {
+  return model::ScheduleBuilder()
+      .cluster(0, "c", 4)
+      .task("1", "t", 0, 1)
+      .on(0, 0, 4)
+      .build();
+}
+
+TEST(Registry, BuiltInsPresent) {
+  const auto names = ParserRegistry::instance().parser_names();
+  EXPECT_NE(ParserRegistry::instance().find("jedule-xml"), nullptr);
+  EXPECT_NE(ParserRegistry::instance().find("csv"), nullptr);
+  EXPECT_GE(names.size(), 2u);
+}
+
+TEST(Registry, SniffsXmlByContentAndExtension) {
+  const auto path =
+      write_temp("sniff1.jed", write_schedule_xml(sample_schedule()));
+  EXPECT_EQ(load_schedule(path).tasks().size(), 1u);
+  // Same content with an unknown extension: content sniffing kicks in.
+  const auto odd =
+      write_temp("sniff1.dat", write_schedule_xml(sample_schedule()));
+  EXPECT_EQ(load_schedule(odd).tasks().size(), 1u);
+  std::remove(path.c_str());
+  std::remove(odd.c_str());
+}
+
+TEST(Registry, SniffsCsv) {
+  const auto path =
+      write_temp("sniff2.csv", write_schedule_csv(sample_schedule()));
+  EXPECT_EQ(load_schedule(path).tasks().size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(Registry, ExplicitFormatOverridesSniffing) {
+  const auto path =
+      write_temp("odd.xml.txt", write_schedule_csv(sample_schedule()));
+  EXPECT_EQ(load_schedule(path, "csv").tasks().size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(Registry, UnknownFormatOrFileRejected) {
+  EXPECT_THROW(load_schedule("/no/such/file.xml"), IoError);
+  const auto path = write_temp("unknown.bin", "\x01\x02\x03garbage");
+  EXPECT_THROW(load_schedule(path), ParseError);
+  EXPECT_THROW(load_schedule(path, "not-a-format"), ParseError);
+  std::remove(path.c_str());
+}
+
+TEST(Registry, UserParserExtensionPoint) {
+  // A custom one-line format, registered exactly like the paper describes
+  // third-party parsers plugging in.
+  class OneLiner final : public ScheduleParser {
+   public:
+    std::string name() const override { return "one-liner"; }
+    bool sniff(const std::string& path, const std::string&) const override {
+      return path.ends_with(".one");
+    }
+    model::Schedule parse(const std::string& content) const override {
+      model::Schedule s;
+      s.add_cluster(0, "c", 1);
+      model::Task t(content.substr(0, content.find('\n')), "custom", 0, 1);
+      t.allocate(0, 0, 1);
+      s.add_task(std::move(t));
+      s.validate();
+      return s;
+    }
+  };
+  ParserRegistry::instance().register_parser(std::make_unique<OneLiner>());
+  const auto path = write_temp("thing.one", "my-task\n");
+  const auto s = load_schedule(path);
+  EXPECT_EQ(s.tasks()[0].id(), "my-task");
+  EXPECT_EQ(s.tasks()[0].type(), "custom");
+  std::remove(path.c_str());
+}
+
+TEST(Registry, SwfParserRegistersAndLoads) {
+  workload::register_swf_parser();
+  workload::register_swf_parser();  // idempotent
+  ASSERT_NE(ParserRegistry::instance().find("swf"), nullptr);
+  const auto path = write_temp(
+      "mini.swf",
+      "; MaxProcs: 8\n"
+      "1 0 0 100 4 -1 -1 4 -1 -1 1 10 1 1 1 1 -1 -1\n"
+      "2 10 0 50 2 -1 -1 2 -1 -1 1 11 1 1 1 1 -1 -1\n");
+  const auto s = load_schedule(path);
+  EXPECT_EQ(s.tasks().size(), 2u);
+  EXPECT_EQ(s.total_hosts(), 8);
+  EXPECT_EQ(s.tasks()[0].property("user"), "10");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace jedule::io

@@ -1,0 +1,80 @@
+#include "jedule/io/swf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "jedule/util/error.hpp"
+
+namespace jedule::io {
+namespace {
+
+const char kSample[] =
+    "; Computer: LLNL Thunder\n"
+    "; MaxNodes: 1024\n"
+    "; MaxProcs: 4096\n"
+    "; UnixStartTime: 1170000000\n"
+    ";\n"
+    "1 0 10 300 16 280.5 -1 16 600 -1 1 6447 3 5 1 1 -1 -1\n"
+    "2 30 0 50 1 49 -1 1 100 -1 0 6400 3 7 1 1 -1 -1\n";
+
+TEST(ReadSwf, HeaderMetadata) {
+  const auto trace = read_swf(kSample);
+  EXPECT_EQ(trace.header.at("Computer"), "LLNL Thunder");
+  EXPECT_EQ(trace.header.at("MaxNodes"), "1024");
+  EXPECT_EQ(trace.max_procs(), 4096);  // MaxProcs preferred over MaxNodes
+}
+
+TEST(ReadSwf, JobFields) {
+  const auto trace = read_swf(kSample);
+  ASSERT_EQ(trace.jobs.size(), 2u);
+  const SwfJob& j = trace.jobs[0];
+  EXPECT_EQ(j.job_id, 1);
+  EXPECT_DOUBLE_EQ(j.submit_time, 0);
+  EXPECT_DOUBLE_EQ(j.wait_time, 10);
+  EXPECT_DOUBLE_EQ(j.run_time, 300);
+  EXPECT_EQ(j.allocated_procs, 16);
+  EXPECT_DOUBLE_EQ(j.avg_cpu_time, 280.5);
+  EXPECT_EQ(j.requested_procs, 16);
+  EXPECT_EQ(j.status, 1);
+  EXPECT_EQ(j.user_id, 6447);
+  EXPECT_EQ(j.group_id, 3);
+  EXPECT_DOUBLE_EQ(j.start_time(), 10);
+  EXPECT_DOUBLE_EQ(j.end_time(), 310);
+}
+
+TEST(ReadSwf, MaxProcsFallsBackToJobs) {
+  SwfTrace trace = read_swf("7 0 0 10 64 -1 -1 64 -1 -1 1 1 1 1 1 1 -1 -1\n");
+  EXPECT_EQ(trace.max_procs(), 64);
+}
+
+TEST(ReadSwf, RejectsShortLines) {
+  EXPECT_THROW(read_swf("1 2 3\n"), ParseError);
+}
+
+TEST(ReadSwf, RejectsNonNumericFields) {
+  EXPECT_THROW(read_swf("x 0 0 10 1 -1 -1 1 -1 -1 1 1 1 1 1 1 -1 -1\n"),
+               ParseError);
+}
+
+TEST(WriteSwf, RoundTrips) {
+  const auto orig = read_swf(kSample);
+  const auto back = read_swf(write_swf(orig));
+  ASSERT_EQ(back.jobs.size(), orig.jobs.size());
+  for (std::size_t i = 0; i < orig.jobs.size(); ++i) {
+    EXPECT_EQ(back.jobs[i].job_id, orig.jobs[i].job_id);
+    EXPECT_DOUBLE_EQ(back.jobs[i].submit_time, orig.jobs[i].submit_time);
+    EXPECT_DOUBLE_EQ(back.jobs[i].run_time, orig.jobs[i].run_time);
+    EXPECT_EQ(back.jobs[i].allocated_procs, orig.jobs[i].allocated_procs);
+    EXPECT_EQ(back.jobs[i].user_id, orig.jobs[i].user_id);
+    EXPECT_DOUBLE_EQ(back.jobs[i].avg_cpu_time, orig.jobs[i].avg_cpu_time);
+  }
+  EXPECT_EQ(back.header.at("MaxNodes"), "1024");
+}
+
+TEST(ReadSwf, EmptyTraceIsFine) {
+  const auto trace = read_swf("; MaxProcs: 8\n");
+  EXPECT_TRUE(trace.jobs.empty());
+  EXPECT_EQ(trace.max_procs(), 8);
+}
+
+}  // namespace
+}  // namespace jedule::io

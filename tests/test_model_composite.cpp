@@ -1,0 +1,247 @@
+#include "jedule/model/composite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "jedule/model/builder.hpp"
+#include "jedule/util/rng.hpp"
+
+namespace jedule::model {
+namespace {
+
+Schedule overlap_pair() {
+  // Paper Fig. 3 scenario: computation on hosts 0-7, transfer on 2-5
+  // overlapping its tail.
+  return ScheduleBuilder()
+      .cluster(0, "c", 8)
+      .task("1", "computation", 0.0, 0.31)
+      .on(0, 0, 8)
+      .task("2", "transfer", 0.25, 0.50)
+      .on(0, 2, 4)
+      .build();
+}
+
+TEST(Composite, NoOverlapNoComposites) {
+  const Schedule s = ScheduleBuilder()
+                         .cluster(0, "c", 2)
+                         .task("1", "t", 0, 1)
+                         .on(0, 0, 1)
+                         .task("2", "t", 0, 1)
+                         .on(0, 1, 1)
+                         .build();
+  EXPECT_TRUE(synthesize_composites(s).empty());
+  EXPECT_FALSE(has_resource_conflicts(s));
+}
+
+TEST(Composite, TouchingIntervalsDoNotOverlap) {
+  const Schedule s = ScheduleBuilder()
+                         .cluster(0, "c", 1)
+                         .task("1", "t", 0, 1)
+                         .on(0, 0, 1)
+                         .task("2", "t", 1, 2)
+                         .on(0, 0, 1)
+                         .build();
+  EXPECT_TRUE(synthesize_composites(s).empty());
+}
+
+TEST(Composite, PairOverlapGeometry) {
+  const auto composites = synthesize_composites(overlap_pair());
+  ASSERT_EQ(composites.size(), 1u);
+  const Composite& c = composites[0];
+  EXPECT_EQ(c.task.id(), "1+2");
+  EXPECT_EQ(c.task.type(), "composite");
+  EXPECT_DOUBLE_EQ(c.task.start_time(), 0.25);
+  EXPECT_DOUBLE_EQ(c.task.end_time(), 0.31);
+  ASSERT_EQ(c.task.configurations().size(), 1u);
+  const auto& cfg = c.task.configurations()[0];
+  ASSERT_EQ(cfg.hosts.size(), 1u);
+  EXPECT_EQ(cfg.hosts[0], (HostRange{2, 4}));
+  EXPECT_EQ(c.member_ids, (std::vector<std::string>{"1", "2"}));
+  EXPECT_EQ(c.member_types,
+            (std::set<std::string>{"computation", "transfer"}));
+}
+
+TEST(Composite, ThreeWayOverlapSplitsByMemberSet) {
+  // a: [0,10), b: [4,6), c: [5,8) on one host -> member sets change at
+  // 4, 5, 6, 8.
+  const Schedule s = ScheduleBuilder()
+                         .cluster(0, "c", 1)
+                         .task("a", "t", 0, 10)
+                         .on(0, 0, 1)
+                         .task("b", "t", 4, 6)
+                         .on(0, 0, 1)
+                         .task("c", "t", 5, 8)
+                         .on(0, 0, 1)
+                         .build();
+  auto composites = synthesize_composites(s);
+  ASSERT_EQ(composites.size(), 3u);
+  std::map<std::string, std::pair<double, double>> by_id;
+  for (const auto& comp : composites) {
+    by_id[comp.task.id()] = {comp.task.start_time(), comp.task.end_time()};
+  }
+  EXPECT_EQ(by_id.at("a+b"), (std::pair<double, double>{4, 5}));
+  EXPECT_EQ(by_id.at("a+b+c"), (std::pair<double, double>{5, 6}));
+  EXPECT_EQ(by_id.at("a+c"), (std::pair<double, double>{6, 8}));
+}
+
+TEST(Composite, AdjacentHostsMergeIntoRanges) {
+  const Schedule s = ScheduleBuilder()
+                         .cluster(0, "c", 4)
+                         .task("1", "t", 0, 2)
+                         .on(0, 0, 4)
+                         .task("2", "t", 1, 3)
+                         .on(0, 1, 2)
+                         .build();
+  const auto composites = synthesize_composites(s);
+  ASSERT_EQ(composites.size(), 1u);
+  const auto& cfg = composites[0].task.configurations()[0];
+  ASSERT_EQ(cfg.hosts.size(), 1u);
+  EXPECT_EQ(cfg.hosts[0], (HostRange{1, 2}));
+}
+
+TEST(Composite, DisjointHostGroupsStaySeparate) {
+  // Overlap on hosts 0 and 2 but not 1 -> one composite with two ranges.
+  const Schedule s = ScheduleBuilder()
+                         .cluster(0, "c", 3)
+                         .task("1", "t", 0, 2)
+                         .hosts(0, {0, 2})
+                         .task("2", "t", 1, 3)
+                         .hosts(0, {0, 2})
+                         .build();
+  const auto composites = synthesize_composites(s);
+  ASSERT_EQ(composites.size(), 1u);
+  const auto& cfg = composites[0].task.configurations()[0];
+  ASSERT_EQ(cfg.hosts.size(), 2u);
+  EXPECT_EQ(cfg.hosts[0], (HostRange{0, 1}));
+  EXPECT_EQ(cfg.hosts[1], (HostRange{2, 1}));
+}
+
+TEST(Composite, ClustersNeverMerge) {
+  // Identical overlaps in two clusters stay two composite tasks.
+  const Schedule s = ScheduleBuilder()
+                         .cluster(0, "c0", 1)
+                         .cluster(1, "c1", 1)
+                         .task("1", "t", 0, 2)
+                         .on(0, 0, 1)
+                         .on(1, 0, 1)
+                         .task("2", "t", 1, 3)
+                         .on(0, 0, 1)
+                         .on(1, 0, 1)
+                         .build();
+  EXPECT_EQ(synthesize_composites(s).size(), 2u);
+}
+
+TEST(Composite, ZeroDurationTasksIgnored) {
+  const Schedule s = ScheduleBuilder()
+                         .cluster(0, "c", 1)
+                         .task("1", "t", 0, 2)
+                         .on(0, 0, 1)
+                         .task("marker", "t", 1, 1)
+                         .on(0, 0, 1)
+                         .build();
+  EXPECT_TRUE(synthesize_composites(s).empty());
+}
+
+TEST(Composite, FilterSelectsParticipants) {
+  const Schedule s = overlap_pair();
+  const auto only_compute = synthesize_composites(
+      s, [](const Task& t) { return t.type() == "computation"; });
+  EXPECT_TRUE(only_compute.empty());
+  EXPECT_FALSE(has_resource_conflicts(
+      s, [](const Task& t) { return t.type() == "computation"; }));
+  EXPECT_TRUE(has_resource_conflicts(s));
+}
+
+TEST(WithComposites, AppendsValidTasksWithProperties) {
+  const Schedule s = with_composites(overlap_pair());
+  EXPECT_EQ(s.tasks().size(), 3u);
+  const Task* comp = s.find_task("1+2");
+  ASSERT_NE(comp, nullptr);
+  EXPECT_EQ(comp->property("members"), "1,2");
+  EXPECT_EQ(comp->property("member_types"), "computation,transfer");
+  EXPECT_NO_THROW(s.validate());
+}
+
+TEST(WithComposites, DisambiguatesRepeatedMemberSets) {
+  // The same pair overlaps twice in disjoint time windows -> two composite
+  // tasks whose natural ids collide; validate() requires uniqueness.
+  const Schedule s = with_composites(ScheduleBuilder()
+                                         .cluster(0, "c", 1)
+                                         .task("1", "t", 0, 2)
+                                         .on(0, 0, 1)
+                                         .task("2", "t", 1, 4)
+                                         .on(0, 0, 1)
+                                         .task("3", "t", 3, 6)
+                                         .on(0, 0, 1)
+                                         .build());
+  EXPECT_NO_THROW(s.validate());
+  EXPECT_EQ(s.tasks().size(), 5u);  // 3 tasks + 2 composites
+}
+
+// Property test: on random single-cluster schedules, composites cover
+// exactly the multi-occupied instants (checked by dense sampling).
+class CompositeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompositeProperty, CoversExactlyMultiOccupiedRegions) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int hosts = 6;
+  ScheduleBuilder builder;
+  builder.cluster(0, "c", hosts);
+  const int n = 12;
+  for (int i = 0; i < n; ++i) {
+    const double start = rng.uniform(0, 50);
+    const double len = rng.uniform(1, 20);
+    const int first = static_cast<int>(rng.uniform_int(0, hosts - 1));
+    const int count =
+        static_cast<int>(rng.uniform_int(1, hosts - first));
+    builder.task("t" + std::to_string(i), "w", start, start + len)
+        .on(0, first, count);
+  }
+  const Schedule s = builder.build();
+  const auto composites = synthesize_composites(s);
+
+  // Composites never overlap each other on any resource.
+  {
+    Schedule comp_only;
+    comp_only.add_cluster(0, "c", hosts);
+    int k = 0;
+    for (const auto& comp : composites) {
+      Task t = comp.task;
+      t.set_id("comp" + std::to_string(k++));
+      comp_only.add_task(std::move(t));
+    }
+    EXPECT_FALSE(has_resource_conflicts(comp_only));
+  }
+
+  // Dense sampling: composite coverage == (occupancy >= 2).
+  for (double t = 0.25; t < 75.0; t += 1.37) {
+    for (int h = 0; h < hosts; ++h) {
+      int occupancy = 0;
+      for (const auto& task : s.tasks()) {
+        if (t < task.start_time() || t >= task.end_time()) continue;
+        for (const auto& cfg : task.configurations()) {
+          for (const auto& r : cfg.hosts) {
+            if (h >= r.start && h < r.start + r.nb) ++occupancy;
+          }
+        }
+      }
+      int covered = 0;
+      for (const auto& comp : composites) {
+        if (t < comp.task.start_time() || t >= comp.task.end_time()) continue;
+        for (const auto& cfg : comp.task.configurations()) {
+          for (const auto& r : cfg.hosts) {
+            if (h >= r.start && h < r.start + r.nb) ++covered;
+          }
+        }
+      }
+      EXPECT_EQ(covered, occupancy >= 2 ? 1 : 0)
+          << "at t=" << t << " host=" << h << " occupancy=" << occupancy;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompositeProperty, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace jedule::model

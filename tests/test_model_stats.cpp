@@ -1,0 +1,113 @@
+#include "jedule/model/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "jedule/model/builder.hpp"
+
+namespace jedule::model {
+namespace {
+
+Schedule overlap_schedule() {
+  // Host 0: a [0,4); host 0 also b [2,6) -> covered union [0,6), area 8.
+  // Host 1: idle.
+  return ScheduleBuilder()
+      .cluster(0, "c", 2)
+      .task("a", "compute", 0, 4)
+      .on(0, 0, 1)
+      .task("b", "io", 2, 6)
+      .on(0, 0, 1)
+      .build();
+}
+
+TEST(Stats, EmptySchedule) {
+  Schedule s;
+  s.add_cluster(0, "c", 4);
+  const auto st = compute_stats(s);
+  EXPECT_EQ(st.task_count, 0u);
+  EXPECT_DOUBLE_EQ(st.makespan, 0.0);
+  EXPECT_DOUBLE_EQ(st.utilization, 0.0);
+  EXPECT_DOUBLE_EQ(st.busy_area, 0.0);
+}
+
+TEST(Stats, AreaCountsOverlapTwiceCoveredOnce) {
+  const auto st = compute_stats(overlap_schedule());
+  EXPECT_DOUBLE_EQ(st.busy_area, 8.0);     // 4 + 4
+  EXPECT_DOUBLE_EQ(st.covered_time, 6.0);  // union on host 0
+  EXPECT_DOUBLE_EQ(st.makespan, 6.0);
+  EXPECT_DOUBLE_EQ(st.idle_time, 2 * 6.0 - 6.0);
+  EXPECT_DOUBLE_EQ(st.utilization, 0.5);
+}
+
+TEST(Stats, PerResourceBusyTimes) {
+  const auto st = compute_stats(overlap_schedule());
+  ASSERT_EQ(st.busy_by_resource.size(), 2u);
+  EXPECT_DOUBLE_EQ(st.busy_by_resource[0], 6.0);
+  EXPECT_DOUBLE_EQ(st.busy_by_resource[1], 0.0);
+}
+
+TEST(Stats, AreaByType) {
+  const auto st = compute_stats(overlap_schedule());
+  EXPECT_DOUBLE_EQ(st.area_by_type.at("compute"), 4.0);
+  EXPECT_DOUBLE_EQ(st.area_by_type.at("io"), 4.0);
+}
+
+TEST(Stats, TypeFilterRestricts) {
+  const auto st = compute_stats(overlap_schedule(), {"compute"});
+  EXPECT_EQ(st.task_count, 1u);
+  EXPECT_DOUBLE_EQ(st.busy_area, 4.0);
+  EXPECT_DOUBLE_EQ(st.makespan, 4.0);
+}
+
+TEST(Stats, MultiHostTaskArea) {
+  const Schedule s = ScheduleBuilder()
+                         .cluster(0, "c", 8)
+                         .task("m", "compute", 0, 3)
+                         .on(0, 0, 8)
+                         .build();
+  const auto st = compute_stats(s);
+  EXPECT_DOUBLE_EQ(st.busy_area, 24.0);
+  EXPECT_DOUBLE_EQ(st.utilization, 1.0);
+  EXPECT_DOUBLE_EQ(st.idle_time, 0.0);
+}
+
+TEST(ConcurrencyProfile, StepsMatchSchedule) {
+  // One busy host in [0,4), two in [2,4) -> profile over [0,6).
+  const auto profile = concurrency_profile(overlap_schedule(), 6);
+  ASSERT_EQ(profile.size(), 6u);
+  // Samples at 0.5, 1.5, 2.5, 3.5, 4.5, 5.5; host0 busy throughout [0,6).
+  for (int v : profile) EXPECT_EQ(v, 1);
+}
+
+TEST(ConcurrencyProfile, CountsDistinctResources) {
+  const Schedule s = ScheduleBuilder()
+                         .cluster(0, "c", 3)
+                         .task("a", "t", 0, 2)
+                         .on(0, 0, 2)
+                         .task("b", "t", 1, 2)
+                         .on(0, 2, 1)
+                         .build();
+  const auto profile = concurrency_profile(s, 4);  // samples .25 .75 1.25 1.75
+  EXPECT_EQ(profile[0], 2);
+  EXPECT_EQ(profile[1], 2);
+  EXPECT_EQ(profile[2], 3);
+  EXPECT_EQ(profile[3], 3);
+}
+
+TEST(FractionOfTimeWithBusy, SequentialPhaseDetected) {
+  // One host busy alone for [0,5), then both for [5,10).
+  const Schedule s = ScheduleBuilder()
+                         .cluster(0, "c", 2)
+                         .task("solo", "t", 0, 5)
+                         .on(0, 0, 1)
+                         .task("a", "t", 5, 10)
+                         .on(0, 0, 1)
+                         .task("b", "t", 5, 10)
+                         .on(0, 1, 1)
+                         .build();
+  EXPECT_NEAR(fraction_of_time_with_busy(s, 1), 0.5, 0.01);
+  EXPECT_NEAR(fraction_of_time_with_busy(s, 2), 0.5, 0.01);
+  EXPECT_NEAR(fraction_of_time_with_busy(s, 0), 0.0, 0.01);
+}
+
+}  // namespace
+}  // namespace jedule::model

@@ -1,0 +1,147 @@
+#include "jedule/platform/platform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "jedule/util/error.hpp"
+
+namespace jedule::platform {
+namespace {
+
+Platform two_clusters() {
+  Platform p;
+  ClusterSpec a;
+  a.id = 0;
+  a.name = "a";
+  a.hosts = 4;
+  a.host_speed = 2.0;
+  a.link = {1e-3, 100.0};
+  p.add_cluster(a);
+  ClusterSpec b;
+  b.id = 1;
+  b.name = "b";
+  b.hosts = 2;
+  b.host_speed = 1.0;
+  b.link = {2e-3, 50.0};
+  p.add_cluster(b);
+  p.set_backbone({1e-2, 80.0});
+  return p;
+}
+
+TEST(Platform, GlobalHostIndexing) {
+  const Platform p = two_clusters();
+  EXPECT_EQ(p.total_hosts(), 6);
+  EXPECT_EQ(p.cluster_of(0), 0);
+  EXPECT_EQ(p.cluster_of(3), 0);
+  EXPECT_EQ(p.cluster_of(4), 1);
+  EXPECT_EQ(p.cluster_of(5), 1);
+  EXPECT_EQ(p.local_index(5), 1);
+  EXPECT_EQ(p.first_host(1), 4);
+  EXPECT_DOUBLE_EQ(p.host_speed(0), 2.0);
+  EXPECT_DOUBLE_EQ(p.host_speed(5), 1.0);
+}
+
+TEST(Platform, Validation) {
+  Platform p;
+  ClusterSpec bad;
+  bad.hosts = 0;
+  EXPECT_THROW(p.add_cluster(bad), ValidationError);
+  bad.hosts = 2;
+  bad.host_speed = 0;
+  EXPECT_THROW(p.add_cluster(bad), ValidationError);
+  bad.host_speed = 1;
+  p.add_cluster(bad);
+  EXPECT_THROW(p.add_cluster(bad), ValidationError);  // duplicate id
+  EXPECT_THROW(p.cluster(9), ValidationError);
+}
+
+TEST(CommTime, SameHostIsFree) {
+  const Platform p = two_clusters();
+  EXPECT_DOUBLE_EQ(p.comm_time(2, 2, 100.0), 0.0);
+}
+
+TEST(CommTime, IntraCluster) {
+  const Platform p = two_clusters();
+  // 2 link latencies + size / link bandwidth.
+  EXPECT_DOUBLE_EQ(p.comm_time(0, 1, 10.0), 2e-3 + 10.0 / 100.0);
+  EXPECT_DOUBLE_EQ(p.comm_time(4, 5, 10.0), 4e-3 + 10.0 / 50.0);
+}
+
+TEST(CommTime, InterClusterUsesBackboneAndBottleneck) {
+  const Platform p = two_clusters();
+  // src link lat + dst link lat + backbone lat; bottleneck bw = min(100,
+  // 50, 80) = 50.
+  EXPECT_DOUBLE_EQ(p.comm_time(0, 4, 10.0), 1e-3 + 2e-3 + 1e-2 + 10.0 / 50.0);
+  EXPECT_DOUBLE_EQ(p.comm_time(4, 0, 0.0), 1e-3 + 2e-3 + 1e-2);
+}
+
+TEST(CommTime, LatencyOnlyForZeroBytes) {
+  const Platform p = two_clusters();
+  EXPECT_DOUBLE_EQ(p.comm_time(0, 1, 0.0), 2e-3);
+}
+
+TEST(Averages, ReasonableBounds) {
+  const Platform p = two_clusters();
+  const double lat = p.average_latency();
+  EXPECT_GT(lat, 2e-3);   // at least the cheapest pair
+  EXPECT_LT(lat, 13e-3);  // at most the priciest
+  const double bw = p.average_bandwidth();
+  EXPECT_GT(bw, 50.0);
+  EXPECT_LT(bw, 100.0);
+}
+
+TEST(HomogeneousCluster, Factory) {
+  const Platform p = homogeneous_cluster(16, 2.5);
+  EXPECT_EQ(p.total_hosts(), 16);
+  EXPECT_EQ(p.clusters().size(), 1u);
+  EXPECT_DOUBLE_EQ(p.host_speed(7), 2.5);
+}
+
+TEST(CaseStudyPlatform, MatchesPaperFigure7) {
+  const Platform p = heterogeneous_case_study(5e-2);
+  ASSERT_EQ(p.clusters().size(), 4u);
+  EXPECT_EQ(p.total_hosts(), 12);
+  // "Two of them comprise four processors running at 1.65 Gflop/s, while
+  // the two other clusters only have two processors running twice as fast."
+  int fast_clusters = 0;
+  int slow_clusters = 0;
+  for (const auto& c : p.clusters()) {
+    if (c.host_speed == 3.3) {
+      ++fast_clusters;
+      EXPECT_EQ(c.hosts, 2);
+    } else {
+      EXPECT_DOUBLE_EQ(c.host_speed, 1.65);
+      EXPECT_EQ(c.hosts, 4);
+      ++slow_clusters;
+    }
+  }
+  EXPECT_EQ(fast_clusters, 2);
+  EXPECT_EQ(slow_clusters, 2);
+  // The fast clusters hold hosts 0-1 and 6-7 (Sec. V.B's "processors 0-1
+  // and 6-7").
+  EXPECT_DOUBLE_EQ(p.host_speed(0), 3.3);
+  EXPECT_DOUBLE_EQ(p.host_speed(1), 3.3);
+  EXPECT_DOUBLE_EQ(p.host_speed(6), 3.3);
+  EXPECT_DOUBLE_EQ(p.host_speed(7), 3.3);
+  EXPECT_DOUBLE_EQ(p.host_speed(2), 1.65);
+  EXPECT_DOUBLE_EQ(p.host_speed(8), 1.65);
+  EXPECT_DOUBLE_EQ(p.backbone().latency, 5e-2);
+}
+
+TEST(CaseStudyPlatform, FlatVsRealisticBackbone) {
+  const Platform flat = heterogeneous_case_study(0.0);
+  const Platform real = heterogeneous_case_study(5e-2);
+  // Flat description: crossing the backbone costs the same as staying
+  // inside a cluster (the Fig. 8 bug).
+  EXPECT_DOUBLE_EQ(flat.comm_time(2, 3, 1.0), flat.comm_time(2, 8, 1.0));
+  EXPECT_GT(real.comm_time(2, 8, 1.0), real.comm_time(2, 3, 1.0) + 0.04);
+}
+
+TEST(Describe, MentionsAllClusters) {
+  const std::string desc = heterogeneous_case_study(0.05).describe();
+  EXPECT_NE(desc.find("cluster-0"), std::string::npos);
+  EXPECT_NE(desc.find("cluster-3"), std::string::npos);
+  EXPECT_NE(desc.find("backbone"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jedule::platform

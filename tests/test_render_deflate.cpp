@@ -1,0 +1,151 @@
+#include "jedule/render/deflate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "jedule/render/inflate.hpp"
+#include "jedule/util/error.hpp"
+#include "jedule/util/rng.hpp"
+
+namespace jedule::render {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return std::vector<std::uint8_t>(s.begin(), s.end());
+}
+
+TEST(Adler32, KnownVectors) {
+  // Reference values from RFC 1950 implementations.
+  EXPECT_EQ(adler32(nullptr, 0), 1u);
+  const auto abc = bytes_of("abc");
+  EXPECT_EQ(adler32(abc.data(), abc.size()), 0x024d0127u);
+  const auto msg = bytes_of("Wikipedia");
+  EXPECT_EQ(adler32(msg.data(), msg.size()), 0x11E60398u);
+}
+
+TEST(Crc32, KnownVectors) {
+  EXPECT_EQ(crc32(nullptr, 0), 0u);
+  const auto check = bytes_of("123456789");
+  EXPECT_EQ(crc32(check.data(), check.size()), 0xCBF43926u);
+  const auto abc = bytes_of("abc");
+  EXPECT_EQ(crc32(abc.data(), abc.size()), 0x352441C2u);
+}
+
+TEST(Crc32, SeedChains) {
+  const auto all = bytes_of("hello world");
+  const auto first = bytes_of("hello ");
+  const auto second = bytes_of("world");
+  const auto chained = crc32(second.data(), second.size(),
+                             crc32(first.data(), first.size()));
+  EXPECT_EQ(chained, crc32(all.data(), all.size()));
+}
+
+void roundtrip(const std::vector<std::uint8_t>& data) {
+  {
+    const auto packed = deflate_compress(data.data(), data.size());
+    const auto back = inflate_decompress(packed.data(), packed.size());
+    EXPECT_EQ(back, data);
+  }
+  {
+    const auto packed = deflate_store(data.data(), data.size());
+    const auto back = inflate_decompress(packed.data(), packed.size());
+    EXPECT_EQ(back, data);
+  }
+}
+
+TEST(Deflate, EmptyInput) { roundtrip({}); }
+
+TEST(Deflate, SingleByte) { roundtrip({42}); }
+
+TEST(Deflate, TextRoundTrip) {
+  roundtrip(bytes_of("the quick brown fox jumps over the lazy dog"));
+}
+
+TEST(Deflate, HighlyRepetitiveCompresses) {
+  std::vector<std::uint8_t> data(100000, 7);
+  const auto packed = deflate_compress(data.data(), data.size());
+  roundtrip(data);
+  EXPECT_LT(packed.size(), data.size() / 50);  // runs collapse via LZ77
+}
+
+TEST(Deflate, PeriodicPattern) {
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < 50000; ++i) {
+    data.push_back(static_cast<std::uint8_t>(i % 7));
+  }
+  roundtrip(data);
+}
+
+TEST(Deflate, RandomDataSurvives) {
+  util::Rng rng(99);
+  std::vector<std::uint8_t> data(70000);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng() & 0xFF);
+  roundtrip(data);
+}
+
+TEST(Deflate, AllByteValues) {
+  std::vector<std::uint8_t> data;
+  for (int rep = 0; rep < 4; ++rep) {
+    for (int b = 0; b < 256; ++b) {
+      data.push_back(static_cast<std::uint8_t>(b));
+    }
+  }
+  roundtrip(data);
+}
+
+TEST(DeflateStore, MultiBlockBoundary) {
+  // > 65535 bytes forces several stored blocks.
+  std::vector<std::uint8_t> data(70000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  roundtrip(data);
+}
+
+TEST(Zlib, RoundTripBothModes) {
+  const auto data = bytes_of("zlib framing test, zlib framing test");
+  for (bool compress : {true, false}) {
+    const auto z = zlib_compress(data.data(), data.size(), compress);
+    EXPECT_EQ(z[0], 0x78);
+    EXPECT_EQ(((static_cast<unsigned>(z[0]) << 8) | z[1]) % 31, 0u);
+    const auto back = zlib_decompress(z.data(), z.size());
+    EXPECT_EQ(back, data);
+  }
+}
+
+TEST(Zlib, DetectsCorruption) {
+  const auto data = bytes_of("payload payload payload");
+  auto z = zlib_compress(data.data(), data.size());
+  z[z.size() - 1] ^= 0xFF;  // break the Adler-32
+  EXPECT_THROW(zlib_decompress(z.data(), z.size()), ParseError);
+}
+
+TEST(Zlib, RejectsTruncation) {
+  const auto data = bytes_of("payload");
+  const auto z = zlib_compress(data.data(), data.size());
+  EXPECT_THROW(zlib_decompress(z.data(), 3), ParseError);
+}
+
+TEST(Inflate, RejectsGarbage) {
+  const std::vector<std::uint8_t> junk = {0xFF, 0xFF, 0xFF, 0xFF};
+  EXPECT_THROW(inflate_decompress(junk.data(), junk.size()), ParseError);
+}
+
+// Round trip across a size sweep (property-style).
+class DeflateSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeflateSizes, RoundTrips) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(GetParam()));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    // Mixture of runs and noise, like filtered scanlines.
+    data[i] = rng.bernoulli(0.7) ? 0 : static_cast<std::uint8_t>(rng() & 0xFF);
+  }
+  roundtrip(data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DeflateSizes,
+                         ::testing::Values(1, 2, 3, 255, 256, 257, 4096,
+                                           65535, 65536, 65537, 200000));
+
+}  // namespace
+}  // namespace jedule::render

@@ -1,0 +1,125 @@
+#include "jedule/render/font.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace jedule::render {
+namespace {
+
+TEST(Glyphs, AllPrintableAsciiInBounds) {
+  for (int c = 32; c <= 126; ++c) {
+    const auto& glyph = glyph_bitmap(static_cast<char>(c));
+    for (const auto row : glyph) {
+      EXPECT_EQ(row & ~0x1F, 0) << "stray bits in glyph " << c;
+    }
+  }
+}
+
+TEST(Glyphs, VisibleCharactersAreNonEmpty) {
+  for (int c = 33; c <= 126; ++c) {
+    const auto& glyph = glyph_bitmap(static_cast<char>(c));
+    int bits = 0;
+    for (const auto row : glyph) bits += __builtin_popcount(row);
+    EXPECT_GT(bits, 0) << "blank glyph for '" << static_cast<char>(c) << "'";
+  }
+}
+
+TEST(Glyphs, SpaceIsBlank) {
+  const auto& glyph = glyph_bitmap(' ');
+  for (const auto row : glyph) EXPECT_EQ(row, 0);
+}
+
+TEST(Glyphs, DigitsAreDistinct) {
+  std::set<std::array<std::uint8_t, kGlyphHeight>> seen;
+  for (char c = '0'; c <= '9'; ++c) seen.insert(glyph_bitmap(c));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Glyphs, LettersAreDistinct) {
+  std::set<std::array<std::uint8_t, kGlyphHeight>> seen;
+  for (char c = 'A'; c <= 'Z'; ++c) seen.insert(glyph_bitmap(c));
+  for (char c = 'a'; c <= 'z'; ++c) seen.insert(glyph_bitmap(c));
+  EXPECT_EQ(seen.size(), 52u);
+}
+
+TEST(Glyphs, OutOfRangeGetsTofu) {
+  const auto& tofu = glyph_bitmap(static_cast<char>(200));
+  EXPECT_EQ(tofu, glyph_bitmap(static_cast<char>(5)));
+  int bits = 0;
+  for (const auto row : tofu) bits += __builtin_popcount(row);
+  EXPECT_GT(bits, 10);  // a box, not blank
+}
+
+TEST(Scale, MapsFontSizesToIntegers) {
+  EXPECT_EQ(scale_for_font_size(8), 1);
+  EXPECT_EQ(scale_for_font_size(11), 1);
+  EXPECT_EQ(scale_for_font_size(13), 2);
+  EXPECT_EQ(scale_for_font_size(16), 2);
+  EXPECT_EQ(scale_for_font_size(24), 3);
+  EXPECT_EQ(scale_for_font_size(1), 1);  // never zero
+}
+
+TEST(TextMetrics, WidthAndHeight) {
+  EXPECT_EQ(text_width("", 1), 0);
+  EXPECT_EQ(text_width("a", 1), 5);
+  EXPECT_EQ(text_width("ab", 1), 11);  // 5 + 1 gap + 5
+  EXPECT_EQ(text_width("ab", 2), 22);
+  EXPECT_EQ(text_height(1), 7);
+  EXPECT_EQ(text_height(3), 21);
+}
+
+TEST(DrawText, WritesInsideItsBox) {
+  Framebuffer fb(40, 12);
+  draw_text(fb, 2, 2, "Hi", color::kBlack, 1);
+  int black = 0;
+  for (int y = 0; y < 12; ++y) {
+    for (int x = 0; x < 40; ++x) {
+      if (fb.pixel(x, y) == color::kBlack) {
+        ++black;
+        EXPECT_GE(x, 2);
+        EXPECT_LT(x, 2 + text_width("Hi", 1));
+        EXPECT_GE(y, 2);
+        EXPECT_LT(y, 2 + text_height(1));
+      }
+    }
+  }
+  EXPECT_GT(black, 8);
+}
+
+TEST(DrawText, ScaleMagnifiesPixelCount) {
+  Framebuffer small(30, 10);
+  Framebuffer big(60, 20);
+  draw_text(small, 0, 0, "A", color::kBlack, 1);
+  draw_text(big, 0, 0, "A", color::kBlack, 2);
+  auto count = [](const Framebuffer& fb) {
+    int n = 0;
+    for (int y = 0; y < fb.height(); ++y) {
+      for (int x = 0; x < fb.width(); ++x) {
+        if (fb.pixel(x, y) == color::kBlack) ++n;
+      }
+    }
+    return n;
+  };
+  EXPECT_EQ(count(big), 4 * count(small));
+}
+
+TEST(DrawTextCentered, CentersHorizontally) {
+  Framebuffer fb(101, 21);
+  draw_text_centered(fb, 0, 0, 101, 21, "|", color::kBlack, 1);
+  // The '|' glyph column should land near the middle.
+  int min_x = 1000;
+  int max_x = -1;
+  for (int y = 0; y < 21; ++y) {
+    for (int x = 0; x < 101; ++x) {
+      if (fb.pixel(x, y) == color::kBlack) {
+        min_x = std::min(min_x, x);
+        max_x = std::max(max_x, x);
+      }
+    }
+  }
+  EXPECT_NEAR((min_x + max_x) / 2, 50, 2);
+}
+
+}  // namespace
+}  // namespace jedule::render

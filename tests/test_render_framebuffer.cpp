@@ -1,0 +1,111 @@
+#include "jedule/render/framebuffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jedule::render {
+namespace {
+
+TEST(Framebuffer, StartsWithBackground) {
+  const Framebuffer fb(4, 3, Color{9, 8, 7, 255});
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      EXPECT_EQ(fb.pixel(x, y), (Color{9, 8, 7, 255}));
+    }
+  }
+}
+
+TEST(Framebuffer, SetPixelClipsSilently) {
+  Framebuffer fb(4, 4);
+  fb.set_pixel(-1, 0, color::kBlack);
+  fb.set_pixel(0, -1, color::kBlack);
+  fb.set_pixel(4, 0, color::kBlack);
+  fb.set_pixel(0, 4, color::kBlack);  // none of these may crash
+  EXPECT_EQ(fb.pixel(0, 0), color::kWhite);
+}
+
+TEST(Framebuffer, AlphaBlending) {
+  Framebuffer fb(2, 1, color::kBlack);
+  fb.set_pixel(0, 0, Color{255, 255, 255, 128});
+  EXPECT_NEAR(fb.pixel(0, 0).r, 128, 1);
+  fb.set_pixel(1, 0, Color{255, 0, 0, 0});  // fully transparent: no-op
+  EXPECT_EQ(fb.pixel(1, 0), color::kBlack);
+}
+
+TEST(FillRect, ExactCoverageAndClipping) {
+  Framebuffer fb(8, 8);
+  fb.fill_rect(2, 3, 3, 2, color::kBlack);
+  int black = 0;
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      if (fb.pixel(x, y) == color::kBlack) ++black;
+    }
+  }
+  EXPECT_EQ(black, 6);
+  EXPECT_EQ(fb.pixel(2, 3), color::kBlack);
+  EXPECT_EQ(fb.pixel(4, 4), color::kBlack);
+  EXPECT_EQ(fb.pixel(5, 4), color::kWhite);
+
+  // Partially off-screen rectangles clip instead of crashing: covers
+  // y in [-1, 2), so row 0 and 1 on-canvas.
+  fb.fill_rect(-5, -1, 100, 3, Color{1, 1, 1, 255});
+  EXPECT_EQ(fb.pixel(0, 0), (Color{1, 1, 1, 255}));
+  EXPECT_EQ(fb.pixel(7, 1), (Color{1, 1, 1, 255}));
+  EXPECT_EQ(fb.pixel(0, 2), color::kWhite);
+}
+
+TEST(DrawRect, OutlineOnly) {
+  Framebuffer fb(6, 6);
+  fb.draw_rect(1, 1, 4, 4, color::kBlack);
+  EXPECT_EQ(fb.pixel(1, 1), color::kBlack);
+  EXPECT_EQ(fb.pixel(4, 4), color::kBlack);
+  EXPECT_EQ(fb.pixel(2, 2), color::kWhite);  // interior untouched
+}
+
+TEST(Lines, HorizontalVerticalAnyOrder) {
+  Framebuffer fb(5, 5);
+  fb.draw_hline(3, 1, 2, color::kBlack);  // reversed endpoints
+  EXPECT_EQ(fb.pixel(1, 2), color::kBlack);
+  EXPECT_EQ(fb.pixel(3, 2), color::kBlack);
+  fb.draw_vline(0, 4, 2, color::kBlack);
+  EXPECT_EQ(fb.pixel(0, 3), color::kBlack);
+}
+
+TEST(DrawLine, DiagonalEndpoints) {
+  Framebuffer fb(10, 10);
+  fb.draw_line(0, 0, 9, 9, color::kBlack);
+  EXPECT_EQ(fb.pixel(0, 0), color::kBlack);
+  EXPECT_EQ(fb.pixel(9, 9), color::kBlack);
+  EXPECT_EQ(fb.pixel(5, 5), color::kBlack);
+}
+
+TEST(HatchRect, StaysInsideRectangle) {
+  Framebuffer fb(12, 12);
+  fb.hatch_rect(3, 3, 5, 5, 3, color::kBlack);
+  for (int y = 0; y < 12; ++y) {
+    for (int x = 0; x < 12; ++x) {
+      const bool inside = x >= 3 && x < 8 && y >= 3 && y < 8;
+      if (!inside) {
+        EXPECT_EQ(fb.pixel(x, y), color::kWhite) << x << "," << y;
+      }
+    }
+  }
+  // And actually drew something.
+  int black = 0;
+  for (int y = 3; y < 8; ++y) {
+    for (int x = 3; x < 8; ++x) {
+      if (fb.pixel(x, y) == color::kBlack) ++black;
+    }
+  }
+  EXPECT_GT(black, 0);
+}
+
+TEST(Framebuffer, EqualityComparesPixels) {
+  Framebuffer a(3, 3);
+  Framebuffer b(3, 3);
+  EXPECT_TRUE(a == b);
+  b.set_pixel(1, 1, color::kBlack);
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace jedule::render

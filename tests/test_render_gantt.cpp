@@ -1,0 +1,355 @@
+#include "jedule/render/gantt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "jedule/model/builder.hpp"
+#include "jedule/render/export.hpp"
+#include "jedule/render/pdf.hpp"
+#include "jedule/render/png.hpp"
+#include "jedule/render/raster_canvas.hpp"
+#include "jedule/render/svg.hpp"
+#include "jedule/util/error.hpp"
+#include "jedule/util/rng.hpp"
+
+namespace jedule::render {
+namespace {
+
+using model::Schedule;
+using model::ScheduleBuilder;
+using model::TimeRange;
+using model::ViewMode;
+
+Schedule demo_schedule() {
+  return ScheduleBuilder()
+      .cluster(0, "c0", 8)
+      .cluster(1, "c1", 4)
+      .meta("algorithm", "demo")
+      .task("1", "computation", 0.0, 4.0)
+      .on(0, 0, 8)
+      .task("2", "transfer", 3.0, 6.0)
+      .on(0, 2, 4)
+      .task("3", "computation", 8.0, 10.0)
+      .on(1, 0, 4)
+      .task("u", "job", 1.0, 2.0)
+      .on(1, 1, 2)
+      .property("user", "6447")
+      .build();
+}
+
+GanttStyle default_style() {
+  GanttStyle style;
+  style.width = 800;
+  style.height = 500;
+  return style;
+}
+
+TEST(Layout, OnePanelPerCluster) {
+  const auto layout =
+      layout_gantt(demo_schedule(), color::standard_colormap(),
+                   default_style());
+  ASSERT_EQ(layout.panels.size(), 2u);
+  EXPECT_EQ(layout.panels[0].cluster_id, 0);
+  EXPECT_EQ(layout.panels[1].cluster_id, 1);
+  EXPECT_GT(layout.panels[1].y, layout.panels[0].y + layout.panels[0].h);
+  // Heights proportional to host counts (8 vs 4).
+  EXPECT_NEAR(layout.panels[0].h / layout.panels[1].h, 2.0, 0.05);
+}
+
+TEST(Layout, ClusterFilterSelectsAndOrders) {
+  GanttStyle style = default_style();
+  style.cluster_filter = {1};
+  const auto layout =
+      layout_gantt(demo_schedule(), color::standard_colormap(), style);
+  ASSERT_EQ(layout.panels.size(), 1u);
+  EXPECT_EQ(layout.panels[0].cluster_id, 1);
+  style.cluster_filter = {7};
+  EXPECT_THROW(
+      layout_gantt(demo_schedule(), color::standard_colormap(), style),
+      ValidationError);
+}
+
+TEST(Layout, ScaledVsAlignedRanges) {
+  GanttStyle style = default_style();
+  style.view_mode = ViewMode::kScaled;
+  const auto scaled =
+      layout_gantt(demo_schedule(), color::standard_colormap(), style);
+  EXPECT_DOUBLE_EQ(scaled.panels[0].time_range.end, 6.0);   // local to c0
+  EXPECT_DOUBLE_EQ(scaled.panels[1].time_range.end, 10.0);
+
+  style.view_mode = ViewMode::kAligned;
+  const auto aligned =
+      layout_gantt(demo_schedule(), color::standard_colormap(), style);
+  EXPECT_DOUBLE_EQ(aligned.panels[0].time_range.begin, 0.0);
+  EXPECT_DOUBLE_EQ(aligned.panels[0].time_range.end, 10.0);
+  EXPECT_EQ(aligned.panels[0].time_range, aligned.panels[1].time_range);
+}
+
+TEST(Layout, BoxGeometryTracksTimeAndHosts) {
+  const auto layout =
+      layout_gantt(demo_schedule(), color::standard_colormap(),
+                   default_style());
+  const auto& panel = layout.panels[0];
+  // Find task 1's box (hosts 0-7 of c0, time 0..4).
+  const TaskBox* box = nullptr;
+  for (const auto& b : layout.boxes) {
+    if (!b.composite && b.label == "1") box = &b;
+  }
+  ASSERT_NE(box, nullptr);
+  EXPECT_DOUBLE_EQ(box->x, panel.x_of_time(0.0));
+  EXPECT_DOUBLE_EQ(box->x + box->w, panel.x_of_time(4.0));
+  EXPECT_DOUBLE_EQ(box->y, panel.y);
+  EXPECT_DOUBLE_EQ(box->h, panel.h);  // all 8 hosts
+}
+
+TEST(Layout, CompositesAppendedAfterTasks) {
+  const auto layout =
+      layout_gantt(demo_schedule(), color::standard_colormap(),
+                   default_style());
+  // Task 1 and 2 overlap on c0 hosts 2-5 during [3,4).
+  bool found = false;
+  for (const auto& b : layout.boxes) {
+    if (b.composite) {
+      found = true;
+      EXPECT_EQ(layout.tasks[b.task_index].type(), "composite");
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_LT(layout.composite_begin, layout.tasks.size());
+}
+
+TEST(Layout, ShowCompositesOffSkipsSynthesis) {
+  GanttStyle style = default_style();
+  style.show_composites = false;
+  const auto layout =
+      layout_gantt(demo_schedule(), color::standard_colormap(), style);
+  EXPECT_EQ(layout.composite_begin, layout.tasks.size());
+}
+
+TEST(Layout, TimeWindowClipsBoxes) {
+  GanttStyle style = default_style();
+  style.time_window = TimeRange{3.5, 9.0};
+  const auto layout =
+      layout_gantt(demo_schedule(), color::standard_colormap(), style);
+  for (const auto& b : layout.boxes) {
+    const auto* panel = panel_at(layout, b.x + b.w / 2, b.y + b.h / 2);
+    ASSERT_NE(panel, nullptr);
+    EXPECT_GE(b.x, panel->x - 0.5);
+    EXPECT_LE(b.x + b.w, panel->x + panel->w + 0.5);
+  }
+  // Task "u" ([1,2)) lies outside the window -> no box for it.
+  for (const auto& b : layout.boxes) EXPECT_NE(b.label, "u");
+}
+
+TEST(Layout, EmptyTimeWindowRejected) {
+  GanttStyle style = default_style();
+  style.time_window = TimeRange{5.0, 5.0};
+  EXPECT_THROW(
+      layout_gantt(demo_schedule(), color::standard_colormap(), style),
+      ArgumentError);
+}
+
+TEST(Layout, HighlightOverridesColors) {
+  GanttStyle style = default_style();
+  style.highlight_key = "user";
+  style.highlight_value = "6447";
+  const auto layout =
+      layout_gantt(demo_schedule(), color::standard_colormap(), style);
+  bool highlighted = false;
+  for (const auto& b : layout.boxes) {
+    if (b.label == "u") {
+      highlighted = b.highlighted;
+      EXPECT_EQ(b.style.background, style.highlight_bg);
+    } else if (!b.composite) {
+      EXPECT_FALSE(b.highlighted);
+    }
+  }
+  EXPECT_TRUE(highlighted);
+}
+
+TEST(Layout, TooSmallCanvasRejected) {
+  GanttStyle style = default_style();
+  style.height = 40;
+  EXPECT_THROW(
+      layout_gantt(demo_schedule(), color::standard_colormap(), style),
+      ArgumentError);
+}
+
+TEST(HitTest, EveryBoxCenterResolvesToItsTask) {
+  const auto layout =
+      layout_gantt(demo_schedule(), color::standard_colormap(),
+                   default_style());
+  for (const auto& b : layout.boxes) {
+    const TaskBox* hit = hit_test(layout, b.x + b.w / 2, b.y + b.h / 2);
+    ASSERT_NE(hit, nullptr);
+    // Composites are drawn on top, so hitting a member region may return
+    // the composite; in that case the member id must appear in its label.
+    if (hit != &b) {
+      EXPECT_TRUE(hit->composite);
+      EXPECT_NE(hit->label.find(b.label), std::string::npos)
+          << hit->label << " vs " << b.label;
+    }
+  }
+}
+
+TEST(HitTest, MissesOutsidePanels) {
+  const auto layout =
+      layout_gantt(demo_schedule(), color::standard_colormap(),
+                   default_style());
+  EXPECT_EQ(hit_test(layout, 1, 1), nullptr);
+  EXPECT_EQ(panel_at(layout, 1, 1), nullptr);
+}
+
+TEST(NiceTicks, CoverRangeWithRoundSteps) {
+  const auto ticks = nice_ticks(TimeRange{0.0, 0.5}, 8);
+  ASSERT_GE(ticks.size(), 4u);
+  EXPECT_DOUBLE_EQ(ticks.front(), 0.0);
+  EXPECT_NEAR(ticks.back(), 0.5, 1e-9);
+  const double step = ticks[1] - ticks[0];
+  for (std::size_t i = 1; i < ticks.size(); ++i) {
+    EXPECT_NEAR(ticks[i] - ticks[i - 1], step, 1e-9);
+  }
+}
+
+TEST(NiceTicks, NonZeroOrigin) {
+  const auto ticks = nice_ticks(TimeRange{40000, 70000}, 6);
+  EXPECT_GE(ticks.front(), 40000);
+  EXPECT_LE(ticks.back(), 70000 + 1e-6);
+  EXPECT_GE(ticks.size(), 3u);
+}
+
+TEST(NiceTicks, DegenerateRange) {
+  const auto ticks = nice_ticks(TimeRange{5, 5}, 8);
+  ASSERT_EQ(ticks.size(), 1u);
+  EXPECT_DOUBLE_EQ(ticks[0], 5.0);
+}
+
+TEST(Paint, RasterIsDeterministic) {
+  const auto schedule = demo_schedule();
+  const auto cmap = color::standard_colormap();
+  const auto style = default_style();
+  const Framebuffer a = render_raster(schedule, cmap, style);
+  const Framebuffer b = render_raster(schedule, cmap, style);
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(encode_png(a), encode_png(b));
+}
+
+TEST(Paint, TaskPixelsHaveTaskColors) {
+  const auto schedule = demo_schedule();
+  const auto cmap = color::standard_colormap();
+  const auto style = default_style();
+  const auto layout = layout_gantt(schedule, cmap, style);
+  const Framebuffer fb = render_raster(schedule, cmap, style);
+  // Probe a pixel inside task 1 away from labels/borders/composites.
+  for (const auto& b : layout.boxes) {
+    if (b.label == "1" && !b.composite) {
+      const int x = static_cast<int>(b.x + 8);
+      const int y = static_cast<int>(b.y + 4);
+      EXPECT_EQ(fb.pixel(x, y), cmap.style_for("computation").background);
+    }
+  }
+}
+
+TEST(Export, SvgContainsRectsAndText) {
+  const auto layout = layout_gantt(demo_schedule(),
+                                   color::standard_colormap(),
+                                   default_style());
+  SvgCanvas canvas(800, 500);
+  paint_gantt(layout, canvas, default_style());
+  const std::string svg = canvas.finish();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("<rect"), std::string::npos);
+  EXPECT_NE(svg.find("<text"), std::string::npos);
+  EXPECT_NE(svg.find("c0 (8 hosts)"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(Export, PdfIsStructurallySound) {
+  const auto layout = layout_gantt(demo_schedule(),
+                                   color::standard_colormap(),
+                                   default_style());
+  PdfCanvas canvas(800, 500);
+  paint_gantt(layout, canvas, default_style());
+  const std::string pdf = canvas.finish();
+  EXPECT_EQ(pdf.substr(0, 8), "%PDF-1.4");
+  EXPECT_NE(pdf.find("/Type /Page"), std::string::npos);
+  EXPECT_NE(pdf.find("xref"), std::string::npos);
+  EXPECT_NE(pdf.find("%%EOF"), std::string::npos);
+  EXPECT_NE(pdf.find(" re f"), std::string::npos);  // filled rects
+  EXPECT_NE(pdf.find("Tj ET"), std::string::npos);  // text
+}
+
+TEST(Export, FormatFromExtension) {
+  EXPECT_EQ(format_for_path("x.png"), ImageFormat::kPng);
+  EXPECT_EQ(format_for_path("x.PPM"), ImageFormat::kPpm);
+  EXPECT_EQ(format_for_path("a/b.svg"), ImageFormat::kSvg);
+  EXPECT_EQ(format_for_path("x.pdf"), ImageFormat::kPdf);
+  EXPECT_THROW(format_for_path("x.jpeg"), ArgumentError);
+}
+
+TEST(Export, BytesForAllFormats) {
+  const auto schedule = demo_schedule();
+  const auto cmap = color::standard_colormap();
+  const auto style = default_style();
+  for (auto format : {ImageFormat::kPng, ImageFormat::kPpm, ImageFormat::kSvg,
+                      ImageFormat::kPdf}) {
+    const std::string bytes =
+        render_to_bytes(schedule, cmap, style, format);
+    EXPECT_GT(bytes.size(), 100u);
+  }
+}
+
+TEST(Layout, CrossClusterTaskGetsOneBoxPerPanel) {
+  // Paper Sec. II.C.1: "tasks may span different clusters. This is useful
+  // if a communication task transfers data between tasks on different
+  // clusters" — one rectangle must appear in each involved panel.
+  const auto schedule = model::ScheduleBuilder()
+                            .cluster(0, "a", 4)
+                            .cluster(1, "b", 4)
+                            .task("x", "transfer", 0.0, 1.0)
+                            .on(0, 3, 1)
+                            .on(1, 0, 1)
+                            .build();
+  const auto layout = layout_gantt(schedule, color::standard_colormap(),
+                                   default_style());
+  std::set<int> panels_with_x;
+  for (const auto& box : layout.boxes) {
+    if (box.label == "x") panels_with_x.insert(box.cluster_id);
+  }
+  EXPECT_EQ(panels_with_x, (std::set<int>{0, 1}));
+}
+
+TEST(Paint, HatchedCompositesDifferFromPlain) {
+  const auto schedule = demo_schedule();
+  const auto cmap = color::standard_colormap();
+  GanttStyle plain = default_style();
+  GanttStyle hatched = default_style();
+  hatched.hatch_composites = true;
+  EXPECT_FALSE(render_raster(schedule, cmap, plain) ==
+               render_raster(schedule, cmap, hatched));
+}
+
+TEST(Paint, ThinRowsSkipGridAndLabels) {
+  // 1024 hosts in a 500px panel: rows are sub-pixel; must not crash and
+  // must stay deterministic.
+  util::Rng rng(3);
+  ScheduleBuilder builder;
+  builder.cluster(0, "big", 1024);
+  for (int i = 0; i < 200; ++i) {
+    const int first = static_cast<int>(rng.uniform_int(0, 1000));
+    const int nb = static_cast<int>(rng.uniform_int(1, 23));
+    const double s = rng.uniform(0, 100);
+    builder.task("j" + std::to_string(i), "job", s, s + rng.uniform(1, 20))
+        .on(0, first, nb);
+  }
+  const auto schedule = builder.build();
+  const Framebuffer a =
+      render_raster(schedule, color::standard_colormap(), default_style());
+  const Framebuffer b =
+      render_raster(schedule, color::standard_colormap(), default_style());
+  EXPECT_TRUE(a == b);
+}
+
+}  // namespace
+}  // namespace jedule::render

@@ -1,0 +1,131 @@
+#include "jedule/sched/allocation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "jedule/dag/generators.hpp"
+#include "jedule/util/rng.hpp"
+
+namespace jedule::sched {
+namespace {
+
+using dag::Dag;
+
+TEST(CpaAllocate, ChainGetsParallelism) {
+  // A single long chain IS the critical path; T_A is tiny, so CPA grows
+  // allocations until growth stops paying (or saturates).
+  util::Rng rng(1);
+  const Dag d = dag::serial_dag(4, rng);
+  const auto r = cpa_allocate(d, 8);
+  for (int v = 0; v < d.node_count(); ++v) {
+    EXPECT_GE(r.procs[static_cast<std::size_t>(v)], 1);
+    EXPECT_LE(r.procs[static_cast<std::size_t>(v)], 8);
+  }
+  // With near-linear speedup the loop should push well past 1 proc.
+  int total = 0;
+  for (int p : r.procs) total += p;
+  EXPECT_GT(total, d.node_count());
+}
+
+TEST(CpaAllocate, TimesMatchAllocations) {
+  util::Rng rng(2);
+  dag::LayeredDagOptions o;
+  const Dag d = layered_random(o, rng);
+  const auto r = cpa_allocate(d, 16);
+  for (int v = 0; v < d.node_count(); ++v) {
+    EXPECT_DOUBLE_EQ(r.times[static_cast<std::size_t>(v)],
+                     d.node(v).exec_time(r.procs[static_cast<std::size_t>(v)]));
+  }
+  EXPECT_DOUBLE_EQ(r.t_cp, d.critical_path_time(r.times));
+  EXPECT_DOUBLE_EQ(r.t_a, d.average_area(r.times, r.procs, 16));
+}
+
+TEST(CpaAllocate, StopsWhenBalanced) {
+  util::Rng rng(3);
+  dag::LayeredDagOptions o;
+  o.levels = 6;
+  const Dag d = layered_random(o, rng);
+  const auto r = cpa_allocate(d, 32);
+  // Terminated: either balanced or no critical node can grow.
+  if (r.t_cp > r.t_a) {
+    const auto path = d.critical_path(r.times);
+    for (int v : path) {
+      const int p = r.procs[static_cast<std::size_t>(v)];
+      if (p < 32) {
+        const double gain = r.times[static_cast<std::size_t>(v)] -
+                            d.node(v).exec_time(p + 1);
+        EXPECT_LE(gain, 0.0) << "node " << v << " could still grow";
+      }
+    }
+  }
+}
+
+TEST(McpaAllocate, LevelCapRespected) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    util::Rng rng(seed);
+    dag::LayeredDagOptions o;
+    o.levels = 5;
+    o.min_width = 2;
+    o.max_width = 8;
+    const Dag d = layered_random(o, rng);
+    const int P = 12;
+    const auto r = mcpa_allocate(d, P);
+    const auto levels = d.precedence_levels();
+    std::map<int, int> level_total;
+    for (int v = 0; v < d.node_count(); ++v) {
+      level_total[levels[static_cast<std::size_t>(v)]] +=
+          r.procs[static_cast<std::size_t>(v)];
+    }
+    for (const auto& [level, total] : level_total) {
+      EXPECT_LE(total, std::max(P, d.width()))
+          << "level " << level << " over-allocated (seed " << seed << ")";
+    }
+  }
+}
+
+TEST(Allocate, PathologicalDagShowsTheFig4Split) {
+  // The Fig. 4 trigger: CPA lets the two heavy tasks of the wide level
+  // grow; MCPA cannot (the level already uses all processors).
+  const int P = 16;
+  const Dag d = dag::mcpa_pathological_dag(P);
+  const auto cpa = cpa_allocate(d, P);
+  const auto mcpa = mcpa_allocate(d, P);
+
+  int cpa_heavy_procs = 0;
+  int mcpa_heavy_procs = 0;
+  int heavy_tasks = 0;
+  for (int v = 0; v < d.node_count(); ++v) {
+    if (d.node(v).work > 100.0) {
+      ++heavy_tasks;
+      cpa_heavy_procs += cpa.procs[static_cast<std::size_t>(v)];
+      mcpa_heavy_procs += mcpa.procs[static_cast<std::size_t>(v)];
+    }
+  }
+  ASSERT_EQ(heavy_tasks, 2);
+  EXPECT_GT(cpa_heavy_procs, 2 * 3);   // heavy tasks grew under CPA
+  EXPECT_EQ(mcpa_heavy_procs, 2);      // stuck at one processor each
+  // And CPA's critical path is therefore far shorter.
+  EXPECT_LT(cpa.t_cp, mcpa.t_cp / 2);
+}
+
+TEST(Allocate, SingleProcessorMachine) {
+  util::Rng rng(4);
+  const Dag d = dag::serial_dag(3, rng);
+  const auto r = cpa_allocate(d, 1);
+  for (int p : r.procs) EXPECT_EQ(p, 1);
+  EXPECT_EQ(r.iterations, 0);
+}
+
+TEST(Allocate, IterationCapIsHonored) {
+  util::Rng rng(5);
+  const Dag d = dag::serial_dag(6, rng);
+  AllocationOptions o;
+  o.total_procs = 64;
+  o.max_iterations = 3;
+  const auto r = allocate(d, o);
+  EXPECT_LE(r.iterations, 3);
+}
+
+}  // namespace
+}  // namespace jedule::sched

@@ -1,0 +1,137 @@
+#include "jedule/sched/backfill.hpp"
+
+#include <gtest/gtest.h>
+
+#include "jedule/util/rng.hpp"
+
+namespace jedule::sched {
+namespace {
+
+PlacedTask make(std::vector<int> hosts, double start, double finish) {
+  PlacedTask t;
+  t.hosts = std::move(hosts);
+  t.start = start;
+  t.finish = finish;
+  return t;
+}
+
+TEST(Backfill, SqueezesOntoOwnHosts) {
+  // Host 0 busy [0,1); task at [5,6) on host 0 with no deps can move to 1.
+  std::vector<PlacedTask> tasks = {make({0}, 0, 1), make({0}, 5, 6)};
+  const auto r = conservative_backfill(tasks, 1, {{}, {}});
+  EXPECT_EQ(r.moved, 1);
+  EXPECT_DOUBLE_EQ(r.tasks[1].start, 1.0);
+  EXPECT_DOUBLE_EQ(r.tasks[1].finish, 2.0);
+}
+
+TEST(Backfill, MovesToOtherFreeHosts) {
+  // Host 0 busy [0,10); host 1 idle: the late task jumps hosts.
+  std::vector<PlacedTask> tasks = {make({0}, 0, 10), make({0}, 10, 11)};
+  const auto r = conservative_backfill(tasks, 2, {{}, {}});
+  EXPECT_EQ(r.moved, 1);
+  EXPECT_DOUBLE_EQ(r.tasks[1].start, 0.0);
+  EXPECT_EQ(r.tasks[1].hosts, (std::vector<int>{1}));
+}
+
+TEST(Backfill, RespectsDependencies) {
+  // Task 1 depends on task 0 (finishes at 4): cannot start before 4 even
+  // though host 1 is idle from 0.
+  std::vector<PlacedTask> tasks = {make({0}, 0, 4), make({0}, 9, 10)};
+  const auto r = conservative_backfill(tasks, 2, {{}, {0}});
+  EXPECT_DOUBLE_EQ(r.tasks[1].start, 4.0);
+}
+
+TEST(Backfill, DependencyDelayHonored) {
+  std::vector<PlacedTask> tasks = {make({0}, 0, 4), make({1}, 9, 10)};
+  const auto r =
+      conservative_backfill(tasks, 2, {{}, {0}}, {{}, {1.5}});
+  EXPECT_DOUBLE_EQ(r.tasks[1].start, 5.5);
+}
+
+TEST(Backfill, KeepsAllocationSize) {
+  std::vector<PlacedTask> tasks = {make({0, 1}, 0, 5),
+                                   make({0, 1}, 8, 9)};
+  const auto r = conservative_backfill(tasks, 4, {{}, {}});
+  EXPECT_EQ(r.tasks[1].hosts.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.tasks[1].start, 0.0);  // hosts 2,3 are free
+}
+
+TEST(Backfill, NothingMovesInATightSchedule) {
+  std::vector<PlacedTask> tasks = {make({0}, 0, 2), make({0}, 2, 4),
+                                   make({0}, 4, 6)};
+  const auto r =
+      conservative_backfill(tasks, 1, {{}, {0}, {1}});
+  EXPECT_EQ(r.moved, 0);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r.tasks[i].start, tasks[i].start);
+  }
+}
+
+TEST(Backfill, NeverDelaysAndNeverOverlaps_Property) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    util::Rng rng(seed);
+    const int hosts = 6;
+    const int n = 25;
+
+    // Build a random feasible schedule: tasks placed back-to-back on
+    // random host blocks, with random chain dependencies.
+    std::vector<double> free_at(hosts, 0.0);
+    std::vector<PlacedTask> tasks;
+    std::vector<std::vector<int>> deps(n);
+    for (int i = 0; i < n; ++i) {
+      const int first = static_cast<int>(rng.uniform_int(0, hosts - 1));
+      const int count =
+          static_cast<int>(rng.uniform_int(1, hosts - first));
+      std::vector<int> chosen;
+      double start = 0;
+      for (int h = first; h < first + count; ++h) {
+        chosen.push_back(h);
+        start = std::max(start, free_at[static_cast<std::size_t>(h)]);
+      }
+      if (i > 0 && rng.bernoulli(0.5)) {
+        const int dep = static_cast<int>(rng.uniform_int(0, i - 1));
+        deps[static_cast<std::size_t>(i)].push_back(dep);
+        start = std::max(start, tasks[static_cast<std::size_t>(dep)].finish);
+      }
+      start += rng.uniform(0, 5);  // artificial idle gaps to reclaim
+      const double len = rng.uniform(1, 6);
+      for (int h : chosen) {
+        free_at[static_cast<std::size_t>(h)] = start + len;
+      }
+      tasks.push_back(make(chosen, start, start + len));
+    }
+
+    const auto r = conservative_backfill(tasks, hosts, deps);
+
+    for (int i = 0; i < n; ++i) {
+      const auto& moved = r.tasks[static_cast<std::size_t>(i)];
+      const auto& orig = tasks[static_cast<std::size_t>(i)];
+      EXPECT_LE(moved.start, orig.start + 1e-9) << "task delayed, seed "
+                                                << seed;
+      EXPECT_NEAR(moved.finish - moved.start, orig.finish - orig.start, 1e-9);
+      EXPECT_EQ(moved.hosts.size(), orig.hosts.size());
+      for (int dep : deps[static_cast<std::size_t>(i)]) {
+        EXPECT_GE(moved.start + 1e-9,
+                  r.tasks[static_cast<std::size_t>(dep)].finish);
+      }
+    }
+
+    // No overlap on any host.
+    for (int h = 0; h < hosts; ++h) {
+      std::vector<std::pair<double, double>> busy;
+      for (const auto& t : r.tasks) {
+        for (int th : t.hosts) {
+          if (th == h) busy.emplace_back(t.start, t.finish);
+        }
+      }
+      std::sort(busy.begin(), busy.end());
+      for (std::size_t i = 1; i < busy.size(); ++i) {
+        EXPECT_LE(busy[i - 1].second, busy[i].first + 1e-9)
+            << "overlap on host " << h << ", seed " << seed;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace jedule::sched

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "jedule/dag/generators.hpp"
+#include "jedule/model/composite.hpp"
+#include "jedule/sched/mtask.hpp"
+#include "jedule/util/rng.hpp"
+
+namespace jedule::sched {
+namespace {
+
+using dag::Dag;
+
+TEST(Baselines, TaskParallelUsesOneProcPerTask) {
+  util::Rng rng(1);
+  const Dag d = dag::fork_join_dag(2, 6, rng);
+  const auto platform = platform::homogeneous_cluster(8);
+  const auto r = schedule_baseline(d, platform, BaselineKind::kTaskParallel);
+  EXPECT_EQ(r.algorithm, "TASK-PARALLEL");
+  for (int p : r.allocation.procs) EXPECT_EQ(p, 1);
+  for (const auto& item : r.mapping.mapping.items) {
+    EXPECT_EQ(item.hosts.size(), 1u);
+  }
+}
+
+TEST(Baselines, DataParallelUsesWholeMachineSerially) {
+  util::Rng rng(2);
+  const Dag d = dag::fork_join_dag(2, 6, rng);
+  const auto platform = platform::homogeneous_cluster(8);
+  const auto r = schedule_baseline(d, platform, BaselineKind::kDataParallel);
+  EXPECT_EQ(r.algorithm, "DATA-PARALLEL");
+  for (int p : r.allocation.procs) EXPECT_EQ(p, 8);
+  // All tasks serialized: makespan equals the sum of all task times.
+  double total = 0;
+  for (double t : r.allocation.times) total += t;
+  EXPECT_NEAR(r.makespan, total, 1e-6);
+}
+
+TEST(Baselines, ProduceFeasibleSchedules) {
+  util::Rng rng(3);
+  dag::LayeredDagOptions o;
+  o.levels = 5;
+  const Dag d = layered_random(o, rng);
+  const auto platform = platform::homogeneous_cluster(8);
+  for (auto kind : {BaselineKind::kTaskParallel, BaselineKind::kDataParallel}) {
+    const auto r = schedule_baseline(d, platform, kind);
+    const auto s = mtask_to_schedule(d, platform, r);
+    EXPECT_NO_THROW(s.validate());
+    EXPECT_FALSE(model::has_resource_conflicts(s));
+  }
+}
+
+TEST(Baselines, MixedParallelBeatsBothOnForkJoin) {
+  // The motivating claim (Sec. III.A): mixed-parallel scheduling reduces
+  // completion time versus pure task- or pure data-parallelism. A fork-
+  // join DAG wider than the machine with moderately scalable tasks is the
+  // textbook case where both extremes lose.
+  util::Rng rng(4);
+  dag::LayeredDagOptions o;
+  o.levels = 4;
+  o.min_width = 6;
+  o.max_width = 10;
+  o.serial_fraction = 0.08;  // data-parallel hurts: imperfect speedup
+  const Dag d = layered_random(o, rng);
+  const auto platform = platform::homogeneous_cluster(16);
+
+  const auto cpa = schedule_mtask(d, platform, MTaskAlgorithm::kMcpa2);
+  const auto task_only =
+      schedule_baseline(d, platform, BaselineKind::kTaskParallel);
+  const auto data_only =
+      schedule_baseline(d, platform, BaselineKind::kDataParallel);
+
+  EXPECT_LT(cpa.makespan, task_only.makespan);
+  EXPECT_LT(cpa.makespan, data_only.makespan);
+}
+
+}  // namespace
+}  // namespace jedule::sched

@@ -1,0 +1,198 @@
+#include "jedule/sched/cra.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "jedule/dag/generators.hpp"
+#include "jedule/model/composite.hpp"
+#include "jedule/util/error.hpp"
+#include "jedule/util/rng.hpp"
+
+namespace jedule::sched {
+namespace {
+
+std::vector<dag::Dag> four_apps(std::uint64_t seed = 5) {
+  util::Rng rng(seed);
+  std::vector<dag::Dag> apps;
+  apps.push_back(dag::fork_join_dag(3, 5, rng));
+  apps.push_back(dag::long_dag(8, rng));
+  apps.push_back(dag::wide_dag(6, rng));
+  dag::LayeredDagOptions o;
+  o.levels = 4;
+  apps.push_back(layered_random(o, rng));
+  return apps;
+}
+
+TEST(CraShares, SumToOne) {
+  const auto apps = four_apps();
+  for (const auto metric :
+       {ShareMetric::kWork, ShareMetric::kWidth, ShareMetric::kEqual}) {
+    for (double mu : {0.0, 0.3, 1.0}) {
+      const auto beta = cra_shares(apps, metric, mu);
+      EXPECT_NEAR(std::accumulate(beta.begin(), beta.end(), 0.0), 1.0, 1e-9);
+      for (double b : beta) EXPECT_GT(b, 0.0);
+    }
+  }
+}
+
+TEST(CraShares, MuOneIsEqualSplit) {
+  const auto apps = four_apps();
+  const auto beta = cra_shares(apps, ShareMetric::kWork, 1.0);
+  for (double b : beta) EXPECT_NEAR(b, 0.25, 1e-9);
+}
+
+TEST(CraShares, MuZeroIsPurelyProportional) {
+  const auto apps = four_apps();
+  double total_work = 0;
+  std::vector<double> work;
+  for (const auto& app : apps) {
+    double w = 0;
+    for (const auto& n : app.nodes()) w += n.work;
+    work.push_back(w);
+    total_work += w;
+  }
+  const auto beta = cra_shares(apps, ShareMetric::kWork, 0.0);
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    EXPECT_NEAR(beta[i], work[i] / total_work, 1e-9);
+  }
+}
+
+TEST(CraShares, WidthMetricUsesDagWidth) {
+  const auto apps = four_apps();
+  const auto beta = cra_shares(apps, ShareMetric::kWidth, 0.0);
+  double total = 0;
+  for (const auto& app : apps) total += app.width();
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    EXPECT_NEAR(beta[i], apps[i].width() / total, 1e-9);
+  }
+}
+
+TEST(CraShares, Validation) {
+  EXPECT_THROW(cra_shares({}, ShareMetric::kWork, 0.5), ArgumentError);
+  EXPECT_THROW(cra_shares(four_apps(), ShareMetric::kWork, 1.5),
+               ArgumentError);
+}
+
+TEST(ScheduleMultiDag, BlocksAreDisjointAndCoverTheCluster) {
+  const auto apps = four_apps();
+  const auto platform = platform::homogeneous_cluster(20);
+  const auto result = schedule_multi_dag(apps, platform, {});
+
+  ASSERT_EQ(result.apps.size(), 4u);
+  std::set<int> used;
+  int total = 0;
+  for (const auto& app : result.apps) {
+    EXPECT_GE(app.host_count, 1);
+    for (int h = app.first_host; h < app.first_host + app.host_count; ++h) {
+      EXPECT_TRUE(used.insert(h).second) << "host " << h << " shared";
+    }
+    total += app.host_count;
+  }
+  EXPECT_EQ(total, 20);
+}
+
+TEST(ScheduleMultiDag, ResourceConstraintsRespected) {
+  // The Fig. 5 visual check, as an assertion: every task of app i stays
+  // within app i's processor block.
+  const auto apps = four_apps();
+  const auto platform = platform::homogeneous_cluster(20);
+  const auto result = schedule_multi_dag(apps, platform, {});
+
+  for (const auto& task : result.schedule.tasks()) {
+    const auto app_prop = task.property("app");
+    ASSERT_TRUE(app_prop.has_value());
+    const auto& app =
+        result.apps[static_cast<std::size_t>(std::stoi(std::string(*app_prop)))];
+    for (const auto& cfg : task.configurations()) {
+      for (int h : cfg.host_list()) {
+        EXPECT_GE(h, app.first_host);
+        EXPECT_LT(h, app.first_host + app.host_count);
+      }
+    }
+  }
+  EXPECT_FALSE(model::has_resource_conflicts(result.schedule));
+}
+
+TEST(ScheduleMultiDag, StretchIsAtLeastOne) {
+  // A share of the cluster can never beat having it dedicated.
+  const auto apps = four_apps();
+  const auto platform = platform::homogeneous_cluster(20);
+  const auto result = schedule_multi_dag(apps, platform, {});
+  for (const auto& app : result.apps) {
+    EXPECT_GE(app.stretch, 1.0 - 1e-9);
+    EXPECT_GT(app.dedicated, 0.0);
+  }
+  EXPECT_GE(result.max_stretch, 1.0 - 1e-9);
+}
+
+TEST(ScheduleMultiDag, TooManyAppsRejected) {
+  util::Rng rng(1);
+  std::vector<dag::Dag> apps;
+  for (int i = 0; i < 5; ++i) apps.push_back(dag::serial_dag(2, rng));
+  const auto platform = platform::homogeneous_cluster(4);
+  EXPECT_THROW(schedule_multi_dag(apps, platform, {}), ArgumentError);
+}
+
+TEST(ScheduleMultiDag, MultiClusterRejected) {
+  EXPECT_THROW(schedule_multi_dag(four_apps(),
+                                  platform::heterogeneous_case_study(0.05),
+                                  {}),
+               ArgumentError);
+}
+
+TEST(ScheduleMultiDag, BackfillNeverDelaysAndReducesIdle) {
+  const auto apps = four_apps();
+  const auto platform = platform::homogeneous_cluster(20);
+
+  CraOptions plain;
+  const auto before = schedule_multi_dag(apps, platform, plain);
+  CraOptions with;
+  with.backfill = true;
+  const auto after = schedule_multi_dag(apps, platform, with);
+
+  EXPECT_LE(after.overall_makespan, before.overall_makespan + 1e-9);
+  EXPECT_LE(after.idle_after_backfill, after.idle_before_backfill + 1e-9);
+  EXPECT_DOUBLE_EQ(before.idle_after_backfill, before.idle_before_backfill);
+
+  // "A comparison of the Jedule outputs with and without backfilling
+  // allows for a check that no task is delayed by this step."
+  for (const auto& task : after.schedule.tasks()) {
+    const auto* original = before.schedule.find_task(task.id());
+    ASSERT_NE(original, nullptr) << task.id();
+    EXPECT_LE(task.start_time(), original->start_time() + 1e-9)
+        << task.id() << " was delayed";
+    EXPECT_NEAR(task.duration(), original->duration(), 1e-9);
+  }
+  EXPECT_FALSE(model::has_resource_conflicts(after.schedule));
+}
+
+TEST(ScheduleMultiDag, McpaInnerAlgorithmWorksToo) {
+  const auto apps = four_apps();
+  const auto platform = platform::homogeneous_cluster(20);
+  CraOptions options;
+  options.inner = MTaskAlgorithm::kMcpa;
+  const auto result = schedule_multi_dag(apps, platform, options);
+  EXPECT_GT(result.overall_makespan, 0.0);
+  EXPECT_FALSE(model::has_resource_conflicts(result.schedule));
+}
+
+TEST(ScheduleMultiDag, MetaDescribesRun) {
+  const auto apps = four_apps();
+  const auto platform = platform::homogeneous_cluster(20);
+  CraOptions options;
+  options.metric = ShareMetric::kWidth;
+  const auto result = schedule_multi_dag(apps, platform, options);
+  EXPECT_EQ(result.schedule.meta_value("algorithm"), "CRA_WIDTH");
+  EXPECT_EQ(result.schedule.meta_value("apps"), "4");
+}
+
+TEST(ShareMetricName, Strings) {
+  EXPECT_STREQ(share_metric_name(ShareMetric::kWork), "CRA_WORK");
+  EXPECT_STREQ(share_metric_name(ShareMetric::kWidth), "CRA_WIDTH");
+  EXPECT_STREQ(share_metric_name(ShareMetric::kEqual), "CRA_EQUAL");
+}
+
+}  // namespace
+}  // namespace jedule::sched

@@ -1,0 +1,139 @@
+#include "jedule/sched/mtask.hpp"
+
+#include <gtest/gtest.h>
+
+#include "jedule/dag/generators.hpp"
+#include "jedule/model/composite.hpp"
+#include "jedule/model/stats.hpp"
+#include "jedule/sched/mapping.hpp"
+#include "jedule/util/error.hpp"
+#include "jedule/util/rng.hpp"
+
+namespace jedule::sched {
+namespace {
+
+using dag::Dag;
+
+TEST(BottomLevels, ChainSumsBelow) {
+  Dag d;
+  const int a = d.add_node("a", 1.0);
+  const int b = d.add_node("b", 1.0);
+  const int c = d.add_node("c", 1.0);
+  d.add_edge(a, b);
+  d.add_edge(b, c);
+  const auto bl = bottom_levels(d, {2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(bl[static_cast<std::size_t>(c)], 4.0);
+  EXPECT_DOUBLE_EQ(bl[static_cast<std::size_t>(b)], 7.0);
+  EXPECT_DOUBLE_EQ(bl[static_cast<std::size_t>(a)], 9.0);
+}
+
+TEST(MapAllocations, RejectsOversizedAllocation) {
+  Dag d;
+  d.add_node("a", 1.0);
+  const auto p = platform::homogeneous_cluster(4);
+  EXPECT_THROW(map_allocations(d, p, {0, 1}, {3}), ValidationError);
+  EXPECT_THROW(map_allocations(d, p, {0, 1}, {0}), ValidationError);
+}
+
+TEST(MapAllocations, ProducesFeasibleSchedules) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    util::Rng rng(seed);
+    dag::LayeredDagOptions o;
+    o.levels = 5;
+    const Dag d = layered_random(o, rng);
+    const auto platform = platform::homogeneous_cluster(8);
+    const auto alloc = cpa_allocate(d, 8);
+    std::vector<int> pool{0, 1, 2, 3, 4, 5, 6, 7};
+    const auto mapped = map_allocations(d, platform, pool, alloc.procs);
+
+    // Estimates respect precedence and allocation sizes.
+    for (const auto& e : d.edges()) {
+      EXPECT_GE(mapped.est_start[static_cast<std::size_t>(e.dst)],
+                mapped.est_finish[static_cast<std::size_t>(e.src)] - 1e-9);
+    }
+    for (int v = 0; v < d.node_count(); ++v) {
+      EXPECT_EQ(static_cast<int>(
+                    mapped.mapping.items[static_cast<std::size_t>(v)]
+                        .hosts.size()),
+                alloc.procs[static_cast<std::size_t>(v)]);
+    }
+    // Simulated execution double-books nothing.
+    const auto sim = sim::simulate_dag(d, platform, mapped.mapping);
+    sim::ToScheduleOptions so;
+    so.include_transfers = false;
+    const auto schedule =
+        sim::to_schedule(d, platform, mapped.mapping, sim, so);
+    EXPECT_FALSE(model::has_resource_conflicts(schedule)) << "seed " << seed;
+  }
+}
+
+TEST(ScheduleMtask, RequiresSingleCluster) {
+  util::Rng rng(1);
+  const Dag d = dag::serial_dag(3, rng);
+  const auto p = platform::heterogeneous_case_study(0.05);
+  EXPECT_THROW(schedule_mtask(d, p, MTaskAlgorithm::kCpa), ArgumentError);
+}
+
+TEST(ScheduleMtask, Fig4StoryEndToEnd) {
+  const int P = 16;
+  const Dag d = dag::mcpa_pathological_dag(P);
+  const auto platform = platform::homogeneous_cluster(P);
+
+  const auto cpa = schedule_mtask(d, platform, MTaskAlgorithm::kCpa);
+  const auto mcpa = schedule_mtask(d, platform, MTaskAlgorithm::kMcpa);
+  const auto mcpa2 = schedule_mtask(d, platform, MTaskAlgorithm::kMcpa2);
+
+  // "one can observe that the CPA algorithm exploits the computational
+  // resources of the cluster better than MCPA ... the schedule contains
+  // large holes" -> MCPA's makespan and idle time are far worse.
+  EXPECT_LT(cpa.makespan * 2, mcpa.makespan);
+
+  const auto cpa_stats =
+      model::compute_stats(mtask_to_schedule(d, platform, cpa));
+  const auto mcpa_stats =
+      model::compute_stats(mtask_to_schedule(d, platform, mcpa));
+  EXPECT_GT(mcpa_stats.idle_time, 5 * cpa_stats.idle_time);
+  EXPECT_GT(cpa_stats.utilization, 0.6);
+  EXPECT_LT(mcpa_stats.utilization, 0.3);
+
+  // "For the example shown in Figure 4 the poly-algorithm MCPA2 generates
+  // the same schedule as CPA."
+  EXPECT_EQ(mcpa2.algorithm, "MCPA2/CPA");
+  EXPECT_DOUBLE_EQ(mcpa2.makespan, cpa.makespan);
+}
+
+TEST(ScheduleMtask, Mcpa2NeverWorseThanEither) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    util::Rng rng(seed);
+    dag::LayeredDagOptions o;
+    o.levels = 4;
+    const Dag d = layered_random(o, rng);
+    const auto platform = platform::homogeneous_cluster(8);
+    const auto cpa = schedule_mtask(d, platform, MTaskAlgorithm::kCpa);
+    const auto mcpa = schedule_mtask(d, platform, MTaskAlgorithm::kMcpa);
+    const auto mcpa2 = schedule_mtask(d, platform, MTaskAlgorithm::kMcpa2);
+    EXPECT_LE(mcpa2.makespan, cpa.makespan + 1e-9);
+    EXPECT_LE(mcpa2.makespan, mcpa.makespan + 1e-9);
+  }
+}
+
+TEST(MtaskToSchedule, CarriesMetaAndValidates) {
+  const Dag d = dag::mcpa_pathological_dag(8);
+  const auto platform = platform::homogeneous_cluster(8);
+  const auto result = schedule_mtask(d, platform, MTaskAlgorithm::kCpa);
+  const auto s = mtask_to_schedule(d, platform, result);
+  EXPECT_NO_THROW(s.validate());
+  EXPECT_EQ(s.meta_value("algorithm"), "CPA");
+  EXPECT_TRUE(s.meta_value("makespan").has_value());
+  EXPECT_TRUE(s.meta_value("t_cp").has_value());
+  EXPECT_EQ(s.tasks().size(), static_cast<std::size_t>(d.node_count()));
+}
+
+TEST(AlgorithmName, Strings) {
+  EXPECT_STREQ(algorithm_name(MTaskAlgorithm::kCpa), "CPA");
+  EXPECT_STREQ(algorithm_name(MTaskAlgorithm::kMcpa), "MCPA");
+  EXPECT_STREQ(algorithm_name(MTaskAlgorithm::kMcpa2), "MCPA2");
+}
+
+}  // namespace
+}  // namespace jedule::sched

@@ -1,0 +1,240 @@
+#include "jedule/sim/dag_execution.hpp"
+
+#include <gtest/gtest.h>
+
+#include "jedule/model/composite.hpp"
+#include "jedule/dag/generators.hpp"
+#include "jedule/sim/engine.hpp"
+#include "jedule/util/error.hpp"
+#include "jedule/util/rng.hpp"
+
+namespace jedule::sim {
+namespace {
+
+using dag::Dag;
+using platform::Platform;
+
+// -- engine ---------------------------------------------------------------
+
+TEST(Engine, FiresInTimeOrder) {
+  Engine e;
+  std::vector<int> fired;
+  e.schedule_at(3.0, [&] { fired.push_back(3); });
+  e.schedule_at(1.0, [&] { fired.push_back(1); });
+  e.schedule_at(2.0, [&] { fired.push_back(2); });
+  e.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+  EXPECT_EQ(e.processed(), 3u);
+}
+
+TEST(Engine, TiesRunInInsertionOrder) {
+  Engine e;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    e.schedule_at(1.0, [&fired, i] { fired.push_back(i); });
+  }
+  e.run();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, ReentrantScheduling) {
+  Engine e;
+  std::vector<double> times;
+  e.schedule_at(1.0, [&] {
+    times.push_back(e.now());
+    e.schedule_in(2.0, [&] { times.push_back(e.now()); });
+  });
+  e.run();
+  EXPECT_EQ(times, (std::vector<double>{1.0, 3.0}));
+}
+
+TEST(Engine, RejectsPastEvents) {
+  Engine e;
+  e.schedule_at(5.0, [&] {
+    EXPECT_THROW(e.schedule_at(1.0, [] {}), ArgumentError);
+  });
+  e.run();
+}
+
+// -- dag execution ----------------------------------------------------------
+
+Dag chain3() {
+  Dag d("chain");
+  const int a = d.add_node("a", 10.0);
+  const int b = d.add_node("b", 20.0);
+  const int c = d.add_node("c", 10.0);
+  d.add_edge(a, b, 100.0);
+  d.add_edge(b, c, 0.0);
+  return d;
+}
+
+Mapping map_all_to(const Dag&, std::vector<std::vector<int>> hosts) {
+  Mapping m;
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    m.items.push_back(
+        Mapping::Item{std::move(hosts[i]), static_cast<double>(i)});
+  }
+  return m;
+}
+
+TEST(SimulateDag, ChainOnOneHostHasNoTransfers) {
+  const Dag d = chain3();
+  const Platform p = platform::homogeneous_cluster(2, 1.0, {1e-3, 100.0});
+  const auto r = simulate_dag(d, p, map_all_to(d, {{0}, {0}, {0}}));
+  EXPECT_DOUBLE_EQ(r.start[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.finish[0], 10.0);
+  EXPECT_DOUBLE_EQ(r.start[1], 10.0);
+  EXPECT_DOUBLE_EQ(r.finish[1], 30.0);
+  EXPECT_DOUBLE_EQ(r.makespan, 40.0);
+  EXPECT_TRUE(r.transfers.empty());
+}
+
+TEST(SimulateDag, CrossHostChainPaysLinkCosts) {
+  const Dag d = chain3();
+  const Platform p = platform::homogeneous_cluster(2, 1.0, {1e-3, 100.0});
+  const auto r = simulate_dag(d, p, map_all_to(d, {{0}, {1}, {0}}));
+  // a finishes at 10; transfer of 100 MB at 100 MB/s + 2 ms latency.
+  EXPECT_DOUBLE_EQ(r.start[1], 10.0 + 2e-3 + 1.0);
+  ASSERT_EQ(r.transfers.size(), 2u);  // a->b and b->c (0 MB still has lat)
+  EXPECT_EQ(r.transfers[0].src_host, 0);
+  EXPECT_EQ(r.transfers[0].dst_host, 1);
+  EXPECT_DOUBLE_EQ(r.transfers[0].start, 10.0);
+  EXPECT_DOUBLE_EQ(r.transfers[0].end, r.start[1]);
+}
+
+TEST(SimulateDag, MultiprocTaskPacedBySlowestHost) {
+  Dag d;
+  d.add_node("m", 100.0);  // p=2 across clusters of different speed
+  Platform p;
+  platform::ClusterSpec fast{0, "f", 1, 2.0, {}};
+  platform::ClusterSpec slow{1, "s", 1, 1.0, {}};
+  p.add_cluster(fast);
+  p.add_cluster(slow);
+  const auto r = simulate_dag(d, p, map_all_to(d, {{0, 1}}));
+  EXPECT_DOUBLE_EQ(r.finish[0], 100.0 / 2.0 / 1.0);  // speed 1.0 paces
+}
+
+TEST(SimulateDag, HostExclusivityEnforced) {
+  // Two independent tasks on one host must serialize.
+  Dag d;
+  d.add_node("x", 10.0);
+  d.add_node("y", 10.0);
+  const Platform p = platform::homogeneous_cluster(1);
+  const auto r = simulate_dag(d, p, map_all_to(d, {{0}, {0}}));
+  EXPECT_DOUBLE_EQ(r.makespan, 20.0);
+  EXPECT_TRUE(r.finish[0] <= r.start[1] || r.finish[1] <= r.start[0]);
+}
+
+TEST(SimulateDag, PriorityBreaksContention) {
+  Dag d;
+  d.add_node("x", 10.0);
+  d.add_node("y", 10.0);
+  const Platform p = platform::homogeneous_cluster(1);
+  Mapping m = map_all_to(d, {{0}, {0}});
+  m.items[0].priority = 2.0;
+  m.items[1].priority = 1.0;  // y should go first
+  const auto r = simulate_dag(d, p, m);
+  EXPECT_DOUBLE_EQ(r.start[1], 0.0);
+  EXPECT_DOUBLE_EQ(r.start[0], 10.0);
+}
+
+TEST(SimulateDag, MappingValidation) {
+  const Dag d = chain3();
+  const Platform p = platform::homogeneous_cluster(2);
+  EXPECT_THROW(simulate_dag(d, p, Mapping{}), ValidationError);
+  EXPECT_THROW(simulate_dag(d, p, map_all_to(d, {{0}, {}, {0}})),
+               ValidationError);
+  EXPECT_THROW(simulate_dag(d, p, map_all_to(d, {{0}, {9}, {0}})),
+               ValidationError);
+  EXPECT_THROW(simulate_dag(d, p, map_all_to(d, {{0}, {1, 1}, {0}})),
+               ValidationError);
+}
+
+TEST(SimulateDag, RandomFeasibility) {
+  // Random layered DAGs on random mappings: the simulated schedule never
+  // double-books a host and always respects precedence + transfer delays.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    util::Rng rng(seed);
+    dag::LayeredDagOptions o;
+    o.levels = 5;
+    const Dag d = layered_random(o, rng);
+    const Platform p = platform::homogeneous_cluster(6, 1.0, {1e-4, 1000.0});
+    Mapping m;
+    for (int v = 0; v < d.node_count(); ++v) {
+      const int first = static_cast<int>(rng.uniform_int(0, 5));
+      const int count =
+          static_cast<int>(rng.uniform_int(1, 6 - first));
+      std::vector<int> hosts;
+      for (int h = first; h < first + count; ++h) hosts.push_back(h);
+      m.items.push_back(Mapping::Item{hosts, rng.uniform()});
+    }
+    const auto r = simulate_dag(d, p, m);
+
+    for (const auto& e : d.edges()) {
+      EXPECT_GE(r.start[static_cast<std::size_t>(e.dst)],
+                r.finish[static_cast<std::size_t>(e.src)] - 1e-9);
+    }
+
+    // No host runs two computations at once: check via the composite sweep
+    // over the converted schedule (transfers excluded).
+    ToScheduleOptions opts;
+    opts.include_transfers = false;
+    const auto schedule = to_schedule(d, p, m, r, opts);
+    EXPECT_FALSE(model::has_resource_conflicts(schedule)) << "seed " << seed;
+  }
+}
+
+TEST(ToSchedule, ProducesValidJeduleView) {
+  const Dag d = chain3();
+  const Platform p = platform::homogeneous_cluster(2, 1.0, {1e-3, 100.0});
+  const Mapping m = map_all_to(d, {{0}, {1}, {0}});
+  const auto r = simulate_dag(d, p, m);
+  const auto s = to_schedule(d, p, m, r);
+  EXPECT_NO_THROW(s.validate());
+  EXPECT_EQ(s.clusters().size(), 1u);
+  // 3 computations + 2 transfers.
+  EXPECT_EQ(s.tasks().size(), 5u);
+  const auto* a = s.find_task("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->type(), "computation");
+  int transfers = 0;
+  for (const auto& t : s.tasks()) {
+    if (t.type() == "transfer") {
+      ++transfers;
+      EXPECT_EQ(t.total_hosts(), 2);  // spans src and dst host rows
+    }
+  }
+  EXPECT_EQ(transfers, 2);
+}
+
+TEST(ToSchedule, PrefixAndTypeOverride) {
+  const Dag d = chain3();
+  const Platform p = platform::homogeneous_cluster(2);
+  const Mapping m = map_all_to(d, {{0}, {1}, {0}});
+  const auto r = simulate_dag(d, p, m, SimOptions{.record_transfers = false});
+  ToScheduleOptions o;
+  o.id_prefix = "app1.";
+  o.type_override = "app1";
+  o.include_transfers = false;
+  const auto s = to_schedule(d, p, m, r, o);
+  EXPECT_NE(s.find_task("app1.a"), nullptr);
+  EXPECT_EQ(s.find_task("app1.a")->type(), "app1");
+}
+
+TEST(ToSchedule, ScatteredHostsBecomeRanges) {
+  Dag d;
+  d.add_node("m", 10.0);
+  const Platform p = platform::homogeneous_cluster(8);
+  const Mapping m = map_all_to(d, {{0, 1, 2, 6}});
+  const auto r = simulate_dag(d, p, m);
+  const auto s = to_schedule(d, p, m, r);
+  const auto& cfg = s.tasks()[0].configurations();
+  ASSERT_EQ(cfg.size(), 1u);
+  ASSERT_EQ(cfg[0].hosts.size(), 2u);
+  EXPECT_EQ(cfg[0].hosts[0], (model::HostRange{0, 3}));
+  EXPECT_EQ(cfg[0].hosts[1], (model::HostRange{6, 1}));
+}
+
+}  // namespace
+}  // namespace jedule::sim

@@ -1,0 +1,98 @@
+#include "jedule/util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jedule::util {
+namespace {
+
+TEST(Trim, RemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello  "), "hello");
+  EXPECT_EQ(trim("\t\na b\r\n"), "a b");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Trim, EmptyAndAllWhitespace) {
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\r\n"), "");
+}
+
+TEST(Split, PreservesEmptyFields) {
+  EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(Split, SingleField) {
+  EXPECT_EQ(split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(SplitWs, CollapsesRuns) {
+  EXPECT_EQ(split_ws("  a\t\tb  c \n"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(split_ws("   ").empty());
+  EXPECT_TRUE(split_ws("").empty());
+}
+
+TEST(Join, Basic) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({"one"}, ","), "one");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(ToLower, AsciiOnly) {
+  EXPECT_EQ(to_lower("AbC-12z"), "abc-12z");
+}
+
+TEST(StartsEndsWith, Basic) {
+  EXPECT_TRUE(starts_with("schedule.xml", "sched"));
+  EXPECT_FALSE(starts_with("s", "sched"));
+  EXPECT_TRUE(ends_with("schedule.xml", ".xml"));
+  EXPECT_FALSE(ends_with("xml", "schedule.xml"));
+}
+
+TEST(ParseInt, Strict) {
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int("-7"), -7);
+  EXPECT_EQ(parse_int("  13  "), 13);
+  EXPECT_FALSE(parse_int("12x"));
+  EXPECT_FALSE(parse_int(""));
+  EXPECT_FALSE(parse_int("1.5"));
+  EXPECT_FALSE(parse_int("99999999999999999999999"));
+}
+
+TEST(ParseDouble, Strict) {
+  EXPECT_DOUBLE_EQ(*parse_double("0.310"), 0.31);
+  EXPECT_DOUBLE_EQ(*parse_double("-2"), -2.0);
+  EXPECT_DOUBLE_EQ(*parse_double("1e3"), 1000.0);
+  EXPECT_FALSE(parse_double("abc"));
+  EXPECT_FALSE(parse_double("1.0junk"));
+  EXPECT_FALSE(parse_double(""));
+}
+
+TEST(FormatFixed, KeepsTrailingZeros) {
+  EXPECT_EQ(format_fixed(0.31, 3), "0.310");
+  EXPECT_EQ(format_fixed(2.0, 0), "2");
+  EXPECT_EQ(format_fixed(-1.25, 2), "-1.25");
+}
+
+TEST(XmlEscape, AllFiveEntities) {
+  EXPECT_EQ(xml_escape("a<b>&\"c'"), "a&lt;b&gt;&amp;&quot;c&apos;");
+  EXPECT_EQ(xml_escape("plain"), "plain");
+}
+
+// parse/format round trip across magnitudes.
+class FormatRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(FormatRoundTrip, ParsesBack) {
+  const double v = GetParam();
+  const auto parsed = parse_double(format_fixed(v, 6));
+  ASSERT_TRUE(parsed);
+  EXPECT_NEAR(*parsed, v, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, FormatRoundTrip,
+                         ::testing::Values(0.0, 0.31, -2.5, 140.9, 86400.0,
+                                           1e-4, 123.456789));
+
+}  // namespace
+}  // namespace jedule::util

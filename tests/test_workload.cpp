@@ -1,0 +1,216 @@
+#include "jedule/workload/thunder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "jedule/model/composite.hpp"
+#include "jedule/util/error.hpp"
+#include "jedule/workload/trace_schedule.hpp"
+
+namespace jedule::workload {
+namespace {
+
+TEST(Thunder, GeneratesRequestedJobCount) {
+  const auto trace = generate_thunder_day();
+  EXPECT_EQ(trace.jobs.size(), 834u);  // paper: "834 jobs were executed"
+  EXPECT_EQ(trace.max_procs(), 1024);
+}
+
+TEST(Thunder, AllJobsFinishWithinTheDay) {
+  const auto trace = generate_thunder_day();
+  for (const auto& j : trace.jobs) {
+    EXPECT_GE(j.submit_time, 0.0);
+    EXPECT_GT(j.run_time, 0.0);
+    EXPECT_GE(j.wait_time, 0.0);
+    EXPECT_LT(j.end_time(), 86400.0) << "job " << j.job_id;
+    EXPECT_GE(j.allocated_procs, 1);
+    EXPECT_LE(j.allocated_procs, 1024 - 20);
+  }
+}
+
+TEST(Thunder, SubmitOrderedWithDenseIds) {
+  const auto trace = generate_thunder_day();
+  for (std::size_t i = 1; i < trace.jobs.size(); ++i) {
+    EXPECT_GE(trace.jobs[i].submit_time, trace.jobs[i - 1].submit_time);
+    EXPECT_EQ(trace.jobs[i].job_id,
+              static_cast<std::int64_t>(i + 1));
+  }
+}
+
+TEST(Thunder, HighlightedUserHasJobs) {
+  const auto trace = generate_thunder_day();
+  int highlighted = 0;
+  std::set<int> users;
+  for (const auto& j : trace.jobs) {
+    users.insert(j.user_id);
+    if (j.user_id == 6447) ++highlighted;
+  }
+  EXPECT_GE(highlighted, 10);       // enough yellow boxes to see
+  EXPECT_LE(highlighted, 100);      // but a minority
+  EXPECT_GE(users.size(), 20u);     // a real user population
+}
+
+TEST(Thunder, DeterministicPerSeed) {
+  ThunderOptions o;
+  const auto a = generate_thunder_day(o);
+  const auto b = generate_thunder_day(o);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].user_id, b.jobs[i].user_id);
+    EXPECT_DOUBLE_EQ(a.jobs[i].submit_time, b.jobs[i].submit_time);
+  }
+  o.seed = 999;
+  const auto c = generate_thunder_day(o);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.jobs.size() && i < c.jobs.size(); ++i) {
+    if (a.jobs[i].run_time != c.jobs[i].run_time) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+// -- trace -> schedule --------------------------------------------------------
+
+io::SwfTrace tiny_trace() {
+  io::SwfTrace trace;
+  trace.header["MaxProcs"] = "8";
+  auto add = [&trace](int id, double start, double run, int procs, int user) {
+    io::SwfJob j;
+    j.job_id = id;
+    j.submit_time = start;
+    j.wait_time = 0;
+    j.run_time = run;
+    j.allocated_procs = procs;
+    j.requested_procs = procs;
+    j.status = 1;
+    j.user_id = user;
+    trace.jobs.push_back(j);
+  };
+  add(1, 0, 10, 4, 100);
+  add(2, 0, 5, 4, 101);
+  add(3, 6, 3, 4, 100);   // reuses job 2's freed nodes
+  add(4, 12, 2, 2, 102);
+  return trace;
+}
+
+TEST(TraceToSchedule, PlacesWithoutOverlapWhenFeasible) {
+  const auto result = trace_to_schedule(tiny_trace());
+  EXPECT_EQ(result.overlapped_jobs, 0);
+  EXPECT_EQ(result.dropped_jobs, 0);
+  EXPECT_EQ(result.schedule.tasks().size(), 4u);
+  EXPECT_FALSE(model::has_resource_conflicts(result.schedule));
+  EXPECT_NO_THROW(result.schedule.validate());
+}
+
+TEST(TraceToSchedule, JobPropertiesCarried) {
+  const auto result = trace_to_schedule(tiny_trace());
+  const auto* t = result.schedule.find_task("1");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->property("user"), "100");
+  EXPECT_EQ(t->property("status"), "1");
+  EXPECT_EQ(t->type(), "job");
+  EXPECT_DOUBLE_EQ(t->start_time(), 0.0);
+  EXPECT_DOUBLE_EQ(t->end_time(), 10.0);
+  EXPECT_EQ(t->total_hosts(), 4);
+}
+
+TEST(TraceToSchedule, ReservedNodesStayEmpty) {
+  TraceScheduleOptions options;
+  options.reserved_nodes = 5;
+  const auto result = trace_to_schedule(tiny_trace(), options);
+  // The three 4-processor jobs need more than the 3 usable nodes.
+  EXPECT_EQ(result.dropped_jobs, 3);
+  ASSERT_EQ(result.schedule.tasks().size(), 1u);  // only job 4 fits
+  for (const auto& task : result.schedule.tasks()) {
+    for (const auto& cfg : task.configurations()) {
+      for (int h : cfg.host_list()) {
+        EXPECT_GE(h, 5) << "job on reserved node";
+      }
+    }
+  }
+}
+
+TEST(TraceToSchedule, WindowFiltersByFinishTime) {
+  TraceScheduleOptions options;
+  options.window_begin = 0;
+  options.window_end = 9.5;  // jobs 1 (ends 10) and 4 (ends 14) fall out
+  const auto result = trace_to_schedule(tiny_trace(), options);
+  EXPECT_EQ(result.schedule.tasks().size(), 2u);
+  EXPECT_EQ(result.schedule.find_task("1"), nullptr);
+  EXPECT_NE(result.schedule.find_task("2"), nullptr);
+  EXPECT_NE(result.schedule.find_task("3"), nullptr);
+}
+
+TEST(TraceToSchedule, MalformedJobsDropped) {
+  io::SwfTrace trace = tiny_trace();
+  io::SwfJob bad;
+  bad.job_id = 9;
+  bad.submit_time = 0;
+  bad.run_time = -1;
+  bad.allocated_procs = 2;
+  trace.jobs.push_back(bad);
+  const auto result = trace_to_schedule(trace);
+  EXPECT_EQ(result.dropped_jobs, 1);
+}
+
+TEST(TraceToSchedule, OverCommittedTraceStillPlacesEverything) {
+  io::SwfTrace trace;
+  trace.header["MaxProcs"] = "4";
+  for (int i = 0; i < 3; ++i) {
+    io::SwfJob j;
+    j.job_id = i + 1;
+    j.submit_time = 0;
+    j.wait_time = 0;
+    j.run_time = 10;
+    j.allocated_procs = 3;  // 9 procs in flight on a 4-proc machine
+    j.status = 1;
+    j.user_id = 1;
+    trace.jobs.push_back(j);
+  }
+  const auto result = trace_to_schedule(trace);
+  EXPECT_EQ(result.schedule.tasks().size(), 3u);
+  EXPECT_GE(result.overlapped_jobs, 1);
+}
+
+TEST(TraceToSchedule, PrefersContiguousBlocks) {
+  const auto result = trace_to_schedule(tiny_trace());
+  for (const auto& task : result.schedule.tasks()) {
+    // In this easy trace every job fits contiguously.
+    EXPECT_EQ(task.configurations()[0].hosts.size(), 1u) << task.id();
+  }
+}
+
+TEST(TraceToSchedule, InvalidOptionsRejected) {
+  TraceScheduleOptions options;
+  options.reserved_nodes = 8;  // as large as the machine
+  EXPECT_THROW(trace_to_schedule(tiny_trace(), options), ArgumentError);
+  io::SwfTrace empty;
+  EXPECT_THROW(trace_to_schedule(empty), ValidationError);
+}
+
+TEST(ThunderEndToEnd, ConvertsRespectingReservedBand) {
+  const ThunderOptions opts;
+  const auto trace = generate_thunder_day(opts);
+  TraceScheduleOptions conv;
+  conv.reserved_nodes = opts.reserved_nodes;
+  const auto result = trace_to_schedule(trace, conv);
+  EXPECT_EQ(result.dropped_jobs, 0);
+  // The generator's feasibility pass guarantees a real-trace property: at
+  // no instant do jobs claim more processors than exist, so the replay
+  // placement never conflicts.
+  EXPECT_EQ(result.overlapped_jobs, 0);
+  EXPECT_FALSE(model::has_resource_conflicts(result.schedule));
+  // Paper Fig. 13: "jobs get only executed by nodes with a number greater
+  // than 20".
+  for (const auto& task : result.schedule.tasks()) {
+    for (const auto& cfg : task.configurations()) {
+      for (const auto& r : cfg.hosts) {
+        EXPECT_GE(r.start, 20);
+      }
+    }
+  }
+  EXPECT_EQ(result.schedule.total_hosts(), 1024);
+}
+
+}  // namespace
+}  // namespace jedule::workload
