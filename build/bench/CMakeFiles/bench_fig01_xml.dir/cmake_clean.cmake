@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_xml.dir/bench_fig01_xml.cpp.o"
+  "CMakeFiles/bench_fig01_xml.dir/bench_fig01_xml.cpp.o.d"
+  "bench_fig01_xml"
+  "bench_fig01_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_colormap.dir/bench_fig02_colormap.cpp.o"
+  "CMakeFiles/bench_fig02_colormap.dir/bench_fig02_colormap.cpp.o.d"
+  "bench_fig02_colormap"
+  "bench_fig02_colormap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_colormap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

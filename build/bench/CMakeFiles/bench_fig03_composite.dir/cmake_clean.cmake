@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_composite.dir/bench_fig03_composite.cpp.o"
+  "CMakeFiles/bench_fig03_composite.dir/bench_fig03_composite.cpp.o.d"
+  "bench_fig03_composite"
+  "bench_fig03_composite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_composite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_cpa_mcpa.dir/bench_fig04_cpa_mcpa.cpp.o"
+  "CMakeFiles/bench_fig04_cpa_mcpa.dir/bench_fig04_cpa_mcpa.cpp.o.d"
+  "bench_fig04_cpa_mcpa"
+  "bench_fig04_cpa_mcpa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_cpa_mcpa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_cra.dir/bench_fig05_cra.cpp.o"
+  "CMakeFiles/bench_fig05_cra.dir/bench_fig05_cra.cpp.o.d"
+  "bench_fig05_cra"
+  "bench_fig05_cra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_cra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_montage_dag.dir/bench_fig06_montage_dag.cpp.o"
+  "CMakeFiles/bench_fig06_montage_dag.dir/bench_fig06_montage_dag.cpp.o.d"
+  "bench_fig06_montage_dag"
+  "bench_fig06_montage_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_montage_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_heft_flat.dir/bench_fig08_heft_flat.cpp.o"
+  "CMakeFiles/bench_fig08_heft_flat.dir/bench_fig08_heft_flat.cpp.o.d"
+  "bench_fig08_heft_flat"
+  "bench_fig08_heft_flat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_heft_flat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

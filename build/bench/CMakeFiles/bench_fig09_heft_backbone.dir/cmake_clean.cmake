@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_heft_backbone.dir/bench_fig09_heft_backbone.cpp.o"
+  "CMakeFiles/bench_fig09_heft_backbone.dir/bench_fig09_heft_backbone.cpp.o.d"
+  "bench_fig09_heft_backbone"
+  "bench_fig09_heft_backbone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_heft_backbone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

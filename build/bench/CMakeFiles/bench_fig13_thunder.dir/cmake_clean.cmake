@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_thunder.dir/bench_fig13_thunder.cpp.o"
+  "CMakeFiles/bench_fig13_thunder.dir/bench_fig13_thunder.cpp.o.d"
+  "bench_fig13_thunder"
+  "bench_fig13_thunder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_thunder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/montage_heft.dir/montage_heft.cpp.o"
+  "CMakeFiles/montage_heft.dir/montage_heft.cpp.o.d"
+  "montage_heft"
+  "montage_heft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/montage_heft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

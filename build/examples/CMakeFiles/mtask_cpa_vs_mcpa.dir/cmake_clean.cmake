@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtask_cpa_vs_mcpa.dir/mtask_cpa_vs_mcpa.cpp.o"
+  "CMakeFiles/mtask_cpa_vs_mcpa.dir/mtask_cpa_vs_mcpa.cpp.o.d"
+  "mtask_cpa_vs_mcpa"
+  "mtask_cpa_vs_mcpa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtask_cpa_vs_mcpa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mtask_cpa_vs_mcpa.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for mtask_cpa_vs_mcpa.
+# This may be replaced when dependencies are built.

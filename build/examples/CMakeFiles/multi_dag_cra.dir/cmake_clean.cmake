@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_dag_cra.dir/multi_dag_cra.cpp.o"
+  "CMakeFiles/multi_dag_cra.dir/multi_dag_cra.cpp.o.d"
+  "multi_dag_cra"
+  "multi_dag_cra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_dag_cra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

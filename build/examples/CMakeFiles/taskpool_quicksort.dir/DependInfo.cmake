@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/taskpool_quicksort.cpp" "examples/CMakeFiles/taskpool_quicksort.dir/taskpool_quicksort.cpp.o" "gcc" "examples/CMakeFiles/taskpool_quicksort.dir/taskpool_quicksort.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jedule/interactive/CMakeFiles/jed_interactive.dir/DependInfo.cmake"
+  "/root/repo/build/src/jedule/render/CMakeFiles/jed_render.dir/DependInfo.cmake"
+  "/root/repo/build/src/jedule/io/CMakeFiles/jed_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/jedule/sched/CMakeFiles/jed_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/jedule/sim/CMakeFiles/jed_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/jedule/dag/CMakeFiles/jed_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/jedule/platform/CMakeFiles/jed_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/jedule/taskpool/CMakeFiles/jed_taskpool.dir/DependInfo.cmake"
+  "/root/repo/build/src/jedule/workload/CMakeFiles/jed_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/jedule/model/CMakeFiles/jed_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/jedule/color/CMakeFiles/jed_color.dir/DependInfo.cmake"
+  "/root/repo/build/src/jedule/util/CMakeFiles/jed_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/jedule/xml/CMakeFiles/jed_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

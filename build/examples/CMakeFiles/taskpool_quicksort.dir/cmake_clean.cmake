@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taskpool_quicksort.dir/taskpool_quicksort.cpp.o"
+  "CMakeFiles/taskpool_quicksort.dir/taskpool_quicksort.cpp.o.d"
+  "taskpool_quicksort"
+  "taskpool_quicksort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taskpool_quicksort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for taskpool_quicksort.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for taskpool_quicksort.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_browser.dir/workload_browser.cpp.o"
+  "CMakeFiles/workload_browser.dir/workload_browser.cpp.o.d"
+  "workload_browser"
+  "workload_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

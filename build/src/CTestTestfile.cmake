@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("jedule/util")
+subdirs("jedule/xml")
+subdirs("jedule/color")
+subdirs("jedule/model")
+subdirs("jedule/io")
+subdirs("jedule/render")
+subdirs("jedule/interactive")
+subdirs("jedule/dag")
+subdirs("jedule/platform")
+subdirs("jedule/sim")
+subdirs("jedule/sched")
+subdirs("jedule/taskpool")
+subdirs("jedule/workload")
+subdirs("jedule/cli")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jedule.dir/args.cpp.o"
+  "CMakeFiles/jedule.dir/args.cpp.o.d"
+  "CMakeFiles/jedule.dir/demos.cpp.o"
+  "CMakeFiles/jedule.dir/demos.cpp.o.d"
+  "CMakeFiles/jedule.dir/main.cpp.o"
+  "CMakeFiles/jedule.dir/main.cpp.o.d"
+  "jedule"
+  "jedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jedule/color/color.cpp" "src/jedule/color/CMakeFiles/jed_color.dir/color.cpp.o" "gcc" "src/jedule/color/CMakeFiles/jed_color.dir/color.cpp.o.d"
+  "/root/repo/src/jedule/color/colormap.cpp" "src/jedule/color/CMakeFiles/jed_color.dir/colormap.cpp.o" "gcc" "src/jedule/color/CMakeFiles/jed_color.dir/colormap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jedule/util/CMakeFiles/jed_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

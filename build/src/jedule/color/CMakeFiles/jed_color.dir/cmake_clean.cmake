@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jed_color.dir/color.cpp.o"
+  "CMakeFiles/jed_color.dir/color.cpp.o.d"
+  "CMakeFiles/jed_color.dir/colormap.cpp.o"
+  "CMakeFiles/jed_color.dir/colormap.cpp.o.d"
+  "libjed_color.a"
+  "libjed_color.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jed_color.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jedule/dag/dag.cpp" "src/jedule/dag/CMakeFiles/jed_dag.dir/dag.cpp.o" "gcc" "src/jedule/dag/CMakeFiles/jed_dag.dir/dag.cpp.o.d"
+  "/root/repo/src/jedule/dag/dot.cpp" "src/jedule/dag/CMakeFiles/jed_dag.dir/dot.cpp.o" "gcc" "src/jedule/dag/CMakeFiles/jed_dag.dir/dot.cpp.o.d"
+  "/root/repo/src/jedule/dag/generators.cpp" "src/jedule/dag/CMakeFiles/jed_dag.dir/generators.cpp.o" "gcc" "src/jedule/dag/CMakeFiles/jed_dag.dir/generators.cpp.o.d"
+  "/root/repo/src/jedule/dag/montage.cpp" "src/jedule/dag/CMakeFiles/jed_dag.dir/montage.cpp.o" "gcc" "src/jedule/dag/CMakeFiles/jed_dag.dir/montage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jedule/util/CMakeFiles/jed_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

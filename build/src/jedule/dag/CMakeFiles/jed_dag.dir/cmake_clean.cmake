@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jed_dag.dir/dag.cpp.o"
+  "CMakeFiles/jed_dag.dir/dag.cpp.o.d"
+  "CMakeFiles/jed_dag.dir/dot.cpp.o"
+  "CMakeFiles/jed_dag.dir/dot.cpp.o.d"
+  "CMakeFiles/jed_dag.dir/generators.cpp.o"
+  "CMakeFiles/jed_dag.dir/generators.cpp.o.d"
+  "CMakeFiles/jed_dag.dir/montage.cpp.o"
+  "CMakeFiles/jed_dag.dir/montage.cpp.o.d"
+  "libjed_dag.a"
+  "libjed_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jed_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jed_interactive.dir/session.cpp.o"
+  "CMakeFiles/jed_interactive.dir/session.cpp.o.d"
+  "libjed_interactive.a"
+  "libjed_interactive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jed_interactive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

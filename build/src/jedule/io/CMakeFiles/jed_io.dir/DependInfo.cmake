@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jedule/io/colormap_xml.cpp" "src/jedule/io/CMakeFiles/jed_io.dir/colormap_xml.cpp.o" "gcc" "src/jedule/io/CMakeFiles/jed_io.dir/colormap_xml.cpp.o.d"
+  "/root/repo/src/jedule/io/csv.cpp" "src/jedule/io/CMakeFiles/jed_io.dir/csv.cpp.o" "gcc" "src/jedule/io/CMakeFiles/jed_io.dir/csv.cpp.o.d"
+  "/root/repo/src/jedule/io/file.cpp" "src/jedule/io/CMakeFiles/jed_io.dir/file.cpp.o" "gcc" "src/jedule/io/CMakeFiles/jed_io.dir/file.cpp.o.d"
+  "/root/repo/src/jedule/io/jedule_xml.cpp" "src/jedule/io/CMakeFiles/jed_io.dir/jedule_xml.cpp.o" "gcc" "src/jedule/io/CMakeFiles/jed_io.dir/jedule_xml.cpp.o.d"
+  "/root/repo/src/jedule/io/registry.cpp" "src/jedule/io/CMakeFiles/jed_io.dir/registry.cpp.o" "gcc" "src/jedule/io/CMakeFiles/jed_io.dir/registry.cpp.o.d"
+  "/root/repo/src/jedule/io/swf.cpp" "src/jedule/io/CMakeFiles/jed_io.dir/swf.cpp.o" "gcc" "src/jedule/io/CMakeFiles/jed_io.dir/swf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jedule/model/CMakeFiles/jed_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/jedule/color/CMakeFiles/jed_color.dir/DependInfo.cmake"
+  "/root/repo/build/src/jedule/xml/CMakeFiles/jed_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/jedule/util/CMakeFiles/jed_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

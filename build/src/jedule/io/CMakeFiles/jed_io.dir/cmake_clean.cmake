@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jed_io.dir/colormap_xml.cpp.o"
+  "CMakeFiles/jed_io.dir/colormap_xml.cpp.o.d"
+  "CMakeFiles/jed_io.dir/csv.cpp.o"
+  "CMakeFiles/jed_io.dir/csv.cpp.o.d"
+  "CMakeFiles/jed_io.dir/file.cpp.o"
+  "CMakeFiles/jed_io.dir/file.cpp.o.d"
+  "CMakeFiles/jed_io.dir/jedule_xml.cpp.o"
+  "CMakeFiles/jed_io.dir/jedule_xml.cpp.o.d"
+  "CMakeFiles/jed_io.dir/registry.cpp.o"
+  "CMakeFiles/jed_io.dir/registry.cpp.o.d"
+  "CMakeFiles/jed_io.dir/swf.cpp.o"
+  "CMakeFiles/jed_io.dir/swf.cpp.o.d"
+  "libjed_io.a"
+  "libjed_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jed_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

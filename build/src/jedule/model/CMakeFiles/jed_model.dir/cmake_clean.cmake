@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jed_model.dir/builder.cpp.o"
+  "CMakeFiles/jed_model.dir/builder.cpp.o.d"
+  "CMakeFiles/jed_model.dir/composite.cpp.o"
+  "CMakeFiles/jed_model.dir/composite.cpp.o.d"
+  "CMakeFiles/jed_model.dir/schedule.cpp.o"
+  "CMakeFiles/jed_model.dir/schedule.cpp.o.d"
+  "CMakeFiles/jed_model.dir/stats.cpp.o"
+  "CMakeFiles/jed_model.dir/stats.cpp.o.d"
+  "libjed_model.a"
+  "libjed_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jed_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

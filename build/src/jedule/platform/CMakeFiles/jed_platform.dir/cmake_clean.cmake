@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jed_platform.dir/platform.cpp.o"
+  "CMakeFiles/jed_platform.dir/platform.cpp.o.d"
+  "libjed_platform.a"
+  "libjed_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jed_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjed_platform.a"
+)

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jedule/render/ascii.cpp" "src/jedule/render/CMakeFiles/jed_render.dir/ascii.cpp.o" "gcc" "src/jedule/render/CMakeFiles/jed_render.dir/ascii.cpp.o.d"
+  "/root/repo/src/jedule/render/canvas.cpp" "src/jedule/render/CMakeFiles/jed_render.dir/canvas.cpp.o" "gcc" "src/jedule/render/CMakeFiles/jed_render.dir/canvas.cpp.o.d"
+  "/root/repo/src/jedule/render/deflate.cpp" "src/jedule/render/CMakeFiles/jed_render.dir/deflate.cpp.o" "gcc" "src/jedule/render/CMakeFiles/jed_render.dir/deflate.cpp.o.d"
+  "/root/repo/src/jedule/render/export.cpp" "src/jedule/render/CMakeFiles/jed_render.dir/export.cpp.o" "gcc" "src/jedule/render/CMakeFiles/jed_render.dir/export.cpp.o.d"
+  "/root/repo/src/jedule/render/font.cpp" "src/jedule/render/CMakeFiles/jed_render.dir/font.cpp.o" "gcc" "src/jedule/render/CMakeFiles/jed_render.dir/font.cpp.o.d"
+  "/root/repo/src/jedule/render/framebuffer.cpp" "src/jedule/render/CMakeFiles/jed_render.dir/framebuffer.cpp.o" "gcc" "src/jedule/render/CMakeFiles/jed_render.dir/framebuffer.cpp.o.d"
+  "/root/repo/src/jedule/render/gantt.cpp" "src/jedule/render/CMakeFiles/jed_render.dir/gantt.cpp.o" "gcc" "src/jedule/render/CMakeFiles/jed_render.dir/gantt.cpp.o.d"
+  "/root/repo/src/jedule/render/inflate.cpp" "src/jedule/render/CMakeFiles/jed_render.dir/inflate.cpp.o" "gcc" "src/jedule/render/CMakeFiles/jed_render.dir/inflate.cpp.o.d"
+  "/root/repo/src/jedule/render/pdf.cpp" "src/jedule/render/CMakeFiles/jed_render.dir/pdf.cpp.o" "gcc" "src/jedule/render/CMakeFiles/jed_render.dir/pdf.cpp.o.d"
+  "/root/repo/src/jedule/render/png.cpp" "src/jedule/render/CMakeFiles/jed_render.dir/png.cpp.o" "gcc" "src/jedule/render/CMakeFiles/jed_render.dir/png.cpp.o.d"
+  "/root/repo/src/jedule/render/ppm.cpp" "src/jedule/render/CMakeFiles/jed_render.dir/ppm.cpp.o" "gcc" "src/jedule/render/CMakeFiles/jed_render.dir/ppm.cpp.o.d"
+  "/root/repo/src/jedule/render/profile.cpp" "src/jedule/render/CMakeFiles/jed_render.dir/profile.cpp.o" "gcc" "src/jedule/render/CMakeFiles/jed_render.dir/profile.cpp.o.d"
+  "/root/repo/src/jedule/render/raster_canvas.cpp" "src/jedule/render/CMakeFiles/jed_render.dir/raster_canvas.cpp.o" "gcc" "src/jedule/render/CMakeFiles/jed_render.dir/raster_canvas.cpp.o.d"
+  "/root/repo/src/jedule/render/svg.cpp" "src/jedule/render/CMakeFiles/jed_render.dir/svg.cpp.o" "gcc" "src/jedule/render/CMakeFiles/jed_render.dir/svg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jedule/model/CMakeFiles/jed_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/jedule/color/CMakeFiles/jed_color.dir/DependInfo.cmake"
+  "/root/repo/build/src/jedule/io/CMakeFiles/jed_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/jedule/util/CMakeFiles/jed_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/jedule/xml/CMakeFiles/jed_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jed_render.dir/ascii.cpp.o"
+  "CMakeFiles/jed_render.dir/ascii.cpp.o.d"
+  "CMakeFiles/jed_render.dir/canvas.cpp.o"
+  "CMakeFiles/jed_render.dir/canvas.cpp.o.d"
+  "CMakeFiles/jed_render.dir/deflate.cpp.o"
+  "CMakeFiles/jed_render.dir/deflate.cpp.o.d"
+  "CMakeFiles/jed_render.dir/export.cpp.o"
+  "CMakeFiles/jed_render.dir/export.cpp.o.d"
+  "CMakeFiles/jed_render.dir/font.cpp.o"
+  "CMakeFiles/jed_render.dir/font.cpp.o.d"
+  "CMakeFiles/jed_render.dir/framebuffer.cpp.o"
+  "CMakeFiles/jed_render.dir/framebuffer.cpp.o.d"
+  "CMakeFiles/jed_render.dir/gantt.cpp.o"
+  "CMakeFiles/jed_render.dir/gantt.cpp.o.d"
+  "CMakeFiles/jed_render.dir/inflate.cpp.o"
+  "CMakeFiles/jed_render.dir/inflate.cpp.o.d"
+  "CMakeFiles/jed_render.dir/pdf.cpp.o"
+  "CMakeFiles/jed_render.dir/pdf.cpp.o.d"
+  "CMakeFiles/jed_render.dir/png.cpp.o"
+  "CMakeFiles/jed_render.dir/png.cpp.o.d"
+  "CMakeFiles/jed_render.dir/ppm.cpp.o"
+  "CMakeFiles/jed_render.dir/ppm.cpp.o.d"
+  "CMakeFiles/jed_render.dir/profile.cpp.o"
+  "CMakeFiles/jed_render.dir/profile.cpp.o.d"
+  "CMakeFiles/jed_render.dir/raster_canvas.cpp.o"
+  "CMakeFiles/jed_render.dir/raster_canvas.cpp.o.d"
+  "CMakeFiles/jed_render.dir/svg.cpp.o"
+  "CMakeFiles/jed_render.dir/svg.cpp.o.d"
+  "libjed_render.a"
+  "libjed_render.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jed_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

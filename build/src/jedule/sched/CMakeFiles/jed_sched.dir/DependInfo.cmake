@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jedule/sched/allocation.cpp" "src/jedule/sched/CMakeFiles/jed_sched.dir/allocation.cpp.o" "gcc" "src/jedule/sched/CMakeFiles/jed_sched.dir/allocation.cpp.o.d"
+  "/root/repo/src/jedule/sched/backfill.cpp" "src/jedule/sched/CMakeFiles/jed_sched.dir/backfill.cpp.o" "gcc" "src/jedule/sched/CMakeFiles/jed_sched.dir/backfill.cpp.o.d"
+  "/root/repo/src/jedule/sched/cra.cpp" "src/jedule/sched/CMakeFiles/jed_sched.dir/cra.cpp.o" "gcc" "src/jedule/sched/CMakeFiles/jed_sched.dir/cra.cpp.o.d"
+  "/root/repo/src/jedule/sched/heft.cpp" "src/jedule/sched/CMakeFiles/jed_sched.dir/heft.cpp.o" "gcc" "src/jedule/sched/CMakeFiles/jed_sched.dir/heft.cpp.o.d"
+  "/root/repo/src/jedule/sched/mapping.cpp" "src/jedule/sched/CMakeFiles/jed_sched.dir/mapping.cpp.o" "gcc" "src/jedule/sched/CMakeFiles/jed_sched.dir/mapping.cpp.o.d"
+  "/root/repo/src/jedule/sched/mtask.cpp" "src/jedule/sched/CMakeFiles/jed_sched.dir/mtask.cpp.o" "gcc" "src/jedule/sched/CMakeFiles/jed_sched.dir/mtask.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jedule/sim/CMakeFiles/jed_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/jedule/dag/CMakeFiles/jed_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/jedule/platform/CMakeFiles/jed_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/jedule/model/CMakeFiles/jed_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/jedule/util/CMakeFiles/jed_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

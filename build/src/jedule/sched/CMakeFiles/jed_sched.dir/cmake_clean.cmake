@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jed_sched.dir/allocation.cpp.o"
+  "CMakeFiles/jed_sched.dir/allocation.cpp.o.d"
+  "CMakeFiles/jed_sched.dir/backfill.cpp.o"
+  "CMakeFiles/jed_sched.dir/backfill.cpp.o.d"
+  "CMakeFiles/jed_sched.dir/cra.cpp.o"
+  "CMakeFiles/jed_sched.dir/cra.cpp.o.d"
+  "CMakeFiles/jed_sched.dir/heft.cpp.o"
+  "CMakeFiles/jed_sched.dir/heft.cpp.o.d"
+  "CMakeFiles/jed_sched.dir/mapping.cpp.o"
+  "CMakeFiles/jed_sched.dir/mapping.cpp.o.d"
+  "CMakeFiles/jed_sched.dir/mtask.cpp.o"
+  "CMakeFiles/jed_sched.dir/mtask.cpp.o.d"
+  "libjed_sched.a"
+  "libjed_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jed_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

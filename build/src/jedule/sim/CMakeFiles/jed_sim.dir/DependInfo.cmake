@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jedule/sim/dag_execution.cpp" "src/jedule/sim/CMakeFiles/jed_sim.dir/dag_execution.cpp.o" "gcc" "src/jedule/sim/CMakeFiles/jed_sim.dir/dag_execution.cpp.o.d"
+  "/root/repo/src/jedule/sim/engine.cpp" "src/jedule/sim/CMakeFiles/jed_sim.dir/engine.cpp.o" "gcc" "src/jedule/sim/CMakeFiles/jed_sim.dir/engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jedule/dag/CMakeFiles/jed_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/jedule/platform/CMakeFiles/jed_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/jedule/model/CMakeFiles/jed_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/jedule/util/CMakeFiles/jed_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jed_sim.dir/dag_execution.cpp.o"
+  "CMakeFiles/jed_sim.dir/dag_execution.cpp.o.d"
+  "CMakeFiles/jed_sim.dir/engine.cpp.o"
+  "CMakeFiles/jed_sim.dir/engine.cpp.o.d"
+  "libjed_sim.a"
+  "libjed_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jed_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

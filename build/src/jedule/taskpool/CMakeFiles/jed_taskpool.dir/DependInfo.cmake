@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jedule/taskpool/log_schedule.cpp" "src/jedule/taskpool/CMakeFiles/jed_taskpool.dir/log_schedule.cpp.o" "gcc" "src/jedule/taskpool/CMakeFiles/jed_taskpool.dir/log_schedule.cpp.o.d"
+  "/root/repo/src/jedule/taskpool/pool.cpp" "src/jedule/taskpool/CMakeFiles/jed_taskpool.dir/pool.cpp.o" "gcc" "src/jedule/taskpool/CMakeFiles/jed_taskpool.dir/pool.cpp.o.d"
+  "/root/repo/src/jedule/taskpool/quicksort.cpp" "src/jedule/taskpool/CMakeFiles/jed_taskpool.dir/quicksort.cpp.o" "gcc" "src/jedule/taskpool/CMakeFiles/jed_taskpool.dir/quicksort.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jedule/model/CMakeFiles/jed_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/jedule/util/CMakeFiles/jed_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

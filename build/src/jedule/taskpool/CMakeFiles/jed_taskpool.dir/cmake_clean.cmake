@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jed_taskpool.dir/log_schedule.cpp.o"
+  "CMakeFiles/jed_taskpool.dir/log_schedule.cpp.o.d"
+  "CMakeFiles/jed_taskpool.dir/pool.cpp.o"
+  "CMakeFiles/jed_taskpool.dir/pool.cpp.o.d"
+  "CMakeFiles/jed_taskpool.dir/quicksort.cpp.o"
+  "CMakeFiles/jed_taskpool.dir/quicksort.cpp.o.d"
+  "libjed_taskpool.a"
+  "libjed_taskpool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jed_taskpool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jedule/util/log.cpp" "src/jedule/util/CMakeFiles/jed_util.dir/log.cpp.o" "gcc" "src/jedule/util/CMakeFiles/jed_util.dir/log.cpp.o.d"
+  "/root/repo/src/jedule/util/rng.cpp" "src/jedule/util/CMakeFiles/jed_util.dir/rng.cpp.o" "gcc" "src/jedule/util/CMakeFiles/jed_util.dir/rng.cpp.o.d"
+  "/root/repo/src/jedule/util/strings.cpp" "src/jedule/util/CMakeFiles/jed_util.dir/strings.cpp.o" "gcc" "src/jedule/util/CMakeFiles/jed_util.dir/strings.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jed_util.dir/log.cpp.o"
+  "CMakeFiles/jed_util.dir/log.cpp.o.d"
+  "CMakeFiles/jed_util.dir/rng.cpp.o"
+  "CMakeFiles/jed_util.dir/rng.cpp.o.d"
+  "CMakeFiles/jed_util.dir/strings.cpp.o"
+  "CMakeFiles/jed_util.dir/strings.cpp.o.d"
+  "libjed_util.a"
+  "libjed_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jed_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jed_workload.dir/swf_parser.cpp.o"
+  "CMakeFiles/jed_workload.dir/swf_parser.cpp.o.d"
+  "CMakeFiles/jed_workload.dir/thunder.cpp.o"
+  "CMakeFiles/jed_workload.dir/thunder.cpp.o.d"
+  "CMakeFiles/jed_workload.dir/trace_schedule.cpp.o"
+  "CMakeFiles/jed_workload.dir/trace_schedule.cpp.o.d"
+  "libjed_workload.a"
+  "libjed_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jed_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

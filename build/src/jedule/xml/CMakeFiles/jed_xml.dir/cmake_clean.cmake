@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jed_xml.dir/xml.cpp.o"
+  "CMakeFiles/jed_xml.dir/xml.cpp.o.d"
+  "libjed_xml.a"
+  "libjed_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jed_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_colormap.dir/test_colormap.cpp.o"
+  "CMakeFiles/test_colormap.dir/test_colormap.cpp.o.d"
+  "test_colormap"
+  "test_colormap.pdb"
+  "test_colormap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_colormap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interactive.dir/test_interactive.cpp.o"
+  "CMakeFiles/test_interactive.dir/test_interactive.cpp.o.d"
+  "test_interactive"
+  "test_interactive.pdb"
+  "test_interactive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interactive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_jedule_xml.dir/test_io_jedule_xml.cpp.o"
+  "CMakeFiles/test_io_jedule_xml.dir/test_io_jedule_xml.cpp.o.d"
+  "test_io_jedule_xml"
+  "test_io_jedule_xml.pdb"
+  "test_io_jedule_xml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_jedule_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

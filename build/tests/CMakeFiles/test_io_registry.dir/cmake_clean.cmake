@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_registry.dir/test_io_registry.cpp.o"
+  "CMakeFiles/test_io_registry.dir/test_io_registry.cpp.o.d"
+  "test_io_registry"
+  "test_io_registry.pdb"
+  "test_io_registry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_schedule.dir/test_model_schedule.cpp.o"
+  "CMakeFiles/test_model_schedule.dir/test_model_schedule.cpp.o.d"
+  "test_model_schedule"
+  "test_model_schedule.pdb"
+  "test_model_schedule[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_stats.dir/test_model_stats.cpp.o"
+  "CMakeFiles/test_model_stats.dir/test_model_stats.cpp.o.d"
+  "test_model_stats"
+  "test_model_stats.pdb"
+  "test_model_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_render_ascii.dir/test_render_ascii.cpp.o"
+  "CMakeFiles/test_render_ascii.dir/test_render_ascii.cpp.o.d"
+  "test_render_ascii"
+  "test_render_ascii.pdb"
+  "test_render_ascii[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_render_ascii.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

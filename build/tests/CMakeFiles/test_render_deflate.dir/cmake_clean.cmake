@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_render_deflate.dir/test_render_deflate.cpp.o"
+  "CMakeFiles/test_render_deflate.dir/test_render_deflate.cpp.o.d"
+  "test_render_deflate"
+  "test_render_deflate.pdb"
+  "test_render_deflate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_render_deflate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_render_font.dir/test_render_font.cpp.o"
+  "CMakeFiles/test_render_font.dir/test_render_font.cpp.o.d"
+  "test_render_font"
+  "test_render_font.pdb"
+  "test_render_font[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_render_font.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_render_framebuffer.dir/test_render_framebuffer.cpp.o"
+  "CMakeFiles/test_render_framebuffer.dir/test_render_framebuffer.cpp.o.d"
+  "test_render_framebuffer"
+  "test_render_framebuffer.pdb"
+  "test_render_framebuffer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_render_framebuffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

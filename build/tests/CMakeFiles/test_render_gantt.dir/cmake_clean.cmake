@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_render_gantt.dir/test_render_gantt.cpp.o"
+  "CMakeFiles/test_render_gantt.dir/test_render_gantt.cpp.o.d"
+  "test_render_gantt"
+  "test_render_gantt.pdb"
+  "test_render_gantt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_render_gantt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

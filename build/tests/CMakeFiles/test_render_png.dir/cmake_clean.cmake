@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_render_png.dir/test_render_png.cpp.o"
+  "CMakeFiles/test_render_png.dir/test_render_png.cpp.o.d"
+  "test_render_png"
+  "test_render_png.pdb"
+  "test_render_png[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_render_png.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_render_profile.dir/test_render_profile.cpp.o"
+  "CMakeFiles/test_render_profile.dir/test_render_profile.cpp.o.d"
+  "test_render_profile"
+  "test_render_profile.pdb"
+  "test_render_profile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_render_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

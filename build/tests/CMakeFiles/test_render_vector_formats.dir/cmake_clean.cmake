@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_render_vector_formats.dir/test_render_vector_formats.cpp.o"
+  "CMakeFiles/test_render_vector_formats.dir/test_render_vector_formats.cpp.o.d"
+  "test_render_vector_formats"
+  "test_render_vector_formats.pdb"
+  "test_render_vector_formats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_render_vector_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

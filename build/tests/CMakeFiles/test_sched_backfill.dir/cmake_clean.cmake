@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_backfill.dir/test_sched_backfill.cpp.o"
+  "CMakeFiles/test_sched_backfill.dir/test_sched_backfill.cpp.o.d"
+  "test_sched_backfill"
+  "test_sched_backfill.pdb"
+  "test_sched_backfill[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_backfill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_cra.dir/test_sched_cra.cpp.o"
+  "CMakeFiles/test_sched_cra.dir/test_sched_cra.cpp.o.d"
+  "test_sched_cra"
+  "test_sched_cra.pdb"
+  "test_sched_cra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_cra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_heft.dir/test_sched_heft.cpp.o"
+  "CMakeFiles/test_sched_heft.dir/test_sched_heft.cpp.o.d"
+  "test_sched_heft"
+  "test_sched_heft.pdb"
+  "test_sched_heft[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_heft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

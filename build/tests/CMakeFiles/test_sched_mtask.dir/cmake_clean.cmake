@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_mtask.dir/test_sched_mtask.cpp.o"
+  "CMakeFiles/test_sched_mtask.dir/test_sched_mtask.cpp.o.d"
+  "test_sched_mtask"
+  "test_sched_mtask.pdb"
+  "test_sched_mtask[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_mtask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_taskpool.dir/test_taskpool.cpp.o"
+  "CMakeFiles/test_taskpool.dir/test_taskpool.cpp.o.d"
+  "test_taskpool"
+  "test_taskpool.pdb"
+  "test_taskpool[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_taskpool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_type_filter.dir/test_type_filter.cpp.o"
+  "CMakeFiles/test_type_filter.dir/test_type_filter.cpp.o.d"
+  "test_type_filter"
+  "test_type_filter.pdb"
+  "test_type_filter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_type_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
