@@ -1,21 +1,26 @@
 // Scale bench — the paper's Sec. VI claim that "Jedule can handle big data
 // sets required to analyze fine-grained task parallel applications ... more
 // than 200,000 individual tasks": composite synthesis, layout, raster
-// painting, PNG encoding and XML parsing at growing task counts.
+// painting, PNG encoding and XML parsing at growing task counts, each with
+// a serial vs multi-threaded comparison (outputs must be byte-identical).
 
 #include "bench_report.hpp"
 #include "jedule/io/jedule_xml.hpp"
 #include "jedule/model/builder.hpp"
 #include "jedule/model/composite.hpp"
 #include "jedule/render/export.hpp"
+#include "jedule/render/exporter.hpp"
 #include "jedule/render/deflate.hpp"
 #include "jedule/render/png.hpp"
+#include "jedule/util/parallel.hpp"
 #include "jedule/util/rng.hpp"
 #include "jedule/util/stopwatch.hpp"
 
 namespace {
 
 using namespace jedule;
+
+constexpr int kBenchThreads = 8;
 
 model::Schedule big_schedule(int tasks) {
   // Fine-grained task-pool style trace: 64 "threads", alternating exec and
@@ -38,6 +43,28 @@ model::Schedule big_schedule(int tasks) {
   return builder.build();
 }
 
+bool same_composites(const std::vector<model::Composite>& a,
+                     const std::vector<model::Composite>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].task.id() != b[i].task.id() ||
+        a[i].member_ids != b[i].member_ids ||
+        a[i].member_types != b[i].member_types) {
+      return false;
+    }
+  }
+  return true;
+}
+
+render::RenderOptions bench_options(int threads) {
+  render::RenderOptions options;
+  options.style.width = 1280;
+  options.style.height = 720;
+  options.style.show_labels = false;
+  options.threads = threads;
+  return options;
+}
+
 void report() {
   using namespace jedule::bench;
   report_header("scale", "'Jedule can handle big data sets ... more than "
@@ -49,24 +76,76 @@ void report() {
 
   watch.reset();
   const auto composites = model::synthesize_composites(schedule);
-  report_row("composite sweep", fmt(watch.seconds(), 2) + " s (" +
-                                    std::to_string(composites.size()) +
-                                    " overlaps)");
-
-  render::GanttStyle style;
-  style.width = 1280;
-  style.height = 720;
-  style.show_labels = false;
+  const double composite_serial = watch.seconds();
+  report_row("composite sweep (1 thread)",
+             fmt(composite_serial, 2) + " s (" +
+                 std::to_string(composites.size()) + " overlaps)");
   watch.reset();
-  const auto fb =
-      render::render_raster(schedule, color::standard_colormap(), style);
-  report_row("layout + raster paint", fmt(watch.seconds(), 2) + " s");
+  const auto composites_mt =
+      model::synthesize_composites(schedule, nullptr, kBenchThreads);
+  const double composite_parallel = watch.seconds();
+  report_row("composite sweep (" + std::to_string(kBenchThreads) + " threads)",
+             fmt(composite_parallel, 2) + " s (" +
+                 fmt(composite_serial / composite_parallel, 1) + "x)");
+  report_check("parallel composite sweep matches serial",
+               same_composites(composites_mt, composites));
+
+  watch.reset();
+  const auto fb = render::render_raster(schedule, bench_options(1));
+  const double paint_serial = watch.seconds();
+  report_row("layout + raster paint (1 thread)",
+             fmt(paint_serial, 2) + " s");
+  watch.reset();
+  const auto fb_mt = render::render_raster(schedule,
+                                           bench_options(kBenchThreads));
+  const double paint_parallel = watch.seconds();
+  report_row("layout + raster paint (" + std::to_string(kBenchThreads) +
+                 " threads)",
+             fmt(paint_parallel, 2) + " s (" +
+                 fmt(paint_serial / paint_parallel, 1) + "x)");
+  report_check("banded raster paint matches serial",
+               fb_mt.pixels() == fb.pixels());
 
   watch.reset();
   const auto png = render::encode_png(fb);
-  report_row("PNG encode",
-             fmt(watch.seconds(), 2) + " s (" + std::to_string(png.size()) +
+  const double png_serial = watch.seconds();
+  report_row("PNG encode (1 thread)",
+             fmt(png_serial, 2) + " s (" + std::to_string(png.size()) +
                  " bytes)");
+  watch.reset();
+  const auto png_mt = render::encode_png(fb_mt, kBenchThreads);
+  const double png_parallel = watch.seconds();
+  report_row("PNG encode (" + std::to_string(kBenchThreads) + " threads)",
+             fmt(png_parallel, 2) + " s (" +
+                 fmt(png_serial / png_parallel, 1) + "x)");
+  report_check("parallel PNG encode is byte-identical", png_mt == png);
+
+  // End-to-end export: the acceptance target for the parallel pipeline is
+  // >= 2x on the 250k-task PNG export with 8 threads.
+  watch.reset();
+  const auto bytes_serial =
+      render::render_to_bytes(schedule, bench_options(1), "png");
+  const double e2e_serial = watch.seconds();
+  report_row("end-to-end PNG export (1 thread)", fmt(e2e_serial, 2) + " s");
+  watch.reset();
+  const auto bytes_parallel =
+      render::render_to_bytes(schedule, bench_options(kBenchThreads), "png");
+  const double e2e_parallel = watch.seconds();
+  report_row("end-to-end PNG export (" + std::to_string(kBenchThreads) +
+                 " threads)",
+             fmt(e2e_parallel, 2) + " s (" +
+                 fmt(e2e_serial / e2e_parallel, 1) + "x)");
+  report_check("parallel export is byte-identical",
+               bytes_parallel == bytes_serial);
+  if (util::hardware_threads() >= 2) {
+    report_check("250k-task PNG export >= 2x with " +
+                     std::to_string(kBenchThreads) + " threads",
+                 e2e_serial / e2e_parallel >= 2.0);
+  } else {
+    report_row("250k-task PNG export >= 2x with " +
+                   std::to_string(kBenchThreads) + " threads",
+               "skipped (single-core host)");
+  }
 
   // Ablation: the in-tree fixed-Huffman deflate vs stored blocks — the
   // LZ77 stage is what keeps chart PNGs small.
@@ -97,44 +176,45 @@ void report() {
 
 void BM_Composites(benchmark::State& state) {
   const auto schedule = big_schedule(static_cast<int>(state.range(0)));
+  const int threads = static_cast<int>(state.range(1));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(model::synthesize_composites(schedule));
+    benchmark::DoNotOptimize(
+        model::synthesize_composites(schedule, nullptr, threads));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_Composites)->Arg(10000)->Arg(50000)->Arg(200000)
+BENCHMARK(BM_Composites)
+    ->Args({10000, 1})->Args({50000, 1})->Args({200000, 1})
+    ->Args({10000, kBenchThreads})->Args({50000, kBenchThreads})
+    ->Args({200000, kBenchThreads})
     ->Unit(benchmark::kMillisecond);
 
 void BM_LayoutAndPaint(benchmark::State& state) {
   const auto schedule = big_schedule(static_cast<int>(state.range(0)));
-  render::GanttStyle style;
-  style.width = 1280;
-  style.height = 720;
-  style.show_labels = false;
+  const auto options = bench_options(static_cast<int>(state.range(1)));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        render::render_raster(schedule, color::standard_colormap(), style));
+    benchmark::DoNotOptimize(render::render_raster(schedule, options));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_LayoutAndPaint)->Arg(10000)->Arg(50000)->Arg(200000)
+BENCHMARK(BM_LayoutAndPaint)
+    ->Args({10000, 1})->Args({50000, 1})->Args({200000, 1})
+    ->Args({10000, kBenchThreads})->Args({50000, kBenchThreads})
+    ->Args({200000, kBenchThreads})
     ->Unit(benchmark::kMillisecond);
 
 void BM_PngEncode(benchmark::State& state) {
   const auto schedule = big_schedule(50000);
-  render::GanttStyle style;
-  style.width = 1280;
-  style.height = 720;
-  style.show_labels = false;
-  const auto fb =
-      render::render_raster(schedule, color::standard_colormap(), style);
+  const auto fb = render::render_raster(schedule, bench_options(1));
+  const int threads = static_cast<int>(state.range(0));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(render::encode_png(fb));
+    benchmark::DoNotOptimize(render::encode_png(fb, threads));
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
                           fb.width() * fb.height() * 3);
 }
-BENCHMARK(BM_PngEncode)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PngEncode)->Arg(1)->Arg(kBenchThreads)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_XmlParse(benchmark::State& state) {
   const auto xml =

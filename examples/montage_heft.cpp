@@ -19,11 +19,10 @@ int main(int argc, char** argv) {
   const dag::Dag montage = dag::montage_case_study();
   std::cout << "Montage instance: " << montage.node_count() << " nodes\n";
 
-  const color::ColorMap cmap = color::standard_colormap();
-  render::GanttStyle style;
-  style.width = 1000;
-  style.height = 640;
-  style.view_mode = model::ViewMode::kAligned;
+  render::RenderOptions options;
+  options.style.width = 1000;
+  options.style.height = 640;
+  options.style.view_mode = model::ViewMode::kAligned;
 
   struct Variant {
     const char* name;
@@ -59,7 +58,7 @@ int main(int argc, char** argv) {
     std::cout << "\n";
 
     const auto schedule = sched::heft_to_schedule(montage, platform, result);
-    render::export_schedule(schedule, cmap, style, dir + v.file);
+    render::export_schedule(schedule, options, dir + v.file);
     std::cout << "  -> " << dir << v.file << "\n";
   }
 

@@ -20,10 +20,9 @@ int main(int argc, char** argv) {
   const dag::Dag graph = dag::mcpa_pathological_dag(procs);
   const platform::Platform cluster = platform::homogeneous_cluster(procs);
 
-  const color::ColorMap cmap = color::standard_colormap();
-  render::GanttStyle style;
-  style.width = 900;
-  style.height = 500;
+  render::RenderOptions options;
+  options.style.width = 900;
+  options.style.height = 500;
 
   std::cout << "DAG: " << graph.node_count() << " nodes, width "
             << graph.width() << "; cluster: " << procs << " procs\n\n";
@@ -41,7 +40,7 @@ int main(int argc, char** argv) {
 
     const std::string file =
         dir + "/mtask_" + std::string(sched::algorithm_name(algo)) + ".png";
-    render::export_schedule(schedule, cmap, style, file);
+    render::export_schedule(schedule, options, file);
     std::cout << "  -> " << file << "\n";
   }
 

@@ -30,10 +30,9 @@ int main(int argc, char** argv) {
     apps.push_back(dag::layered_random(o, rng));
   }
 
-  const color::ColorMap cmap = color::standard_colormap();
-  render::GanttStyle style;
-  style.width = 1000;
-  style.height = 520;
+  render::RenderOptions render_options;
+  render_options.style.width = 1000;
+  render_options.style.height = 520;
 
   for (const auto metric :
        {sched::ShareMetric::kWork, sched::ShareMetric::kWidth}) {
@@ -58,7 +57,7 @@ int main(int argc, char** argv) {
 
     const std::string file = std::string(dir) + "/cra_" +
                              sched::share_metric_name(metric) + ".png";
-    render::export_schedule(result.schedule, cmap, style, file);
+    render::export_schedule(result.schedule, render_options, file);
     std::cout << "  -> " << file << "\n";
   }
   return 0;

@@ -42,15 +42,17 @@ int main(int argc, char** argv) {
   }
 
   // Render with the bundled colormap (blue computation, red transfer,
-  // orange composite) and with its grayscale version.
-  const color::ColorMap cmap = color::standard_colormap();
-  render::GanttStyle style;
-  style.width = 900;
-  style.height = 420;
-  render::export_schedule(schedule, cmap, style, dir + "/quickstart.png");
-  render::export_schedule(schedule, cmap, style, dir + "/quickstart.svg");
-  render::export_schedule(schedule, cmap.grayscale(), style,
-                          dir + "/quickstart_gray.png");
+  // orange composite) and with its grayscale version. A RenderOptions
+  // carries style + colormap + thread count through the exporter registry;
+  // threads = 0 means "JEDULE_THREADS env or hardware concurrency".
+  render::RenderOptions options;
+  options.style.width = 900;
+  options.style.height = 420;
+  render::export_schedule(schedule, options, dir + "/quickstart.png");
+  render::export_schedule(schedule, options, dir + "/quickstart.svg");
+  render::RenderOptions gray = options;
+  gray.colormap = gray.colormap.grayscale();
+  render::export_schedule(schedule, gray, dir + "/quickstart_gray.png");
 
   // Round-trip through the XML format of the paper's Fig. 1.
   io::save_schedule_xml(schedule, dir + "/quickstart.jed");

@@ -19,12 +19,11 @@ int main(int argc, char** argv) {
       argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 2'000'000;
   const std::string dir = argc > 3 ? argv[3] : ".";
 
-  const color::ColorMap cmap = color::standard_colormap();
-  render::GanttStyle style;
-  style.width = 1100;
-  style.height = 420;
-  style.show_labels = false;       // hundreds of tiny boxes
-  style.show_composites = false;   // exec/wait never overlap per thread
+  render::RenderOptions options;
+  options.style.width = 1100;
+  options.style.height = 420;
+  options.style.show_labels = false;      // hundreds of tiny boxes
+  options.style.show_composites = false;  // exec/wait never overlap per thread
 
   struct Run {
     const char* name;
@@ -54,7 +53,7 @@ int main(int argc, char** argv) {
     std::cout << "  fraction of time with exactly 1 busy thread: " << solo
               << "\n";
 
-    render::export_schedule(schedule, cmap, style, dir + r.file);
+    render::export_schedule(schedule, options, dir + r.file);
     std::cout << "  -> " << dir << r.file << "\n";
   }
   return 0;

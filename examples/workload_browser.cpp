@@ -48,7 +48,10 @@ int main(int argc, char** argv) {
   style.highlight_value = "6447";
 
   const color::ColorMap cmap = color::standard_colormap();
-  render::export_schedule(converted.schedule, cmap, style,
+  render::RenderOptions options;
+  options.style = style;
+  options.colormap = cmap;
+  render::export_schedule(converted.schedule, options,
                           dir + "/thunder_day.png");
   std::cout << "-> " << dir << "/thunder_day.png\n";
 

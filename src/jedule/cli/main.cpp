@@ -1,13 +1,16 @@
 // jedule — command-line mode of the schedule visualizer (paper Sec. II.D.2).
 //
 //   jedule render <schedule> --out out.png [options]   batch image export
+//   jedule batch <schedules...> --out-dir DIR          concurrent multi-export
 //   jedule view <schedule> [--script file]             scripted interactive mode
 //   jedule info <schedule>                             summary + statistics
 //   jedule convert <schedule> --out out.{xml,csv}      format conversion
-//   jedule formats                                     registered parsers
+//   jedule formats                                     registered parsers/exporters
 
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
+#include <map>
 #include <sstream>
 
 #include "jedule/cli/args.hpp"
@@ -21,46 +24,77 @@
 #include "jedule/io/registry.hpp"
 #include "jedule/model/stats.hpp"
 #include "jedule/render/ascii.hpp"
-#include "jedule/render/export.hpp"
+#include "jedule/render/exporter.hpp"
 #include "jedule/render/profile.hpp"
 #include "jedule/util/error.hpp"
 #include "jedule/util/log.hpp"
+#include "jedule/util/parallel.hpp"
 #include "jedule/util/strings.hpp"
 #include "jedule/workload/swf_parser.hpp"
 
 namespace jedule::cli {
 namespace {
 
-const char kUsage[] =
-    "usage: jedule <command> [options]\n"
-    "\n"
-    "commands:\n"
-    "  render <schedule> --out FILE    export an image (.png .ppm .svg .pdf)\n"
-    "  view <schedule> [--script FILE] scripted interactive session\n"
-    "  info <schedule>                 print schedule statistics\n"
-    "  convert <schedule> --out FILE   convert between formats (.xml .csv)\n"
-    "  formats                         list registered input parsers\n"
-    "  demo [NAME] [--out FILE]        regenerate a case-study schedule\n"
-    "                                  (no NAME lists the catalog)\n"
-    "  profile <schedule> --out FILE   utilization-over-time chart\n"
-    "                                  (.png .ppm .svg)\n"
-    "\n"
-    "render options:\n"
-    "  --out FILE          output image (required)\n"
-    "  --cmap FILE         colormap XML (default: built-in standard map)\n"
-    "  --grayscale         collapse the colormap to grays\n"
-    "  --width N           image width in pixels (default 1000)\n"
-    "  --height N          image height in pixels (default 600)\n"
-    "  --aligned           align cluster time axes (default: scaled)\n"
-    "  --window T0:T1      restrict the time axis to [T0, T1]\n"
-    "  --clusters IDS      comma-separated cluster ids to display\n"
-    "  --types NAMES       comma-separated task types to display\n"
-    "  --no-composites     do not synthesize overlap (composite) tasks\n"
-    "  --no-labels         do not draw task-id labels\n"
-    "  --hatch-composites  hatch composite rectangles (grayscale safety)\n"
-    "  --highlight K=V     highlight tasks whose property K equals V\n"
-    "  --format NAME       force the input parser (see 'jedule formats')\n"
-    "  --verbose           log progress to stderr\n";
+/// Built at startup so the format lists always match the exporter registry
+/// (a user-registered exporter shows up here automatically).
+std::string usage() {
+  const auto& registry = render::ExporterRegistry::instance();
+  std::string u =
+      "usage: jedule <command> [options]\n"
+      "\n"
+      "commands:\n"
+      "  render <schedule> --out FILE    export an image (" +
+      registry.extension_summary() +
+      ")\n"
+      "  batch <schedule...> --out-dir DIR\n"
+      "                                  export many schedules concurrently\n"
+      "  view <schedule> [--script FILE] scripted interactive session\n"
+      "  info <schedule>                 print schedule statistics\n"
+      "  convert <schedule> --out FILE   convert between formats (.xml .csv)\n"
+      "  formats                         list registered parsers and exporters\n"
+      "  demo [NAME] [--out FILE]        regenerate a case-study schedule\n"
+      "                                  (no NAME lists the catalog)\n"
+      "  profile <schedule> --out FILE   utilization-over-time chart\n"
+      "                                  (.png .ppm .svg)\n"
+      "\n"
+      "render options:\n"
+      "  --out FILE          output image (required)\n"
+      "  --cmap FILE         colormap XML (default: built-in standard map)\n"
+      "  --grayscale         collapse the colormap to grays\n"
+      "  --width N           image width in pixels (default 1000)\n"
+      "  --height N          image height in pixels (default 600)\n"
+      "  --aligned           align cluster time axes (default: scaled)\n"
+      "  --window T0:T1      restrict the time axis to [T0, T1]\n"
+      "  --clusters IDS      comma-separated cluster ids to display\n"
+      "  --types NAMES       comma-separated task types to display\n"
+      "  --no-composites     do not synthesize overlap (composite) tasks\n"
+      "  --no-labels         do not draw task-id labels\n"
+      "  --hatch-composites  hatch composite rectangles (grayscale safety)\n"
+      "  --highlight K=V     highlight tasks whose property K equals V\n"
+      "  --format NAME       force the input parser (see 'jedule formats')\n"
+      "  --image-format NAME force the output format: " +
+      util::join(registry.exporter_names(), " ") +
+      "\n"
+      "  --threads N         worker threads (default: JEDULE_THREADS env,\n"
+      "                      else hardware concurrency); output is identical\n"
+      "                      for every thread count\n"
+      "  --verbose           log progress to stderr\n"
+      "\n"
+      "batch options: render options plus\n"
+      "  --out-dir DIR       output directory (required; created if missing)\n"
+      "  --ext EXT           output extension, e.g. .png (default .png)\n"
+      "\n"
+      "output formats:\n";
+  for (const auto* exporter : registry.exporters()) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "  %-7s %-12s %s\n",
+                  exporter->name().c_str(),
+                  util::join(exporter->extensions(), " ").c_str(),
+                  exporter->description().c_str());
+    u += line;
+  }
+  return u;
+}
 
 render::GanttStyle style_from_args(const Args& args) {
   render::GanttStyle style;
@@ -113,6 +147,19 @@ color::ColorMap colormap_from_args(const Args& args) {
   return map;
 }
 
+/// The single options object handed CLI -> gantt -> exporter.
+render::RenderOptions options_from_args(const Args& args) {
+  render::RenderOptions options;
+  options.style = style_from_args(args);
+  options.colormap = colormap_from_args(args);
+  if (auto t = args.value("threads")) {
+    auto v = util::parse_int(*t);
+    if (!v || *v <= 0) throw ArgumentError("bad --threads");
+    options.threads = static_cast<int>(*v);
+  }
+  return options;
+}
+
 int cmd_render(const Args& args) {
   if (args.positional().size() != 2) {
     throw ArgumentError("render: expected exactly one schedule file");
@@ -123,10 +170,86 @@ int cmd_render(const Args& args) {
       io::load_schedule(args.positional()[1], args.value_or("format", ""));
   JED_INFO() << "loaded " << schedule.tasks().size() << " tasks from "
              << args.positional()[1];
-  render::export_schedule(schedule, colormap_from_args(args),
-                          style_from_args(args), *out);
-  JED_INFO() << "wrote " << *out;
+  const auto options = options_from_args(args);
+  render::export_schedule(schedule, options, *out,
+                          args.value_or("image-format", ""));
+  JED_INFO() << "wrote " << *out << " (threads=" << options.resolved_threads()
+             << ")";
   return 0;
+}
+
+int cmd_batch(const Args& args) {
+  const auto& pos = args.positional();
+  if (pos.size() < 2) {
+    throw ArgumentError("batch: expected at least one schedule file");
+  }
+  auto out_dir = args.value("out-dir");
+  if (!out_dir) throw ArgumentError("batch: --out-dir DIR is required");
+  std::string ext = args.value_or("ext", ".png");
+  if (!ext.empty() && ext[0] != '.') ext = "." + ext;
+  const std::string image_format = args.value_or("image-format", "");
+  const std::string parser_format = args.value_or("format", "");
+
+  // Validate the output format before doing any work.
+  const auto& registry = render::ExporterRegistry::instance();
+  if (image_format.empty()) {
+    if (registry.find_for_path("x" + ext) == nullptr) {
+      throw ArgumentError("batch: no exporter for extension '" + ext +
+                          "' (use " + registry.extension_summary() + ")");
+    }
+  } else if (registry.find(image_format) == nullptr) {
+    throw ArgumentError("batch: unknown --image-format '" + image_format +
+                        "' (available: " +
+                        util::join(registry.exporter_names(), ", ") + ")");
+  }
+
+  const std::vector<std::string> inputs(pos.begin() + 1, pos.end());
+  std::vector<std::string> outputs(inputs.size());
+  std::map<std::string, std::string> stem_of;  // collision -> first input
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const std::string stem = std::filesystem::path(inputs[i]).stem().string();
+    auto [it, inserted] = stem_of.emplace(stem, inputs[i]);
+    if (!inserted) {
+      throw ArgumentError("batch: '" + inputs[i] + "' and '" + it->second +
+                          "' would both write " + stem + ext);
+    }
+    outputs[i] = (std::filesystem::path(*out_dir) / (stem + ext)).string();
+  }
+  std::filesystem::create_directories(*out_dir);
+
+  // One shared worker pool: files are dealt to the workers, and whatever
+  // concurrency is not consumed at the file level is spent inside each
+  // render, so a single huge trace still uses every thread.
+  render::RenderOptions options = options_from_args(args);
+  const int threads = options.resolved_threads();
+  const int file_workers =
+      static_cast<int>(std::min<std::size_t>(inputs.size(),
+                                             static_cast<std::size_t>(threads)));
+  options.threads = std::max(1, threads / file_workers);
+
+  std::vector<std::string> errors(inputs.size());
+  util::parallel_for(inputs.size(), file_workers, [&](std::size_t i) {
+    try {
+      const auto schedule = io::load_schedule(inputs[i], parser_format);
+      render::export_schedule(schedule, options, outputs[i], image_format);
+      JED_INFO() << "wrote " << outputs[i];
+    } catch (const Error& e) {
+      errors[i] = e.what();
+    }
+  });
+
+  int failed = 0;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (!errors[i].empty()) {
+      std::cerr << "jedule: batch: " << inputs[i] << ": " << errors[i] << "\n";
+      ++failed;
+    }
+  }
+  std::cout << "batch: wrote " << (inputs.size() - static_cast<std::size_t>(failed))
+            << "/" << inputs.size() << " files to " << *out_dir << " ("
+            << file_workers << " file worker(s) x " << options.threads
+            << " render thread(s))\n";
+  return failed > 0 ? 1 : 0;
 }
 
 int cmd_view(const Args& args) {
@@ -244,14 +367,14 @@ int cmd_demo(const Args& args) {
     throw ArgumentError("demo: expected at most one demo name");
   }
   const auto schedule = make_demo(args.positional()[1]);
-  auto style = style_from_args(args);
+  auto options = options_from_args(args);
   if (args.positional()[1] == "thunder") {
     // The bird's-eye view needs the Fig. 13 styling to be readable.
-    style.show_labels = false;
-    style.show_composites = false;
-    if (style.highlight_key.empty()) {
-      style.highlight_key = "user";
-      style.highlight_value = "6447";
+    options.style.show_labels = false;
+    options.style.show_composites = false;
+    if (options.style.highlight_key.empty()) {
+      options.style.highlight_key = "user";
+      options.style.highlight_value = "6447";
     }
   }
   if (auto out = args.value("out")) {
@@ -260,21 +383,28 @@ int cmd_demo(const Args& args) {
     } else if (util::ends_with(*out, ".csv")) {
       io::save_schedule_csv(schedule, *out);
     } else {
-      render::export_schedule(schedule, colormap_from_args(args), style,
-                              *out);
+      render::export_schedule(schedule, options, *out,
+                              args.value_or("image-format", ""));
     }
     std::cout << "wrote " << *out << "\n";
   } else {
     render::AsciiOptions ascii;
-    ascii.type_filter = style.type_filter;
+    ascii.type_filter = options.style.type_filter;
     std::cout << render::render_ascii(schedule, ascii);
   }
   return 0;
 }
 
 int cmd_formats() {
+  std::cout << "input parsers:\n";
   for (const auto& name : io::ParserRegistry::instance().parser_names()) {
-    std::cout << name << "\n";
+    std::cout << "  " << name << "\n";
+  }
+  std::cout << "output exporters:\n";
+  for (const auto* e : render::ExporterRegistry::instance().exporters()) {
+    std::printf("  %-7s %-12s %s\n", e->name().c_str(),
+                util::join(e->extensions(), " ").c_str(),
+                e->description().c_str());
   }
   return 0;
 }
@@ -285,13 +415,15 @@ int run(int argc, char** argv) {
   workload::register_swf_parser();
 
   const std::vector<std::string> value_flags = {
-      "out",     "cmap",   "width",  "height",   "window",
-      "clusters", "types", "highlight", "format", "script"};
+      "out",      "cmap",  "width",     "height", "window",
+      "clusters", "types", "highlight", "format", "script",
+      "threads",  "out-dir", "ext",     "image-format"};
   const std::vector<std::string> known_flags = {
       "out",       "cmap",          "width",      "height",
       "window",    "clusters",      "types",      "highlight",  "format",
       "script",    "grayscale",     "aligned",    "no-composites",
-      "no-labels", "hatch-composites", "verbose"};
+      "no-labels", "hatch-composites", "verbose", "threads",
+      "out-dir",   "ext",           "image-format"};
 
   Args args(argc - 1, argv + 1, value_flags);
   if (args.has("verbose")) util::set_log_level(util::LogLevel::kInfo);
@@ -299,18 +431,19 @@ int run(int argc, char** argv) {
     throw ArgumentError("unknown flag --" + flag);
   }
   if (args.positional().empty()) {
-    std::cerr << kUsage;
+    std::cerr << usage();
     return 2;
   }
   const std::string& command = args.positional()[0];
   if (command == "render") return cmd_render(args);
+  if (command == "batch") return cmd_batch(args);
   if (command == "view") return cmd_view(args);
   if (command == "info") return cmd_info(args);
   if (command == "convert") return cmd_convert(args);
   if (command == "formats") return cmd_formats();
   if (command == "demo") return cmd_demo(args);
   if (command == "profile") return cmd_profile(args);
-  std::cerr << "unknown command '" << command << "'\n\n" << kUsage;
+  std::cerr << "unknown command '" << command << "'\n\n" << usage();
   return 2;
 }
 

@@ -6,7 +6,7 @@
 #include "jedule/io/registry.hpp"
 #include "jedule/model/stats.hpp"
 #include "jedule/render/ascii.hpp"
-#include "jedule/render/export.hpp"
+#include "jedule/render/exporter.hpp"
 #include "jedule/util/error.hpp"
 #include "jedule/util/strings.hpp"
 
@@ -174,7 +174,10 @@ void Session::reread() {
 }
 
 void Session::snapshot(const std::string& path) {
-  render::export_schedule(schedule_, colormap_, style_, path);
+  render::RenderOptions options;
+  options.style = style_;
+  options.colormap = colormap_;
+  render::export_schedule(schedule_, options, path);
 }
 
 std::string Session::execute(const std::string& command) {

@@ -24,7 +24,9 @@
 // Rendering and export.
 #include "jedule/render/ascii.hpp"
 #include "jedule/render/export.hpp"
+#include "jedule/render/exporter.hpp"
 #include "jedule/render/gantt.hpp"
+#include "jedule/render/options.hpp"
 #include "jedule/render/profile.hpp"
 
 // Interactive mode.

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <map>
 #include <tuple>
+#include <utility>
 
 #include "jedule/util/error.hpp"
+#include "jedule/util/parallel.hpp"
 #include "jedule/util/strings.hpp"
 
 namespace jedule::model {
@@ -31,6 +33,8 @@ struct GroupKey {
   }
 };
 
+using GroupMap = std::map<GroupKey, std::vector<int>>;
+
 std::vector<HostRange> compress_hosts(std::vector<int> hosts) {
   std::sort(hosts.begin(), hosts.end());
   std::vector<HostRange> ranges;
@@ -45,11 +49,63 @@ std::vector<HostRange> compress_hosts(std::vector<int> hosts) {
   return ranges;
 }
 
+// Sweep one resource's intervals, emitting (members, t0, t1) segments where
+// >= 2 tasks are simultaneously active; accumulates the host into `groups`.
+void sweep_resource(std::pair<int, int> resource,
+                    const std::vector<Interval>& intervals, GroupMap& groups) {
+  struct Event {
+    Time time;
+    bool is_start;
+    std::size_t task_index;
+  };
+  std::vector<Event> events;
+  events.reserve(intervals.size() * 2);
+  for (const auto& iv : intervals) {
+    events.push_back(Event{iv.begin, true, iv.task_index});
+    events.push_back(Event{iv.end, false, iv.task_index});
+  }
+  // Ends sort before starts at equal times, so half-open touching
+  // intervals never co-occur.
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.is_start != b.is_start) return !a.is_start;
+    return a.task_index < b.task_index;
+  });
+
+  std::vector<std::size_t> active;  // kept sorted
+  std::size_t e = 0;
+  Time prev_time = 0;
+  bool have_prev = false;
+  while (e < events.size()) {
+    const Time now = events[e].time;
+    if (have_prev && active.size() >= 2 && now > prev_time) {
+      GroupKey key{resource.first, prev_time, now, active};
+      groups[key].push_back(resource.second);
+    }
+    while (e < events.size() && events[e].time == now) {
+      if (events[e].is_start) {
+        active.insert(
+            std::lower_bound(active.begin(), active.end(),
+                             events[e].task_index),
+            events[e].task_index);
+      } else {
+        auto it = std::lower_bound(active.begin(), active.end(),
+                                   events[e].task_index);
+        JED_ASSERT(it != active.end() && *it == events[e].task_index);
+        active.erase(it);
+      }
+      ++e;
+    }
+    prev_time = now;
+    have_prev = true;
+  }
+}
+
 }  // namespace
 
 std::vector<Composite> synthesize_composites(
     const Schedule& schedule,
-    const std::function<bool(const Task&)>& include_task) {
+    const std::function<bool(const Task&)>& include_task, int threads) {
   const auto& tasks = schedule.tasks();
 
   // Per (cluster, host) interval lists. Host key: cluster-local index; we
@@ -70,57 +126,34 @@ std::vector<Composite> synthesize_composites(
     }
   }
 
-  // Per resource: sweep the intervals, emitting (members, t0, t1) segments
-  // where >= 2 tasks are simultaneously active; accumulate hosts per group.
-  std::map<GroupKey, std::vector<int>> groups;
+  // Flatten to (cluster, host) order so the sweep can be partitioned into
+  // contiguous resource shards, one per worker slot.
+  std::vector<std::pair<std::pair<int, int>, std::vector<Interval>>> resources;
+  resources.reserve(per_resource.size());
   for (auto& [resource, intervals] : per_resource) {
     if (intervals.size() < 2) continue;
+    resources.emplace_back(resource, std::move(intervals));
+  }
 
-    struct Event {
-      Time time;
-      bool is_start;
-      std::size_t task_index;
-    };
-    std::vector<Event> events;
-    events.reserve(intervals.size() * 2);
-    for (const auto& iv : intervals) {
-      events.push_back(Event{iv.begin, true, iv.task_index});
-      events.push_back(Event{iv.end, false, iv.task_index});
+  const std::size_t shards = std::min<std::size_t>(
+      resources.size(), threads < 1 ? 1 : static_cast<std::size_t>(threads));
+  std::vector<GroupMap> shard_groups(shards > 0 ? shards : 1);
+  util::parallel_for(shards, threads, [&](std::size_t s) {
+    const std::size_t begin = resources.size() * s / shards;
+    const std::size_t end = resources.size() * (s + 1) / shards;
+    for (std::size_t r = begin; r < end; ++r) {
+      sweep_resource(resources[r].first, resources[r].second, shard_groups[s]);
     }
-    // Ends sort before starts at equal times, so half-open touching
-    // intervals never co-occur.
-    std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
-      if (a.time != b.time) return a.time < b.time;
-      if (a.is_start != b.is_start) return !a.is_start;
-      return a.task_index < b.task_index;
-    });
+  });
 
-    std::vector<std::size_t> active;  // kept sorted
-    std::size_t e = 0;
-    Time prev_time = 0;
-    bool have_prev = false;
-    while (e < events.size()) {
-      const Time now = events[e].time;
-      if (have_prev && active.size() >= 2 && now > prev_time) {
-        GroupKey key{resource.first, prev_time, now, active};
-        groups[key].push_back(resource.second);
-      }
-      while (e < events.size() && events[e].time == now) {
-        if (events[e].is_start) {
-          active.insert(
-              std::lower_bound(active.begin(), active.end(),
-                               events[e].task_index),
-              events[e].task_index);
-        } else {
-          auto it = std::lower_bound(active.begin(), active.end(),
-                                     events[e].task_index);
-          JED_ASSERT(it != active.end() && *it == events[e].task_index);
-          active.erase(it);
-        }
-        ++e;
-      }
-      prev_time = now;
-      have_prev = true;
+  // Merge shards in ascending resource order: a group's host list ends up
+  // in the same order the serial sweep would have produced, so the result
+  // never depends on the thread count.
+  GroupMap groups = std::move(shard_groups[0]);
+  for (std::size_t s = 1; s < shards; ++s) {
+    for (auto& [key, hosts] : shard_groups[s]) {
+      auto& dst = groups[key];
+      dst.insert(dst.end(), hosts.begin(), hosts.end());
     }
   }
 

@@ -30,10 +30,13 @@ struct Composite {
 /// a task ending exactly when another starts does not overlap it.
 /// `include_task` filters which tasks participate (default: all); the
 /// schedulers use it to e.g. ignore communication when checking compute
-/// exclusivity.
+/// exclusivity. The per-resource sweep runs over up to `threads` workers,
+/// partitioned by (cluster, host) and merged deterministically — the result
+/// is identical for every thread count.
 std::vector<Composite> synthesize_composites(
     const Schedule& schedule,
-    const std::function<bool(const Task&)>& include_task = nullptr);
+    const std::function<bool(const Task&)>& include_task = nullptr,
+    int threads = 1);
 
 /// True if two `include_task`-selected tasks ever share a resource. A
 /// feasible single-occupancy schedule (DESIGN.md §6.5) has no conflicts.

@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "jedule/util/error.hpp"
+#include "jedule/util/parallel.hpp"
 
 namespace jedule::render {
 
@@ -27,6 +28,23 @@ std::uint32_t adler32(const std::uint8_t* data, std::size_t size) {
   return (b << 16) | a;
 }
 
+std::uint32_t adler32_combine(std::uint32_t a1, std::uint32_t a2,
+                              std::size_t len2) {
+  // adler(AB) from adler(A) and adler(B): the s2 sum of B advances by
+  // len2 * (s1(A) - 1) because every byte of B sees A's s1 as its prefix.
+  constexpr std::uint64_t kMod = 65521;
+  const std::uint64_t rem = static_cast<std::uint64_t>(len2 % kMod);
+  std::uint64_t sum1 = a1 & 0xFFFF;
+  std::uint64_t sum2 = (rem * sum1) % kMod;
+  sum1 += (a2 & 0xFFFF) + kMod - 1;
+  sum2 += ((a1 >> 16) & 0xFFFF) + ((a2 >> 16) & 0xFFFF) + kMod - rem;
+  if (sum1 >= kMod) sum1 -= kMod;
+  if (sum1 >= kMod) sum1 -= kMod;
+  if (sum2 >= kMod << 1) sum2 -= kMod << 1;
+  if (sum2 >= kMod) sum2 -= kMod;
+  return static_cast<std::uint32_t>((sum2 << 16) | sum1);
+}
+
 std::uint32_t crc32(const std::uint8_t* data, std::size_t size,
                     std::uint32_t seed) {
   static const auto table = [] {
@@ -45,6 +63,77 @@ std::uint32_t crc32(const std::uint8_t* data, std::size_t size,
     c = table[(c ^ data[i]) & 0xFF] ^ (c >> 8);
   }
   return c ^ 0xFFFFFFFFu;
+}
+
+namespace {
+
+// CRC-32 is linear over GF(2): appending len2 zero bytes to A multiplies
+// crc(A) by x^(8*len2) modulo the CRC polynomial, and crc(AB) is that
+// product XOR crc(B). The multiplication is applied as a 32x32 bit matrix.
+std::uint32_t gf2_matrix_times(const std::array<std::uint32_t, 32>& mat,
+                               std::uint32_t vec) {
+  std::uint32_t sum = 0;
+  for (int i = 0; vec != 0; vec >>= 1, ++i) {
+    if (vec & 1) sum ^= mat[static_cast<std::size_t>(i)];
+  }
+  return sum;
+}
+
+std::array<std::uint32_t, 32> gf2_matrix_square(
+    const std::array<std::uint32_t, 32>& mat) {
+  std::array<std::uint32_t, 32> sq{};
+  for (std::size_t n = 0; n < 32; ++n) sq[n] = gf2_matrix_times(mat, mat[n]);
+  return sq;
+}
+
+}  // namespace
+
+std::uint32_t crc32_combine(std::uint32_t c1, std::uint32_t c2,
+                            std::size_t len2) {
+  if (len2 == 0) return c1;
+
+  std::array<std::uint32_t, 32> odd{};
+  odd[0] = 0xEDB88320u;  // the CRC-32 polynomial: one shift
+  std::uint32_t row = 1;
+  for (std::size_t n = 1; n < 32; ++n) {
+    odd[n] = row;
+    row <<= 1;
+  }
+  std::array<std::uint32_t, 32> even = gf2_matrix_square(odd);  // 2 shifts
+  odd = gf2_matrix_square(even);                                // 4 shifts
+
+  // Apply x^(8*len2) by squaring along the bits of len2 (zlib's scheme:
+  // the first `even` application already covers the factor 4 above).
+  do {
+    even = gf2_matrix_square(odd);
+    if (len2 & 1) c1 = gf2_matrix_times(even, c1);
+    len2 >>= 1;
+    if (len2 == 0) break;
+    odd = gf2_matrix_square(even);
+    if (len2 & 1) c1 = gf2_matrix_times(odd, c1);
+    len2 >>= 1;
+  } while (len2 != 0);
+  return c1 ^ c2;
+}
+
+std::uint32_t crc32_parallel(const std::uint8_t* data, std::size_t size,
+                             int threads, std::uint32_t seed) {
+  constexpr std::size_t kChunk = 1 << 18;
+  if (threads <= 1 || size <= kChunk) return crc32(data, size, seed);
+  const std::size_t chunks = (size + kChunk - 1) / kChunk;
+  std::vector<std::uint32_t> parts(chunks);
+  util::parallel_for(chunks, threads, [&](std::size_t i) {
+    const std::size_t off = i * kChunk;
+    parts[i] = crc32(data + off, std::min(kChunk, size - off));
+  });
+  std::uint32_t c = seed;
+  std::size_t done = 0;
+  for (std::size_t i = 0; i < chunks; ++i) {
+    const std::size_t len = std::min(kChunk, size - done);
+    c = crc32_combine(c, parts[i], len);
+    done += len;
+  }
+  return c;
 }
 
 namespace {
@@ -88,6 +177,33 @@ class BitWriter {
   std::vector<std::uint8_t> take() {
     align_to_byte();
     return std::move(out_);
+  }
+
+  /// The written bits without padding: full bytes plus a partial tail byte.
+  /// Used to stitch independently produced fragments bit-exactly.
+  struct BitBuffer {
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t tail = 0;  // low `tail_bits` bits are valid
+    int tail_bits = 0;
+  };
+
+  BitBuffer take_bits() {
+    BitBuffer b;
+    b.bytes = std::move(out_);
+    b.tail = static_cast<std::uint8_t>(acc_ & 0xFF);
+    b.tail_bits = filled_;
+    acc_ = 0;
+    filled_ = 0;
+    return b;
+  }
+
+  void append(const BitBuffer& b) {
+    if (filled_ == 0) {
+      out_.insert(out_.end(), b.bytes.begin(), b.bytes.end());
+    } else {
+      for (const std::uint8_t byte : b.bytes) put_bits(byte, 8);
+    }
+    if (b.tail_bits > 0) put_bits(b.tail, b.tail_bits);
   }
 
  private:
@@ -156,6 +272,10 @@ constexpr int kHashBits = 15;
 constexpr int kHashSize = 1 << kHashBits;
 constexpr int kMaxChainLength = 64;
 
+/// Input chunk fed to one fixed-Huffman block. Must stay put: moving the
+/// grid would change the bit stream and break cross-thread determinism.
+constexpr std::size_t kDeflateChunk = 1 << 18;
+
 inline std::uint32_t hash3(const std::uint8_t* p) {
   const std::uint32_t v = static_cast<std::uint32_t>(p[0]) |
                           (static_cast<std::uint32_t>(p[1]) << 8) |
@@ -163,13 +283,12 @@ inline std::uint32_t hash3(const std::uint8_t* p) {
   return (v * 2654435761u) >> (32 - kHashBits);
 }
 
-}  // namespace
-
-std::vector<std::uint8_t> deflate_compress(const std::uint8_t* data,
-                                           std::size_t size) {
-  BitWriter bw;
-  bw.put_bits(1, 1);  // BFINAL
-  bw.put_bits(1, 2);  // BTYPE = 01 (fixed Huffman)
+/// One complete fixed-Huffman block over [data, data+size): header, greedy
+/// LZ77 (matches never reach before `data`), end-of-block symbol.
+void deflate_fixed_block(const std::uint8_t* data, std::size_t size,
+                         bool final, BitWriter& bw) {
+  bw.put_bits(final ? 1 : 0, 1);  // BFINAL
+  bw.put_bits(1, 2);              // BTYPE = 01 (fixed Huffman)
 
   std::vector<std::int64_t> head(kHashSize, -1);
   std::vector<std::int64_t> prev(size > 0 ? size : 1, -1);
@@ -221,7 +340,25 @@ std::vector<std::uint8_t> deflate_compress(const std::uint8_t* data,
   }
 
   write_fixed_symbol(bw, 256);  // end of block
-  return bw.take();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> deflate_compress(const std::uint8_t* data,
+                                           std::size_t size, int threads) {
+  const std::size_t chunks =
+      size == 0 ? 1 : (size + kDeflateChunk - 1) / kDeflateChunk;
+  std::vector<BitWriter::BitBuffer> parts(chunks);
+  util::parallel_for(chunks, threads, [&](std::size_t i) {
+    BitWriter bw;
+    const std::size_t off = i * kDeflateChunk;
+    deflate_fixed_block(data + off, std::min(kDeflateChunk, size - off),
+                        i + 1 == chunks, bw);
+    parts[i] = bw.take_bits();
+  });
+  BitWriter out;
+  for (const auto& part : parts) out.append(part);
+  return out.take();
 }
 
 std::vector<std::uint8_t> deflate_store(const std::uint8_t* data,
@@ -244,14 +381,32 @@ std::vector<std::uint8_t> deflate_store(const std::uint8_t* data,
 }
 
 std::vector<std::uint8_t> zlib_compress(const std::uint8_t* data,
-                                        std::size_t size, bool compress) {
+                                        std::size_t size, bool compress,
+                                        int threads) {
   std::vector<std::uint8_t> out;
   out.push_back(0x78);  // CMF: deflate, 32K window
   out.push_back(0x01);  // FLG: fastest, no dict; (0x7801 % 31 == 0)
-  auto body = compress ? deflate_compress(data, size)
+  auto body = compress ? deflate_compress(data, size, threads)
                        : deflate_store(data, size);
   out.insert(out.end(), body.begin(), body.end());
-  const std::uint32_t a = adler32(data, size);
+
+  std::uint32_t a;
+  if (threads <= 1 || size <= kDeflateChunk) {
+    a = adler32(data, size);
+  } else {
+    // Checksum the same chunk grid on the workers, combine at stitch time.
+    const std::size_t chunks = (size + kDeflateChunk - 1) / kDeflateChunk;
+    std::vector<std::uint32_t> parts(chunks);
+    util::parallel_for(chunks, threads, [&](std::size_t i) {
+      const std::size_t off = i * kDeflateChunk;
+      parts[i] = adler32(data + off, std::min(kDeflateChunk, size - off));
+    });
+    a = parts[0];
+    for (std::size_t i = 1; i < chunks; ++i) {
+      a = adler32_combine(a, parts[i],
+                          std::min(kDeflateChunk, size - i * kDeflateChunk));
+    }
+  }
   out.push_back(static_cast<std::uint8_t>(a >> 24));
   out.push_back(static_cast<std::uint8_t>(a >> 16));
   out.push_back(static_cast<std::uint8_t>(a >> 8));

@@ -1,10 +1,13 @@
 #pragma once
 
 // From-scratch DEFLATE (RFC 1951) encoder and zlib (RFC 1950) framing, used
-// by the PNG exporter. The encoder emits one final fixed-Huffman block with
-// greedy hash-chain LZ77 matching — simple, deterministic, and effective on
-// the long runs a filtered Gantt raster produces. inflate.hpp provides the
-// matching decoder so the codec is verified end-to-end in-tree.
+// by the PNG exporter. The input is cut into fixed 256 KiB chunks; each
+// chunk becomes one fixed-Huffman block with greedy hash-chain LZ77 matching
+// confined to the chunk, and the blocks are stitched bit-exactly into a
+// single stream. Because the chunk grid never moves, compressing the chunks
+// serially or on any number of worker threads yields byte-identical output.
+// inflate.hpp provides the matching decoder so the codec is verified
+// end-to-end in-tree.
 
 #include <cstddef>
 #include <cstdint>
@@ -15,13 +18,31 @@ namespace jedule::render {
 /// RFC 1950 Adler-32 checksum.
 std::uint32_t adler32(const std::uint8_t* data, std::size_t size);
 
+/// Adler-32 of the concatenation of two buffers whose individual checksums
+/// are `a1` and `a2` and whose second buffer is `len2` bytes long (the zlib
+/// adler32_combine identity). Lets workers checksum chunks independently.
+std::uint32_t adler32_combine(std::uint32_t a1, std::uint32_t a2,
+                              std::size_t len2);
+
 /// CRC-32 (ISO 3309, as used by PNG chunks), optionally chained via `seed`.
 std::uint32_t crc32(const std::uint8_t* data, std::size_t size,
                     std::uint32_t seed = 0);
 
-/// Raw DEFLATE stream (single final fixed-Huffman block).
+/// CRC-32 of the concatenation of two buffers from their individual CRCs
+/// (GF(2) matrix method); `len2` is the second buffer's length.
+std::uint32_t crc32_combine(std::uint32_t c1, std::uint32_t c2,
+                            std::size_t len2);
+
+/// CRC-32 computed over `threads` ranges in parallel and stitched with
+/// crc32_combine; byte-identical to the serial crc32 for any thread count.
+std::uint32_t crc32_parallel(const std::uint8_t* data, std::size_t size,
+                             int threads, std::uint32_t seed = 0);
+
+/// Raw DEFLATE stream: one fixed-Huffman block per 256 KiB input chunk,
+/// compressed over up to `threads` workers. The output does not depend on
+/// `threads` — chunk boundaries are fixed and blocks are merged in order.
 std::vector<std::uint8_t> deflate_compress(const std::uint8_t* data,
-                                           std::size_t size);
+                                           std::size_t size, int threads = 1);
 
 /// Raw DEFLATE stream of stored (uncompressed) blocks; used as a fallback
 /// and to exercise the stored-block path of the decoder.
@@ -29,9 +50,10 @@ std::vector<std::uint8_t> deflate_store(const std::uint8_t* data,
                                         std::size_t size);
 
 /// zlib stream: 2-byte header + deflate data + Adler-32. `compress` selects
-/// fixed-Huffman (true) or stored blocks (false).
+/// fixed-Huffman (true) or stored blocks (false). The Adler-32 is computed
+/// per chunk on the workers and combined at stitch time.
 std::vector<std::uint8_t> zlib_compress(const std::uint8_t* data,
-                                        std::size_t size,
-                                        bool compress = true);
+                                        std::size_t size, bool compress = true,
+                                        int threads = 1);
 
 }  // namespace jedule::render

@@ -1,15 +1,38 @@
 #include "jedule/render/export.hpp"
 
-#include "jedule/io/file.hpp"
-#include "jedule/render/pdf.hpp"
-#include "jedule/render/png.hpp"
-#include "jedule/render/ppm.hpp"
+#include <algorithm>
+
+#include "jedule/render/exporter.hpp"
 #include "jedule/render/raster_canvas.hpp"
-#include "jedule/render/svg.hpp"
 #include "jedule/util/error.hpp"
+#include "jedule/util/parallel.hpp"
 #include "jedule/util/strings.hpp"
 
 namespace jedule::render {
+
+Framebuffer render_raster(const model::Schedule& schedule,
+                          const RenderOptions& options) {
+  const GanttLayout layout = layout_gantt(schedule, options);
+  Framebuffer fb(options.style.width, options.style.height);
+  const int threads = options.resolved_threads();
+  const int bands = std::min(threads, fb.height());
+  if (bands <= 1) {
+    RasterCanvas canvas(fb);
+    paint_gantt(layout, canvas, options.style);
+    return fb;
+  }
+  util::parallel_for(static_cast<std::size_t>(bands), threads,
+                     [&](std::size_t b) {
+    const int y0 = static_cast<int>(fb.height() * b / static_cast<std::size_t>(bands));
+    const int y1 = static_cast<int>(fb.height() * (b + 1) / static_cast<std::size_t>(bands));
+    Framebuffer band(fb.width(), y1 - y0);
+    RasterCanvas canvas(band, y0, fb.height());
+    paint_gantt(layout, canvas, options.style);
+    // Bands cover disjoint row ranges, so workers can blit directly.
+    fb.blit_rows(band, y0);
+  });
+  return fb;
+}
 
 ImageFormat format_for_path(const std::string& path) {
   const std::string lower = util::to_lower(path);
@@ -21,46 +44,43 @@ ImageFormat format_for_path(const std::string& path) {
                       "' (use .png, .ppm, .svg or .pdf)");
 }
 
+namespace {
+
+RenderOptions legacy_options(const color::ColorMap& colormap,
+                             const GanttStyle& style) {
+  RenderOptions options;
+  options.style = style;
+  options.colormap = colormap;
+  options.threads = 1;  // the pre-registry API was single-threaded
+  return options;
+}
+
+}  // namespace
+
 Framebuffer render_raster(const model::Schedule& schedule,
                           const color::ColorMap& colormap,
                           const GanttStyle& style) {
-  const GanttLayout layout = layout_gantt(schedule, colormap, style);
-  Framebuffer fb(style.width, style.height);
-  RasterCanvas canvas(fb);
-  paint_gantt(layout, canvas, style);
-  return fb;
+  return render_raster(schedule, legacy_options(colormap, style));
 }
 
 std::string render_to_bytes(const model::Schedule& schedule,
                             const color::ColorMap& colormap,
                             const GanttStyle& style, ImageFormat format) {
+  const char* name = nullptr;
   switch (format) {
-    case ImageFormat::kPng:
-      return encode_png(render_raster(schedule, colormap, style));
-    case ImageFormat::kPpm:
-      return encode_ppm(render_raster(schedule, colormap, style));
-    case ImageFormat::kSvg: {
-      const GanttLayout layout = layout_gantt(schedule, colormap, style);
-      SvgCanvas canvas(style.width, style.height);
-      paint_gantt(layout, canvas, style);
-      return canvas.finish();
-    }
-    case ImageFormat::kPdf: {
-      const GanttLayout layout = layout_gantt(schedule, colormap, style);
-      PdfCanvas canvas(style.width, style.height);
-      paint_gantt(layout, canvas, style);
-      return canvas.finish();
-    }
+    case ImageFormat::kPng: name = "png"; break;
+    case ImageFormat::kPpm: name = "ppm"; break;
+    case ImageFormat::kSvg: name = "svg"; break;
+    case ImageFormat::kPdf: name = "pdf"; break;
   }
-  throw ArgumentError("unhandled image format");
+  if (name == nullptr) throw ArgumentError("unhandled image format");
+  return render_to_bytes(schedule, legacy_options(colormap, style), name);
 }
 
 void export_schedule(const model::Schedule& schedule,
                      const color::ColorMap& colormap, const GanttStyle& style,
                      const std::string& path) {
-  io::write_file(path,
-                 render_to_bytes(schedule, colormap, style,
-                                 format_for_path(path)));
+  export_schedule(schedule, legacy_options(colormap, style), path);
 }
 
 }  // namespace jedule::render

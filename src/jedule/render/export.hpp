@@ -1,8 +1,11 @@
 #pragma once
 
-// One-call export of a schedule to an image file — the core of the command
-// line mode (paper Sec. II.D.2). The output format is chosen by file
-// extension: .png, .ppm, .svg, .pdf.
+// Raster rendering entry point plus the legacy one-call export API (paper
+// Sec. II.D.2). Format dispatch lives in exporter.hpp these days — every
+// format is an Exporter registered with the ExporterRegistry — and the
+// free functions below survive only as thin deprecated wrappers over that
+// registry. New code should build a RenderOptions and call the registry
+// API (or render_raster(schedule, options) for direct framebuffer access).
 
 #include <string>
 
@@ -10,25 +13,40 @@
 #include "jedule/model/schedule.hpp"
 #include "jedule/render/framebuffer.hpp"
 #include "jedule/render/gantt.hpp"
+#include "jedule/render/options.hpp"
 
 namespace jedule::render {
 
+/// Renders to an in-memory raster. The framebuffer is split into
+/// horizontal bands painted concurrently by options.resolved_threads()
+/// workers; every band replays the full paint sequence clipped to its
+/// rows, so the pixels are byte-identical for every thread count (the
+/// single-thread path paints the whole image directly).
+Framebuffer render_raster(const model::Schedule& schedule,
+                          const RenderOptions& options);
+
 enum class ImageFormat { kPng, kPpm, kSvg, kPdf };
 
-/// Format for `path` from its extension; throws ArgumentError if unknown.
+/// Format for `path` from its extension (matched case-insensitively, so
+/// ".PNG" and ".Svg" work); throws ArgumentError if unknown.
+/// Deprecated: prefer ExporterRegistry::find_for_path, which also sees
+/// user-registered formats.
 ImageFormat format_for_path(const std::string& path);
 
-/// Renders to an in-memory raster (the PNG/PPM pipeline).
+/// Deprecated wrapper: single-threaded render_raster with loose
+/// colormap/style arguments. Prefer render_raster(schedule, options).
 Framebuffer render_raster(const model::Schedule& schedule,
                           const color::ColorMap& colormap,
                           const GanttStyle& style);
 
-/// Renders and returns the bytes of the image in `format`.
+/// Deprecated wrapper: renders via the registered exporter for `format`.
+/// Prefer render_to_bytes(schedule, options, name) from exporter.hpp.
 std::string render_to_bytes(const model::Schedule& schedule,
                             const color::ColorMap& colormap,
                             const GanttStyle& style, ImageFormat format);
 
-/// Renders and writes `path` (format from the extension).
+/// Deprecated wrapper: renders and writes `path` (format from the
+/// extension). Prefer export_schedule(schedule, options, path).
 void export_schedule(const model::Schedule& schedule,
                      const color::ColorMap& colormap, const GanttStyle& style,
                      const std::string& path);

@@ -105,6 +105,13 @@ void Framebuffer::draw_line(int x0, int y0, int x1, int y1, Color c) {
   }
 }
 
+void Framebuffer::blit_rows(const Framebuffer& src, int y) {
+  JED_ASSERT(src.width_ == width_ && y >= 0 && y + src.height_ <= height_);
+  std::copy(src.pixels_.begin(), src.pixels_.end(),
+            pixels_.begin() +
+                static_cast<std::ptrdiff_t>(y) * width_ * 4);
+}
+
 void Framebuffer::hatch_rect(int x, int y, int w, int h, int spacing,
                              Color c) {
   JED_ASSERT(spacing > 0);

@@ -50,6 +50,12 @@ class Framebuffer {
   /// renderer uses it to keep composite tasks distinguishable in grayscale.
   void hatch_rect(int x, int y, int w, int h, int spacing, Color c);
 
+  /// Copies all rows of `src` (same width, must fit) into this image
+  /// starting at row `y`. The banded parallel painter calls this from
+  /// worker threads; that is safe because the bands' row ranges are
+  /// disjoint byte ranges of the pixel buffer.
+  void blit_rows(const Framebuffer& src, int y);
+
   friend bool operator==(const Framebuffer& a, const Framebuffer& b) {
     return a.width_ == b.width_ && a.height_ == b.height_ &&
            a.pixels_ == b.pixels_;

@@ -63,7 +63,7 @@ std::vector<double> nice_ticks(const TimeRange& range, int about) {
 
 GanttLayout layout_gantt(const Schedule& schedule,
                          const color::ColorMap& colormap,
-                         const GanttStyle& style) {
+                         const GanttStyle& style, int threads) {
   schedule.validate();
   if (style.width < 160 || style.height < 120) {
     throw ArgumentError("gantt: canvas smaller than 160x120");
@@ -111,7 +111,8 @@ GanttLayout layout_gantt(const Schedule& schedule,
   }
   layout.composite_begin = layout.tasks.size();
   if (style.show_composites) {
-    for (auto& comp : model::synthesize_composites(schedule, type_selected)) {
+    for (auto& comp :
+         model::synthesize_composites(schedule, type_selected, threads)) {
       // Keep members on the task so click-to-inspect and the colormap's
       // composite rules can see them.
       comp.task.set_property("members", util::join(comp.member_ids, ","));

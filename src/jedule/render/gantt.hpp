@@ -111,9 +111,11 @@ struct GanttLayout {
 
 /// Computes the layout; throws ValidationError on an invalid schedule and
 /// ArgumentError on an empty time window or unknown filter clusters.
+/// `threads` parallelizes the composite-synthesis sweep (the layout itself
+/// is sequential); the layout is identical for every thread count.
 GanttLayout layout_gantt(const model::Schedule& schedule,
                          const color::ColorMap& colormap,
-                         const GanttStyle& style);
+                         const GanttStyle& style, int threads = 1);
 
 /// Paints a layout. The canvas must have the layout's dimensions.
 void paint_gantt(const GanttLayout& layout, Canvas& canvas,

@@ -1,0 +1,33 @@
+#pragma once
+
+// RenderOptions bundles everything an export needs — style, colormap and
+// worker-thread count — into one object handed CLI -> gantt -> exporter,
+// replacing the per-call (colormap, style, ...) parameter threading.
+
+#include "jedule/color/colormap.hpp"
+#include "jedule/render/gantt.hpp"
+#include "jedule/util/parallel.hpp"
+
+namespace jedule::render {
+
+struct RenderOptions {
+  GanttStyle style;
+  color::ColorMap colormap = color::standard_colormap();
+
+  /// Worker threads for composite synthesis, band rasterization and PNG
+  /// encoding. <= 0 (the default) resolves to JEDULE_THREADS when set,
+  /// else to the hardware concurrency. The rendered bytes are identical
+  /// for every thread count.
+  int threads = 0;
+
+  int resolved_threads() const { return util::resolve_threads(threads); }
+};
+
+/// layout_gantt with the bundled colormap/style/threads.
+inline GanttLayout layout_gantt(const model::Schedule& schedule,
+                                const RenderOptions& options) {
+  return layout_gantt(schedule, options.colormap, options.style,
+                      options.resolved_threads());
+}
+
+}  // namespace jedule::render

@@ -6,6 +6,7 @@
 #include "jedule/render/deflate.hpp"
 #include "jedule/render/inflate.hpp"
 #include "jedule/util/error.hpp"
+#include "jedule/util/parallel.hpp"
 
 namespace jedule::render {
 
@@ -18,14 +19,15 @@ void put_u32(std::string& out, std::uint32_t v) {
   out += static_cast<char>(v);
 }
 
-void put_chunk(std::string& out, const char type[4], const std::string& data) {
+void put_chunk(std::string& out, const char type[4], const std::string& data,
+               int threads = 1) {
   put_u32(out, static_cast<std::uint32_t>(data.size()));
   const std::size_t crc_start = out.size();
   out.append(type, 4);
   out += data;
-  const std::uint32_t crc =
-      crc32(reinterpret_cast<const std::uint8_t*>(out.data() + crc_start),
-            out.size() - crc_start);
+  const std::uint32_t crc = crc32_parallel(
+      reinterpret_cast<const std::uint8_t*>(out.data() + crc_start),
+      out.size() - crc_start, threads);
   put_u32(out, crc);
 }
 
@@ -41,7 +43,7 @@ int paeth(int a, int b, int c) {
 
 }  // namespace
 
-std::string encode_png(const Framebuffer& fb) {
+std::string encode_png(const Framebuffer& fb, int threads) {
   std::string out("\x89PNG\r\n\x1a\n", 8);
 
   std::string ihdr;
@@ -59,27 +61,30 @@ std::string encode_png(const Framebuffer& fb) {
   const std::size_t stride = static_cast<std::size_t>(fb.width()) * 3 + 1;
   std::vector<std::uint8_t> raw(stride * static_cast<std::size_t>(fb.height()));
   const auto& px = fb.pixels();
-  for (int y = 0; y < fb.height(); ++y) {
-    std::uint8_t* row = raw.data() + static_cast<std::size_t>(y) * stride;
+  util::parallel_for(static_cast<std::size_t>(fb.height()), threads,
+                     [&](std::size_t y) {
+    std::uint8_t* row = raw.data() + y * stride;
     row[0] = 0;  // filter: None
     const std::uint8_t* src =
-        px.data() + static_cast<std::size_t>(y) * fb.width() * 4;
+        px.data() + y * static_cast<std::size_t>(fb.width()) * 4;
     for (int x = 0; x < fb.width(); ++x) {
       row[1 + x * 3] = src[x * 4];
       row[2 + x * 3] = src[x * 4 + 1];
       row[3 + x * 3] = src[x * 4 + 2];
     }
-  }
+  });
 
-  const auto z = zlib_compress(raw.data(), raw.size(), /*compress=*/true);
+  const auto z = zlib_compress(raw.data(), raw.size(), /*compress=*/true,
+                               threads);
   put_chunk(out, "IDAT",
-            std::string(reinterpret_cast<const char*>(z.data()), z.size()));
+            std::string(reinterpret_cast<const char*>(z.data()), z.size()),
+            threads);
   put_chunk(out, "IEND", "");
   return out;
 }
 
-void save_png(const Framebuffer& fb, const std::string& path) {
-  io::write_file(path, encode_png(fb));
+void save_png(const Framebuffer& fb, const std::string& path, int threads) {
+  io::write_file(path, encode_png(fb, threads));
 }
 
 Framebuffer decode_png(const std::string& bytes) {

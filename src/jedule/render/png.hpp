@@ -11,10 +11,13 @@
 namespace jedule::render {
 
 /// Encodes as an 8-bit RGB PNG (the framebuffer is always opaque). The
-/// zlib payload uses the in-tree fixed-Huffman deflate.
-std::string encode_png(const Framebuffer& fb);
+/// zlib payload uses the in-tree fixed-Huffman deflate. Scanline packing,
+/// deflate chunks and the IDAT CRC run over up to `threads` workers; the
+/// encoded bytes are identical for every thread count.
+std::string encode_png(const Framebuffer& fb, int threads = 1);
 
-void save_png(const Framebuffer& fb, const std::string& path);
+void save_png(const Framebuffer& fb, const std::string& path,
+              int threads = 1);
 
 /// Decodes a PNG produced by encode_png (or any 8-bit RGB/RGBA PNG with
 /// filters None/Sub/Up/Average/Paeth and no interlacing).

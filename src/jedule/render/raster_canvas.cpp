@@ -15,31 +15,36 @@ void RasterCanvas::fill_rect(double x, double y, double w, double h,
   // Round edges, not sizes, so adjacent rectangles tile without gaps.
   const int x0 = px(x);
   const int y0 = px(y);
-  fb_.fill_rect(x0, y0, px(x + w) - x0, px(y + h) - y0, c);
+  fb_.fill_rect(x0, y0 - y_offset_, px(x + w) - x0, px(y + h) - y0, c);
 }
 
 void RasterCanvas::stroke_rect(double x, double y, double w, double h,
                                color::Color c) {
   const int x0 = px(x);
   const int y0 = px(y);
-  fb_.draw_rect(x0, y0, px(x + w) - x0, px(y + h) - y0, c);
+  fb_.draw_rect(x0, y0 - y_offset_, px(x + w) - x0, px(y + h) - y0, c);
 }
 
 void RasterCanvas::line(double x0, double y0, double x1, double y1,
                         color::Color c) {
-  fb_.draw_line(px(x0), px(y0), px(x1), px(y1), c);
+  // Bresenham is translation invariant in integer space, so shifting the
+  // rounded endpoints hits the same pixels as shifting the drawn line.
+  fb_.draw_line(px(x0), px(y0) - y_offset_, px(x1), px(y1) - y_offset_, c);
 }
 
 void RasterCanvas::hatch_rect(double x, double y, double w, double h,
                               int spacing, color::Color c) {
+  // The hatch phase is anchored to the rectangle corner, not the image
+  // origin, so a translated rectangle hatches the same relative pixels.
   const int x0 = px(x);
   const int y0 = px(y);
-  fb_.hatch_rect(x0, y0, px(x + w) - x0, px(y + h) - y0, spacing, c);
+  fb_.hatch_rect(x0, y0 - y_offset_, px(x + w) - x0, px(y + h) - y0, spacing,
+                 c);
 }
 
 void RasterCanvas::text(double x, double y, std::string_view text,
                         color::Color c, int size) {
-  draw_text(fb_, px(x), px(y), text, c, scale_for_font_size(size));
+  draw_text(fb_, px(x), px(y) - y_offset_, text, c, scale_for_font_size(size));
 }
 
 double RasterCanvas::text_width(std::string_view text, int size) const {

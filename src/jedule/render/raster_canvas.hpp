@@ -13,10 +13,18 @@ namespace jedule::render {
 class RasterCanvas final : public Canvas {
  public:
   /// Draws onto `fb`, which must outlive the canvas.
-  explicit RasterCanvas(Framebuffer& fb) : fb_(fb) {}
+  explicit RasterCanvas(Framebuffer& fb) : fb_(fb), height_(fb.height()) {}
+
+  /// Band view for tiled parallel painting: `fb` holds the horizontal band
+  /// of a `logical_height`-pixel image starting at device row `y_offset`.
+  /// All drawing happens in logical coordinates; the offset is applied
+  /// after integer rounding, so a band paints exactly the pixels the
+  /// full-image canvas would paint into its rows.
+  RasterCanvas(Framebuffer& fb, int y_offset, int logical_height)
+      : fb_(fb), y_offset_(y_offset), height_(logical_height) {}
 
   int width() const override { return fb_.width(); }
-  int height() const override { return fb_.height(); }
+  int height() const override { return height_; }
 
   void fill_rect(double x, double y, double w, double h,
                  color::Color c) override;
@@ -33,6 +41,8 @@ class RasterCanvas final : public Canvas {
 
  private:
   Framebuffer& fb_;
+  int y_offset_ = 0;
+  int height_;
 };
 
 }  // namespace jedule::render

@@ -1,0 +1,62 @@
+#include "jedule/util/parallel.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "jedule/util/strings.hpp"
+
+namespace jedule::util {
+
+int hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int resolve_threads(int requested) {
+  if (requested >= 1) return requested;
+  if (const char* env = std::getenv("JEDULE_THREADS")) {
+    if (const auto n = parse_int(env); n && *n >= 1 && *n <= 1 << 16) {
+      return static_cast<int>(*n);
+    }
+  }
+  return hardware_threads();
+}
+
+void parallel_for(std::size_t n, int threads,
+                  const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t workers =
+      std::min<std::size_t>(n, threads < 1 ? 1 : static_cast<std::size_t>(threads));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+  auto work = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t w = 1; w < workers; ++w) pool.emplace_back(work);
+  work();  // the calling thread is worker 0
+  for (auto& t : pool) t.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace jedule::util

@@ -1,0 +1,29 @@
+#pragma once
+
+// Minimal threading helpers for the render/export pipeline. The design
+// constraint is determinism: callers partition work into indexed pieces,
+// workers may claim pieces in any order, and results are merged by index,
+// so the output never depends on the thread count or on scheduling.
+
+#include <cstddef>
+#include <functional>
+
+namespace jedule::util {
+
+/// std::thread::hardware_concurrency(), never less than 1.
+int hardware_threads();
+
+/// Resolves a requested worker count: `requested` >= 1 is used as-is;
+/// anything else falls back to the JEDULE_THREADS environment variable when
+/// it holds a positive integer, and to hardware_threads() otherwise.
+int resolve_threads(int requested);
+
+/// Runs fn(i) for every i in [0, n), spreading the calls over up to
+/// `threads` workers (the calling thread included). Workers claim indices
+/// from a shared counter, so uneven pieces balance automatically. Runs
+/// inline when threads <= 1 or n <= 1. The first exception thrown by any
+/// call is rethrown on the calling thread after all workers finish.
+void parallel_for(std::size_t n, int threads,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace jedule::util

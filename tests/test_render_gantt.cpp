@@ -282,8 +282,10 @@ TEST(Export, PdfIsStructurallySound) {
 
 TEST(Export, FormatFromExtension) {
   EXPECT_EQ(format_for_path("x.png"), ImageFormat::kPng);
+  EXPECT_EQ(format_for_path("x.PNG"), ImageFormat::kPng);
   EXPECT_EQ(format_for_path("x.PPM"), ImageFormat::kPpm);
   EXPECT_EQ(format_for_path("a/b.svg"), ImageFormat::kSvg);
+  EXPECT_EQ(format_for_path("a/b.Svg"), ImageFormat::kSvg);
   EXPECT_EQ(format_for_path("x.pdf"), ImageFormat::kPdf);
   EXPECT_THROW(format_for_path("x.jpeg"), ArgumentError);
 }
