@@ -4,6 +4,13 @@
 // painting, PNG encoding and XML parsing at growing task counts, each with
 // a serial vs multi-threaded comparison (outputs must be byte-identical).
 
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+
 #include "bench_report.hpp"
 #include "jedule/io/jedule_xml.hpp"
 #include "jedule/model/builder.hpp"
@@ -12,9 +19,12 @@
 #include "jedule/render/exporter.hpp"
 #include "jedule/render/deflate.hpp"
 #include "jedule/render/png.hpp"
+#include "jedule/util/error.hpp"
 #include "jedule/util/parallel.hpp"
 #include "jedule/util/rng.hpp"
 #include "jedule/util/stopwatch.hpp"
+#include "jedule/util/strings.hpp"
+#include "jedule/xml/xml.hpp"
 
 namespace {
 
@@ -42,6 +52,276 @@ model::Schedule big_schedule(int tasks) {
   }
   return builder.build();
 }
+
+model::Schedule million_schedule(int tasks, int hosts) {
+  // Million-task ingest workload: per-host task chains with a full-width
+  // barrier task every few thousand tasks — the shape of a fine-grained
+  // task-parallel trace on a big partition. Tasks never overlap, so the
+  // composite stage sees heavy input but synthesizes nothing.
+  util::Rng rng(7);
+  model::ScheduleBuilder builder;
+  builder.cluster(0, "big", hosts);
+  std::vector<double> cursor(static_cast<std::size_t>(hosts), 0.0);
+  for (int i = 0; i < tasks; ++i) {
+    if (i % 5000 == 4999) {
+      const double at = *std::max_element(cursor.begin(), cursor.end());
+      const double len = rng.uniform(0.001, 0.01);
+      builder.task("barrier." + std::to_string(i), "barrier", at, at + len)
+          .on(0, 0, hosts);
+      std::fill(cursor.begin(), cursor.end(), at + len);
+    } else {
+      const int h = i % hosts;
+      const double len = rng.uniform(0.0001, 0.01);
+      const double at = cursor[static_cast<std::size_t>(h)];
+      builder
+          .task("t" + std::to_string(h) + "." + std::to_string(i),
+                i % 2 ? "computation" : "waiting", at, at + len)
+          .on(0, h, 1);
+      cursor[static_cast<std::size_t>(h)] = at + len;
+    }
+  }
+  return builder.build();
+}
+
+/// Shared across the report and the BM_Ingest* timings (building the
+/// million-task document once keeps the bench startup bounded).
+const std::string& million_xml() {
+  static const std::string xml = [] {
+    return io::write_schedule_xml(million_schedule(1000000, 4096));
+  }();
+  return xml;
+}
+
+// ---------------------------------------------------------------------------
+// Pre-PR reference ingest: faithful copies of the DOM-walking reader, the
+// per-host validate and the per-(cluster, host) composite sweep as they stood
+// before the zero-copy ingest work (the same convention as ReferenceTimeline
+// in tests/test_sched_gaps.cpp). Together they are the "pre-PR DOM path" the
+// >= 5x ingest row measures against.
+// ---------------------------------------------------------------------------
+namespace legacy {
+
+int require_int_attr(const xml::Element& e, std::string_view name) {
+  auto v = util::parse_int(e.require_attr(name));
+  if (!v) {
+    throw ParseError("attribute '" + std::string(name) + "' of <" +
+                         e.name() + "> is not an integer",
+                     e.source_line());
+  }
+  return static_cast<int>(*v);
+}
+
+model::Configuration parse_configuration(const xml::Element& e) {
+  model::Configuration cfg;
+  for (const auto* prop : e.children_named("conf_property")) {
+    const auto name = prop->require_attr("name");
+    const auto value = prop->require_attr("value");
+    if (name == "cluster_id") {
+      cfg.cluster_id = static_cast<int>(*util::parse_int(value));
+    }
+  }
+  for (const auto* hosts :
+       e.first_child("host_lists")->children_named("hosts")) {
+    model::HostRange r;
+    r.start = require_int_attr(*hosts, "start");
+    r.nb = require_int_attr(*hosts, "nb");
+    cfg.hosts.push_back(r);
+  }
+  return cfg;
+}
+
+model::Task parse_node(const xml::Element& e) {
+  model::Task t;
+  double start = 0;
+  double end = 0;
+  for (const auto* prop : e.children_named("node_property")) {
+    const auto name = prop->require_attr("name");
+    const auto value = std::string(prop->require_attr("value"));
+    if (name == "id") {
+      t.set_id(value);
+    } else if (name == "type") {
+      t.set_type(value);
+    } else if (name == "start_time") {
+      start = *util::parse_double(value);
+    } else if (name == "end_time") {
+      end = *util::parse_double(value);
+    } else {
+      t.set_property(std::string(name), value);
+    }
+  }
+  t.set_times(start, end);
+  for (const auto* cfg : e.children_named("configuration")) {
+    t.add_configuration(parse_configuration(*cfg));
+  }
+  return t;
+}
+
+/// Pre-PR validate: expands every host range into a per-configuration
+/// std::set<int> and tracks task ids in an ordered set.
+void validate(const model::Schedule& schedule) {
+  std::set<std::string_view> seen_ids;
+  for (const auto& t : schedule.tasks()) {
+    if (!seen_ids.insert(t.id()).second) {
+      throw ValidationError("duplicate task id '" + t.id() + "'");
+    }
+    for (const auto& cfg : t.configurations()) {
+      const model::Cluster& cluster = schedule.cluster_by_id(cfg.cluster_id);
+      std::set<int> used;
+      for (const auto& range : cfg.hosts) {
+        if (range.start < 0 || range.start + range.nb > cluster.hosts) {
+          throw ValidationError("host range out of bounds");
+        }
+        for (int h = range.start; h < range.start + range.nb; ++h) {
+          if (!used.insert(h).second) {
+            throw ValidationError("task '" + t.id() + "' lists host " +
+                                  std::to_string(h) + " twice");
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Pre-PR DOM reader: baseline recursive parse, then a DOM walk.
+model::Schedule read_schedule(const std::string& xml_text) {
+  const xml::Document doc = xml::baseline_parse(xml_text);
+  const xml::Element& root = *doc.root;
+  model::Schedule schedule;
+  for (const auto* cluster :
+       root.first_child("platform")->children_named("cluster")) {
+    model::Cluster c;
+    c.id = require_int_attr(*cluster, "id");
+    if (auto name = cluster->attr("name")) c.name = std::string(*name);
+    c.hosts = require_int_attr(*cluster, "hosts");
+    schedule.add_cluster(std::move(c));
+  }
+  if (const auto* nodes = root.first_child("node_infos")) {
+    for (const auto* node : nodes->children_named("node_statistics")) {
+      schedule.add_task(parse_node(*node));
+    }
+  }
+  validate(schedule);
+  return schedule;
+}
+
+struct GroupKey {
+  int cluster_id;
+  model::Time begin;
+  model::Time end;
+  std::vector<std::size_t> members;
+
+  bool operator<(const GroupKey& o) const {
+    return std::tie(cluster_id, begin, end, members) <
+           std::tie(o.cluster_id, o.begin, o.end, o.members);
+  }
+};
+
+struct Interval {
+  std::size_t task_index;
+  model::Time begin;
+  model::Time end;
+};
+
+std::vector<model::HostRange> compress_hosts(std::vector<int> hosts) {
+  std::sort(hosts.begin(), hosts.end());
+  std::vector<model::HostRange> ranges;
+  for (int h : hosts) {
+    if (!ranges.empty() && ranges.back().start + ranges.back().nb == h) {
+      ++ranges.back().nb;
+    } else {
+      ranges.push_back(model::HostRange{h, 1});
+    }
+  }
+  return ranges;
+}
+
+/// Pre-PR composite sweep: expands every allocation to per-(cluster, host)
+/// interval lists and sweeps each host independently (serial path).
+std::vector<model::Composite> composites(const model::Schedule& schedule) {
+  const auto& tasks = schedule.tasks();
+  std::map<std::pair<int, int>, std::vector<Interval>> per_resource;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const model::Task& t = tasks[i];
+    if (!(t.end_time() > t.start_time())) continue;
+    for (const auto& cfg : t.configurations()) {
+      for (const auto& range : cfg.hosts) {
+        for (int h = range.start; h < range.start + range.nb; ++h) {
+          per_resource[{cfg.cluster_id, h}].push_back(
+              Interval{i, t.start_time(), t.end_time()});
+        }
+      }
+    }
+  }
+
+  std::map<GroupKey, std::vector<int>> groups;
+  for (const auto& [resource, intervals] : per_resource) {
+    if (intervals.size() < 2) continue;
+    struct Event {
+      model::Time time;
+      bool is_start;
+      std::size_t task_index;
+    };
+    std::vector<Event> events;
+    events.reserve(intervals.size() * 2);
+    for (const auto& iv : intervals) {
+      events.push_back(Event{iv.begin, true, iv.task_index});
+      events.push_back(Event{iv.end, false, iv.task_index});
+    }
+    std::sort(events.begin(), events.end(),
+              [](const Event& a, const Event& b) {
+                if (a.time != b.time) return a.time < b.time;
+                if (a.is_start != b.is_start) return !a.is_start;
+                return a.task_index < b.task_index;
+              });
+    std::vector<std::size_t> active;
+    std::size_t e = 0;
+    model::Time prev_time = 0;
+    bool have_prev = false;
+    while (e < events.size()) {
+      const model::Time now = events[e].time;
+      if (have_prev && active.size() >= 2 && now > prev_time) {
+        groups[GroupKey{resource.first, prev_time, now, active}].push_back(
+            resource.second);
+      }
+      while (e < events.size() && events[e].time == now) {
+        if (events[e].is_start) {
+          active.insert(std::lower_bound(active.begin(), active.end(),
+                                         events[e].task_index),
+                        events[e].task_index);
+        } else {
+          active.erase(std::lower_bound(active.begin(), active.end(),
+                                        events[e].task_index));
+        }
+        ++e;
+      }
+      prev_time = now;
+      have_prev = true;
+    }
+  }
+
+  std::vector<model::Composite> out;
+  out.reserve(groups.size());
+  for (auto& [key, hosts] : groups) {
+    model::Composite comp;
+    std::vector<std::string> ids;
+    for (std::size_t idx : key.members) {
+      ids.push_back(tasks[idx].id());
+      comp.member_types.insert(tasks[idx].type());
+    }
+    comp.member_ids = ids;
+    comp.task.set_id(util::join(ids, "+"));
+    comp.task.set_type("composite");
+    comp.task.set_times(key.begin, key.end);
+    model::Configuration cfg;
+    cfg.cluster_id = key.cluster_id;
+    cfg.hosts = compress_hosts(std::move(hosts));
+    comp.task.add_configuration(std::move(cfg));
+    out.push_back(std::move(comp));
+  }
+  return out;
+}
+
+}  // namespace legacy
 
 bool same_composites(const std::vector<model::Composite>& a,
                      const std::vector<model::Composite>& b) {
@@ -171,6 +451,52 @@ void report() {
   report_row("XML parse + validate", fmt(watch.seconds(), 2) + " s");
   report_check("250k tasks round-trip end to end",
                back.tasks().size() == static_cast<std::size_t>(kTasks));
+
+  // Million-task ingest: the full XML -> model -> composite data path. Three
+  // rows: the faithful pre-PR path (baseline recursive parse + DOM walk +
+  // per-host validate + per-host composite sweep, reconstructed in `legacy`
+  // above), the retained DOM reader over today's kernels, and the zero-copy
+  // streaming reader. Target: >= 5x vs the pre-PR path, end to end.
+  {
+    watch.reset();
+    const auto& mxml = million_xml();
+    report_row("build + write 1M-task/4096-host XML",
+               fmt(watch.seconds(), 2) + " s (" +
+                   std::to_string(mxml.size() / 1024 / 1024) + " MiB)");
+
+    watch.reset();
+    const auto via_legacy = legacy::read_schedule(mxml);
+    const auto comp_legacy = legacy::composites(via_legacy);
+    const double ingest_legacy = watch.seconds();
+    report_row("1M ingest, pre-PR DOM path", fmt(ingest_legacy, 2) + " s");
+
+    watch.reset();
+    const auto via_dom = io::read_schedule_xml_dom(mxml);
+    const auto comp_dom = model::synthesize_composites(via_dom);
+    const double ingest_dom = watch.seconds();
+    report_row("1M ingest, DOM reader + new kernels",
+               fmt(ingest_dom, 2) + " s (" +
+                   fmt(ingest_legacy / ingest_dom, 1) + "x)");
+
+    watch.reset();
+    const auto via_pull = io::read_schedule_xml(mxml);
+    const auto comp_pull = model::synthesize_composites(via_pull);
+    const double ingest_pull = watch.seconds();
+    report_row("1M ingest, streaming reader + new kernels",
+               fmt(ingest_pull, 2) + " s (" +
+                   fmt(ingest_legacy / ingest_pull, 1) + "x)");
+
+    report_check("pre-PR, DOM and streaming readers agree on 1M tasks",
+                 via_dom.tasks().size() == via_pull.tasks().size() &&
+                     via_legacy.tasks().size() == via_pull.tasks().size() &&
+                     io::write_schedule_xml(via_pull) == mxml &&
+                     io::write_schedule_xml(via_dom) == mxml &&
+                     io::write_schedule_xml(via_legacy) == mxml);
+    report_check("1M-task schedules are overlap-free",
+                 comp_legacy.empty() && comp_dom.empty() && comp_pull.empty());
+    report_check("1M-task ingest >= 5x vs pre-PR DOM path",
+                 ingest_legacy / ingest_pull >= 5.0);
+  }
   report_footer();
 }
 
@@ -226,6 +552,42 @@ void BM_XmlParse(benchmark::State& state) {
                           static_cast<std::int64_t>(xml.size()));
 }
 BENCHMARK(BM_XmlParse)->Arg(10000)->Arg(50000)->Unit(benchmark::kMillisecond);
+
+// The 1M-task ingest trio recorded in BENCH_scale.json: same document; the
+// legacy row runs the reconstructed pre-PR path end to end, the other two
+// share today's composite kernel and differ only in the XML -> Schedule path.
+void BM_IngestLegacy(benchmark::State& state) {
+  const auto& xml = million_xml();
+  for (auto _ : state) {
+    const auto schedule = legacy::read_schedule(xml);
+    benchmark::DoNotOptimize(legacy::composites(schedule));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(xml.size()));
+}
+BENCHMARK(BM_IngestLegacy)->Unit(benchmark::kMillisecond);
+
+void BM_IngestDom(benchmark::State& state) {
+  const auto& xml = million_xml();
+  for (auto _ : state) {
+    const auto schedule = io::read_schedule_xml_dom(xml);
+    benchmark::DoNotOptimize(model::synthesize_composites(schedule));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(xml.size()));
+}
+BENCHMARK(BM_IngestDom)->Unit(benchmark::kMillisecond);
+
+void BM_IngestPull(benchmark::State& state) {
+  const auto& xml = million_xml();
+  for (auto _ : state) {
+    const auto schedule = io::read_schedule_xml(xml);
+    benchmark::DoNotOptimize(model::synthesize_composites(schedule));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(xml.size()));
+}
+BENCHMARK(BM_IngestPull)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

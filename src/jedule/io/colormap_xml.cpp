@@ -1,7 +1,12 @@
 #include "jedule/io/colormap_xml.hpp"
 
+#include <optional>
+#include <set>
+#include <vector>
+
 #include "jedule/io/file.hpp"
 #include "jedule/util/error.hpp"
+#include "jedule/xml/pull.hpp"
 #include "jedule/xml/xml.hpp"
 
 namespace jedule::io {
@@ -11,22 +16,60 @@ namespace {
 using color::ColorMap;
 using color::CompositeRule;
 using color::TaskStyle;
+using xml::PullParser;
 
-/// Reads the fg/bg <color> children of a <task> or <composite> element into
-/// a style; missing entries keep the defaults.
-TaskStyle parse_style(const xml::Element& e) {
+/// A <color> child captured during the streaming pass. Validation is
+/// deferred so error precedence matches the DOM reader this replaces:
+/// for a <composite>, missing member ids and the empty-members check are
+/// reported before any color problem, regardless of document order.
+struct PendingColor {
+  long line = 0;
+  std::optional<std::string> type;
+  std::optional<std::string> rgb;
+};
+
+/// Consumes the children of the current <task>/<composite> element,
+/// buffering <color> entries (and member <task id>s when `members` is
+/// given). Other child elements are ignored, as in the DOM reader.
+void collect_style_children(PullParser& p, std::vector<PendingColor>& colors,
+                            std::set<std::string>* members) {
+  for (auto ev = p.next(); ev != PullParser::Event::kEndElement;
+       ev = p.next()) {
+    if (ev != PullParser::Event::kStartElement) continue;
+    if (p.name() == "color") {
+      PendingColor c;
+      c.line = p.line();
+      if (auto t = p.attr("type")) c.type = std::string(*t);
+      if (auto r = p.attr("rgb")) c.rgb = std::string(*r);
+      colors.push_back(std::move(c));
+    } else if (members != nullptr && p.name() == "task") {
+      members->insert(std::string(p.require_attr("id")));
+    }
+    p.skip_element();
+  }
+}
+
+/// Builds the style from buffered colors; missing entries keep the
+/// defaults. Per color, the checks run in the DOM reader's order:
+/// missing type, missing rgb, bad rgb, then bad type value.
+TaskStyle build_style(const std::vector<PendingColor>& colors) {
   TaskStyle style;
-  for (const auto* c : e.children_named("color")) {
-    const auto type = c->require_attr("type");
-    const auto rgb = color::parse_color(c->require_attr("rgb"));
-    if (type == "fg") {
+  for (const auto& c : colors) {
+    if (!c.type) {
+      throw ParseError("element <color> is missing attribute 'type'", c.line);
+    }
+    if (!c.rgb) {
+      throw ParseError("element <color> is missing attribute 'rgb'", c.line);
+    }
+    const auto rgb = color::parse_color(*c.rgb);
+    if (*c.type == "fg") {
       style.foreground = rgb;
-    } else if (type == "bg") {
+    } else if (*c.type == "bg") {
       style.background = rgb;
     } else {
-      throw ParseError("color type must be 'fg' or 'bg', got '" +
-                           std::string(type) + "'",
-                       c->source_line());
+      throw ParseError("color type must be 'fg' or 'bg', got '" + *c.type +
+                           "'",
+                       c.line);
     }
   }
   return style;
@@ -35,37 +78,44 @@ TaskStyle parse_style(const xml::Element& e) {
 }  // namespace
 
 color::ColorMap read_colormap_xml(const std::string& xml_text) {
-  const xml::Document doc = xml::parse(xml_text);
-  const xml::Element& root = *doc.root;
-  if (root.name() != "cmap") {
-    throw ParseError("root element must be <cmap>, got <" + root.name() + ">",
-                     root.source_line());
+  PullParser p(xml_text);
+  p.next();  // the parser throws unless the document opens with an element
+  if (p.name() != "cmap") {
+    throw ParseError("root element must be <cmap>, got <" +
+                         std::string(p.name()) + ">",
+                     p.line());
   }
   ColorMap map;
-  if (auto name = root.attr("name")) map.set_name(std::string(*name));
+  if (auto name = p.attr("name")) map.set_name(std::string(*name));
 
-  for (const auto& child : root.children()) {
-    if (child->name() == "conf") {
-      map.set_config(std::string(child->require_attr("name")),
-                     std::string(child->require_attr("value")));
-    } else if (child->name() == "task") {
-      map.set_style(std::string(child->require_attr("id")),
-                    parse_style(*child));
-    } else if (child->name() == "composite") {
+  for (auto ev = p.next(); ev != PullParser::Event::kEndElement;
+       ev = p.next()) {
+    if (ev != PullParser::Event::kStartElement) continue;
+    if (p.name() == "conf") {
+      auto name = std::string(p.require_attr("name"));
+      auto value = std::string(p.require_attr("value"));
+      map.set_config(std::move(name), std::move(value));
+      p.skip_element();
+    } else if (p.name() == "task") {
+      auto id = std::string(p.require_attr("id"));
+      std::vector<PendingColor> colors;
+      collect_style_children(p, colors, nullptr);
+      map.set_style(std::move(id), build_style(colors));
+    } else if (p.name() == "composite") {
+      const long rule_line = p.line();
       CompositeRule rule;
-      for (const auto* member : child->children_named("task")) {
-        rule.members.insert(std::string(member->require_attr("id")));
-      }
+      std::vector<PendingColor> colors;
+      collect_style_children(p, colors, &rule.members);
       if (rule.members.empty()) {
         throw ParseError("<composite> rule lists no member task types",
-                         child->source_line());
+                         rule_line);
       }
-      rule.style = parse_style(*child);
+      rule.style = build_style(colors);
       map.add_composite_rule(std::move(rule));
     } else {
-      throw ParseError("unexpected element <" + child->name() +
+      throw ParseError("unexpected element <" + std::string(p.name()) +
                            "> inside <cmap>",
-                       child->source_line());
+                       p.line());
     }
   }
   return map;

@@ -5,6 +5,7 @@
 #include "jedule/io/file.hpp"
 #include "jedule/util/error.hpp"
 #include "jedule/util/strings.hpp"
+#include "jedule/xml/pull.hpp"
 #include "jedule/xml/xml.hpp"
 
 namespace jedule::io {
@@ -115,10 +116,216 @@ Task parse_node(const xml::Element& e) {
   return t;
 }
 
+// ---------------------------------------------------------------------------
+// Streaming reader: consumes xml::PullParser events directly, so schedule
+// ingest never materializes a DOM. The accepted documents (and the resulting
+// Schedule) are identical to the DOM walk below: only the first jedule_meta /
+// platform / node_infos (and host_lists per configuration) sections count,
+// unknown elements are skipped (but still validated as XML), and all
+// semantic errors carry the same messages and source lines.
+// ---------------------------------------------------------------------------
+
+using xml::PullParser;
+
+int require_int_attr(const PullParser& p, std::string_view name) {
+  auto v = util::parse_int(p.require_attr(name));
+  if (!v) {
+    throw ParseError("attribute '" + std::string(name) + "' of <" +
+                         std::string(p.name()) + "> is not an integer",
+                     p.line());
+  }
+  return static_cast<int>(*v);
+}
+
+Configuration read_configuration(PullParser& p) {
+  const long cfg_line = p.line();
+  Configuration cfg;
+  bool have_cluster = false;
+  bool seen_lists = false;
+  int declared_hosts = -1;
+  for (auto ev = p.next(); ev != PullParser::Event::kEndElement;
+       ev = p.next()) {
+    if (ev != PullParser::Event::kStartElement) continue;
+    if (p.name() == "conf_property") {
+      const auto name = p.require_attr("name");
+      const auto value = p.require_attr("value");
+      if (name == "cluster_id") {
+        auto v = util::parse_int(value);
+        if (!v) throw ParseError("bad cluster_id", p.line());
+        cfg.cluster_id = static_cast<int>(*v);
+        have_cluster = true;
+      } else if (name == "host_nb") {
+        auto v = util::parse_int(value);
+        if (!v) throw ParseError("bad host_nb", p.line());
+        declared_hosts = static_cast<int>(*v);
+      } else {
+        throw ParseError("unknown conf_property '" + std::string(name) + "'",
+                         p.line());
+      }
+      p.skip_element();
+    } else if (p.name() == "host_lists" && !seen_lists) {
+      seen_lists = true;
+      for (auto lists_ev = p.next(); lists_ev != PullParser::Event::kEndElement;
+           lists_ev = p.next()) {
+        if (lists_ev != PullParser::Event::kStartElement) continue;
+        if (p.name() == "hosts") {
+          HostRange r;
+          r.start = require_int_attr(p, "start");
+          r.nb = require_int_attr(p, "nb");
+          cfg.hosts.push_back(r);
+        }
+        p.skip_element();
+      }
+    } else {
+      p.skip_element();
+    }
+  }
+  if (!have_cluster) {
+    throw ParseError("<configuration> lacks a cluster_id conf_property",
+                     cfg_line);
+  }
+  if (!seen_lists) {
+    throw ParseError("<configuration> lacks <host_lists>", cfg_line);
+  }
+  if (declared_hosts >= 0 && declared_hosts != cfg.host_count()) {
+    throw ParseError(
+        "host_nb (" + std::to_string(declared_hosts) +
+            ") disagrees with the host ranges (" +
+            std::to_string(cfg.host_count()) + " hosts)",
+        cfg_line);
+  }
+  return cfg;
+}
+
+Task read_node(PullParser& p) {
+  const long node_line = p.line();
+  Task t;
+  bool have_id = false;
+  bool have_type = false;
+  bool have_start = false;
+  bool have_end = false;
+  double start = 0;
+  double end = 0;
+  for (auto ev = p.next(); ev != PullParser::Event::kEndElement;
+       ev = p.next()) {
+    if (ev != PullParser::Event::kStartElement) continue;
+    if (p.name() == "node_property") {
+      const auto name = p.require_attr("name");
+      const auto value = p.require_attr("value");
+      if (name == "id") {
+        t.set_id(std::string(value));
+        have_id = true;
+      } else if (name == "type") {
+        t.set_type(std::string(value));
+        have_type = true;
+      } else if (name == "start_time") {
+        auto v = util::parse_double(value);
+        if (!v) throw ParseError("bad start_time", p.line());
+        start = *v;
+        have_start = true;
+      } else if (name == "end_time") {
+        auto v = util::parse_double(value);
+        if (!v) throw ParseError("bad end_time", p.line());
+        end = *v;
+        have_end = true;
+      } else {
+        t.set_property(std::string(name), std::string(value));
+      }
+      p.skip_element();
+    } else if (p.name() == "configuration") {
+      t.add_configuration(read_configuration(p));
+    } else {
+      p.skip_element();
+    }
+  }
+  if (!have_id || !have_type || !have_start || !have_end) {
+    throw ParseError(
+        "<node_statistics> requires id, type, start_time and end_time "
+        "node_property entries",
+        node_line);
+  }
+  t.set_times(start, end);
+  return t;
+}
+
 }  // namespace
 
 model::Schedule read_schedule_xml(const std::string& xml_text) {
-  const xml::Document doc = xml::parse(xml_text);
+  PullParser p(xml_text);
+  p.next();  // the parser throws unless the document opens with an element
+  if (p.name() != "jedule") {
+    throw ParseError("root element must be <jedule>, got <" +
+                         std::string(p.name()) + ">",
+                     p.line());
+  }
+  const long root_line = p.line();
+
+  Schedule schedule;
+  bool seen_meta = false;
+  bool seen_platform = false;
+  bool seen_nodes = false;
+  for (auto ev = p.next(); ev != PullParser::Event::kEndElement;
+       ev = p.next()) {
+    if (ev != PullParser::Event::kStartElement) continue;
+    const std::string_view section = p.name();
+    if (section == "jedule_meta" && !seen_meta) {
+      seen_meta = true;
+      for (auto meta_ev = p.next(); meta_ev != PullParser::Event::kEndElement;
+           meta_ev = p.next()) {
+        if (meta_ev != PullParser::Event::kStartElement) continue;
+        if (p.name() == "meta") {
+          auto name = std::string(p.require_attr("name"));
+          auto value = std::string(p.require_attr("value"));
+          schedule.set_meta(std::move(name), std::move(value));
+        }
+        p.skip_element();
+      }
+    } else if (section == "platform" && !seen_platform) {
+      seen_platform = true;
+      for (auto plat_ev = p.next(); plat_ev != PullParser::Event::kEndElement;
+           plat_ev = p.next()) {
+        if (plat_ev != PullParser::Event::kStartElement) continue;
+        if (p.name() == "cluster") {
+          model::Cluster c;
+          c.id = require_int_attr(p, "id");
+          if (auto name = p.attr("name")) {
+            c.name = std::string(*name);
+          } else {
+            c.name = "cluster-" + std::to_string(c.id);
+          }
+          c.hosts = require_int_attr(p, "hosts");
+          schedule.add_cluster(std::move(c));
+        }
+        p.skip_element();
+      }
+    } else if (section == "node_infos" && !seen_nodes) {
+      seen_nodes = true;
+      for (auto node_ev = p.next(); node_ev != PullParser::Event::kEndElement;
+           node_ev = p.next()) {
+        if (node_ev != PullParser::Event::kStartElement) continue;
+        if (p.name() == "node_statistics") {
+          schedule.add_task(read_node(p));
+        } else {
+          p.skip_element();
+        }
+      }
+    } else {
+      p.skip_element();
+    }
+  }
+
+  if (!seen_platform) {
+    throw ParseError("<jedule> lacks a <platform> section (at least one "
+                         "cluster is required)",
+                     root_line);
+  }
+
+  schedule.validate();
+  return schedule;
+}
+
+model::Schedule read_schedule_xml_dom(const std::string& xml_text) {
+  const xml::Document doc = xml::baseline_parse(xml_text);
   const xml::Element& root = *doc.root;
   if (root.name() != "jedule") {
     throw ParseError("root element must be <jedule>, got <" + root.name() +

@@ -39,7 +39,15 @@
 namespace jedule::io {
 
 /// Parses a schedule from Jedule XML text; validates before returning.
+/// Streams directly from xml::PullParser events — no DOM is built, so the
+/// cost is one zero-copy lexer pass plus the Schedule itself.
 model::Schedule read_schedule_xml(const std::string& xml_text);
+
+/// Reference reader: parses via the original DOM walk (xml::baseline_parse
+/// + tree traversal). Accepts exactly the same documents and produces the
+/// same Schedule as read_schedule_xml; retained for differential tests and
+/// as the pre-optimization baseline in bench_scale.
+model::Schedule read_schedule_xml_dom(const std::string& xml_text);
 
 /// Reads and parses the file at `path`.
 model::Schedule load_schedule_xml(const std::string& path);

@@ -4,6 +4,7 @@
 #include "jedule/io/file.hpp"
 #include "jedule/io/jedule_xml.hpp"
 #include "jedule/util/error.hpp"
+#include "jedule/util/inflate.hpp"
 #include "jedule/util/strings.hpp"
 
 namespace jedule::io {
@@ -92,7 +93,19 @@ std::vector<std::string> ParserRegistry::parser_names() const {
 
 model::Schedule load_schedule(const std::string& path,
                               const std::string& format) {
-  const std::string content = read_file(path);
+  std::string content = read_file(path);
+  std::string sniff_path = path;
+  // Gzip container (e.g. schedule.jed.gz): detected by the magic bytes, not
+  // the suffix, so piped/renamed files work too. The ".gz" is stripped
+  // before sniffing so the inner format is chosen from the inner name.
+  if (util::looks_like_gzip(content)) {
+    const auto raw = util::gzip_decompress(
+        reinterpret_cast<const std::uint8_t*>(content.data()), content.size());
+    content.assign(raw.begin(), raw.end());
+    if (util::ends_with(sniff_path, ".gz")) {
+      sniff_path.resize(sniff_path.size() - 3);
+    }
+  }
   const ParserRegistry& registry = ParserRegistry::instance();
   const ScheduleParser* parser = nullptr;
   if (!format.empty()) {
@@ -101,7 +114,7 @@ model::Schedule load_schedule(const std::string& path,
       throw ParseError("no parser registered for format '" + format + "'");
     }
   } else {
-    parser = registry.sniff(path, content.substr(0, 512));
+    parser = registry.sniff(sniff_path, content.substr(0, 512));
     if (parser == nullptr) {
       throw ParseError("no registered parser recognizes '" + path + "'");
     }

@@ -19,6 +19,12 @@ struct Interval {
   Time end;
 };
 
+// One task allocation on a cluster: the host range plus the time interval.
+struct Entry {
+  HostRange range;
+  Interval interval;
+};
+
 // Key identifying one composite rectangle group within a cluster: same
 // member set and same time interval; hosts are merged below.
 struct GroupKey {
@@ -26,41 +32,76 @@ struct GroupKey {
   Time begin;
   Time end;
   std::vector<std::size_t> members;  // sorted task indices
+};
 
-  bool operator<(const GroupKey& o) const {
-    return std::tie(cluster_id, begin, end, members) <
-           std::tie(o.cluster_id, o.begin, o.end, o.members);
+// Borrowed key: lets the sweep probe the group map with the live `active`
+// vector, so the members are only copied when the group is actually new.
+struct GroupKeyView {
+  int cluster_id;
+  Time begin;
+  Time end;
+  const std::vector<std::size_t>* members;
+};
+
+struct GroupKeyLess {
+  using is_transparent = void;
+
+  static std::tuple<int, Time, Time, const std::vector<std::size_t>&> tie(
+      const GroupKey& k) {
+    return {k.cluster_id, k.begin, k.end, k.members};
+  }
+  static std::tuple<int, Time, Time, const std::vector<std::size_t>&> tie(
+      const GroupKeyView& k) {
+    return {k.cluster_id, k.begin, k.end, *k.members};
+  }
+
+  template <typename A, typename B>
+  bool operator()(const A& a, const B& b) const {
+    return tie(a) < tie(b);
   }
 };
 
-using GroupMap = std::map<GroupKey, std::vector<int>>;
+// Host lists are built as sorted coalesced ranges directly: slabs arrive in
+// ascending host order, so touching ranges merge as they are appended.
+using GroupMap = std::map<GroupKey, std::vector<HostRange>, GroupKeyLess>;
 
-std::vector<HostRange> compress_hosts(std::vector<int> hosts) {
-  std::sort(hosts.begin(), hosts.end());
-  std::vector<HostRange> ranges;
-  for (int h : hosts) {
-    if (!ranges.empty() &&
-        ranges.back().start + ranges.back().nb == h) {
-      ++ranges.back().nb;
-    } else {
-      ranges.push_back(HostRange{h, 1});
-    }
+void append_group_slab(GroupMap& groups, int cluster_id, Time begin, Time end,
+                       const std::vector<std::size_t>& active, HostRange slab) {
+  const GroupKeyView view{cluster_id, begin, end, &active};
+  auto it = groups.lower_bound(view);
+  if (it == groups.end() || GroupKeyLess{}(view, it->first)) {
+    it = groups.emplace_hint(it, GroupKey{cluster_id, begin, end, active},
+                             std::vector<HostRange>());
   }
-  return ranges;
+  auto& ranges = it->second;
+  if (!ranges.empty() && ranges.back().start + ranges.back().nb == slab.start) {
+    ranges.back().nb += slab.nb;
+  } else {
+    ranges.push_back(slab);
+  }
 }
 
-// Sweep one resource's intervals, emitting (members, t0, t1) segments where
-// >= 2 tasks are simultaneously active; accumulates the host into `groups`.
-void sweep_resource(std::pair<int, int> resource,
-                    const std::vector<Interval>& intervals, GroupMap& groups) {
+// A slab of hosts of one cluster over which every participating allocation
+// either covers all hosts or none — so all its hosts share one interval
+// list and one sweep covers the whole slab.
+struct Slab {
+  int cluster_id;
+  HostRange hosts;
+  std::vector<Interval> intervals;
+};
+
+// Sweep one slab's intervals, emitting (members, t0, t1) segments where
+// >= 2 tasks are simultaneously active; accumulates the slab's host range
+// into `groups`.
+void sweep_slab(const Slab& slab, GroupMap& groups) {
   struct Event {
     Time time;
     bool is_start;
     std::size_t task_index;
   };
   std::vector<Event> events;
-  events.reserve(intervals.size() * 2);
-  for (const auto& iv : intervals) {
+  events.reserve(slab.intervals.size() * 2);
+  for (const auto& iv : slab.intervals) {
     events.push_back(Event{iv.begin, true, iv.task_index});
     events.push_back(Event{iv.end, false, iv.task_index});
   }
@@ -79,8 +120,8 @@ void sweep_resource(std::pair<int, int> resource,
   while (e < events.size()) {
     const Time now = events[e].time;
     if (have_prev && active.size() >= 2 && now > prev_time) {
-      GroupKey key{resource.first, prev_time, now, active};
-      groups[key].push_back(resource.second);
+      append_group_slab(groups, slab.cluster_id, prev_time, now, active,
+                        slab.hosts);
     }
     while (e < events.size() && events[e].time == now) {
       if (events[e].is_start) {
@@ -101,6 +142,72 @@ void sweep_resource(std::pair<int, int> resource,
   }
 }
 
+// Cuts each cluster's host axis at every allocation boundary and builds the
+// per-slab interval lists. Within a slab every host sees the same intervals,
+// so the sweep cost scales with the number of distinct host ranges, not the
+// number of hosts a range spans.
+std::vector<Slab> build_slabs(
+    const std::map<int, std::vector<Entry>>& per_cluster) {
+  std::vector<Slab> slabs;
+  for (const auto& [cluster_id, entries] : per_cluster) {
+    int max_end = 0;
+    for (const auto& entry : entries) {
+      max_end = std::max(max_end, entry.range.start + entry.range.nb);
+    }
+
+    // Boundary values are host indices, so when they are dense relative to
+    // the entry count a bucket pass replaces the O(E log E) sort and the
+    // per-entry binary searches; sparse/huge clusters fall back to sorting.
+    std::vector<int> cuts;
+    std::vector<std::size_t> cut_index;  // value -> position in `cuts`
+    const std::size_t bound = static_cast<std::size_t>(max_end) + 1;
+    const bool dense = bound <= entries.size() * 4 + 1024;
+    if (dense) {
+      std::vector<char> mark(bound, 0);
+      for (const auto& entry : entries) {
+        mark[static_cast<std::size_t>(entry.range.start)] = 1;
+        mark[static_cast<std::size_t>(entry.range.start + entry.range.nb)] = 1;
+      }
+      cut_index.assign(bound, 0);
+      for (std::size_t v = 0; v < bound; ++v) {
+        if (mark[v]) {
+          cut_index[v] = cuts.size();
+          cuts.push_back(static_cast<int>(v));
+        }
+      }
+    } else {
+      cuts.reserve(entries.size() * 2);
+      for (const auto& entry : entries) {
+        cuts.push_back(entry.range.start);
+        cuts.push_back(entry.range.start + entry.range.nb);
+      }
+      std::sort(cuts.begin(), cuts.end());
+      cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+    }
+    const auto index_of = [&](int value) {
+      if (dense) return cut_index[static_cast<std::size_t>(value)];
+      // Both bounds are cuts, so lower_bound lands exactly on them.
+      return static_cast<std::size_t>(
+          std::lower_bound(cuts.begin(), cuts.end(), value) - cuts.begin());
+    };
+
+    std::vector<std::vector<Interval>> lists(cuts.size() - 1);
+    for (const auto& entry : entries) {
+      const std::size_t k0 = index_of(entry.range.start);
+      const std::size_t k1 = index_of(entry.range.start + entry.range.nb);
+      for (std::size_t k = k0; k < k1; ++k) {
+        lists[k].push_back(entry.interval);
+      }
+    }
+    for (std::size_t k = 0; k + 1 < cuts.size(); ++k) {
+      if (lists[k].size() < 2) continue;  // no overlap possible
+      slabs.push_back(Slab{cluster_id, HostRange{cuts[k], cuts[k + 1] - cuts[k]},
+                           std::move(lists[k])});
+    }
+  }
+  return slabs;
+}
+
 }  // namespace
 
 std::vector<Composite> synthesize_composites(
@@ -108,72 +215,81 @@ std::vector<Composite> synthesize_composites(
     const std::function<bool(const Task&)>& include_task, int threads) {
   const auto& tasks = schedule.tasks();
 
-  // Per (cluster, host) interval lists. Host key: cluster-local index; we
-  // keep a per-cluster map to avoid allocating total_hosts vectors when the
-  // schedule is sparse (e.g. a 1024-node day trace).
-  std::map<std::pair<int, int>, std::vector<Interval>> per_resource;
+  // Per-cluster allocation lists; hosts stay as ranges throughout — the
+  // sweep below works per boundary-delimited slab, so the cost is in the
+  // number of ranges, never in the hosts they expand to.
+  std::map<int, std::vector<Entry>> per_cluster;
   for (std::size_t i = 0; i < tasks.size(); ++i) {
     const Task& t = tasks[i];
     if (include_task && !include_task(t)) continue;
     if (!(t.end_time() > t.start_time())) continue;  // zero area
     for (const auto& cfg : t.configurations()) {
       for (const auto& range : cfg.hosts) {
-        for (int h = range.start; h < range.start + range.nb; ++h) {
-          per_resource[{cfg.cluster_id, h}].push_back(
-              Interval{i, t.start_time(), t.end_time()});
-        }
+        per_cluster[cfg.cluster_id].push_back(
+            Entry{range, Interval{i, t.start_time(), t.end_time()}});
       }
     }
   }
 
-  // Flatten to (cluster, host) order so the sweep can be partitioned into
-  // contiguous resource shards, one per worker slot.
-  std::vector<std::pair<std::pair<int, int>, std::vector<Interval>>> resources;
-  resources.reserve(per_resource.size());
-  for (auto& [resource, intervals] : per_resource) {
-    if (intervals.size() < 2) continue;
-    resources.emplace_back(resource, std::move(intervals));
-  }
+  // Slabs are emitted in ascending (cluster, host) order so the sweep can be
+  // partitioned into contiguous shards, one per worker slot.
+  std::vector<Slab> slabs = build_slabs(per_cluster);
 
   const std::size_t shards = std::min<std::size_t>(
-      resources.size(), threads < 1 ? 1 : static_cast<std::size_t>(threads));
+      slabs.size(), threads < 1 ? 1 : static_cast<std::size_t>(threads));
   std::vector<GroupMap> shard_groups(shards > 0 ? shards : 1);
   util::parallel_for(shards, threads, [&](std::size_t s) {
-    const std::size_t begin = resources.size() * s / shards;
-    const std::size_t end = resources.size() * (s + 1) / shards;
-    for (std::size_t r = begin; r < end; ++r) {
-      sweep_resource(resources[r].first, resources[r].second, shard_groups[s]);
+    const std::size_t begin = slabs.size() * s / shards;
+    const std::size_t end = slabs.size() * (s + 1) / shards;
+    for (std::size_t k = begin; k < end; ++k) {
+      sweep_slab(slabs[k], shard_groups[s]);
     }
   });
 
-  // Merge shards in ascending resource order: a group's host list ends up
-  // in the same order the serial sweep would have produced, so the result
-  // never depends on the thread count.
+  // Merge shards in ascending slab order: a group's host ranges end up
+  // exactly as the serial sweep would have produced them (coalescing across
+  // the shard seam), so the result never depends on the thread count.
   GroupMap groups = std::move(shard_groups[0]);
   for (std::size_t s = 1; s < shards; ++s) {
-    for (auto& [key, hosts] : shard_groups[s]) {
-      auto& dst = groups[key];
-      dst.insert(dst.end(), hosts.begin(), hosts.end());
+    auto& src = shard_groups[s];
+    for (auto it = src.begin(); it != src.end();) {
+      const auto next = std::next(it);
+      auto dst = groups.lower_bound(it->first);
+      if (dst != groups.end() && !groups.key_comp()(it->first, dst->first)) {
+        auto& merged = dst->second;
+        auto& incoming = it->second;
+        std::size_t from = 0;
+        if (!merged.empty() && !incoming.empty() &&
+            merged.back().start + merged.back().nb == incoming.front().start) {
+          merged.back().nb += incoming.front().nb;
+          from = 1;
+        }
+        merged.insert(merged.end(), incoming.begin() + from, incoming.end());
+      } else {
+        groups.insert(dst, src.extract(it));
+      }
+      it = next;
     }
   }
 
   // Materialize one composite task per group.
   std::vector<Composite> out;
   out.reserve(groups.size());
-  for (auto& [key, hosts] : groups) {
+  for (auto& [key, ranges] : groups) {
     Composite comp;
     std::vector<std::string> ids;
+    ids.reserve(key.members.size());
     for (std::size_t idx : key.members) {
       ids.push_back(tasks[idx].id());
       comp.member_types.insert(tasks[idx].type());
     }
-    comp.member_ids = ids;
     comp.task.set_id(util::join(ids, "+"));
+    comp.member_ids = std::move(ids);
     comp.task.set_type("composite");
     comp.task.set_times(key.begin, key.end);
     Configuration cfg;
     cfg.cluster_id = key.cluster_id;
-    cfg.hosts = compress_hosts(std::move(hosts));
+    cfg.hosts = std::move(ranges);
     comp.task.add_configuration(std::move(cfg));
     out.push_back(std::move(comp));
   }

@@ -1,11 +1,51 @@
 #include "jedule/model/schedule.hpp"
 
 #include <algorithm>
-#include <set>
+#include <bit>
+#include <map>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_set>
 
 #include "jedule/util/error.hpp"
 
 namespace jedule::model {
+
+namespace detail {
+
+namespace {
+
+struct StringViewHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+struct StringViewEq {
+  using is_transparent = void;
+  bool operator()(std::string_view a, std::string_view b) const noexcept {
+    return a == b;
+  }
+};
+
+}  // namespace
+
+const std::string* intern_task_type(std::string_view type) {
+  // unordered_set is node-based, so &*it stays valid across rehashes. The
+  // pool is never shrunk; a handful of types live for the process lifetime.
+  static std::shared_mutex mutex;
+  static std::unordered_set<std::string, StringViewHash, StringViewEq> pool;
+  {
+    std::shared_lock lock(mutex);
+    auto it = pool.find(type);
+    if (it != pool.end()) return &*it;
+  }
+  std::unique_lock lock(mutex);
+  return &*pool.emplace(type).first;
+}
+
+}  // namespace detail
 
 int Configuration::host_count() const {
   int n = 0;
@@ -181,12 +221,32 @@ void Schedule::validate() const {
   if (clusters_.empty()) {
     throw ValidationError("a schedule requires at least one cluster");
   }
-  std::set<std::string_view> seen_ids;
-  for (const auto& t : tasks_) {
+  // Duplicate-id probe over a flat open-addressed table: a node-based set
+  // costs one allocation and several cache misses per insert, which at
+  // million-task scale is most of the validate pass.
+  constexpr std::size_t kEmpty = static_cast<std::size_t>(-1);
+  const std::size_t cap = std::bit_ceil(tasks_.size() * 2 + 16);
+  std::vector<std::size_t> slots(cap, kEmpty);
+  const auto seen_before = [&](std::size_t index) {
+    const std::string_view id = tasks_[index].id();
+    std::size_t h = std::hash<std::string_view>{}(id) & (cap - 1);
+    while (slots[h] != kEmpty) {
+      if (tasks_[slots[h]].id() == id) return true;
+      h = (h + 1) & (cap - 1);
+    }
+    slots[h] = index;
+    return false;
+  };
+  // The common case is every task on the same cluster, so the id -> cluster
+  // map lookup is cached across consecutive configurations.
+  int cached_id = 0;
+  const Cluster* cached_cluster = nullptr;
+  for (std::size_t ti = 0; ti < tasks_.size(); ++ti) {
+    const Task& t = tasks_[ti];
     if (t.id().empty()) {
       throw ValidationError("task with empty id");
     }
-    if (!seen_ids.insert(t.id()).second) {
+    if (seen_before(ti)) {
       throw ValidationError("duplicate task id '" + t.id() + "'");
     }
     if (!(t.end_time() >= t.start_time())) {
@@ -199,17 +259,27 @@ void Schedule::validate() const {
       throw ValidationError("task '" + t.id() + "' has no configuration");
     }
     for (const auto& cfg : t.configurations()) {
-      if (!has_cluster(cfg.cluster_id)) {
-        throw ValidationError("task '" + t.id() +
-                              "' references unknown cluster " +
-                              std::to_string(cfg.cluster_id));
+      if (cached_cluster == nullptr || cfg.cluster_id != cached_id) {
+        auto it = cluster_index_.find(cfg.cluster_id);
+        if (it == cluster_index_.end()) {
+          throw ValidationError("task '" + t.id() +
+                                "' references unknown cluster " +
+                                std::to_string(cfg.cluster_id));
+        }
+        cached_id = cfg.cluster_id;
+        cached_cluster = &clusters_[it->second];
       }
-      const Cluster& cluster = cluster_by_id(cfg.cluster_id);
+      const Cluster& cluster = *cached_cluster;
       if (cfg.hosts.empty()) {
         throw ValidationError("task '" + t.id() +
                               "' has a configuration without hosts");
       }
-      std::set<int> used;
+      // Disjoint used-host intervals [start, end), coalesced on insert. A
+      // range overlapping earlier ones reports the same first duplicate
+      // host the per-host scan found: the smallest overlapped index. A
+      // single-range configuration (the common case by far) cannot repeat
+      // a host, so the interval map is only kept for multi-range configs.
+      std::map<int, int> used;
       for (const auto& range : cfg.hosts) {
         if (range.nb <= 0) {
           throw ValidationError("task '" + t.id() +
@@ -223,13 +293,33 @@ void Schedule::validate() const {
               ") exceeds cluster " + std::to_string(cluster.id) + " size " +
               std::to_string(cluster.hosts));
         }
-        for (int h = range.start; h < range.start + range.nb; ++h) {
-          if (!used.insert(h).second) {
-            throw ValidationError("task '" + t.id() + "' lists host " +
-                                  std::to_string(h) + " of cluster " +
-                                  std::to_string(cluster.id) + " twice");
-          }
+        if (cfg.hosts.size() == 1) break;
+        const int start = range.start;
+        const int end = range.start + range.nb;
+        int dup = -1;
+        auto next = used.upper_bound(start);
+        if (next != used.begin() && std::prev(next)->second > start) {
+          dup = start;
+        } else if (next != used.end() && next->first < end) {
+          dup = next->first;
         }
+        if (dup >= 0) {
+          throw ValidationError("task '" + t.id() + "' lists host " +
+                                std::to_string(dup) + " of cluster " +
+                                std::to_string(cluster.id) + " twice");
+        }
+        int merged_start = start;
+        int merged_end = end;
+        if (next != used.begin() && std::prev(next)->second == start) {
+          auto prev = std::prev(next);
+          merged_start = prev->first;
+          used.erase(prev);
+        }
+        if (next != used.end() && next->first == end) {
+          merged_end = next->second;
+          used.erase(next);
+        }
+        used[merged_start] = merged_end;
       }
     }
   }

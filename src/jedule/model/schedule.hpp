@@ -42,17 +42,36 @@ struct Configuration {
   friend bool operator==(const Configuration&, const Configuration&) = default;
 };
 
+namespace detail {
+/// Global task-type pool. Task types ("computation", "transfer", ...) are
+/// drawn from a tiny vocabulary even in million-task schedules, so every
+/// Task stores one interned pointer instead of its own heap string. The
+/// pool is append-only and thread-safe; returned pointers are stable for
+/// the lifetime of the process.
+const std::string* intern_task_type(std::string_view type);
+
+inline const std::string* empty_task_type() {
+  static const std::string* const kEmpty = intern_task_type(std::string_view());
+  return kEmpty;
+}
+}  // namespace detail
+
 class Task {
  public:
   Task() = default;
-  Task(std::string id, std::string type, Time start, Time end)
-      : id_(std::move(id)), type_(std::move(type)), start_(start), end_(end) {}
+  Task(std::string id, std::string_view type, Time start, Time end)
+      : id_(std::move(id)),
+        type_(detail::intern_task_type(type)),
+        start_(start),
+        end_(end) {}
 
   const std::string& id() const { return id_; }
   void set_id(std::string id) { id_ = std::move(id); }
 
-  const std::string& type() const { return type_; }
-  void set_type(std::string type) { type_ = std::move(type); }
+  const std::string& type() const { return *type_; }
+  void set_type(std::string_view type) {
+    type_ = detail::intern_task_type(type);
+  }
 
   Time start_time() const { return start_; }
   Time end_time() const { return end_; }
@@ -81,7 +100,7 @@ class Task {
 
  private:
   std::string id_;
-  std::string type_;
+  const std::string* type_ = detail::empty_task_type();
   Time start_ = 0;
   Time end_ = 0;
   std::vector<Configuration> configs_;

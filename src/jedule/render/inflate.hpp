@@ -1,22 +1,16 @@
 #pragma once
 
-// DEFLATE decoder covering everything the in-tree encoder can emit (stored
-// and fixed-Huffman blocks) plus dynamic-Huffman blocks, so externally
-// produced zlib streams also load. Exists primarily so the PNG/zlib encoder
-// is round-trip verified by the test suite without external dependencies.
+// Forwarding header: the DEFLATE/zlib/gzip decoder moved to
+// jedule/util/inflate.hpp so the io layer can load compressed schedule
+// files without depending on the render library. Kept so existing
+// render-side includes and qualified names keep working.
 
-#include <cstddef>
-#include <cstdint>
-#include <vector>
+#include "jedule/util/inflate.hpp"
 
 namespace jedule::render {
 
-/// Decodes a raw DEFLATE stream; throws jedule::ParseError on corruption.
-std::vector<std::uint8_t> inflate_decompress(const std::uint8_t* data,
-                                             std::size_t size);
-
-/// Decodes a zlib stream and verifies its Adler-32 checksum.
-std::vector<std::uint8_t> zlib_decompress(const std::uint8_t* data,
-                                          std::size_t size);
+using util::gzip_decompress;
+using util::inflate_decompress;
+using util::zlib_decompress;
 
 }  // namespace jedule::render

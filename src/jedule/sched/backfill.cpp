@@ -1,50 +1,11 @@
 #include "jedule/sched/backfill.hpp"
 
 #include <algorithm>
-#include <set>
 
+#include "jedule/sched/gaps.hpp"
 #include "jedule/util/error.hpp"
 
 namespace jedule::sched {
-
-namespace {
-
-/// Busy intervals per host (multiset: several tasks can contribute equal
-/// intervals); supports free queries, earliest-fit, and release of one
-/// specific interval when its task is being re-placed.
-class Timeline {
- public:
-  bool is_free(double t0, double t1) const {
-    for (const auto& [b, e] : busy_) {
-      if (b >= t1) break;
-      if (e > t0) return false;
-    }
-    return true;
-  }
-
-  /// Earliest t >= ready with [t, t+len) free.
-  double earliest_fit(double ready, double len) const {
-    double t = ready;
-    for (const auto& [b, e] : busy_) {
-      if (b >= t + len) break;
-      if (e > t) t = e;
-    }
-    return t;
-  }
-
-  void occupy(double t0, double t1) { busy_.emplace(t0, t1); }
-
-  void release(double t0, double t1) {
-    const auto it = busy_.find({t0, t1});
-    JED_ASSERT(it != busy_.end());
-    busy_.erase(it);
-  }
-
- private:
-  std::multiset<std::pair<double, double>> busy_;
-};
-
-}  // namespace
 
 BackfillResult conservative_backfill(
     const std::vector<PlacedTask>& tasks, int total_hosts,
@@ -59,7 +20,9 @@ BackfillResult conservative_backfill(
   // Every task's current slot is reserved up front, so a move can never
   // collide with a task that has not been revisited yet — the property
   // that makes the pass conservative.
-  std::vector<Timeline> timeline(static_cast<std::size_t>(total_hosts));
+  // Per-host free-gap trees (earliest-fit, free query, occupy and release
+  // are all O(log slots); the busy-interval scan they replace was linear).
+  std::vector<GapTimeline> timeline(static_cast<std::size_t>(total_hosts));
   for (const auto& t : tasks) {
     for (int h : t.hosts) {
       JED_ASSERT(h >= 0 && h < total_hosts);

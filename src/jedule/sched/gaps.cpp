@@ -1,0 +1,244 @@
+#include "jedule/sched/gaps.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "jedule/util/error.hpp"
+
+namespace jedule::sched {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+GapTimeline::GapTimeline() : last_end_(-kInf) {
+  root_ = new_node(-kInf, kInf);
+}
+
+void GapTimeline::pull(int n) {
+  double m = gap_len(n);
+  if (nodes_[n].left >= 0) m = std::max(m, nodes_[nodes_[n].left].max_len);
+  if (nodes_[n].right >= 0) m = std::max(m, nodes_[nodes_[n].right].max_len);
+  nodes_[n].max_len = m;
+}
+
+std::uint32_t GapTimeline::next_prio() {
+  // splitmix32: deterministic, well-mixed treap priorities.
+  std::uint32_t z = (prio_state_ += 0x9e3779b9u);
+  z = (z ^ (z >> 16)) * 0x21f0aaadu;
+  z = (z ^ (z >> 15)) * 0x735a2d97u;
+  return z ^ (z >> 15);
+}
+
+int GapTimeline::new_node(double start, double end) {
+  int n;
+  if (!free_list_.empty()) {
+    n = free_list_.back();
+    free_list_.pop_back();
+    nodes_[n] = Node();
+  } else {
+    n = static_cast<int>(nodes_.size());
+    nodes_.emplace_back();
+  }
+  nodes_[n].start = start;
+  nodes_[n].end = end;
+  nodes_[n].max_len = end - start;
+  nodes_[n].prio = next_prio();
+  return n;
+}
+
+void GapTimeline::free_node(int n) { free_list_.push_back(n); }
+
+int GapTimeline::merge_trees(int a, int b) {
+  if (a < 0) return b;
+  if (b < 0) return a;
+  if (nodes_[a].prio > nodes_[b].prio) {
+    nodes_[a].right = merge_trees(nodes_[a].right, b);
+    pull(a);
+    return a;
+  }
+  nodes_[b].left = merge_trees(a, nodes_[b].left);
+  pull(b);
+  return b;
+}
+
+void GapTimeline::split(int n, double key, int& a, int& b) {
+  if (n < 0) {
+    a = b = -1;
+    return;
+  }
+  if (nodes_[n].start < key) {
+    split(nodes_[n].right, key, nodes_[n].right, b);
+    a = n;
+    pull(n);
+  } else {
+    split(nodes_[n].left, key, a, nodes_[n].left);
+    b = n;
+    pull(n);
+  }
+}
+
+int GapTimeline::insert_node(int n, int v) {
+  if (n < 0) return v;
+  if (nodes_[v].prio > nodes_[n].prio) {
+    split(n, nodes_[v].start, nodes_[v].left, nodes_[v].right);
+    pull(v);
+    return v;
+  }
+  if (nodes_[v].start < nodes_[n].start) {
+    nodes_[n].left = insert_node(nodes_[n].left, v);
+  } else {
+    nodes_[n].right = insert_node(nodes_[n].right, v);
+  }
+  pull(n);
+  return n;
+}
+
+int GapTimeline::erase_start(int n, double start) {
+  JED_ASSERT(n >= 0);
+  if (start < nodes_[n].start) {
+    nodes_[n].left = erase_start(nodes_[n].left, start);
+  } else if (start > nodes_[n].start) {
+    nodes_[n].right = erase_start(nodes_[n].right, start);
+  } else {
+    const int res = merge_trees(nodes_[n].left, nodes_[n].right);
+    free_node(n);
+    return res;
+  }
+  pull(n);
+  return n;
+}
+
+int GapTimeline::find_pred(double t) const {
+  int n = root_;
+  int best = -1;
+  while (n >= 0) {
+    if (nodes_[n].start <= t) {
+      best = n;
+      n = nodes_[n].right;
+    } else {
+      n = nodes_[n].left;
+    }
+  }
+  return best;
+}
+
+int GapTimeline::find_first_at_or_after(double t) const {
+  int n = root_;
+  int best = -1;
+  while (n >= 0) {
+    if (nodes_[n].start >= t) {
+      best = n;
+      n = nodes_[n].left;
+    } else {
+      n = nodes_[n].right;
+    }
+  }
+  return best;
+}
+
+int GapTimeline::first_fit(int n, double t, double len) const {
+  if (n < 0 || nodes_[n].max_len < len) return -1;
+  if (nodes_[n].start <= t) {
+    // Everything in the left subtree starts even earlier; skip it.
+    return first_fit(nodes_[n].right, t, len);
+  }
+  const int l = first_fit(nodes_[n].left, t, len);
+  if (l >= 0) return l;
+  if (gap_len(n) >= len) return n;
+  return first_fit_any(nodes_[n].right, len);
+}
+
+int GapTimeline::first_fit_any(int n, double len) const {
+  if (n < 0 || nodes_[n].max_len < len) return -1;
+  const int l = first_fit_any(nodes_[n].left, len);
+  if (l >= 0) return l;
+  if (gap_len(n) >= len) return n;
+  return first_fit_any(nodes_[n].right, len);
+}
+
+void GapTimeline::insert_gap(double start, double end) {
+  root_ = insert_node(root_, new_node(start, end));
+}
+
+void GapTimeline::erase_gap(double start) {
+  root_ = erase_start(root_, start);
+}
+
+double GapTimeline::earliest_fit(double ready, double len) const {
+  JED_ASSERT(len >= 0);
+  double t = ready;
+  for (;;) {
+    double pos;
+    const int g = find_pred(t);
+    if (g >= 0 && nodes_[g].end - t >= len) {
+      // `t` lies inside (or at the edge of) a gap with enough room left.
+      pos = t;
+    } else {
+      const int f = first_fit(root_, t, len);
+      JED_ASSERT(f >= 0);  // the trailing [*, +inf) gap fits everything
+      pos = nodes_[f].start;
+    }
+    // A zero-length busy point strictly inside [pos, pos + len) blocks the
+    // fit; restart just past it (matching the linear scan, which bumps the
+    // candidate to each blocking interval's end).
+    const auto it = points_.upper_bound(pos);
+    if (it == points_.end() || !(it->first < pos + len)) return pos;
+    t = it->first;
+  }
+}
+
+bool GapTimeline::is_free(double t0, double t1) const {
+  JED_ASSERT(t1 >= t0);
+  const int g = find_pred(t0);
+  if (g < 0 || nodes_[g].end < t1) return false;
+  const auto it = points_.upper_bound(t0);
+  return it == points_.end() || !(it->first < t1);
+}
+
+void GapTimeline::occupy(double t0, double t1) {
+  JED_ASSERT(t1 >= t0);
+  last_end_ = std::max(last_end_, t1);
+  if (t0 == t1) {
+    ++points_[t0];
+    return;
+  }
+  if (++busy_count_[{t0, t1}] > 1) return;  // identical interval re-held
+  const int g = find_pred(t0);
+  JED_ASSERT(g >= 0 && nodes_[g].start <= t0 && nodes_[g].end >= t1);
+  const double gs = nodes_[g].start;
+  const double ge = nodes_[g].end;
+  erase_gap(gs);
+  // Both remainders are kept even when empty: a zero-length gap is the
+  // marker recording that two busy intervals touch there.
+  insert_gap(gs, t0);
+  insert_gap(t1, ge);
+}
+
+void GapTimeline::release(double t0, double t1) {
+  JED_ASSERT(t1 >= t0);
+  if (t0 == t1) {
+    const auto it = points_.find(t0);
+    JED_ASSERT(it != points_.end());
+    if (--it->second == 0) points_.erase(it);
+    return;
+  }
+  const auto it = busy_count_.find({t0, t1});
+  JED_ASSERT(it != busy_count_.end());
+  if (--it->second > 0) return;
+  busy_count_.erase(it);
+  // While [t0, t1) was busy there is always a gap ending exactly at t0 and
+  // one starting exactly at t1 (occupy never drops the remainders); merge
+  // them, absorbing zero-length markers.
+  const int l = find_pred(t0);
+  JED_ASSERT(l >= 0 && nodes_[l].end == t0);
+  const int r = find_first_at_or_after(t1);
+  JED_ASSERT(r >= 0 && nodes_[r].start == t1);
+  const double ls = nodes_[l].start;
+  const double re = nodes_[r].end;
+  erase_gap(ls);
+  erase_gap(t1);
+  insert_gap(ls, re);
+}
+
+}  // namespace jedule::sched

@@ -1,0 +1,105 @@
+#pragma once
+
+// Per-resource free-gap timeline for the scheduler hot paths.
+//
+// HEFT's insertion policy and conservative backfill both repeatedly ask one
+// question per (task, host) pair: "from `ready` on, where is the earliest
+// hole of length `len`?". The straightforward answer — a linear scan over
+// the host's busy slots — is O(slots) per query and makes both schedulers
+// quadratic per host. GapTimeline stores the *free gaps* instead, in a
+// balanced tree (treap) augmented with the maximum gap length per subtree,
+// so earliest-fit, occupy and release are all O(log slots).
+//
+// The semantics deliberately replicate the linear scans they replace, bit
+// for bit, including the edge cases around zero-length intervals:
+//
+//  * Two busy intervals touching at t leave a zero-length *marker* gap
+//    [t, t]: a later task cannot straddle t, but a zero-length task can
+//    still sit exactly at t.
+//  * A zero-length *busy* interval at t (a task of length 0) blocks any
+//    interval that strictly contains t, and nothing else. These are kept
+//    outside the tree as refcounted points and enforced at query time.
+//  * Occupying the same positive interval twice is allowed (two tasks may
+//    legitimately hold identical reservations while backfill shuffles
+//    them); identical intervals are refcounted. Partially overlapping
+//    occupations are a caller bug and assert.
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace jedule::sched {
+
+class GapTimeline {
+ public:
+  GapTimeline();
+
+  /// Earliest t >= ready with [t, t + len) entirely free. `len` may be 0:
+  /// the result is then the earliest point not strictly inside a busy
+  /// interval. Always succeeds (the timeline ends in an infinite gap).
+  double earliest_fit(double ready, double len) const;
+
+  /// True iff [t0, t1) does not intersect any busy interval. A zero-length
+  /// query is free unless the point lies strictly inside a busy interval.
+  bool is_free(double t0, double t1) const;
+
+  /// Marks [t0, t1) busy. The interval must be free, or exactly equal to
+  /// an already-busy interval (refcounted).
+  void occupy(double t0, double t1);
+
+  /// Releases one previously occupied [t0, t1).
+  void release(double t0, double t1);
+
+  /// Largest end time ever occupied (-inf when nothing was). Only
+  /// meaningful for append-only users (HEFT without insertion): release
+  /// does not lower it.
+  double last_end() const { return last_end_; }
+
+ private:
+  struct Node {
+    double start = 0;
+    double end = 0;
+    double max_len = 0;  // max (end - start) within the subtree
+    std::uint32_t prio = 0;
+    int left = -1;
+    int right = -1;
+  };
+
+  double gap_len(int n) const { return nodes_[n].end - nodes_[n].start; }
+  void pull(int n);
+  std::uint32_t next_prio();
+  int new_node(double start, double end);
+  void free_node(int n);
+
+  int merge_trees(int a, int b);
+  void split(int n, double key, int& a, int& b);  // a: start < key
+  int insert_node(int n, int v);
+  int erase_start(int n, double start);
+
+  /// Node with the greatest start <= t, -1 if none.
+  int find_pred(double t) const;
+  /// Leftmost node with start >= t, -1 if none.
+  int find_first_at_or_after(double t) const;
+  /// Leftmost node with start > t and length >= len, -1 if none.
+  int first_fit(int n, double t, double len) const;
+  /// Leftmost node with length >= len, -1 if none.
+  int first_fit_any(int n, double len) const;
+
+  void insert_gap(double start, double end);
+  void erase_gap(double start);
+
+  std::vector<Node> nodes_;
+  std::vector<int> free_list_;
+  int root_ = -1;
+  std::uint32_t prio_state_ = 0x9e3779b9u;
+  double last_end_;
+
+  // Zero-length busy intervals: point -> refcount.
+  std::map<double, int> points_;
+  // Positive busy intervals: [start, end) -> refcount. Only the gap carve /
+  // restore for the first / last holder touches the tree.
+  std::map<std::pair<double, double>, int> busy_count_;
+};
+
+}  // namespace jedule::sched

@@ -3,6 +3,7 @@
 
 #include <algorithm>
 
+#include "jedule/sched/gaps.hpp"
 #include "jedule/util/error.hpp"
 #include "jedule/util/strings.hpp"
 
@@ -12,36 +13,6 @@ namespace {
 
 using dag::Dag;
 using platform::Platform;
-
-/// Busy slots per host, kept sorted, for insertion-based EST search.
-struct HostTimeline {
-  struct Slot {
-    double start;
-    double end;
-  };
-  std::vector<Slot> slots;
-
-  /// Earliest time >= `ready` at which a task of length `len` fits.
-  double earliest_fit(double ready, double len, bool use_insertion) const {
-    if (slots.empty()) return ready;
-    if (!use_insertion) return std::max(ready, slots.back().end);
-    // Gap before the first slot.
-    if (ready + len <= slots.front().start) return ready;
-    for (std::size_t i = 0; i + 1 < slots.size(); ++i) {
-      const double gap_start = std::max(ready, slots[i].end);
-      if (gap_start + len <= slots[i + 1].start) return gap_start;
-    }
-    return std::max(ready, slots.back().end);
-  }
-
-  void insert(double start, double end) {
-    const Slot slot{start, end};
-    const auto pos = std::lower_bound(
-        slots.begin(), slots.end(), slot,
-        [](const Slot& a, const Slot& b) { return a.start < b.start; });
-    slots.insert(pos, slot);
-  }
-};
 
 }  // namespace
 
@@ -90,7 +61,9 @@ HeftResult schedule_heft(const Dag& dag, const Platform& platform,
   r.host.assign(static_cast<std::size_t>(n), -1);
   r.start.assign(static_cast<std::size_t>(n), 0.0);
   r.finish.assign(static_cast<std::size_t>(n), 0.0);
-  std::vector<HostTimeline> timeline(static_cast<std::size_t>(hosts));
+  // Per-host free-gap trees: earliest-fit and insert are O(log slots),
+  // where the linear slot scan they replace was O(slots).
+  std::vector<GapTimeline> timeline(static_cast<std::size_t>(hosts));
 
   std::vector<double> eft_of(static_cast<std::size_t>(hosts));
   std::vector<bool> ready_bound(static_cast<std::size_t>(hosts));
@@ -112,8 +85,12 @@ HeftResult schedule_heft(const Dag& dag, const Platform& platform,
         ready = std::max(ready, r.finish[pi] + comm);
       }
       const double len = dag.node(v).work / platform.host_speed(h);
-      const double est = timeline[static_cast<std::size_t>(h)].earliest_fit(
-          ready, len, options.use_insertion);
+      const auto& tl = timeline[static_cast<std::size_t>(h)];
+      // Without insertion, tasks only ever append after the host's last
+      // reservation, so the earliest start is just the running maximum.
+      const double est = options.use_insertion
+                             ? tl.earliest_fit(ready, len)
+                             : std::max(ready, tl.last_end());
       const double eft = est + len;
       eft_of[static_cast<std::size_t>(h)] = eft;
       ready_bound[static_cast<std::size_t>(h)] = est == ready;
@@ -126,7 +103,7 @@ HeftResult schedule_heft(const Dag& dag, const Platform& platform,
     r.host[vi] = best_host;
     r.start[vi] = best_est;
     r.finish[vi] = best_eft;
-    timeline[static_cast<std::size_t>(best_host)].insert(best_est, best_eft);
+    timeline[static_cast<std::size_t>(best_host)].occupy(best_est, best_eft);
     r.makespan = std::max(r.makespan, best_eft);
 
     // Fig. 8 anomaly check: the task crossed the backbone "for free".

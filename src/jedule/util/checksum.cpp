@@ -1,0 +1,138 @@
+#include "jedule/util/checksum.hpp"
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "jedule/util/parallel.hpp"
+
+namespace jedule::util {
+
+std::uint32_t adler32(const std::uint8_t* data, std::size_t size) {
+  constexpr std::uint32_t kMod = 65521;
+  std::uint32_t a = 1;
+  std::uint32_t b = 0;
+  // Process in chunks small enough that the sums cannot overflow 32 bits.
+  while (size > 0) {
+    const std::size_t chunk = std::min<std::size_t>(size, 5552);
+    for (std::size_t i = 0; i < chunk; ++i) {
+      a += data[i];
+      b += a;
+    }
+    a %= kMod;
+    b %= kMod;
+    data += chunk;
+    size -= chunk;
+  }
+  return (b << 16) | a;
+}
+
+std::uint32_t adler32_combine(std::uint32_t a1, std::uint32_t a2,
+                              std::size_t len2) {
+  // adler(AB) from adler(A) and adler(B): the s2 sum of B advances by
+  // len2 * (s1(A) - 1) because every byte of B sees A's s1 as its prefix.
+  constexpr std::uint64_t kMod = 65521;
+  const std::uint64_t rem = static_cast<std::uint64_t>(len2 % kMod);
+  std::uint64_t sum1 = a1 & 0xFFFF;
+  std::uint64_t sum2 = (rem * sum1) % kMod;
+  sum1 += (a2 & 0xFFFF) + kMod - 1;
+  sum2 += ((a1 >> 16) & 0xFFFF) + ((a2 >> 16) & 0xFFFF) + kMod - rem;
+  if (sum1 >= kMod) sum1 -= kMod;
+  if (sum1 >= kMod) sum1 -= kMod;
+  if (sum2 >= kMod << 1) sum2 -= kMod << 1;
+  if (sum2 >= kMod) sum2 -= kMod;
+  return static_cast<std::uint32_t>((sum2 << 16) | sum1);
+}
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size,
+                    std::uint32_t seed) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t n = 0; n < 256; ++n) {
+      std::uint32_t c = n;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[n] = c;
+    }
+    return t;
+  }();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ data[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+namespace {
+
+// CRC-32 is linear over GF(2): appending len2 zero bytes to A multiplies
+// crc(A) by x^(8*len2) modulo the CRC polynomial, and crc(AB) is that
+// product XOR crc(B). The multiplication is applied as a 32x32 bit matrix.
+std::uint32_t gf2_matrix_times(const std::array<std::uint32_t, 32>& mat,
+                               std::uint32_t vec) {
+  std::uint32_t sum = 0;
+  for (int i = 0; vec != 0; vec >>= 1, ++i) {
+    if (vec & 1) sum ^= mat[static_cast<std::size_t>(i)];
+  }
+  return sum;
+}
+
+std::array<std::uint32_t, 32> gf2_matrix_square(
+    const std::array<std::uint32_t, 32>& mat) {
+  std::array<std::uint32_t, 32> sq{};
+  for (std::size_t n = 0; n < 32; ++n) sq[n] = gf2_matrix_times(mat, mat[n]);
+  return sq;
+}
+
+}  // namespace
+
+std::uint32_t crc32_combine(std::uint32_t c1, std::uint32_t c2,
+                            std::size_t len2) {
+  if (len2 == 0) return c1;
+
+  std::array<std::uint32_t, 32> odd{};
+  odd[0] = 0xEDB88320u;  // the CRC-32 polynomial: one shift
+  std::uint32_t row = 1;
+  for (std::size_t n = 1; n < 32; ++n) {
+    odd[n] = row;
+    row <<= 1;
+  }
+  std::array<std::uint32_t, 32> even = gf2_matrix_square(odd);  // 2 shifts
+  odd = gf2_matrix_square(even);                                // 4 shifts
+
+  // Apply x^(8*len2) by squaring along the bits of len2 (zlib's scheme:
+  // the first `even` application already covers the factor 4 above).
+  do {
+    even = gf2_matrix_square(odd);
+    if (len2 & 1) c1 = gf2_matrix_times(even, c1);
+    len2 >>= 1;
+    if (len2 == 0) break;
+    odd = gf2_matrix_square(even);
+    if (len2 & 1) c1 = gf2_matrix_times(odd, c1);
+    len2 >>= 1;
+  } while (len2 != 0);
+  return c1 ^ c2;
+}
+
+std::uint32_t crc32_parallel(const std::uint8_t* data, std::size_t size,
+                             int threads, std::uint32_t seed) {
+  constexpr std::size_t kChunk = 1 << 18;
+  if (threads <= 1 || size <= kChunk) return crc32(data, size, seed);
+  const std::size_t chunks = (size + kChunk - 1) / kChunk;
+  std::vector<std::uint32_t> parts(chunks);
+  util::parallel_for(chunks, threads, [&](std::size_t i) {
+    const std::size_t off = i * kChunk;
+    parts[i] = crc32(data + off, std::min(kChunk, size - off));
+  });
+  std::uint32_t c = seed;
+  std::size_t done = 0;
+  for (std::size_t i = 0; i < chunks; ++i) {
+    const std::size_t len = std::min(kChunk, size - done);
+    c = crc32_combine(c, parts[i], len);
+    done += len;
+  }
+  return c;
+}
+
+}  // namespace jedule::util

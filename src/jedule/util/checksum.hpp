@@ -1,0 +1,37 @@
+#pragma once
+
+// Rolling checksums shared by the compressed-container codecs: Adler-32
+// (zlib framing), CRC-32 (PNG chunks and gzip trailers), and their
+// combine/parallel variants used to stitch per-chunk worker results into
+// the serial answer bit-exactly.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace jedule::util {
+
+/// RFC 1950 Adler-32 checksum.
+std::uint32_t adler32(const std::uint8_t* data, std::size_t size);
+
+/// Adler-32 of the concatenation of two buffers whose individual checksums
+/// are `a1` and `a2` and whose second buffer is `len2` bytes long (the zlib
+/// adler32_combine identity). Lets workers checksum chunks independently.
+std::uint32_t adler32_combine(std::uint32_t a1, std::uint32_t a2,
+                              std::size_t len2);
+
+/// CRC-32 (ISO 3309, as used by PNG chunks and gzip), optionally chained
+/// via `seed`.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+/// CRC-32 of the concatenation of two buffers from their individual CRCs
+/// (GF(2) matrix method); `len2` is the second buffer's length.
+std::uint32_t crc32_combine(std::uint32_t c1, std::uint32_t c2,
+                            std::size_t len2);
+
+/// CRC-32 computed over `threads` ranges in parallel and stitched with
+/// crc32_combine; byte-identical to the serial crc32 for any thread count.
+std::uint32_t crc32_parallel(const std::uint8_t* data, std::size_t size,
+                             int threads, std::uint32_t seed = 0);
+
+}  // namespace jedule::util

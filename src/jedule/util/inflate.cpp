@@ -1,11 +1,11 @@
-#include "jedule/render/inflate.hpp"
+#include "jedule/util/inflate.hpp"
 
 #include <array>
 
-#include "jedule/render/deflate.hpp"
+#include "jedule/util/checksum.hpp"
 #include "jedule/util/error.hpp"
 
-namespace jedule::render {
+namespace jedule::util {
 
 namespace {
 
@@ -242,4 +242,66 @@ std::vector<std::uint8_t> zlib_decompress(const std::uint8_t* data,
   return out;
 }
 
-}  // namespace jedule::render
+std::vector<std::uint8_t> gzip_decompress(const std::uint8_t* data,
+                                          std::size_t size) {
+  if (size < 18) throw ParseError("gzip: stream too short");
+  if (data[0] != 0x1f || data[1] != 0x8b) throw ParseError("gzip: bad magic");
+  if (data[2] != 8) throw ParseError("gzip: unsupported compression method");
+  const std::uint8_t flg = data[3];
+  if (flg & 0xE0) throw ParseError("gzip: reserved flag bits set");
+  // 4-byte MTIME, XFL, OS.
+  std::size_t pos = 10;
+  const auto need = [&](std::size_t n) {
+    if (size - pos < n || size - pos - n < 8) {
+      throw ParseError("gzip: truncated header");
+    }
+  };
+  if (flg & 0x04) {  // FEXTRA
+    need(2);
+    const std::size_t xlen = data[pos] |
+                             (static_cast<std::size_t>(data[pos + 1]) << 8);
+    pos += 2;
+    need(xlen);
+    pos += xlen;
+  }
+  if (flg & 0x08) {  // FNAME: NUL-terminated
+    while (pos < size - 8 && data[pos] != 0) ++pos;
+    need(1);
+    ++pos;
+  }
+  if (flg & 0x10) {  // FCOMMENT: NUL-terminated
+    while (pos < size - 8 && data[pos] != 0) ++pos;
+    need(1);
+    ++pos;
+  }
+  if (flg & 0x02) {  // FHCRC
+    need(2);
+    pos += 2;
+  }
+  auto out = inflate_decompress(data + pos, size - pos - 8);
+  const std::uint8_t* trailer = data + size - 8;
+  const std::uint32_t expected_crc =
+      static_cast<std::uint32_t>(trailer[0]) |
+      (static_cast<std::uint32_t>(trailer[1]) << 8) |
+      (static_cast<std::uint32_t>(trailer[2]) << 16) |
+      (static_cast<std::uint32_t>(trailer[3]) << 24);
+  const std::uint32_t expected_size =
+      static_cast<std::uint32_t>(trailer[4]) |
+      (static_cast<std::uint32_t>(trailer[5]) << 8) |
+      (static_cast<std::uint32_t>(trailer[6]) << 16) |
+      (static_cast<std::uint32_t>(trailer[7]) << 24);
+  if (crc32(out.data(), out.size()) != expected_crc) {
+    throw ParseError("gzip: CRC-32 mismatch");
+  }
+  if (static_cast<std::uint32_t>(out.size() & 0xFFFFFFFFu) != expected_size) {
+    throw ParseError("gzip: uncompressed size mismatch");
+  }
+  return out;
+}
+
+bool looks_like_gzip(std::string_view head) {
+  return head.size() >= 2 && static_cast<unsigned char>(head[0]) == 0x1f &&
+         static_cast<unsigned char>(head[1]) == 0x8b;
+}
+
+}  // namespace jedule::util

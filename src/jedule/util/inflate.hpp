@@ -1,0 +1,33 @@
+#pragma once
+
+// DEFLATE decoder covering everything the in-tree encoder can emit (stored
+// and fixed-Huffman blocks) plus dynamic-Huffman blocks, so externally
+// produced zlib/gzip streams also load. Lives in util (not render) so the
+// io layer can read compressed schedule files without a render dependency.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace jedule::util {
+
+/// Decodes a raw DEFLATE stream; throws jedule::ParseError on corruption.
+/// Bytes past the final block are ignored.
+std::vector<std::uint8_t> inflate_decompress(const std::uint8_t* data,
+                                             std::size_t size);
+
+/// Decodes a zlib (RFC 1950) stream and verifies its Adler-32 checksum.
+std::vector<std::uint8_t> zlib_decompress(const std::uint8_t* data,
+                                          std::size_t size);
+
+/// Decodes a single-member gzip (RFC 1952) file: parses the header
+/// (including the optional FEXTRA/FNAME/FCOMMENT/FHCRC fields), inflates
+/// the DEFLATE body, and verifies the CRC-32 + ISIZE trailer.
+std::vector<std::uint8_t> gzip_decompress(const std::uint8_t* data,
+                                          std::size_t size);
+
+/// True when `head` starts with the gzip magic bytes 0x1f 0x8b.
+bool looks_like_gzip(std::string_view head);
+
+}  // namespace jedule::util

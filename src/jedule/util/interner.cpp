@@ -1,0 +1,43 @@
+#include "jedule/util/interner.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace jedule::util {
+
+std::string_view Arena::store(std::string_view s) {
+  if (s.empty()) return std::string_view();
+  // Advance past chunks that cannot hold the string; allocate when none can.
+  while (active_ < chunks_.size() &&
+         chunks_[active_].capacity - chunks_[active_].used < s.size()) {
+    ++active_;
+  }
+  if (active_ == chunks_.size()) {
+    Chunk chunk;
+    chunk.capacity = std::max(kMinChunk, s.size());
+    chunk.data = std::make_unique<char[]>(chunk.capacity);
+    chunks_.push_back(std::move(chunk));
+  }
+  Chunk& chunk = chunks_[active_];
+  char* dst = chunk.data.get() + chunk.used;
+  std::memcpy(dst, s.data(), s.size());
+  chunk.used += s.size();
+  bytes_ += s.size();
+  return std::string_view(dst, s.size());
+}
+
+void Arena::clear() {
+  for (Chunk& chunk : chunks_) chunk.used = 0;
+  active_ = 0;
+  bytes_ = 0;
+}
+
+std::string_view Interner::intern(std::string_view s) {
+  const auto it = index_.find(s);
+  if (it != index_.end()) return *it;
+  const std::string_view stored = arena_.store(s);
+  index_.insert(stored);
+  return stored;
+}
+
+}  // namespace jedule::util

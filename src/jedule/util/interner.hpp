@@ -1,0 +1,60 @@
+#pragma once
+
+// Arena-backed string storage for the zero-copy ingest path. `Arena` hands
+// out stable copies of byte ranges from chunked storage (no per-string
+// allocation); `Interner` deduplicates on top of an arena so repeated
+// strings — XML element/attribute names, task types — share one copy and
+// compare by pointer-sized views instead of heap strings.
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace jedule::util {
+
+/// Append-only chunked byte arena. Stored views stay valid until clear()
+/// (or destruction); storing never reallocates previously returned data.
+class Arena {
+ public:
+  /// Copies `s` into the arena and returns a view of the stable copy.
+  std::string_view store(std::string_view s);
+
+  /// Resets the write position, keeping the allocated chunks for reuse.
+  /// All previously returned views are invalidated.
+  void clear();
+
+  /// Total bytes currently stored.
+  std::size_t bytes() const { return bytes_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    std::size_t capacity = 0;
+    std::size_t used = 0;
+  };
+  static constexpr std::size_t kMinChunk = 4096;
+
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;  // index of the chunk currently being filled
+  std::size_t bytes_ = 0;
+};
+
+/// String pool: intern() stores each distinct string once (in an Arena) and
+/// returns a view into that single stable copy.
+class Interner {
+ public:
+  /// Returns the canonical view for `s`, storing it on first sight.
+  std::string_view intern(std::string_view s);
+
+  bool contains(std::string_view s) const { return index_.count(s) != 0; }
+  std::size_t size() const { return index_.size(); }
+  std::size_t bytes() const { return arena_.bytes(); }
+
+ private:
+  Arena arena_;
+  std::unordered_set<std::string_view> index_;
+};
+
+}  // namespace jedule::util

@@ -1,0 +1,441 @@
+#include "jedule/xml/pull.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "jedule/util/error.hpp"
+
+namespace jedule::xml {
+
+namespace {
+
+bool is_name_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+
+// 256-entry class table: name scanning is the hottest character loop in the
+// parser (every element and attribute name goes through it).
+constexpr std::array<bool, 256> make_name_char_table() {
+  std::array<bool, 256> t{};
+  for (int c = 0; c < 256; ++c) {
+    const char ch = static_cast<char>(c);
+    t[static_cast<std::size_t>(c)] =
+        (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+        (ch >= '0' && ch <= '9') || ch == '_' || ch == ':' || ch == '-' ||
+        ch == '.';
+  }
+  return t;
+}
+constexpr std::array<bool, 256> kNameChar = make_name_char_table();
+
+bool is_name_char(char c) {
+  return kNameChar[static_cast<unsigned char>(c)];
+}
+
+}  // namespace
+
+void PullParser::fail(const std::string& msg) const {
+  throw ParseError("xml: " + msg, line_);
+}
+
+char PullParser::get() {
+  if (at_end()) fail("unexpected end of input");
+  char c = in_[pos_++];
+  if (c == '\n') ++line_;
+  return c;
+}
+
+void PullParser::expect(std::string_view s) {
+  if (!looking_at(s)) fail("expected '" + std::string(s) + "'");
+  for (std::size_t i = 0; i < s.size(); ++i) get();
+}
+
+void PullParser::skip_ws() {
+  const char* d = in_.data();
+  const std::size_t n = in_.size();
+  std::size_t p = pos_;
+  while (p < n) {
+    const char c = d[p];
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++p;
+    } else if (c == '\n') {
+      ++line_;
+      ++p;
+    } else {
+      break;
+    }
+  }
+  pos_ = p;
+}
+
+void PullParser::advance_to(std::size_t end) {
+  std::size_t p = pos_;
+  while (p < end) {
+    const void* nl = std::memchr(in_.data() + p, '\n', end - p);
+    if (nl == nullptr) break;
+    ++line_;
+    p = static_cast<std::size_t>(static_cast<const char*>(nl) -
+                                 in_.data()) +
+        1;
+  }
+  pos_ = end;
+}
+
+void PullParser::skip_comment() {
+  expect("<!--");
+  const std::size_t end = in_.find("-->", pos_);
+  if (end == std::string_view::npos) {
+    advance_to(in_.size());
+    fail("unterminated comment");
+  }
+  advance_to(end);
+  pos_ = end + 3;
+}
+
+void PullParser::skip_misc() {
+  while (true) {
+    skip_ws();
+    if (looking_at("<!--")) {
+      skip_comment();
+    } else {
+      break;
+    }
+  }
+}
+
+void PullParser::parse_prolog() {
+  skip_ws();
+  if (looking_at("<?xml")) {
+    while (!looking_at("?>")) {
+      if (at_end()) fail("unterminated XML declaration");
+      get();
+    }
+    expect("?>");
+  }
+  skip_misc();
+  if (looking_at("<!DOCTYPE")) {
+    // Skip a (non-nested-subset) DOCTYPE so files exported by other tools
+    // still load; internal subsets are rejected.
+    int depth = 0;
+    while (true) {
+      if (at_end()) fail("unterminated DOCTYPE");
+      char c = get();
+      if (c == '[') fail("DOCTYPE internal subsets are not supported");
+      if (c == '<') ++depth;
+      if (c == '>') {
+        if (depth == 1) break;
+        --depth;
+      }
+    }
+    skip_misc();
+  }
+}
+
+std::string_view PullParser::parse_name_view() {
+  if (!is_name_start(peek())) fail("expected a name");
+  const std::size_t start = pos_++;
+  while (pos_ < in_.size() && is_name_char(in_[pos_])) ++pos_;
+  return in_.substr(start, pos_ - start);
+}
+
+void PullParser::encode_utf8(unsigned long cp, std::string& out) {
+  if (cp < 0x80) {
+    out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    out += static_cast<char>(0xC0 | (cp >> 6));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else if (cp < 0x10000) {
+    out += static_cast<char>(0xE0 | (cp >> 12));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    out += static_cast<char>(0xF0 | (cp >> 18));
+    out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  }
+}
+
+void PullParser::decode_entity(std::string& out) {
+  expect("&");
+  std::string ent;
+  while (peek() != ';') {
+    if (at_end() || ent.size() > 8) fail("malformed entity reference");
+    ent += get();
+  }
+  expect(";");
+  if (ent == "amp") {
+    out += '&';
+    return;
+  }
+  if (ent == "lt") {
+    out += '<';
+    return;
+  }
+  if (ent == "gt") {
+    out += '>';
+    return;
+  }
+  if (ent == "quot") {
+    out += '"';
+    return;
+  }
+  if (ent == "apos") {
+    out += '\'';
+    return;
+  }
+  if (!ent.empty() && ent[0] == '#') {
+    long code = 0;
+    bool ok = false;
+    if (ent.size() > 2 && (ent[1] == 'x' || ent[1] == 'X')) {
+      for (std::size_t i = 2; i < ent.size(); ++i) {
+        char c = ent[i];
+        int d;
+        if (c >= '0' && c <= '9') d = c - '0';
+        else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+        else if (c >= 'A' && c <= 'F') d = c - 'A' + 10;
+        else { ok = false; break; }
+        code = code * 16 + d;
+        ok = true;
+      }
+    } else {
+      for (std::size_t i = 1; i < ent.size(); ++i) {
+        char c = ent[i];
+        if (c < '0' || c > '9') { ok = false; break; }
+        code = code * 10 + (c - '0');
+        ok = true;
+      }
+    }
+    if (!ok || code <= 0 || code > 0x10FFFF) fail("bad character reference");
+    encode_utf8(static_cast<unsigned long>(code), out);
+    return;
+  }
+  fail("unknown entity '&" + ent + ";'");
+}
+
+std::string_view PullParser::parse_attr_value_view() {
+  if (at_end()) fail("unexpected end of input");
+  const char quote = in_[pos_++];  // quotes are never newlines
+  if (quote != '"' && quote != '\'') fail("expected quoted attribute value");
+  // One fused scan to the first quote / '&' / '<', counting newlines as it
+  // goes; line_/pos_ are only committed on the paths that consumed the span.
+  const char* d = in_.data();
+  const std::size_t n = in_.size();
+  const std::size_t start = pos_;
+  std::size_t p = start;
+  long nl = 0;
+  char c = '\0';
+  while (p < n) {
+    c = d[p];
+    if (c == quote || c == '&' || c == '<') break;
+    nl += (c == '\n');
+    ++p;
+  }
+  if (p >= n) {
+    line_ += nl;
+    pos_ = p;
+    fail("unterminated attribute value");
+  }
+  if (c == '<') {
+    line_ += nl;
+    pos_ = p;
+    fail("'<' in attribute value");
+  }
+  if (c == quote) {
+    line_ += nl;
+    pos_ = p + 1;  // past the closing quote (never a newline)
+    return in_.substr(start, p - start);
+  }
+  // Slow path: the value contains an entity — decode char by char, exactly
+  // like the baseline parser (a malformed entity may swallow the quote).
+  decode_buf_.clear();
+  while (true) {
+    if (peek() == quote) {
+      ++pos_;
+      break;
+    }
+    if (at_end()) fail("unterminated attribute value");
+    if (peek() == '&') {
+      decode_entity(decode_buf_);
+    } else if (peek() == '<') {
+      fail("'<' in attribute value");
+    } else {
+      decode_buf_ += get();
+    }
+  }
+  return decoded_.store(decode_buf_);
+}
+
+bool PullParser::parse_text_run() {
+  // One fused scan to the first '<' or '&', counting newlines as it goes;
+  // most runs are short whitespace between tags, so a single pass beats
+  // separate memchr sweeps. line_/pos_ commit only on the entity-free path.
+  const char* d = in_.data();
+  const std::size_t n = in_.size();
+  const std::size_t start = pos_;
+  std::size_t p = start;
+  long nl = 0;
+  char c = '\0';
+  while (p < n) {
+    c = d[p];
+    if (c == '<' || c == '&') break;
+    nl += (c == '\n');
+    ++p;
+  }
+  if (p >= n || c == '<') {
+    line_ += nl;
+    pos_ = p;
+    text_ = in_.substr(start, p - start);
+    return p > start;
+  }
+  // Slow path: at least one entity in the run — decode char by char (a
+  // malformed entity may swallow a '<', exactly like the baseline parser).
+  decode_buf_.clear();
+  while (!at_end() && peek() != '<') {
+    if (peek() == '&') {
+      decode_entity(decode_buf_);
+    } else {
+      decode_buf_ += get();
+    }
+  }
+  text_ = decoded_.store(decode_buf_);
+  return !decode_buf_.empty();
+}
+
+bool PullParser::parse_cdata() {
+  expect("<![CDATA[");
+  const std::size_t start = pos_;
+  const std::size_t end = in_.find("]]>", pos_);
+  if (end == std::string_view::npos) {
+    advance_to(in_.size());
+    fail("unterminated CDATA section");
+  }
+  advance_to(end);
+  pos_ = end + 3;
+  text_ = in_.substr(start, end - start);
+  return end > start;
+}
+
+PullParser::Event PullParser::parse_start_tag() {
+  if (at_end() || in_[pos_] != '<') fail("expected '<'");
+  ++pos_;  // '<' is never a newline
+  const long start_line = line_;
+  name_ = parse_name_view();
+  elem_line_ = start_line;
+  attrs_.clear();
+  while (true) {
+    skip_ws();
+    if (looking_at("/>")) {
+      pos_ += 2;
+      stack_.push_back({name_, start_line});
+      pending_end_ = true;
+      return Event::kStartElement;
+    }
+    if (peek() == '>') {
+      ++pos_;
+      stack_.push_back({name_, start_line});
+      return Event::kStartElement;
+    }
+    std::string_view attr_name = parse_name_view();
+    skip_ws();
+    if (at_end() || in_[pos_] != '=') fail("expected '='");
+    ++pos_;
+    skip_ws();
+    if (attr(attr_name)) {
+      fail("duplicate attribute '" + std::string(attr_name) + "'");
+    }
+    attrs_.push_back({attr_name, parse_attr_value_view()});
+  }
+}
+
+PullParser::Event PullParser::parse_end_tag() {
+  pos_ += 2;  // the caller saw "</"
+  const std::string_view close = parse_name_view();
+  if (close != stack_.back().name) {
+    fail("mismatched closing tag </" + std::string(close) + "> for <" +
+         std::string(stack_.back().name) + ">");
+  }
+  skip_ws();
+  if (at_end() || in_[pos_] != '>') fail("expected '>'");
+  ++pos_;
+  return emit_end();
+}
+
+PullParser::Event PullParser::emit_end() {
+  const Open top = stack_.back();
+  stack_.pop_back();
+  name_ = top.name;
+  elem_line_ = top.line;
+  if (stack_.empty()) {
+    // The root element closed: validate the epilog now so the error
+    // surfaces no matter how far the consumer drives the parser.
+    skip_misc();
+    if (!at_end()) fail("trailing content after root element");
+    state_ = State::kEpilog;
+  }
+  return Event::kEndElement;
+}
+
+PullParser::Event PullParser::next() {
+  decoded_.clear();
+  if (pending_end_) {
+    pending_end_ = false;
+    return emit_end();
+  }
+  if (state_ == State::kProlog) {
+    parse_prolog();
+    state_ = State::kContent;
+    return parse_start_tag();
+  }
+  if (state_ == State::kEpilog) return Event::kEndDocument;
+  while (true) {
+    if (at_end()) {
+      fail("unterminated element <" + std::string(stack_.back().name) + ">");
+    }
+    if (in_[pos_] == '<') {
+      // Dispatch on the character after '<' instead of re-running prefix
+      // comparisons per tag; anything unexpected falls into parse_start_tag
+      // which reports the same "expected a name" the prefix path did.
+      const char nxt = pos_ + 1 < in_.size() ? in_[pos_ + 1] : '\0';
+      if (nxt == '/') return parse_end_tag();
+      if (nxt == '!') {
+        if (looking_at("<!--")) {
+          skip_comment();
+          continue;
+        }
+        if (looking_at("<![CDATA[")) {
+          if (parse_cdata()) return Event::kText;
+          continue;
+        }
+      }
+      return parse_start_tag();
+    }
+    if (parse_text_run()) return Event::kText;
+  }
+}
+
+std::optional<std::string_view> PullParser::attr(std::string_view name) const {
+  for (const auto& a : attrs_) {
+    if (a.name == name) return a.value;
+  }
+  return std::nullopt;
+}
+
+std::string_view PullParser::require_attr(std::string_view name) const {
+  auto v = attr(name);
+  if (!v) {
+    throw ParseError("element <" + std::string(name_) +
+                         "> is missing attribute '" + std::string(name) + "'",
+                     elem_line_);
+  }
+  return *v;
+}
+
+void PullParser::skip_element() {
+  JED_ASSERT(!stack_.empty());
+  const std::size_t depth = stack_.size();
+  while (stack_.size() >= depth) next();
+}
+
+}  // namespace jedule::xml

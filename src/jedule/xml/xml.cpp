@@ -5,6 +5,7 @@
 
 #include "jedule/util/error.hpp"
 #include "jedule/util/strings.hpp"
+#include "jedule/xml/pull.hpp"
 
 namespace jedule::xml {
 
@@ -62,6 +63,10 @@ std::vector<const Element*> Element::children_named(
 
 namespace {
 
+/// The original recursive descent parser, kept verbatim as the reference
+/// implementation behind xml::baseline_parse: the fuzz suite runs it
+/// side-by-side with the pull-based build and the scale bench uses it as
+/// the pre-optimization DOM baseline.
 class Parser {
  public:
   explicit Parser(std::string_view input) : in_(input) {}
@@ -353,6 +358,52 @@ void serialize_element(const Element& e, int indent, std::string& out) {
 }  // namespace
 
 Document parse(std::string_view input) {
+  // DOM build over the zero-copy pull parser: one PullParser drives the
+  // lexing; nodes copy out of its views into their own storage.
+  PullParser p(input);
+  const PullParser::Event first = p.next();
+  JED_ASSERT(first == PullParser::Event::kStartElement);
+  std::vector<ElementPtr> open;
+  std::vector<std::string> texts;
+  const auto start_element = [&] {
+    auto e = std::make_unique<Element>(std::string(p.name()));
+    e->set_source_line(p.line());
+    for (const auto& a : p.attributes()) {
+      e->set_attr(std::string(a.name), std::string(a.value));
+    }
+    open.push_back(std::move(e));
+    texts.emplace_back();
+  };
+  start_element();
+  Document doc;
+  while (!open.empty()) {
+    switch (p.next()) {
+      case PullParser::Event::kStartElement:
+        start_element();
+        break;
+      case PullParser::Event::kText:
+        texts.back() += p.text();
+        break;
+      case PullParser::Event::kEndElement: {
+        ElementPtr done = std::move(open.back());
+        open.pop_back();
+        done->set_text(std::string(util::trim(texts.back())));
+        texts.pop_back();
+        if (open.empty()) {
+          doc.root = std::move(done);
+        } else {
+          open.back()->add_child(std::move(done));
+        }
+        break;
+      }
+      case PullParser::Event::kEndDocument:
+        break;  // unreachable: open is non-empty until the root closes
+    }
+  }
+  return doc;
+}
+
+Document baseline_parse(std::string_view input) {
   return Parser(input).parse_document();
 }
 

@@ -81,8 +81,16 @@ struct Document {
 };
 
 /// Parses a complete XML document; throws jedule::ParseError (with line
-/// numbers) on malformed input.
+/// numbers) on malformed input. Built on xml::PullParser (pull.hpp); for
+/// the jedule/colormap formats prefer the streaming io readers, which skip
+/// the DOM entirely.
 Document parse(std::string_view input);
+
+/// Reference implementation: the original recursive DOM parser, retained
+/// so the fuzz suite can assert tree-for-tree (and error-for-error)
+/// equivalence with the pull-based parse, and as the pre-optimization
+/// baseline in bench_scale. Accepts exactly the same documents as parse().
+Document baseline_parse(std::string_view input);
 
 /// Parses the file at `path`; throws jedule::IoError / jedule::ParseError.
 Document parse_file(const std::string& path);

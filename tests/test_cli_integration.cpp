@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <array>
 #include <cstdio>
 #include <string>
@@ -36,8 +38,11 @@ CommandResult run_cli(const std::string& args) {
   return result;
 }
 
+// Per-process scratch names: ctest runs each test as its own process, and
+// with a fixed name two concurrently running tests would race on the same
+// file (one reads while another rewrites it).
 std::string temp_path(const std::string& name) {
-  return ::testing::TempDir() + "/" + name;
+  return ::testing::TempDir() + "/" + std::to_string(::getpid()) + "_" + name;
 }
 
 std::string make_schedule_file() {

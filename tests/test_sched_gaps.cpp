@@ -1,0 +1,187 @@
+// GapTimeline (the O(log) free-gap tree behind HEFT and backfill) checked
+// against a straight reimplementation of the linear busy-interval scans it
+// replaced. The reference is intentionally the *old* code, so any semantic
+// drift — especially around zero-length tasks, touching intervals, and
+// duplicate reservations — shows up as a mismatch.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "jedule/sched/gaps.hpp"
+#include "jedule/util/rng.hpp"
+
+namespace jedule::sched {
+namespace {
+
+/// The multiset-based timeline conservative_backfill used before the gap
+/// tree, verbatim.
+class ReferenceTimeline {
+ public:
+  bool is_free(double t0, double t1) const {
+    for (const auto& [b, e] : busy_) {
+      if (b >= t1) break;
+      if (e > t0) return false;
+    }
+    return true;
+  }
+
+  double earliest_fit(double ready, double len) const {
+    double t = ready;
+    for (const auto& [b, e] : busy_) {
+      if (b >= t + len) break;
+      if (e > t) t = e;
+    }
+    return t;
+  }
+
+  void occupy(double t0, double t1) { busy_.emplace(t0, t1); }
+
+  void release(double t0, double t1) {
+    const auto it = busy_.find({t0, t1});
+    ASSERT_TRUE(it != busy_.end());
+    busy_.erase(it);
+  }
+
+  double last_end() const {
+    double m = -1e300;
+    for (const auto& [b, e] : busy_) m = std::max(m, e);
+    return busy_.empty() ? m : m;
+  }
+
+  bool empty() const { return busy_.empty(); }
+
+ private:
+  std::multiset<std::pair<double, double>> busy_;
+};
+
+TEST(GapTimeline, EmptyTimelineIsAllFree) {
+  GapTimeline tl;
+  EXPECT_TRUE(tl.is_free(0, 100));
+  EXPECT_TRUE(tl.is_free(-5, -5));
+  EXPECT_EQ(tl.earliest_fit(3.5, 10), 3.5);
+  EXPECT_EQ(tl.earliest_fit(0, 0), 0);
+}
+
+TEST(GapTimeline, InsertionFindsGaps) {
+  GapTimeline tl;
+  tl.occupy(0, 10);
+  tl.occupy(20, 30);
+  EXPECT_EQ(tl.earliest_fit(0, 5), 10);    // fits in [10, 20)
+  EXPECT_EQ(tl.earliest_fit(0, 10), 10);   // exactly fills the hole
+  EXPECT_EQ(tl.earliest_fit(0, 11), 30);   // too big, goes after the end
+  EXPECT_EQ(tl.earliest_fit(12, 5), 12);   // mid-gap start is honored
+  EXPECT_EQ(tl.earliest_fit(12, 9), 30);   // not enough room left at 12
+  EXPECT_FALSE(tl.is_free(5, 6));
+  EXPECT_TRUE(tl.is_free(10, 20));
+  EXPECT_EQ(tl.last_end(), 30);
+}
+
+TEST(GapTimeline, TouchingIntervalsLeaveAnUncrossableMarker) {
+  GapTimeline tl;
+  tl.occupy(0, 5);
+  tl.occupy(5, 9);
+  // [0,5) and [5,9) touch at 5: a later task cannot straddle it, but after
+  // releasing one side the other's boundary remains exact.
+  EXPECT_EQ(tl.earliest_fit(0, 1), 9);
+  EXPECT_TRUE(tl.is_free(9, 12));
+  tl.release(0, 5);
+  EXPECT_EQ(tl.earliest_fit(0, 5), 0);
+  EXPECT_EQ(tl.earliest_fit(0, 6), 9);
+  tl.release(5, 9);
+  EXPECT_EQ(tl.earliest_fit(0, 100), 0);
+}
+
+TEST(GapTimeline, ZeroLengthBusyBlocksOnlyStrictInterior) {
+  GapTimeline tl;
+  tl.occupy(5, 5);
+  EXPECT_TRUE(tl.is_free(0, 5));    // ends exactly at the point
+  EXPECT_TRUE(tl.is_free(5, 9));    // starts exactly at the point
+  EXPECT_FALSE(tl.is_free(4, 6));   // strictly contains it
+  EXPECT_TRUE(tl.is_free(5, 5));
+  EXPECT_EQ(tl.earliest_fit(0, 3), 0);
+  EXPECT_EQ(tl.earliest_fit(3, 3), 5);  // cannot straddle the point
+  tl.occupy(5, 5);                      // refcounted duplicate
+  tl.release(5, 5);
+  EXPECT_FALSE(tl.is_free(4, 6));
+  tl.release(5, 5);
+  EXPECT_TRUE(tl.is_free(4, 6));
+}
+
+TEST(GapTimeline, DuplicateIdenticalIntervalsAreRefcounted) {
+  GapTimeline tl;
+  tl.occupy(2, 8);
+  tl.occupy(2, 8);
+  tl.release(2, 8);
+  EXPECT_FALSE(tl.is_free(2, 8));
+  EXPECT_EQ(tl.earliest_fit(0, 4), 8);
+  tl.release(2, 8);
+  EXPECT_TRUE(tl.is_free(2, 8));
+}
+
+TEST(GapTimeline, RandomizedAgainstLinearReference) {
+  util::Rng rng(20260806);
+  for (int run = 0; run < 50; ++run) {
+    GapTimeline tl;
+    ReferenceTimeline ref;
+    // Held (occupied) intervals we may later release. Times are drawn from
+    // a small integer grid to force touching boundaries, duplicates and
+    // zero-length intervals with high probability.
+    std::vector<std::pair<double, double>> held;
+    for (int step = 0; step < 400; ++step) {
+      const auto t0 = static_cast<double>(rng.uniform_int(0, 60));
+      const auto len = static_cast<double>(rng.uniform_int(0, 8));
+      switch (rng.uniform_int(0, 3)) {
+        case 0: {  // occupy the earliest fit (what the schedulers do)
+          const double at = ref.earliest_fit(t0, len);
+          ASSERT_EQ(at, tl.earliest_fit(t0, len)) << "run " << run;
+          ref.occupy(at, at + len);
+          tl.occupy(at, at + len);
+          held.emplace_back(at, at + len);
+          break;
+        }
+        case 1: {  // release a random held interval
+          if (held.empty()) break;
+          const auto i = static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(held.size()) - 1));
+          ref.release(held[i].first, held[i].second);
+          tl.release(held[i].first, held[i].second);
+          held.erase(held.begin() + static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+        case 2: {  // free query
+          ASSERT_EQ(ref.is_free(t0, t0 + len), tl.is_free(t0, t0 + len))
+              << "run " << run << " [" << t0 << ", " << t0 + len << ")";
+          break;
+        }
+        default: {  // fit query only
+          ASSERT_EQ(ref.earliest_fit(t0, len), tl.earliest_fit(t0, len))
+              << "run " << run << " ready " << t0 << " len " << len;
+          break;
+        }
+      }
+    }
+    // Drain and confirm the timeline ends up all-free again.
+    for (const auto& [b, e] : held) {
+      ref.release(b, e);
+      tl.release(b, e);
+    }
+    EXPECT_TRUE(tl.is_free(-1e9, 1e9));
+    EXPECT_EQ(tl.earliest_fit(0, 1e6), 0);
+  }
+}
+
+TEST(GapTimeline, AppendOnlyLastEndTracksMaximum) {
+  GapTimeline tl;
+  EXPECT_LT(tl.last_end(), -1e300);  // -infinity before any occupation
+  tl.occupy(0, 4);
+  tl.occupy(10, 12);
+  tl.occupy(4, 7);
+  EXPECT_EQ(tl.last_end(), 12);
+}
+
+}  // namespace
+}  // namespace jedule::sched

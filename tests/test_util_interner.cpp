@@ -1,0 +1,78 @@
+// Unit tests of the arena allocator and string interner backing the
+// zero-copy XML parser (and the task-type pool of the model layer).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "jedule/model/schedule.hpp"
+#include "jedule/util/interner.hpp"
+
+namespace jedule {
+namespace {
+
+TEST(Arena, StoresStableCopies) {
+  util::Arena arena;
+  std::string source = "hello";
+  const auto a = arena.store(source);
+  source = "clobbered";
+  EXPECT_EQ(a, "hello");
+}
+
+TEST(Arena, EmptyStringNeedsNoStorage) {
+  util::Arena arena;
+  const auto v = arena.store(std::string_view());
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(Arena, SurvivesManySmallAndLargeAllocations) {
+  util::Arena arena;
+  std::vector<std::string_view> views;
+  std::vector<std::string> expected;
+  for (int i = 0; i < 2000; ++i) {
+    expected.push_back("s" + std::string(static_cast<std::size_t>(i % 97), 'x') +
+                       std::to_string(i));
+    views.push_back(arena.store(expected.back()));
+  }
+  // A single allocation larger than the chunk size gets its own chunk.
+  expected.emplace_back(100000, 'y');
+  views.push_back(arena.store(expected.back()));
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    EXPECT_EQ(views[i], expected[i]) << i;
+  }
+}
+
+TEST(Arena, ClearRecyclesStorage) {
+  util::Arena arena;
+  arena.store("first generation");
+  arena.clear();
+  const auto v = arena.store("second");
+  EXPECT_EQ(v, "second");
+}
+
+TEST(Interner, DeduplicatesToOneAddress) {
+  util::Interner interner;
+  const auto a = interner.intern("computation");
+  const auto b = interner.intern(std::string("comp") + "utation");
+  EXPECT_EQ(a, "computation");
+  EXPECT_EQ(a.data(), b.data());  // identical storage, not just equal text
+  const auto c = interner.intern("transfer");
+  EXPECT_NE(a.data(), c.data());
+  EXPECT_EQ(c, "transfer");
+}
+
+TEST(TaskTypeInterning, SharesStorageBetweenTasks) {
+  model::Task a("a", "computation", 0, 1);
+  model::Task b("b", std::string("computation"), 1, 2);
+  EXPECT_EQ(a.type(), "computation");
+  EXPECT_EQ(&a.type(), &b.type());
+  b.set_type("transfer");
+  EXPECT_EQ(b.type(), "transfer");
+  EXPECT_EQ(a.type(), "computation");
+  model::Task untyped;
+  EXPECT_EQ(untyped.type(), "");
+}
+
+}  // namespace
+}  // namespace jedule

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+
 #include "jedule/io/colormap_xml.hpp"
 #include "jedule/io/csv.hpp"
 #include "jedule/io/jedule_xml.hpp"
@@ -78,6 +80,106 @@ TEST_P(XmlFuzz, NeverCrashes) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, XmlFuzz, ::testing::Range(1, 6));
+
+// ---------------------------------------------------------------------------
+// Differential fuzzing: the pull-based xml::parse must accept exactly the
+// documents the original recursive parser accepts, build the same tree, and
+// reject with the same message and line.
+
+void expect_same_tree(const xml::Element& a, const xml::Element& b) {
+  ASSERT_EQ(a.name(), b.name());
+  EXPECT_EQ(a.text(), b.text()) << "in <" << a.name() << ">";
+  EXPECT_EQ(a.source_line(), b.source_line()) << "in <" << a.name() << ">";
+  ASSERT_EQ(a.attributes().size(), b.attributes().size())
+      << "in <" << a.name() << ">";
+  for (std::size_t i = 0; i < a.attributes().size(); ++i) {
+    EXPECT_EQ(a.attributes()[i].name, b.attributes()[i].name);
+    EXPECT_EQ(a.attributes()[i].value, b.attributes()[i].value);
+  }
+  ASSERT_EQ(a.children().size(), b.children().size())
+      << "in <" << a.name() << ">";
+  for (std::size_t i = 0; i < a.children().size(); ++i) {
+    expect_same_tree(*a.children()[i], *b.children()[i]);
+  }
+}
+
+// A seed exercising the decoder edge cases: entities, character references,
+// CDATA, comments, mixed whitespace, and attribute values needing both the
+// zero-copy fast path and the decoding slow path.
+const char kEdgeSeedDoc[] = R"(<?xml version="1.0" encoding="UTF-8"?>
+<root a="plain" b="a&amp;b" c="&#65;&#x42;c" d="q&quot;q&apos;">
+  <!-- comment -->
+  <t1>text &amp; more &lt;raw&gt; &#xE9;</t1>
+  <t2><![CDATA[verbatim <&> ]]]> tail]]></t2>
+  <t3>  spaced  <inner/>  out  </t3>
+  <empty/>
+</root>)";
+
+void check_parse_equivalence(const std::string& doc) {
+  std::optional<xml::Document> ref;
+  std::string ref_error;
+  long ref_line = -1;
+  try {
+    ref = xml::baseline_parse(doc);
+  } catch (const ParseError& e) {
+    ref_error = e.what();
+    ref_line = e.line();
+  }
+  try {
+    const auto got = xml::parse(doc);
+    ASSERT_TRUE(ref.has_value())
+        << "pull parser accepted what the baseline rejects: " << ref_error;
+    expect_same_tree(*ref->root, *got.root);
+  } catch (const ParseError& e) {
+    ASSERT_FALSE(ref.has_value())
+        << "pull parser rejected an accepted document: " << e.what();
+    EXPECT_EQ(ref_error, e.what());
+    EXPECT_EQ(ref_line, e.line());
+  }
+}
+
+class XmlDifferentialFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(XmlDifferentialFuzz, PullMatchesBaseline) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+  for (int round = 0; round < 300; ++round) {
+    const char* seed = round % 2 == 0 ? kSeedDoc : kEdgeSeedDoc;
+    check_parse_equivalence(mutate(seed, rng));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlDifferentialFuzz, ::testing::Range(1, 6));
+
+TEST(XmlDifferentialFuzz, SeedsThemselvesAgree) {
+  check_parse_equivalence(kSeedDoc);
+  check_parse_equivalence(kEdgeSeedDoc);
+}
+
+// The streaming schedule reader accepts exactly the same documents as the
+// retained DOM-walking reference, producing an identical Schedule (compared
+// via the canonical serialization). Error messages may differ — the DOM
+// reader's checking order was never part of the contract — but acceptance
+// must not.
+TEST(ScheduleReaderFuzz, StreamingMatchesDom) {
+  util::Rng rng(2718);
+  for (int round = 0; round < 400; ++round) {
+    const std::string doc = mutate(kSeedDoc, rng);
+    std::optional<model::Schedule> ref;
+    try {
+      ref = io::read_schedule_xml_dom(doc);
+    } catch (const Error&) {
+    }
+    try {
+      const auto got = io::read_schedule_xml(doc);
+      ASSERT_TRUE(ref.has_value())
+          << "streaming reader accepted what the DOM reader rejects";
+      EXPECT_EQ(io::write_schedule_xml(*ref), io::write_schedule_xml(got));
+    } catch (const Error&) {
+      EXPECT_FALSE(ref.has_value())
+          << "streaming reader rejected what the DOM reader accepts";
+    }
+  }
+}
 
 TEST(ColormapFuzz, NeverCrashes) {
   const char* seed = R"(<cmap name="m">

@@ -1,0 +1,138 @@
+// Unit tests of the zero-copy XML pull parser (xml::PullParser): event
+// sequences, in-situ vs decoded views, line numbers, skip_element, and
+// error parity with the document-level contract pinned in test_xml.cpp.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "jedule/util/error.hpp"
+#include "jedule/xml/pull.hpp"
+
+namespace jedule::xml {
+namespace {
+
+using Event = PullParser::Event;
+
+/// Flattened trace of the whole document: "+name", "-name", "'text".
+std::vector<std::string> trace(const std::string& doc) {
+  PullParser p(doc);
+  std::vector<std::string> out;
+  for (;;) {
+    switch (p.next()) {
+      case Event::kStartElement:
+        out.push_back("+" + std::string(p.name()));
+        break;
+      case Event::kEndElement:
+        out.push_back("-" + std::string(p.name()));
+        break;
+      case Event::kText:
+        out.push_back("'" + std::string(p.text()));
+        break;
+      case Event::kEndDocument:
+        return out;
+    }
+  }
+}
+
+TEST(PullParser, EmitsNestedEventSequence) {
+  const auto t = trace("<a><b>x</b><c/></a>");
+  ASSERT_EQ(t.size(), 7u);
+  EXPECT_EQ(t[0], "+a");
+  EXPECT_EQ(t[1], "+b");
+  EXPECT_EQ(t[2], "'x");
+  EXPECT_EQ(t[3], "-b");
+  EXPECT_EQ(t[4], "+c");
+  EXPECT_EQ(t[5], "-c");
+  EXPECT_EQ(t[6], "-a");
+}
+
+TEST(PullParser, AttributesAreZeroCopyWhenPlain) {
+  const std::string doc = R"(<e one="1" two="a&amp;b"/>)";
+  PullParser p(doc);
+  ASSERT_EQ(p.next(), Event::kStartElement);
+  ASSERT_EQ(p.attributes().size(), 2u);
+  EXPECT_EQ(p.attributes()[0].name, "one");
+  EXPECT_EQ(p.attributes()[0].value, "1");
+  // The undecorated value is served from the input buffer itself.
+  EXPECT_GE(p.attributes()[0].value.data(), doc.data());
+  EXPECT_LT(p.attributes()[0].value.data(), doc.data() + doc.size());
+  EXPECT_EQ(p.attributes()[1].value, "a&b");
+  EXPECT_EQ(*p.attr("two"), "a&b");
+  EXPECT_FALSE(p.attr("three").has_value());
+}
+
+TEST(PullParser, TextRunsSplitAroundChildren) {
+  const auto t = trace("<a> x <b/> y </a>");
+  ASSERT_EQ(t.size(), 6u);
+  EXPECT_EQ(t[1], "' x ");  // whitespace is preserved at the pull level
+  EXPECT_EQ(t[4], "' y ");
+}
+
+TEST(PullParser, DecodesEntitiesCharRefsAndCdata) {
+  const auto t = trace("<a>&lt;&#65;&#x42;&amp;<![CDATA[<raw&>]]>z</a>");
+  ASSERT_EQ(t.size(), 5u);
+  EXPECT_EQ(t[1], "'<AB&");
+  EXPECT_EQ(t[2], "'<raw&>");
+  EXPECT_EQ(t[3], "'z");
+}
+
+TEST(PullParser, TracksElementStartLines) {
+  PullParser p("<a>\n  <b\n     x=\"1\"/>\n</a>");
+  ASSERT_EQ(p.next(), Event::kStartElement);
+  EXPECT_EQ(p.line(), 1);
+  ASSERT_EQ(p.next(), Event::kText);
+  ASSERT_EQ(p.next(), Event::kStartElement);
+  EXPECT_EQ(p.name(), "b");
+  EXPECT_EQ(p.line(), 2);  // the line of '<b', not of its attributes
+  ASSERT_EQ(p.next(), Event::kEndElement);
+  ASSERT_EQ(p.next(), Event::kText);
+  ASSERT_EQ(p.next(), Event::kEndElement);
+  EXPECT_EQ(p.next(), Event::kEndDocument);
+}
+
+TEST(PullParser, SkipElementConsumesWholeSubtree) {
+  PullParser p("<a><skip><deep><er/>text</deep></skip><next/></a>");
+  ASSERT_EQ(p.next(), Event::kStartElement);  // a
+  ASSERT_EQ(p.next(), Event::kStartElement);  // skip
+  p.skip_element();
+  ASSERT_EQ(p.next(), Event::kStartElement);
+  EXPECT_EQ(p.name(), "next");
+}
+
+TEST(PullParser, RequireAttrThrowsWithElementLine) {
+  PullParser p("<a>\n<b/>\n</a>");
+  p.next();
+  p.next();
+  ASSERT_EQ(p.next(), Event::kStartElement);
+  try {
+    p.require_attr("id");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_NE(std::string(e.what()).find("missing attribute 'id'"),
+              std::string::npos);
+  }
+}
+
+TEST(PullParser, RejectsMalformedDocuments) {
+  EXPECT_THROW(trace("<a><b></a></b>"), ParseError);
+  EXPECT_THROW(trace("<a>"), ParseError);
+  EXPECT_THROW(trace("<a/><b/>"), ParseError);
+  EXPECT_THROW(trace("<a x=\"1\" x=\"2\"/>"), ParseError);
+  EXPECT_THROW(trace("<a>&unknown;</a>"), ParseError);
+  EXPECT_THROW(trace("text only"), ParseError);
+  EXPECT_THROW(trace(""), ParseError);
+}
+
+TEST(PullParser, SelfClosingRootYieldsStartEndDocument) {
+  PullParser p("<only/>");
+  EXPECT_EQ(p.next(), Event::kStartElement);
+  EXPECT_EQ(p.next(), Event::kEndElement);
+  EXPECT_EQ(p.name(), "only");
+  EXPECT_EQ(p.next(), Event::kEndDocument);
+}
+
+}  // namespace
+}  // namespace jedule::xml
