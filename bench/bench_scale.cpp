@@ -5,6 +5,7 @@
 // a serial vs multi-threaded comparison (outputs must be byte-identical).
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <set>
 #include <string>
@@ -12,13 +13,19 @@
 #include <utility>
 
 #include "bench_report.hpp"
+#include "jedule/interactive/session.hpp"
 #include "jedule/io/jedule_xml.hpp"
 #include "jedule/model/builder.hpp"
 #include "jedule/model/composite.hpp"
+#include "jedule/model/task_index.hpp"
 #include "jedule/render/export.hpp"
 #include "jedule/render/exporter.hpp"
 #include "jedule/render/deflate.hpp"
+#include "jedule/render/framebuffer.hpp"
+#include "jedule/render/gantt.hpp"
 #include "jedule/render/png.hpp"
+#include "jedule/render/raster_canvas.hpp"
+#include "jedule/render/tile_cache.hpp"
 #include "jedule/util/error.hpp"
 #include "jedule/util/parallel.hpp"
 #include "jedule/util/rng.hpp"
@@ -83,11 +90,34 @@ model::Schedule million_schedule(int tasks, int hosts) {
   return builder.build();
 }
 
+/// Memoized schedules for the interactive-frame benches: the 1M-task one is
+/// also what million_xml() serializes, so it is built exactly once.
+const model::Schedule& frame_schedule(int tasks) {
+  static std::map<int, model::Schedule> cache;
+  auto it = cache.find(tasks);
+  if (it == cache.end()) {
+    it = cache
+             .emplace(tasks, tasks >= 1000000 ? million_schedule(tasks, 4096)
+                                              : big_schedule(tasks))
+             .first;
+  }
+  return it->second;
+}
+
+const model::TaskIndex& frame_index(int tasks) {
+  static std::map<int, model::TaskIndex> cache;
+  auto it = cache.find(tasks);
+  if (it == cache.end()) {
+    it = cache.emplace(tasks, model::TaskIndex(frame_schedule(tasks))).first;
+  }
+  return it->second;
+}
+
 /// Shared across the report and the BM_Ingest* timings (building the
 /// million-task document once keeps the bench startup bounded).
 const std::string& million_xml() {
   static const std::string xml = [] {
-    return io::write_schedule_xml(million_schedule(1000000, 4096));
+    return io::write_schedule_xml(frame_schedule(1000000));
   }();
   return xml;
 }
@@ -336,6 +366,69 @@ bool same_composites(const std::vector<model::Composite>& a,
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// Interactive frames. The legacy path is what every view change cost before
+// the spatial index / tile cache: a full layout of all tasks plus a full
+// repaint. The new path answers pans from cached tiles (warm) and zooms from
+// an index-culled layout (cold). Windows are ~0.1% of the makespan — the
+// zoom level at which someone actually inspects a fine-grained trace.
+// ---------------------------------------------------------------------------
+
+const color::ColorMap& bench_colormap() {
+  static const color::ColorMap cmap = color::standard_colormap();
+  return cmap;
+}
+
+render::GanttStyle frame_style() {
+  render::GanttStyle style;
+  style.width = 1000;   // 930 pixel columns between the margins
+  style.height = 600;
+  return style;
+}
+
+render::Framebuffer legacy_frame(const model::Schedule& s,
+                                 const render::GanttStyle& style) {
+  const auto layout = render::layout_gantt(s, bench_colormap(), style, 1, {});
+  render::Framebuffer fb(style.width, style.height);
+  render::RasterCanvas canvas(fb);
+  render::paint_gantt(layout, canvas, style);
+  return fb;
+}
+
+struct FrameSetup {
+  const model::Schedule* schedule;
+  const model::TaskIndex* index;
+  double begin;   // full-range begin
+  double span;    // full-range length
+  double len;     // window length (0.1% of the span)
+  double step;    // one pixel column in window time units
+};
+
+FrameSetup frame_setup(int tasks) {
+  const auto& s = frame_schedule(tasks);
+  const auto& index = frame_index(tasks);
+  const auto range = *s.time_range();
+  FrameSetup setup;
+  setup.schedule = &s;
+  setup.index = &index;
+  setup.begin = range.begin;
+  setup.span = range.length();
+  setup.len = setup.span * 0.001;
+  setup.step = setup.len / 930.0;
+  return setup;
+}
+
+render::TileCache::Request frame_request(const FrameSetup& setup, double t0) {
+  render::TileCache::Request req;
+  req.schedule = setup.schedule;
+  req.colormap = &bench_colormap();
+  req.style = frame_style();
+  req.style.time_window = model::TimeRange{t0, t0 + setup.len};
+  req.index = setup.index;
+  req.validated = true;
+  return req;
+}
+
 render::RenderOptions bench_options(int threads) {
   render::RenderOptions options;
   options.style.width = 1280;
@@ -497,6 +590,40 @@ void report() {
     report_check("1M-task ingest >= 5x vs pre-PR DOM path",
                  ingest_legacy / ingest_pull >= 5.0);
   }
+
+  // Interactive frames on the 1M-task schedule: full relayout (the pre-PR
+  // cost of every view change) vs warm tile-cache pans at a 0.1%-of-makespan
+  // window. Target: warm pan >= 10x.
+  {
+    const auto setup = frame_setup(1000000);
+    auto style = frame_style();
+
+    watch.reset();
+    const int kLegacyFrames = 3;
+    for (int i = 0; i < kLegacyFrames; ++i) {
+      const double t0 = setup.begin + i * 8 * setup.step;
+      style.time_window = model::TimeRange{t0, t0 + setup.len};
+      const auto fb = legacy_frame(*setup.schedule, style);
+      if (fb.width() != style.width) throw Error("bad frame");
+    }
+    const double legacy_ms = watch.seconds() * 1000 / kLegacyFrames;
+    report_row("1M-task frame, full relayout", fmt(legacy_ms, 1) + " ms");
+
+    render::TileCache cache;
+    (void)cache.render_frame(frame_request(setup, setup.begin));
+    const int kWarmFrames = 50;
+    watch.reset();
+    for (int i = 1; i <= kWarmFrames; ++i) {
+      const double t0 = setup.begin + i * 8 * setup.step;
+      const auto fb = cache.render_frame(frame_request(setup, t0));
+      if (fb.width() != style.width) throw Error("bad frame");
+    }
+    const double warm_ms = watch.seconds() * 1000 / kWarmFrames;
+    report_row("1M-task frame, warm tile-cache pan",
+               fmt(warm_ms, 1) + " ms (" + fmt(legacy_ms / warm_ms, 1) + "x)");
+    report_check("warm pan >= 10x vs full relayout at 1M tasks",
+                 legacy_ms / warm_ms >= 10.0);
+  }
   report_footer();
 }
 
@@ -577,6 +704,87 @@ void BM_IngestDom(benchmark::State& state) {
                           static_cast<std::int64_t>(xml.size()));
 }
 BENCHMARK(BM_IngestDom)->Unit(benchmark::kMillisecond);
+
+void BM_FrameLegacyFullRelayout(benchmark::State& state) {
+  const auto setup = frame_setup(static_cast<int>(state.range(0)));
+  auto style = frame_style();
+  double t0 = setup.begin;
+  for (auto _ : state) {
+    t0 = setup.begin + std::fmod(t0 - setup.begin + 8 * setup.step,
+                                 setup.span - setup.len);
+    style.time_window = model::TimeRange{t0, t0 + setup.len};
+    benchmark::DoNotOptimize(legacy_frame(*setup.schedule, style));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FrameLegacyFullRelayout)
+    ->Arg(10000)->Arg(200000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FramePanWarm(benchmark::State& state) {
+  const auto setup = frame_setup(static_cast<int>(state.range(0)));
+  render::TileCache cache;
+  (void)cache.render_frame(frame_request(setup, setup.begin));
+  // Pixel-aligned 8-px pans; compute each origin as anchor + k * step so no
+  // floating error accumulates and the cache's pixel grid stays reusable.
+  std::int64_t k = 0;
+  const std::int64_t wrap =
+      static_cast<std::int64_t>((setup.span - setup.len) / setup.step);
+  for (auto _ : state) {
+    k = (k + 8) % std::max<std::int64_t>(wrap, 1);
+    const double t0 = setup.begin + static_cast<double>(k) * setup.step;
+    benchmark::DoNotOptimize(cache.render_frame(frame_request(setup, t0)));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  const auto& cs = cache.stats();
+  state.counters["tile_hit_rate"] = benchmark::Counter(
+      cs.hits + cs.misses
+          ? static_cast<double>(cs.hits) /
+                static_cast<double>(cs.hits + cs.misses)
+          : 0.0);
+}
+BENCHMARK(BM_FramePanWarm)
+    ->Arg(10000)->Arg(200000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FrameZoomCold(benchmark::State& state) {
+  const auto setup = frame_setup(static_cast<int>(state.range(0)));
+  render::TileCache cache;
+  const double mid = setup.begin + setup.span / 2;
+  bool wide = false;
+  for (auto _ : state) {
+    // Alternating zoom levels: every frame changes the scale, resets the
+    // pixel grid and re-rasterizes the visible tiles from the culled layout.
+    const double len = wide ? setup.len : setup.len / 2;
+    wide = !wide;
+    auto req = frame_request(setup, mid);
+    req.style.time_window = model::TimeRange{mid, mid + len};
+    benchmark::DoNotOptimize(cache.render_frame(req));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FrameZoomCold)
+    ->Arg(10000)->Arg(200000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FrameInspect(benchmark::State& state) {
+  const auto setup = frame_setup(static_cast<int>(state.range(0)));
+  auto style = frame_style();
+  style.time_window =
+      model::TimeRange{setup.begin + setup.span / 2,
+                       setup.begin + setup.span / 2 + setup.len};
+  interactive::Session session(*setup.schedule, bench_colormap(), style);
+  (void)session.layout();
+  int x = 60;
+  for (auto _ : state) {
+    x = 60 + (x + 37) % 900;
+    benchmark::DoNotOptimize(session.inspect(x, 300));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FrameInspect)
+    ->Arg(10000)->Arg(200000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_IngestPull(benchmark::State& state) {
   const auto& xml = million_xml();

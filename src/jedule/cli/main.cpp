@@ -11,6 +11,7 @@
 #include <filesystem>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <sstream>
 
 #include "jedule/cli/args.hpp"
@@ -23,6 +24,7 @@
 #include "jedule/io/jedule_xml.hpp"
 #include "jedule/io/registry.hpp"
 #include "jedule/model/stats.hpp"
+#include "jedule/model/task_index.hpp"
 #include "jedule/render/ascii.hpp"
 #include "jedule/render/exporter.hpp"
 #include "jedule/render/profile.hpp"
@@ -71,6 +73,10 @@ std::string usage() {
       "  --no-labels         do not draw task-id labels\n"
       "  --hatch-composites  hatch composite rectangles (grayscale safety)\n"
       "  --highlight K=V     highlight tasks whose property K equals V\n"
+      "  --lod auto|off|force\n"
+      "                      level of detail: collapse sub-pixel tasks into\n"
+      "                      density bins (default: off for exports, auto\n"
+      "                      for interactive frames)\n"
       "  --format NAME       force the input parser (see 'jedule formats')\n"
       "  --image-format NAME force the output format: " +
       util::join(registry.exporter_names(), " ") +
@@ -83,6 +89,11 @@ std::string usage() {
       "batch options: render options plus\n"
       "  --out-dir DIR       output directory (required; created if missing)\n"
       "  --ext EXT           output extension, e.g. .png (default .png)\n"
+      "\n"
+      "view options: render options plus\n"
+      "  --script FILE       read commands from FILE instead of stdin\n"
+      "  --frame-stats       render a frame after every command and print\n"
+      "                      its timing and tile-cache counters\n"
       "\n"
       "output formats:\n";
   for (const auto* exporter : registry.exporters()) {
@@ -136,6 +147,12 @@ render::GanttStyle style_from_args(const Args& args) {
     style.highlight_key = highlight->substr(0, eq);
     style.highlight_value = highlight->substr(eq + 1);
   }
+  if (auto lod = args.value("lod")) {
+    if (*lod == "auto") style.lod = render::LodMode::kAuto;
+    else if (*lod == "off") style.lod = render::LodMode::kOff;
+    else if (*lod == "force") style.lod = render::LodMode::kForce;
+    else throw ArgumentError("--lod must be auto, off or force");
+  }
   return style;
 }
 
@@ -170,7 +187,14 @@ int cmd_render(const Args& args) {
       io::load_schedule(args.positional()[1], args.value_or("format", ""));
   JED_INFO() << "loaded " << schedule.tasks().size() << " tasks from "
              << args.positional()[1];
-  const auto options = options_from_args(args);
+  auto options = options_from_args(args);
+  // A windowed export only touches the visible tasks; the index makes the
+  // layout O(visible) instead of a full scan (same bytes either way).
+  std::optional<model::TaskIndex> index;
+  if (options.style.time_window) {
+    index.emplace(schedule);
+    options.task_index = &*index;
+  }
   render::export_schedule(schedule, options, *out,
                           args.value_or("image-format", ""));
   JED_INFO() << "wrote " << *out << " (threads=" << options.resolved_threads()
@@ -231,7 +255,14 @@ int cmd_batch(const Args& args) {
   util::parallel_for(inputs.size(), file_workers, [&](std::size_t i) {
     try {
       const auto schedule = io::load_schedule(inputs[i], parser_format);
-      render::export_schedule(schedule, options, outputs[i], image_format);
+      render::RenderOptions file_options = options;
+      std::optional<model::TaskIndex> index;
+      if (file_options.style.time_window) {
+        index.emplace(schedule);
+        file_options.task_index = &*index;
+      }
+      render::export_schedule(schedule, file_options, outputs[i],
+                              image_format);
       JED_INFO() << "wrote " << outputs[i];
     } catch (const Error& e) {
       errors[i] = e.what();
@@ -264,6 +295,9 @@ int cmd_view(const Args& args) {
     script_stream.str(io::read_file(*script));
     in = &script_stream;
   }
+  // --frame-stats renders a frame through the tile cache after every view
+  // command and reports its timing (cache hits/misses, box count, LOD).
+  const bool frame_stats = args.has("frame-stats");
   std::string line;
   while (std::getline(*in, line)) {
     const auto trimmed = util::trim(line);
@@ -272,9 +306,16 @@ int cmd_view(const Args& args) {
     try {
       const std::string output = session.execute(std::string(trimmed));
       if (!output.empty()) std::cout << output << "\n";
+      if (frame_stats && trimmed != "frame" && trimmed != "stats") {
+        session.frame();
+        std::cout << session.frame_log().last().summary() << "\n";
+      }
     } catch (const Error& e) {
       std::cout << "error: " << e.what() << "\n";
     }
+  }
+  if (frame_stats && session.frame_log().frames() > 0) {
+    std::cout << session.frame_log().summary() << "\n";
   }
   return 0;
 }
@@ -417,13 +458,13 @@ int run(int argc, char** argv) {
   const std::vector<std::string> value_flags = {
       "out",      "cmap",  "width",     "height", "window",
       "clusters", "types", "highlight", "format", "script",
-      "threads",  "out-dir", "ext",     "image-format"};
+      "threads",  "out-dir", "ext",     "image-format", "lod"};
   const std::vector<std::string> known_flags = {
       "out",       "cmap",          "width",      "height",
       "window",    "clusters",      "types",      "highlight",  "format",
       "script",    "grayscale",     "aligned",    "no-composites",
       "no-labels", "hatch-composites", "verbose", "threads",
-      "out-dir",   "ext",           "image-format"};
+      "out-dir",   "ext",           "image-format", "lod", "frame-stats"};
 
   Args args(argc - 1, argv + 1, value_flags);
   if (args.has("verbose")) util::set_log_level(util::LogLevel::kInfo);

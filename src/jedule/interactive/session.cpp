@@ -1,6 +1,8 @@
 #include "jedule/interactive/session.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "jedule/io/colormap_xml.hpp"
 #include "jedule/io/registry.hpp"
@@ -8,19 +10,31 @@
 #include "jedule/render/ascii.hpp"
 #include "jedule/render/exporter.hpp"
 #include "jedule/util/error.hpp"
+#include "jedule/util/parallel.hpp"
 #include "jedule/util/strings.hpp"
 
 namespace jedule::interactive {
 
 using model::TimeRange;
 
+namespace {
+
+render::TileCache::Options cache_options() {
+  render::TileCache::Options opt;
+  opt.threads = util::resolve_threads(0);
+  return opt;
+}
+
+}  // namespace
+
 Session::Session(model::Schedule schedule, color::ColorMap colormap,
                  render::GanttStyle style)
     : schedule_(std::move(schedule)),
       colormap_(colormap),
       original_colormap_(std::move(colormap)),
-      style_(std::move(style)) {
-  schedule_.validate();
+      style_(std::move(style)),
+      cache_(cache_options()) {
+  on_schedule_loaded();
 }
 
 Session::Session(const std::string& path, color::ColorMap colormap,
@@ -28,36 +42,112 @@ Session::Session(const std::string& path, color::ColorMap colormap,
     : colormap_(colormap),
       original_colormap_(std::move(colormap)),
       style_(std::move(style)),
-      path_(path) {
+      path_(path),
+      cache_(cache_options()) {
   schedule_ = io::load_schedule(path_);
+  on_schedule_loaded();
+}
+
+void Session::on_schedule_loaded() {
+  // Validate once up front; every layout/frame below then runs with
+  // hints.assume_validated and skips the O(n) re-check.
+  schedule_.validate();
+  index_.reset();
+  auto range = schedule_.time_range();
+  full_range_ = range ? *range : TimeRange{0, 1};
+  cache_.invalidate();
+  invalidate();
+}
+
+void Session::ensure_index() {
+  if (!index_) {
+    index_ = std::make_shared<const model::TaskIndex>(schedule_);
+  }
+}
+
+const model::TaskIndex& Session::index() {
+  ensure_index();
+  return *index_;
 }
 
 const render::GanttLayout& Session::layout() {
   if (!layout_) {
-    layout_ = render::layout_gantt(schedule_, colormap_, style_);
+    ensure_index();
+    render::LayoutHints hints;
+    hints.index = index_.get();
+    hints.assume_validated = true;
+    hints.interactive = true;
+    layout_ = render::layout_gantt(schedule_, colormap_, style_,
+                                   /*threads=*/1, hints);
   }
   return *layout_;
 }
 
 TimeRange Session::current_window() const {
   if (style_.time_window) return *style_.time_window;
-  auto range = schedule_.time_range();
-  return range ? *range : TimeRange{0, 1};
+  return full_range_;
 }
 
-void Session::zoom(double factor, double center_frac) {
-  if (factor <= 0) throw ArgumentError("zoom factor must be positive");
-  center_frac = std::clamp(center_frac, 0.0, 1.0);
-  const TimeRange window = current_window();
-  const double center = window.begin + window.length() * center_frac;
-  const double new_len = window.length() / factor;
-  style_.time_window =
-      TimeRange{center - new_len * center_frac,
-                center + new_len * (1.0 - center_frac)};
+void Session::set_window(double t0, double t1) {
+  if (!std::isfinite(t0) || !std::isfinite(t1)) {
+    throw ArgumentError("window bounds must be finite");
+  }
+  if (t1 < t0) std::swap(t0, t1);
+
+  // Length clamp: never below ~1e-12 of the schedule span (zero or
+  // denormal zoom spans would collapse the pixel mapping to NaN/inf) and
+  // never above 16x of it (runaway zoom-out).
+  const double span = full_range_.length() > 0 ? full_range_.length() : 1.0;
+  const double min_len = span * 1e-12;
+  const double max_len = span * 16.0;
+  double len = t1 - t0;
+  if (!(len >= min_len)) {
+    const double c = 0.5 * (t0 + t1);
+    t0 = c - min_len / 2;
+    t1 = c + min_len / 2;
+    if (!(t1 > t0)) {  // c so large that c +/- min_len/2 rounds back to c
+      t1 = std::nextafter(t0, std::numeric_limits<double>::max());
+    }
+  } else if (len > max_len) {
+    const double c = 0.5 * (t0 + t1);
+    t0 = c - max_len / 2;
+    t1 = c + max_len / 2;
+  }
+
+  // Position clamp: the window must touch [begin, end] of the schedule
+  // (panning past the ends slides along the boundary instead of showing
+  // arbitrary empty space).
+  if (t0 > full_range_.end) {
+    const double d = t0 - full_range_.end;
+    t0 -= d;
+    t1 -= d;
+  } else if (t1 < full_range_.begin) {
+    const double d = full_range_.begin - t1;
+    t0 += d;
+    t1 += d;
+  }
+
+  style_.time_window = TimeRange{t0, t1};
   invalidate();
 }
 
+void Session::zoom(double factor, double center_frac) {
+  if (!(factor > 0)) throw ArgumentError("zoom factor must be positive");
+  if (!std::isfinite(center_frac)) center_frac = 0.5;
+  center_frac = std::clamp(center_frac, 0.0, 1.0);
+  const TimeRange window = current_window();
+  const double center = window.begin + window.length() * center_frac;
+  const double span = full_range_.length() > 0 ? full_range_.length() : 1.0;
+  const double new_len =
+      std::clamp(window.length() / factor, span * 1e-12, span * 16.0);
+  set_window(center - new_len * center_frac,
+             center + new_len * (1.0 - center_frac));
+}
+
 void Session::zoom_to_pixels(double x0, double x1) {
+  if (!std::isfinite(x0) || !std::isfinite(x1)) {
+    throw ArgumentError("zoom rectangle coordinates must be finite");
+  }
   if (x1 < x0) std::swap(x0, x1);
   const auto& lay = layout();
   if (lay.panels.empty()) return;
@@ -65,27 +155,25 @@ void Session::zoom_to_pixels(double x0, double x1) {
   // all panels agree, in scaled mode this matches zooming "in" that panel.
   const auto& panel = lay.panels.front();
   auto time_of_x = [&](double x) {
-    const double frac =
-        std::clamp((x - panel.x) / panel.w, 0.0, 1.0);
+    const double frac = std::clamp((x - panel.x) / panel.w, 0.0, 1.0);
     return panel.time_range.begin + frac * panel.time_range.length();
   };
-  const double t0 = time_of_x(x0);
-  const double t1 = time_of_x(x1);
-  if (t1 <= t0) throw ArgumentError("zoom rectangle selects no time span");
-  style_.time_window = TimeRange{t0, t1};
-  invalidate();
+  // A degenerate selection (both pixels in one column, or off the panel on
+  // the same side) clamps to a minimal span in set_window.
+  set_window(time_of_x(x0), time_of_x(x1));
 }
 
-void Session::zoom_to_time(double t0, double t1) {
-  if (t1 <= t0) throw ArgumentError("zoom window must have t1 > t0");
-  style_.time_window = TimeRange{t0, t1};
-  invalidate();
-}
+void Session::zoom_to_time(double t0, double t1) { set_window(t0, t1); }
 
 void Session::pan(double dt) {
+  if (!std::isfinite(dt)) throw ArgumentError("pan offset must be finite");
   const TimeRange window = current_window();
-  style_.time_window = TimeRange{window.begin + dt, window.end + dt};
-  invalidate();
+  // An astronomically large dt can overflow begin+dt to infinity; clamp
+  // the target into the finite range and let set_window slide it back to
+  // the schedule bounds.
+  constexpr double kLim = 1e300;
+  set_window(std::clamp(window.begin + dt, -kLim, kLim),
+             std::clamp(window.end + dt, -kLim, kLim));
 }
 
 void Session::reset_view() {
@@ -117,23 +205,38 @@ void Session::set_view_mode(model::ViewMode mode) {
 void Session::set_colormap(color::ColorMap colormap) {
   original_colormap_ = std::move(colormap);
   colormap_ = grayscale_ ? original_colormap_.grayscale() : original_colormap_;
+  ++colormap_epoch_;
   invalidate();
 }
 
 void Session::set_grayscale(bool on) {
   grayscale_ = on;
   colormap_ = on ? original_colormap_.grayscale() : original_colormap_;
+  ++colormap_epoch_;
   invalidate();
 }
 
-std::string Session::inspect(double x, double y) {
-  const auto& lay = layout();
-  const render::TaskBox* box = render::hit_test(lay, x, y);
-  if (box == nullptr) {
-    return "no task at (" + util::format_fixed(x, 0) + ", " +
-           util::format_fixed(y, 0) + ")";
-  }
-  const model::Task& t = lay.tasks[box->task_index];
+void Session::set_lod(render::LodMode mode) {
+  style_.lod = mode;
+  invalidate();
+}
+
+const render::Framebuffer& Session::frame() {
+  ensure_index();
+  render::TileCache::Request req;
+  req.schedule = &schedule_;
+  req.colormap = &colormap_;
+  req.style = style_;
+  req.style.time_window = current_window();
+  req.index = index_.get();
+  req.colormap_epoch = colormap_epoch_;
+  req.validated = true;
+  frame_ = cache_.render_frame(req);
+  frame_log_.record(cache_.last_frame());
+  return *frame_;
+}
+
+std::string Session::describe(const model::Task& t) const {
   std::string out = "task " + t.id() + ": type=" + t.type() +
                     " start=" + util::format_fixed(t.start_time(), 3) +
                     " end=" + util::format_fixed(t.end_time(), 3) +
@@ -154,6 +257,70 @@ std::string Session::inspect(double x, double y) {
   return out;
 }
 
+std::string Session::inspect(double x, double y) {
+  const auto& lay = layout();
+  const std::string miss = "no task at (" + util::format_fixed(x, 0) + ", " +
+                           util::format_fixed(y, 0) + ")";
+  if (!std::isfinite(x) || !std::isfinite(y)) return miss;
+
+  // Composites draw on top of their members and live at the tail of the
+  // box list — check those first, topmost (last-drawn) wins.
+  for (auto it = lay.boxes.rbegin();
+       it != lay.boxes.rend() && it->composite; ++it) {
+    if (x >= it->x && x < it->x + std::max(it->w, 1.0) && y >= it->y &&
+        y < it->y + std::max(it->h, 1.0)) {
+      return describe(lay.tasks[it->task_index]);
+    }
+  }
+
+  // Ordinary tasks resolve through the spatial index: a point query over
+  // the 1-px time slab [time(x-1), time(x)] (hit_test gives every box at
+  // least 1 px of width), then the exact box predicate per candidate.
+  // This answers clicks without scanning the task list — including on
+  // panels rendered as LOD density bins, which have no exact boxes.
+  const render::PanelLayout* panel = render::panel_at(lay, x, y);
+  if (panel == nullptr) {
+    // A box's 1-px minimum width can overhang the panel's right edge.
+    panel = render::panel_at(lay, x - 1.0, y);
+  }
+  if (panel == nullptr) return miss;
+  ensure_index();
+
+  auto time_of_x = [&](double px) {
+    return panel->time_range.begin +
+           (px - panel->x) / panel->w * panel->time_range.length();
+  };
+  const auto type_selected = [this](const model::Task& t) {
+    return style_.type_filter.empty() ||
+           std::find(style_.type_filter.begin(), style_.type_filter.end(),
+                     t.type()) != style_.type_filter.end();
+  };
+
+  long long best = -1;
+  index_->query(
+      panel->cluster_id, time_of_x(x - 1.0), time_of_x(x),
+      [&](const model::TaskIndex::Entry& e) {
+        const model::Task& t = schedule_.tasks()[e.task];
+        if (!type_selected(t)) return;
+        // Replicate the layout's clipping and box arithmetic exactly so
+        // the answer matches what hit_test on a full layout would return.
+        const double t0 = std::max(e.begin, panel->time_range.begin);
+        const double t1 = std::min(e.end, panel->time_range.end);
+        if (t1 <= t0 && !(e.begin == e.end && t0 == e.begin)) return;
+        const double bx = panel->x_of_time(t0);
+        const double bw = panel->x_of_time(t1) - bx;
+        const double by = panel->y + panel->row_height() * e.host_start;
+        const double bh =
+            panel->row_height() * (e.host_end - e.host_start + 1);
+        if (x >= bx && x < bx + std::max(bw, 1.0) && y >= by &&
+            y < by + std::max(bh, 1.0)) {
+          best = std::max(best, static_cast<long long>(e.task));
+        }
+      });
+  if (best < 0) return miss;
+  return describe(schedule_.tasks()[static_cast<std::size_t>(best)]);
+}
+
 std::string Session::info() const {
   const auto stats = model::compute_stats(schedule_);
   std::string out = std::to_string(schedule_.clusters().size()) +
@@ -170,13 +337,15 @@ void Session::reread() {
     throw Error("reread: session is not bound to a file");
   }
   schedule_ = io::load_schedule(path_);
-  invalidate();
+  on_schedule_loaded();
 }
 
 void Session::snapshot(const std::string& path) {
   render::RenderOptions options;
   options.style = style_;
   options.colormap = colormap_;
+  ensure_index();
+  options.task_index = index_.get();
   render::export_schedule(schedule_, options, path);
 }
 
@@ -196,24 +365,32 @@ std::string Session::execute(const std::string& command) {
     if (!v) throw ArgumentError("'" + s + "' is not a number");
     return *v;
   };
+  auto window_echo = [&]() {
+    const auto w = current_window();
+    return "window [" + util::format_fixed(w.begin, 3) + ", " +
+           util::format_fixed(w.end, 3) + "]";
+  };
 
   if (op == "zoom") {
     if (words.size() == 2) {
       zoom(as_double(words[1]));
-      const auto w = current_window();
-      return "window [" + util::format_fixed(w.begin, 3) + ", " +
-             util::format_fixed(w.end, 3) + "]";
+      return window_echo();
     }
     need_args(2);
     zoom_to_time(as_double(words[1]), as_double(words[2]));
     return "window [" + words[1] + ", " + words[2] + "]";
   }
+  if (op == "window") {
+    // Like "zoom <t0> <t1>" but echoes the clamped result, so scripts see
+    // what the view actually shows.
+    need_args(2);
+    zoom_to_time(as_double(words[1]), as_double(words[2]));
+    return window_echo();
+  }
   if (op == "pan") {
     need_args(1);
     pan(as_double(words[1]));
-    const auto w = current_window();
-    return "window [" + util::format_fixed(w.begin, 3) + ", " +
-           util::format_fixed(w.end, 3) + "]";
+    return window_echo();
   }
   if (op == "reset") {
     need_args(0);
@@ -274,9 +451,26 @@ std::string Session::execute(const std::string& command) {
     else throw ArgumentError("grayscale must be 'on' or 'off'");
     return "grayscale " + words[1];
   }
+  if (op == "lod") {
+    need_args(1);
+    if (words[1] == "auto") set_lod(render::LodMode::kAuto);
+    else if (words[1] == "off") set_lod(render::LodMode::kOff);
+    else if (words[1] == "force") set_lod(render::LodMode::kForce);
+    else throw ArgumentError("lod must be 'auto', 'off' or 'force'");
+    return "lod " + words[1];
+  }
   if (op == "inspect" || op == "click") {
     need_args(2);
     return inspect(as_double(words[1]), as_double(words[2]));
+  }
+  if (op == "frame") {
+    need_args(0);
+    frame();
+    return frame_log_.last().summary();
+  }
+  if (op == "stats") {
+    need_args(0);
+    return frame_log_.summary();
   }
   if (op == "info") {
     need_args(0);
@@ -304,9 +498,10 @@ std::string Session::execute(const std::string& command) {
     return "wrote " + words[1];
   }
   if (op == "help") {
-    return "commands: zoom <factor>|zoom <t0> <t1>, pan <dt>, reset, "
-           "clusters all|<ids>, types all|<names>, mode scaled|aligned, "
-           "grayscale on|off, cmap <file>, inspect <x> <y>, info, ascii, reread, "
+    return "commands: zoom <factor>|zoom <t0> <t1>, window <t0> <t1>, "
+           "pan <dt>, reset, clusters all|<ids>, types all|<names>, "
+           "mode scaled|aligned, grayscale on|off, lod auto|off|force, "
+           "cmap <file>, inspect <x> <y>, frame, stats, info, ascii, reread, "
            "export <path>, help";
   }
   throw ArgumentError("unknown command '" + op + "' (try 'help')");

@@ -9,14 +9,25 @@
 // layout engine; the `view` subcommand of the CLI drives it from a script
 // or stdin, and the test suite drives it directly (see DESIGN.md §2 for why
 // the event loop itself is substituted).
+//
+// Interactive frames are O(visible): the session shares one model::TaskIndex
+// with the layout engine (viewport culling, point-query inspect) and renders
+// through a render::TileCache, so a pan re-rasterizes only the newly exposed
+// strip. View operations clamp degenerate input (zero/denormal zoom spans,
+// pans past the schedule bounds) instead of producing NaN geometry.
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
 
 #include "jedule/color/colormap.hpp"
 #include "jedule/model/schedule.hpp"
+#include "jedule/model/task_index.hpp"
+#include "jedule/render/frame_profile.hpp"
+#include "jedule/render/framebuffer.hpp"
 #include "jedule/render/gantt.hpp"
+#include "jedule/render/tile_cache.hpp"
 
 namespace jedule::interactive {
 
@@ -37,21 +48,28 @@ class Session {
   /// Current layout (recomputed lazily after every view change).
   const render::GanttLayout& layout();
 
+  /// The shared spatial index (built lazily, rebuilt on reread).
+  const model::TaskIndex& index();
+
   // -- view operations ------------------------------------------------
 
   /// Wheel zoom: shrink (factor > 1) or grow (factor < 1) the time window
   /// by `factor`, keeping the time at `center_frac` (0..1 across the panel
-  /// width) fixed.
+  /// width) fixed. Throws ArgumentError on factor <= 0 or NaN; the
+  /// resulting span is clamped to sane bounds otherwise.
   void zoom(double factor, double center_frac = 0.5);
 
   /// Rectangle-selection zoom: window = the time span between two pixel
-  /// x-coordinates. Pixels outside panels clamp to the panel edges.
+  /// x-coordinates. Pixels outside panels clamp to the panel edges;
+  /// reversed or empty selections clamp to a minimal span (never throw).
   void zoom_to_pixels(double x0, double x1);
 
-  /// Explicit window in schedule time units.
+  /// Explicit window in schedule time units. Reversed bounds swap, empty
+  /// windows expand to a minimal span; non-finite bounds throw.
   void zoom_to_time(double t0, double t1);
 
   /// Drag: shift the current window by `dt` time units (positive = later).
+  /// Clamped so the window always touches the schedule's time range.
   void pan(double dt);
 
   /// Drop zoom and cluster selection.
@@ -63,12 +81,24 @@ class Session {
   void set_view_mode(model::ViewMode mode);
   void set_colormap(color::ColorMap colormap);
   void set_grayscale(bool on);
+  void set_lod(render::LodMode mode);
+
+  // -- frames -----------------------------------------------------------
+
+  /// Renders the current view through the tile cache and returns the
+  /// frame; a pan after a rendered frame re-rasterizes only the exposed
+  /// strip. Per-frame timings land in frame_log().
+  const render::Framebuffer& frame();
+
+  const render::profile::FrameLog& frame_log() const { return frame_log_; }
 
   // -- queries ---------------------------------------------------------
 
   /// Click-to-inspect: human-readable description (id, type, start/finish,
   /// per-cluster resource list) of the task drawn at pixel (x, y), or
-  /// "no task at (x, y)".
+  /// "no task at (x, y)". Resolves through the spatial index (a point
+  /// query, not a scan), so it answers in O(log n) even when the panel is
+  /// drawn as LOD density bins.
   std::string inspect(double x, double y);
 
   /// One-line schedule summary (clusters, tasks, makespan).
@@ -84,16 +114,21 @@ class Session {
   void snapshot(const std::string& path);
 
   /// Executes one script command and returns its textual output. Commands:
-  ///   zoom <factor> | zoom <t0> <t1> | pan <dt> | reset
+  ///   zoom <factor> | zoom <t0> <t1> | window <t0> <t1> | pan <dt> | reset
   ///   clusters all | clusters <id>[,<id>...]
-  ///   mode scaled|aligned | grayscale on|off
-  ///   inspect <x> <y> | info | reread | export <path> | help
+  ///   mode scaled|aligned | grayscale on|off | lod auto|off|force
+  ///   inspect <x> <y> | info | frame | stats | reread | export <path> | help
   /// Throws ArgumentError on unknown commands or malformed arguments.
   std::string execute(const std::string& command);
 
  private:
   void invalidate() { layout_.reset(); }
+  void ensure_index();
+  void on_schedule_loaded();
+  /// Clamps (length, then position) and installs a time window.
+  void set_window(double t0, double t1);
   model::TimeRange current_window() const;
+  std::string describe(const model::Task& t) const;
 
   model::Schedule schedule_;
   color::ColorMap colormap_;
@@ -102,6 +137,13 @@ class Session {
   render::GanttStyle style_;
   std::string path_;  // empty when in-memory
   std::optional<render::GanttLayout> layout_;
+
+  std::shared_ptr<const model::TaskIndex> index_;
+  model::TimeRange full_range_{0, 1};
+  render::TileCache cache_;
+  std::optional<render::Framebuffer> frame_;
+  render::profile::FrameLog frame_log_;
+  std::uint64_t colormap_epoch_ = 0;
 };
 
 }  // namespace jedule::interactive

@@ -1,0 +1,211 @@
+#include "jedule/model/task_index.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <string>
+
+namespace jedule::model {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+void hash_bytes(std::uint64_t* h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    *h ^= p[i];
+    *h *= kFnvPrime;
+  }
+}
+
+void hash_u64(std::uint64_t* h, std::uint64_t v) { hash_bytes(h, &v, 8); }
+
+void hash_double(std::uint64_t* h, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  hash_u64(h, bits);
+}
+
+void hash_string(std::uint64_t* h, const std::string& s) {
+  hash_u64(h, s.size());
+  hash_bytes(h, s.data(), s.size());
+}
+
+// Recursively fills max_end[mid] with the maximum end time over
+// entries[lo, hi) — the implicit-BST augmentation of the sorted array.
+double build_max_end(const std::vector<TaskIndex::Entry>& entries,
+                     std::vector<double>* max_end, std::size_t lo,
+                     std::size_t hi) {
+  if (lo >= hi) return -std::numeric_limits<double>::infinity();
+  const std::size_t mid = lo + (hi - lo) / 2;
+  double m = entries[mid].end;
+  m = std::max(m, build_max_end(entries, max_end, lo, mid));
+  m = std::max(m, build_max_end(entries, max_end, mid + 1, hi));
+  (*max_end)[mid] = m;
+  return m;
+}
+
+void query_range(const std::vector<TaskIndex::Entry>& entries,
+                 const std::vector<double>& max_end, std::size_t lo,
+                 std::size_t hi, double t0, double t1,
+                 const std::function<void(const TaskIndex::Entry&)>& fn) {
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    // Nothing in this subtree ends late enough to reach the window.
+    if (max_end[mid] < t0) return;
+    query_range(entries, max_end, lo, mid, t0, t1, fn);
+    const TaskIndex::Entry& e = entries[mid];
+    // Entries right of mid begin no earlier than e; once e starts past
+    // the window, the right subtree cannot intersect either.
+    if (e.begin > t1) return;
+    if (e.end >= t0) fn(e);
+    lo = mid + 1;  // descend right iteratively (tail call)
+  }
+}
+
+}  // namespace
+
+TaskIndex::TaskIndex(const Schedule& schedule) {
+  task_count_ = schedule.tasks().size();
+  content_hash_ = hash_schedule(schedule);
+
+  clusters_.reserve(schedule.clusters().size());
+  for (const auto& c : schedule.clusters()) {
+    ClusterIndex ci;
+    ci.cluster_id = c.id;
+    clusters_.push_back(std::move(ci));
+  }
+  auto cluster_slot = [this](int id) -> ClusterIndex* {
+    for (auto& ci : clusters_) {
+      if (ci.cluster_id == id) return &ci;
+    }
+    return nullptr;
+  };
+
+  double lo = 0, hi = 0;
+  bool any = false;
+  for (std::size_t i = 0; i < schedule.tasks().size(); ++i) {
+    const Task& t = schedule.tasks()[i];
+    if (!any) {
+      lo = t.start_time();
+      hi = t.end_time();
+      any = true;
+    } else {
+      lo = std::min(lo, t.start_time());
+      hi = std::max(hi, t.end_time());
+    }
+    for (const auto& cfg : t.configurations()) {
+      ClusterIndex* ci = cluster_slot(cfg.cluster_id);
+      if (ci == nullptr) continue;  // validate() rejects this anyway
+      for (const auto& hr : cfg.hosts) {
+        Entry e;
+        e.begin = t.start_time();
+        e.end = t.end_time();
+        e.host_start = hr.start;
+        e.host_end = hr.start + hr.nb - 1;
+        e.task = static_cast<std::uint32_t>(i);
+        ci->entries.push_back(e);
+      }
+    }
+  }
+  if (any) time_range_ = TimeRange{lo, hi};
+
+  for (auto& ci : clusters_) {
+    std::sort(ci.entries.begin(), ci.entries.end(),
+              [](const Entry& a, const Entry& b) {
+                if (a.begin != b.begin) return a.begin < b.begin;
+                return a.task < b.task;
+              });
+    ci.max_end.assign(ci.entries.size(), 0.0);
+    build_max_end(ci.entries, &ci.max_end, 0, ci.entries.size());
+  }
+}
+
+std::uint64_t TaskIndex::hash_schedule(const Schedule& schedule) {
+  std::uint64_t h = kFnvOffset;
+  hash_u64(&h, schedule.clusters().size());
+  for (const auto& c : schedule.clusters()) {
+    hash_u64(&h, static_cast<std::uint64_t>(c.id));
+    hash_u64(&h, static_cast<std::uint64_t>(c.hosts));
+    hash_string(&h, c.name);
+  }
+  hash_u64(&h, schedule.tasks().size());
+  for (const auto& t : schedule.tasks()) {
+    hash_string(&h, t.id());
+    hash_string(&h, t.type());
+    hash_double(&h, t.start_time());
+    hash_double(&h, t.end_time());
+    hash_u64(&h, t.configurations().size());
+    for (const auto& cfg : t.configurations()) {
+      hash_u64(&h, static_cast<std::uint64_t>(cfg.cluster_id));
+      for (const auto& hr : cfg.hosts) {
+        hash_u64(&h, static_cast<std::uint64_t>(hr.start));
+        hash_u64(&h, static_cast<std::uint64_t>(hr.nb));
+      }
+    }
+    // Properties drive highlighting, so they are part of the identity.
+    hash_u64(&h, t.properties().size());
+    for (const auto& [k, v] : t.properties()) {
+      hash_string(&h, k);
+      hash_string(&h, v);
+    }
+  }
+  return h;
+}
+
+const TaskIndex::ClusterIndex* TaskIndex::cluster(int id) const {
+  for (const auto& ci : clusters_) {
+    if (ci.cluster_id == id) return &ci;
+  }
+  return nullptr;
+}
+
+std::size_t TaskIndex::entry_count(int cluster_id) const {
+  const ClusterIndex* ci = cluster(cluster_id);
+  return ci ? ci->entries.size() : 0;
+}
+
+void TaskIndex::query(int cluster_id, double t0, double t1,
+                      const std::function<void(const Entry&)>& fn) const {
+  const ClusterIndex* ci = cluster(cluster_id);
+  if (ci == nullptr || ci->entries.empty()) return;
+  query_range(ci->entries, ci->max_end, 0, ci->entries.size(), t0, t1, fn);
+}
+
+void TaskIndex::collect_tasks(int cluster_id, double t0, double t1,
+                              std::vector<std::uint32_t>* out) const {
+  const std::size_t first = out->size();
+  query(cluster_id, t0, t1,
+        [out](const Entry& e) { out->push_back(e.task); });
+  std::sort(out->begin() + static_cast<std::ptrdiff_t>(first), out->end());
+  out->erase(std::unique(out->begin() + static_cast<std::ptrdiff_t>(first),
+                         out->end()),
+             out->end());
+}
+
+std::size_t TaskIndex::count_upto(int cluster_id, double t0, double t1,
+                                  std::size_t limit) const {
+  std::size_t n = 0;
+  struct Done {};  // early exit once the caller's threshold is settled
+  try {
+    query(cluster_id, t0, t1, [&n, limit](const Entry&) {
+      if (++n >= limit) throw Done{};
+    });
+  } catch (const Done&) {
+  }
+  return n;
+}
+
+const TaskIndex::Entry* TaskIndex::topmost_at(int cluster_id, double t,
+                                              int h) const {
+  const Entry* best = nullptr;
+  query(cluster_id, t, t, [&best, h](const Entry& e) {
+    if (h < e.host_start || h > e.host_end) return;
+    if (best == nullptr || e.task > best->task) best = &e;
+  });
+  return best;
+}
+
+}  // namespace jedule::model

@@ -1,0 +1,96 @@
+#pragma once
+
+// model::TaskIndex — immutable spatial index over (time interval x host
+// range), built once per schedule and shared by the layout engine, the
+// tile cache and Session::inspect (DESIGN.md "interactive frames").
+//
+// Per cluster, every (task configuration x host range) rectangle becomes
+// one Entry in a flat array sorted by start time; an implicit balanced
+// BST over that array stores the maximum end time of each subtree, so a
+// window query visits O(log n + k) entries instead of scanning all
+// tasks. Intersection is *closed* ([begin, end] against [t0, t1]):
+// zero-duration tasks and tasks touching the window edge are reported,
+// which over-approximates the renderer's half-open clipping — harmless,
+// since non-painting boxes are dropped by the clip itself.
+//
+// The index is immutable after construction and safe to share across
+// threads. It also records a content hash of the schedule (tasks, times,
+// allocations, clusters) that the render::TileCache uses as a cache key.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "jedule/model/schedule.hpp"
+
+namespace jedule::model {
+
+class TaskIndex {
+ public:
+  struct Entry {
+    double begin = 0;
+    double end = 0;
+    int host_start = 0;  // inclusive host span [host_start, host_end]
+    int host_end = 0;
+    std::uint32_t task = 0;  // index into Schedule::tasks()
+  };
+
+  /// Builds the index in O(n log n). The schedule must outlive nothing —
+  /// the index copies what it needs (times, host spans, task indices).
+  explicit TaskIndex(const Schedule& schedule);
+
+  std::size_t task_count() const { return task_count_; }
+
+  /// Entries indexed for `cluster_id` (0 for unknown clusters).
+  std::size_t entry_count(int cluster_id) const;
+
+  /// Global time bounds over all tasks; nullopt for an empty schedule.
+  std::optional<TimeRange> time_range() const { return time_range_; }
+
+  /// Calls `fn` for every entry of `cluster_id` whose closed interval
+  /// [begin, end] intersects [t0, t1]. A task is reported once per
+  /// (configuration, host range); order is unspecified.
+  void query(int cluster_id, double t0, double t1,
+             const std::function<void(const Entry&)>& fn) const;
+
+  /// Appends the ascending, duplicate-free task indices intersecting the
+  /// window to `out` (viewport culling keeps schedule paint order by
+  /// sorting the union over clusters afterwards).
+  void collect_tasks(int cluster_id, double t0, double t1,
+                     std::vector<std::uint32_t>* out) const;
+
+  /// Number of entries intersecting the window, stopping early once
+  /// `limit` is reached — the LOD density probe, O(log n + limit).
+  std::size_t count_upto(int cluster_id, double t0, double t1,
+                         std::size_t limit) const;
+
+  /// Point query: the entry with the highest task index covering time `t`
+  /// on host `h` (the topmost rectangle in paint order), or nullptr.
+  const Entry* topmost_at(int cluster_id, double t, int h) const;
+
+  /// FNV-1a over clusters, task ids/types/times and allocations; two
+  /// schedules with equal hashes render identically (used to key the
+  /// tile cache across reread()).
+  std::uint64_t content_hash() const { return content_hash_; }
+
+  /// The hash above without building an index (cache fallback path).
+  static std::uint64_t hash_schedule(const Schedule& schedule);
+
+ private:
+  struct ClusterIndex {
+    int cluster_id = 0;
+    std::vector<Entry> entries;   // sorted by begin (ties: task index)
+    std::vector<double> max_end;  // subtree max end, implicit BST on entries
+  };
+
+  const ClusterIndex* cluster(int id) const;
+
+  std::vector<ClusterIndex> clusters_;
+  std::size_t task_count_ = 0;
+  std::optional<TimeRange> time_range_;
+  std::uint64_t content_hash_ = 0;
+};
+
+}  // namespace jedule::model

@@ -1,0 +1,49 @@
+#include "jedule/render/frame_profile.hpp"
+
+#include <algorithm>
+
+#include "jedule/util/strings.hpp"
+
+namespace jedule::render::profile {
+
+std::string FrameStats::summary() const {
+  std::string out = "frame " + util::format_fixed(total_ms, 2) + "ms (";
+  if (cached) {
+    out += "tiles " + std::to_string(tiles_hit) + " hit / " +
+           std::to_string(tiles_missed) + " miss";
+    if (tiles_evicted > 0) {
+      out += " / " + std::to_string(tiles_evicted) + " evict";
+    }
+    if (invalidations > 0) out += ", invalidated";
+  } else {
+    out += "direct";
+  }
+  out += ", " + std::to_string(boxes) + " boxes";
+  if (lod) out += ", lod";
+  out += ")";
+  return out;
+}
+
+void FrameLog::record(const FrameStats& s) {
+  last_ = s;
+  ++frames_;
+  total_ms_ += s.total_ms;
+  worst_ms_ = frames_ == 1 ? s.total_ms : std::max(worst_ms_, s.total_ms);
+  cache_.hits += s.tiles_hit;
+  cache_.misses += s.tiles_missed;
+  cache_.evictions += s.tiles_evicted;
+  cache_.invalidations += s.invalidations;
+}
+
+std::string FrameLog::summary() const {
+  if (frames_ == 0) return "no frames rendered";
+  const double mean = total_ms_ / static_cast<double>(frames_);
+  return std::to_string(frames_) + " frame(s), mean " +
+         util::format_fixed(mean, 2) + "ms, worst " +
+         util::format_fixed(worst_ms_, 2) + "ms, tiles " +
+         std::to_string(cache_.hits) + " hit / " +
+         std::to_string(cache_.misses) + " miss / " +
+         std::to_string(cache_.evictions) + " evict";
+}
+
+}  // namespace jedule::render::profile

@@ -1,0 +1,66 @@
+#pragma once
+
+// jedule::render::profile — observability for the interactive frame path.
+// TileCache fills a FrameStats per rendered frame (timings plus cache
+// hit/miss/evict counters); Session accumulates them in a FrameLog that
+// the `view` subcommand's `frame`/`stats` commands and --frame-stats flag
+// print. (The utilization *chart* lives in render/profile.hpp; this
+// header is the profiling namespace the chart predates.)
+
+#include <cstddef>
+#include <string>
+
+namespace jedule::render::profile {
+
+/// Counters of one interactive frame.
+struct FrameStats {
+  double layout_ms = 0;   // culled layout for labels/chrome (or direct path)
+  double tiles_ms = 0;    // rendering missed tiles + blitting
+  double overlay_ms = 0;  // header + labels + chrome over the tiles
+  double total_ms = 0;
+
+  std::size_t tiles_total = 0;    // tiles the frame needed
+  std::size_t tiles_hit = 0;      // reused from the cache (pan warmth)
+  std::size_t tiles_missed = 0;   // rasterized this frame
+  std::size_t tiles_evicted = 0;  // LRU evictions caused by this frame
+  std::size_t invalidations = 0;  // grid/content/style resets this frame
+
+  std::size_t boxes = 0;  // boxes in the frame's (culled) layout
+  bool lod = false;       // any panel rendered as density bins
+  bool cached = true;     // false when the frame bypassed the tile cache
+
+  /// One line, e.g. "frame 3.2ms (tiles 5 hit / 1 miss, 412 boxes)".
+  std::string summary() const;
+};
+
+/// Lifetime cache counters (monotonic across frames).
+struct CacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t evictions = 0;
+  std::size_t invalidations = 0;
+};
+
+/// Accumulates FrameStats across a session.
+class FrameLog {
+ public:
+  void record(const FrameStats& s);
+
+  std::size_t frames() const { return frames_; }
+  const FrameStats& last() const { return last_; }
+  double total_ms() const { return total_ms_; }
+  double worst_ms() const { return worst_ms_; }
+  const CacheStats& cache() const { return cache_; }
+
+  /// One line: frame count, mean/worst ms, lifetime hit/miss/evict.
+  std::string summary() const;
+
+ private:
+  FrameStats last_;
+  std::size_t frames_ = 0;
+  double total_ms_ = 0;
+  double worst_ms_ = 0;
+  CacheStats cache_;
+};
+
+}  // namespace jedule::render::profile

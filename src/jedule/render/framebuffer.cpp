@@ -112,6 +112,32 @@ void Framebuffer::blit_rows(const Framebuffer& src, int y) {
                 static_cast<std::ptrdiff_t>(y) * width_ * 4);
 }
 
+void Framebuffer::blit_cols(const Framebuffer& src, int dst_x, int src_x,
+                            int w) {
+  JED_ASSERT(src.height_ == height_);
+  // Clip the column span to both images.
+  if (src_x < 0) {
+    dst_x -= src_x;
+    w += src_x;
+    src_x = 0;
+  }
+  if (dst_x < 0) {
+    src_x -= dst_x;
+    w += dst_x;
+    dst_x = 0;
+  }
+  w = std::min({w, src.width_ - src_x, width_ - dst_x});
+  if (w <= 0) return;
+  for (int y = 0; y < height_; ++y) {
+    const auto* from =
+        src.pixels_.data() +
+        (static_cast<std::size_t>(y) * src.width_ + src_x) * 4;
+    auto* to = pixels_.data() +
+               (static_cast<std::size_t>(y) * width_ + dst_x) * 4;
+    std::copy(from, from + static_cast<std::size_t>(w) * 4, to);
+  }
+}
+
 void Framebuffer::hatch_rect(int x, int y, int w, int h, int spacing,
                              Color c) {
   JED_ASSERT(spacing > 0);

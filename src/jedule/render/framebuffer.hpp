@@ -56,6 +56,11 @@ class Framebuffer {
   /// disjoint byte ranges of the pixel buffer.
   void blit_rows(const Framebuffer& src, int y);
 
+  /// Copies `w` pixel columns of `src` (same height) starting at column
+  /// `src_x` into this image at column `dst_x`, clipped to both images.
+  /// The tile cache blits cached tile strips into a frame with this.
+  void blit_cols(const Framebuffer& src, int dst_x, int src_x, int w);
+
   friend bool operator==(const Framebuffer& a, const Framebuffer& b) {
     return a.width_ == b.width_ && a.height_ == b.height_ &&
            a.pixels_ == b.pixels_;

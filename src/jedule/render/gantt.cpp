@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <functional>
 #include <set>
 
 #include "jedule/util/error.hpp"
@@ -61,10 +63,246 @@ std::vector<double> nice_ticks(const TimeRange& range, int about) {
   return ticks;
 }
 
+namespace {
+
+// Closed-interval intersection count of (configuration x host range)
+// entries against `win` for one cluster, stopping at `limit` — the LOD
+// density probe when no TaskIndex is available.
+std::size_t density_count(const Schedule& schedule, int cluster_id,
+                          const TimeRange& win, std::size_t limit) {
+  std::size_t n = 0;
+  for (const Task& t : schedule.tasks()) {
+    if (t.start_time() > win.end || t.end_time() < win.begin) continue;
+    for (const auto& cfg : t.configurations()) {
+      if (cfg.cluster_id != cluster_id) continue;
+      n += cfg.hosts.size();
+      if (n >= limit) return n;
+    }
+  }
+  return n;
+}
+
+// Snap-aware box geometry: the classic path keeps the continuous
+// panel-relative mapping; the snap path rounds to absolute integer pixel
+// columns so tiles agree byte-for-byte across pans.
+void set_box_times(TaskBox* box, const PanelLayout& panel, double t0,
+                   double t1, const std::optional<SnapGrid>& snap) {
+  if (snap) {
+    const double b0 =
+        std::floor((t0 - snap->anchor) * snap->cols_per_time + 0.5);
+    const double b1 =
+        std::floor((t1 - snap->anchor) * snap->cols_per_time + 0.5);
+    box->x = panel.x + (b0 - static_cast<double>(snap->origin_col));
+    box->w = b1 - b0;
+  } else {
+    box->x = panel.x_of_time(t0);
+    box->w = panel.x_of_time(t1) - box->x;
+  }
+}
+
+void set_box_hosts(TaskBox* box, const PanelLayout& panel, int host_start,
+                   int nb, const std::optional<SnapGrid>& snap) {
+  if (snap) {
+    const double y0 = panel.y + panel.row_height() * host_start;
+    const double y1 = panel.y + panel.row_height() * (host_start + nb);
+    box->y = std::floor(y0 + 0.5);
+    box->h = std::floor(y1 + 0.5) - box->y;
+  } else {
+    // Bit-identical to the pre-index arithmetic (default exports must not
+    // move by even a rounding ulp).
+    box->y = panel.y + panel.row_height() * host_start;
+    box->h = panel.row_height() * nb;
+  }
+}
+
+// Collapses one panel into per-pixel-column density bins colored by the
+// dominant task type of each (column x host-row) cell; vertical runs with
+// the same dominant type merge into a single 1-column-wide box. Work and
+// memory are O(columns x rows x types), independent of the task count.
+void add_lod_bins(GanttLayout* layout, std::size_t panel_index,
+                  const Schedule& schedule, const color::ColorMap& colormap,
+                  const GanttStyle& style, const LayoutHints& hints) {
+  const PanelLayout& panel = layout->panels[panel_index];
+  const TimeRange win = panel.time_range;
+  const double len = win.length();
+  if (!(len > 0) || panel.hosts <= 0) return;
+
+  const auto type_selected = [&style](const Task& t) {
+    return style.type_filter.empty() ||
+           std::find(style.type_filter.begin(), style.type_filter.end(),
+                     t.type()) != style.type_filter.end();
+  };
+  // Entry stream: (begin, end, host span, type) of every visible
+  // (configuration x host range) rectangle, via the index when present.
+  const auto for_each_entry = [&](const std::function<void(
+                                      double, double, int, int,
+                                      const std::string*)>& fn) {
+    if (hints.index != nullptr) {
+      hints.index->query(
+          panel.cluster_id, win.begin, win.end,
+          [&](const model::TaskIndex::Entry& e) {
+            const Task& t = schedule.tasks()[e.task];
+            if (!type_selected(t)) return;
+            fn(e.begin, e.end, e.host_start, e.host_end, &t.type());
+          });
+      return;
+    }
+    for (const Task& t : schedule.tasks()) {
+      if (t.start_time() > win.end || t.end_time() < win.begin) continue;
+      if (!type_selected(t)) continue;
+      for (const auto& cfg : t.configurations()) {
+        if (cfg.cluster_id != panel.cluster_id) continue;
+        for (const auto& hr : cfg.hosts) {
+          fn(t.start_time(), t.end_time(), hr.start, hr.start + hr.nb - 1,
+             &t.type());
+        }
+      }
+    }
+  };
+
+  // Column mapping, in device-pixel units relative to panel.x.
+  double col_w = 1.0;
+  long long c_lo = 0, c_hi = 0;
+  std::function<double(double)> col_of;
+  if (hints.snap) {
+    const SnapGrid g = *hints.snap;
+    col_of = [g](double t) {
+      return (t - g.anchor) * g.cols_per_time -
+             static_cast<double>(g.origin_col);
+    };
+    c_lo = static_cast<long long>(std::floor(col_of(win.begin)));
+    c_hi = static_cast<long long>(std::ceil(col_of(win.end)));
+  } else {
+    const long long cols = std::max<long long>(1, std::llround(panel.w));
+    col_w = panel.w / static_cast<double>(cols);
+    col_of = [win, len, cols](double t) {
+      return (t - win.begin) / len * static_cast<double>(cols);
+    };
+    c_hi = cols;
+  }
+  if (c_hi <= c_lo) c_hi = c_lo + 1;
+  const std::size_t ncols = static_cast<std::size_t>(c_hi - c_lo);
+
+  // Host rows: at most one per device pixel, capped so the accumulation
+  // grid stays small (bins are 1 column x >=1 row cells).
+  const int rows = std::max(
+      1, std::min({panel.hosts, static_cast<int>(panel.h), 256}));
+  const double hosts_per_row =
+      static_cast<double>(panel.hosts) / static_cast<double>(rows);
+
+  // Pass 1: the distinct visible types, ordered by name so the dominance
+  // tie-break is frame- and tile-invariant.
+  std::vector<const std::string*> types;
+  for_each_entry([&](double, double, int, int, const std::string* ty) {
+    if (std::find(types.begin(), types.end(), ty) == types.end()) {
+      types.push_back(ty);
+    }
+  });
+  if (types.empty()) return;
+  std::sort(types.begin(), types.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  const std::size_t ntypes = types.size();
+  auto type_id = [&types](const std::string* ty) {
+    return static_cast<std::size_t>(
+        std::find(types.begin(), types.end(), ty) - types.begin());
+  };
+
+  // Pass 2: coverage (pixel-column overlap x host overlap) per cell/type.
+  std::vector<float> cov(ncols * static_cast<std::size_t>(rows) * ntypes,
+                         0.0f);
+  for_each_entry([&](double b, double e, int h0, int h1,
+                     const std::string* ty) {
+    const double u0 = std::max(col_of(std::max(b, win.begin)),
+                               static_cast<double>(c_lo));
+    const double u1 = std::min(col_of(std::min(e, win.end)),
+                               static_cast<double>(c_hi));
+    if (!(u1 > u0)) return;
+    const std::size_t tid = type_id(ty);
+    int r0 = static_cast<int>(h0 / hosts_per_row);
+    int r1 = static_cast<int>(h1 / hosts_per_row);
+    r0 = std::clamp(r0, 0, rows - 1);
+    r1 = std::clamp(r1, r0, rows - 1);
+    const auto cc0 = static_cast<long long>(std::floor(u0));
+    const auto cc1 = static_cast<long long>(std::ceil(u1));
+    for (long long c = cc0; c < cc1; ++c) {
+      const double tcov = std::min(u1, static_cast<double>(c) + 1) -
+                          std::max(u0, static_cast<double>(c));
+      if (!(tcov > 0)) continue;
+      for (int r = r0; r <= r1; ++r) {
+        const double rb0 = r * hosts_per_row;
+        const double rb1 = (r + 1) * hosts_per_row;
+        const double hcov = std::min<double>(h1 + 1, rb1) -
+                            std::max<double>(h0, rb0);
+        if (!(hcov > 0)) continue;
+        cov[(static_cast<std::size_t>(c - c_lo) *
+                 static_cast<std::size_t>(rows) +
+             static_cast<std::size_t>(r)) *
+                ntypes +
+            tid] += static_cast<float>(tcov * hcov);
+      }
+    }
+  });
+
+  // Emit: dominant type per cell, vertical same-type runs merged.
+  for (std::size_t c = 0; c < ncols; ++c) {
+    int run_start = -1;
+    std::size_t run_type = 0;
+    auto flush = [&](int r_end) {
+      if (run_start < 0) return;
+      TaskBox box;
+      box.task_index = TaskBox::kNoTask;
+      box.cluster_id = panel.cluster_id;
+      box.lod_bin = true;
+      box.style = colormap.style_for(*types[run_type]);
+      const double x =
+          panel.x + static_cast<double>(c_lo + static_cast<long long>(c)) *
+                        col_w;
+      box.x = x;
+      box.w = col_w;
+      const double y0 = panel.y + panel.h * run_start / rows;
+      const double y1 = panel.y + panel.h * r_end / rows;
+      if (hints.snap) {
+        box.y = std::floor(y0 + 0.5);
+        box.h = std::floor(y1 + 0.5) - box.y;
+      } else {
+        box.y = y0;
+        box.h = y1 - y0;
+      }
+      layout->boxes.push_back(std::move(box));
+      run_start = -1;
+    };
+    for (int r = 0; r < rows; ++r) {
+      const float* cell =
+          &cov[(c * static_cast<std::size_t>(rows) +
+                static_cast<std::size_t>(r)) *
+               ntypes];
+      std::size_t best = ntypes;  // ntypes == empty cell
+      for (std::size_t ty = 0; ty < ntypes; ++ty) {
+        if (cell[ty] > 0 && (best == ntypes || cell[ty] > cell[best])) {
+          best = ty;
+        }
+      }
+      if (best == ntypes) {
+        flush(r);
+        continue;
+      }
+      if (run_start >= 0 && best != run_type) flush(r);
+      if (run_start < 0) {
+        run_start = r;
+        run_type = best;
+      }
+    }
+    flush(rows);
+  }
+}
+
+}  // namespace
+
 GanttLayout layout_gantt(const Schedule& schedule,
                          const color::ColorMap& colormap,
-                         const GanttStyle& style, int threads) {
-  schedule.validate();
+                         const GanttStyle& style, int threads,
+                         const LayoutHints& hints) {
+  if (!hints.assume_validated) schedule.validate();
   if (style.width < 160 || style.height < 120) {
     throw ArgumentError("gantt: canvas smaller than 160x120");
   }
@@ -96,32 +334,11 @@ GanttLayout layout_gantt(const Schedule& schedule,
     layout.header = util::join(parts, "  ");
   }
 
-  // Tasks (+ composites).
   const auto type_selected = [&style](const Task& t) {
     return style.type_filter.empty() ||
            std::find(style.type_filter.begin(), style.type_filter.end(),
                      t.type()) != style.type_filter.end();
   };
-  if (style.type_filter.empty()) {
-    layout.tasks = schedule.tasks();
-  } else {
-    for (const auto& t : schedule.tasks()) {
-      if (type_selected(t)) layout.tasks.push_back(t);
-    }
-  }
-  layout.composite_begin = layout.tasks.size();
-  if (style.show_composites) {
-    for (auto& comp :
-         model::synthesize_composites(schedule, type_selected, threads)) {
-      // Keep members on the task so click-to-inspect and the colormap's
-      // composite rules can see them.
-      comp.task.set_property("members", util::join(comp.member_ids, ","));
-      std::vector<std::string> types(comp.member_types.begin(),
-                                     comp.member_types.end());
-      comp.task.set_property("member_types", util::join(types, ","));
-      layout.tasks.push_back(std::move(comp.task));
-    }
-  }
 
   // Vertical space distribution: panel heights proportional to host counts.
   const double header = style.show_meta && !layout.header.empty()
@@ -152,13 +369,133 @@ GanttLayout layout_gantt(const Schedule& schedule,
     panel.y = cursor_y + kTitleHeight;
     panel.h = std::max(8.0, avail_h * c->hosts / std::max(1, total_hosts));
 
-    auto range = schedule.view_time_range(c->id, style.view_mode);
-    if (!range || range->length() <= 0) {
-      range = TimeRange{0, 1};  // empty cluster: unit axis
+    if (style.time_window) {
+      // Windowed views never consult the cluster bounds; skipping the
+      // O(n) scan keeps warm interactive frames O(visible).
+      panel.time_range = *style.time_window;
+    } else {
+      auto range = schedule.view_time_range(c->id, style.view_mode);
+      if (!range || range->length() <= 0) {
+        range = TimeRange{0, 1};  // empty cluster: unit axis
+      }
+      panel.time_range = *range;
     }
-    panel.time_range = style.time_window ? *style.time_window : *range;
     layout.panels.push_back(panel);
     cursor_y = panel.y + panel.h + kAxisHeight + kPanelGap;
+  }
+
+  layout.panel_lod.assign(layout.panels.size(), 0);
+  if (hints.chrome_only) return layout;
+
+  // Per-panel LOD decision (the tile cache pre-decides per frame so all
+  // tiles of one frame agree).
+  const LodMode lod_mode =
+      style.lod == LodMode::kDefault
+          ? (hints.interactive ? LodMode::kAuto : LodMode::kOff)
+          : style.lod;
+  if (hints.panel_lod_override &&
+      hints.panel_lod_override->size() == layout.panels.size()) {
+    layout.panel_lod = *hints.panel_lod_override;
+  } else if (lod_mode == LodMode::kForce) {
+    layout.panel_lod.assign(layout.panels.size(), 1);
+  } else if (lod_mode == LodMode::kAuto) {
+    for (std::size_t pi = 0; pi < layout.panels.size(); ++pi) {
+      const PanelLayout& panel = layout.panels[pi];
+      const auto cols =
+          static_cast<std::size_t>(std::max<long long>(1, std::llround(panel.w)));
+      const std::size_t limit =
+          cols * static_cast<std::size_t>(std::max(1, style.lod_density));
+      const std::size_t n =
+          hints.index != nullptr
+              ? hints.index->count_upto(panel.cluster_id,
+                                        panel.time_range.begin,
+                                        panel.time_range.end, limit + 1)
+              : density_count(schedule, panel.cluster_id, panel.time_range,
+                              limit + 1);
+      layout.panel_lod[pi] = n > limit ? 1 : 0;
+    }
+  }
+  const bool any_exact_panel =
+      std::find(layout.panel_lod.begin(), layout.panel_lod.end(), 0) !=
+      layout.panel_lod.end();
+
+  // Tasks (+ composites). With an index and a time window, lay out only
+  // the tasks intersecting the window (closed intersection, a superset of
+  // what paints after clipping — so the boxes match the full layout's).
+  const bool cull = hints.index != nullptr && style.time_window.has_value();
+  layout.culled = cull;
+  if (cull) {
+    std::vector<std::uint32_t> visible;
+    for (std::size_t pi = 0; pi < layout.panels.size(); ++pi) {
+      if (layout.panel_lod[pi]) continue;  // LOD panels draw bins, not boxes
+      const PanelLayout& panel = layout.panels[pi];
+      hints.index->collect_tasks(panel.cluster_id, panel.time_range.begin,
+                                 panel.time_range.end, &visible);
+    }
+    std::sort(visible.begin(), visible.end());
+    visible.erase(std::unique(visible.begin(), visible.end()), visible.end());
+    layout.tasks.reserve(visible.size());
+    for (std::uint32_t idx : visible) {
+      const Task& t = schedule.tasks()[idx];
+      if (type_selected(t)) layout.tasks.push_back(t);
+    }
+  } else if (any_exact_panel || layout.panels.empty()) {
+    if (style.type_filter.empty()) {
+      layout.tasks = schedule.tasks();
+    } else {
+      for (const auto& t : schedule.tasks()) {
+        if (type_selected(t)) layout.tasks.push_back(t);
+      }
+    }
+  }
+  layout.composite_begin = layout.tasks.size();
+  if (style.show_composites && any_exact_panel) {
+    std::vector<model::Composite> composites;
+    if (cull) {
+      // Composite groups that intersect the window can be split (in time
+      // or host ranges) by the events of any task overlapping their
+      // members, so synthesize over the tasks intersecting the *extent*
+      // of the visible set — the 1-hop closure that makes the culled
+      // composites bit-identical to the full layout's inside the window.
+      bool have = false;
+      double lo = 0, hi = 0;
+      for (std::size_t i = 0; i < layout.composite_begin; ++i) {
+        const Task& t = layout.tasks[i];
+        lo = have ? std::min(lo, t.start_time()) : t.start_time();
+        hi = have ? std::max(hi, t.end_time()) : t.end_time();
+        have = true;
+      }
+      if (have) {
+        std::vector<std::uint32_t> closure;
+        for (std::size_t pi = 0; pi < layout.panels.size(); ++pi) {
+          if (layout.panel_lod[pi]) continue;
+          hints.index->collect_tasks(layout.panels[pi].cluster_id, lo, hi,
+                                     &closure);
+        }
+        std::sort(closure.begin(), closure.end());
+        closure.erase(std::unique(closure.begin(), closure.end()),
+                      closure.end());
+        Schedule sub;
+        for (const auto& c : schedule.clusters()) sub.add_cluster(c);
+        for (std::uint32_t idx : closure) {
+          const Task& t = schedule.tasks()[idx];
+          if (type_selected(t)) sub.add_task(t);
+        }
+        composites = model::synthesize_composites(sub, nullptr, threads);
+      }
+    } else {
+      composites = model::synthesize_composites(schedule, type_selected,
+                                                threads);
+    }
+    for (auto& comp : composites) {
+      // Keep members on the task so click-to-inspect and the colormap's
+      // composite rules can see them.
+      comp.task.set_property("members", util::join(comp.member_ids, ","));
+      std::vector<std::string> types(comp.member_types.begin(),
+                                     comp.member_types.end());
+      comp.task.set_property("member_types", util::join(types, ","));
+      layout.tasks.push_back(std::move(comp.task));
+    }
   }
 
   // Boxes. Ordinary tasks first, composites after (paint order == z-order).
@@ -190,8 +527,10 @@ GanttLayout layout_gantt(const Schedule& schedule,
       }
 
       for (const auto& cfg : t.configurations()) {
-        for (const auto& panel : layout.panels) {
+        for (std::size_t pi = 0; pi < layout.panels.size(); ++pi) {
+          const PanelLayout& panel = layout.panels[pi];
           if (panel.cluster_id != cfg.cluster_id) continue;
+          if (layout.panel_lod[pi]) continue;  // LOD panels draw bins
           // Clip to the panel's time window.
           const double t0 =
               std::max(t.start_time(), panel.time_range.begin);
@@ -204,10 +543,8 @@ GanttLayout layout_gantt(const Schedule& schedule,
             TaskBox box;
             box.task_index = i;
             box.cluster_id = cfg.cluster_id;
-            box.x = panel.x_of_time(t0);
-            box.w = panel.x_of_time(t1) - box.x;
-            box.y = panel.y + panel.row_height() * hr.start;
-            box.h = panel.row_height() * hr.nb;
+            set_box_times(&box, panel, t0, t1, hints.snap);
+            set_box_hosts(&box, panel, hr.start, hr.nb, hints.snap);
             box.style = task_style;
             box.label = t.id();
             box.composite = composite;
@@ -219,6 +556,13 @@ GanttLayout layout_gantt(const Schedule& schedule,
     }
   };
   add_boxes(0, layout.composite_begin, false);
+  if (!hints.skip_lod_bins) {
+    for (std::size_t pi = 0; pi < layout.panels.size(); ++pi) {
+      if (layout.panel_lod[pi]) {
+        add_lod_bins(&layout, pi, schedule, colormap, style, hints);
+      }
+    }
+  }
   add_boxes(layout.composite_begin, layout.tasks.size(), true);
 
   return layout;
@@ -273,17 +617,8 @@ void paint_panel_chrome(const GanttLayout& layout, const PanelLayout& panel,
   canvas.stroke_rect(panel.x, panel.y, panel.w, panel.h, kFrame);
 }
 
-void paint_box(const GanttLayout& layout, const TaskBox& box, Canvas& canvas,
-               const GanttStyle& style) {
-  canvas.fill_rect(box.x, box.y, box.w, box.h, box.style.background);
-  if (box.w >= 3 && box.h >= 3) {
-    canvas.stroke_rect(box.x, box.y, box.w, box.h, kOutline);
-  }
-  if (box.composite && style.hatch_composites && box.w >= 6 && box.h >= 6) {
-    canvas.hatch_rect(box.x, box.y, box.w, box.h, 6, box.style.foreground);
-  }
-  if (!style.show_labels || box.label.empty()) return;
-
+void paint_box_label(const GanttLayout& layout, const TaskBox& box,
+                     Canvas& canvas) {
   // Label fitting (paper's fontsize_label / min_fontsize_label semantics):
   // try the preferred size, fall back to the minimum, else draw nothing.
   for (int size : {layout.label_font_size, layout.min_label_font_size}) {
@@ -298,27 +633,74 @@ void paint_box(const GanttLayout& layout, const TaskBox& box, Canvas& canvas,
   }
 }
 
+void paint_box(const GanttLayout& layout, const TaskBox& box, Canvas& canvas,
+               const GanttStyle& style, bool with_label) {
+  canvas.fill_rect(box.x, box.y, box.w, box.h, box.style.background);
+  if (box.w >= 3 && box.h >= 3) {
+    canvas.stroke_rect(box.x, box.y, box.w, box.h, kOutline);
+  }
+  if (box.composite && style.hatch_composites && box.w >= 6 && box.h >= 6) {
+    canvas.hatch_rect(box.x, box.y, box.w, box.h, 6, box.style.foreground);
+  }
+  if (!with_label || !style.show_labels || box.label.empty()) return;
+  paint_box_label(layout, box, canvas);
+}
+
 }  // namespace
 
-void paint_gantt(const GanttLayout& layout, Canvas& canvas,
-                 const GanttStyle& style) {
+void paint_gantt_background(const GanttLayout& layout, Canvas& canvas) {
   canvas.fill_rect(0, 0, layout.width, layout.height, color::kWhite);
+  paint_gantt_header(layout, canvas);
+}
+
+void paint_gantt_header(const GanttLayout& layout, Canvas& canvas) {
   if (!layout.header.empty()) {
     canvas.text(kMarginLeft, kMarginTop, layout.header, kAxisText,
                 layout.axes_font_size);
   }
+}
+
+void paint_gantt_boxes(const GanttLayout& layout, Canvas& canvas,
+                       const GanttStyle& style, bool with_labels) {
   for (const auto& box : layout.boxes) {
-    paint_box(layout, box, canvas, style);
+    paint_box(layout, box, canvas, style, with_labels);
   }
+}
+
+void paint_gantt_labels(const GanttLayout& layout, Canvas& canvas,
+                        const GanttStyle& style) {
+  if (!style.show_labels) return;
+  for (const auto& box : layout.boxes) {
+    if (box.lod_bin || box.label.empty()) continue;
+    paint_box_label(layout, box, canvas);
+  }
+}
+
+void paint_gantt_chrome(const GanttLayout& layout, Canvas& canvas,
+                        const GanttStyle& style) {
   // Chrome last so frames and axes stay crisp over task fills.
   for (const auto& panel : layout.panels) {
     paint_panel_chrome(layout, panel, canvas, style);
   }
 }
 
+void paint_gantt(const GanttLayout& layout, Canvas& canvas,
+                 const GanttStyle& style) {
+  paint_gantt_background(layout, canvas);
+  paint_gantt_boxes(layout, canvas, style, /*with_labels=*/true);
+  paint_gantt_chrome(layout, canvas, style);
+}
+
+PanelExtent gantt_panel_extent(const GanttStyle& style) {
+  return PanelExtent{kMarginLeft,
+                     style.width - kMarginLeft - kMarginRight};
+}
+
 const TaskBox* hit_test(const GanttLayout& layout, double x, double y) {
-  // Reverse order: composites and later boxes are drawn on top.
+  // Reverse order: composites and later boxes are drawn on top. Density
+  // bins have no backing task, so they are transparent to hits.
   for (auto it = layout.boxes.rbegin(); it != layout.boxes.rend(); ++it) {
+    if (it->lod_bin) continue;
     if (x >= it->x && x < it->x + std::max(it->w, 1.0) && y >= it->y &&
         y < it->y + std::max(it->h, 1.0)) {
       return &*it;

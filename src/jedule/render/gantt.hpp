@@ -10,6 +10,8 @@
 // backend. hit_test() maps a pixel back to the box it shows (interactive
 // mode's click-to-inspect).
 
+#include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -17,9 +19,18 @@
 #include "jedule/color/colormap.hpp"
 #include "jedule/model/composite.hpp"
 #include "jedule/model/schedule.hpp"
+#include "jedule/model/task_index.hpp"
 #include "jedule/render/canvas.hpp"
 
 namespace jedule::render {
+
+/// Level-of-detail policy for dense views. kOff always draws exact task
+/// rectangles; kAuto collapses a panel into per-pixel-column density bins
+/// once its visible (configuration x host range) count exceeds
+/// GanttStyle::lod_density entries per pixel column; kForce always bins.
+/// kDefault resolves to kOff on the export path (default exports stay
+/// byte-identical) and to kAuto on the interactive frame path.
+enum class LodMode { kDefault, kOff, kAuto, kForce };
 
 struct GanttStyle {
   int width = 1000;
@@ -65,10 +76,15 @@ struct GanttStyle {
 
   /// Approximate number of ticks on the time axis.
   int time_ticks = 8;
+
+  /// See LodMode; `lod_density` is the kAuto threshold in visible entries
+  /// per pixel column (measured before the type filter).
+  LodMode lod = LodMode::kDefault;
+  int lod_density = 4;
 };
 
 struct TaskBox {
-  /// Index into GanttLayout::tasks.
+  /// Index into GanttLayout::tasks (kNoTask for LOD density bins).
   std::size_t task_index = 0;
   int cluster_id = 0;
   double x = 0, y = 0, w = 0, h = 0;
@@ -76,6 +92,11 @@ struct TaskBox {
   std::string label;
   bool composite = false;
   bool highlighted = false;
+  /// Density bin synthesized by LOD aggregation: colored by the dominant
+  /// task type of its pixel cell, no backing task, skipped by hit_test().
+  bool lod_bin = false;
+
+  static constexpr std::size_t kNoTask = static_cast<std::size_t>(-1);
 };
 
 struct PanelLayout {
@@ -101,12 +122,61 @@ struct GanttLayout {
   std::vector<model::Task> tasks;
   std::size_t composite_begin = 0;  // tasks[composite_begin..) are composites
 
-  /// Ordinary boxes first, composite boxes after (paint order).
+  /// Ordinary boxes first, then LOD density bins, composite boxes last
+  /// (paint order).
   std::vector<TaskBox> boxes;
+
+  /// Per panel (same order as `panels`): 1 when the panel was rendered as
+  /// LOD density bins instead of exact task rectangles.
+  std::vector<std::uint8_t> panel_lod;
+
+  /// True when `tasks` holds only the viewport-culled subset instead of
+  /// the full task list (hints.index + style.time_window).
+  bool culled = false;
 
   int label_font_size = 13;
   int min_label_font_size = 11;
   int axes_font_size = 12;
+};
+
+/// Pixel-snapping grid for the tile cache: time `t` maps to the absolute
+/// pixel column floor((t - anchor) * cols_per_time + 0.5), and a box lands
+/// at device x = panel.x + (column - origin_col). Because the mapping is
+/// anchored (not window-relative), a pan by a whole number of pixels
+/// shifts every box by exactly that integer — tiles stay byte-identical
+/// across pans.
+struct SnapGrid {
+  double anchor = 0;
+  double cols_per_time = 1;
+  long long origin_col = 0;
+};
+
+/// Optional accelerators for layout_gantt. With `index` set and a time
+/// window active, only tasks intersecting the window are laid out
+/// (composites are synthesized from the window-extent closure, so every
+/// box intersecting the window is identical to the full layout's).
+struct LayoutHints {
+  const model::TaskIndex* index = nullptr;
+
+  /// Skip Schedule::validate() (the caller validated once already).
+  bool assume_validated = false;
+
+  /// Panels and header only — no tasks, boxes or composites (the tile
+  /// cache's chrome overlay).
+  bool chrome_only = false;
+
+  /// Resolve LodMode::kDefault to kAuto instead of kOff (interactive).
+  bool interactive = false;
+
+  /// Pre-decided per-shown-panel LOD (the tile cache decides once per
+  /// frame so every tile of a frame agrees); overrides the density probe.
+  std::optional<std::vector<std::uint8_t>> panel_lod_override;
+
+  /// Mark LOD panels but skip computing their density bins (the tile
+  /// cache's label-overlay layout: bins are painted by the tiles).
+  bool skip_lod_bins = false;
+
+  std::optional<SnapGrid> snap;
 };
 
 /// Computes the layout; throws ValidationError on an invalid schedule and
@@ -115,14 +185,46 @@ struct GanttLayout {
 /// is sequential); the layout is identical for every thread count.
 GanttLayout layout_gantt(const model::Schedule& schedule,
                          const color::ColorMap& colormap,
-                         const GanttStyle& style, int threads = 1);
+                         const GanttStyle& style, int threads = 1,
+                         const LayoutHints& hints = {});
 
 /// Paints a layout. The canvas must have the layout's dimensions.
 void paint_gantt(const GanttLayout& layout, Canvas& canvas,
                  const GanttStyle& style);
 
+// Individual paint passes of paint_gantt, exposed for the tile cache
+// (tiles paint boxes only; the per-frame overlay paints header, labels
+// and chrome on top of the blitted tiles).
+
+/// Background fill plus the meta header line.
+void paint_gantt_background(const GanttLayout& layout, Canvas& canvas);
+
+/// The meta header line only (no background fill).
+void paint_gantt_header(const GanttLayout& layout, Canvas& canvas);
+
+/// All task boxes (fill, outline, hatch); labels only when `with_labels`.
+void paint_gantt_boxes(const GanttLayout& layout, Canvas& canvas,
+                       const GanttStyle& style, bool with_labels);
+
+/// Task-id labels only (the tile path draws them as a frame overlay).
+void paint_gantt_labels(const GanttLayout& layout, Canvas& canvas,
+                        const GanttStyle& style);
+
+/// Panel titles, grid lines, host labels, time axes and frames.
+void paint_gantt_chrome(const GanttLayout& layout, Canvas& canvas,
+                        const GanttStyle& style);
+
+/// The horizontal span (x, width) panels occupy for `style` — the fixed
+/// chrome margins, shared with the tile cache's pixel grid.
+struct PanelExtent {
+  double x = 0;
+  double w = 0;
+};
+PanelExtent gantt_panel_extent(const GanttStyle& style);
+
 /// Topmost box containing pixel (x, y): composites win over their members,
-/// later-drawn boxes over earlier ones. nullptr if the pixel shows no task.
+/// later-drawn boxes over earlier ones. LOD density bins are not hittable.
+/// nullptr if the pixel shows no task.
 const TaskBox* hit_test(const GanttLayout& layout, double x, double y);
 
 /// Panel containing pixel (x, y), or nullptr.

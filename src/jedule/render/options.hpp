@@ -20,14 +20,21 @@ struct RenderOptions {
   /// for every thread count.
   int threads = 0;
 
+  /// Optional spatial index over the schedule (must outlive the render).
+  /// With a time window set, the layout culls to the window through it —
+  /// same boxes, O(visible) work — instead of scanning every task.
+  const model::TaskIndex* task_index = nullptr;
+
   int resolved_threads() const { return util::resolve_threads(threads); }
 };
 
 /// layout_gantt with the bundled colormap/style/threads.
 inline GanttLayout layout_gantt(const model::Schedule& schedule,
                                 const RenderOptions& options) {
+  LayoutHints hints;
+  hints.index = options.task_index;
   return layout_gantt(schedule, options.colormap, options.style,
-                      options.resolved_threads());
+                      options.resolved_threads(), hints);
 }
 
 }  // namespace jedule::render

@@ -4,7 +4,7 @@
 
 #include "jedule/io/file.hpp"
 #include "jedule/render/deflate.hpp"
-#include "jedule/render/inflate.hpp"
+#include "jedule/util/inflate.hpp"
 #include "jedule/util/error.hpp"
 #include "jedule/util/parallel.hpp"
 
@@ -132,7 +132,7 @@ Framebuffer decode_png(const std::string& bytes) {
     throw ParseError("png: missing IHDR");
   }
 
-  const auto raw = zlib_decompress(idat.data(), idat.size());
+  const auto raw = util::zlib_decompress(idat.data(), idat.size());
   const std::size_t stride =
       static_cast<std::size_t>(width) * static_cast<std::size_t>(channels) + 1;
   if (raw.size() != stride * static_cast<std::size_t>(height)) {

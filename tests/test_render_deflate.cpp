@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "jedule/render/inflate.hpp"
+#include "jedule/util/inflate.hpp"
 #include "jedule/util/error.hpp"
 #include "jedule/util/rng.hpp"
 
@@ -42,12 +42,12 @@ TEST(Crc32, SeedChains) {
 void roundtrip(const std::vector<std::uint8_t>& data) {
   {
     const auto packed = deflate_compress(data.data(), data.size());
-    const auto back = inflate_decompress(packed.data(), packed.size());
+    const auto back = util::inflate_decompress(packed.data(), packed.size());
     EXPECT_EQ(back, data);
   }
   {
     const auto packed = deflate_store(data.data(), data.size());
-    const auto back = inflate_decompress(packed.data(), packed.size());
+    const auto back = util::inflate_decompress(packed.data(), packed.size());
     EXPECT_EQ(back, data);
   }
 }
@@ -107,7 +107,7 @@ TEST(Zlib, RoundTripBothModes) {
     const auto z = zlib_compress(data.data(), data.size(), compress);
     EXPECT_EQ(z[0], 0x78);
     EXPECT_EQ(((static_cast<unsigned>(z[0]) << 8) | z[1]) % 31, 0u);
-    const auto back = zlib_decompress(z.data(), z.size());
+    const auto back = util::zlib_decompress(z.data(), z.size());
     EXPECT_EQ(back, data);
   }
 }
@@ -116,18 +116,18 @@ TEST(Zlib, DetectsCorruption) {
   const auto data = bytes_of("payload payload payload");
   auto z = zlib_compress(data.data(), data.size());
   z[z.size() - 1] ^= 0xFF;  // break the Adler-32
-  EXPECT_THROW(zlib_decompress(z.data(), z.size()), ParseError);
+  EXPECT_THROW(util::zlib_decompress(z.data(), z.size()), ParseError);
 }
 
 TEST(Zlib, RejectsTruncation) {
   const auto data = bytes_of("payload");
   const auto z = zlib_compress(data.data(), data.size());
-  EXPECT_THROW(zlib_decompress(z.data(), 3), ParseError);
+  EXPECT_THROW(util::zlib_decompress(z.data(), 3), ParseError);
 }
 
 TEST(Inflate, RejectsGarbage) {
   const std::vector<std::uint8_t> junk = {0xFF, 0xFF, 0xFF, 0xFF};
-  EXPECT_THROW(inflate_decompress(junk.data(), junk.size()), ParseError);
+  EXPECT_THROW(util::inflate_decompress(junk.data(), junk.size()), ParseError);
 }
 
 // Round trip across a size sweep (property-style).

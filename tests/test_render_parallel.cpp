@@ -13,7 +13,7 @@
 #include "jedule/render/deflate.hpp"
 #include "jedule/render/exporter.hpp"
 #include "jedule/render/export.hpp"
-#include "jedule/render/inflate.hpp"
+#include "jedule/util/inflate.hpp"
 #include "jedule/render/png.hpp"
 #include "jedule/util/parallel.hpp"
 #include "jedule/util/rng.hpp"
@@ -142,8 +142,8 @@ TEST(ParallelDeflate, MultiChunkStreamsAreThreadCountInvariant) {
         << threads << " threads";
   }
   // And the stitched stream still decodes to the input.
-  EXPECT_EQ(inflate_decompress(serial.data(), serial.size()), data);
-  EXPECT_EQ(zlib_decompress(zserial.data(), zserial.size()), data);
+  EXPECT_EQ(util::inflate_decompress(serial.data(), serial.size()), data);
+  EXPECT_EQ(util::zlib_decompress(zserial.data(), zserial.size()), data);
 }
 
 TEST(ParallelDeflate, ChecksumCombineMatchesDirect) {
