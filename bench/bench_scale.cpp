@@ -18,14 +18,19 @@
 #include "jedule/model/builder.hpp"
 #include "jedule/model/composite.hpp"
 #include "jedule/model/task_index.hpp"
+#include "jedule/render/canvas.hpp"
 #include "jedule/render/export.hpp"
 #include "jedule/render/exporter.hpp"
 #include "jedule/render/deflate.hpp"
+#include "jedule/render/font.hpp"
 #include "jedule/render/framebuffer.hpp"
 #include "jedule/render/gantt.hpp"
+#include "jedule/render/kernels.hpp"
 #include "jedule/render/png.hpp"
 #include "jedule/render/raster_canvas.hpp"
+#include "jedule/render/span.hpp"
 #include "jedule/render/tile_cache.hpp"
+#include "jedule/util/cpu.hpp"
 #include "jedule/util/error.hpp"
 #include "jedule/util/parallel.hpp"
 #include "jedule/util/rng.hpp"
@@ -85,6 +90,28 @@ model::Schedule million_schedule(int tasks, int hosts) {
                 i % 2 ? "computation" : "waiting", at, at + len)
           .on(0, h, 1);
       cursor[static_cast<std::size_t>(h)] = at + len;
+    }
+  }
+  return builder.build();
+}
+
+model::Schedule overdraw_schedule(int tasks, int hosts, int depth) {
+  // Overdraw-heavy render workload: at any instant ~`depth` tasks cover
+  // each host (overlapping tasks on one host are legal — Fig. 3 draws
+  // one), so a per-pixel painter writes every box pixel ~depth times
+  // while the span rasterizer's occlusion pass writes it once.
+  util::Rng rng(13);
+  model::ScheduleBuilder builder;
+  builder.cluster(0, "dense", hosts);
+  const int per_host = tasks / hosts;
+  for (int h = 0; h < hosts; ++h) {
+    for (int i = 0; i < per_host; ++i) {
+      const double start = i;
+      const double len = depth + rng.uniform(0.0, 1.0);
+      builder
+          .task("d" + std::to_string(h) + "." + std::to_string(i),
+                i % 2 ? "computation" : "transfer", start, start + len)
+          .on(0, h, 1);
     }
   }
   return builder.build();
@@ -351,6 +378,162 @@ std::vector<model::Composite> composites(const model::Schedule& schedule) {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Pre-PR raster path: faithful copies of the per-pixel Framebuffer
+// primitives, the glyph renderer and the forwarding RasterCanvas as they
+// stood before the span rasterizer and SIMD kernels — every primitive
+// decomposes into set_pixel calls (unchecked inside a pre-clipped opaque
+// fill, bounds-checked everywhere else). The BM_Raster* rows and the
+// cold-export check measure against these.
+// ---------------------------------------------------------------------------
+
+void fill_rect(render::Framebuffer& fb, int x, int y, int w, int h,
+               color::Color c) {
+  if (c.a == 0) return;
+  const int x0 = std::max(x, 0);
+  const int y0 = std::max(y, 0);
+  const int x1 = std::min(x + w, fb.width());
+  const int y1 = std::min(y + h, fb.height());
+  if (c.a == 255) {
+    for (int yy = y0; yy < y1; ++yy) {
+      for (int xx = x0; xx < x1; ++xx) fb.set_pixel_unchecked(xx, yy, c);
+    }
+  } else {
+    for (int yy = y0; yy < y1; ++yy) {
+      for (int xx = x0; xx < x1; ++xx) fb.set_pixel(xx, yy, c);
+    }
+  }
+}
+
+void draw_hline(render::Framebuffer& fb, int x0, int x1, int y,
+                color::Color c) {
+  if (x1 < x0) std::swap(x0, x1);
+  for (int x = x0; x <= x1; ++x) fb.set_pixel(x, y, c);
+}
+
+void draw_vline(render::Framebuffer& fb, int x, int y0, int y1,
+                color::Color c) {
+  if (y1 < y0) std::swap(y0, y1);
+  for (int y = y0; y <= y1; ++y) fb.set_pixel(x, y, c);
+}
+
+void draw_rect(render::Framebuffer& fb, int x, int y, int w, int h,
+               color::Color c) {
+  if (w <= 0 || h <= 0) return;
+  draw_hline(fb, x, x + w - 1, y, c);
+  draw_hline(fb, x, x + w - 1, y + h - 1, c);
+  draw_vline(fb, x, y, y + h - 1, c);
+  draw_vline(fb, x + w - 1, y, y + h - 1, c);
+}
+
+void draw_line(render::Framebuffer& fb, int x0, int y0, int x1, int y1,
+               color::Color c) {
+  const int dx = std::abs(x1 - x0);
+  const int dy = -std::abs(y1 - y0);
+  const int sx = x0 < x1 ? 1 : -1;
+  const int sy = y0 < y1 ? 1 : -1;
+  int err = dx + dy;
+  while (true) {
+    fb.set_pixel(x0, y0, c);
+    if (x0 == x1 && y0 == y1) break;
+    const int e2 = 2 * err;
+    if (e2 >= dy) {
+      err += dy;
+      x0 += sx;
+    }
+    if (e2 <= dx) {
+      err += dx;
+      y0 += sy;
+    }
+  }
+}
+
+void hatch_rect(render::Framebuffer& fb, int x, int y, int w, int h,
+                int spacing, color::Color c) {
+  const int x1 = x + w - 1;
+  const int y1 = y + h - 1;
+  for (int k = x + y; k <= x1 + y1; k += spacing) {
+    for (int yy = std::max(y, k - x1); yy <= std::min(y1, k - x); ++yy) {
+      fb.set_pixel(k - yy, yy, c);
+    }
+  }
+}
+
+void draw_text(render::Framebuffer& fb, int x, int y, std::string_view text,
+               color::Color c, int scale) {
+  int cursor = x;
+  for (char ch : text) {
+    const auto& glyph = render::glyph_bitmap(ch);
+    for (int r = 0; r < render::kGlyphHeight; ++r) {
+      for (int col = 0; col < render::kGlyphWidth; ++col) {
+        if (glyph[static_cast<std::size_t>(r)] &
+            (1u << (render::kGlyphWidth - 1 - col))) {
+          fill_rect(fb, cursor + col * scale, y + r * scale, scale, scale, c);
+        }
+      }
+    }
+    cursor += (render::kGlyphWidth + 1) * scale;
+  }
+}
+
+class RasterCanvas final : public render::Canvas {
+ public:
+  explicit RasterCanvas(render::Framebuffer& fb) : fb_(fb) {}
+
+  int width() const override { return fb_.width(); }
+  int height() const override { return fb_.height(); }
+
+  void fill_rect(double x, double y, double w, double h,
+                 color::Color c) override {
+    const int x0 = px(x);
+    const int y0 = px(y);
+    legacy::fill_rect(fb_, x0, y0, px(x + w) - x0, px(y + h) - y0, c);
+  }
+  void stroke_rect(double x, double y, double w, double h,
+                   color::Color c) override {
+    const int x0 = px(x);
+    const int y0 = px(y);
+    legacy::draw_rect(fb_, x0, y0, px(x + w) - x0, px(y + h) - y0, c);
+  }
+  void line(double x0, double y0, double x1, double y1,
+            color::Color c) override {
+    legacy::draw_line(fb_, px(x0), px(y0), px(x1), px(y1), c);
+  }
+  void hatch_rect(double x, double y, double w, double h, int spacing,
+                  color::Color c) override {
+    const int x0 = px(x);
+    const int y0 = px(y);
+    legacy::hatch_rect(fb_, x0, y0, px(x + w) - x0, px(y + h) - y0, spacing,
+                       c);
+  }
+  void text(double x, double y, std::string_view text, color::Color c,
+            int size) override {
+    legacy::draw_text(fb_, px(x), px(y), text, c,
+                      render::scale_for_font_size(size));
+  }
+  double text_width(std::string_view text, int size) const override {
+    return render::text_width(text, render::scale_for_font_size(size));
+  }
+  double text_height(int size) const override {
+    return render::text_height(render::scale_for_font_size(size));
+  }
+
+ private:
+  static int px(double v) { return static_cast<int>(std::lround(v)); }
+
+  render::Framebuffer& fb_;
+};
+
+/// Pre-PR cold PNG export: layout, serial per-pixel paint, PNG encode.
+std::string export_png(const model::Schedule& schedule,
+                       const render::RenderOptions& options) {
+  const auto layout = render::layout_gantt(schedule, options);
+  render::Framebuffer fb(options.style.width, options.style.height);
+  RasterCanvas canvas(fb);
+  render::paint_gantt(layout, canvas, options.style);
+  return render::encode_png(fb);
+}
+
 }  // namespace legacy
 
 bool same_composites(const std::vector<model::Composite>& a,
@@ -435,6 +618,22 @@ render::RenderOptions bench_options(int threads) {
   options.style.height = 720;
   options.style.show_labels = false;
   options.threads = threads;
+  return options;
+}
+
+/// Shared by the report and BM_ExportPngCold: 1M tasks, 64 hosts, ~192
+/// deep overdraw — the schedule whose export cost is dominated by
+/// rasterization rather than layout or PNG encoding.
+const model::Schedule& dense_schedule() {
+  static const model::Schedule s = overdraw_schedule(1000000, 64, 192);
+  return s;
+}
+
+render::RenderOptions dense_options() {
+  auto options = bench_options(1);
+  // Composites off: with ~192-deep overlap everywhere, synthesizing them
+  // would swamp the raster stage this workload isolates.
+  options.style.show_composites = false;
   return options;
 }
 
@@ -624,6 +823,124 @@ void report() {
     report_check("warm pan >= 10x vs full relayout at 1M tasks",
                  legacy_ms / warm_ms >= 10.0);
   }
+
+  // Raster kernels and overdraw elimination: the reconstructed pre-PR
+  // per-pixel path vs the scanline span rasterizer + runtime-dispatched
+  // SIMD kernels. Targets: >= 4x on the opaque-fill kernel and >= 2x on
+  // the end-to-end cold 1M-task PNG export (soft-skipped on hosts without
+  // AVX2/NEON, where only the smaller SSE2/scalar win is available).
+  {
+    const auto& cpu = util::cpu_features();
+    std::string names;
+    for (const auto* k : render::kernels::available()) {
+      if (!names.empty()) names += ", ";
+      names += k->name;
+    }
+    report_row("raster kernels",
+               names + "; active: " + render::kernels::active().name);
+
+    render::Framebuffer fb(1280, 720);
+    const color::Color opaque{40, 90, 160, 255};
+    const color::Color veil{200, 60, 40, 128};
+    const auto time_reps = [](int reps, auto&& fn) {
+      fn();  // warm the caches before timing
+      util::Stopwatch w;
+      for (int i = 0; i < reps; ++i) fn();
+      return w.seconds() / reps;
+    };
+
+    const double fill_legacy = time_reps(
+        40, [&] { legacy::fill_rect(fb, 0, 0, 1280, 720, opaque); });
+    const double fill_new =
+        time_reps(40, [&] { fb.fill_rect(0, 0, 1280, 720, opaque); });
+    const double fill_x = fill_legacy / fill_new;
+    report_row("opaque fill 1280x720, per-pixel vs kernel",
+               fmt(fill_legacy * 1e3, 2) + " ms vs " +
+                   fmt(fill_new * 1e3, 2) + " ms (" + fmt(fill_x, 1) + "x)");
+
+    const double blend_legacy =
+        time_reps(40, [&] { legacy::fill_rect(fb, 0, 0, 1280, 720, veil); });
+    const double blend_new =
+        time_reps(40, [&] { fb.fill_rect(0, 0, 1280, 720, veil); });
+    report_row("alpha blend 1280x720, per-pixel vs kernel",
+               fmt(blend_legacy * 1e3, 2) + " ms vs " +
+                   fmt(blend_new * 1e3, 2) + " ms (" +
+                   fmt(blend_legacy / blend_new, 1) + "x)");
+
+    const char* label = "task t63.999999 (computation)";
+    const double text_legacy = time_reps(20, [&] {
+      for (int i = 0; i < 60; ++i) {
+        legacy::draw_text(fb, 8, 8 + (i % 64) * 9, label, color::kBlack, 1);
+      }
+    });
+    const double text_new = time_reps(20, [&] {
+      for (int i = 0; i < 60; ++i) {
+        render::draw_text(fb, 8, 8 + (i % 64) * 9, label, color::kBlack, 1);
+      }
+    });
+    report_row("60 labels, per-cell vs cached spans",
+               fmt(text_legacy * 1e3, 2) + " ms vs " +
+                   fmt(text_new * 1e3, 2) + " ms (" +
+                   fmt(text_legacy / text_new, 1) + "x)");
+
+    // 256 overlapping rects on one canvas: sequential per-pixel painting
+    // vs one span-batch flush resolving the overdraw up front.
+    const auto overdraw_rect = [](int i) {
+      return std::tuple<int, int, color::Color>(
+          (i * 37) % 800, (i * 23) % 600,
+          color::Color{static_cast<std::uint8_t>(50 + i % 180),
+                       static_cast<std::uint8_t>(80 + i % 120),
+                       static_cast<std::uint8_t>(20 + i % 200),
+                       static_cast<std::uint8_t>(i % 7 == 0 ? 120 : 255)});
+    };
+    const double over_legacy = time_reps(20, [&] {
+      for (int i = 0; i < 256; ++i) {
+        const auto [x, y, c] = overdraw_rect(i);
+        legacy::fill_rect(fb, x, y, 400, 100, c);
+      }
+    });
+    const double over_new = time_reps(20, [&] {
+      render::SpanBatch batch(fb);
+      for (int i = 0; i < 256; ++i) {
+        const auto [x, y, c] = overdraw_rect(i);
+        batch.add_rect(x, y, 400, 100, c);
+      }
+      batch.flush();
+    });
+    report_row("256-rect overdraw, sequential vs span batch",
+               fmt(over_legacy * 1e3, 2) + " ms vs " +
+                   fmt(over_new * 1e3, 2) + " ms (" +
+                   fmt(over_legacy / over_new, 1) + "x)");
+
+    watch.reset();
+    const auto& dense = dense_schedule();
+    report_row("build 1M-task overdraw schedule",
+               fmt(watch.seconds(), 2) + " s (" +
+                   std::to_string(dense.tasks().size()) + " tasks)");
+    watch.reset();
+    const auto png_legacy = legacy::export_png(dense, dense_options());
+    const double cold_legacy = watch.seconds();
+    report_row("1M-task cold PNG export, per-pixel raster",
+               fmt(cold_legacy, 2) + " s");
+    watch.reset();
+    const auto png_new = render::render_to_bytes(dense, dense_options(), "png");
+    const double cold_new = watch.seconds();
+    report_row("1M-task cold PNG export, span raster",
+               fmt(cold_new, 2) + " s (" + fmt(cold_legacy / cold_new, 1) +
+                   "x)");
+    report_check("span rasterizer reproduces the per-pixel bytes",
+                 png_new == png_legacy);
+    if (cpu.avx2 || cpu.neon) {
+      report_check("opaque-fill kernel >= 4x vs per-pixel", fill_x >= 4.0);
+      report_check("1M-task cold PNG export >= 2x vs per-pixel raster",
+                   cold_legacy / cold_new >= 2.0);
+    } else {
+      report_row("opaque-fill kernel >= 4x vs per-pixel",
+                 "skipped (no AVX2/NEON)");
+      report_row("1M-task cold PNG export >= 2x vs per-pixel raster",
+                 "skipped (no AVX2/NEON)");
+    }
+  }
   report_footer();
 }
 
@@ -796,6 +1113,108 @@ void BM_IngestPull(benchmark::State& state) {
                           static_cast<std::int64_t>(xml.size()));
 }
 BENCHMARK(BM_IngestPull)->Unit(benchmark::kMillisecond);
+
+// Raster rows recorded in BENCH_scale.json: arg 0 runs the reconstructed
+// pre-PR per-pixel path, arg 1 the span/SIMD path (the label names the
+// dispatched kernel variant).
+void BM_RasterOpaqueFill(benchmark::State& state) {
+  render::Framebuffer fb(1280, 720);
+  const color::Color c{40, 90, 160, 255};
+  const bool kernel = state.range(0) != 0;
+  for (auto _ : state) {
+    if (kernel) {
+      fb.fill_rect(0, 0, 1280, 720, c);
+    } else {
+      legacy::fill_rect(fb, 0, 0, 1280, 720, c);
+    }
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1280 * 720 * 4);
+  state.SetLabel(kernel ? render::kernels::active().name : "per-pixel");
+}
+BENCHMARK(BM_RasterOpaqueFill)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_RasterAlphaBlend(benchmark::State& state) {
+  render::Framebuffer fb(1280, 720);
+  const color::Color c{200, 60, 40, 128};
+  const bool kernel = state.range(0) != 0;
+  for (auto _ : state) {
+    if (kernel) {
+      fb.fill_rect(0, 0, 1280, 720, c);
+    } else {
+      legacy::fill_rect(fb, 0, 0, 1280, 720, c);
+    }
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1280 * 720 * 4);
+  state.SetLabel(kernel ? render::kernels::active().name : "per-pixel");
+}
+BENCHMARK(BM_RasterAlphaBlend)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_RasterText(benchmark::State& state) {
+  render::Framebuffer fb(400, 600);
+  const std::string label = "task t63.999999 (computation)";
+  const bool cached = state.range(0) != 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 60; ++i) {
+      if (cached) {
+        render::draw_text(fb, 8, 8 + i * 9, label, color::kBlack, 1);
+      } else {
+        legacy::draw_text(fb, 8, 8 + i * 9, label, color::kBlack, 1);
+      }
+    }
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * 60);
+  state.SetLabel(cached ? "cached spans" : "per-cell");
+}
+BENCHMARK(BM_RasterText)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_RasterOverdraw(benchmark::State& state) {
+  render::Framebuffer fb(1280, 720);
+  const bool span = state.range(0) != 0;
+  for (auto _ : state) {
+    if (span) {
+      render::SpanBatch batch(fb);
+      for (int i = 0; i < 256; ++i) {
+        batch.add_rect((i * 37) % 800, (i * 23) % 600, 400, 100,
+                       color::Color{static_cast<std::uint8_t>(50 + i % 180),
+                                    80, 20, 255});
+      }
+      batch.flush();
+    } else {
+      for (int i = 0; i < 256; ++i) {
+        legacy::fill_rect(fb, (i * 37) % 800, (i * 23) % 600, 400, 100,
+                          color::Color{static_cast<std::uint8_t>(50 + i % 180),
+                                       80, 20, 255});
+      }
+    }
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+  state.SetLabel(span ? "span batch" : "sequential");
+}
+BENCHMARK(BM_RasterOverdraw)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_ExportPngCold(benchmark::State& state) {
+  const auto& schedule = dense_schedule();
+  const auto options = dense_options();
+  const bool span = state.range(0) != 0;
+  for (auto _ : state) {
+    if (span) {
+      benchmark::DoNotOptimize(
+          render::render_to_bytes(schedule, options, "png"));
+    } else {
+      benchmark::DoNotOptimize(legacy::export_png(schedule, options));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(schedule.tasks().size()));
+  state.SetLabel(span ? "span raster" : "per-pixel raster");
+}
+BENCHMARK(BM_ExportPngCold)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -39,6 +39,13 @@ class Canvas {
   virtual double text_width(std::string_view text, int size) const = 0;
 
   virtual double text_height(int size) const = 0;
+
+  /// Completes any buffered drawing. Backends that batch primitives (the
+  /// raster canvas's span batch) override this; every paint_* entry point
+  /// flushes before returning, so callers that only go through those see
+  /// finished pixels. Call it yourself when reading the target after
+  /// driving a canvas directly.
+  virtual void flush() {}
 };
 
 }  // namespace jedule::render

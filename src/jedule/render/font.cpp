@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "jedule/util/error.hpp"
 
@@ -238,6 +241,90 @@ const std::array<std::array<std::uint8_t, kGlyphHeight>, 96>& glyph_table() {
   return table;
 }
 
+// Horizontal runs of on-cells per glyph row, pre-extracted from the row
+// bitmask so draw_text fills one rect per run instead of one per cell
+// (a 5-bit row holds at most three runs, e.g. "#.#.#"). Runs are in cell
+// units; scaling multiplies through, so one table serves every scale.
+struct GlyphRuns {
+  struct Run {
+    std::uint8_t x0, x1;  // half-open cell columns
+  };
+  std::array<std::array<Run, 3>, kGlyphHeight> runs;
+  std::array<std::uint8_t, kGlyphHeight> count;
+};
+
+GlyphRuns compile_runs(const std::array<std::uint8_t, kGlyphHeight>& rows) {
+  GlyphRuns g{};
+  for (int r = 0; r < kGlyphHeight; ++r) {
+    int c = 0;
+    while (c < kGlyphWidth) {
+      if ((rows[static_cast<std::size_t>(r)] &
+           (1u << (kGlyphWidth - 1 - c))) == 0) {
+        ++c;
+        continue;
+      }
+      int end = c + 1;
+      while (end < kGlyphWidth &&
+             (rows[static_cast<std::size_t>(r)] &
+              (1u << (kGlyphWidth - 1 - end))) != 0) {
+        ++end;
+      }
+      auto& row = g.runs[static_cast<std::size_t>(r)];
+      row[g.count[static_cast<std::size_t>(r)]++] =
+          GlyphRuns::Run{static_cast<std::uint8_t>(c),
+                         static_cast<std::uint8_t>(end)};
+      c = end;
+    }
+  }
+  return g;
+}
+
+const GlyphRuns& glyph_runs(char c) {
+  static const auto table = [] {
+    std::array<GlyphRuns, 96> t{};
+    for (std::size_t i = 0; i < 96; ++i) {
+      t[i] = compile_runs(glyph_table()[i]);
+    }
+    return t;
+  }();
+  const unsigned char u = static_cast<unsigned char>(c);
+  if (u < 32 || u > 126) return table[95];
+  return table[u - 32];
+}
+
+// A whole string flattened to spans in unscaled text-space cells: the
+// keyed cache for repeated labels (task types, axis numbers). Thread-local
+// so band/tile workers never contend or share state.
+struct TextSpans {
+  struct Span {
+    int x0, x1;           // half-open text-space cell columns
+    std::uint8_t row;     // glyph row 0..6
+  };
+  std::vector<Span> spans;
+};
+
+const TextSpans& cached_text_spans(std::string_view text) {
+  thread_local std::unordered_map<std::string, TextSpans> cache;
+  // Unique labels (task ids) could grow the cache without bound; labels
+  // repeat heavily in practice, so a rare wholesale reset is cheap.
+  if (cache.size() > 4096) cache.clear();
+  const auto [it, inserted] = cache.try_emplace(std::string(text));
+  if (inserted) {
+    int cursor = 0;
+    for (char ch : text) {
+      const GlyphRuns& g = glyph_runs(ch);
+      for (std::uint8_t r = 0; r < kGlyphHeight; ++r) {
+        for (std::uint8_t i = 0; i < g.count[r]; ++i) {
+          it->second.spans.push_back(TextSpans::Span{
+              cursor + g.runs[r][i].x0, cursor + g.runs[r][i].x1, r});
+        }
+      }
+      cursor += kGlyphWidth + 1;
+    }
+  }
+  return it->second;
+}
+
 }  // namespace
 
 const std::array<std::uint8_t, kGlyphHeight>& glyph_bitmap(char c) {
@@ -261,19 +348,12 @@ int text_height(int scale) { return kGlyphHeight * scale; }
 void draw_text(Framebuffer& fb, int x, int y, std::string_view text,
                Color color, int scale) {
   JED_ASSERT(scale >= 1);
-  int cursor = x;
-  for (char ch : text) {
-    const auto& glyph = glyph_bitmap(ch);
-    for (int r = 0; r < kGlyphHeight; ++r) {
-      for (int c = 0; c < kGlyphWidth; ++c) {
-        if (glyph[static_cast<std::size_t>(r)] &
-            (1u << (kGlyphWidth - 1 - c))) {
-          fb.fill_rect(cursor + c * scale, y + r * scale, scale, scale,
-                       color);
-        }
-      }
-    }
-    cursor += (kGlyphWidth + 1) * scale;
+  // One fill per cached span instead of one per on-cell. The span cells
+  // are disjoint, so every pixel is still written exactly once and the
+  // bytes match the per-cell path for opaque and translucent colors alike.
+  for (const auto& s : cached_text_spans(text).spans) {
+    fb.fill_rect(x + s.x0 * scale, y + s.row * scale, (s.x1 - s.x0) * scale,
+                 scale, color);
   }
 }
 

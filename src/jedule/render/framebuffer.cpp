@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "jedule/render/kernels.hpp"
 #include "jedule/util/error.hpp"
 
 namespace jedule::render {
@@ -15,12 +16,8 @@ Framebuffer::Framebuffer(int width, int height, Color background)
 }
 
 void Framebuffer::clear(Color c) {
-  for (std::size_t i = 0; i < pixels_.size(); i += 4) {
-    pixels_[i] = c.r;
-    pixels_[i + 1] = c.g;
-    pixels_[i + 2] = c.b;
-    pixels_[i + 3] = 255;
-  }
+  // The whole image is one contiguous pixel run.
+  kernels::active().fill_row(pixels_.data(), pixels_.size() / 4, c);
 }
 
 void Framebuffer::set_pixel(int x, int y, Color c) {
@@ -50,41 +47,93 @@ Color Framebuffer::pixel(int x, int y) const {
 }
 
 void Framebuffer::fill_rect(int x, int y, int w, int h, Color c) {
-  if (c.a == 0) return;
-  const int x0 = std::max(x, 0);
-  const int y0 = std::max(y, 0);
-  const int x1 = std::min(x + w, width_);
-  const int y1 = std::min(y + h, height_);
+  if (c.a == 0 || w <= 0 || h <= 0) return;
+  // Clip in 64-bit: x + w and y + h overflow int for near-INT_MAX extents.
+  const long long x0 = std::max<long long>(x, 0);
+  const long long y0 = std::max<long long>(y, 0);
+  const long long x1 = std::min<long long>(static_cast<long long>(x) + w,
+                                           width_);
+  const long long y1 = std::min<long long>(static_cast<long long>(y) + h,
+                                           height_);
+  if (x0 >= x1 || y0 >= y1) return;
+  const auto& k = kernels::active();
+  const std::size_t npx = static_cast<std::size_t>(x1 - x0);
   if (c.a == 255) {
-    for (int yy = y0; yy < y1; ++yy) {
-      for (int xx = x0; xx < x1; ++xx) set_pixel_unchecked(xx, yy, c);
+    for (long long yy = y0; yy < y1; ++yy) {
+      k.fill_row(row(static_cast<int>(yy)) + x0 * 4, npx, c);
     }
   } else {
-    for (int yy = y0; yy < y1; ++yy) {
-      for (int xx = x0; xx < x1; ++xx) set_pixel(xx, yy, c);
+    for (long long yy = y0; yy < y1; ++yy) {
+      k.blend_row(row(static_cast<int>(yy)) + x0 * 4, npx, c);
     }
   }
 }
 
+namespace {
+// x + w - 1 without overflowing; out-of-range results clamp to int, which
+// the line clippers then reject or trim against the canvas anyway.
+int far_edge(int x, int extent) {
+  const long long e = static_cast<long long>(x) + extent - 1;
+  return static_cast<int>(std::clamp<long long>(e, INT32_MIN, INT32_MAX));
+}
+}  // namespace
+
 void Framebuffer::draw_rect(int x, int y, int w, int h, Color c) {
   if (w <= 0 || h <= 0) return;
-  draw_hline(x, x + w - 1, y, c);
-  draw_hline(x, x + w - 1, y + h - 1, c);
-  draw_vline(x, y, y + h - 1, c);
-  draw_vline(x + w - 1, y, y + h - 1, c);
+  const int xe = far_edge(x, w);
+  const int ye = far_edge(y, h);
+  draw_hline(x, xe, y, c);
+  draw_hline(x, xe, ye, c);
+  draw_vline(x, y, ye, c);
+  draw_vline(xe, y, ye, c);
 }
 
 void Framebuffer::draw_hline(int x0, int x1, int y, Color c) {
   if (x1 < x0) std::swap(x0, x1);
-  for (int x = x0; x <= x1; ++x) set_pixel(x, y, c);
+  // Clip once up front instead of bounds-checking every pixel.
+  if (c.a == 0 || y < 0 || y >= height_ || x1 < 0 || x0 >= width_) return;
+  x0 = std::max(x0, 0);
+  x1 = std::min(x1, width_ - 1);
+  std::uint8_t* p = row(y) + static_cast<std::size_t>(x0) * 4;
+  const std::size_t npx = static_cast<std::size_t>(x1 - x0) + 1;
+  const auto& k = kernels::active();
+  if (c.a == 255) {
+    k.fill_row(p, npx, c);
+  } else {
+    k.blend_row(p, npx, c);
+  }
 }
 
 void Framebuffer::draw_vline(int x, int y0, int y1, Color c) {
   if (y1 < y0) std::swap(y0, y1);
-  for (int y = y0; y <= y1; ++y) set_pixel(x, y, c);
+  if (c.a == 0 || x < 0 || x >= width_ || y1 < 0 || y0 >= height_) return;
+  y0 = std::max(y0, 0);
+  y1 = std::min(y1, height_ - 1);
+  if (c.a == 255) {
+    for (int y = y0; y <= y1; ++y) set_pixel_unchecked(x, y, c);
+  } else {
+    for (int y = y0; y <= y1; ++y) {
+      set_pixel_unchecked(x, y, color::blend_over(pixel(x, y), c));
+    }
+  }
 }
 
 void Framebuffer::draw_line(int x0, int y0, int x1, int y1, Color c) {
+  // Fully off-canvas lines used to walk every coordinate through
+  // bounds-checked set_pixel; reject them here, and route axis-aligned
+  // lines to the clipped span primitives (identical pixels and blends).
+  if (c.a == 0 || std::max(x0, x1) < 0 || std::min(x0, x1) >= width_ ||
+      std::max(y0, y1) < 0 || std::min(y0, y1) >= height_) {
+    return;
+  }
+  if (y0 == y1) {
+    draw_hline(x0, x1, y0, c);
+    return;
+  }
+  if (x0 == x1) {
+    draw_vline(x0, y0, y1, c);
+    return;
+  }
   const int dx = std::abs(x1 - x0);
   const int dy = -std::abs(y1 - y0);
   const int sx = x0 < x1 ? 1 : -1;
@@ -107,9 +156,8 @@ void Framebuffer::draw_line(int x0, int y0, int x1, int y1, Color c) {
 
 void Framebuffer::blit_rows(const Framebuffer& src, int y) {
   JED_ASSERT(src.width_ == width_ && y >= 0 && y + src.height_ <= height_);
-  std::copy(src.pixels_.begin(), src.pixels_.end(),
-            pixels_.begin() +
-                static_cast<std::ptrdiff_t>(y) * width_ * 4);
+  kernels::active().copy_row(row(y), src.pixels_.data(),
+                             src.pixels_.size() / 4);
 }
 
 void Framebuffer::blit_cols(const Framebuffer& src, int dst_x, int src_x,
@@ -128,13 +176,14 @@ void Framebuffer::blit_cols(const Framebuffer& src, int dst_x, int src_x,
   }
   w = std::min({w, src.width_ - src_x, width_ - dst_x});
   if (w <= 0) return;
+  const auto& k = kernels::active();
   for (int y = 0; y < height_; ++y) {
     const auto* from =
         src.pixels_.data() +
         (static_cast<std::size_t>(y) * src.width_ + src_x) * 4;
     auto* to = pixels_.data() +
                (static_cast<std::size_t>(y) * width_ + dst_x) * 4;
-    std::copy(from, from + static_cast<std::size_t>(w) * 4, to);
+    k.copy_row(to, from, static_cast<std::size_t>(w));
   }
 }
 

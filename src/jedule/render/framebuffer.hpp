@@ -23,6 +23,15 @@ class Framebuffer {
   /// Raw pixels, row-major, 4 bytes (RGBA) per pixel.
   const std::vector<std::uint8_t>& pixels() const { return pixels_; }
 
+  /// Raw pointer to row `y` (caller guarantees 0 <= y < height). The span
+  /// rasterizer and the SIMD kernels write rows through this.
+  std::uint8_t* row(int y) {
+    return pixels_.data() + static_cast<std::size_t>(y) * width_ * 4;
+  }
+  const std::uint8_t* row(int y) const {
+    return pixels_.data() + static_cast<std::size_t>(y) * width_ * 4;
+  }
+
   void clear(Color c);
 
   /// Single pixel with source-over blending; out-of-bounds writes are

@@ -648,9 +648,14 @@ void paint_box(const GanttLayout& layout, const TaskBox& box, Canvas& canvas,
 
 }  // namespace
 
+// Every public paint pass flushes before returning so callers can read
+// the render target (or blit/move it) without knowing whether the canvas
+// batches its primitives.
+
 void paint_gantt_background(const GanttLayout& layout, Canvas& canvas) {
   canvas.fill_rect(0, 0, layout.width, layout.height, color::kWhite);
   paint_gantt_header(layout, canvas);
+  canvas.flush();
 }
 
 void paint_gantt_header(const GanttLayout& layout, Canvas& canvas) {
@@ -658,6 +663,7 @@ void paint_gantt_header(const GanttLayout& layout, Canvas& canvas) {
     canvas.text(kMarginLeft, kMarginTop, layout.header, kAxisText,
                 layout.axes_font_size);
   }
+  canvas.flush();
 }
 
 void paint_gantt_boxes(const GanttLayout& layout, Canvas& canvas,
@@ -665,15 +671,20 @@ void paint_gantt_boxes(const GanttLayout& layout, Canvas& canvas,
   for (const auto& box : layout.boxes) {
     paint_box(layout, box, canvas, style, with_labels);
   }
+  canvas.flush();
 }
 
 void paint_gantt_labels(const GanttLayout& layout, Canvas& canvas,
                         const GanttStyle& style) {
-  if (!style.show_labels) return;
+  if (!style.show_labels) {
+    canvas.flush();
+    return;
+  }
   for (const auto& box : layout.boxes) {
     if (box.lod_bin || box.label.empty()) continue;
     paint_box_label(layout, box, canvas);
   }
+  canvas.flush();
 }
 
 void paint_gantt_chrome(const GanttLayout& layout, Canvas& canvas,
@@ -682,6 +693,7 @@ void paint_gantt_chrome(const GanttLayout& layout, Canvas& canvas,
   for (const auto& panel : layout.panels) {
     paint_panel_chrome(layout, panel, canvas, style);
   }
+  canvas.flush();
 }
 
 void paint_gantt(const GanttLayout& layout, Canvas& canvas,

@@ -1,0 +1,296 @@
+#include "jedule/render/kernels.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "jedule/util/cpu.hpp"
+
+#if !defined(JEDULE_SIMD_DISABLED)
+#if defined(__x86_64__) || defined(_M_X64)
+#define JEDULE_KERNELS_X86 1
+#include <immintrin.h>
+#elif defined(__aarch64__)
+#define JEDULE_KERNELS_NEON 1
+#include <arm_neon.h>
+#endif
+#endif
+
+namespace jedule::render::kernels {
+
+namespace {
+
+std::uint32_t pack_rgba(color::Color c) {
+  // Memory byte order r,g,b,255 == this little-endian word. The stores in
+  // Framebuffer always write alpha 255, which is what keeps opaque fills a
+  // plain pattern broadcast.
+  return static_cast<std::uint32_t>(c.r) |
+         static_cast<std::uint32_t>(c.g) << 8 |
+         static_cast<std::uint32_t>(c.b) << 16 | 0xFF000000u;
+}
+
+// Exact integer form of color::blend_over's lround(d*(1-t) + s*t) with
+// t = a/255: x = d*(255-a) + s*a, then divide by 255 with rounding as
+// (y + (y >> 8)) >> 8 where y = x + 128. Verified bit-exact against
+// blend_over by brute force over all 256^3 (d, s, a) inputs; the test
+// suite re-checks a dense sample (test_render_kernels.cpp).
+std::uint8_t blend_channel(unsigned d, unsigned s, unsigned a) {
+  const unsigned y = d * (255u - a) + s * a + 128u;
+  return static_cast<std::uint8_t>((y + (y >> 8)) >> 8);
+}
+
+void fill_row_scalar(std::uint8_t* row, std::size_t npx, color::Color c) {
+  const std::uint32_t p = pack_rgba(c);
+  for (std::size_t i = 0; i < npx; ++i) std::memcpy(row + i * 4, &p, 4);
+}
+
+void blend_row_scalar(std::uint8_t* row, std::size_t npx, color::Color c) {
+  const unsigned a = c.a;
+  for (std::size_t i = 0; i < npx; ++i) {
+    std::uint8_t* px = row + i * 4;
+    px[0] = blend_channel(px[0], c.r, a);
+    px[1] = blend_channel(px[1], c.g, a);
+    px[2] = blend_channel(px[2], c.b, a);
+    px[3] = 255;
+  }
+}
+
+void copy_row_scalar(std::uint8_t* dst, const std::uint8_t* src,
+                     std::size_t npx) {
+  if (npx == 0) return;  // an empty source may be a null pointer
+  std::memcpy(dst, src, npx * 4);
+}
+
+#if defined(JEDULE_KERNELS_X86)
+
+// The four u16 lanes of one pixel's source term s*a, in r,g,b,a byte
+// order; the alpha lane uses s=255 so a framebuffer pixel (alpha 255)
+// blends back to exactly 255.
+std::uint64_t premul_lanes(color::Color c) {
+  const unsigned a = c.a;
+  return static_cast<std::uint64_t>(c.r * a) |
+         static_cast<std::uint64_t>(c.g * a) << 16 |
+         static_cast<std::uint64_t>(c.b * a) << 32 |
+         static_cast<std::uint64_t>(255u * a) << 48;
+}
+
+void fill_row_sse2(std::uint8_t* row, std::size_t npx, color::Color c) {
+  const std::uint32_t p = pack_rgba(c);
+  const __m128i v = _mm_set1_epi32(static_cast<int>(p));
+  std::size_t i = 0;
+  for (; i + 4 <= npx; i += 4) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(row + i * 4), v);
+  }
+  for (; i < npx; ++i) std::memcpy(row + i * 4, &p, 4);
+}
+
+void blend_row_sse2(std::uint8_t* row, std::size_t npx, color::Color c) {
+  // 16-bit-lane evaluation of blend_channel: all intermediates fit in
+  // u16 (max 255*255 + 128 + 254 = 65407), so mullo/add/shift per lane
+  // reproduce the scalar math exactly.
+  const __m128i zero = _mm_setzero_si128();
+  const __m128i na = _mm_set1_epi16(static_cast<short>(255 - c.a));
+  const __m128i sa =
+      _mm_set1_epi64x(static_cast<long long>(premul_lanes(c)));
+  const __m128i bias = _mm_set1_epi16(128);
+  const __m128i alpha = _mm_set1_epi32(static_cast<int>(0xFF000000u));
+  std::size_t i = 0;
+  for (; i + 4 <= npx; i += 4) {
+    __m128i px =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(row + i * 4));
+    __m128i lo = _mm_unpacklo_epi8(px, zero);
+    __m128i hi = _mm_unpackhi_epi8(px, zero);
+    lo = _mm_add_epi16(_mm_add_epi16(_mm_mullo_epi16(lo, na), sa), bias);
+    hi = _mm_add_epi16(_mm_add_epi16(_mm_mullo_epi16(hi, na), sa), bias);
+    lo = _mm_srli_epi16(_mm_add_epi16(lo, _mm_srli_epi16(lo, 8)), 8);
+    hi = _mm_srli_epi16(_mm_add_epi16(hi, _mm_srli_epi16(hi, 8)), 8);
+    px = _mm_or_si128(_mm_packus_epi16(lo, hi), alpha);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(row + i * 4), px);
+  }
+  if (i < npx) blend_row_scalar(row + i * 4, npx - i, c);
+}
+
+void copy_row_sse2(std::uint8_t* dst, const std::uint8_t* src,
+                   std::size_t npx) {
+  std::size_t i = 0;
+  for (; i + 4 <= npx; i += 4) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i * 4));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i * 4), v);
+  }
+  if (i < npx) std::memcpy(dst + i * 4, src + i * 4, (npx - i) * 4);
+}
+
+__attribute__((target("avx2"))) void fill_row_avx2(std::uint8_t* row,
+                                                   std::size_t npx,
+                                                   color::Color c) {
+  const std::uint32_t p = pack_rgba(c);
+  const __m256i v = _mm256_set1_epi32(static_cast<int>(p));
+  std::size_t i = 0;
+  for (; i + 8 <= npx; i += 8) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(row + i * 4), v);
+  }
+  if (i < npx) fill_row_sse2(row + i * 4, npx - i, c);
+}
+
+__attribute__((target("avx2"))) void blend_row_avx2(std::uint8_t* row,
+                                                    std::size_t npx,
+                                                    color::Color c) {
+  // Unpack/pack stay within each 128-bit lane, so applying them
+  // symmetrically round-trips the byte order; the lane math matches
+  // blend_row_sse2.
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i na = _mm256_set1_epi16(static_cast<short>(255 - c.a));
+  const __m256i sa =
+      _mm256_set1_epi64x(static_cast<long long>(premul_lanes(c)));
+  const __m256i bias = _mm256_set1_epi16(128);
+  const __m256i alpha = _mm256_set1_epi32(static_cast<int>(0xFF000000u));
+  std::size_t i = 0;
+  for (; i + 8 <= npx; i += 8) {
+    __m256i px =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + i * 4));
+    __m256i lo = _mm256_unpacklo_epi8(px, zero);
+    __m256i hi = _mm256_unpackhi_epi8(px, zero);
+    lo = _mm256_add_epi16(
+        _mm256_add_epi16(_mm256_mullo_epi16(lo, na), sa), bias);
+    hi = _mm256_add_epi16(
+        _mm256_add_epi16(_mm256_mullo_epi16(hi, na), sa), bias);
+    lo = _mm256_srli_epi16(_mm256_add_epi16(lo, _mm256_srli_epi16(lo, 8)),
+                           8);
+    hi = _mm256_srli_epi16(_mm256_add_epi16(hi, _mm256_srli_epi16(hi, 8)),
+                           8);
+    px = _mm256_or_si256(_mm256_packus_epi16(lo, hi), alpha);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(row + i * 4), px);
+  }
+  if (i < npx) blend_row_sse2(row + i * 4, npx - i, c);
+}
+
+__attribute__((target("avx2"))) void copy_row_avx2(std::uint8_t* dst,
+                                                   const std::uint8_t* src,
+                                                   std::size_t npx) {
+  std::size_t i = 0;
+  for (; i + 8 <= npx; i += 8) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i * 4));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i * 4), v);
+  }
+  if (i < npx) copy_row_sse2(dst + i * 4, src + i * 4, npx - i);
+}
+
+#endif  // JEDULE_KERNELS_X86
+
+#if defined(JEDULE_KERNELS_NEON)
+
+void fill_row_neon(std::uint8_t* row, std::size_t npx, color::Color c) {
+  const std::uint32_t p = pack_rgba(c);
+  const uint32x4_t v = vdupq_n_u32(p);
+  std::size_t i = 0;
+  for (; i + 4 <= npx; i += 4) {
+    vst1q_u32(reinterpret_cast<std::uint32_t*>(row + i * 4), v);
+  }
+  for (; i < npx; ++i) std::memcpy(row + i * 4, &p, 4);
+}
+
+// blend_channel on one u16x8 vector: d*(255-a) already lives in `acc`.
+uint8x8_t blend_narrow_neon(uint16x8_t acc, uint16x8_t sa) {
+  uint16x8_t y = vaddq_u16(vaddq_u16(acc, sa), vdupq_n_u16(128));
+  y = vaddq_u16(y, vshrq_n_u16(y, 8));
+  return vshrn_n_u16(y, 8);
+}
+
+void blend_row_neon(std::uint8_t* row, std::size_t npx, color::Color c) {
+  const unsigned a = c.a;
+  const uint8x8_t na = vdup_n_u8(static_cast<std::uint8_t>(255 - a));
+  const uint16x8_t sr = vdupq_n_u16(static_cast<std::uint16_t>(c.r * a));
+  const uint16x8_t sg = vdupq_n_u16(static_cast<std::uint16_t>(c.g * a));
+  const uint16x8_t sb = vdupq_n_u16(static_cast<std::uint16_t>(c.b * a));
+  std::size_t i = 0;
+  for (; i + 8 <= npx; i += 8) {
+    // De-interleaved planes: 8 pixels per iteration.
+    uint8x8x4_t px = vld4_u8(row + i * 4);
+    px.val[0] = blend_narrow_neon(vmull_u8(px.val[0], na), sr);
+    px.val[1] = blend_narrow_neon(vmull_u8(px.val[1], na), sg);
+    px.val[2] = blend_narrow_neon(vmull_u8(px.val[2], na), sb);
+    px.val[3] = vdup_n_u8(255);
+    vst4_u8(row + i * 4, px);
+  }
+  if (i < npx) blend_row_scalar(row + i * 4, npx - i, c);
+}
+
+void copy_row_neon(std::uint8_t* dst, const std::uint8_t* src,
+                   std::size_t npx) {
+  std::size_t i = 0;
+  for (; i + 4 <= npx; i += 4) {
+    vst1q_u8(dst + i * 4, vld1q_u8(src + i * 4));
+  }
+  if (i < npx) std::memcpy(dst + i * 4, src + i * 4, (npx - i) * 4);
+}
+
+#endif  // JEDULE_KERNELS_NEON
+
+std::atomic<const Kernels*> g_override{nullptr};
+
+const Kernels* env_or_best() {
+  if (const char* env = std::getenv("JEDULE_SIMD")) {
+    const std::string_view want(env);
+    if (want == "scalar" || want == "off" || want == "0") return &scalar();
+    if (const Kernels* k = find(want)) return k;
+  }
+  return available().back();
+}
+
+}  // namespace
+
+const Kernels& scalar() {
+  static const Kernels k{"scalar", fill_row_scalar, blend_row_scalar,
+                         copy_row_scalar};
+  return k;
+}
+
+const std::vector<const Kernels*>& available() {
+  static const std::vector<const Kernels*> list = [] {
+    std::vector<const Kernels*> v{&scalar()};
+#if defined(JEDULE_KERNELS_X86)
+    const auto& cpu = util::cpu_features();
+    if (cpu.sse2) {
+      static const Kernels sse2{"sse2", fill_row_sse2, blend_row_sse2,
+                                copy_row_sse2};
+      v.push_back(&sse2);
+    }
+    if (cpu.avx2) {
+      static const Kernels avx2{"avx2", fill_row_avx2, blend_row_avx2,
+                                copy_row_avx2};
+      v.push_back(&avx2);
+    }
+#elif defined(JEDULE_KERNELS_NEON)
+    if (util::cpu_features().neon) {
+      static const Kernels neon{"neon", fill_row_neon, blend_row_neon,
+                                copy_row_neon};
+      v.push_back(&neon);
+    }
+#endif
+    return v;
+  }();
+  return list;
+}
+
+const Kernels* find(std::string_view name) {
+  for (const Kernels* k : available()) {
+    if (name == k->name) return k;
+  }
+  return nullptr;
+}
+
+const Kernels& active() {
+  if (const Kernels* o = g_override.load(std::memory_order_acquire)) {
+    return *o;
+  }
+  static const Kernels* const picked = env_or_best();
+  return *picked;
+}
+
+void override_active(const Kernels* k) {
+  g_override.store(k, std::memory_order_release);
+}
+
+}  // namespace jedule::render::kernels

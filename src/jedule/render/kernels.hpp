@@ -1,0 +1,69 @@
+#pragma once
+
+// Runtime-dispatched SIMD row kernels for the software rasterizer
+// (DESIGN.md §4e). Three primitives cover every hot inner loop of the
+// raster path: opaque row fill (pattern broadcast), source-over alpha
+// blend, and row copy. Each has scalar, SSE2, AVX2 and NEON variants;
+// dispatch picks the best one the executing CPU supports, decided once at
+// startup.
+//
+// Every variant is bit-exact with the scalar path — and the scalar blend
+// is bit-exact with color::blend_over — so switching kernels can never
+// change output bytes. The test suite fuzzes all variants against scalar
+// (test_render_kernels.cpp).
+//
+// Overrides, strongest first:
+//   - override_active(k): test hook, routes active() to a specific variant.
+//   - JEDULE_SIMD environment variable: "scalar"/"off" forces scalar,
+//     "sse2"/"avx2"/"neon" selects that variant when available (silently
+//     falls back to the best available one otherwise).
+//   - -DJEDULE_SIMD=OFF at configure time compiles the dispatch down to
+//     the scalar path only.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "jedule/color/color.hpp"
+
+namespace jedule::render::kernels {
+
+/// Fills `npx` pixels (4 bytes each) with c.r/c.g/c.b and alpha 255.
+using FillRowFn = void (*)(std::uint8_t* row, std::size_t npx,
+                           color::Color c);
+
+/// Source-over blends `c` onto `npx` pixels, writing alpha 255. Bit-exact
+/// with applying color::blend_over per pixel, for every alpha 0..255.
+using BlendRowFn = void (*)(std::uint8_t* row, std::size_t npx,
+                            color::Color c);
+
+/// Copies `npx` pixels; ranges must not overlap.
+using CopyRowFn = void (*)(std::uint8_t* dst, const std::uint8_t* src,
+                           std::size_t npx);
+
+struct Kernels {
+  const char* name;  // "scalar", "sse2", "avx2", "neon"
+  FillRowFn fill_row;
+  BlendRowFn blend_row;
+  CopyRowFn copy_row;
+};
+
+/// The portable reference variant (always present).
+const Kernels& scalar();
+
+/// Every variant this build supports and the host CPU can run, scalar
+/// first, fastest last.
+const std::vector<const Kernels*>& available();
+
+/// The variant in `available()` with `name`, or nullptr.
+const Kernels* find(std::string_view name);
+
+/// The dispatched variant: the test override if set, else the
+/// JEDULE_SIMD env selection, else the fastest available.
+const Kernels& active();
+
+/// Test hook: route active() to `k` (nullptr restores normal dispatch).
+void override_active(const Kernels* k);
+
+}  // namespace jedule::render::kernels

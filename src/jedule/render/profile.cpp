@@ -77,6 +77,7 @@ void paint_profile(const model::Schedule& schedule, Canvas& canvas,
   canvas.stroke_rect(left, top, plot_w, plot_h, kFrame);
   canvas.text(left, top - canvas.text_height(11) - 0,
               "busy resources (of " + std::to_string(hosts) + ")", kText, 11);
+  canvas.flush();
 }
 
 Framebuffer render_profile(const model::Schedule& schedule,

@@ -1,5 +1,6 @@
 #include "jedule/render/raster_canvas.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "jedule/render/font.hpp"
@@ -15,21 +16,42 @@ void RasterCanvas::fill_rect(double x, double y, double w, double h,
   // Round edges, not sizes, so adjacent rectangles tile without gaps.
   const int x0 = px(x);
   const int y0 = px(y);
-  fb_.fill_rect(x0, y0 - y_offset_, px(x + w) - x0, px(y + h) - y0, c);
+  batch_.add_rect(x0, y0 - y_offset_, px(x + w) - x0, px(y + h) - y0, c);
 }
 
 void RasterCanvas::stroke_rect(double x, double y, double w, double h,
                                color::Color c) {
   const int x0 = px(x);
   const int y0 = px(y);
-  fb_.draw_rect(x0, y0 - y_offset_, px(x + w) - x0, px(y + h) - y0, c);
+  batch_.add_outline(x0, y0 - y_offset_, px(x + w) - x0, px(y + h) - y0, c);
 }
 
 void RasterCanvas::line(double x0, double y0, double x1, double y1,
                         color::Color c) {
+  const int ax = px(x0);
+  const int ay = px(y0) - y_offset_;
+  const int bx = px(x1);
+  const int by = px(y1) - y_offset_;
+  if (ay == by) {
+    // Axis-aligned lines join the batch: Framebuffer::draw_line delegates
+    // them to draw_hline/draw_vline, whose inclusive clipped span is this
+    // rect. Clamping to just outside the canvas keeps hi-lo+1 in range
+    // without changing the clipped pixels.
+    const int lo = std::clamp(std::min(ax, bx), -1, fb_.width());
+    const int hi = std::clamp(std::max(ax, bx), -1, fb_.width());
+    batch_.add_rect(lo, ay, hi - lo + 1, 1, c);
+    return;
+  }
+  if (ax == bx) {
+    const int lo = std::clamp(std::min(ay, by), -1, fb_.height());
+    const int hi = std::clamp(std::max(ay, by), -1, fb_.height());
+    batch_.add_rect(ax, lo, 1, hi - lo + 1, c);
+    return;
+  }
   // Bresenham is translation invariant in integer space, so shifting the
   // rounded endpoints hits the same pixels as shifting the drawn line.
-  fb_.draw_line(px(x0), px(y0) - y_offset_, px(x1), px(y1) - y_offset_, c);
+  flush();
+  fb_.draw_line(ax, ay, bx, by, c);
 }
 
 void RasterCanvas::hatch_rect(double x, double y, double w, double h,
@@ -38,12 +60,14 @@ void RasterCanvas::hatch_rect(double x, double y, double w, double h,
   // origin, so a translated rectangle hatches the same relative pixels.
   const int x0 = px(x);
   const int y0 = px(y);
+  flush();
   fb_.hatch_rect(x0, y0 - y_offset_, px(x + w) - x0, px(y + h) - y0, spacing,
                  c);
 }
 
 void RasterCanvas::text(double x, double y, std::string_view text,
                         color::Color c, int size) {
+  flush();
   draw_text(fb_, px(x), px(y) - y_offset_, text, c, scale_for_font_size(size));
 }
 

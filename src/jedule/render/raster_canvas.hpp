@@ -2,18 +2,26 @@
 
 // Canvas backend that rasterizes into a Framebuffer using the embedded
 // bitmap font — the byte-reproducible path behind PNG and PPM export.
+//
+// Fills, outlines and axis-aligned lines are queued in a SpanBatch and
+// resolved scanline-by-scanline on flush() (overdraw elimination, SIMD
+// row kernels); the remaining primitives (text, hatching, diagonal
+// lines) flush the batch and paint directly, which keeps the output
+// byte-identical to the fully sequential path.
 
 #include <string>
 
 #include "jedule/render/canvas.hpp"
 #include "jedule/render/framebuffer.hpp"
+#include "jedule/render/span.hpp"
 
 namespace jedule::render {
 
 class RasterCanvas final : public Canvas {
  public:
   /// Draws onto `fb`, which must outlive the canvas.
-  explicit RasterCanvas(Framebuffer& fb) : fb_(fb), height_(fb.height()) {}
+  explicit RasterCanvas(Framebuffer& fb)
+      : fb_(fb), batch_(fb), height_(fb.height()) {}
 
   /// Band view for tiled parallel painting: `fb` holds the horizontal band
   /// of a `logical_height`-pixel image starting at device row `y_offset`.
@@ -21,7 +29,11 @@ class RasterCanvas final : public Canvas {
   /// after integer rounding, so a band paints exactly the pixels the
   /// full-image canvas would paint into its rows.
   RasterCanvas(Framebuffer& fb, int y_offset, int logical_height)
-      : fb_(fb), y_offset_(y_offset), height_(logical_height) {}
+      : fb_(fb), batch_(fb), y_offset_(y_offset), height_(logical_height) {}
+
+  /// Backstop only — rely on flush(): a canvas destroyed after its
+  /// framebuffer was moved away would flush into the moved-from object.
+  ~RasterCanvas() override { batch_.flush(); }
 
   int width() const override { return fb_.width(); }
   int height() const override { return height_; }
@@ -38,9 +50,11 @@ class RasterCanvas final : public Canvas {
             int size) override;
   double text_width(std::string_view text, int size) const override;
   double text_height(int size) const override;
+  void flush() override { batch_.flush(); }
 
  private:
   Framebuffer& fb_;
+  SpanBatch batch_;
   int y_offset_ = 0;
   int height_;
 };

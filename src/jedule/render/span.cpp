@@ -1,0 +1,182 @@
+#include "jedule/render/span.hpp"
+
+#include <algorithm>
+
+#include "jedule/render/kernels.hpp"
+
+namespace jedule::render {
+
+namespace {
+
+// Below this many ops on a scanline, painting forward in paint order is
+// cheaper than the O(width) occlusion pass. Both paths are byte-exact.
+constexpr std::size_t kOcclusionThreshold = 16;
+
+// Auto-flush bound: a flush is always a correct sequence point, so the
+// queue never holds more than ~20 MB of ops regardless of scene size.
+constexpr std::size_t kMaxOps = std::size_t{1} << 20;
+
+}  // namespace
+
+void SpanBatch::push_op(long long x0, long long y0, long long x1,
+                        long long y1, Color c) {
+  if (c.a == 0) return;
+  x0 = std::max<long long>(x0, 0);
+  y0 = std::max<long long>(y0, 0);
+  x1 = std::min<long long>(x1, fb_.width());
+  y1 = std::min<long long>(y1, fb_.height());
+  if (x0 >= x1 || y0 >= y1) return;
+  ops_.push_back(Op{static_cast<int>(x0), static_cast<int>(x1),
+                    static_cast<int>(y0), static_cast<int>(y1), c});
+}
+
+void SpanBatch::add_rect(int x, int y, int w, int h, Color c) {
+  if (w <= 0 || h <= 0) return;
+  push_op(x, y, static_cast<long long>(x) + w,
+          static_cast<long long>(y) + h, c);
+  if (ops_.size() >= kMaxOps) flush();
+}
+
+void SpanBatch::add_outline(int x, int y, int w, int h, Color c) {
+  if (w <= 0 || h <= 0) return;
+  const long long x1 = static_cast<long long>(x) + w;
+  const long long y1 = static_cast<long long>(y) + h;
+  // Same order as Framebuffer::draw_rect (top, bottom, left, right); for
+  // 1-pixel-high or -wide rects the edges coincide and blend repeatedly,
+  // exactly like the sequential hline/vline calls.
+  push_op(x, y, x1, y + 1LL, c);
+  push_op(x, y1 - 1, x1, y1, c);
+  push_op(x, y, x + 1LL, y1, c);
+  push_op(x1 - 1, y, x1, y1, c);
+  if (ops_.size() >= kMaxOps) flush();
+}
+
+void SpanBatch::flush() {
+  if (ops_.empty()) return;
+  const int height = fb_.height();
+  const int width = fb_.width();
+
+  // Counting-sort op indices by starting scanline; within a bucket they
+  // stay in queue (= paint) order.
+  bucket_at_.assign(static_cast<std::size_t>(height) + 1, 0);
+  for (const Op& op : ops_) {
+    ++bucket_at_[static_cast<std::size_t>(op.y0) + 1];
+  }
+  for (std::size_t i = 1; i < bucket_at_.size(); ++i) {
+    bucket_at_[i] += bucket_at_[i - 1];
+  }
+  cursor_.assign(bucket_at_.begin(), bucket_at_.end() - 1);
+  order_.resize(ops_.size());
+  for (std::uint32_t i = 0; i < ops_.size(); ++i) {
+    order_[cursor_[static_cast<std::size_t>(ops_[i].y0)]++] = i;
+  }
+
+  if (next_.size() < static_cast<std::size_t>(width) + 1) {
+    next_.resize(static_cast<std::size_t>(width) + 1);
+  }
+
+  active_.clear();
+  for (int y = 0; y < height; ++y) {
+    // Retire ops that ended; the survivors keep ascending index order.
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      if (ops_[active_[i]].y1 > y) active_[kept++] = active_[i];
+    }
+    active_.resize(kept);
+    // Admit ops starting here. Their indices are ascending but not
+    // necessarily larger than the survivors', so merge to restore paint
+    // order across the whole active set.
+    const std::size_t mid = active_.size();
+    for (std::uint32_t i = bucket_at_[static_cast<std::size_t>(y)];
+         i < bucket_at_[static_cast<std::size_t>(y) + 1]; ++i) {
+      active_.push_back(order_[i]);
+    }
+    if (active_.empty()) continue;
+    if (mid != 0 && mid != active_.size()) {
+      std::inplace_merge(active_.begin(),
+                         active_.begin() + static_cast<std::ptrdiff_t>(mid),
+                         active_.end());
+    }
+    flush_line(y, active_.data(), active_.size());
+  }
+  ops_.clear();
+}
+
+void SpanBatch::flush_line(int y, const std::uint32_t* idx, std::size_t n) {
+  const auto& k = kernels::active();
+  std::uint8_t* row = fb_.row(y);
+
+  if (n < kOcclusionThreshold) {
+    // Sparse row: paint forward exactly as the unbatched path would.
+    for (std::size_t i = 0; i < n; ++i) {
+      const Op& op = ops_[idx[i]];
+      std::uint8_t* p = row + static_cast<std::size_t>(op.x0) * 4;
+      const std::size_t npx = static_cast<std::size_t>(op.x1 - op.x0);
+      if (op.c.a == 255) {
+        k.fill_row(p, npx, op.c);
+      } else {
+        k.blend_row(p, npx, op.c);
+      }
+    }
+    return;
+  }
+
+  // Dense row: walk ops in reverse paint order, tracking the columns some
+  // later opaque op already owns with a "next unpainted column"
+  // union-find. An opaque op paints only its still-unowned columns and
+  // claims them — each pixel is filled exactly once, which is the
+  // overdraw elimination. A translucent op records its unowned spans
+  // instead: those are exactly the pixels the sequential path would
+  // blend *after* the last opaque fill below them, so replaying the
+  // recorded spans afterwards in ascending paint order reproduces the
+  // sequential bytes.
+  const int width = fb_.width();
+  for (int x = 0; x <= width; ++x) {
+    next_[static_cast<std::size_t>(x)] = x;
+  }
+  const auto find = [this](int x) {
+    int root = x;
+    while (next_[static_cast<std::size_t>(root)] != root) {
+      root = next_[static_cast<std::size_t>(root)];
+    }
+    while (next_[static_cast<std::size_t>(x)] != root) {
+      const int nx = next_[static_cast<std::size_t>(x)];
+      next_[static_cast<std::size_t>(x)] = root;
+      x = nx;
+    }
+    return root;
+  };
+  pending_.clear();
+  for (std::size_t i = n; i-- > 0;) {
+    const Op& op = ops_[idx[i]];
+    const bool opaque = op.c.a == 255;
+    int x = find(op.x0);
+    while (x < op.x1) {
+      int end = x + 1;
+      while (end < op.x1 && next_[static_cast<std::size_t>(end)] == end) {
+        ++end;
+      }
+      if (opaque) {
+        k.fill_row(row + static_cast<std::size_t>(x) * 4,
+                   static_cast<std::size_t>(end - x), op.c);
+        for (int j = x; j < end; ++j) {
+          next_[static_cast<std::size_t>(j)] = end;
+        }
+      } else {
+        pending_.push_back(PendingBlend{idx[i], x, end});
+      }
+      if (end >= op.x1) break;
+      x = find(end);
+    }
+  }
+  std::sort(pending_.begin(), pending_.end(),
+            [](const PendingBlend& a, const PendingBlend& b) {
+              return a.op != b.op ? a.op < b.op : a.x0 < b.x0;
+            });
+  for (const PendingBlend& pb : pending_) {
+    k.blend_row(row + static_cast<std::size_t>(pb.x0) * 4,
+                static_cast<std::size_t>(pb.x1 - pb.x0), ops_[pb.op].c);
+  }
+}
+
+}  // namespace jedule::render

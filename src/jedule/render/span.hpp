@@ -1,0 +1,71 @@
+#pragma once
+
+// Batched scanline span rasterizer (DESIGN.md §4e).
+//
+// RasterCanvas queues axis-aligned fills and outlines here instead of
+// painting them immediately; flush() buckets the queued primitives by
+// scanline, converts them to x-spans and resolves occlusion in paint
+// order, so each pixel is written approximately once no matter how deep
+// the overdraw — dense schedules repaint the same columns dozens of
+// times on the direct path. The resolved spans are painted with the SIMD
+// row kernels (kernels.hpp).
+//
+// The batch is an optimization, never a semantic change: flushing
+// produces exactly the bytes that painting the queued primitives one by
+// one through Framebuffer would, including the order-dependent blending
+// of translucent colors (test_render_span.cpp fuzzes this equivalence).
+
+#include <cstdint>
+#include <vector>
+
+#include "jedule/color/color.hpp"
+#include "jedule/render/framebuffer.hpp"
+
+namespace jedule::render {
+
+class SpanBatch {
+ public:
+  /// Queues into `fb`, which must outlive the batch.
+  explicit SpanBatch(Framebuffer& fb) : fb_(fb) {}
+
+  /// Queue the equivalent of Framebuffer::fill_rect(x, y, w, h, c).
+  void add_rect(int x, int y, int w, int h, Color c);
+
+  /// Queue the equivalent of Framebuffer::draw_rect(x, y, w, h, c): four
+  /// 1-pixel edges in draw_rect's order, so translucent outlines
+  /// double-blend their corners exactly like the sequential path.
+  void add_outline(int x, int y, int w, int h, Color c);
+
+  bool empty() const { return ops_.empty(); }
+
+  /// Paints every queued primitive and clears the queue.
+  void flush();
+
+ private:
+  struct Op {
+    int x0, x1;  // clipped, half-open [x0, x1)
+    int y0, y1;  // clipped, half-open [y0, y1)
+    Color c;
+  };
+  struct PendingBlend {
+    std::uint32_t op;
+    int x0, x1;
+  };
+
+  void push_op(long long x0, long long y0, long long x1, long long y1,
+               Color c);
+  void flush_line(int y, const std::uint32_t* idx, std::size_t n);
+
+  Framebuffer& fb_;
+  std::vector<Op> ops_;  // queue, in paint order
+
+  // flush() scratch, reused across flushes.
+  std::vector<std::uint32_t> bucket_at_;  // per row: offset into order_
+  std::vector<std::uint32_t> cursor_;
+  std::vector<std::uint32_t> order_;   // op indices bucketed by y0
+  std::vector<std::uint32_t> active_;  // ops covering the current row
+  std::vector<int> next_;              // next-unpainted-column union-find
+  std::vector<PendingBlend> pending_;
+};
+
+}  // namespace jedule::render

@@ -1,0 +1,22 @@
+#include "jedule/util/cpu.hpp"
+
+namespace jedule::util {
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures features = [] {
+    CpuFeatures f;
+#if defined(__x86_64__) || defined(_M_X64)
+    f.sse2 = true;
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_cpu_init();
+    f.avx2 = __builtin_cpu_supports("avx2") != 0;
+#endif
+#elif defined(__aarch64__)
+    f.neon = true;
+#endif
+    return f;
+  }();
+  return features;
+}
+
+}  // namespace jedule::util

@@ -1,0 +1,18 @@
+#pragma once
+
+// Runtime CPU feature detection for the SIMD raster kernels
+// (render/kernels.hpp). Detection runs once, on first use; the result is
+// immutable afterwards, so concurrent readers are safe.
+
+namespace jedule::util {
+
+struct CpuFeatures {
+  bool sse2 = false;  ///< x86-64 baseline; always set there.
+  bool avx2 = false;
+  bool neon = false;  ///< AArch64 baseline; always set there.
+};
+
+/// Features of the executing CPU.
+const CpuFeatures& cpu_features();
+
+}  // namespace jedule::util

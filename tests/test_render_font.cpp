@@ -121,5 +121,52 @@ TEST(DrawTextCentered, CentersHorizontally) {
   EXPECT_NEAR((min_x + max_x) / 2, 50, 2);
 }
 
+// Clipping at negative origins: the visible part must match the same text
+// drawn fully on-canvas, pixel for pixel, shifted by the offset.
+TEST(DrawTextCentered, ClipsAtNegativeOrigins) {
+  // A box hanging past the top-left corner centers the text at negative
+  // coordinates; only the overlap with the canvas may be painted.
+  Framebuffer clipped(30, 10);
+  draw_text_centered(clipped, -15, -6, 40, 18, "Wg", color::kBlack, 2);
+
+  // Reference: same call on a canvas large enough to hold everything,
+  // shifted so the geometry is identical but unclipped.
+  const int sx = 20;
+  const int sy = 12;
+  Framebuffer full(30 + sx, 10 + sy);
+  draw_text_centered(full, -15 + sx, -6 + sy, 40, 18, "Wg", color::kBlack, 2);
+
+  int painted = 0;
+  for (int y = 0; y < 10; ++y) {
+    for (int x = 0; x < 30; ++x) {
+      EXPECT_EQ(clipped.pixel(x, y), full.pixel(x + sx, y + sy))
+          << x << "," << y;
+      if (clipped.pixel(x, y) == color::kBlack) ++painted;
+    }
+  }
+  EXPECT_GT(painted, 0);  // the clip must not swallow the visible part
+}
+
+TEST(DrawText, FullyOffCanvasIsANoOp) {
+  Framebuffer fb(20, 8);
+  const Framebuffer before = fb;
+  draw_text(fb, -500, 2, "hello", color::kBlack, 1);
+  draw_text(fb, 2, -500, "hello", color::kBlack, 3);
+  EXPECT_TRUE(fb == before);
+}
+
+// The span cache must not conflate labels; different strings with shared
+// prefixes stay distinct, and repeated draws are stable.
+TEST(DrawText, RepeatedAndPrefixedLabelsRenderIndependently) {
+  Framebuffer a1(80, 10);
+  Framebuffer a2(80, 10);
+  Framebuffer b(80, 10);
+  draw_text(a1, 1, 1, "task", color::kBlack, 1);
+  draw_text(a2, 1, 1, "task", color::kBlack, 1);
+  draw_text(b, 1, 1, "tasks", color::kBlack, 1);
+  EXPECT_TRUE(a1 == a2);
+  EXPECT_FALSE(a1 == b);
+}
+
 }  // namespace
 }  // namespace jedule::render

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <climits>
+
 namespace jedule::render {
 namespace {
 
@@ -97,6 +99,72 @@ TEST(HatchRect, StaysInsideRectangle) {
     }
   }
   EXPECT_GT(black, 0);
+}
+
+// Regression: x + w / y + h used to overflow int for near-INT_MAX extents;
+// the clip now happens in 64-bit, so these fill to the canvas edge.
+TEST(FillRect, NearIntMaxExtentsClampInsteadOfOverflowing) {
+  Framebuffer fb(20, 10);
+  fb.fill_rect(5, 4, INT_MAX, INT_MAX, color::kBlack);
+  EXPECT_EQ(fb.pixel(5, 4), color::kBlack);
+  EXPECT_EQ(fb.pixel(19, 9), color::kBlack);
+  EXPECT_EQ(fb.pixel(4, 4), color::kWhite);
+  EXPECT_EQ(fb.pixel(5, 3), color::kWhite);
+
+  Framebuffer whole(20, 10);
+  whole.fill_rect(-10, -10, INT_MAX, INT_MAX, color::kBlack);
+  for (int y = 0; y < 10; ++y) {
+    for (int x = 0; x < 20; ++x) {
+      EXPECT_EQ(whole.pixel(x, y), color::kBlack) << x << "," << y;
+    }
+  }
+
+  // Entirely to the right of a canvas whose width the sum overflows past.
+  Framebuffer off(20, 10);
+  off.fill_rect(INT_MAX - 3, 0, INT_MAX, INT_MAX, color::kBlack);
+  EXPECT_EQ(off.pixel(19, 0), color::kWhite);
+}
+
+TEST(DrawRect, NearIntMaxExtentsDrawTheVisibleEdges) {
+  Framebuffer fb(20, 10);
+  fb.draw_rect(2, 3, INT_MAX, INT_MAX, color::kBlack);
+  // Far edges land off-canvas; the top and left edges clip to the canvas.
+  EXPECT_EQ(fb.pixel(2, 3), color::kBlack);
+  EXPECT_EQ(fb.pixel(19, 3), color::kBlack);  // top edge
+  EXPECT_EQ(fb.pixel(2, 9), color::kBlack);   // left edge
+  EXPECT_EQ(fb.pixel(3, 4), color::kWhite);   // interior untouched
+}
+
+// Off-canvas lines are rejected up front (they used to walk every
+// coordinate through bounds-checked set_pixel) and partially visible
+// lines clip to the same pixels as before.
+TEST(Lines, ClipOnceUpFront) {
+  Framebuffer fb(20, 10);
+  const Framebuffer before = fb;
+  fb.draw_hline(INT_MIN, INT_MAX, -1, color::kBlack);
+  fb.draw_hline(INT_MIN, INT_MAX, 10, color::kBlack);
+  fb.draw_vline(-1, INT_MIN, INT_MAX, color::kBlack);
+  fb.draw_vline(20, INT_MIN, INT_MAX, color::kBlack);
+  fb.draw_line(-100, -5, -3, -50, color::kBlack);
+  fb.draw_line(25, 0, 100, 9, color::kBlack);
+  EXPECT_TRUE(fb == before);
+
+  fb.draw_hline(-100, 100, 5, color::kBlack);
+  for (int x = 0; x < 20; ++x) EXPECT_EQ(fb.pixel(x, 5), color::kBlack);
+  fb.draw_vline(7, -100, 100, color::kBlack);
+  for (int y = 0; y < 10; ++y) EXPECT_EQ(fb.pixel(7, y), color::kBlack);
+}
+
+TEST(Lines, AxisAlignedDrawLineMatchesHlineVline) {
+  Framebuffer via_line(20, 10);
+  Framebuffer via_span(20, 10);
+  const Color veil{30, 60, 90, 140};  // translucent: blend count matters
+  via_line.draw_line(-5, 4, 30, 4, veil);
+  via_span.draw_hline(-5, 30, 4, veil);
+  EXPECT_TRUE(via_line == via_span);
+  via_line.draw_line(3, 100, 3, -2, veil);
+  via_span.draw_vline(3, 100, -2, veil);
+  EXPECT_TRUE(via_line == via_span);
 }
 
 TEST(Framebuffer, EqualityComparesPixels) {

@@ -1,0 +1,156 @@
+// Differential fuzz of the SIMD raster kernels: every variant the host can
+// run must be bit-exact with the scalar reference, and the scalar blend
+// must be bit-exact with color::blend_over — the two invariants that make
+// kernel dispatch invisible in output bytes (DESIGN.md §4e).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+#include "jedule/color/color.hpp"
+#include "jedule/render/kernels.hpp"
+#include "jedule/util/cpu.hpp"
+#include "jedule/util/rng.hpp"
+
+namespace jedule::render {
+namespace {
+
+using color::Color;
+
+std::vector<std::uint8_t> random_row(util::Rng& rng, std::size_t npx) {
+  std::vector<std::uint8_t> row(npx * 4);
+  for (auto& b : row) {
+    b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  return row;
+}
+
+Color random_color(util::Rng& rng, int alpha) {
+  return Color{static_cast<std::uint8_t>(rng.uniform_int(0, 255)),
+               static_cast<std::uint8_t>(rng.uniform_int(0, 255)),
+               static_cast<std::uint8_t>(rng.uniform_int(0, 255)),
+               static_cast<std::uint8_t>(alpha)};
+}
+
+TEST(RasterKernels, ScalarIsAlwaysAvailableAndFirst) {
+  const auto& list = kernels::available();
+  ASSERT_FALSE(list.empty());
+  EXPECT_EQ(list.front(), &kernels::scalar());
+  EXPECT_STREQ(kernels::scalar().name, "scalar");
+#if defined(__x86_64__)
+  EXPECT_TRUE(util::cpu_features().sse2);
+#endif
+#if defined(__aarch64__)
+  EXPECT_TRUE(util::cpu_features().neon);
+#endif
+}
+
+TEST(RasterKernels, FindAndOverride) {
+  EXPECT_EQ(kernels::find("scalar"), &kernels::scalar());
+  EXPECT_EQ(kernels::find("no-such-kernel"), nullptr);
+  kernels::override_active(&kernels::scalar());
+  EXPECT_EQ(&kernels::active(), &kernels::scalar());
+  kernels::override_active(nullptr);
+  if (const char* env = std::getenv("JEDULE_SIMD")) {
+    // The *_scalar_env CTest configuration pins dispatch to scalar.
+    if (std::string_view(env) == "scalar") {
+      EXPECT_EQ(&kernels::active(), &kernels::scalar());
+    }
+  } else {
+    EXPECT_EQ(&kernels::active(), kernels::available().back());
+  }
+}
+
+// The scalar blend is the reference for the SIMD variants, so it must
+// itself match blend_over exactly — for every alpha, including the 0 and
+// 255 ends the callers usually special-case.
+TEST(RasterKernels, ScalarBlendMatchesBlendOverForEveryAlpha) {
+  util::Rng rng(11);
+  for (int a = 0; a <= 255; ++a) {
+    const Color c = random_color(rng, a);
+    auto row = random_row(rng, 64);
+    const auto before = row;
+    kernels::scalar().blend_row(row.data(), 64, c);
+    for (std::size_t i = 0; i < 64; ++i) {
+      const Color dst{before[i * 4], before[i * 4 + 1], before[i * 4 + 2],
+                      before[i * 4 + 3]};
+      const Color want = color::blend_over(dst, c);
+      EXPECT_EQ(row[i * 4 + 0], want.r) << "a=" << a << " px=" << i;
+      EXPECT_EQ(row[i * 4 + 1], want.g);
+      EXPECT_EQ(row[i * 4 + 2], want.b);
+      EXPECT_EQ(row[i * 4 + 3], 255);
+    }
+  }
+}
+
+// Ragged widths 0..67 cross the 4-pixel SSE2 and 8-pixel AVX2/NEON lane
+// boundaries several times over, with tails of every phase.
+TEST(RasterKernels, FillRowVariantsMatchScalar) {
+  util::Rng rng(22);
+  for (const kernels::Kernels* k : kernels::available()) {
+    for (std::size_t npx = 0; npx <= 67; ++npx) {
+      const Color c = random_color(rng, 255);
+      auto expect = random_row(rng, npx + 8);
+      auto got = expect;
+      kernels::scalar().fill_row(expect.data() + 4, npx, c);
+      k->fill_row(got.data() + 4, npx, c);
+      EXPECT_EQ(got, expect) << k->name << " npx=" << npx;
+    }
+  }
+}
+
+TEST(RasterKernels, BlendRowVariantsMatchScalarForEveryAlpha) {
+  util::Rng rng(33);
+  for (const kernels::Kernels* k : kernels::available()) {
+    for (int a = 0; a <= 255; ++a) {
+      const std::size_t npx = static_cast<std::size_t>(rng.uniform_int(0, 67));
+      const Color c = random_color(rng, a);
+      auto expect = random_row(rng, npx + 8);
+      auto got = expect;
+      kernels::scalar().blend_row(expect.data() + 4, npx, c);
+      k->blend_row(got.data() + 4, npx, c);
+      EXPECT_EQ(got, expect) << k->name << " a=" << a << " npx=" << npx;
+    }
+  }
+}
+
+TEST(RasterKernels, CopyRowVariantsMatchScalar) {
+  util::Rng rng(44);
+  for (const kernels::Kernels* k : kernels::available()) {
+    for (std::size_t npx = 0; npx <= 67; ++npx) {
+      const auto src = random_row(rng, npx);
+      auto expect = random_row(rng, npx + 8);
+      auto got = expect;
+      kernels::scalar().copy_row(expect.data() + 4, src.data(), npx);
+      k->copy_row(got.data() + 4, src.data(), npx);
+      EXPECT_EQ(got, expect) << k->name << " npx=" << npx;
+    }
+  }
+}
+
+// Long rows exercise the unrolled main loops well past one vector width.
+TEST(RasterKernels, LongRowsMatchScalar) {
+  util::Rng rng(55);
+  const std::size_t npx = 1021;  // prime: every lane phase shows up
+  for (const kernels::Kernels* k : kernels::available()) {
+    for (int a : {1, 90, 254, 255}) {
+      const Color c = random_color(rng, a);
+      auto expect = random_row(rng, npx);
+      auto got = expect;
+      if (a == 255) {
+        kernels::scalar().fill_row(expect.data(), npx, c);
+        k->fill_row(got.data(), npx, c);
+      } else {
+        kernels::scalar().blend_row(expect.data(), npx, c);
+        k->blend_row(got.data(), npx, c);
+      }
+      EXPECT_EQ(got, expect) << k->name << " a=" << a;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace jedule::render

@@ -1,0 +1,198 @@
+// The span batch must be a pure optimization: flushing a queue of
+// fills/outlines produces exactly the bytes of painting them one by one
+// through Framebuffer, for any mix of opaque and translucent colors,
+// overdraw depth, clipping, and flush interleaving. On top of that, the
+// whole export pipeline must be byte-identical across kernel variants and
+// thread counts.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "jedule/model/builder.hpp"
+#include "jedule/render/export.hpp"
+#include "jedule/render/exporter.hpp"
+#include "jedule/render/framebuffer.hpp"
+#include "jedule/render/kernels.hpp"
+#include "jedule/render/span.hpp"
+#include "jedule/util/rng.hpp"
+#include "jedule/workload/thunder.hpp"
+#include "jedule/workload/trace_schedule.hpp"
+
+namespace jedule::render {
+namespace {
+
+using color::Color;
+
+Color random_color(util::Rng& rng, int alpha) {
+  return Color{static_cast<std::uint8_t>(rng.uniform_int(0, 255)),
+               static_cast<std::uint8_t>(rng.uniform_int(0, 255)),
+               static_cast<std::uint8_t>(rng.uniform_int(0, 255)),
+               static_cast<std::uint8_t>(alpha)};
+}
+
+// One random primitive applied to both the batch and the direct path.
+void random_op(util::Rng& rng, SpanBatch& batch, Framebuffer& direct) {
+  // Geometry hangs past every edge so clipping is exercised constantly.
+  const int x = static_cast<int>(rng.uniform_int(-20, 70));
+  const int y = static_cast<int>(rng.uniform_int(-20, 60));
+  const int w = static_cast<int>(rng.uniform_int(-2, 50));
+  const int h = static_cast<int>(rng.uniform_int(-2, 40));
+  const int kind = static_cast<int>(rng.uniform_int(0, 3));
+  // Bias toward opaque (the dominant real-world case) but keep plenty of
+  // translucent ops, including a == 0 no-ops.
+  const int a = kind == 0 ? 255 : static_cast<int>(rng.uniform_int(0, 255));
+  const Color c = random_color(rng, a);
+  if (kind == 3) {
+    batch.add_outline(x, y, w, h, c);
+    direct.draw_rect(x, y, w, h, c);
+  } else {
+    batch.add_rect(x, y, w, h, c);
+    direct.fill_rect(x, y, w, h, c);
+  }
+}
+
+TEST(SpanBatch, FuzzMatchesSequentialPainting) {
+  util::Rng rng(99);
+  for (int round = 0; round < 60; ++round) {
+    Framebuffer batched(64, 48);
+    Framebuffer direct(64, 48);
+    SpanBatch batch(batched);
+    const int ops = 1 + static_cast<int>(rng.uniform_int(0, 120));
+    for (int i = 0; i < ops; ++i) {
+      random_op(rng, batch, direct);
+      // Random intermediate flushes: any prefix is a valid sequence point.
+      if (rng.uniform_int(0, 20) == 0) batch.flush();
+    }
+    batch.flush();
+    ASSERT_EQ(batched.pixels(), direct.pixels()) << "round " << round;
+  }
+}
+
+// Force the dense-row occlusion path (>= 16 ops on one scanline) with
+// heavy overdraw of mixed opaque/translucent rects.
+TEST(SpanBatch, DenseOverdrawRowMatchesSequentialPainting) {
+  util::Rng rng(7);
+  Framebuffer batched(200, 8);
+  Framebuffer direct(200, 8);
+  SpanBatch batch(batched);
+  for (int i = 0; i < 120; ++i) {
+    const int x = static_cast<int>(rng.uniform_int(-10, 190));
+    const int w = 1 + static_cast<int>(rng.uniform_int(0, 60));
+    const int a = i % 3 == 0 ? static_cast<int>(rng.uniform_int(1, 254)) : 255;
+    const Color c = random_color(rng, a);
+    batch.add_rect(x, 0, w, 8, c);
+    direct.fill_rect(x, 0, w, 8, c);
+  }
+  batch.flush();
+  EXPECT_EQ(batched.pixels(), direct.pixels());
+}
+
+// Translucent outlines double-blend their corners on the sequential path
+// (hline + vline both touch them); the batch must reproduce that.
+TEST(SpanBatch, TranslucentOutlineCornersDoubleBlend) {
+  const Color outline{0, 0, 0, 90};
+  for (auto [w, h] : {std::pair<int, int>{10, 6}, {1, 6}, {10, 1}, {1, 1},
+                      {2, 2}}) {
+    Framebuffer batched(16, 12);
+    Framebuffer direct(16, 12);
+    SpanBatch batch(batched);
+    batch.add_outline(3, 2, w, h, outline);
+    batch.flush();
+    direct.draw_rect(3, 2, w, h, outline);
+    EXPECT_EQ(batched.pixels(), direct.pixels()) << w << "x" << h;
+  }
+}
+
+// An opaque rect painted over a translucent one (and vice versa) across
+// the occlusion threshold: the later op must win / blend exactly as the
+// sequential order dictates.
+TEST(SpanBatch, PaintOrderIsPreservedAcrossThresholds) {
+  for (int extra : {0, 30}) {  // 0 → forward path, 30 → occlusion path
+    Framebuffer batched(120, 4);
+    Framebuffer direct(120, 4);
+    SpanBatch batch(batched);
+    const Color red{200, 40, 40, 255};
+    const Color veil{20, 20, 220, 120};
+    batch.add_rect(10, 0, 60, 4, veil);
+    direct.fill_rect(10, 0, 60, 4, veil);
+    batch.add_rect(30, 0, 60, 4, red);
+    direct.fill_rect(30, 0, 60, 4, red);
+    batch.add_rect(50, 0, 60, 4, veil);
+    direct.fill_rect(50, 0, 60, 4, veil);
+    for (int i = 0; i < extra; ++i) {
+      batch.add_rect(i, 0, 2, 4, red);
+      direct.fill_rect(i, 0, 2, 4, red);
+    }
+    batch.flush();
+    EXPECT_EQ(batched.pixels(), direct.pixels()) << "extra=" << extra;
+  }
+}
+
+// --- exporter identity across kernels and thread counts -----------------
+
+model::Schedule fig3_schedule() {
+  return model::ScheduleBuilder()
+      .cluster(0, "cluster-0", 8)
+      .task("1", "computation", 0.0, 0.31)
+      .on(0, 0, 8)
+      .task("2", "transfer", 0.25, 0.50)
+      .on(0, 2, 4)
+      .build();
+}
+
+model::Schedule fig13_schedule() {
+  const auto trace = workload::generate_thunder_day();
+  return workload::trace_to_schedule(trace).schedule;
+}
+
+const char* const kFormats[] = {"png", "ppm", "svg", "pdf", "ascii"};
+
+// Every exporter must produce byte-identical output whichever kernel
+// variant paints and however many threads rasterize.
+TEST(SpanBatch, ExportersAreKernelAndThreadCountInvariant) {
+  struct Case {
+    model::Schedule schedule;
+    RenderOptions options;
+  };
+  std::vector<Case> cases;
+  {
+    Case fig3{fig3_schedule(), {}};
+    fig3.options.style.width = 640;
+    fig3.options.style.height = 400;
+    cases.push_back(std::move(fig3));
+    Case fig13{fig13_schedule(), {}};
+    fig13.options.style.width = 800;
+    fig13.options.style.height = 480;
+    fig13.options.style.show_labels = false;
+    fig13.options.style.show_composites = false;
+    cases.push_back(std::move(fig13));
+  }
+  for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+    auto& c = cases[ci];
+    for (const char* format : kFormats) {
+      std::string reference;
+      for (const kernels::Kernels* k : kernels::available()) {
+        kernels::override_active(k);
+        for (int threads : {1, 8}) {
+          c.options.threads = threads;
+          const std::string bytes =
+              render_to_bytes(c.schedule, c.options, format);
+          if (reference.empty()) {
+            reference = bytes;
+            ASSERT_FALSE(reference.empty());
+          } else {
+            EXPECT_EQ(bytes, reference)
+                << "case " << ci << " " << format << " kernel " << k->name
+                << " threads " << threads;
+          }
+        }
+      }
+      kernels::override_active(nullptr);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace jedule::render
