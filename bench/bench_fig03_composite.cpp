@@ -59,12 +59,13 @@ void report() {
   }
 
   // Render and verify the orange fill actually appears.
-  render::GanttStyle style;
-  style.width = 640;
-  style.height = 360;
-  const auto cmap = color::standard_colormap();
-  const auto fb = render::render_raster(schedule, cmap, style);
-  const auto layout = render::layout_gantt(schedule, cmap, style);
+  render::RenderOptions options;
+  options.style.width = 640;
+  options.style.height = 360;
+  options.threads = 1;
+  const auto fb = render::render_raster(schedule, options);
+  const auto layout =
+      render::layout_gantt(schedule, options.colormap, options.style);
   bool orange_seen = false;
   for (const auto& box : layout.boxes) {
     if (box.composite) {
@@ -91,13 +92,13 @@ BENCHMARK(BM_SynthesizeComposites)->Arg(100)->Arg(1000)->Arg(10000);
 
 void BM_RenderWithComposites(benchmark::State& state) {
   const auto schedule = random_overlapping(static_cast<int>(state.range(0)));
-  const auto cmap = color::standard_colormap();
-  render::GanttStyle style;
-  style.width = 1000;
-  style.height = 600;
-  style.show_labels = false;
+  render::RenderOptions options;
+  options.style.width = 1000;
+  options.style.height = 600;
+  options.style.show_labels = false;
+  options.threads = 1;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(render::render_raster(schedule, cmap, style));
+    benchmark::DoNotOptimize(render::render_raster(schedule, options));
   }
 }
 BENCHMARK(BM_RenderWithComposites)->Arg(1000)->Arg(5000);

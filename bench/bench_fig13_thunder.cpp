@@ -7,6 +7,7 @@
 #include "bench_report.hpp"
 #include "jedule/model/stats.hpp"
 #include "jedule/render/export.hpp"
+#include "jedule/render/exporter.hpp"
 #include "jedule/workload/thunder.hpp"
 #include "jedule/workload/trace_schedule.hpp"
 
@@ -57,16 +58,15 @@ void report() {
                highlighted >= 10 &&
                    highlighted < static_cast<int>(schedule.tasks().size()) / 4);
 
-  render::GanttStyle style;
-  style.width = 1280;
-  style.height = 720;
-  style.show_labels = false;
-  style.show_composites = false;
-  style.highlight_key = "user";
-  style.highlight_value = "6447";
-  const auto png = render::render_to_bytes(schedule,
-                                           color::standard_colormap(), style,
-                                           render::ImageFormat::kPng);
+  render::RenderOptions options;
+  options.style.width = 1280;
+  options.style.height = 720;
+  options.style.show_labels = false;
+  options.style.show_composites = false;
+  options.style.highlight_key = "user";
+  options.style.highlight_value = "6447";
+  options.threads = 1;
+  const auto png = render::render_to_bytes(schedule, options, "png");
   report_row("rendered PNG size", std::to_string(png.size()) + " bytes");
   report_check("bird's-eye render succeeds", png.size() > 10000);
   report_footer();
@@ -94,14 +94,14 @@ BENCHMARK(BM_PlaceTrace)->Unit(benchmark::kMillisecond);
 
 void BM_RenderThunderDay(benchmark::State& state) {
   const auto result = converted_day();
-  render::GanttStyle style;
-  style.width = 1280;
-  style.height = 720;
-  style.show_labels = false;
-  style.show_composites = false;
+  render::RenderOptions options;
+  options.style.width = 1280;
+  options.style.height = 720;
+  options.style.show_labels = false;
+  options.style.show_composites = false;
+  options.threads = 1;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(render::render_raster(
-        result.schedule, color::standard_colormap(), style));
+    benchmark::DoNotOptimize(render::render_raster(result.schedule, options));
   }
 }
 BENCHMARK(BM_RenderThunderDay)->Unit(benchmark::kMillisecond);

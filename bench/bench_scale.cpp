@@ -13,6 +13,8 @@
 #include <utility>
 
 #include "bench_report.hpp"
+#include "jedule/engine/render_service.hpp"
+#include "jedule/engine/store.hpp"
 #include "jedule/interactive/session.hpp"
 #include "jedule/io/jedule_xml.hpp"
 #include "jedule/model/builder.hpp"
@@ -941,6 +943,34 @@ void report() {
                  "skipped (no AVX2/NEON)");
     }
   }
+
+  // `jedule serve` artifact cache on the 250k-task schedule: the first
+  // request renders (miss), every identical repeat is served the same
+  // immutable byte buffer from the LRU artifact cache (hit).
+  {
+    engine::RenderService service;
+    const auto entry = engine::make_entry(schedule);
+    const auto options = bench_options(kBenchThreads);
+    watch.reset();
+    const auto cold = service.render(entry, options, "png");
+    const double cold_s = watch.seconds();
+    report_row("250k-task serve render, artifact-cache miss",
+               fmt(cold_s, 2) + " s");
+
+    const int kWarm = 100;
+    bool identical = true;
+    watch.reset();
+    for (int i = 0; i < kWarm; ++i) {
+      const auto warm = service.render(entry, options, "png");
+      identical = identical && warm.cache_hit && *warm.bytes == *cold.bytes;
+    }
+    const double warm_ms = watch.seconds() * 1000 / kWarm;
+    report_row("250k-task serve render, artifact-cache hit",
+               fmt(warm_ms, 3) + " ms/req (" +
+                   fmt(cold_s * 1000 / warm_ms, 0) + "x)");
+    report_check("warm serve renders are byte-identical cache hits",
+                 identical);
+  }
   report_footer();
 }
 
@@ -1215,6 +1245,47 @@ void BM_ExportPngCold(benchmark::State& state) {
   state.SetLabel(span ? "span raster" : "per-pixel raster");
 }
 BENCHMARK(BM_ExportPngCold)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+// `jedule serve` request cost at scale: cold = a fresh RenderService per
+// request (artifact-cache miss, the full layout + raster + encode), warm =
+// repeats against a pre-warmed service (hit, a lookup plus a buffer
+// handout). The gap between the two rows is what the artifact cache buys
+// a busy server.
+const engine::EntryPtr& serve_entry(int tasks) {
+  static std::map<int, engine::EntryPtr> cache;
+  auto it = cache.find(tasks);
+  if (it == cache.end()) {
+    it = cache.emplace(tasks, engine::make_entry(big_schedule(tasks))).first;
+  }
+  return it->second;
+}
+
+void BM_ServeRenderCold(benchmark::State& state) {
+  const auto& entry = serve_entry(static_cast<int>(state.range(0)));
+  const auto options = bench_options(kBenchThreads);
+  for (auto _ : state) {
+    engine::RenderService service;
+    benchmark::DoNotOptimize(service.render(entry, options, "png"));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetLabel("artifact-cache miss");
+}
+BENCHMARK(BM_ServeRenderCold)
+    ->Arg(200000)->Arg(1000000)->Unit(benchmark::kMillisecond);
+
+void BM_ServeRenderWarm(benchmark::State& state) {
+  const auto& entry = serve_entry(static_cast<int>(state.range(0)));
+  const auto options = bench_options(kBenchThreads);
+  engine::RenderService service;
+  (void)service.render(entry, options, "png");  // prime the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.render(entry, options, "png"));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetLabel("artifact-cache hit");
+}
+BENCHMARK(BM_ServeRenderWarm)
+    ->Arg(200000)->Arg(1000000)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "jedule/engine/options.hpp"
 #include "jedule/util/error.hpp"
 #include "jedule/util/strings.hpp"
 
@@ -60,6 +61,28 @@ std::vector<std::string> Args::unused(
     }
   }
   return out;
+}
+
+namespace {
+
+/// Adapts an Args to the shared option parser: a set boolean flag reads as
+/// the empty string, which engine::parse_bool treats as true.
+engine::OptionLookup lookup_of(const Args& args) {
+  return [&args](const std::string& name) { return args.value(name); };
+}
+
+}  // namespace
+
+render::GanttStyle style_from_args(const Args& args) {
+  return engine::style_from_options(lookup_of(args));
+}
+
+color::ColorMap colormap_from_args(const Args& args) {
+  return engine::colormap_from_options(lookup_of(args));
+}
+
+render::RenderOptions options_from_args(const Args& args) {
+  return engine::render_options_from(lookup_of(args));
 }
 
 }  // namespace jedule::cli

@@ -1,11 +1,19 @@
 #pragma once
 
-// Tiny declarative flag parser for the jedule CLI.
+// Tiny declarative flag parser for the jedule CLI, plus the adapters that
+// turn parsed flags into render options. The option *semantics* (names,
+// validation, error messages) live in engine/options.hpp, shared with
+// `jedule serve`'s HTTP query parameters — this header only maps an Args
+// onto that parser.
 
 #include <map>
 #include <optional>
 #include <string>
 #include <vector>
+
+#include "jedule/color/colormap.hpp"
+#include "jedule/render/gantt.hpp"
+#include "jedule/render/options.hpp"
 
 namespace jedule::cli {
 
@@ -32,5 +40,18 @@ class Args {
   std::vector<std::string> positional_;
   std::map<std::string, std::string> flags_;  // value "" = boolean
 };
+
+// -- flag -> render-option adapters (engine::options does the parsing) --
+
+/// GanttStyle from --width/--height/--aligned/--window/--clusters/--types/
+/// --highlight/--lod/--no-composites/--no-labels/--hatch-composites.
+render::GanttStyle style_from_args(const Args& args);
+
+/// ColorMap from --cmap/--grayscale.
+color::ColorMap colormap_from_args(const Args& args);
+
+/// The single options object handed CLI -> gantt -> exporter (style +
+/// colormap + --threads).
+render::RenderOptions options_from_args(const Args& args);
 
 }  // namespace jedule::cli

@@ -6,17 +6,23 @@
 //   jedule info <schedule>                             summary + statistics
 //   jedule convert <schedule> --out out.{xml,csv}      format conversion
 //   jedule formats                                     registered parsers/exporters
+//   jedule serve [--port N]                            long-lived HTTP render daemon
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <filesystem>
 #include <iostream>
 #include <map>
 #include <optional>
 #include <sstream>
+#include <thread>
 
 #include "jedule/cli/args.hpp"
 #include "jedule/cli/demos.hpp"
 #include "jedule/color/colormap.hpp"
+#include "jedule/engine/options.hpp"
 #include "jedule/interactive/session.hpp"
 #include "jedule/io/colormap_xml.hpp"
 #include "jedule/io/csv.hpp"
@@ -28,6 +34,7 @@
 #include "jedule/render/ascii.hpp"
 #include "jedule/render/exporter.hpp"
 #include "jedule/render/profile.hpp"
+#include "jedule/serve/server.hpp"
 #include "jedule/util/error.hpp"
 #include "jedule/util/log.hpp"
 #include "jedule/util/parallel.hpp"
@@ -58,6 +65,9 @@ std::string usage() {
       "                                  (no NAME lists the catalog)\n"
       "  profile <schedule> --out FILE   utilization-over-time chart\n"
       "                                  (.png .ppm .svg)\n"
+      "  serve [--port N]                HTTP daemon: POST /schedules,\n"
+      "                                  GET /schedules/{id}/render.{ext},\n"
+      "                                  GET /schedules/{id}/tile, GET /stats\n"
       "\n"
       "render options:\n"
       "  --out FILE          output image (required)\n"
@@ -95,6 +105,17 @@ std::string usage() {
       "  --frame-stats       render a frame after every command and print\n"
       "                      its timing and tile-cache counters\n"
       "\n"
+      "serve options:\n"
+      "  --host ADDR         listen address (default 127.0.0.1)\n"
+      "  --port N            TCP port (default 8080; 0 picks a free port)\n"
+      "  --threads N         request worker threads (default 4)\n"
+      "  --queue N           admission queue depth; a full queue answers\n"
+      "                      429 + Retry-After (default 32)\n"
+      "  --deadline-ms N     per-request socket read/write deadline\n"
+      "                      (default 30000)\n"
+      "  --store-entries N   schedule-store LRU capacity (default 64)\n"
+      "  --cache-mb N        rendered-artifact cache budget (default 128)\n"
+      "\n"
       "output formats:\n";
   for (const auto* exporter : registry.exporters()) {
     char line[160];
@@ -105,76 +126,6 @@ std::string usage() {
     u += line;
   }
   return u;
-}
-
-render::GanttStyle style_from_args(const Args& args) {
-  render::GanttStyle style;
-  if (auto w = args.value("width")) {
-    auto v = util::parse_int(*w);
-    if (!v || *v <= 0) throw ArgumentError("bad --width");
-    style.width = static_cast<int>(*v);
-  }
-  if (auto h = args.value("height")) {
-    auto v = util::parse_int(*h);
-    if (!v || *v <= 0) throw ArgumentError("bad --height");
-    style.height = static_cast<int>(*v);
-  }
-  if (args.has("aligned")) style.view_mode = model::ViewMode::kAligned;
-  style.show_composites = !args.has("no-composites");
-  style.show_labels = !args.has("no-labels");
-  style.hatch_composites = args.has("hatch-composites");
-  if (auto window = args.value("window")) {
-    const auto parts = util::split(*window, ':');
-    if (parts.size() != 2) throw ArgumentError("--window expects T0:T1");
-    auto t0 = util::parse_double(parts[0]);
-    auto t1 = util::parse_double(parts[1]);
-    if (!t0 || !t1 || *t1 <= *t0) throw ArgumentError("bad --window range");
-    style.time_window = model::TimeRange{*t0, *t1};
-  }
-  if (auto clusters = args.value("clusters")) {
-    for (const auto& part : util::split(*clusters, ',')) {
-      auto id = util::parse_int(part);
-      if (!id) throw ArgumentError("bad cluster id '" + part + "'");
-      style.cluster_filter.push_back(static_cast<int>(*id));
-    }
-  }
-  if (auto types = args.value("types")) {
-    style.type_filter = util::split(*types, ',');
-  }
-  if (auto highlight = args.value("highlight")) {
-    const auto eq = highlight->find('=');
-    if (eq == std::string::npos) throw ArgumentError("--highlight expects K=V");
-    style.highlight_key = highlight->substr(0, eq);
-    style.highlight_value = highlight->substr(eq + 1);
-  }
-  if (auto lod = args.value("lod")) {
-    if (*lod == "auto") style.lod = render::LodMode::kAuto;
-    else if (*lod == "off") style.lod = render::LodMode::kOff;
-    else if (*lod == "force") style.lod = render::LodMode::kForce;
-    else throw ArgumentError("--lod must be auto, off or force");
-  }
-  return style;
-}
-
-color::ColorMap colormap_from_args(const Args& args) {
-  color::ColorMap map = args.value("cmap")
-                            ? io::load_colormap_xml(*args.value("cmap"))
-                            : color::standard_colormap();
-  if (args.has("grayscale")) map = map.grayscale();
-  return map;
-}
-
-/// The single options object handed CLI -> gantt -> exporter.
-render::RenderOptions options_from_args(const Args& args) {
-  render::RenderOptions options;
-  options.style = style_from_args(args);
-  options.colormap = colormap_from_args(args);
-  if (auto t = args.value("threads")) {
-    auto v = util::parse_int(*t);
-    if (!v || *v <= 0) throw ArgumentError("bad --threads");
-    options.threads = static_cast<int>(*v);
-  }
-  return options;
 }
 
 int cmd_render(const Args& args) {
@@ -436,6 +387,67 @@ int cmd_demo(const Args& args) {
   return 0;
 }
 
+std::atomic<int> g_serve_stop{0};
+
+void serve_signal_handler(int) { g_serve_stop.store(1); }
+
+int cmd_serve(const Args& args) {
+  serve::Server::Options opt;
+  opt.host = args.value_or("host", "127.0.0.1");
+  opt.port = 8080;
+  if (const auto port = args.value("port")) {
+    const auto v = util::parse_int(*port);
+    if (!v || *v < 0 || *v > 65535) {
+      throw ArgumentError("port must be in [0, 65535] (got '" + *port + "')");
+    }
+    opt.port = static_cast<int>(*v);
+  }
+  if (const auto t = args.value("threads")) {
+    opt.threads = engine::parse_positive_int(*t, "threads");
+  }
+  if (const auto q = args.value("queue")) {
+    opt.queue_capacity =
+        static_cast<std::size_t>(engine::parse_positive_int(*q, "queue"));
+  }
+  if (const auto d = args.value("deadline-ms")) {
+    opt.request_timeout_ms = engine::parse_positive_int(*d, "deadline-ms");
+  }
+  if (const auto e = args.value("store-entries")) {
+    opt.store.max_entries =
+        static_cast<std::size_t>(engine::parse_positive_int(*e, "store-entries"));
+  }
+  if (const auto mb = args.value("cache-mb")) {
+    opt.render.artifact_bytes =
+        static_cast<std::size_t>(engine::parse_positive_int(*mb, "cache-mb"))
+        << 20;
+  }
+
+  serve::Server server(opt);
+  server.start();
+  std::cout << "jedule serve: listening on " << opt.host << ":"
+            << server.port() << " (" << opt.threads << " worker(s), queue "
+            << opt.queue_capacity << ")\n"
+            << std::flush;
+
+  // SIGTERM/SIGINT only raise a flag; the actual drain happens below on
+  // the main thread, where it is safe to join threads.
+  g_serve_stop.store(0);
+  struct sigaction sa = {};
+  sa.sa_handler = serve_signal_handler;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+
+  while (g_serve_stop.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::cout << "jedule serve: draining...\n" << std::flush;
+  server.stop();
+  const auto counters = server.counters();
+  std::cout << "jedule serve: stopped (served " << counters.served
+            << ", shed " << counters.rejected_429 << ")\n";
+  return 0;
+}
+
 int cmd_formats() {
   std::cout << "input parsers:\n";
   for (const auto& name : io::ParserRegistry::instance().parser_names()) {
@@ -458,13 +470,17 @@ int run(int argc, char** argv) {
   const std::vector<std::string> value_flags = {
       "out",      "cmap",  "width",     "height", "window",
       "clusters", "types", "highlight", "format", "script",
-      "threads",  "out-dir", "ext",     "image-format", "lod"};
+      "threads",  "out-dir", "ext",     "image-format", "lod",
+      "host",     "port",  "queue",     "deadline-ms",  "store-entries",
+      "cache-mb"};
   const std::vector<std::string> known_flags = {
       "out",       "cmap",          "width",      "height",
       "window",    "clusters",      "types",      "highlight",  "format",
       "script",    "grayscale",     "aligned",    "no-composites",
       "no-labels", "hatch-composites", "verbose", "threads",
-      "out-dir",   "ext",           "image-format", "lod", "frame-stats"};
+      "out-dir",   "ext",           "image-format", "lod", "frame-stats",
+      "host",      "port",          "queue",      "deadline-ms",
+      "store-entries", "cache-mb"};
 
   Args args(argc - 1, argv + 1, value_flags);
   if (args.has("verbose")) util::set_log_level(util::LogLevel::kInfo);
@@ -484,6 +500,7 @@ int run(int argc, char** argv) {
   if (command == "formats") return cmd_formats();
   if (command == "demo") return cmd_demo(args);
   if (command == "profile") return cmd_profile(args);
+  if (command == "serve") return cmd_serve(args);
   std::cerr << "unknown command '" << command << "'\n\n" << usage();
   return 2;
 }

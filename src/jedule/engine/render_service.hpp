@@ -1,0 +1,121 @@
+#pragma once
+
+// engine::RenderService — the render side of the engine layer: one object
+// through which every frontend (CLI, interactive loop, `jedule serve`)
+// turns a ScheduleEntry into bytes, so expensive results are shared.
+//
+// Two caches stack:
+//  * an LRU rendered-artifact cache keyed by (content hash x exporter
+//    format x RenderOptions digest). Concurrent requests for the same key
+//    are collapsed single-flight: the first renders, the rest block and
+//    are served the same immutable byte buffer (counted as hits), so two
+//    clients asking for one PNG cost one render and get byte-identical
+//    bodies.
+//  * the shared render::TileCache (PR 3) behind the windowed tile path,
+//    so walking adjacent tiles at one zoom level re-rasterizes only newly
+//    exposed strips, exactly like an interactive pan.
+//
+// Artifacts are handed out as shared_ptr<const string>: eviction drops the
+// cache's reference while responses still being written keep theirs.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "jedule/engine/store.hpp"
+#include "jedule/render/frame_profile.hpp"
+#include "jedule/render/options.hpp"
+#include "jedule/render/tile_cache.hpp"
+
+namespace jedule::engine {
+
+class RenderService {
+ public:
+  struct Options {
+    std::size_t artifact_entries = 128;       // LRU ceiling, count
+    std::size_t artifact_bytes = 128u << 20;  // LRU ceiling, payload bytes
+    int threads = 0;  // default per-render workers (<=0: resolve_threads)
+    render::TileCache::Options tile;  // the shared interactive tile cache
+  };
+
+  struct Artifact {
+    std::shared_ptr<const std::string> bytes;
+    std::string media_type;
+    bool cache_hit = false;
+  };
+
+  struct Stats {
+    std::uint64_t artifact_hits = 0;
+    std::uint64_t artifact_misses = 0;
+    std::uint64_t artifact_evictions = 0;
+    std::size_t artifact_entries = 0;
+    std::size_t artifact_bytes = 0;
+    /// Counters of the shared tile cache (render::frame_profile).
+    render::profile::CacheStats tile;
+  };
+
+  RenderService() : RenderService(Options{}) {}
+  explicit RenderService(Options opt);
+
+  /// Renders `entry` with the exporter named `format` ("png", "svg", ...),
+  /// through the artifact cache. options.task_index is ignored (the
+  /// entry's own index is used); options.threads <= 0 falls back to the
+  /// service default. Throws ArgumentError for an unknown format.
+  Artifact render(const EntryPtr& entry, render::RenderOptions options,
+                  const std::string& format);
+
+  /// Windowed viewport tile as PNG: zoom z splits the schedule's time
+  /// range into 2^z equal slices and `x` picks one; `y` >= 0 restricts the
+  /// view to the y-th cluster (in schedule order), y < 0 shows all.
+  /// Cold tiles rasterize through the shared TileCache; repeats are
+  /// artifact-cache hits. Throws ArgumentError on out-of-range x/y/zoom.
+  Artifact render_tile(const EntryPtr& entry, long long x, long long y,
+                       int zoom, render::RenderOptions options);
+
+  Stats stats() const;
+
+  /// FNV-1a digest over everything in `options` that can change rendered
+  /// bytes (style fields and the full colormap; threads excluded — output
+  /// is thread-count-invariant by design).
+  static std::uint64_t options_digest(const render::RenderOptions& options);
+
+  /// Media type for a registered exporter format ("png" -> "image/png");
+  /// "application/octet-stream" for unknown names.
+  static std::string media_type_for(const std::string& format);
+
+ private:
+  struct Key {
+    std::uint64_t content = 0;
+    std::uint64_t request = 0;  // format x options digest
+    auto operator<=>(const Key&) const = default;
+  };
+  struct Slot {
+    std::shared_ptr<const std::string> bytes;  // null while rendering
+    std::string media_type;
+    std::list<Key>::iterator lru;
+  };
+
+  /// Cache lookup + single-flight render of `make()` under `key`.
+  Artifact cached(const Key& key, const std::string& media_type,
+                  const std::function<std::string()>& make);
+  void evict_over_budget_locked();
+
+  Options opt_;
+
+  mutable std::mutex mu_;
+  std::condition_variable slot_ready_;
+  std::map<Key, Slot> cache_;
+  std::list<Key> lru_;  // front = most recently used; pending slots absent
+  std::size_t cached_bytes_ = 0;
+  Stats stats_;
+
+  mutable std::mutex tile_mu_;  // the TileCache itself is single-threaded
+  render::TileCache tiles_;
+};
+
+}  // namespace jedule::engine

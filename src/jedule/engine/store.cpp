@@ -1,0 +1,125 @@
+#include "jedule/engine/store.hpp"
+
+#include <utility>
+
+#include "jedule/io/file.hpp"
+#include "jedule/io/registry.hpp"
+#include "jedule/util/error.hpp"
+
+namespace jedule::engine {
+
+namespace {
+
+model::Schedule validated(model::Schedule schedule) {
+  schedule.validate();
+  return schedule;
+}
+
+std::string hex_id(std::uint64_t hash) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string id(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    id[static_cast<std::size_t>(i)] = kDigits[hash & 0xf];
+    hash >>= 4;
+  }
+  return id;
+}
+
+}  // namespace
+
+ScheduleEntry::ScheduleEntry(model::Schedule schedule_in,
+                             std::string source_in)
+    : source(std::move(source_in)), schedule(validated(std::move(schedule_in))),
+      index(schedule) {
+  content_hash = index.content_hash();
+  id = hex_id(content_hash);
+  if (const auto range = index.time_range()) full_range = *range;
+}
+
+EntryPtr make_entry(model::Schedule schedule, std::string source) {
+  return std::make_shared<const ScheduleEntry>(std::move(schedule),
+                                               std::move(source));
+}
+
+EntryPtr parse_entry(std::string content, const std::string& name_hint,
+                     const std::string& format) {
+  return make_entry(io::parse_schedule(std::move(content), name_hint, format),
+                    name_hint);
+}
+
+EntryPtr load_entry(const std::string& path, const std::string& format) {
+  return make_entry(io::load_schedule(path, format), path);
+}
+
+ScheduleStore::PutResult ScheduleStore::put(EntryPtr entry) {
+  JED_ASSERT(entry != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.puts;
+  if (auto it = entries_.find(entry->id); it != entries_.end()) {
+    ++stats_.dedup_hits;
+    lru_.splice(lru_.begin(), lru_, it->second.lru);
+    return {it->second.entry, true};
+  }
+  lru_.push_front(entry->id);
+  tasks_ += entry->schedule.tasks().size();
+  entries_.emplace(entry->id, Slot{entry, lru_.begin()});
+  evict_over_budget_locked();
+  return {std::move(entry), false};
+}
+
+EntryPtr ScheduleStore::find(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.lookups;
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    ++stats_.lookup_misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru);
+  return it->second.entry;
+}
+
+bool ScheduleStore::erase(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  tasks_ -= it->second.entry->schedule.tasks().size();
+  lru_.erase(it->second.lru);
+  entries_.erase(it);
+  return true;
+}
+
+std::vector<EntryPtr> ScheduleStore::list() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<EntryPtr> out;
+  out.reserve(entries_.size());
+  for (const auto& id : lru_) out.push_back(entries_.at(id).entry);
+  return out;
+}
+
+ScheduleStore::Stats ScheduleStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.entries = entries_.size();
+  s.tasks = tasks_;
+  return s;
+}
+
+void ScheduleStore::evict_over_budget_locked() {
+  auto over = [this] {
+    return (opt_.max_entries != 0 && entries_.size() > opt_.max_entries) ||
+           (opt_.max_tasks != 0 && tasks_ > opt_.max_tasks);
+  };
+  // Never evict the most recent entry: the one just put() must survive its
+  // own admission even when it alone exceeds the task budget.
+  while (entries_.size() > 1 && over()) {
+    const std::string victim = lru_.back();
+    auto it = entries_.find(victim);
+    tasks_ -= it->second.entry->schedule.tasks().size();
+    lru_.pop_back();
+    entries_.erase(it);
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace jedule::engine

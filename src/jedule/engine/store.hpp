@@ -1,0 +1,123 @@
+#pragma once
+
+// jedule::engine — the frontend-neutral core the CLI, the interactive view
+// loop and `jedule serve` all sit on (DESIGN.md §4f). This header owns the
+// schedule side: an ingested schedule becomes one immutable, shareable
+// ScheduleEntry (validated schedule + spatial index + content hash), and
+// ScheduleStore keeps entries addressable by content hash so identical
+// uploads deduplicate and every frontend views the same object.
+//
+// Ownership model: entries are immutable after construction and handed out
+// as shared_ptr<const ScheduleEntry>. The store's LRU eviction only drops
+// its own reference — a Session viewing the entry or a render in flight
+// keeps it alive, so eviction can never invalidate an ongoing request.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "jedule/model/schedule.hpp"
+#include "jedule/model/task_index.hpp"
+
+namespace jedule::engine {
+
+/// One ingested schedule: validated once, indexed once, hashed once.
+/// Everything downstream (layout culling, tile caching, artifact caching,
+/// dedup) keys off `content_hash`; `id` is its 16-digit hex spelling and
+/// doubles as the HTTP resource name.
+struct ScheduleEntry {
+  ScheduleEntry(model::Schedule schedule_in, std::string source_in);
+
+  std::string id;
+  std::uint64_t content_hash = 0;
+  std::string source;  // originating path / upload name hint (may be empty)
+  model::Schedule schedule;
+  model::TaskIndex index;
+  model::TimeRange full_range{0, 1};  // {0, 1} for an empty schedule
+};
+
+using EntryPtr = std::shared_ptr<const ScheduleEntry>;
+
+/// Wraps an in-memory schedule: validates, builds the index, hashes.
+/// Throws ValidationError on an invalid schedule.
+EntryPtr make_entry(model::Schedule schedule, std::string source = "");
+
+/// Parses in-memory trace bytes (gzip-sniffed, io::parse_schedule) into an
+/// entry — the `jedule serve` upload path.
+EntryPtr parse_entry(std::string content, const std::string& name_hint = "",
+                     const std::string& format = "");
+
+/// Loads a schedule file into an entry — the CLI / Session path.
+EntryPtr load_entry(const std::string& path, const std::string& format = "");
+
+/// Content-hash-addressed in-memory schedule store. put() deduplicates by
+/// hash (re-uploading a trace is a cheap no-op returning the existing
+/// entry); capacity overruns evict least-recently-used entries. All
+/// methods are thread-safe.
+class ScheduleStore {
+ public:
+  struct Options {
+    /// Entry-count ceiling; 0 disables the limit.
+    std::size_t max_entries = 64;
+    /// Total-task ceiling across entries (the store's real memory driver);
+    /// 0 disables the limit. A single over-budget entry is still admitted
+    /// (the alternative — refusing it — would make the limit a correctness
+    /// knob instead of a memory knob).
+    std::size_t max_tasks = 8000000;
+  };
+
+  struct PutResult {
+    EntryPtr entry;           // the stored entry (the existing one on dedup)
+    bool deduplicated = false;
+  };
+
+  struct Stats {
+    std::size_t entries = 0;
+    std::size_t tasks = 0;
+    std::uint64_t puts = 0;
+    std::uint64_t dedup_hits = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t lookups = 0;
+    std::uint64_t lookup_misses = 0;
+  };
+
+  ScheduleStore() = default;
+  explicit ScheduleStore(Options opt) : opt_(opt) {}
+
+  /// Admits `entry`, deduplicating against its content hash, then evicts
+  /// LRU entries until the store is back under its limits.
+  PutResult put(EntryPtr entry);
+
+  /// Entry by id (hex content hash), or nullptr; a hit refreshes LRU.
+  EntryPtr find(const std::string& id) const;
+
+  /// Removes the entry; returns whether it existed.
+  bool erase(const std::string& id);
+
+  /// Every stored entry, most recently used first.
+  std::vector<EntryPtr> list() const;
+
+  Stats stats() const;
+
+ private:
+  void evict_over_budget_locked();
+
+  Options opt_;
+  mutable std::mutex mu_;
+  // Keyed by entry id; the list orders ids most-recently-used first.
+  mutable std::list<std::string> lru_;
+  struct Slot {
+    EntryPtr entry;
+    std::list<std::string>::iterator lru;
+  };
+  mutable std::map<std::string, Slot> entries_;
+  mutable Stats stats_;
+  std::size_t tasks_ = 0;
+};
+
+}  // namespace jedule::engine

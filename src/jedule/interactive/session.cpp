@@ -2,239 +2,31 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
 
+#include "jedule/engine/options.hpp"
+#include "jedule/engine/store.hpp"
 #include "jedule/io/colormap_xml.hpp"
-#include "jedule/io/registry.hpp"
 #include "jedule/model/stats.hpp"
 #include "jedule/render/ascii.hpp"
 #include "jedule/render/exporter.hpp"
 #include "jedule/util/error.hpp"
-#include "jedule/util/parallel.hpp"
 #include "jedule/util/strings.hpp"
 
 namespace jedule::interactive {
 
-using model::TimeRange;
-
-namespace {
-
-render::TileCache::Options cache_options() {
-  render::TileCache::Options opt;
-  opt.threads = util::resolve_threads(0);
-  return opt;
-}
-
-}  // namespace
-
 Session::Session(model::Schedule schedule, color::ColorMap colormap,
                  render::GanttStyle style)
-    : schedule_(std::move(schedule)),
-      colormap_(colormap),
-      original_colormap_(std::move(colormap)),
-      style_(std::move(style)),
-      cache_(cache_options()) {
-  on_schedule_loaded();
-}
+    : state_(engine::make_entry(std::move(schedule)), std::move(colormap),
+             std::move(style)) {}
 
 Session::Session(const std::string& path, color::ColorMap colormap,
                  render::GanttStyle style)
-    : colormap_(colormap),
-      original_colormap_(std::move(colormap)),
-      style_(std::move(style)),
-      path_(path),
-      cache_(cache_options()) {
-  schedule_ = io::load_schedule(path_);
-  on_schedule_loaded();
-}
+    : state_(engine::load_entry(path), std::move(colormap), std::move(style)),
+      path_(path) {}
 
-void Session::on_schedule_loaded() {
-  // Validate once up front; every layout/frame below then runs with
-  // hints.assume_validated and skips the O(n) re-check.
-  schedule_.validate();
-  index_.reset();
-  auto range = schedule_.time_range();
-  full_range_ = range ? *range : TimeRange{0, 1};
-  cache_.invalidate();
-  invalidate();
-}
-
-void Session::ensure_index() {
-  if (!index_) {
-    index_ = std::make_shared<const model::TaskIndex>(schedule_);
-  }
-}
-
-const model::TaskIndex& Session::index() {
-  ensure_index();
-  return *index_;
-}
-
-const render::GanttLayout& Session::layout() {
-  if (!layout_) {
-    ensure_index();
-    render::LayoutHints hints;
-    hints.index = index_.get();
-    hints.assume_validated = true;
-    hints.interactive = true;
-    layout_ = render::layout_gantt(schedule_, colormap_, style_,
-                                   /*threads=*/1, hints);
-  }
-  return *layout_;
-}
-
-TimeRange Session::current_window() const {
-  if (style_.time_window) return *style_.time_window;
-  return full_range_;
-}
-
-void Session::set_window(double t0, double t1) {
-  if (!std::isfinite(t0) || !std::isfinite(t1)) {
-    throw ArgumentError("window bounds must be finite");
-  }
-  if (t1 < t0) std::swap(t0, t1);
-
-  // Length clamp: never below ~1e-12 of the schedule span (zero or
-  // denormal zoom spans would collapse the pixel mapping to NaN/inf) and
-  // never above 16x of it (runaway zoom-out).
-  const double span = full_range_.length() > 0 ? full_range_.length() : 1.0;
-  const double min_len = span * 1e-12;
-  const double max_len = span * 16.0;
-  double len = t1 - t0;
-  if (!(len >= min_len)) {
-    const double c = 0.5 * (t0 + t1);
-    t0 = c - min_len / 2;
-    t1 = c + min_len / 2;
-    if (!(t1 > t0)) {  // c so large that c +/- min_len/2 rounds back to c
-      t1 = std::nextafter(t0, std::numeric_limits<double>::max());
-    }
-  } else if (len > max_len) {
-    const double c = 0.5 * (t0 + t1);
-    t0 = c - max_len / 2;
-    t1 = c + max_len / 2;
-  }
-
-  // Position clamp: the window must touch [begin, end] of the schedule
-  // (panning past the ends slides along the boundary instead of showing
-  // arbitrary empty space).
-  if (t0 > full_range_.end) {
-    const double d = t0 - full_range_.end;
-    t0 -= d;
-    t1 -= d;
-  } else if (t1 < full_range_.begin) {
-    const double d = full_range_.begin - t1;
-    t0 += d;
-    t1 += d;
-  }
-
-  style_.time_window = TimeRange{t0, t1};
-  invalidate();
-}
-
-void Session::zoom(double factor, double center_frac) {
-  if (!(factor > 0)) throw ArgumentError("zoom factor must be positive");
-  if (!std::isfinite(center_frac)) center_frac = 0.5;
-  center_frac = std::clamp(center_frac, 0.0, 1.0);
-  const TimeRange window = current_window();
-  const double center = window.begin + window.length() * center_frac;
-  const double span = full_range_.length() > 0 ? full_range_.length() : 1.0;
-  const double new_len =
-      std::clamp(window.length() / factor, span * 1e-12, span * 16.0);
-  set_window(center - new_len * center_frac,
-             center + new_len * (1.0 - center_frac));
-}
-
-void Session::zoom_to_pixels(double x0, double x1) {
-  if (!std::isfinite(x0) || !std::isfinite(x1)) {
-    throw ArgumentError("zoom rectangle coordinates must be finite");
-  }
-  if (x1 < x0) std::swap(x0, x1);
-  const auto& lay = layout();
-  if (lay.panels.empty()) return;
-  // Rectangle zoom uses the time axis of the first panel; in aligned mode
-  // all panels agree, in scaled mode this matches zooming "in" that panel.
-  const auto& panel = lay.panels.front();
-  auto time_of_x = [&](double x) {
-    const double frac = std::clamp((x - panel.x) / panel.w, 0.0, 1.0);
-    return panel.time_range.begin + frac * panel.time_range.length();
-  };
-  // A degenerate selection (both pixels in one column, or off the panel on
-  // the same side) clamps to a minimal span in set_window.
-  set_window(time_of_x(x0), time_of_x(x1));
-}
-
-void Session::zoom_to_time(double t0, double t1) { set_window(t0, t1); }
-
-void Session::pan(double dt) {
-  if (!std::isfinite(dt)) throw ArgumentError("pan offset must be finite");
-  const TimeRange window = current_window();
-  // An astronomically large dt can overflow begin+dt to infinity; clamp
-  // the target into the finite range and let set_window slide it back to
-  // the schedule bounds.
-  constexpr double kLim = 1e300;
-  set_window(std::clamp(window.begin + dt, -kLim, kLim),
-             std::clamp(window.end + dt, -kLim, kLim));
-}
-
-void Session::reset_view() {
-  style_.time_window.reset();
-  style_.cluster_filter.clear();
-  invalidate();
-}
-
-void Session::select_clusters(std::vector<int> cluster_ids) {
-  for (int id : cluster_ids) {
-    if (!schedule_.has_cluster(id)) {
-      throw ArgumentError("unknown cluster id " + std::to_string(id));
-    }
-  }
-  style_.cluster_filter = std::move(cluster_ids);
-  invalidate();
-}
-
-void Session::select_all_clusters() {
-  style_.cluster_filter.clear();
-  invalidate();
-}
-
-void Session::set_view_mode(model::ViewMode mode) {
-  style_.view_mode = mode;
-  invalidate();
-}
-
-void Session::set_colormap(color::ColorMap colormap) {
-  original_colormap_ = std::move(colormap);
-  colormap_ = grayscale_ ? original_colormap_.grayscale() : original_colormap_;
-  ++colormap_epoch_;
-  invalidate();
-}
-
-void Session::set_grayscale(bool on) {
-  grayscale_ = on;
-  colormap_ = on ? original_colormap_.grayscale() : original_colormap_;
-  ++colormap_epoch_;
-  invalidate();
-}
-
-void Session::set_lod(render::LodMode mode) {
-  style_.lod = mode;
-  invalidate();
-}
-
-const render::Framebuffer& Session::frame() {
-  ensure_index();
-  render::TileCache::Request req;
-  req.schedule = &schedule_;
-  req.colormap = &colormap_;
-  req.style = style_;
-  req.style.time_window = current_window();
-  req.index = index_.get();
-  req.colormap_epoch = colormap_epoch_;
-  req.validated = true;
-  frame_ = cache_.render_frame(req);
-  frame_log_.record(cache_.last_frame());
-  return *frame_;
-}
+Session::Session(engine::EntryPtr entry, color::ColorMap colormap,
+                 render::GanttStyle style)
+    : state_(std::move(entry), std::move(colormap), std::move(style)) {}
 
 std::string Session::describe(const model::Task& t) const {
   std::string out = "task " + t.id() + ": type=" + t.type() +
@@ -258,7 +50,7 @@ std::string Session::describe(const model::Task& t) const {
 }
 
 std::string Session::inspect(double x, double y) {
-  const auto& lay = layout();
+  const auto& lay = state_.layout();
   const std::string miss = "no task at (" + util::format_fixed(x, 0) + ", " +
                            util::format_fixed(y, 0) + ")";
   if (!std::isfinite(x) || !std::isfinite(y)) return miss;
@@ -284,23 +76,23 @@ std::string Session::inspect(double x, double y) {
     panel = render::panel_at(lay, x - 1.0, y);
   }
   if (panel == nullptr) return miss;
-  ensure_index();
 
   auto time_of_x = [&](double px) {
     return panel->time_range.begin +
            (px - panel->x) / panel->w * panel->time_range.length();
   };
-  const auto type_selected = [this](const model::Task& t) {
-    return style_.type_filter.empty() ||
-           std::find(style_.type_filter.begin(), style_.type_filter.end(),
-                     t.type()) != style_.type_filter.end();
+  const auto& type_filter = state_.style().type_filter;
+  const auto type_selected = [&type_filter](const model::Task& t) {
+    return type_filter.empty() ||
+           std::find(type_filter.begin(), type_filter.end(), t.type()) !=
+               type_filter.end();
   };
 
   long long best = -1;
-  index_->query(
+  state_.index().query(
       panel->cluster_id, time_of_x(x - 1.0), time_of_x(x),
       [&](const model::TaskIndex::Entry& e) {
-        const model::Task& t = schedule_.tasks()[e.task];
+        const model::Task& t = schedule().tasks()[e.task];
         if (!type_selected(t)) return;
         // Replicate the layout's clipping and box arithmetic exactly so
         // the answer matches what hit_test on a full layout would return.
@@ -318,14 +110,14 @@ std::string Session::inspect(double x, double y) {
         }
       });
   if (best < 0) return miss;
-  return describe(schedule_.tasks()[static_cast<std::size_t>(best)]);
+  return describe(schedule().tasks()[static_cast<std::size_t>(best)]);
 }
 
 std::string Session::info() const {
-  const auto stats = model::compute_stats(schedule_);
-  std::string out = std::to_string(schedule_.clusters().size()) +
+  const auto stats = model::compute_stats(schedule());
+  std::string out = std::to_string(schedule().clusters().size()) +
                     " cluster(s), " + std::to_string(stats.task_count) +
-                    " task(s), " + std::to_string(schedule_.total_hosts()) +
+                    " task(s), " + std::to_string(schedule().total_hosts()) +
                     " host(s), makespan=" +
                     util::format_fixed(stats.makespan, 3) + ", utilization=" +
                     util::format_fixed(stats.utilization * 100.0, 1) + "%";
@@ -336,17 +128,15 @@ void Session::reread() {
   if (path_.empty()) {
     throw Error("reread: session is not bound to a file");
   }
-  schedule_ = io::load_schedule(path_);
-  on_schedule_loaded();
+  state_.reset_entry(engine::load_entry(path_));
 }
 
 void Session::snapshot(const std::string& path) {
   render::RenderOptions options;
-  options.style = style_;
-  options.colormap = colormap_;
-  ensure_index();
-  options.task_index = index_.get();
-  render::export_schedule(schedule_, options, path);
+  options.style = state_.style();
+  options.colormap = state_.colormap();
+  options.task_index = &state_.index();
+  render::export_schedule(schedule(), options, path);
 }
 
 std::string Session::execute(const std::string& command) {
@@ -366,7 +156,7 @@ std::string Session::execute(const std::string& command) {
     return *v;
   };
   auto window_echo = [&]() {
-    const auto w = current_window();
+    const auto w = state_.current_window();
     return "window [" + util::format_fixed(w.begin, 3) + ", " +
            util::format_fixed(w.end, 3) + "]";
   };
@@ -403,12 +193,7 @@ std::string Session::execute(const std::string& command) {
       select_all_clusters();
       return "showing all clusters";
     }
-    std::vector<int> ids;
-    for (const auto& part : util::split(words[1], ',')) {
-      auto v = util::parse_int(part);
-      if (!v) throw ArgumentError("bad cluster id '" + part + "'");
-      ids.push_back(static_cast<int>(*v));
-    }
+    std::vector<int> ids = engine::parse_cluster_ids(words[1]);
     const std::size_t count = ids.size();
     select_clusters(std::move(ids));
     return "showing " + std::to_string(count) + " cluster(s)";
@@ -418,14 +203,13 @@ std::string Session::execute(const std::string& command) {
     // type", Sec. II.B).
     need_args(1);
     if (words[1] == "all") {
-      style_.type_filter.clear();
-      invalidate();
+      state_.set_type_filter({});
       return "showing all task types";
     }
-    style_.type_filter = util::split(words[1], ',');
-    invalidate();
-    return "showing " + std::to_string(style_.type_filter.size()) +
-           " task type(s)";
+    auto types = util::split(words[1], ',');
+    const std::size_t count = types.size();
+    state_.set_type_filter(std::move(types));
+    return "showing " + std::to_string(count) + " task type(s)";
   }
   if (op == "mode") {
     need_args(1);
@@ -453,10 +237,7 @@ std::string Session::execute(const std::string& command) {
   }
   if (op == "lod") {
     need_args(1);
-    if (words[1] == "auto") set_lod(render::LodMode::kAuto);
-    else if (words[1] == "off") set_lod(render::LodMode::kOff);
-    else if (words[1] == "force") set_lod(render::LodMode::kForce);
-    else throw ArgumentError("lod must be 'auto', 'off' or 'force'");
+    set_lod(engine::parse_lod_mode(words[1]));
     return "lod " + words[1];
   }
   if (op == "inspect" || op == "click") {
@@ -466,11 +247,11 @@ std::string Session::execute(const std::string& command) {
   if (op == "frame") {
     need_args(0);
     frame();
-    return frame_log_.last().summary();
+    return frame_log().last().summary();
   }
   if (op == "stats") {
     need_args(0);
-    return frame_log_.summary();
+    return frame_log().summary();
   }
   if (op == "info") {
     need_args(0);
@@ -480,12 +261,13 @@ std::string Session::execute(const std::string& command) {
     // In-terminal view of the current zoom/selection (the stand-in for the
     // Swing window when no display is available).
     need_args(0);
+    const auto& style = state_.style();
     render::AsciiOptions ao;
-    ao.time_window = style_.time_window;
-    ao.cluster_filter = style_.cluster_filter;
-    ao.type_filter = style_.type_filter;
-    ao.view_mode = style_.view_mode;
-    return render::render_ascii(schedule_, ao);
+    ao.time_window = style.time_window;
+    ao.cluster_filter = style.cluster_filter;
+    ao.type_filter = style.type_filter;
+    ao.view_mode = style.view_mode;
+    return render::render_ascii(schedule(), ao);
   }
   if (op == "reread") {
     need_args(0);

@@ -5,29 +5,28 @@
 // The Swing GUI of the original maps input events to a small set of view
 // operations: select clusters, zoom (wheel / rectangle selection), pan
 // (drag), inspect a task (click), re-read the schedule file, and export a
-// snapshot. This class implements those operations against the shared
-// layout engine; the `view` subcommand of the CLI drives it from a script
-// or stdin, and the test suite drives it directly (see DESIGN.md §2 for why
-// the event loop itself is substituted).
+// snapshot. Since the engine refactor (DESIGN.md §4f) the view state
+// itself — window, selection, colormap, layout, tile cache — lives in
+// engine::SessionState as a view over a shared engine::ScheduleEntry;
+// Session is the script/REPL frontend: it binds the state to a file (for
+// reread), resolves pixel queries to task descriptions, and interprets the
+// `view` subcommand's command language. The test suite drives it directly
+// (see DESIGN.md §2 for why the event loop itself is substituted).
 //
-// Interactive frames are O(visible): the session shares one model::TaskIndex
-// with the layout engine (viewport culling, point-query inspect) and renders
-// through a render::TileCache, so a pan re-rasterizes only the newly exposed
-// strip. View operations clamp degenerate input (zero/denormal zoom spans,
-// pans past the schedule bounds) instead of producing NaN geometry.
+// Interactive frames are O(visible): the entry's model::TaskIndex feeds
+// viewport culling and point-query inspect, and frames render through a
+// render::TileCache, so a pan re-rasterizes only the newly exposed strip.
 
-#include <cstdint>
-#include <memory>
-#include <optional>
 #include <string>
+#include <vector>
 
 #include "jedule/color/colormap.hpp"
+#include "jedule/engine/session_state.hpp"
 #include "jedule/model/schedule.hpp"
 #include "jedule/model/task_index.hpp"
 #include "jedule/render/frame_profile.hpp"
 #include "jedule/render/framebuffer.hpp"
 #include "jedule/render/gantt.hpp"
-#include "jedule/render/tile_cache.hpp"
 
 namespace jedule::interactive {
 
@@ -42,55 +41,71 @@ class Session {
   Session(const std::string& path, color::ColorMap colormap,
           render::GanttStyle style = {});
 
-  const model::Schedule& schedule() const { return schedule_; }
-  const render::GanttStyle& style() const { return style_; }
+  /// Session viewing an already-ingested store entry (the serve/engine
+  /// path: many sessions over one schedule, no copies).
+  Session(engine::EntryPtr entry, color::ColorMap colormap,
+          render::GanttStyle style = {});
+
+  const model::Schedule& schedule() const { return state_.schedule(); }
+  const render::GanttStyle& style() const { return state_.style(); }
 
   /// Current layout (recomputed lazily after every view change).
-  const render::GanttLayout& layout();
+  const render::GanttLayout& layout() { return state_.layout(); }
 
-  /// The shared spatial index (built lazily, rebuilt on reread).
-  const model::TaskIndex& index();
+  /// The shared spatial index (owned by the underlying ScheduleEntry).
+  const model::TaskIndex& index() { return state_.index(); }
 
-  // -- view operations ------------------------------------------------
+  /// The underlying engine view state.
+  engine::SessionState& state() { return state_; }
+
+  // -- view operations (forwarded to engine::SessionState) -------------
 
   /// Wheel zoom: shrink (factor > 1) or grow (factor < 1) the time window
   /// by `factor`, keeping the time at `center_frac` (0..1 across the panel
   /// width) fixed. Throws ArgumentError on factor <= 0 or NaN; the
   /// resulting span is clamped to sane bounds otherwise.
-  void zoom(double factor, double center_frac = 0.5);
+  void zoom(double factor, double center_frac = 0.5) {
+    state_.zoom(factor, center_frac);
+  }
 
   /// Rectangle-selection zoom: window = the time span between two pixel
   /// x-coordinates. Pixels outside panels clamp to the panel edges;
   /// reversed or empty selections clamp to a minimal span (never throw).
-  void zoom_to_pixels(double x0, double x1);
+  void zoom_to_pixels(double x0, double x1) { state_.zoom_to_pixels(x0, x1); }
 
   /// Explicit window in schedule time units. Reversed bounds swap, empty
   /// windows expand to a minimal span; non-finite bounds throw.
-  void zoom_to_time(double t0, double t1);
+  void zoom_to_time(double t0, double t1) { state_.zoom_to_time(t0, t1); }
 
   /// Drag: shift the current window by `dt` time units (positive = later).
   /// Clamped so the window always touches the schedule's time range.
-  void pan(double dt);
+  void pan(double dt) { state_.pan(dt); }
 
   /// Drop zoom and cluster selection.
-  void reset_view();
+  void reset_view() { state_.reset_view(); }
 
-  void select_clusters(std::vector<int> cluster_ids);
-  void select_all_clusters();
+  void select_clusters(std::vector<int> cluster_ids) {
+    state_.select_clusters(std::move(cluster_ids));
+  }
+  void select_all_clusters() { state_.select_all_clusters(); }
 
-  void set_view_mode(model::ViewMode mode);
-  void set_colormap(color::ColorMap colormap);
-  void set_grayscale(bool on);
-  void set_lod(render::LodMode mode);
+  void set_view_mode(model::ViewMode mode) { state_.set_view_mode(mode); }
+  void set_colormap(color::ColorMap colormap) {
+    state_.set_colormap(std::move(colormap));
+  }
+  void set_grayscale(bool on) { state_.set_grayscale(on); }
+  void set_lod(render::LodMode mode) { state_.set_lod(mode); }
 
   // -- frames -----------------------------------------------------------
 
   /// Renders the current view through the tile cache and returns the
   /// frame; a pan after a rendered frame re-rasterizes only the exposed
   /// strip. Per-frame timings land in frame_log().
-  const render::Framebuffer& frame();
+  const render::Framebuffer& frame() { return state_.frame(); }
 
-  const render::profile::FrameLog& frame_log() const { return frame_log_; }
+  const render::profile::FrameLog& frame_log() const {
+    return state_.frame_log();
+  }
 
   // -- queries ---------------------------------------------------------
 
@@ -122,28 +137,10 @@ class Session {
   std::string execute(const std::string& command);
 
  private:
-  void invalidate() { layout_.reset(); }
-  void ensure_index();
-  void on_schedule_loaded();
-  /// Clamps (length, then position) and installs a time window.
-  void set_window(double t0, double t1);
-  model::TimeRange current_window() const;
   std::string describe(const model::Task& t) const;
 
-  model::Schedule schedule_;
-  color::ColorMap colormap_;
-  color::ColorMap original_colormap_;
-  bool grayscale_ = false;
-  render::GanttStyle style_;
+  engine::SessionState state_;
   std::string path_;  // empty when in-memory
-  std::optional<render::GanttLayout> layout_;
-
-  std::shared_ptr<const model::TaskIndex> index_;
-  model::TimeRange full_range_{0, 1};
-  render::TileCache cache_;
-  std::optional<render::Framebuffer> frame_;
-  render::profile::FrameLog frame_log_;
-  std::uint64_t colormap_epoch_ = 0;
 };
 
 }  // namespace jedule::interactive

@@ -91,10 +91,14 @@ std::vector<std::string> ParserRegistry::parser_names() const {
   return names;
 }
 
-model::Schedule load_schedule(const std::string& path,
-                              const std::string& format) {
-  std::string content = read_file(path);
-  std::string sniff_path = path;
+std::string ParserRegistry::supported_summary() const {
+  return util::join(parser_names(), ", ");
+}
+
+model::Schedule parse_schedule(std::string content,
+                               const std::string& name_hint,
+                               const std::string& format) {
+  std::string sniff_path = name_hint;
   // Gzip container (e.g. schedule.jed.gz): detected by the magic bytes, not
   // the suffix, so piped/renamed files work too. The ".gz" is stripped
   // before sniffing so the inner format is chosen from the inner name.
@@ -111,15 +115,26 @@ model::Schedule load_schedule(const std::string& path,
   if (!format.empty()) {
     parser = registry.find(format);
     if (parser == nullptr) {
-      throw ParseError("no parser registered for format '" + format + "'");
+      throw ParseError("no parser registered for format '" + format +
+                       "' (supported formats: " +
+                       registry.supported_summary() + ")");
     }
   } else {
     parser = registry.sniff(sniff_path, content.substr(0, 512));
     if (parser == nullptr) {
-      throw ParseError("no registered parser recognizes '" + path + "'");
+      const std::string what =
+          name_hint.empty() ? "the input" : "'" + name_hint + "'";
+      throw ParseError("no registered parser recognizes " + what +
+                       " (supported formats: " + registry.supported_summary() +
+                       "; pick one explicitly with --format or ?format=)");
     }
   }
   return parser->parse(content);
+}
+
+model::Schedule load_schedule(const std::string& path,
+                              const std::string& format) {
+  return parse_schedule(read_file(path), path, format);
 }
 
 }  // namespace jedule::io

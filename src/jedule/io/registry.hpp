@@ -52,14 +52,29 @@ class ParserRegistry {
 
   std::vector<std::string> parser_names() const;
 
+  /// Comma-separated list of every registered format name, for error
+  /// messages ("jedule-xml, csv, swf").
+  std::string supported_summary() const;
+
  private:
   std::vector<std::unique_ptr<ScheduleParser>> parsers_;
 };
 
 /// Loads `path` using the registry. If `format` is nonempty it selects the
 /// parser by name; otherwise the format is sniffed. Throws ParseError when
-/// no parser accepts the file.
+/// no parser accepts the file; the error names the offending path and the
+/// registered formats.
 model::Schedule load_schedule(const std::string& path,
                               const std::string& format = "");
+
+/// Parses in-memory trace bytes exactly like load_schedule parses a file:
+/// transparent gzip (detected by the RFC 1952 magic), an explicit `format`
+/// override, else sniffing with `name_hint` standing in for the file name
+/// (empty is fine — content sniffing still runs). This is the ingest entry
+/// point of `jedule serve`, where the bytes arrive in a request body and
+/// never touch the filesystem.
+model::Schedule parse_schedule(std::string content,
+                               const std::string& name_hint = "",
+                               const std::string& format = "");
 
 }  // namespace jedule::io

@@ -2,11 +2,9 @@
 
 #include <algorithm>
 
-#include "jedule/render/exporter.hpp"
+#include "jedule/render/gantt.hpp"
 #include "jedule/render/raster_canvas.hpp"
-#include "jedule/util/error.hpp"
 #include "jedule/util/parallel.hpp"
-#include "jedule/util/strings.hpp"
 
 namespace jedule::render {
 
@@ -32,55 +30,6 @@ Framebuffer render_raster(const model::Schedule& schedule,
     fb.blit_rows(band, y0);
   });
   return fb;
-}
-
-ImageFormat format_for_path(const std::string& path) {
-  const std::string lower = util::to_lower(path);
-  if (util::ends_with(lower, ".png")) return ImageFormat::kPng;
-  if (util::ends_with(lower, ".ppm")) return ImageFormat::kPpm;
-  if (util::ends_with(lower, ".svg")) return ImageFormat::kSvg;
-  if (util::ends_with(lower, ".pdf")) return ImageFormat::kPdf;
-  throw ArgumentError("unknown image extension on '" + path +
-                      "' (use .png, .ppm, .svg or .pdf)");
-}
-
-namespace {
-
-RenderOptions legacy_options(const color::ColorMap& colormap,
-                             const GanttStyle& style) {
-  RenderOptions options;
-  options.style = style;
-  options.colormap = colormap;
-  options.threads = 1;  // the pre-registry API was single-threaded
-  return options;
-}
-
-}  // namespace
-
-Framebuffer render_raster(const model::Schedule& schedule,
-                          const color::ColorMap& colormap,
-                          const GanttStyle& style) {
-  return render_raster(schedule, legacy_options(colormap, style));
-}
-
-std::string render_to_bytes(const model::Schedule& schedule,
-                            const color::ColorMap& colormap,
-                            const GanttStyle& style, ImageFormat format) {
-  const char* name = nullptr;
-  switch (format) {
-    case ImageFormat::kPng: name = "png"; break;
-    case ImageFormat::kPpm: name = "ppm"; break;
-    case ImageFormat::kSvg: name = "svg"; break;
-    case ImageFormat::kPdf: name = "pdf"; break;
-  }
-  if (name == nullptr) throw ArgumentError("unhandled image format");
-  return render_to_bytes(schedule, legacy_options(colormap, style), name);
-}
-
-void export_schedule(const model::Schedule& schedule,
-                     const color::ColorMap& colormap, const GanttStyle& style,
-                     const std::string& path) {
-  export_schedule(schedule, legacy_options(colormap, style), path);
 }
 
 }  // namespace jedule::render

@@ -1,18 +1,13 @@
 #pragma once
 
-// Raster rendering entry point plus the legacy one-call export API (paper
-// Sec. II.D.2). Format dispatch lives in exporter.hpp these days — every
-// format is an Exporter registered with the ExporterRegistry — and the
-// free functions below survive only as thin deprecated wrappers over that
-// registry. New code should build a RenderOptions and call the registry
-// API (or render_raster(schedule, options) for direct framebuffer access).
+// Raster rendering entry point (paper Sec. II.D.2). Format dispatch lives
+// in exporter.hpp — every output format is an Exporter registered with the
+// ExporterRegistry; build a RenderOptions and call render_to_bytes /
+// export_schedule from there, or render_raster below for direct
+// framebuffer access.
 
-#include <string>
-
-#include "jedule/color/colormap.hpp"
 #include "jedule/model/schedule.hpp"
 #include "jedule/render/framebuffer.hpp"
-#include "jedule/render/gantt.hpp"
 #include "jedule/render/options.hpp"
 
 namespace jedule::render {
@@ -24,31 +19,5 @@ namespace jedule::render {
 /// single-thread path paints the whole image directly).
 Framebuffer render_raster(const model::Schedule& schedule,
                           const RenderOptions& options);
-
-enum class ImageFormat { kPng, kPpm, kSvg, kPdf };
-
-/// Format for `path` from its extension (matched case-insensitively, so
-/// ".PNG" and ".Svg" work); throws ArgumentError if unknown.
-/// Deprecated: prefer ExporterRegistry::find_for_path, which also sees
-/// user-registered formats.
-ImageFormat format_for_path(const std::string& path);
-
-/// Deprecated wrapper: single-threaded render_raster with loose
-/// colormap/style arguments. Prefer render_raster(schedule, options).
-Framebuffer render_raster(const model::Schedule& schedule,
-                          const color::ColorMap& colormap,
-                          const GanttStyle& style);
-
-/// Deprecated wrapper: renders via the registered exporter for `format`.
-/// Prefer render_to_bytes(schedule, options, name) from exporter.hpp.
-std::string render_to_bytes(const model::Schedule& schedule,
-                            const color::ColorMap& colormap,
-                            const GanttStyle& style, ImageFormat format);
-
-/// Deprecated wrapper: renders and writes `path` (format from the
-/// extension). Prefer export_schedule(schedule, options, path).
-void export_schedule(const model::Schedule& schedule,
-                     const color::ColorMap& colormap, const GanttStyle& style,
-                     const std::string& path);
 
 }  // namespace jedule::render

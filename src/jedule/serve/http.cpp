@@ -1,0 +1,271 @@
+#include "jedule/serve/http.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include "jedule/util/error.hpp"
+
+namespace jedule::serve {
+
+namespace {
+
+constexpr std::size_t kMaxHeadBytes = 64 * 1024;
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
+std::optional<std::string> HttpRequest::query_value(
+    const std::string& key) const {
+  auto it = query.find(key);
+  if (it == query.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string url_decode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '+') {
+      out.push_back(' ');
+    } else if (c == '%' && i + 2 < s.size()) {
+      const int hi = hex_digit(s[i + 1]);
+      const int lo = hex_digit(s[i + 2]);
+      if (hi < 0 || lo < 0) {
+        throw HttpError{400, "malformed percent-escape in request target"};
+      }
+      out.push_back(static_cast<char>(hi * 16 + lo));
+      i += 2;
+    } else if (c == '%') {
+      throw HttpError{400, "truncated percent-escape in request target"};
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::map<std::string, std::string> parse_query(std::string_view s) {
+  std::map<std::string, std::string> out;
+  while (!s.empty()) {
+    const std::size_t amp = s.find('&');
+    std::string_view pair = s.substr(0, amp);
+    s = amp == std::string_view::npos ? std::string_view{} : s.substr(amp + 1);
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      out[url_decode(pair)] = "";
+    } else {
+      out[url_decode(pair.substr(0, eq))] = url_decode(pair.substr(eq + 1));
+    }
+  }
+  return out;
+}
+
+HttpRequest parse_request_head(std::string_view head) {
+  HttpRequest req;
+
+  const std::size_t line_end = head.find("\r\n");
+  std::string_view request_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+  std::string_view rest = line_end == std::string_view::npos
+                              ? std::string_view{}
+                              : head.substr(line_end + 2);
+
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    throw HttpError{400, "malformed request line"};
+  }
+  req.method = std::string(request_line.substr(0, sp1));
+  req.target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  req.version = std::string(trim(request_line.substr(sp2 + 1)));
+  if (req.method.empty() || req.target.empty() || req.target[0] != '/') {
+    throw HttpError{400, "malformed request line"};
+  }
+  if (req.version != "HTTP/1.1" && req.version != "HTTP/1.0") {
+    throw HttpError{505, "unsupported HTTP version"};
+  }
+
+  const std::size_t qmark = req.target.find('?');
+  if (qmark == std::string::npos) {
+    req.path = url_decode(req.target);
+  } else {
+    req.path = url_decode(std::string_view(req.target).substr(0, qmark));
+    req.query = parse_query(std::string_view(req.target).substr(qmark + 1));
+  }
+
+  while (!rest.empty()) {
+    const std::size_t eol = rest.find("\r\n");
+    std::string_view line =
+        eol == std::string_view::npos ? rest : rest.substr(0, eol);
+    rest = eol == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(eol + 2);
+    if (line.empty()) break;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      throw HttpError{400, "malformed header line"};
+    }
+    std::string name = to_lower(trim(line.substr(0, colon)));
+    req.headers[name] = std::string(trim(line.substr(colon + 1)));
+  }
+  return req;
+}
+
+const char* reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 415: return "Unsupported Media Type";
+    case 429: return "Too Many Requests";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    case 505: return "HTTP Version Not Supported";
+    default: return "Unknown";
+  }
+}
+
+std::string serialize_response(const HttpResponse& response) {
+  std::string out;
+  out.reserve(response.body.size() + 256);
+  out += "HTTP/1.1 ";
+  out += std::to_string(response.status);
+  out += ' ';
+  out += reason_phrase(response.status);
+  out += "\r\n";
+  if (!response.media_type.empty()) {
+    out += "Content-Type: ";
+    out += response.media_type;
+    out += "\r\n";
+  }
+  out += "Content-Length: ";
+  out += std::to_string(response.body.size());
+  out += "\r\n";
+  for (const auto& [name, value] : response.headers) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+HttpRequest read_request(int fd, std::size_t max_body) {
+  std::string buffer;
+  std::size_t head_end = std::string::npos;
+  char chunk[4096];
+
+  // Read until the blank line that ends the head.
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw HttpError{408, "timed out reading request"};
+      }
+      throw IoError(std::string("recv failed: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      if (buffer.empty()) throw IoError("peer closed connection");
+      throw HttpError{400, "connection closed mid-request"};
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    head_end = buffer.find("\r\n\r\n");
+    if (head_end != std::string::npos) break;
+    if (buffer.size() > kMaxHeadBytes) {
+      throw HttpError{400, "request head exceeds 64 KiB"};
+    }
+  }
+
+  HttpRequest req = parse_request_head(
+      std::string_view(buffer).substr(0, head_end + 2));
+
+  std::size_t body_len = 0;
+  if (auto it = req.headers.find("content-length"); it != req.headers.end()) {
+    const std::string& v = it->second;
+    if (v.empty() ||
+        v.find_first_not_of("0123456789") != std::string::npos ||
+        v.size() > 12) {
+      throw HttpError{400, "malformed Content-Length"};
+    }
+    body_len = static_cast<std::size_t>(std::stoull(v));
+  } else if (req.headers.count("transfer-encoding") != 0) {
+    throw HttpError{400, "chunked request bodies are not supported"};
+  }
+  if (body_len > max_body) {
+    throw HttpError{413, "request body exceeds " + std::to_string(max_body) +
+                             " bytes"};
+  }
+
+  req.body = buffer.substr(head_end + 4);
+  if (req.body.size() > body_len) {
+    throw HttpError{400, "request body longer than Content-Length"};
+  }
+  while (req.body.size() < body_len) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        throw HttpError{408, "timed out reading request body"};
+      }
+      throw IoError(std::string("recv failed: ") + std::strerror(errno));
+    }
+    if (n == 0) throw HttpError{400, "connection closed mid-body"};
+    req.body.append(chunk, static_cast<std::size_t>(n));
+    if (req.body.size() > body_len) {
+      throw HttpError{400, "request body longer than Content-Length"};
+    }
+  }
+  return req;
+}
+
+bool write_all(int fd, std::string_view bytes) {
+  while (!bytes.empty()) {
+    const ssize_t n = ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    bytes.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+}  // namespace jedule::serve

@@ -1,0 +1,70 @@
+#pragma once
+
+// Minimal HTTP/1.1 message layer for `jedule serve`. Only what the render
+// service needs: request line + headers + Content-Length bodies in,
+// responses with explicit lengths out, every connection closed after one
+// exchange (`Connection: close` is always sent). Deliberately no external
+// dependency — the server must build wherever the CLI builds.
+//
+// Parsing is exposed over plain strings/fds so the fuzz tests can feed
+// malformed bytes directly; every malformed input maps to a 4xx
+// HttpError, never to an exception escaping the worker.
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace jedule::serve {
+
+/// Malformed or oversized request; `status` is the 4xx to answer with.
+struct HttpError {
+  int status;
+  std::string message;
+};
+
+struct HttpRequest {
+  std::string method;   // upper-case by convention of the sender
+  std::string target;   // raw request target ("/a/b?x=1")
+  std::string path;     // decoded path ("/a/b")
+  std::string version;  // "HTTP/1.1"
+  std::map<std::string, std::string> query;    // decoded key -> value
+  std::map<std::string, std::string> headers;  // lower-cased field names
+  std::string body;
+
+  std::optional<std::string> query_value(const std::string& key) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string media_type = "text/plain; charset=utf-8";
+  std::map<std::string, std::string> headers;  // extra headers
+  std::string body;
+};
+
+/// Percent-decoding with '+' as space (query components).
+std::string url_decode(std::string_view s);
+
+/// Parses "k=v&k2=v2" into decoded pairs (flag-style "k" gets value "").
+std::map<std::string, std::string> parse_query(std::string_view s);
+
+/// Parses the request head (everything before the body, without the final
+/// blank line). Throws HttpError on malformed input.
+HttpRequest parse_request_head(std::string_view head);
+
+/// Standard reason phrase ("Not Found"), "Unknown" otherwise.
+const char* reason_phrase(int status);
+
+/// Full response bytes, with Content-Length and Connection: close.
+std::string serialize_response(const HttpResponse& response);
+
+/// Reads one full request from `fd` (head limited to 64 KiB, body to
+/// `max_body`). Throws HttpError on malformed/oversized input and
+/// jedule::IoError when the peer hangs up or the socket deadline expires.
+HttpRequest read_request(int fd, std::size_t max_body);
+
+/// Writes the whole buffer; returns false on a send error (peer gone).
+bool write_all(int fd, std::string_view bytes);
+
+}  // namespace jedule::serve

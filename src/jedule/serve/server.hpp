@@ -1,0 +1,119 @@
+#pragma once
+
+// serve::Server — the `jedule serve` daemon (DESIGN.md §4f): a long-lived
+// HTTP/1.1 frontend over engine::ScheduleStore + engine::RenderService.
+//
+//   POST   /schedules                       ingest a trace (XML/CSV/SWF,
+//                                           gzip-sniffed); dedups by
+//                                           content hash
+//   GET    /schedules                       list stored schedules
+//   GET    /schedules/{id}                  one schedule's metadata
+//   DELETE /schedules/{id}                  drop a schedule
+//   GET    /schedules/{id}/render.{ext}     export (png/svg/pdf/ppm/ascii);
+//                                           query params = CLI flag names
+//   GET    /schedules/{id}/tile?x=&y=&zoom= windowed viewport tile (PNG)
+//   GET    /stats                           store/cache/server counters
+//   GET    /healthz                         liveness probe
+//
+// Concurrency model: one listener thread accepts and hands connections to
+// a fixed util::WorkerPool over a bounded queue. A full queue is answered
+// 429 + Retry-After by the listener itself (load shedding, never queue
+// growth); per-connection socket deadlines bound each request; stop()
+// drains in-flight work before returning (graceful SIGTERM).
+//
+// handle() — the routing/rendering core — is a pure request -> response
+// function exposed publicly so tests can drive it without sockets.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "jedule/engine/render_service.hpp"
+#include "jedule/engine/store.hpp"
+#include "jedule/serve/http.hpp"
+#include "jedule/util/parallel.hpp"
+
+namespace jedule::serve {
+
+class Server {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    int port = 0;  // 0: ephemeral (read the bound port from port())
+    int threads = 4;
+    std::size_t queue_capacity = 32;
+    int request_timeout_ms = 30000;        // socket read/write deadline
+    std::size_t max_body = 256u << 20;     // upload size cap
+    engine::ScheduleStore::Options store;
+    engine::RenderService::Options render;
+  };
+
+  struct Counters {
+    std::uint64_t accepted = 0;      // connections handed to the pool
+    std::uint64_t served = 0;        // responses written (any status)
+    std::uint64_t rejected_429 = 0;  // shed at the listener, queue full
+    std::uint64_t errors = 0;        // 5xx responses + dead-peer writes
+  };
+
+  Server() : Server(Options{}) {}
+  explicit Server(Options opt);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and starts the listener + worker pool. Throws IoError
+  /// when the address cannot be bound.
+  void start();
+
+  /// The bound TCP port (after start()).
+  int port() const { return port_; }
+
+  bool running() const { return listener_.joinable(); }
+
+  /// Graceful drain: stop accepting, finish queued and in-flight
+  /// requests, join all threads. Idempotent; safe from a signal-woken
+  /// main thread.
+  void stop();
+
+  /// Routes one parsed request. Never throws: every failure maps to a
+  /// 4xx/5xx response with a text/plain body holding the same error
+  /// message the CLI would print.
+  HttpResponse handle(const HttpRequest& request);
+
+  Counters counters() const;
+
+  engine::ScheduleStore& store() { return store_; }
+  engine::RenderService& renders() { return renders_; }
+
+  /// The /stats JSON document (exposed for tests).
+  std::string stats_json() const;
+
+ private:
+  void listen_loop();
+  void serve_connection(int fd);
+
+  HttpResponse handle_schedules(const HttpRequest& request);
+  HttpResponse handle_schedule_resource(const HttpRequest& request,
+                                        const std::string& id,
+                                        const std::string& tail);
+
+  Options opt_;
+  engine::ScheduleStore store_;
+  engine::RenderService renders_;
+  std::unique_ptr<util::WorkerPool> pool_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread listener_;
+  std::atomic<bool> stopping_{false};
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> rejected_429_{0};
+  std::atomic<std::uint64_t> errors_{0};
+};
+
+}  // namespace jedule::serve

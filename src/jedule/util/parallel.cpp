@@ -59,4 +59,78 @@ void parallel_for(std::size_t n, int threads,
   if (error) std::rethrow_exception(error);
 }
 
+WorkerPool::WorkerPool(int threads, std::size_t queue_capacity)
+    : capacity_(queue_capacity) {
+  const int n = threads < 1 ? 1 : threads;
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() { stop(); }
+
+bool WorkerPool::try_submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ || queue_.size() >= capacity_) return false;
+    queue_.push_back(std::move(job));
+  }
+  wake_.notify_one();
+  return true;
+}
+
+void WorkerPool::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+void WorkerPool::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    queue_.clear();
+  }
+  wake_.notify_all();
+  for (auto& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  idle_.notify_all();
+}
+
+std::size_t WorkerPool::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::size_t WorkerPool::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+void WorkerPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    try {
+      job();
+    } catch (...) {
+      // A job that throws must not take its worker down with it.
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --running_;
+      if (queue_.empty() && running_ == 0) idle_.notify_all();
+    }
+  }
+}
+
 }  // namespace jedule::util

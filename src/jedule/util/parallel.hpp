@@ -5,8 +5,13 @@
 // workers may claim pieces in any order, and results are merged by index,
 // so the output never depends on the thread count or on scheduling.
 
+#include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace jedule::util {
 
@@ -25,5 +30,52 @@ int resolve_threads(int requested);
 /// call is rethrown on the calling thread after all workers finish.
 void parallel_for(std::size_t n, int threads,
                   const std::function<void(std::size_t)>& fn);
+
+/// Fixed pool of long-lived worker threads over a bounded job queue — the
+/// admission-control building block of `jedule serve` (parallel_for spreads
+/// one computation over transient workers; WorkerPool multiplexes many
+/// independent jobs with backpressure). try_submit() refuses instead of
+/// blocking when the queue is full, so callers can shed load explicitly
+/// (HTTP 429) rather than stall. Jobs must not throw; escaped exceptions
+/// are swallowed (workers must survive any request).
+class WorkerPool {
+ public:
+  /// Spawns max(1, threads) workers; at most `queue_capacity` jobs wait.
+  WorkerPool(int threads, std::size_t queue_capacity);
+
+  /// stop()s, discarding jobs still queued.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Enqueues `job` unless the pool is stopping or the queue is at
+  /// capacity; returns whether the job was accepted.
+  bool try_submit(std::function<void()> job);
+
+  /// Blocks until every queued *and* running job has finished (new
+  /// submissions are still accepted while draining).
+  void drain();
+
+  /// Rejects new jobs, finishes the running ones, discards the queue and
+  /// joins the workers. Idempotent.
+  void stop();
+
+  int threads() const { return static_cast<int>(workers_.size()); }
+  std::size_t queued() const;
+  std::size_t running() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable wake_;   // workers: job available or stopping
+  std::condition_variable idle_;   // drain(): queue empty and nothing running
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t capacity_;
+  std::size_t running_ = 0;
+  bool stopping_ = false;
+};
 
 }  // namespace jedule::util

@@ -1,0 +1,364 @@
+// engine layer: content-hash-addressed ScheduleStore (dedup, LRU
+// eviction, thread-safe handout of immutable entries) and RenderService
+// (artifact cache keyed by content x options, single-flight collapse of
+// concurrent identical renders, windowed tiles). The concurrency cases
+// run under the tsan ctest configuration.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "jedule/engine/options.hpp"
+#include "jedule/engine/render_service.hpp"
+#include "jedule/engine/session_state.hpp"
+#include "jedule/engine/store.hpp"
+#include "jedule/io/jedule_xml.hpp"
+#include "jedule/model/builder.hpp"
+#include "jedule/render/deflate.hpp"
+#include "jedule/util/checksum.hpp"
+#include "jedule/util/error.hpp"
+
+namespace jedule::engine {
+namespace {
+
+model::Schedule sample_schedule(int tasks = 8, double shift = 0.0) {
+  model::ScheduleBuilder builder;
+  builder.cluster(0, "c0", 8).cluster(1, "c1", 4);
+  for (int i = 0; i < tasks; ++i) {
+    const double start = shift + i;
+    builder
+        .task(std::to_string(i), i % 2 ? "computation" : "transfer", start,
+              start + 1.5)
+        .on(i % 2, i % 3, 2);
+  }
+  return builder.build();
+}
+
+render::RenderOptions small_options() {
+  render::RenderOptions options;
+  options.style.width = 200;
+  options.style.height = 120;
+  options.style.show_labels = false;
+  options.threads = 1;
+  return options;
+}
+
+TEST(ScheduleEntry, HashedValidatedAndIndexed) {
+  const EntryPtr entry = make_entry(sample_schedule(), "mem");
+  EXPECT_EQ(entry->content_hash, entry->index.content_hash());
+  EXPECT_EQ(entry->id.size(), 16u);
+  EXPECT_EQ(entry->id.find_first_not_of("0123456789abcdef"),
+            std::string::npos);
+  EXPECT_EQ(entry->source, "mem");
+  EXPECT_DOUBLE_EQ(entry->full_range.begin, 0.0);
+
+  // Identical content hashes identically regardless of the source label;
+  // different content does not.
+  EXPECT_EQ(make_entry(sample_schedule(), "other")->id, entry->id);
+  EXPECT_NE(make_entry(sample_schedule(8, 1.0), "mem")->id, entry->id);
+}
+
+TEST(ScheduleEntry, InvalidScheduleRejected) {
+  model::Schedule bad;
+  bad.add_cluster(0, "c", 2);
+  model::Task t("x", "job", 0, 1);
+  t.allocate(0, 5, 4);  // hosts 5..8 on a 2-host cluster
+  bad.add_task(std::move(t));
+  EXPECT_THROW(make_entry(std::move(bad)), ValidationError);
+}
+
+TEST(ScheduleEntry, ParseEntrySniffsGzip) {
+  const std::string xml = io::write_schedule_xml(sample_schedule());
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(xml.data());
+  // Minimal RFC 1952 member around our own deflate stream.
+  std::string gz = {'\x1f', '\x8b', 8, 0, 0, 0, 0, 0, 0, '\xff'};
+  const auto body = render::deflate_compress(bytes, xml.size());
+  gz.append(body.begin(), body.end());
+  for (std::uint32_t v : {util::crc32(bytes, xml.size()),
+                          static_cast<std::uint32_t>(xml.size())}) {
+    for (int i = 0; i < 4; ++i) {
+      gz.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+
+  const EntryPtr plain = parse_entry(xml, "trace.jed");
+  const EntryPtr zipped = parse_entry(gz, "trace.jed.gz");
+  EXPECT_EQ(plain->id, zipped->id);
+  EXPECT_EQ(zipped->schedule.tasks().size(), 8u);
+}
+
+TEST(ScheduleStore, DeduplicatesByContentHash) {
+  ScheduleStore store;
+  const auto first = store.put(make_entry(sample_schedule(), "a"));
+  EXPECT_FALSE(first.deduplicated);
+  const auto again = store.put(make_entry(sample_schedule(), "b"));
+  EXPECT_TRUE(again.deduplicated);
+  // The original entry object is handed back, not the re-upload.
+  EXPECT_EQ(again.entry.get(), first.entry.get());
+  EXPECT_EQ(again.entry->source, "a");
+
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.puts, 2u);
+  EXPECT_EQ(stats.dedup_hits, 1u);
+}
+
+TEST(ScheduleStore, FindEraseList) {
+  ScheduleStore store;
+  const auto put = store.put(make_entry(sample_schedule(), "a"));
+  EXPECT_EQ(store.find(put.entry->id).get(), put.entry.get());
+  EXPECT_EQ(store.find("0000000000000000"), nullptr);
+  EXPECT_EQ(store.list().size(), 1u);
+  EXPECT_TRUE(store.erase(put.entry->id));
+  EXPECT_FALSE(store.erase(put.entry->id));
+  EXPECT_EQ(store.list().size(), 0u);
+  EXPECT_EQ(store.stats().lookup_misses, 1u);
+}
+
+TEST(ScheduleStore, EvictsLeastRecentlyUsed) {
+  ScheduleStore::Options opt;
+  opt.max_entries = 2;
+  ScheduleStore store(opt);
+  const auto a = store.put(make_entry(sample_schedule(4, 0), "a")).entry;
+  const auto b = store.put(make_entry(sample_schedule(4, 100), "b")).entry;
+  // Touch a so b becomes the LRU victim.
+  ASSERT_NE(store.find(a->id), nullptr);
+  const auto c = store.put(make_entry(sample_schedule(4, 200), "c")).entry;
+
+  EXPECT_EQ(store.find(b->id), nullptr);
+  EXPECT_NE(store.find(a->id), nullptr);
+  EXPECT_NE(store.find(c->id), nullptr);
+  EXPECT_EQ(store.stats().evictions, 1u);
+  // The evicted entry stays usable through outstanding references.
+  EXPECT_EQ(b->schedule.tasks().size(), 4u);
+}
+
+TEST(ScheduleStore, TaskBudgetEvictsButAdmitsOversizedEntry) {
+  ScheduleStore::Options opt;
+  opt.max_tasks = 10;
+  ScheduleStore store(opt);
+  store.put(make_entry(sample_schedule(8, 0), "a"));
+  store.put(make_entry(sample_schedule(8, 100), "b"));  // 16 > 10: evict a
+  EXPECT_EQ(store.stats().entries, 1u);
+  EXPECT_EQ(store.stats().tasks, 8u);
+
+  ScheduleStore store2(opt);
+  const auto big = store2.put(make_entry(sample_schedule(50, 0), "big"));
+  // A single over-budget entry is still admitted.
+  EXPECT_EQ(store2.stats().entries, 1u);
+  EXPECT_EQ(big.entry->schedule.tasks().size(), 50u);
+}
+
+TEST(RenderService, CachesByContentAndOptions) {
+  RenderService service;
+  const EntryPtr entry = make_entry(sample_schedule());
+
+  const auto first = service.render(entry, small_options(), "png");
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_EQ(first.media_type, "image/png");
+  const auto second = service.render(entry, small_options(), "png");
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(*first.bytes, *second.bytes);
+
+  // A different format or option digest is a different artifact.
+  EXPECT_FALSE(service.render(entry, small_options(), "svg").cache_hit);
+  auto wider = small_options();
+  wider.style.width = 300;
+  EXPECT_FALSE(service.render(entry, wider, "png").cache_hit);
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.artifact_hits, 1u);
+  EXPECT_EQ(stats.artifact_misses, 3u);
+  EXPECT_EQ(stats.artifact_entries, 3u);
+  EXPECT_GT(stats.artifact_bytes, 0u);
+
+  EXPECT_THROW(service.render(entry, small_options(), "jpeg"), ArgumentError);
+}
+
+TEST(RenderService, ThreadCountStaysOutOfTheCacheKey) {
+  RenderService service;
+  const EntryPtr entry = make_entry(sample_schedule());
+  auto options = small_options();
+  options.threads = 1;
+  const auto serial = service.render(entry, options, "png");
+  options.threads = 4;
+  const auto parallel = service.render(entry, options, "png");
+  EXPECT_TRUE(parallel.cache_hit);  // same digest: renders are byte-identical
+  EXPECT_EQ(*serial.bytes, *parallel.bytes);
+}
+
+TEST(RenderService, EvictsArtifactsOverBudget) {
+  RenderService::Options opt;
+  opt.artifact_entries = 2;
+  RenderService service(opt);
+  const EntryPtr entry = make_entry(sample_schedule());
+  auto options = small_options();
+  for (int w = 160; w < 165; ++w) {
+    options.style.width = w;
+    service.render(entry, options, "ppm");
+  }
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.artifact_entries, 2u);
+  EXPECT_EQ(stats.artifact_evictions, 3u);
+}
+
+TEST(RenderService, TilesSliceTheTimeAxis) {
+  RenderService service;
+  const EntryPtr entry = make_entry(sample_schedule());
+
+  const auto whole = service.render_tile(entry, 0, -1, 0, small_options());
+  EXPECT_FALSE(whole.cache_hit);
+  EXPECT_EQ(whole.media_type, "image/png");
+  EXPECT_GT(whole.bytes->size(), 0u);
+  EXPECT_TRUE(service.render_tile(entry, 0, -1, 0, small_options()).cache_hit);
+
+  // Adjacent tiles at one zoom level are distinct artifacts...
+  const auto left = service.render_tile(entry, 0, -1, 2, small_options());
+  const auto right = service.render_tile(entry, 1, -1, 2, small_options());
+  EXPECT_FALSE(left.cache_hit);
+  EXPECT_FALSE(right.cache_hit);
+  EXPECT_NE(*left.bytes, *right.bytes);
+  // ...and a per-cluster row differs from the all-clusters tile.
+  const auto row = service.render_tile(entry, 0, 1, 2, small_options());
+  EXPECT_NE(*row.bytes, *left.bytes);
+
+  EXPECT_THROW(service.render_tile(entry, 0, -1, 31, small_options()),
+               ArgumentError);
+  EXPECT_THROW(service.render_tile(entry, 4, -1, 2, small_options()),
+               ArgumentError);
+  EXPECT_THROW(service.render_tile(entry, 0, 99, 2, small_options()),
+               ArgumentError);
+}
+
+TEST(RenderService, ConcurrentIdenticalRendersCollapseSingleFlight) {
+  RenderService service;
+  const EntryPtr entry = make_entry(sample_schedule(64));
+  constexpr int kClients = 8;
+
+  std::vector<std::string> bodies(kClients);
+  std::atomic<int> hits{0};
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int i = 0; i < kClients; ++i) {
+      clients.emplace_back([&, i] {
+        const auto artifact = service.render(entry, small_options(), "png");
+        bodies[static_cast<std::size_t>(i)] = *artifact.bytes;
+        if (artifact.cache_hit) hits.fetch_add(1);
+      });
+    }
+    for (auto& t : clients) t.join();
+  }
+
+  for (int i = 1; i < kClients; ++i) {
+    EXPECT_EQ(bodies[static_cast<std::size_t>(i)], bodies[0]);
+  }
+  // Exactly one client rendered; everyone else was served from the cache.
+  EXPECT_EQ(hits.load(), kClients - 1);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.artifact_misses, 1u);
+  EXPECT_EQ(stats.artifact_hits, static_cast<std::uint64_t>(kClients - 1));
+}
+
+TEST(RenderService, ConcurrentUploadAndRenderAcrossEntries) {
+  // Threads race puts, lookups and renders on a shared store + service;
+  // byte-identity per schedule must survive the interleaving.
+  ScheduleStore store;
+  RenderService service;
+  constexpr int kSchedules = 4;
+  constexpr int kThreads = 8;
+
+  std::vector<std::string> reference(kSchedules);
+  for (int s = 0; s < kSchedules; ++s) {
+    const EntryPtr entry = make_entry(sample_schedule(16, 10.0 * s));
+    reference[static_cast<std::size_t>(s)] =
+        *service.render(entry, small_options(), "ppm").bytes;
+  }
+
+  std::atomic<int> mismatches{0};
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int w = 0; w < kThreads; ++w) {
+      workers.emplace_back([&, w] {
+        for (int round = 0; round < 6; ++round) {
+          const int s = (w + round) % kSchedules;
+          const auto put =
+              store.put(make_entry(sample_schedule(16, 10.0 * s)));
+          const auto artifact =
+              service.render(put.entry, small_options(), "ppm");
+          if (*artifact.bytes != reference[static_cast<std::size_t>(s)]) {
+            mismatches.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& t : workers) t.join();
+  }
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(store.stats().entries, static_cast<std::size_t>(kSchedules));
+  EXPECT_GE(store.stats().dedup_hits, 1u);
+}
+
+TEST(SessionState, ViewsShareOneEntry) {
+  const EntryPtr entry = make_entry(sample_schedule());
+  SessionState a(entry, color::standard_colormap(), {});
+  SessionState b(entry, color::standard_colormap(), {});
+  EXPECT_EQ(&a.schedule(), &b.schedule());
+  EXPECT_EQ(&a.index(), &b.index());
+
+  a.zoom_to_time(1.0, 3.0);
+  EXPECT_TRUE(a.style().time_window.has_value());
+  EXPECT_FALSE(b.style().time_window.has_value());  // views are independent
+
+  // The view outlives the store dropping its reference.
+  ScheduleStore::Options opt;
+  opt.max_entries = 1;
+  ScheduleStore store(opt);
+  store.put(entry);
+  store.put(make_entry(sample_schedule(4, 500.0)));
+  EXPECT_EQ(store.find(entry->id), nullptr);
+  EXPECT_GT(a.frame().width(), 0);
+}
+
+TEST(Options, SharedParserMatchesCliAndHttpSpelling) {
+  const std::map<std::string, std::string> query = {
+      {"width", "320"},   {"height", "200"},      {"aligned", ""},
+      {"window", "1:42"}, {"lod", "force"},       {"grayscale", "true"},
+      {"threads", "2"},   {"highlight", "user=6447"}};
+  auto get = [&query](const std::string& key) -> std::optional<std::string> {
+    auto it = query.find(key);
+    if (it == query.end()) return std::nullopt;
+    return it->second;
+  };
+  const render::RenderOptions options = render_options_from(get, false);
+  EXPECT_EQ(options.style.width, 320);
+  EXPECT_EQ(options.style.height, 200);
+  EXPECT_EQ(options.style.view_mode, model::ViewMode::kAligned);
+  ASSERT_TRUE(options.style.time_window.has_value());
+  EXPECT_DOUBLE_EQ(options.style.time_window->end, 42.0);
+  EXPECT_EQ(options.style.lod, render::LodMode::kForce);
+  EXPECT_EQ(options.style.highlight_key, "user");
+  EXPECT_EQ(options.threads, 2);
+
+  auto bad = [](const std::string& key) -> std::optional<std::string> {
+    if (key == "width") return "zero";
+    return std::nullopt;
+  };
+  EXPECT_THROW(render_options_from(bad), ArgumentError);
+  auto cmap = [](const std::string& key) -> std::optional<std::string> {
+    if (key == "cmap") return "/etc/passwd";
+    return std::nullopt;
+  };
+  // The HTTP frontend must not turn a query param into a file read.
+  EXPECT_THROW(render_options_from(cmap, false), ArgumentError);
+  EXPECT_EQ(parse_lod_mode("auto"), render::LodMode::kAuto);
+  EXPECT_THROW(parse_lod_mode("sometimes"), ArgumentError);
+}
+
+}  // namespace
+}  // namespace jedule::engine

@@ -69,6 +69,38 @@ TEST(Registry, UnknownFormatOrFileRejected) {
   std::remove(path.c_str());
 }
 
+TEST(Registry, UnsupportedInputErrorsNameThePathAndFormats) {
+  // The structured error carries the offending path plus the supported
+  // format list, so the CLI message and the HTTP 415 body are actionable.
+  const auto path = write_temp("mystery.bin", "\x01\x02\x03garbage");
+  try {
+    load_schedule(path);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find("supported formats:"), std::string::npos) << what;
+    EXPECT_NE(what.find("jedule-xml"), std::string::npos) << what;
+    EXPECT_NE(what.find("csv"), std::string::npos) << what;
+  }
+  try {
+    load_schedule(path, "not-a-format");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("not-a-format"), std::string::npos) << what;
+    EXPECT_NE(what.find("supported formats:"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Registry, ParseScheduleSniffsGzipInMemory) {
+  // The serve upload path: bytes, not a file; gzip detected by magic.
+  const std::string xml = write_schedule_xml(sample_schedule());
+  EXPECT_EQ(parse_schedule(xml, "upload.jed").tasks().size(), 1u);
+  EXPECT_EQ(parse_schedule(xml).tasks().size(), 1u);  // content sniff only
+}
+
 TEST(Registry, UserParserExtensionPoint) {
   // A custom one-line format, registered exactly like the paper describes
   // third-party parsers plugging in.

@@ -6,6 +6,7 @@
 
 #include "jedule/model/builder.hpp"
 #include "jedule/render/export.hpp"
+#include "jedule/render/exporter.hpp"
 #include "jedule/render/pdf.hpp"
 #include "jedule/render/png.hpp"
 #include "jedule/render/raster_canvas.hpp"
@@ -227,10 +228,11 @@ TEST(NiceTicks, DegenerateRange) {
 
 TEST(Paint, RasterIsDeterministic) {
   const auto schedule = demo_schedule();
-  const auto cmap = color::standard_colormap();
-  const auto style = default_style();
-  const Framebuffer a = render_raster(schedule, cmap, style);
-  const Framebuffer b = render_raster(schedule, cmap, style);
+  RenderOptions options;
+  options.style = default_style();
+  options.threads = 1;
+  const Framebuffer a = render_raster(schedule, options);
+  const Framebuffer b = render_raster(schedule, options);
   EXPECT_TRUE(a == b);
   EXPECT_EQ(encode_png(a), encode_png(b));
 }
@@ -240,7 +242,10 @@ TEST(Paint, TaskPixelsHaveTaskColors) {
   const auto cmap = color::standard_colormap();
   const auto style = default_style();
   const auto layout = layout_gantt(schedule, cmap, style);
-  const Framebuffer fb = render_raster(schedule, cmap, style);
+  RenderOptions options;
+  options.style = style;
+  options.threads = 1;
+  const Framebuffer fb = render_raster(schedule, options);
   // Probe a pixel inside task 1 away from labels/borders/composites.
   for (const auto& b : layout.boxes) {
     if (b.label == "1" && !b.composite) {
@@ -281,25 +286,30 @@ TEST(Export, PdfIsStructurallySound) {
 }
 
 TEST(Export, FormatFromExtension) {
-  EXPECT_EQ(format_for_path("x.png"), ImageFormat::kPng);
-  EXPECT_EQ(format_for_path("x.PNG"), ImageFormat::kPng);
-  EXPECT_EQ(format_for_path("x.PPM"), ImageFormat::kPpm);
-  EXPECT_EQ(format_for_path("a/b.svg"), ImageFormat::kSvg);
-  EXPECT_EQ(format_for_path("a/b.Svg"), ImageFormat::kSvg);
-  EXPECT_EQ(format_for_path("x.pdf"), ImageFormat::kPdf);
-  EXPECT_THROW(format_for_path("x.jpeg"), ArgumentError);
+  const auto& registry = ExporterRegistry::instance();
+  auto name_for = [&](const std::string& path) {
+    const Exporter* e = registry.find_for_path(path);
+    return e ? e->name() : std::string("<none>");
+  };
+  EXPECT_EQ(name_for("x.png"), "png");
+  EXPECT_EQ(name_for("x.PNG"), "png");
+  EXPECT_EQ(name_for("x.PPM"), "ppm");
+  EXPECT_EQ(name_for("a/b.svg"), "svg");
+  EXPECT_EQ(name_for("a/b.Svg"), "svg");
+  EXPECT_EQ(name_for("x.pdf"), "pdf");
+  EXPECT_EQ(registry.find_for_path("x.jpeg"), nullptr);
 }
 
 TEST(Export, BytesForAllFormats) {
   const auto schedule = demo_schedule();
-  const auto cmap = color::standard_colormap();
-  const auto style = default_style();
-  for (auto format : {ImageFormat::kPng, ImageFormat::kPpm, ImageFormat::kSvg,
-                      ImageFormat::kPdf}) {
-    const std::string bytes =
-        render_to_bytes(schedule, cmap, style, format);
-    EXPECT_GT(bytes.size(), 100u);
+  RenderOptions options;
+  options.style = default_style();
+  options.threads = 1;
+  for (const char* format : {"png", "ppm", "svg", "pdf"}) {
+    const std::string bytes = render_to_bytes(schedule, options, format);
+    EXPECT_GT(bytes.size(), 100u) << format;
   }
+  EXPECT_THROW(render_to_bytes(schedule, options, "jpeg"), ArgumentError);
 }
 
 TEST(Layout, CrossClusterTaskGetsOneBoxPerPanel) {
@@ -324,12 +334,13 @@ TEST(Layout, CrossClusterTaskGetsOneBoxPerPanel) {
 
 TEST(Paint, HatchedCompositesDifferFromPlain) {
   const auto schedule = demo_schedule();
-  const auto cmap = color::standard_colormap();
-  GanttStyle plain = default_style();
-  GanttStyle hatched = default_style();
-  hatched.hatch_composites = true;
-  EXPECT_FALSE(render_raster(schedule, cmap, plain) ==
-               render_raster(schedule, cmap, hatched));
+  RenderOptions plain;
+  plain.style = default_style();
+  plain.threads = 1;
+  RenderOptions hatched = plain;
+  hatched.style.hatch_composites = true;
+  EXPECT_FALSE(render_raster(schedule, plain) ==
+               render_raster(schedule, hatched));
 }
 
 TEST(Paint, ThinRowsSkipGridAndLabels) {
@@ -346,10 +357,11 @@ TEST(Paint, ThinRowsSkipGridAndLabels) {
         .on(0, first, nb);
   }
   const auto schedule = builder.build();
-  const Framebuffer a =
-      render_raster(schedule, color::standard_colormap(), default_style());
-  const Framebuffer b =
-      render_raster(schedule, color::standard_colormap(), default_style());
+  RenderOptions options;
+  options.style = default_style();
+  options.threads = 1;
+  const Framebuffer a = render_raster(schedule, options);
+  const Framebuffer b = render_raster(schedule, options);
   EXPECT_TRUE(a == b);
 }
 

@@ -5,7 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "jedule/model/builder.hpp"
-#include "jedule/render/export.hpp"
+#include "jedule/render/exporter.hpp"
 #include "jedule/render/gantt.hpp"
 #include "jedule/render/pdf.hpp"
 #include "jedule/render/svg.hpp"
@@ -33,9 +33,16 @@ GanttStyle style() {
   return s;
 }
 
+std::string bytes_for(const model::Schedule& schedule,
+                      const std::string& format) {
+  RenderOptions options;
+  options.style = style();
+  options.threads = 1;
+  return render_to_bytes(schedule, options, format);
+}
+
 TEST(SvgExport, IsWellFormedXml) {
-  const std::string svg = render_to_bytes(demo(), color::standard_colormap(),
-                                          style(), ImageFormat::kSvg);
+  const std::string svg = bytes_for(demo(), "svg");
   const auto doc = xml::parse(svg);
   EXPECT_EQ(doc.root->name(), "svg");
   EXPECT_EQ(doc.root->attr("width"), "640");
@@ -43,10 +50,9 @@ TEST(SvgExport, IsWellFormedXml) {
 }
 
 TEST(SvgExport, HasOneFilledRectPerBoxPlusChrome) {
-  const auto cmap = color::standard_colormap();
-  const auto layout = layout_gantt(demo(), cmap, style());
-  const std::string svg =
-      render_to_bytes(demo(), cmap, style(), ImageFormat::kSvg);
+  const auto layout = layout_gantt(demo(), color::standard_colormap(),
+                                   style());
+  const std::string svg = bytes_for(demo(), "svg");
   const auto doc = xml::parse(svg);
 
   int filled_rects = 0;
@@ -67,8 +73,7 @@ TEST(SvgExport, HasOneFilledRectPerBoxPlusChrome) {
 }
 
 TEST(SvgExport, TaskColorsAppear) {
-  const std::string svg = render_to_bytes(demo(), color::standard_colormap(),
-                                          style(), ImageFormat::kSvg);
+  const std::string svg = bytes_for(demo(), "svg");
   EXPECT_NE(svg.find("#0000ff"), std::string::npos);  // computation
   EXPECT_NE(svg.find("#f10000"), std::string::npos);  // transfer
   EXPECT_NE(svg.find("#ff6200"), std::string::npos);  // composite
@@ -80,16 +85,13 @@ TEST(SvgExport, EscapesSpecialCharacters) {
                .task("t\"1\"", "x&y", 0, 1)
                .on(0, 0, 2)
                .build();
-  const std::string svg =
-      render_to_bytes(s, color::standard_colormap(), style(),
-                      ImageFormat::kSvg);
+  const std::string svg = bytes_for(s, "svg");
   EXPECT_NO_THROW(xml::parse(svg));
   EXPECT_NE(svg.find("a&lt;b&gt;&amp;c"), std::string::npos);
 }
 
 TEST(PdfExport, XrefOffsetsPointAtObjects) {
-  const std::string pdf = render_to_bytes(demo(), color::standard_colormap(),
-                                          style(), ImageFormat::kPdf);
+  const std::string pdf = bytes_for(demo(), "pdf");
   // startxref declares where the table lives; the bytes there must read
   // "xref". (Careful: "startxref" itself contains the substring "xref".)
   const auto startxref_pos = pdf.rfind("startxref\n");
@@ -117,8 +119,7 @@ TEST(PdfExport, XrefOffsetsPointAtObjects) {
 }
 
 TEST(PdfExport, ContentStreamLengthIsExact) {
-  const std::string pdf = render_to_bytes(demo(), color::standard_colormap(),
-                                          style(), ImageFormat::kPdf);
+  const std::string pdf = bytes_for(demo(), "pdf");
   const auto len_pos = pdf.find("/Length ");
   ASSERT_NE(len_pos, std::string::npos);
   const auto len_end = pdf.find(' ', len_pos + 8);
@@ -136,18 +137,14 @@ TEST(PdfExport, EscapesParentheses) {
                .task("t(1)", "x", 0, 1)
                .on(0, 0, 2)
                .build();
-  const std::string pdf =
-      render_to_bytes(s, color::standard_colormap(), style(),
-                      ImageFormat::kPdf);
+  const std::string pdf = bytes_for(s, "pdf");
   EXPECT_NE(pdf.find("\\(main\\)"), std::string::npos);
 }
 
 TEST(VectorExports, Deterministic) {
   const auto s = demo();
-  const auto cmap = color::standard_colormap();
-  for (auto format : {ImageFormat::kSvg, ImageFormat::kPdf}) {
-    EXPECT_EQ(render_to_bytes(s, cmap, style(), format),
-              render_to_bytes(s, cmap, style(), format));
+  for (const char* format : {"svg", "pdf"}) {
+    EXPECT_EQ(bytes_for(s, format), bytes_for(s, format));
   }
 }
 
