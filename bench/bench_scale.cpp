@@ -694,6 +694,41 @@ void report() {
                  fmt(png_serial / png_parallel, 1) + "x)");
   report_check("parallel PNG encode is byte-identical", png_mt == png);
 
+  // The codec stages in isolation: per-scanline min-SAD filtering, then
+  // the chunked dynamic-Huffman deflate over the filtered payload.
+  {
+    watch.reset();
+    const auto scan = render::filter_scanlines(fb, 1);
+    const double filter_s = watch.seconds();
+    report_row("PNG filter selection (1 thread)",
+               fmt(filter_s * 1e3, 1) + " ms (" +
+                   std::to_string(scan.size() / 1024 / 1024) + " MiB)");
+    watch.reset();
+    const auto dyn_serial = render::deflate_compress(
+        scan.data(), scan.size(), 1, render::DeflateStrategy::dynamic);
+    const double deflate_serial = watch.seconds();
+    watch.reset();
+    const auto dyn_parallel = render::deflate_compress(
+        scan.data(), scan.size(), kBenchThreads,
+        render::DeflateStrategy::dynamic);
+    const double deflate_parallel = watch.seconds();
+    report_row("dynamic deflate on filtered scanlines (1 vs " +
+                   std::to_string(kBenchThreads) + " threads)",
+               fmt(deflate_serial * 1e3, 1) + " ms vs " +
+                   fmt(deflate_parallel * 1e3, 1) + " ms (" +
+                   fmt(deflate_serial / deflate_parallel, 1) + "x, " +
+                   std::to_string(dyn_serial.size() / 1024) + " KiB)");
+    report_check("parallel dynamic deflate is byte-identical",
+                 dyn_parallel == dyn_serial);
+    if (util::hardware_threads() >= 2) {
+      report_check("parallel deflate encode >= 2x serial",
+                   deflate_serial / deflate_parallel >= 2.0);
+    } else {
+      report_row("parallel deflate encode >= 2x serial",
+                 "skipped (single-core host)");
+    }
+  }
+
   // End-to-end export: the acceptance target for the parallel pipeline is
   // >= 2x on the 250k-task PNG export with 8 threads.
   watch.reset();
@@ -721,18 +756,24 @@ void report() {
                "skipped (single-core host)");
   }
 
-  // Ablation: the in-tree fixed-Huffman deflate vs stored blocks — the
-  // LZ77 stage is what keeps chart PNGs small.
+  // Ablation: the three deflate strategies on raw pixels — LZ77 is what
+  // keeps chart PNGs small, and per-chunk dynamic Huffman codes shrink the
+  // entropy stage further.
   {
     const auto& px = fb.pixels();
-    const auto stored = render::zlib_compress(px.data(), px.size(), false);
-    const auto packed = render::zlib_compress(px.data(), px.size(), true);
-    report_row("zlib on raw pixels: stored vs fixed-Huffman",
+    const auto stored = render::zlib_compress(px.data(), px.size(),
+                                              render::DeflateStrategy::stored);
+    const auto fixed = render::zlib_compress(px.data(), px.size(),
+                                             render::DeflateStrategy::fixed);
+    const auto dynamic = render::zlib_compress(
+        px.data(), px.size(), render::DeflateStrategy::dynamic);
+    report_row("zlib on raw pixels: stored vs fixed vs dynamic",
                std::to_string(stored.size() / 1024) + " KiB vs " +
-                   std::to_string(packed.size() / 1024) + " KiB (" +
-                   fmt(static_cast<double>(stored.size()) /
-                           static_cast<double>(packed.size()), 1) +
-                   "x)");
+                   std::to_string(fixed.size() / 1024) + " KiB vs " +
+                   std::to_string(dynamic.size() / 1024) + " KiB");
+    report_check("dynamic-Huffman deflate <= 40% of fixed-Huffman on chart "
+                 "pixels",
+                 dynamic.size() * 10 <= fixed.size() * 4);
   }
 
   watch.reset();
@@ -932,6 +973,43 @@ void report() {
                    "x)");
     report_check("span rasterizer reproduces the per-pixel bytes",
                  png_new == png_legacy);
+
+    // Codec ablation at 1M tasks: the pre-PR IDAT (unfiltered scanlines
+    // through fixed-Huffman deflate) vs today's (min-SAD filtered rows
+    // through per-chunk dynamic Huffman). The enforced bound is 2x: on
+    // this synthetic chart even a per-row oracle filter choice plus a
+    // zlib-level-9-depth match search only reaches ~2.8x (EXPERIMENTS.md),
+    // so 2x is what the fast 64-probe codec can guarantee.
+    {
+      const auto fbd = render::render_raster(dense, dense_options());
+      const auto w = static_cast<std::size_t>(fbd.width());
+      const auto h = static_cast<std::size_t>(fbd.height());
+      std::vector<std::uint8_t> unfiltered((w * 3 + 1) * h);
+      const auto& px = fbd.pixels();
+      for (std::size_t y = 0; y < h; ++y) {
+        std::uint8_t* row = unfiltered.data() + y * (w * 3 + 1);
+        row[0] = 0;  // filter type None on every scanline
+        for (std::size_t x = 0; x < w; ++x) {
+          row[1 + x * 3] = px[(y * w + x) * 4];
+          row[2 + x * 3] = px[(y * w + x) * 4 + 1];
+          row[3 + x * 3] = px[(y * w + x) * 4 + 2];
+        }
+      }
+      const auto old_idat = render::zlib_compress(
+          unfiltered.data(), unfiltered.size(),
+          render::DeflateStrategy::fixed);
+      const auto scan = render::filter_scanlines(fbd, 1);
+      const auto new_idat = render::zlib_compress(
+          scan.data(), scan.size(), render::DeflateStrategy::dynamic);
+      report_row("1M-task IDAT, unfiltered+fixed vs filtered+dynamic",
+                 std::to_string(old_idat.size() / 1024) + " KiB vs " +
+                     std::to_string(new_idat.size() / 1024) + " KiB (" +
+                     fmt(static_cast<double>(old_idat.size()) /
+                             static_cast<double>(new_idat.size()), 1) +
+                     "x)");
+      report_check("1M-task PNG >= 2x smaller than the pre-PR codec",
+                   old_idat.size() >= 2 * new_idat.size());
+    }
     if (cpu.avx2 || cpu.neon) {
       report_check("opaque-fill kernel >= 4x vs per-pixel", fill_x >= 4.0);
       report_check("1M-task cold PNG export >= 2x vs per-pixel raster",
@@ -1014,6 +1092,35 @@ void BM_PngEncode(benchmark::State& state) {
                           fb.width() * fb.height() * 3);
 }
 BENCHMARK(BM_PngEncode)->Arg(1)->Arg(kBenchThreads)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PngFilter(benchmark::State& state) {
+  const auto schedule = big_schedule(50000);
+  const auto fb = render::render_raster(schedule, bench_options(1));
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(render::filter_scanlines(fb, threads));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          fb.width() * fb.height() * 3);
+}
+BENCHMARK(BM_PngFilter)->Arg(1)->Arg(kBenchThreads)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DeflateDynamic(benchmark::State& state) {
+  const auto schedule = big_schedule(50000);
+  const auto fb = render::render_raster(schedule, bench_options(1));
+  const auto scan = render::filter_scanlines(fb, 1);
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(render::deflate_compress(
+        scan.data(), scan.size(), threads,
+        render::DeflateStrategy::dynamic));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(scan.size()));
+}
+BENCHMARK(BM_DeflateDynamic)->Arg(1)->Arg(kBenchThreads)
     ->Unit(benchmark::kMillisecond);
 
 void BM_XmlParse(benchmark::State& state) {

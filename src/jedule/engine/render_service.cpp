@@ -3,6 +3,7 @@
 #include <cstring>
 #include <utility>
 
+#include "jedule/render/deflate.hpp"
 #include "jedule/render/exporter.hpp"
 #include "jedule/render/png.hpp"
 #include "jedule/util/error.hpp"
@@ -111,6 +112,7 @@ std::string RenderService::media_type_for(const std::string& format) {
   if (format == "png") return "image/png";
   if (format == "ppm") return "image/x-portable-pixmap";
   if (format == "svg") return "image/svg+xml";
+  if (format == "svgz") return "image/svg+xml";  // served Content-Encoding: gzip
   if (format == "pdf") return "application/pdf";
   if (format == "ascii") return "text/plain; charset=utf-8";
   return "application/octet-stream";
@@ -118,21 +120,48 @@ std::string RenderService::media_type_for(const std::string& format) {
 
 RenderService::Artifact RenderService::render(const EntryPtr& entry,
                                               render::RenderOptions options,
-                                              const std::string& format) {
+                                              const std::string& format,
+                                              Encoding encoding) {
   JED_ASSERT(entry != nullptr);
   if (render::ExporterRegistry::instance().find(format) == nullptr) {
     throw ArgumentError("no exporter registered for format '" + format + "'");
   }
   if (options.threads <= 0) options.threads = opt_.threads;
+
+  if (encoding == Encoding::gzip) {
+    Fnv req;
+    req.str("gzip+" + format);
+    req.u64(options_digest(options));
+    const Key key{entry->content_hash, req.h};
+    return cached(key, media_type_for(format), Encoding::gzip, [&] {
+      // The identity render goes through its own cache slot (make() runs
+      // outside the lock, so the nested lookup cannot deadlock): the
+      // uncompressed artifact renders once and the gzip stream of it is
+      // stored once, no matter how many clients negotiate compression.
+      const Artifact identity =
+          render(entry, options, format, Encoding::identity);
+      const auto z = render::gzip_compress(
+          reinterpret_cast<const std::uint8_t*>(identity.bytes->data()),
+          identity.bytes->size(), render::DeflateStrategy::dynamic,
+          util::resolve_threads(options.threads));
+      return Made{std::string(reinterpret_cast<const char*>(z.data()),
+                              z.size()),
+                  identity.bytes->size()};
+    });
+  }
+
   Fnv req;
   req.str(format);
   req.u64(options_digest(options));
   const Key key{entry->content_hash, req.h};
-  return cached(key, media_type_for(format), [&] {
+  return cached(key, media_type_for(format), Encoding::identity, [&] {
     // The entry's index makes windowed renders O(visible); bytes are
     // identical with or without it, so it stays out of the cache key.
     options.task_index = &entry->index;
-    return render::render_to_bytes(entry->schedule, options, format);
+    std::string bytes = render::render_to_bytes(entry->schedule, options,
+                                                format);
+    const std::size_t raw = bytes.size();
+    return Made{std::move(bytes), raw};
   });
 }
 
@@ -170,7 +199,7 @@ RenderService::Artifact RenderService::render_tile(
   req.str("tile.png");
   req.u64(options_digest(options));
   const Key key{entry->content_hash, req.h};
-  return cached(key, media_type_for("png"), [&] {
+  return cached(key, media_type_for("png"), Encoding::identity, [&] {
     render::TileCache::Request tile_req;
     tile_req.schedule = &entry->schedule;
     tile_req.colormap = &options.colormap;
@@ -180,13 +209,16 @@ RenderService::Artifact RenderService::render_tile(
     tile_req.validated = true;
     std::lock_guard<std::mutex> lock(tile_mu_);
     const render::Framebuffer fb = tiles_.render_frame(tile_req);
-    return render::encode_png(fb, util::resolve_threads(options.threads));
+    std::string bytes =
+        render::encode_png(fb, util::resolve_threads(options.threads));
+    const std::size_t raw = bytes.size();
+    return Made{std::move(bytes), raw};
   });
 }
 
 RenderService::Artifact RenderService::cached(
-    const Key& key, const std::string& media_type,
-    const std::function<std::string()>& make) {
+    const Key& key, const std::string& media_type, Encoding encoding,
+    const std::function<Made()>& make) {
   {
     std::unique_lock<std::mutex> lock(mu_);
     for (;;) {
@@ -195,7 +227,8 @@ RenderService::Artifact RenderService::cached(
       if (it->second.bytes != nullptr) {
         ++stats_.artifact_hits;
         lru_.splice(lru_.begin(), lru_, it->second.lru);
-        return {it->second.bytes, it->second.media_type, true};
+        return {it->second.bytes, it->second.media_type, true,
+                it->second.raw_size, encoding};
       }
       // Another thread is rendering this key: wait for it instead of
       // duplicating the work (single-flight). If the renderer fails, its
@@ -204,12 +237,15 @@ RenderService::Artifact RenderService::cached(
       slot_ready_.wait(lock);
     }
     ++stats_.artifact_misses;
-    cache_.emplace(key, Slot{nullptr, media_type, lru_.end()});
+    cache_.emplace(key, Slot{nullptr, media_type, 0, lru_.end()});
   }
 
   std::shared_ptr<const std::string> bytes;
+  std::size_t raw_size = 0;
   try {
-    bytes = std::make_shared<const std::string>(make());
+    Made made = make();
+    raw_size = made.raw_size;
+    bytes = std::make_shared<const std::string>(std::move(made.bytes));
   } catch (...) {
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -224,13 +260,14 @@ RenderService::Artifact RenderService::cached(
     auto it = cache_.find(key);
     JED_ASSERT(it != cache_.end() && it->second.bytes == nullptr);
     it->second.bytes = bytes;
+    it->second.raw_size = raw_size;
     lru_.push_front(key);
     it->second.lru = lru_.begin();
     cached_bytes_ += bytes->size();
     evict_over_budget_locked();
   }
   slot_ready_.notify_all();
-  return {std::move(bytes), media_type, false};
+  return {std::move(bytes), media_type, false, raw_size, encoding};
 }
 
 void RenderService::evict_over_budget_locked() {

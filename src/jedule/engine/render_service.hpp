@@ -43,10 +43,20 @@ class RenderService {
     render::TileCache::Options tile;  // the shared interactive tile cache
   };
 
+  /// Transfer encoding of an artifact's bytes. `gzip` artifacts hold the
+  /// gzip-compressed identity render; both representations are cached
+  /// under separate keys, so the compressed bytes are produced once and
+  /// repeated negotiated requests are pure cache hits.
+  enum class Encoding { identity, gzip };
+
   struct Artifact {
     std::shared_ptr<const std::string> bytes;
     std::string media_type;
     bool cache_hit = false;
+    /// Size of the identity (uncompressed) representation; equals
+    /// bytes->size() for identity artifacts.
+    std::size_t raw_size = 0;
+    Encoding encoding = Encoding::identity;
   };
 
   struct Stats {
@@ -66,8 +76,13 @@ class RenderService {
   /// through the artifact cache. options.task_index is ignored (the
   /// entry's own index is used); options.threads <= 0 falls back to the
   /// service default. Throws ArgumentError for an unknown format.
+  ///
+  /// With Encoding::gzip the returned bytes are the gzip stream of the
+  /// identity render (for HTTP Content-Encoding negotiation); both the
+  /// identity and the compressed bytes are cached, each once.
   Artifact render(const EntryPtr& entry, render::RenderOptions options,
-                  const std::string& format);
+                  const std::string& format,
+                  Encoding encoding = Encoding::identity);
 
   /// Windowed viewport tile as PNG: zoom z splits the schedule's time
   /// range into 2^z equal slices and `x` picks one; `y` >= 0 restricts the
@@ -97,12 +112,19 @@ class RenderService {
   struct Slot {
     std::shared_ptr<const std::string> bytes;  // null while rendering
     std::string media_type;
+    std::size_t raw_size = 0;
     std::list<Key>::iterator lru;
+  };
+  /// What a cache-miss producer returns: the artifact bytes plus the size
+  /// of the identity representation they encode.
+  struct Made {
+    std::string bytes;
+    std::size_t raw_size = 0;
   };
 
   /// Cache lookup + single-flight render of `make()` under `key`.
   Artifact cached(const Key& key, const std::string& media_type,
-                  const std::function<std::string()>& make);
+                  Encoding encoding, const std::function<Made()>& make);
   void evict_over_budget_locked();
 
   Options opt_;

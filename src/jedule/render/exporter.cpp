@@ -2,6 +2,7 @@
 
 #include "jedule/io/file.hpp"
 #include "jedule/render/ascii.hpp"
+#include "jedule/render/deflate.hpp"
 #include "jedule/render/export.hpp"
 #include "jedule/render/pdf.hpp"
 #include "jedule/render/png.hpp"
@@ -57,19 +58,42 @@ class SvgExporter final : public Exporter {
   }
 };
 
+class SvgzExporter final : public Exporter {
+ public:
+  std::string name() const override { return "svgz"; }
+  std::vector<std::string> extensions() const override {
+    return {".svgz", ".svg.gz"};
+  }
+  std::string description() const override {
+    return "gzip-compressed scalable vector graphics";
+  }
+  std::string render(const model::Schedule& schedule,
+                     const RenderOptions& options) const override {
+    const GanttLayout layout = layout_gantt(schedule, options);
+    SvgCanvas canvas(options.style.width, options.style.height);
+    paint_gantt(layout, canvas, options.style);
+    const std::string svg = canvas.finish();
+    const auto z =
+        gzip_compress(reinterpret_cast<const std::uint8_t*>(svg.data()),
+                      svg.size(), DeflateStrategy::dynamic,
+                      options.resolved_threads());
+    return std::string(reinterpret_cast<const char*>(z.data()), z.size());
+  }
+};
+
 class PdfExporter final : public Exporter {
  public:
   std::string name() const override { return "pdf"; }
   std::vector<std::string> extensions() const override { return {".pdf"}; }
   std::string description() const override {
-    return "single-page vector PDF";
+    return "single-page vector PDF (/FlateDecode content stream)";
   }
   std::string render(const model::Schedule& schedule,
                      const RenderOptions& options) const override {
     const GanttLayout layout = layout_gantt(schedule, options);
     PdfCanvas canvas(options.style.width, options.style.height);
     paint_gantt(layout, canvas, options.style);
-    return canvas.finish();
+    return canvas.finish(options.resolved_threads());
   }
 };
 
@@ -99,6 +123,7 @@ ExporterRegistry& ExporterRegistry::instance() {
     r->register_exporter(std::make_unique<PngExporter>());
     r->register_exporter(std::make_unique<PpmExporter>());
     r->register_exporter(std::make_unique<SvgExporter>());
+    r->register_exporter(std::make_unique<SvgzExporter>());
     r->register_exporter(std::make_unique<PdfExporter>());
     r->register_exporter(std::make_unique<AsciiExporter>());
     return r;

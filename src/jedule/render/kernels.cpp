@@ -61,6 +61,105 @@ void copy_row_scalar(std::uint8_t* dst, const std::uint8_t* src,
   std::memcpy(dst, src, npx * 4);
 }
 
+// --- PNG scanline filters (RFC 2083 §6) -------------------------------
+// All arithmetic is mod 256; a/b/c are the left, above and upper-left
+// neighbours of cur[i], taken as 0 outside the row.
+
+std::uint8_t paeth_predict(int a, int b, int c) {
+  const int p = a + b - c;
+  const int pa = p > a ? p - a : a - p;
+  const int pb = p > b ? p - b : b - p;
+  const int pc = p > c ? p - c : c - p;
+  if (pa <= pb && pa <= pc) return static_cast<std::uint8_t>(a);
+  if (pb <= pc) return static_cast<std::uint8_t>(b);
+  return static_cast<std::uint8_t>(c);
+}
+
+void png_filter_row_scalar(int type, std::uint8_t* out,
+                           const std::uint8_t* cur, const std::uint8_t* prev,
+                           std::size_t n, std::size_t bpp) {
+  switch (type) {
+    case 0:
+      if (n > 0) std::memcpy(out, cur, n);
+      break;
+    case 1:  // Sub
+      for (std::size_t i = 0; i < n && i < bpp; ++i) out[i] = cur[i];
+      for (std::size_t i = bpp; i < n; ++i) {
+        out[i] = static_cast<std::uint8_t>(cur[i] - cur[i - bpp]);
+      }
+      break;
+    case 2:  // Up
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = static_cast<std::uint8_t>(cur[i] - prev[i]);
+      }
+      break;
+    case 3:  // Average
+      for (std::size_t i = 0; i < n && i < bpp; ++i) {
+        out[i] = static_cast<std::uint8_t>(cur[i] - prev[i] / 2);
+      }
+      for (std::size_t i = bpp; i < n; ++i) {
+        out[i] = static_cast<std::uint8_t>(cur[i] -
+                                           (cur[i - bpp] + prev[i]) / 2);
+      }
+      break;
+    default:  // Paeth; paeth_predict(0, b, 0) == b for the first pixel
+      for (std::size_t i = 0; i < n && i < bpp; ++i) {
+        out[i] = static_cast<std::uint8_t>(cur[i] - prev[i]);
+      }
+      for (std::size_t i = bpp; i < n; ++i) {
+        out[i] = static_cast<std::uint8_t>(
+            cur[i] - paeth_predict(cur[i - bpp], prev[i], prev[i - bpp]));
+      }
+      break;
+  }
+}
+
+void png_unfilter_row_scalar(int type, std::uint8_t* cur,
+                             const std::uint8_t* prev, std::size_t n,
+                             std::size_t bpp) {
+  switch (type) {
+    case 0:
+      break;
+    case 1:  // Sub
+      for (std::size_t i = bpp; i < n; ++i) {
+        cur[i] = static_cast<std::uint8_t>(cur[i] + cur[i - bpp]);
+      }
+      break;
+    case 2:  // Up
+      for (std::size_t i = 0; i < n; ++i) {
+        cur[i] = static_cast<std::uint8_t>(cur[i] + prev[i]);
+      }
+      break;
+    case 3:  // Average
+      for (std::size_t i = 0; i < n && i < bpp; ++i) {
+        cur[i] = static_cast<std::uint8_t>(cur[i] + prev[i] / 2);
+      }
+      for (std::size_t i = bpp; i < n; ++i) {
+        cur[i] = static_cast<std::uint8_t>(cur[i] +
+                                           (cur[i - bpp] + prev[i]) / 2);
+      }
+      break;
+    default:  // Paeth
+      for (std::size_t i = 0; i < n && i < bpp; ++i) {
+        cur[i] = static_cast<std::uint8_t>(cur[i] + prev[i]);
+      }
+      for (std::size_t i = bpp; i < n; ++i) {
+        cur[i] = static_cast<std::uint8_t>(
+            cur[i] + paeth_predict(cur[i - bpp], prev[i], prev[i - bpp]));
+      }
+      break;
+  }
+}
+
+std::uint64_t png_sad_scalar(const std::uint8_t* data, std::size_t n) {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const unsigned v = data[i];
+    sum += v < 128 ? v : 256 - v;
+  }
+  return sum;
+}
+
 #if defined(JEDULE_KERNELS_X86)
 
 // The four u16 lanes of one pixel's source term s*a, in r,g,b,a byte
@@ -177,6 +276,252 @@ __attribute__((target("avx2"))) void copy_row_avx2(std::uint8_t* dst,
   if (i < npx) copy_row_sse2(dst + i * 4, src + i * 4, npx - i);
 }
 
+// Paeth on eight zero-extended 16-bit lanes. All predictor candidates fit
+// in s16 (|a+b-2c| <= 510), so max(x-y, y-x) gives exact absolute values
+// and the compare masks reproduce paeth_predict's tie-breaking order.
+inline __m128i paeth_predict_epi16_sse2(__m128i a, __m128i b, __m128i c) {
+  const __m128i pa = _mm_max_epi16(_mm_sub_epi16(b, c), _mm_sub_epi16(c, b));
+  const __m128i pb = _mm_max_epi16(_mm_sub_epi16(a, c), _mm_sub_epi16(c, a));
+  const __m128i pp = _mm_sub_epi16(_mm_add_epi16(a, b),
+                                   _mm_add_epi16(c, c));
+  const __m128i pc = _mm_max_epi16(pp, _mm_sub_epi16(_mm_setzero_si128(),
+                                                     pp));
+  const __m128i not_a =
+      _mm_or_si128(_mm_cmpgt_epi16(pa, pb), _mm_cmpgt_epi16(pa, pc));
+  const __m128i not_b = _mm_cmpgt_epi16(pb, pc);
+  const __m128i b_or_c =
+      _mm_or_si128(_mm_and_si128(not_b, c), _mm_andnot_si128(not_b, b));
+  return _mm_or_si128(_mm_and_si128(not_a, b_or_c),
+                      _mm_andnot_si128(not_a, a));
+}
+
+inline __m128i load8_epi16(const std::uint8_t* p) {
+  return _mm_unpacklo_epi8(
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p)),
+      _mm_setzero_si128());
+}
+
+// floor((a + b) / 2) on u8 lanes: avg_epu8 rounds up, so subtract the
+// carry bit (a ^ b) & 1.
+inline __m128i floor_avg_epu8(__m128i a, __m128i b) {
+  return _mm_sub_epi8(_mm_avg_epu8(a, b),
+                      _mm_and_si128(_mm_xor_si128(a, b),
+                                    _mm_set1_epi8(1)));
+}
+
+void png_filter_row_sse2(int type, std::uint8_t* out,
+                         const std::uint8_t* cur, const std::uint8_t* prev,
+                         std::size_t n, std::size_t bpp) {
+  std::size_t i = 0;
+  switch (type) {
+    case 1:  // Sub
+      for (; i < n && i < bpp; ++i) out[i] = cur[i];
+      for (; i + 16 <= n; i += 16) {
+        const __m128i x =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(cur + i));
+        const __m128i a = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(cur + i - bpp));
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                         _mm_sub_epi8(x, a));
+      }
+      for (; i < n; ++i) {
+        out[i] = static_cast<std::uint8_t>(cur[i] - cur[i - bpp]);
+      }
+      break;
+    case 2:  // Up
+      for (; i + 16 <= n; i += 16) {
+        const __m128i x =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(cur + i));
+        const __m128i b =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(prev + i));
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                         _mm_sub_epi8(x, b));
+      }
+      for (; i < n; ++i) {
+        out[i] = static_cast<std::uint8_t>(cur[i] - prev[i]);
+      }
+      break;
+    case 3:  // Average
+      for (; i < n && i < bpp; ++i) {
+        out[i] = static_cast<std::uint8_t>(cur[i] - prev[i] / 2);
+      }
+      for (; i + 16 <= n; i += 16) {
+        const __m128i x =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(cur + i));
+        const __m128i a = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(cur + i - bpp));
+        const __m128i b =
+            _mm_loadu_si128(reinterpret_cast<const __m128i*>(prev + i));
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                         _mm_sub_epi8(x, floor_avg_epu8(a, b)));
+      }
+      for (; i < n; ++i) {
+        out[i] = static_cast<std::uint8_t>(cur[i] -
+                                           (cur[i - bpp] + prev[i]) / 2);
+      }
+      break;
+    case 4:  // Paeth
+      for (; i < n && i < bpp; ++i) {
+        out[i] = static_cast<std::uint8_t>(cur[i] - prev[i]);
+      }
+      for (; i + 8 <= n; i += 8) {
+        const __m128i x = load8_epi16(cur + i);
+        const __m128i a = load8_epi16(cur + i - bpp);
+        const __m128i b = load8_epi16(prev + i);
+        const __m128i c = load8_epi16(prev + i - bpp);
+        const __m128i d =
+            _mm_sub_epi16(x, paeth_predict_epi16_sse2(a, b, c));
+        _mm_storel_epi64(
+            reinterpret_cast<__m128i*>(out + i),
+            _mm_packus_epi16(_mm_and_si128(d, _mm_set1_epi16(0xFF)),
+                             _mm_setzero_si128()));
+      }
+      for (; i < n; ++i) {
+        out[i] = static_cast<std::uint8_t>(
+            cur[i] - paeth_predict(cur[i - bpp], prev[i], prev[i - bpp]));
+      }
+      break;
+    default:
+      png_filter_row_scalar(type, out, cur, prev, n, bpp);
+      break;
+  }
+}
+
+void png_unfilter_row_sse2(int type, std::uint8_t* cur,
+                           const std::uint8_t* prev, std::size_t n,
+                           std::size_t bpp) {
+  if (type != 2) {  // Sub/Average/Paeth carry a loop dependency
+    png_unfilter_row_scalar(type, cur, prev, n, bpp);
+    return;
+  }
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i x =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(cur + i));
+    const __m128i b =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(prev + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(cur + i),
+                     _mm_add_epi8(x, b));
+  }
+  for (; i < n; ++i) {
+    cur[i] = static_cast<std::uint8_t>(cur[i] + prev[i]);
+  }
+}
+
+std::uint64_t png_sad_sse2(const std::uint8_t* data, std::size_t n) {
+  const __m128i zero = _mm_setzero_si128();
+  __m128i acc = zero;
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i));
+    // min(v, 256-v) per byte == |signed byte|; 0-v wraps mod 256.
+    const __m128i folded = _mm_min_epu8(v, _mm_sub_epi8(zero, v));
+    acc = _mm_add_epi64(acc, _mm_sad_epu8(folded, zero));
+  }
+  std::uint64_t lanes[2];
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(lanes), acc);
+  return lanes[0] + lanes[1] + png_sad_scalar(data + i, n - i);
+}
+
+__attribute__((target("avx2"))) void png_filter_row_avx2(
+    int type, std::uint8_t* out, const std::uint8_t* cur,
+    const std::uint8_t* prev, std::size_t n, std::size_t bpp) {
+  std::size_t i = 0;
+  switch (type) {
+    case 1:  // Sub
+      for (; i < n && i < bpp; ++i) out[i] = cur[i];
+      for (; i + 32 <= n; i += 32) {
+        const __m256i x =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cur + i));
+        const __m256i a = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(cur + i - bpp));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                            _mm256_sub_epi8(x, a));
+      }
+      for (; i < n; ++i) {
+        out[i] = static_cast<std::uint8_t>(cur[i] - cur[i - bpp]);
+      }
+      break;
+    case 2:  // Up
+      for (; i + 32 <= n; i += 32) {
+        const __m256i x =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cur + i));
+        const __m256i b =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(prev + i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                            _mm256_sub_epi8(x, b));
+      }
+      for (; i < n; ++i) {
+        out[i] = static_cast<std::uint8_t>(cur[i] - prev[i]);
+      }
+      break;
+    case 3:  // Average
+      for (; i < n && i < bpp; ++i) {
+        out[i] = static_cast<std::uint8_t>(cur[i] - prev[i] / 2);
+      }
+      for (; i + 32 <= n; i += 32) {
+        const __m256i x =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cur + i));
+        const __m256i a = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(cur + i - bpp));
+        const __m256i b =
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(prev + i));
+        const __m256i avg = _mm256_sub_epi8(
+            _mm256_avg_epu8(a, b),
+            _mm256_and_si256(_mm256_xor_si256(a, b), _mm256_set1_epi8(1)));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i),
+                            _mm256_sub_epi8(x, avg));
+      }
+      for (; i < n; ++i) {
+        out[i] = static_cast<std::uint8_t>(cur[i] -
+                                           (cur[i - bpp] + prev[i]) / 2);
+      }
+      break;
+    default:
+      png_filter_row_sse2(type, out, cur, prev, n, bpp);
+      break;
+  }
+}
+
+__attribute__((target("avx2"))) void png_unfilter_row_avx2(
+    int type, std::uint8_t* cur, const std::uint8_t* prev, std::size_t n,
+    std::size_t bpp) {
+  if (type != 2) {
+    png_unfilter_row_scalar(type, cur, prev, n, bpp);
+    return;
+  }
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i x =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cur + i));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(prev + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(cur + i),
+                        _mm256_add_epi8(x, b));
+  }
+  for (; i < n; ++i) {
+    cur[i] = static_cast<std::uint8_t>(cur[i] + prev[i]);
+  }
+}
+
+__attribute__((target("avx2"))) std::uint64_t png_sad_avx2(
+    const std::uint8_t* data, std::size_t n) {
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i acc = zero;
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + i));
+    const __m256i folded = _mm256_min_epu8(v, _mm256_sub_epi8(zero, v));
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(folded, zero));
+  }
+  std::uint64_t lanes[4];
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3] +
+         png_sad_scalar(data + i, n - i);
+}
+
 #endif  // JEDULE_KERNELS_X86
 
 #if defined(JEDULE_KERNELS_NEON)
@@ -226,6 +571,107 @@ void copy_row_neon(std::uint8_t* dst, const std::uint8_t* src,
   if (i < npx) std::memcpy(dst + i * 4, src + i * 4, (npx - i) * 4);
 }
 
+// Paeth on eight widened 16-bit lanes; |b-c| and |a-c| fit u8 (vabd), and
+// |a+b-2c| <= 510 fits u16. The select order matches paeth_predict.
+uint16x8_t paeth_predict_u16_neon(uint16x8_t a, uint16x8_t b, uint16x8_t c) {
+  const uint16x8_t pa = vabdq_u16(b, c);
+  const uint16x8_t pb = vabdq_u16(a, c);
+  const uint16x8_t pc = vabdq_u16(vaddq_u16(a, b), vaddq_u16(c, c));
+  const uint16x8_t a_ok =
+      vandq_u16(vcleq_u16(pa, pb), vcleq_u16(pa, pc));
+  const uint16x8_t b_ok = vcleq_u16(pb, pc);
+  return vbslq_u16(a_ok, a, vbslq_u16(b_ok, b, c));
+}
+
+void png_filter_row_neon(int type, std::uint8_t* out,
+                         const std::uint8_t* cur, const std::uint8_t* prev,
+                         std::size_t n, std::size_t bpp) {
+  std::size_t i = 0;
+  switch (type) {
+    case 1:  // Sub
+      for (; i < n && i < bpp; ++i) out[i] = cur[i];
+      for (; i + 16 <= n; i += 16) {
+        vst1q_u8(out + i, vsubq_u8(vld1q_u8(cur + i),
+                                   vld1q_u8(cur + i - bpp)));
+      }
+      for (; i < n; ++i) {
+        out[i] = static_cast<std::uint8_t>(cur[i] - cur[i - bpp]);
+      }
+      break;
+    case 2:  // Up
+      for (; i + 16 <= n; i += 16) {
+        vst1q_u8(out + i,
+                 vsubq_u8(vld1q_u8(cur + i), vld1q_u8(prev + i)));
+      }
+      for (; i < n; ++i) {
+        out[i] = static_cast<std::uint8_t>(cur[i] - prev[i]);
+      }
+      break;
+    case 3:  // Average; vhaddq_u8 is exactly floor((a + b) / 2)
+      for (; i < n && i < bpp; ++i) {
+        out[i] = static_cast<std::uint8_t>(cur[i] - prev[i] / 2);
+      }
+      for (; i + 16 <= n; i += 16) {
+        const uint8x16_t avg =
+            vhaddq_u8(vld1q_u8(cur + i - bpp), vld1q_u8(prev + i));
+        vst1q_u8(out + i, vsubq_u8(vld1q_u8(cur + i), avg));
+      }
+      for (; i < n; ++i) {
+        out[i] = static_cast<std::uint8_t>(cur[i] -
+                                           (cur[i - bpp] + prev[i]) / 2);
+      }
+      break;
+    case 4:  // Paeth
+      for (; i < n && i < bpp; ++i) {
+        out[i] = static_cast<std::uint8_t>(cur[i] - prev[i]);
+      }
+      for (; i + 8 <= n; i += 8) {
+        const uint16x8_t x = vmovl_u8(vld1_u8(cur + i));
+        const uint16x8_t a = vmovl_u8(vld1_u8(cur + i - bpp));
+        const uint16x8_t b = vmovl_u8(vld1_u8(prev + i));
+        const uint16x8_t c = vmovl_u8(vld1_u8(prev + i - bpp));
+        vst1_u8(out + i,
+                vmovn_u16(vsubq_u16(x, paeth_predict_u16_neon(a, b, c))));
+      }
+      for (; i < n; ++i) {
+        out[i] = static_cast<std::uint8_t>(
+            cur[i] - paeth_predict(cur[i - bpp], prev[i], prev[i - bpp]));
+      }
+      break;
+    default:
+      png_filter_row_scalar(type, out, cur, prev, n, bpp);
+      break;
+  }
+}
+
+void png_unfilter_row_neon(int type, std::uint8_t* cur,
+                           const std::uint8_t* prev, std::size_t n,
+                           std::size_t bpp) {
+  if (type != 2) {  // Sub/Average/Paeth carry a loop dependency
+    png_unfilter_row_scalar(type, cur, prev, n, bpp);
+    return;
+  }
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    vst1q_u8(cur + i, vaddq_u8(vld1q_u8(cur + i), vld1q_u8(prev + i)));
+  }
+  for (; i < n; ++i) {
+    cur[i] = static_cast<std::uint8_t>(cur[i] + prev[i]);
+  }
+}
+
+std::uint64_t png_sad_neon(const std::uint8_t* data, std::size_t n) {
+  uint32x4_t acc = vdupq_n_u32(0);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const uint8x16_t v = vld1q_u8(data + i);
+    // min(v, 256-v) per byte == |signed byte|.
+    const uint8x16_t folded = vminq_u8(v, vsubq_u8(vdupq_n_u8(0), v));
+    acc = vpadalq_u16(acc, vpaddlq_u8(folded));
+  }
+  return vaddvq_u32(acc) + png_sad_scalar(data + i, n - i);
+}
+
 #endif  // JEDULE_KERNELS_NEON
 
 std::atomic<const Kernels*> g_override{nullptr};
@@ -242,8 +688,10 @@ const Kernels* env_or_best() {
 }  // namespace
 
 const Kernels& scalar() {
-  static const Kernels k{"scalar", fill_row_scalar, blend_row_scalar,
-                         copy_row_scalar};
+  static const Kernels k{"scalar",          fill_row_scalar,
+                         blend_row_scalar,  copy_row_scalar,
+                         png_filter_row_scalar, png_unfilter_row_scalar,
+                         png_sad_scalar};
   return k;
 }
 
@@ -253,19 +701,25 @@ const std::vector<const Kernels*>& available() {
 #if defined(JEDULE_KERNELS_X86)
     const auto& cpu = util::cpu_features();
     if (cpu.sse2) {
-      static const Kernels sse2{"sse2", fill_row_sse2, blend_row_sse2,
-                                copy_row_sse2};
+      static const Kernels sse2{"sse2",          fill_row_sse2,
+                                blend_row_sse2,  copy_row_sse2,
+                                png_filter_row_sse2, png_unfilter_row_sse2,
+                                png_sad_sse2};
       v.push_back(&sse2);
     }
     if (cpu.avx2) {
-      static const Kernels avx2{"avx2", fill_row_avx2, blend_row_avx2,
-                                copy_row_avx2};
+      static const Kernels avx2{"avx2",          fill_row_avx2,
+                                blend_row_avx2,  copy_row_avx2,
+                                png_filter_row_avx2, png_unfilter_row_avx2,
+                                png_sad_avx2};
       v.push_back(&avx2);
     }
 #elif defined(JEDULE_KERNELS_NEON)
     if (util::cpu_features().neon) {
-      static const Kernels neon{"neon", fill_row_neon, blend_row_neon,
-                                copy_row_neon};
+      static const Kernels neon{"neon",          fill_row_neon,
+                                blend_row_neon,  copy_row_neon,
+                                png_filter_row_neon, png_unfilter_row_neon,
+                                png_sad_neon};
       v.push_back(&neon);
     }
 #endif

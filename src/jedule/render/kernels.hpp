@@ -1,9 +1,10 @@
 #pragma once
 
-// Runtime-dispatched SIMD row kernels for the software rasterizer
-// (DESIGN.md §4e). Three primitives cover every hot inner loop of the
-// raster path: opaque row fill (pattern broadcast), source-over alpha
-// blend, and row copy. Each has scalar, SSE2, AVX2 and NEON variants;
+// Runtime-dispatched SIMD row kernels for the software rasterizer and the
+// PNG codec (DESIGN.md §4e, §4g). Six primitives cover every hot inner
+// loop: opaque row fill (pattern broadcast), source-over alpha blend, row
+// copy, PNG scanline filter/unfilter, and the sum-of-absolute-differences
+// filter-selection score. Each has scalar, SSE2, AVX2 and NEON variants;
 // dispatch picks the best one the executing CPU supports, decided once at
 // startup.
 //
@@ -42,11 +43,37 @@ using BlendRowFn = void (*)(std::uint8_t* row, std::size_t npx,
 using CopyRowFn = void (*)(std::uint8_t* dst, const std::uint8_t* src,
                            std::size_t npx);
 
+/// Applies PNG scanline filter `type` (0=None, 1=Sub, 2=Up, 3=Average,
+/// 4=Paeth; RFC 2083 §6) to one row of `n` bytes with `bpp` bytes per
+/// pixel: out[i] = cur[i] - predictor. `prev` is the prior *unfiltered*
+/// row and must point at `n` zero bytes for the first scanline. All
+/// arithmetic is mod 256, so every variant is bit-exact with scalar.
+using PngFilterRowFn = void (*)(int type, std::uint8_t* out,
+                                const std::uint8_t* cur,
+                                const std::uint8_t* prev, std::size_t n,
+                                std::size_t bpp);
+
+/// Reverses a PNG scanline filter in place: `cur` holds the filtered bytes
+/// on entry and the reconstructed row on return. `prev` is the prior
+/// *reconstructed* row (`n` zero bytes for the first scanline). Only Up is
+/// data-parallel; Sub/Average/Paeth carry a loop dependency and run the
+/// scalar path in every variant.
+using PngUnfilterRowFn = void (*)(int type, std::uint8_t* cur,
+                                  const std::uint8_t* prev, std::size_t n,
+                                  std::size_t bpp);
+
+/// Sum over min(b, 256-b) of each byte — the minimum-sum-of-absolute-
+/// differences heuristic that scores one filtered scanline candidate.
+using PngSadFn = std::uint64_t (*)(const std::uint8_t* data, std::size_t n);
+
 struct Kernels {
   const char* name;  // "scalar", "sse2", "avx2", "neon"
   FillRowFn fill_row;
   BlendRowFn blend_row;
   CopyRowFn copy_row;
+  PngFilterRowFn png_filter_row;
+  PngUnfilterRowFn png_unfilter_row;
+  PngSadFn png_sad;
 };
 
 /// The portable reference variant (always present).

@@ -1,5 +1,6 @@
 #include "jedule/render/pdf.hpp"
 
+#include "jedule/render/deflate.hpp"
 #include "jedule/util/strings.hpp"
 
 namespace jedule::render {
@@ -60,16 +61,22 @@ double PdfCanvas::text_width(std::string_view text, int size) const {
 
 double PdfCanvas::text_height(int size) const { return size; }
 
-std::string PdfCanvas::finish() const {
+std::string PdfCanvas::finish(int threads) const {
   // Objects: 1 catalog, 2 pages, 3 page, 4 contents, 5 font.
+  const auto z = zlib_compress(
+      reinterpret_cast<const std::uint8_t*>(content_.data()),
+      content_.size(), DeflateStrategy::dynamic, threads);
+  const std::string packed(reinterpret_cast<const char*>(z.data()),
+                           z.size());
   std::string objects[6];
   objects[1] = "<< /Type /Catalog /Pages 2 0 R >>";
   objects[2] = "<< /Type /Pages /Kids [3 0 R] /Count 1 >>";
   objects[3] = "<< /Type /Page /Parent 2 0 R /MediaBox [0 0 " +
                std::to_string(width_) + " " + std::to_string(height_) +
                "] /Contents 4 0 R /Resources << /Font << /F1 5 0 R >> >> >>";
-  objects[4] = "<< /Length " + std::to_string(content_.size()) +
-               " >>\nstream\n" + content_ + "endstream";
+  objects[4] = "<< /Length " + std::to_string(packed.size()) +
+               " /Filter /FlateDecode >>\nstream\n" + packed +
+               "\nendstream";
   objects[5] =
       "<< /Type /Font /Subtype /Type1 /BaseFont /Helvetica >>";
 

@@ -30,8 +30,10 @@ class PdfCanvas final : public Canvas {
   double text_width(std::string_view text, int size) const override;
   double text_height(int size) const override;
 
-  /// Complete PDF file bytes.
-  std::string finish() const;
+  /// Complete PDF file bytes. The page content stream is stored
+  /// /FlateDecode-compressed (zlib, in-tree deflate) over up to `threads`
+  /// workers; output is byte-identical for every thread count.
+  std::string finish(int threads = 1) const;
 
  private:
   /// PDF pages have a bottom-left origin; charts use top-left.

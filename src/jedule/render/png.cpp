@@ -4,8 +4,9 @@
 
 #include "jedule/io/file.hpp"
 #include "jedule/render/deflate.hpp"
-#include "jedule/util/inflate.hpp"
+#include "jedule/render/kernels.hpp"
 #include "jedule/util/error.hpp"
+#include "jedule/util/inflate.hpp"
 #include "jedule/util/parallel.hpp"
 
 namespace jedule::render {
@@ -31,17 +32,67 @@ void put_chunk(std::string& out, const char type[4], const std::string& data,
   put_u32(out, crc);
 }
 
-int paeth(int a, int b, int c) {
-  const int p = a + b - c;
-  const int pa = std::abs(p - a);
-  const int pb = std::abs(p - b);
-  const int pc = std::abs(p - c);
-  if (pa <= pb && pa <= pc) return a;
-  if (pb <= pc) return b;
-  return c;
-}
+constexpr std::size_t kBytesPerPixel = 3;  // the encoder always emits RGB
 
 }  // namespace
+
+std::vector<std::uint8_t> filter_scanlines(const Framebuffer& fb,
+                                           int threads) {
+  const auto width = static_cast<std::size_t>(fb.width());
+  const auto height = static_cast<std::size_t>(fb.height());
+  const std::size_t rowlen = width * kBytesPerPixel;
+  const std::size_t stride = rowlen + 1;  // + filter-type byte
+
+  // Pass 1: pack RGBA pixels into raw RGB rows (no filter bytes) so the
+  // filter pass can read any row's unfiltered predecessor.
+  std::vector<std::uint8_t> rgb(rowlen * height);
+  const auto& px = fb.pixels();
+  util::parallel_for(height, threads, [&](std::size_t y) {
+    std::uint8_t* row = rgb.data() + y * rowlen;
+    const std::uint8_t* src = px.data() + y * width * 4;
+    for (std::size_t x = 0; x < width; ++x) {
+      row[x * 3] = src[x * 4];
+      row[x * 3 + 1] = src[x * 4 + 1];
+      row[x * 3 + 2] = src[x * 4 + 2];
+    }
+  });
+
+  // Pass 2: per row, score all five filters by sum of absolute differences
+  // and keep the cheapest (ties go to the lowest filter type). The choice
+  // is a pure function of the row bytes, so output is identical for every
+  // thread count; SAD is exact integer math, so it is also identical for
+  // every SIMD kernel.
+  std::vector<std::uint8_t> out(stride * height);
+  const std::vector<std::uint8_t> zero_row(rowlen, 0);
+  const kernels::Kernels& k = kernels::active();
+  util::parallel_for(height, threads, [&](std::size_t y) {
+    const std::uint8_t* cur = rgb.data() + y * rowlen;
+    const std::uint8_t* prev = y > 0 ? cur - rowlen : zero_row.data();
+    thread_local std::vector<std::uint8_t> scratch;
+    if (scratch.size() < rowlen * 4) scratch.resize(rowlen * 4);
+
+    int best = 0;
+    std::uint64_t best_score = k.png_sad(cur, rowlen);
+    for (int type = 1; type <= 4; ++type) {
+      std::uint8_t* cand = scratch.data() + (type - 1) * rowlen;
+      k.png_filter_row(type, cand, cur, prev, rowlen, kBytesPerPixel);
+      const std::uint64_t score = k.png_sad(cand, rowlen);
+      if (score < best_score) {
+        best = type;
+        best_score = score;
+      }
+    }
+
+    std::uint8_t* dst = out.data() + y * stride;
+    dst[0] = static_cast<std::uint8_t>(best);
+    if (best == 0) {
+      std::memcpy(dst + 1, cur, rowlen);
+    } else {
+      std::memcpy(dst + 1, scratch.data() + (best - 1) * rowlen, rowlen);
+    }
+  });
+  return out;
+}
 
 std::string encode_png(const Framebuffer& fb, int threads) {
   std::string out("\x89PNG\r\n\x1a\n", 8);
@@ -56,26 +107,9 @@ std::string encode_png(const Framebuffer& fb, int threads) {
   ihdr += static_cast<char>(0);  // no interlace
   put_chunk(out, "IHDR", ihdr);
 
-  // Raw scanlines: filter byte 0 (None) + RGB triples. The deflate LZ77
-  // stage captures the long horizontal runs of a Gantt chart directly.
-  const std::size_t stride = static_cast<std::size_t>(fb.width()) * 3 + 1;
-  std::vector<std::uint8_t> raw(stride * static_cast<std::size_t>(fb.height()));
-  const auto& px = fb.pixels();
-  util::parallel_for(static_cast<std::size_t>(fb.height()), threads,
-                     [&](std::size_t y) {
-    std::uint8_t* row = raw.data() + y * stride;
-    row[0] = 0;  // filter: None
-    const std::uint8_t* src =
-        px.data() + y * static_cast<std::size_t>(fb.width()) * 4;
-    for (int x = 0; x < fb.width(); ++x) {
-      row[1 + x * 3] = src[x * 4];
-      row[2 + x * 3] = src[x * 4 + 1];
-      row[3 + x * 3] = src[x * 4 + 2];
-    }
-  });
-
-  const auto z = zlib_compress(raw.data(), raw.size(), /*compress=*/true,
-                               threads);
+  const auto raw = filter_scanlines(fb, threads);
+  const auto z = zlib_compress(raw.data(), raw.size(),
+                               DeflateStrategy::dynamic, threads);
   put_chunk(out, "IDAT",
             std::string(reinterpret_cast<const char*>(z.data()), z.size()),
             threads);
@@ -139,38 +173,31 @@ Framebuffer decode_png(const std::string& bytes) {
     throw ParseError("png: pixel data size mismatch");
   }
 
-  // Undo per-scanline filtering.
+  // Undo per-scanline filtering through the dispatched unfilter kernel
+  // (the same rows the encoder's filter kernel produced).
   std::vector<std::uint8_t> img(stride * static_cast<std::size_t>(height));
-  const int bpp = channels;
+  const std::size_t rowlen = stride - 1;
+  const std::vector<std::uint8_t> zero_row(rowlen, 0);
+  const auto bpp = static_cast<std::size_t>(channels);
+  const kernels::Kernels& k = kernels::active();
   for (int y = 0; y < height; ++y) {
-    const std::uint8_t* src = raw.data() + static_cast<std::size_t>(y) * stride;
+    const std::uint8_t* src =
+        raw.data() + static_cast<std::size_t>(y) * stride;
     std::uint8_t* dst = img.data() + static_cast<std::size_t>(y) * stride;
     const std::uint8_t* above =
-        y > 0 ? img.data() + static_cast<std::size_t>(y - 1) * stride : nullptr;
+        y > 0 ? img.data() + static_cast<std::size_t>(y - 1) * stride + 1
+              : zero_row.data();
     const int filter = src[0];
+    if (filter > 4) throw ParseError("png: unknown filter type");
     dst[0] = 0;
-    const int rowlen = static_cast<int>(stride) - 1;
-    for (int i = 0; i < rowlen; ++i) {
-      const int x = src[1 + i];
-      const int a = i >= bpp ? dst[1 + i - bpp] : 0;
-      const int b = above != nullptr ? above[1 + i] : 0;
-      const int c = (above != nullptr && i >= bpp) ? above[1 + i - bpp] : 0;
-      int v = 0;
-      switch (filter) {
-        case 0: v = x; break;
-        case 1: v = x + a; break;
-        case 2: v = x + b; break;
-        case 3: v = x + (a + b) / 2; break;
-        case 4: v = x + paeth(a, b, c); break;
-        default: throw ParseError("png: unknown filter type");
-      }
-      dst[1 + i] = static_cast<std::uint8_t>(v & 0xFF);
-    }
+    std::memcpy(dst + 1, src + 1, rowlen);
+    k.png_unfilter_row(filter, dst + 1, above, rowlen, bpp);
   }
 
   Framebuffer fb(width, height);
   for (int y = 0; y < height; ++y) {
-    const std::uint8_t* row = img.data() + static_cast<std::size_t>(y) * stride + 1;
+    const std::uint8_t* row =
+        img.data() + static_cast<std::size_t>(y) * stride + 1;
     for (int x = 0; x < width; ++x) {
       Color c;
       c.r = row[x * channels];

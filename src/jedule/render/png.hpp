@@ -1,20 +1,30 @@
 #pragma once
 
 // PNG (RFC 2083) encoder for Framebuffer images, plus a decoder for the
-// subset this encoder emits (8-bit RGB/RGBA, filter types 0/1), used by the
-// round-trip tests.
+// subset this encoder emits (8-bit RGB/RGBA, filter types 0-4), used by
+// the round-trip tests.
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "jedule/render/framebuffer.hpp"
 
 namespace jedule::render {
 
-/// Encodes as an 8-bit RGB PNG (the framebuffer is always opaque). The
-/// zlib payload uses the in-tree fixed-Huffman deflate. Scanline packing,
-/// deflate chunks and the IDAT CRC run over up to `threads` workers; the
-/// encoded bytes are identical for every thread count.
+/// Encodes as an 8-bit RGB PNG (the framebuffer is always opaque). Each
+/// scanline gets the filter (None/Sub/Up/Average/Paeth) with the minimum
+/// sum of absolute differences before the zlib payload is built by the
+/// in-tree dynamic-Huffman deflate. Packing, filtering, deflate chunks and
+/// the IDAT CRC run over up to `threads` workers; the encoded bytes are
+/// identical for every thread count and SIMD kernel.
 std::string encode_png(const Framebuffer& fb, int threads = 1);
+
+/// The filtered IDAT scanline payload (filter-type byte + filtered RGB
+/// bytes per row) with per-row minimum-SAD filter selection — the stage
+/// between rasterization and deflate, exposed for benches and tests.
+std::vector<std::uint8_t> filter_scanlines(const Framebuffer& fb,
+                                           int threads = 1);
 
 void save_png(const Framebuffer& fb, const std::string& path,
               int threads = 1);

@@ -68,6 +68,32 @@ std::string entry_json(const engine::ScheduleEntry& entry) {
   return out;
 }
 
+// RFC 9110 Accept-Encoding: does the client accept gzip? A listed
+// "gzip;q=0" is an explicit refusal; "*" matches gzip unless gzip itself
+// appears with another q-value.
+bool accepts_gzip(const HttpRequest& request) {
+  const auto it = request.headers.find("accept-encoding");
+  if (it == request.headers.end()) return false;
+  bool wildcard_ok = false;
+  for (const auto& part : util::split(it->second, ',')) {
+    const std::string token = util::to_lower(util::trim(part));
+    const std::size_t semi = token.find(';');
+    const std::string coding{util::trim(token.substr(0, semi))};
+    bool q_zero = false;
+    if (semi != std::string::npos) {
+      const std::size_t q = token.find("q=", semi);
+      if (q != std::string::npos) {
+        const std::string qv{util::trim(token.substr(q + 2))};
+        q_zero = !qv.empty() &&
+                 qv.find_first_not_of("0.") == std::string::npos;
+      }
+    }
+    if (coding == "gzip") return !q_zero;
+    if (coding == "*" && !q_zero) wildcard_ok = true;
+  }
+  return wildcard_ok;
+}
+
 long long parse_integer(const std::string& value, const char* name) {
   std::size_t digits = value.size();
   if (!value.empty() && (value[0] == '-' || value[0] == '+')) --digits;
@@ -311,12 +337,30 @@ HttpResponse Server::handle_schedule_resource(const HttpRequest& request,
     // rejected there (no server-side file reads from request input).
     render::RenderOptions options =
         engine::render_options_from(query_lookup, /*allow_cmap_file=*/false);
+    // Text-based bodies compress well and stay cheap to negotiate: svg and
+    // ascii are gzip-encoded when the client accepts it (the compressed
+    // bytes are cached by the render service, so only the first negotiated
+    // request pays for deflate). Binary formats (png, pdf, svgz) are
+    // already compressed and always go out as-is.
+    const bool negotiable = format == "svg" || format == "ascii";
+    const auto encoding = negotiable && accepts_gzip(request)
+                              ? engine::RenderService::Encoding::gzip
+                              : engine::RenderService::Encoding::identity;
     engine::RenderService::Artifact artifact =
-        renders_.render(entry, std::move(options), format);
+        renders_.render(entry, std::move(options), format, encoding);
     HttpResponse resp;
     resp.media_type = artifact.media_type;
     resp.headers["X-Cache"] = artifact.cache_hit ? "hit" : "miss";
+    if (negotiable) resp.headers["Vary"] = "Accept-Encoding";
+    // A .svgz body is a gzip stream by definition; label it so clients
+    // transparently decompress to SVG.
+    const bool gzip_wire =
+        encoding == engine::RenderService::Encoding::gzip || format == "svgz";
+    if (gzip_wire) resp.headers["Content-Encoding"] = "gzip";
     resp.body = *artifact.bytes;
+    wire_bytes_.fetch_add(resp.body.size());
+    raw_bytes_.fetch_add(artifact.raw_size);
+    (gzip_wire ? gzip_responses_ : identity_responses_).fetch_add(1);
     return resp;
   }
 
@@ -336,6 +380,9 @@ HttpResponse Server::handle_schedule_resource(const HttpRequest& request,
     resp.media_type = artifact.media_type;
     resp.headers["X-Cache"] = artifact.cache_hit ? "hit" : "miss";
     resp.body = *artifact.bytes;
+    wire_bytes_.fetch_add(resp.body.size());
+    raw_bytes_.fetch_add(artifact.raw_size);
+    identity_responses_.fetch_add(1);
     return resp;
   }
 
@@ -348,6 +395,10 @@ Server::Counters Server::counters() const {
   c.served = served_.load();
   c.rejected_429 = rejected_429_.load();
   c.errors = errors_.load();
+  c.wire_bytes = wire_bytes_.load();
+  c.raw_bytes = raw_bytes_.load();
+  c.gzip_responses = gzip_responses_.load();
+  c.identity_responses = identity_responses_.load();
   return c;
 }
 
@@ -384,6 +435,11 @@ std::string Server::stats_json() const {
   out += ",\"errors\":" + std::to_string(c.errors);
   out += ",\"queue_depth\":" + std::to_string(pool_ ? pool_->queued() : 0);
   out += ",\"threads\":" + std::to_string(pool_ ? pool_->threads() : 0);
+  out += "},\"encoding\":{";
+  out += "\"wire_bytes\":" + std::to_string(c.wire_bytes);
+  out += ",\"raw_bytes\":" + std::to_string(c.raw_bytes);
+  out += ",\"gzip_responses\":" + std::to_string(c.gzip_responses);
+  out += ",\"identity_responses\":" + std::to_string(c.identity_responses);
   out += "}}\n";
   return out;
 }

@@ -9,8 +9,14 @@
 //   GET    /schedules                       list stored schedules
 //   GET    /schedules/{id}                  one schedule's metadata
 //   DELETE /schedules/{id}                  drop a schedule
-//   GET    /schedules/{id}/render.{ext}     export (png/svg/pdf/ppm/ascii);
-//                                           query params = CLI flag names
+//   GET    /schedules/{id}/render.{ext}     export (png/svg/svgz/pdf/ppm/
+//                                           ascii); query params = CLI
+//                                           flag names. Text-based bodies
+//                                           (svg, ascii) are served
+//                                           Content-Encoding: gzip when the
+//                                           request's Accept-Encoding
+//                                           allows it; svgz is always a
+//                                           gzip stream
 //   GET    /schedules/{id}/tile?x=&y=&zoom= windowed viewport tile (PNG)
 //   GET    /stats                           store/cache/server counters
 //   GET    /healthz                         liveness probe
@@ -55,6 +61,13 @@ class Server {
     std::uint64_t served = 0;        // responses written (any status)
     std::uint64_t rejected_429 = 0;  // shed at the listener, queue full
     std::uint64_t errors = 0;        // 5xx responses + dead-peer writes
+    // Render/tile delivery accounting: bytes actually sent vs the size of
+    // the identity (uncompressed) artifacts they carry, plus how many
+    // bodies went out per Content-Encoding.
+    std::uint64_t wire_bytes = 0;
+    std::uint64_t raw_bytes = 0;
+    std::uint64_t gzip_responses = 0;
+    std::uint64_t identity_responses = 0;
   };
 
   Server() : Server(Options{}) {}
@@ -114,6 +127,10 @@ class Server {
   std::atomic<std::uint64_t> served_{0};
   std::atomic<std::uint64_t> rejected_429_{0};
   std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> wire_bytes_{0};
+  std::atomic<std::uint64_t> raw_bytes_{0};
+  std::atomic<std::uint64_t> gzip_responses_{0};
+  std::atomic<std::uint64_t> identity_responses_{0};
 };
 
 }  // namespace jedule::serve

@@ -55,21 +55,41 @@ class BitReader {
 /// Canonical Huffman decoder built from code lengths (RFC 1951 §3.2.2),
 /// decoding with the standard first-code-per-length walk: O(code length)
 /// per symbol.
+///
+/// The constructor validates the Kraft sum the way zlib's inflate_table
+/// does: an oversubscribed set (more codes than the tree can hold) is
+/// always rejected; an incomplete set (unused code space, which would make
+/// some bit patterns undecodable) is rejected unless `allow_incomplete`
+/// and at most one code is in use — the one shape valid streams produce
+/// (a literal/length or distance alphabet with a single symbol, or a
+/// distance alphabet with none).
 class HuffmanTable {
  public:
-  explicit HuffmanTable(const std::vector<int>& lengths) {
+  explicit HuffmanTable(const std::vector<int>& lengths,
+                        bool allow_incomplete = false) {
+    int used = 0;
     for (int len : lengths) {
       JED_ASSERT(len >= 0 && len <= kMaxBits);
       ++count_[static_cast<std::size_t>(len)];
+      if (len > 0) ++used;
     }
     count_[0] = 0;
     int code = 0;
     int offset = 0;
+    int left = 1;  // code space still unclaimed, in units of 2^-bits
     for (int bits = 1; bits <= kMaxBits; ++bits) {
+      left <<= 1;
+      left -= count_[static_cast<std::size_t>(bits)];
+      if (left < 0) {
+        throw ParseError("deflate: oversubscribed Huffman code lengths");
+      }
       first_code_[static_cast<std::size_t>(bits)] = code;
       first_index_[static_cast<std::size_t>(bits)] = offset;
       code = (code + count_[static_cast<std::size_t>(bits)]) << 1;
       offset += count_[static_cast<std::size_t>(bits)];
+    }
+    if (left > 0 && !(allow_incomplete && used <= 1)) {
+      throw ParseError("deflate: incomplete Huffman code lengths");
     }
     symbols_.resize(static_cast<std::size_t>(offset));
     std::array<int, kMaxBits + 1> next = first_index_;
@@ -128,7 +148,9 @@ std::vector<int> fixed_literal_lengths() {
   return lengths;
 }
 
-std::vector<int> fixed_distance_lengths() { return std::vector<int>(30, 5); }
+// All 32 5-bit distance codes exist in the fixed tree (RFC 1951 §3.2.6);
+// 30 and 31 never appear in valid data and are rejected after decode.
+std::vector<int> fixed_distance_lengths() { return std::vector<int>(32, 5); }
 
 void inflate_block(BitReader& br, const HuffmanTable& literals,
                    const HuffmanTable& distances,
@@ -184,6 +206,10 @@ std::vector<std::uint8_t> inflate_decompress(const std::uint8_t* data,
       const int hlit = static_cast<int>(br.get_bits(5)) + 257;
       const int hdist = static_cast<int>(br.get_bits(5)) + 1;
       const int hclen = static_cast<int>(br.get_bits(4)) + 4;
+      if (hlit > 286) {
+        throw ParseError("deflate: too many literal/length codes");
+      }
+      if (hdist > 30) throw ParseError("deflate: too many distance codes");
       static constexpr int kOrder[19] = {16, 17, 18, 0, 8,  7, 9,  6, 10, 5,
                                          11, 4,  12, 3, 13, 2, 14, 1, 15};
       std::vector<int> code_lengths(19, 0);
@@ -191,29 +217,45 @@ std::vector<std::uint8_t> inflate_decompress(const std::uint8_t* data,
         code_lengths[static_cast<std::size_t>(kOrder[i])] =
             static_cast<int>(br.get_bits(3));
       }
+      // The code-length table must be exactly complete: every bit pattern
+      // the header can contain has to decode (zlib's CODES policy).
       const HuffmanTable code_table(code_lengths);
+      const auto total = static_cast<std::size_t>(hlit + hdist);
       std::vector<int> lengths;
-      lengths.reserve(static_cast<std::size_t>(hlit + hdist));
-      while (lengths.size() < static_cast<std::size_t>(hlit + hdist)) {
+      lengths.reserve(total);
+      while (lengths.size() < total) {
         const int sym = code_table.decode(br);
         if (sym < 16) {
           lengths.push_back(sym);
-        } else if (sym == 16) {
-          if (lengths.empty()) throw ParseError("deflate: bad repeat");
-          const int count = 3 + static_cast<int>(br.get_bits(2));
-          for (int i = 0; i < count; ++i) lengths.push_back(lengths.back());
-        } else if (sym == 17) {
-          const int count = 3 + static_cast<int>(br.get_bits(3));
-          for (int i = 0; i < count; ++i) lengths.push_back(0);
-        } else {
-          const int count = 11 + static_cast<int>(br.get_bits(7));
-          for (int i = 0; i < count; ++i) lengths.push_back(0);
+          continue;
         }
+        int count = 0;
+        int value = 0;
+        if (sym == 16) {
+          if (lengths.empty()) {
+            throw ParseError("deflate: length repeat before any code");
+          }
+          count = 3 + static_cast<int>(br.get_bits(2));
+          value = lengths.back();
+        } else if (sym == 17) {
+          count = 3 + static_cast<int>(br.get_bits(3));
+        } else {
+          count = 11 + static_cast<int>(br.get_bits(7));
+        }
+        if (lengths.size() + static_cast<std::size_t>(count) > total) {
+          throw ParseError("deflate: length repeat past end of table");
+        }
+        for (int i = 0; i < count; ++i) lengths.push_back(value);
       }
+      // Literal/length and distance sets may be incomplete only in the
+      // degenerate one-code shape; anything else leaves undecodable bit
+      // patterns and is a malformed header.
       const HuffmanTable literals(
-          std::vector<int>(lengths.begin(), lengths.begin() + hlit));
+          std::vector<int>(lengths.begin(), lengths.begin() + hlit),
+          /*allow_incomplete=*/true);
       const HuffmanTable distances(
-          std::vector<int>(lengths.begin() + hlit, lengths.end()));
+          std::vector<int>(lengths.begin() + hlit, lengths.end()),
+          /*allow_incomplete=*/true);
       inflate_block(br, literals, distances, out);
     } else {
       throw ParseError("deflate: reserved block type");

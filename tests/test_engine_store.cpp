@@ -17,6 +17,7 @@
 #include "jedule/engine/session_state.hpp"
 #include "jedule/engine/store.hpp"
 #include "jedule/io/jedule_xml.hpp"
+#include "jedule/util/inflate.hpp"
 #include "jedule/model/builder.hpp"
 #include "jedule/render/deflate.hpp"
 #include "jedule/util/checksum.hpp"
@@ -189,6 +190,41 @@ TEST(RenderService, ThreadCountStaysOutOfTheCacheKey) {
   const auto parallel = service.render(entry, options, "png");
   EXPECT_TRUE(parallel.cache_hit);  // same digest: renders are byte-identical
   EXPECT_EQ(*serial.bytes, *parallel.bytes);
+}
+
+TEST(RenderService, GzipEncodingCachesCompressedBytesOnce) {
+  RenderService service;
+  const EntryPtr entry = make_entry(sample_schedule());
+
+  const auto packed = service.render(entry, small_options(), "svg",
+                                     RenderService::Encoding::gzip);
+  EXPECT_FALSE(packed.cache_hit);
+  EXPECT_EQ(packed.encoding, RenderService::Encoding::gzip);
+  EXPECT_EQ(packed.media_type, "image/svg+xml");
+
+  // The identity render was produced (and cached) on the way: fetching it
+  // is a hit, its bytes are the decompressed gzip body, and raw_size on
+  // the compressed artifact reports the identity size.
+  const auto identity = service.render(entry, small_options(), "svg");
+  EXPECT_TRUE(identity.cache_hit);
+  EXPECT_EQ(identity.raw_size, identity.bytes->size());
+  EXPECT_EQ(packed.raw_size, identity.bytes->size());
+  EXPECT_LT(packed.bytes->size(), identity.bytes->size());
+  const auto raw = util::gzip_decompress(
+      reinterpret_cast<const std::uint8_t*>(packed.bytes->data()),
+      packed.bytes->size());
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(raw.data()),
+                        raw.size()),
+            *identity.bytes);
+
+  // Repeat negotiated requests never recompress.
+  const auto again = service.render(entry, small_options(), "svg",
+                                    RenderService::Encoding::gzip);
+  EXPECT_TRUE(again.cache_hit);
+  EXPECT_EQ(*again.bytes, *packed.bytes);
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.artifact_misses, 2u);  // identity + gzip, each once
+  EXPECT_EQ(stats.artifact_hits, 2u);
 }
 
 TEST(RenderService, EvictsArtifactsOverBudget) {

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
-#include "jedule/util/inflate.hpp"
+#include "jedule/model/builder.hpp"
+#include "jedule/render/export.hpp"
+#include "jedule/render/png.hpp"
 #include "jedule/util/error.hpp"
+#include "jedule/util/inflate.hpp"
 #include "jedule/util/rng.hpp"
 
 namespace jedule::render {
@@ -40,13 +43,11 @@ TEST(Crc32, SeedChains) {
 }
 
 void roundtrip(const std::vector<std::uint8_t>& data) {
-  {
-    const auto packed = deflate_compress(data.data(), data.size());
-    const auto back = util::inflate_decompress(packed.data(), packed.size());
-    EXPECT_EQ(back, data);
-  }
-  {
-    const auto packed = deflate_store(data.data(), data.size());
+  for (const DeflateStrategy strategy :
+       {DeflateStrategy::stored, DeflateStrategy::fixed,
+        DeflateStrategy::dynamic}) {
+    const auto packed =
+        deflate_compress(data.data(), data.size(), 1, strategy);
     const auto back = util::inflate_decompress(packed.data(), packed.size());
     EXPECT_EQ(back, data);
   }
@@ -65,6 +66,43 @@ TEST(Deflate, HighlyRepetitiveCompresses) {
   const auto packed = deflate_compress(data.data(), data.size());
   roundtrip(data);
   EXPECT_LT(packed.size(), data.size() / 50);  // runs collapse via LZ77
+}
+
+TEST(Deflate, DynamicBeatsFixedOnSkewedHistograms) {
+  // Long runs of a few byte values: the per-chunk canonical code assigns
+  // them short codes while the fixed code spends 8 bits per literal.
+  util::Rng rng(7);
+  std::vector<std::uint8_t> data;
+  data.reserve(120000);
+  while (data.size() < 120000) {
+    const auto v = static_cast<std::uint8_t>(rng.uniform_int(0, 3));
+    const int run = rng.uniform_int(1, 9);
+    for (int i = 0; i < run && !(rng() & 1); ++i) data.push_back(v);
+    data.push_back(static_cast<std::uint8_t>(rng() & 0xFF));
+  }
+  const auto fixed =
+      deflate_compress(data.data(), data.size(), 1, DeflateStrategy::fixed);
+  const auto dynamic = deflate_compress(data.data(), data.size(), 1,
+                                        DeflateStrategy::dynamic);
+  EXPECT_LT(dynamic.size(), fixed.size());
+  EXPECT_EQ(util::inflate_decompress(dynamic.data(), dynamic.size()), data);
+}
+
+TEST(Gzip, RoundTripAndDeterministicFraming) {
+  const auto data = bytes_of("gzip framing test, gzip framing test");
+  const auto z = gzip_compress(data.data(), data.size());
+  ASSERT_GE(z.size(), 18u);
+  EXPECT_EQ(z[0], 0x1F);
+  EXPECT_EQ(z[1], 0x8B);
+  EXPECT_EQ(z[2], 0x08);          // deflate
+  EXPECT_EQ(z[3], 0x00);          // no flags
+  for (int i = 4; i <= 8; ++i) EXPECT_EQ(z[i], 0x00);  // MTIME, XFL
+  const auto back = util::gzip_decompress(z.data(), z.size());
+  EXPECT_EQ(back, data);
+  // Byte-identical regardless of thread count (same chunk grid).
+  EXPECT_EQ(gzip_compress(data.data(), data.size(),
+                          DeflateStrategy::dynamic, 8),
+            z);
 }
 
 TEST(Deflate, PeriodicPattern) {
@@ -101,10 +139,12 @@ TEST(DeflateStore, MultiBlockBoundary) {
   roundtrip(data);
 }
 
-TEST(Zlib, RoundTripBothModes) {
+TEST(Zlib, RoundTripAllStrategies) {
   const auto data = bytes_of("zlib framing test, zlib framing test");
-  for (bool compress : {true, false}) {
-    const auto z = zlib_compress(data.data(), data.size(), compress);
+  for (const DeflateStrategy strategy :
+       {DeflateStrategy::stored, DeflateStrategy::fixed,
+        DeflateStrategy::dynamic}) {
+    const auto z = zlib_compress(data.data(), data.size(), strategy);
     EXPECT_EQ(z[0], 0x78);
     EXPECT_EQ(((static_cast<unsigned>(z[0]) << 8) | z[1]) % 31, 0u);
     const auto back = util::zlib_decompress(z.data(), z.size());
@@ -146,6 +186,85 @@ TEST_P(DeflateSizes, RoundTrips) {
 INSTANTIATE_TEST_SUITE_P(Sweep, DeflateSizes,
                          ::testing::Values(1, 2, 3, 255, 256, 257, 4096,
                                            65535, 65536, 65537, 200000));
+
+// --- Differential: dynamic deflate across thread counts ----------------
+// deflate(dynamic, T) must be byte-identical for T in {1, 2, 8} and round
+// trip through util::inflate, over random, run-heavy and real-render
+// inputs (the three shapes the exporters feed it).
+
+std::vector<std::uint8_t> random_input() {
+  util::Rng rng(2024);
+  std::vector<std::uint8_t> data(600000);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng() & 0xFF);
+  return data;
+}
+
+std::vector<std::uint8_t> run_heavy_input() {
+  util::Rng rng(2025);
+  std::vector<std::uint8_t> data;
+  data.reserve(700000);
+  while (data.size() < 700000) {
+    const auto v = static_cast<std::uint8_t>(rng() & 0x0F);
+    const int run = rng.uniform_int(3, 900);
+    data.insert(data.end(), static_cast<std::size_t>(run), v);
+  }
+  return data;
+}
+
+std::vector<std::uint8_t> real_render_input() {
+  auto builder = model::ScheduleBuilder().cluster(0, "c0", 32);
+  util::Rng rng(2026);
+  for (int i = 0; i < 400; ++i) {
+    const double start = rng.uniform_int(0, 900) / 10.0;
+    const int first = rng.uniform_int(0, 24);
+    builder.task(std::to_string(i), i % 2 ? "computation" : "transfer",
+                 start, start + rng.uniform_int(5, 200) / 10.0)
+        .on(0, first, rng.uniform_int(1, 8));
+  }
+  RenderOptions options;
+  options.style.width = 800;
+  options.style.height = 500;
+  options.threads = 1;
+  return filter_scanlines(render_raster(builder.build(), options), 1);
+}
+
+class DeflateDifferential
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DeflateDifferential, ThreadCountInvariantAndRoundTrips) {
+  std::vector<std::uint8_t> data;
+  const std::string_view kind = GetParam();
+  if (kind == "random") data = random_input();
+  else if (kind == "run-heavy") data = run_heavy_input();
+  else data = real_render_input();
+  ASSERT_GT(data.size(), std::size_t{1} << 18)  // spans several chunks
+      << kind;
+
+  const auto serial = deflate_compress(data.data(), data.size(), 1,
+                                       DeflateStrategy::dynamic);
+  EXPECT_EQ(util::inflate_decompress(serial.data(), serial.size()), data)
+      << kind;
+  for (const int threads : {2, 8}) {
+    EXPECT_EQ(deflate_compress(data.data(), data.size(), threads,
+                               DeflateStrategy::dynamic),
+              serial)
+        << kind << " threads=" << threads;
+  }
+  const auto zserial = zlib_compress(data.data(), data.size(),
+                                     DeflateStrategy::dynamic, 1);
+  EXPECT_EQ(util::zlib_decompress(zserial.data(), zserial.size()), data)
+      << kind;
+  for (const int threads : {2, 8}) {
+    EXPECT_EQ(zlib_compress(data.data(), data.size(),
+                            DeflateStrategy::dynamic, threads),
+              zserial)
+        << kind << " threads=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Inputs, DeflateDifferential,
+                         ::testing::Values("random", "run-heavy",
+                                           "real-render"));
 
 }  // namespace
 }  // namespace jedule::render

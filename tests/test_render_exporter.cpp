@@ -32,7 +32,7 @@ RenderOptions small_options() {
 
 TEST(ExporterRegistry, BuiltinsAreRegistered) {
   auto& registry = ExporterRegistry::instance();
-  for (const char* name : {"png", "ppm", "svg", "pdf", "ascii"}) {
+  for (const char* name : {"png", "ppm", "svg", "svgz", "pdf", "ascii"}) {
     const Exporter* e = registry.find(name);
     ASSERT_NE(e, nullptr) << name;
     EXPECT_EQ(e->name(), name);
@@ -53,6 +53,12 @@ TEST(ExporterRegistry, FindForPathIsCaseInsensitive) {
   const Exporter* ascii = registry.find_for_path("out.TXT");
   ASSERT_NE(ascii, nullptr);
   EXPECT_EQ(ascii->name(), "ascii");
+  const Exporter* svgz = registry.find_for_path("chart.svgz");
+  ASSERT_NE(svgz, nullptr);
+  EXPECT_EQ(svgz->name(), "svgz");
+  const Exporter* svg_gz = registry.find_for_path("chart.SVG.GZ");
+  ASSERT_NE(svg_gz, nullptr);
+  EXPECT_EQ(svg_gz->name(), "svgz");
   EXPECT_EQ(registry.find_for_path("chart.jpeg"), nullptr);
   EXPECT_EQ(registry.find_for_path("no_extension"), nullptr);
 }
@@ -67,7 +73,7 @@ TEST(ExporterRegistry, ExtensionSummaryListsEverything) {
 TEST(ExporterRegistry, RenderToBytesForEveryBuiltin) {
   const auto schedule = demo_schedule();
   const auto options = small_options();
-  for (const char* name : {"png", "ppm", "svg", "pdf", "ascii"}) {
+  for (const char* name : {"png", "ppm", "svg", "svgz", "pdf", "ascii"}) {
     const std::string bytes = render_to_bytes(schedule, options, name);
     EXPECT_GT(bytes.size(), 50u) << name;
   }

@@ -11,6 +11,7 @@
 #include "jedule/render/png.hpp"
 #include "jedule/render/raster_canvas.hpp"
 #include "jedule/render/svg.hpp"
+#include "jedule/util/inflate.hpp"
 #include "jedule/util/error.hpp"
 #include "jedule/util/rng.hpp"
 
@@ -281,8 +282,21 @@ TEST(Export, PdfIsStructurallySound) {
   EXPECT_NE(pdf.find("/Type /Page"), std::string::npos);
   EXPECT_NE(pdf.find("xref"), std::string::npos);
   EXPECT_NE(pdf.find("%%EOF"), std::string::npos);
-  EXPECT_NE(pdf.find(" re f"), std::string::npos);  // filled rects
-  EXPECT_NE(pdf.find("Tj ET"), std::string::npos);  // text
+  // The page content stream is /FlateDecode-compressed; inflate it to
+  // check the operators.
+  const auto len_pos = pdf.find("/Length ");
+  ASSERT_NE(len_pos, std::string::npos);
+  const auto len_end = pdf.find(' ', len_pos + 8);
+  const int length =
+      std::stoi(pdf.substr(len_pos + 8, len_end - len_pos - 8));
+  const auto stream_pos = pdf.find("stream\n", len_pos) + 7;
+  const auto raw = util::zlib_decompress(
+      reinterpret_cast<const std::uint8_t*>(pdf.data() + stream_pos),
+      static_cast<std::size_t>(length));
+  const std::string content(reinterpret_cast<const char*>(raw.data()),
+                            raw.size());
+  EXPECT_NE(content.find(" re f"), std::string::npos);  // filled rects
+  EXPECT_NE(content.find("Tj ET"), std::string::npos);  // text
 }
 
 TEST(Export, FormatFromExtension) {

@@ -152,5 +152,102 @@ TEST(RasterKernels, LongRowsMatchScalar) {
   }
 }
 
+// --- PNG filter kernels (DESIGN.md §4g) --------------------------------
+
+std::vector<std::uint8_t> random_bytes(util::Rng& rng, std::size_t n) {
+  std::vector<std::uint8_t> v(n);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  return v;
+}
+
+// Every variant must produce the scalar reference's bytes for all five
+// filter types over ragged row lengths (the min-SAD choice in the encoder
+// relies on this being exact).
+TEST(RasterKernels, PngFilterRowVariantsMatchScalar) {
+  util::Rng rng(66);
+  const std::size_t bpp = 3;
+  for (const kernels::Kernels* k : kernels::available()) {
+    for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                          std::size_t{3}, std::size_t{4}, std::size_t{15},
+                          std::size_t{16}, std::size_t{17}, std::size_t{31},
+                          std::size_t{33}, std::size_t{48}, std::size_t{67},
+                          std::size_t{3 * 1021}}) {
+      const auto cur = random_bytes(rng, n);
+      const auto prev = random_bytes(rng, n);
+      for (int type = 0; type <= 4; ++type) {
+        std::vector<std::uint8_t> expect(n + 8, 0xAB);
+        std::vector<std::uint8_t> got(n + 8, 0xAB);
+        kernels::scalar().png_filter_row(type, expect.data(), cur.data(),
+                                         prev.data(), n, bpp);
+        k->png_filter_row(type, got.data(), cur.data(), prev.data(), n, bpp);
+        EXPECT_EQ(got, expect)
+            << k->name << " type=" << type << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(RasterKernels, PngUnfilterRowVariantsMatchScalar) {
+  util::Rng rng(77);
+  const std::size_t bpp = 3;
+  for (const kernels::Kernels* k : kernels::available()) {
+    for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                          std::size_t{16}, std::size_t{17}, std::size_t{33},
+                          std::size_t{67}, std::size_t{3 * 1021}}) {
+      const auto filtered = random_bytes(rng, n);
+      const auto prev = random_bytes(rng, n);
+      for (int type = 0; type <= 4; ++type) {
+        auto expect = filtered;
+        auto got = filtered;
+        kernels::scalar().png_unfilter_row(type, expect.data(), prev.data(),
+                                           n, bpp);
+        k->png_unfilter_row(type, got.data(), prev.data(), n, bpp);
+        EXPECT_EQ(got, expect)
+            << k->name << " type=" << type << " n=" << n;
+      }
+    }
+  }
+}
+
+// filter then unfilter is the identity for every type and variant pair --
+// the decoder may dispatch a different kernel than the encoder did.
+TEST(RasterKernels, PngFilterUnfilterRoundTrips) {
+  util::Rng rng(88);
+  const std::size_t bpp = 3;
+  const std::size_t n = 3 * 257;
+  const auto cur = random_bytes(rng, n);
+  const auto prev = random_bytes(rng, n);
+  for (const kernels::Kernels* enc : kernels::available()) {
+    for (const kernels::Kernels* dec : kernels::available()) {
+      for (int type = 0; type <= 4; ++type) {
+        std::vector<std::uint8_t> filtered(n);
+        enc->png_filter_row(type, filtered.data(), cur.data(), prev.data(),
+                            n, bpp);
+        dec->png_unfilter_row(type, filtered.data(), prev.data(), n, bpp);
+        EXPECT_EQ(filtered, cur)
+            << enc->name << " -> " << dec->name << " type=" << type;
+      }
+    }
+  }
+}
+
+TEST(RasterKernels, PngSadVariantsMatchScalar) {
+  util::Rng rng(99);
+  for (const kernels::Kernels* k : kernels::available()) {
+    for (std::size_t n = 0; n <= 67; ++n) {
+      const auto data = random_bytes(rng, n);
+      EXPECT_EQ(k->png_sad(data.data(), n),
+                kernels::scalar().png_sad(data.data(), n))
+          << k->name << " n=" << n;
+    }
+    // Long rows and extreme values (0x80 scores 128, 0xFF scores 1).
+    std::vector<std::uint8_t> extremes(4099, 0x80);
+    for (std::size_t i = 0; i < extremes.size(); i += 3) extremes[i] = 0xFF;
+    EXPECT_EQ(k->png_sad(extremes.data(), extremes.size()),
+              kernels::scalar().png_sad(extremes.data(), extremes.size()))
+        << k->name;
+  }
+}
+
 }  // namespace
 }  // namespace jedule::render

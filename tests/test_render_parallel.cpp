@@ -134,11 +134,14 @@ std::vector<std::uint8_t> mixed_test_data(std::size_t size) {
 TEST(ParallelDeflate, MultiChunkStreamsAreThreadCountInvariant) {
   const auto data = mixed_test_data((1u << 18) * 3 + 12345);
   const auto serial = deflate_compress(data.data(), data.size(), 1);
-  const auto zserial = zlib_compress(data.data(), data.size(), true, 1);
+  const auto zserial =
+      zlib_compress(data.data(), data.size(), DeflateStrategy::dynamic, 1);
   for (int threads : kThreadCounts) {
     EXPECT_EQ(deflate_compress(data.data(), data.size(), threads), serial)
         << threads << " threads";
-    EXPECT_EQ(zlib_compress(data.data(), data.size(), true, threads), zserial)
+    EXPECT_EQ(zlib_compress(data.data(), data.size(),
+                            DeflateStrategy::dynamic, threads),
+              zserial)
         << threads << " threads";
   }
   // And the stitched stream still decodes to the input.

@@ -147,7 +147,8 @@ model::Schedule fig13_schedule() {
   return workload::trace_to_schedule(trace).schedule;
 }
 
-const char* const kFormats[] = {"png", "ppm", "svg", "pdf", "ascii"};
+const char* const kFormats[] = {"png", "ppm", "svg", "svgz", "pdf",
+                                "ascii"};
 
 // Every exporter must produce byte-identical output whichever kernel
 // variant paints and however many threads rasterize.

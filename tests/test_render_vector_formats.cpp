@@ -6,6 +6,7 @@
 
 #include "jedule/model/builder.hpp"
 #include "jedule/render/exporter.hpp"
+#include "jedule/util/inflate.hpp"
 #include "jedule/render/gantt.hpp"
 #include "jedule/render/pdf.hpp"
 #include "jedule/render/svg.hpp"
@@ -118,17 +119,31 @@ TEST(PdfExport, XrefOffsetsPointAtObjects) {
   }
 }
 
-TEST(PdfExport, ContentStreamLengthIsExact) {
-  const std::string pdf = bytes_for(demo(), "pdf");
+// Extracts and inflates the /FlateDecode page content stream, checking
+// that /Length covers exactly the compressed bytes (the EOL before
+// `endstream` is not part of the stream data).
+std::string content_stream_of(const std::string& pdf) {
   const auto len_pos = pdf.find("/Length ");
-  ASSERT_NE(len_pos, std::string::npos);
+  EXPECT_NE(len_pos, std::string::npos);
   const auto len_end = pdf.find(' ', len_pos + 8);
   const auto length = util::parse_int(pdf.substr(len_pos + 8,
                                                  len_end - len_pos - 8));
-  ASSERT_TRUE(length);
+  EXPECT_TRUE(length);
+  EXPECT_NE(pdf.find("/Filter /FlateDecode"), std::string::npos);
   const auto stream_pos = pdf.find("stream\n", len_pos) + 7;
-  const auto endstream_pos = pdf.find("endstream", stream_pos);
-  EXPECT_EQ(static_cast<long long>(endstream_pos - stream_pos), *length);
+  const auto n = static_cast<std::size_t>(*length);
+  EXPECT_EQ(pdf.substr(stream_pos + n, 10), "\nendstream");
+  const auto raw = util::zlib_decompress(
+      reinterpret_cast<const std::uint8_t*>(pdf.data() + stream_pos), n);
+  return std::string(reinterpret_cast<const char*>(raw.data()), raw.size());
+}
+
+TEST(PdfExport, ContentStreamLengthIsExactAndInflates) {
+  const std::string pdf = bytes_for(demo(), "pdf");
+  const std::string content = content_stream_of(pdf);
+  EXPECT_NE(content.find(" re f"), std::string::npos);   // filled rects
+  EXPECT_NE(content.find("Tj ET"), std::string::npos);   // text
+  EXPECT_NE(content.find("c0 \\(8 hosts\\)"), std::string::npos);
 }
 
 TEST(PdfExport, EscapesParentheses) {
@@ -138,12 +153,28 @@ TEST(PdfExport, EscapesParentheses) {
                .on(0, 0, 2)
                .build();
   const std::string pdf = bytes_for(s, "pdf");
-  EXPECT_NE(pdf.find("\\(main\\)"), std::string::npos);
+  EXPECT_NE(content_stream_of(pdf).find("\\(main\\)"),
+            std::string::npos);
+}
+
+TEST(SvgzExport, GzipFramedAndMatchesSvg) {
+  const auto s = demo();
+  const std::string svgz = bytes_for(s, "svgz");
+  ASSERT_GE(svgz.size(), 18u);
+  EXPECT_EQ(static_cast<std::uint8_t>(svgz[0]), 0x1F);
+  EXPECT_EQ(static_cast<std::uint8_t>(svgz[1]), 0x8B);
+  const auto raw = util::gzip_decompress(
+      reinterpret_cast<const std::uint8_t*>(svgz.data()), svgz.size());
+  const std::string svg = bytes_for(s, "svg");
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(raw.data()),
+                        raw.size()),
+            svg);
+  EXPECT_LT(svgz.size(), svg.size());
 }
 
 TEST(VectorExports, Deterministic) {
   const auto s = demo();
-  for (const char* format : {"svg", "pdf"}) {
+  for (const char* format : {"svg", "svgz", "pdf"}) {
     EXPECT_EQ(bytes_for(s, format), bytes_for(s, format));
   }
 }

@@ -20,6 +20,7 @@
 #include "jedule/model/builder.hpp"
 #include "jedule/serve/http.hpp"
 #include "jedule/serve/server.hpp"
+#include "jedule/util/inflate.hpp"
 
 namespace jedule::serve {
 namespace {
@@ -450,6 +451,84 @@ TEST(ServeRouting, HandleIsAPureFunction) {
   const auto bad = server.handle(req);
   EXPECT_EQ(bad.status, 400);
   EXPECT_NE(bad.body.find("zoom"), std::string::npos);
+}
+
+// Content-Encoding negotiation: text bodies (svg, ascii) are gzipped when
+// Accept-Encoding allows it, svgz always is, binary formats never are.
+TEST(ServeRouting, NegotiatesGzipForTextBodies) {
+  Server server;
+  HttpRequest post;
+  post.method = "POST";
+  post.path = "/schedules";
+  post.body = io::write_schedule_xml(sample_schedule());
+  ASSERT_EQ(server.handle(post).status, 201);
+  const std::string base =
+      "/schedules/" + server.store().list()[0]->id + "/render.";
+
+  HttpRequest req;
+  req.method = "GET";
+  req.path = base + "svg";
+
+  // No Accept-Encoding: identity, but the response still varies on it.
+  const auto plain = server.handle(req);
+  EXPECT_EQ(plain.status, 200);
+  EXPECT_EQ(plain.headers.count("Content-Encoding"), 0u);
+  EXPECT_EQ(plain.headers.at("Vary"), "Accept-Encoding");
+
+  // gzip accepted: compressed body that inflates to the identity bytes.
+  req.headers["accept-encoding"] = "deflate, gzip;q=0.8, br";
+  const auto packed = server.handle(req);
+  EXPECT_EQ(packed.status, 200);
+  EXPECT_EQ(packed.headers.at("Content-Encoding"), "gzip");
+  EXPECT_EQ(packed.headers.at("Vary"), "Accept-Encoding");
+  EXPECT_EQ(packed.media_type, "image/svg+xml");
+  EXPECT_LT(packed.body.size(), plain.body.size());
+  const auto raw = util::gzip_decompress(
+      reinterpret_cast<const std::uint8_t*>(packed.body.data()),
+      packed.body.size());
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(raw.data()),
+                        raw.size()),
+            plain.body);
+
+  // The serialized response's Content-Length is the wire body size.
+  const std::string wire = serialize_response(packed);
+  EXPECT_NE(wire.find("Content-Length: " + std::to_string(packed.body.size())),
+            std::string::npos);
+
+  // Explicit refusal wins; wildcard grants.
+  req.headers["accept-encoding"] = "gzip;q=0";
+  EXPECT_EQ(server.handle(req).headers.count("Content-Encoding"), 0u);
+  req.headers["accept-encoding"] = "*";
+  EXPECT_EQ(server.handle(req).headers.at("Content-Encoding"), "gzip");
+
+  // ascii negotiates too; png stays identity even when gzip is accepted.
+  req.path = base + "ascii";
+  req.headers["accept-encoding"] = "gzip";
+  EXPECT_EQ(server.handle(req).headers.at("Content-Encoding"), "gzip");
+  req.path = base + "png";
+  const auto png = server.handle(req);
+  EXPECT_EQ(png.headers.count("Content-Encoding"), 0u);
+  EXPECT_EQ(png.headers.count("Vary"), 0u);
+
+  // svgz is a gzip stream no matter what the client advertises.
+  req.path = base + "svgz";
+  req.headers.clear();
+  const auto svgz = server.handle(req);
+  EXPECT_EQ(svgz.headers.at("Content-Encoding"), "gzip");
+  EXPECT_EQ(svgz.media_type, "image/svg+xml");
+
+  // /stats accounts wire vs raw bytes and per-encoding response counts.
+  const std::string stats = server.stats_json();
+  EXPECT_NE(stats.find("\"encoding\":{"), std::string::npos);
+  EXPECT_NE(stats.find("\"wire_bytes\":"), std::string::npos);
+  EXPECT_NE(stats.find("\"raw_bytes\":"), std::string::npos);
+  const auto c = server.counters();
+  EXPECT_EQ(c.gzip_responses, 4u);      // svg x2, ascii, svgz
+  EXPECT_EQ(c.identity_responses, 3u);  // svg x2 (plain + refused), png
+  EXPECT_GT(c.raw_bytes, 0u);
+  EXPECT_GT(c.wire_bytes, 0u);
+  // Compression must have saved bytes overall for this mix.
+  EXPECT_LT(c.wire_bytes, c.raw_bytes);
 }
 
 TEST(ServeHttpParsing, QueryAndHeadParsing) {
