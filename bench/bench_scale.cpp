@@ -12,11 +12,15 @@
 #include <tuple>
 #include <utility>
 
+#include <filesystem>
+
 #include "bench_report.hpp"
+#include "jedule/engine/events.hpp"
 #include "jedule/engine/render_service.hpp"
 #include "jedule/engine/store.hpp"
 #include "jedule/interactive/session.hpp"
 #include "jedule/io/jedule_xml.hpp"
+#include "jedule/io/snapshot.hpp"
 #include "jedule/model/builder.hpp"
 #include "jedule/model/composite.hpp"
 #include "jedule/model/task_index.hpp"
@@ -149,6 +153,66 @@ const std::string& million_xml() {
     return io::write_schedule_xml(frame_schedule(1000000));
   }();
   return xml;
+}
+
+// ---------------------------------------------------------------------------
+// Binary snapshots and O(delta) append (DESIGN.md §4h): shared entries for
+// the report and the BM_Snapshot*/BM_AppendDelta rows.
+// ---------------------------------------------------------------------------
+
+constexpr int kAppendDelta = 10000;
+
+/// frame_schedule(tasks) minus its last kAppendDelta tasks: both generators
+/// are deterministic per task index, so rebuilding with a smaller count
+/// reproduces the first N-delta tasks exactly.
+const model::Schedule& prefix_schedule(int tasks) {
+  static std::map<int, model::Schedule> cache;
+  auto it = cache.find(tasks);
+  if (it == cache.end()) {
+    const int base = tasks - kAppendDelta;
+    it = cache
+             .emplace(tasks, tasks >= 1000000 ? million_schedule(base, 4096)
+                                              : big_schedule(base))
+             .first;
+  }
+  return it->second;
+}
+
+const engine::EntryPtr& arena_entry(int tasks) {
+  static std::map<int, engine::EntryPtr> cache;
+  auto it = cache.find(tasks);
+  if (it == cache.end()) {
+    it = cache.emplace(tasks, engine::make_entry(frame_schedule(tasks)))
+             .first;
+  }
+  return it->second;
+}
+
+const engine::EntryPtr& append_base_entry(int tasks) {
+  static std::map<int, engine::EntryPtr> cache;
+  auto it = cache.find(tasks);
+  if (it == cache.end()) {
+    it = cache.emplace(tasks, engine::make_entry(prefix_schedule(tasks)))
+             .first;
+  }
+  return it->second;
+}
+
+const std::vector<model::ScheduleArena::Event>& append_events(int tasks) {
+  static std::map<int, std::vector<model::ScheduleArena::Event>> cache;
+  auto it = cache.find(tasks);
+  if (it == cache.end()) {
+    it = cache
+             .emplace(tasks, engine::events_from_tasks(frame_schedule(tasks),
+                                                       static_cast<std::size_t>(
+                                                           tasks - kAppendDelta)))
+             .first;
+  }
+  return it->second;
+}
+
+std::string bench_snapshot_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
 }
 
 // ---------------------------------------------------------------------------
@@ -1022,6 +1086,85 @@ void report() {
     }
   }
 
+  // Binary snapshots and O(delta) append at 1M tasks: reopening a trace
+  // from its .jbin mapping vs re-ingesting the XML, and growing a live
+  // session by 10k events vs the pre-PR alternative — re-ingesting the
+  // grown trace (parse + validate + index) from scratch.
+  {
+    model::Schedule copy = frame_schedule(1000000);
+    watch.reset();
+    const auto full_entry = engine::make_entry(std::move(copy));
+    const double rebuild_s = watch.seconds();
+    report_row("1M-task validate+index+hash (full rebuild)",
+               fmt(rebuild_s, 2) + " s");
+
+    const std::string path = bench_snapshot_path("bench_scale_report.jbin");
+    watch.reset();
+    io::save_snapshot(full_entry->arena(), full_entry->index, path);
+    const double save_s = watch.seconds();
+    report_row("1M-task .jbin snapshot save",
+               fmt(save_s, 2) + " s (" +
+                   std::to_string(std::filesystem::file_size(path) / 1024 /
+                                  1024) +
+                   " MiB)");
+
+    watch.reset();
+    const auto reopened = engine::load_entry(path);
+    const double reopen_s = watch.seconds();
+    report_row("1M-task reopen from .jbin (mmap + validate)",
+               fmt(reopen_s * 1e3, 1) + " ms");
+
+    watch.reset();
+    const auto via_xml = engine::parse_entry(million_xml());
+    const double xml_s = watch.seconds();
+    report_row("1M-task reopen from XML re-ingest",
+               fmt(xml_s, 2) + " s (" + fmt(xml_s / reopen_s, 0) +
+                   "x slower)");
+    report_check("snapshot reopen is content-identical to XML ingest",
+                 reopened->id == via_xml->id &&
+                     reopened->id == full_entry->id);
+    report_check("1M-task mmap reopen >= 20x vs XML re-ingest",
+                 xml_s / reopen_s >= 20.0);
+
+    const auto& base_entry = append_base_entry(1000000);
+    const auto& events = append_events(1000000);
+    (void)base_entry->arena();  // a live session's arena is materialized
+    watch.reset();
+    const auto grown = engine::append_entry(base_entry, events);
+    const double entry_append_s = watch.seconds();
+    report_row("10k-event append_entry (copy-on-append immutable entry)",
+               fmt(entry_append_s * 1e3, 1) + " ms (" +
+                   fmt(rebuild_s / entry_append_s, 0) +
+                   "x vs in-memory rebuild)");
+    report_check("appended entry is content-identical to the full build",
+                 grown->id == full_entry->id);
+
+    // Steady-state O(delta) path: a live arena that has appended before
+    // (column slack, seeded id table), as in a --follow session
+    // mid-trace. "Full rebuild" is what a pre-snapshot session had to do
+    // to see those 10k events: re-ingest the grown trace end to end
+    // (parse + validate + index), timed as xml_s above.
+    {
+      model::ScheduleArena live(million_schedule(980000, 4096));
+      live.validate();
+      live.append(
+          engine::events_from_tasks(prefix_schedule(1000000), 980000));
+      watch.reset();
+      live.append(events);
+      const model::TaskIndex grown_index(base_entry->index, live, 990000);
+      const double append_s = watch.seconds();
+      report_row("10k-event in-place append + index extension (live arena)",
+                 fmt(append_s * 1e3, 2) + " ms (" +
+                     fmt(xml_s / append_s, 0) + "x vs re-ingest, " +
+                     fmt(rebuild_s / append_s, 0) + "x vs in-memory rebuild)");
+      report_check("in-place append matches the full build's content hash",
+                   grown_index.content_hash() == full_entry->content_hash);
+      report_check("10k-event append >= 50x vs full rebuild",
+                   xml_s / append_s >= 50.0);
+    }
+    std::filesystem::remove(path);
+  }
+
   // `jedule serve` artifact cache on the 250k-task schedule: the first
   // request renders (miss), every identical repeat is served the same
   // immutable byte buffer from the LRU artifact cache (hit).
@@ -1392,6 +1535,50 @@ void BM_ServeRenderWarm(benchmark::State& state) {
   state.SetLabel("artifact-cache hit");
 }
 BENCHMARK(BM_ServeRenderWarm)
+    ->Arg(200000)->Arg(1000000)->Unit(benchmark::kMillisecond);
+
+// Snapshot persistence and the O(delta) append, the rows behind the
+// DESIGN.md §4h acceptance numbers: save serializes the columns with their
+// CRCs, load is an mmap plus a columnar validation pass (no per-task
+// objects), append grows a content-addressed entry by kAppendDelta events.
+void BM_SnapshotSave(benchmark::State& state) {
+  const auto& entry = arena_entry(static_cast<int>(state.range(0)));
+  const std::string path = bench_snapshot_path("bench_scale_save.jbin");
+  for (auto _ : state) {
+    io::save_snapshot(entry->arena(), entry->index, path);
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(std::filesystem::file_size(path)));
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_SnapshotSave)
+    ->Arg(200000)->Arg(1000000)->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotLoad(benchmark::State& state) {
+  const auto& entry = arena_entry(static_cast<int>(state.range(0)));
+  const std::string path = bench_snapshot_path("bench_scale_load.jbin");
+  io::save_snapshot(entry->arena(), entry->index, path);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine::load_entry(path));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(std::filesystem::file_size(path)));
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_SnapshotLoad)
+    ->Arg(200000)->Arg(1000000)->Unit(benchmark::kMillisecond);
+
+void BM_AppendDelta(benchmark::State& state) {
+  const auto& base = append_base_entry(static_cast<int>(state.range(0)));
+  const auto& events = append_events(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine::append_entry(base, events));
+  }
+  state.SetItemsProcessed(state.iterations() * kAppendDelta);
+}
+BENCHMARK(BM_AppendDelta)
     ->Arg(200000)->Arg(1000000)->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -5,6 +5,7 @@
 //   jedule view <schedule> [--script file]             scripted interactive mode
 //   jedule info <schedule>                             summary + statistics
 //   jedule convert <schedule> --out out.{xml,csv}      format conversion
+//   jedule snapshot <schedule> --out out.jbin          binary snapshot (mmap reopen)
 //   jedule formats                                     registered parsers/exporters
 //   jedule serve [--port N]                            long-lived HTTP render daemon
 
@@ -23,6 +24,8 @@
 #include "jedule/cli/demos.hpp"
 #include "jedule/color/colormap.hpp"
 #include "jedule/engine/options.hpp"
+#include "jedule/engine/store.hpp"
+#include "jedule/io/snapshot.hpp"
 #include "jedule/interactive/session.hpp"
 #include "jedule/io/colormap_xml.hpp"
 #include "jedule/io/csv.hpp"
@@ -60,6 +63,9 @@ std::string usage() {
       "  view <schedule> [--script FILE] scripted interactive session\n"
       "  info <schedule>                 print schedule statistics\n"
       "  convert <schedule> --out FILE   convert between formats (.xml .csv)\n"
+      "  snapshot <schedule> --out FILE  write a .jbin binary snapshot;\n"
+      "                                  .jbin inputs reopen via mmap\n"
+      "                                  everywhere a schedule is accepted\n"
       "  formats                         list registered parsers and exporters\n"
       "  demo [NAME] [--out FILE]        regenerate a case-study schedule\n"
       "                                  (no NAME lists the catalog)\n"
@@ -104,6 +110,13 @@ std::string usage() {
       "  --script FILE       read commands from FILE instead of stdin\n"
       "  --frame-stats       render a frame after every command and print\n"
       "                      its timing and tile-cache counters\n"
+      "  --follow            after the command stream ends, keep polling the\n"
+      "                      file and append new tasks in O(delta) (CSV\n"
+      "                      tails byte-for-byte; XML re-parses, appends\n"
+      "                      the delta). Ctrl-C stops.\n"
+      "  --poll-ms N         --follow poll interval (default 500)\n"
+      "  --quiet-polls N     stop --follow after N consecutive polls with\n"
+      "                      no growth (default 0: poll until SIGINT)\n"
       "\n"
       "serve options:\n"
       "  --host ADDR         listen address (default 127.0.0.1)\n"
@@ -234,6 +247,20 @@ int cmd_batch(const Args& args) {
   return failed > 0 ? 1 : 0;
 }
 
+// Shared by the long-lived loops (serve, view --follow): SIGINT/SIGTERM
+// only raise the flag; the drain happens on the main thread.
+std::atomic<int> g_stop{0};
+
+void stop_signal_handler(int) { g_stop.store(1); }
+
+void install_stop_handler() {
+  g_stop.store(0);
+  struct sigaction sa = {};
+  sa.sa_handler = stop_signal_handler;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
 int cmd_view(const Args& args) {
   if (args.positional().size() != 2) {
     throw ArgumentError("view: expected exactly one schedule file");
@@ -265,9 +292,59 @@ int cmd_view(const Args& args) {
       std::cout << "error: " << e.what() << "\n";
     }
   }
+  // --follow: after the command stream ends, keep polling the file for
+  // appended tasks. Each poll with growth extends the entry in O(delta)
+  // (CSV tails byte-for-byte; XML re-parses and appends the delta).
+  if (args.has("follow")) {
+    int poll_ms = 500;
+    if (const auto p = args.value("poll-ms")) {
+      poll_ms = engine::parse_positive_int(*p, "poll-ms");
+    }
+    long long quiet_limit = 0;  // 0: poll until SIGINT
+    if (const auto q = args.value("quiet-polls")) {
+      quiet_limit = engine::parse_positive_int(*q, "quiet-polls");
+    }
+    install_stop_handler();
+    long long quiet = 0;
+    while (g_stop.load() == 0) {
+      const std::string status = session.follow();
+      if (status == "no new tasks") {
+        if (quiet_limit > 0 && ++quiet >= quiet_limit) break;
+      } else {
+        quiet = 0;
+        std::cout << status << "\n" << std::flush;
+        if (frame_stats) {
+          session.frame();
+          std::cout << session.frame_log().last().summary() << "\n";
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+    }
+  }
   if (frame_stats && session.frame_log().frames() > 0) {
     std::cout << session.frame_log().summary() << "\n";
   }
+  return 0;
+}
+
+int cmd_snapshot(const Args& args) {
+  if (args.positional().size() != 2) {
+    throw ArgumentError("snapshot: expected exactly one schedule file");
+  }
+  auto out = args.value("out");
+  if (!out) throw ArgumentError("snapshot: --out FILE is required");
+  if (!util::ends_with(*out, ".jbin")) {
+    throw ArgumentError("snapshot: --out must end in .jbin");
+  }
+  // load_entry builds exactly the two structures the snapshot holds; a
+  // .jbin input round-trips (load mmapped, rewrite) without ever
+  // materializing the AoS schedule.
+  const engine::EntryPtr entry =
+      engine::load_entry(args.positional()[1], args.value_or("format", ""));
+  io::save_snapshot(entry->arena(), entry->index, *out);
+  std::cout << "wrote " << *out << " ("
+            << std::filesystem::file_size(*out) << " bytes, "
+            << entry->task_count() << " task(s), id " << entry->id << ")\n";
   return 0;
 }
 
@@ -387,10 +464,6 @@ int cmd_demo(const Args& args) {
   return 0;
 }
 
-std::atomic<int> g_serve_stop{0};
-
-void serve_signal_handler(int) { g_serve_stop.store(1); }
-
 int cmd_serve(const Args& args) {
   serve::Server::Options opt;
   opt.host = args.value_or("host", "127.0.0.1");
@@ -429,15 +502,9 @@ int cmd_serve(const Args& args) {
             << opt.queue_capacity << ")\n"
             << std::flush;
 
-  // SIGTERM/SIGINT only raise a flag; the actual drain happens below on
-  // the main thread, where it is safe to join threads.
-  g_serve_stop.store(0);
-  struct sigaction sa = {};
-  sa.sa_handler = serve_signal_handler;
-  ::sigaction(SIGINT, &sa, nullptr);
-  ::sigaction(SIGTERM, &sa, nullptr);
+  install_stop_handler();
 
-  while (g_serve_stop.load() == 0) {
+  while (g_stop.load() == 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
   std::cout << "jedule serve: draining...\n" << std::flush;
@@ -472,7 +539,7 @@ int run(int argc, char** argv) {
       "clusters", "types", "highlight", "format", "script",
       "threads",  "out-dir", "ext",     "image-format", "lod",
       "host",     "port",  "queue",     "deadline-ms",  "store-entries",
-      "cache-mb"};
+      "cache-mb", "poll-ms", "quiet-polls"};
   const std::vector<std::string> known_flags = {
       "out",       "cmap",          "width",      "height",
       "window",    "clusters",      "types",      "highlight",  "format",
@@ -480,7 +547,8 @@ int run(int argc, char** argv) {
       "no-labels", "hatch-composites", "verbose", "threads",
       "out-dir",   "ext",           "image-format", "lod", "frame-stats",
       "host",      "port",          "queue",      "deadline-ms",
-      "store-entries", "cache-mb"};
+      "store-entries", "cache-mb",  "follow",     "poll-ms",
+      "quiet-polls"};
 
   Args args(argc - 1, argv + 1, value_flags);
   if (args.has("verbose")) util::set_log_level(util::LogLevel::kInfo);
@@ -497,6 +565,7 @@ int run(int argc, char** argv) {
   if (command == "view") return cmd_view(args);
   if (command == "info") return cmd_info(args);
   if (command == "convert") return cmd_convert(args);
+  if (command == "snapshot") return cmd_snapshot(args);
   if (command == "formats") return cmd_formats();
   if (command == "demo") return cmd_demo(args);
   if (command == "profile") return cmd_profile(args);

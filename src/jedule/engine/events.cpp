@@ -1,0 +1,107 @@
+#include "jedule/engine/events.hpp"
+
+#include <utility>
+
+#include "jedule/util/error.hpp"
+#include "jedule/util/strings.hpp"
+
+namespace jedule::engine {
+
+namespace {
+
+using model::ScheduleArena;
+
+// `<cluster>:<host>` or `<cluster>:<a>-<b>` — the single-range subset of
+// the CSV alloc grammar.
+void parse_alloc(std::string_view spec, long line, ScheduleArena::Event* e) {
+  const auto colon = spec.find(':');
+  if (colon == std::string_view::npos) {
+    throw ParseError("event alloc '" + std::string(spec) +
+                         "' lacks the '<cluster>:' prefix",
+                     line);
+  }
+  const auto cluster = util::parse_int(spec.substr(0, colon));
+  if (!cluster) {
+    throw ParseError("bad cluster id in event alloc '" + std::string(spec) +
+                         "'",
+                     line);
+  }
+  e->cluster_id = static_cast<int>(*cluster);
+  const std::string_view hosts = spec.substr(colon + 1);
+  const auto dash = hosts.find('-');
+  if (dash == std::string_view::npos) {
+    const auto h = util::parse_int(hosts);
+    if (!h) {
+      throw ParseError("bad host '" + std::string(hosts) + "'", line);
+    }
+    e->host_start = static_cast<int>(*h);
+    e->host_nb = 1;
+  } else {
+    const auto lo = util::parse_int(hosts.substr(0, dash));
+    const auto hi = util::parse_int(hosts.substr(dash + 1));
+    if (!lo || !hi || *hi < *lo) {
+      throw ParseError("bad host range '" + std::string(hosts) + "'", line);
+    }
+    e->host_start = static_cast<int>(*lo);
+    e->host_nb = static_cast<int>(*hi - *lo + 1);
+  }
+}
+
+}  // namespace
+
+std::vector<ScheduleArena::Event> parse_event_lines(const std::string& text) {
+  std::vector<ScheduleArena::Event> events;
+  long line_no = 0;
+  for (const auto& raw : util::split(text, '\n')) {
+    ++line_no;
+    const auto line = util::trim(raw);
+    if (line.empty() || line[0] == '#' || line[0] == '!') continue;
+    const auto fields = util::split(line, ',');
+    if (fields[0] == "task_id") continue;  // CSV header row
+    if (fields.size() != 5) {
+      throw ParseError("expected 'id,type,start,end,cluster:hosts', got " +
+                           std::to_string(fields.size()) + " fields",
+                       line_no);
+    }
+    const auto start = util::parse_double(fields[2]);
+    const auto end = util::parse_double(fields[3]);
+    if (!start || !end) throw ParseError("bad start/end time", line_no);
+    ScheduleArena::Event e;
+    e.id = fields[0];
+    e.type = fields[1];
+    e.start = *start;
+    e.end = *end;
+    parse_alloc(fields[4], line_no, &e);
+    events.push_back(std::move(e));
+  }
+  return events;
+}
+
+std::vector<ScheduleArena::Event> events_from_tasks(
+    const model::Schedule& schedule, std::size_t first_new) {
+  const auto& tasks = schedule.tasks();
+  std::vector<ScheduleArena::Event> out;
+  if (first_new >= tasks.size()) return out;
+  out.reserve(tasks.size() - first_new);
+  for (std::size_t i = first_new; i < tasks.size(); ++i) {
+    const model::Task& t = tasks[i];
+    if (t.configurations().size() != 1 ||
+        t.configurations().front().hosts.size() != 1) {
+      throw ArgumentError("task '" + t.id() +
+                          "' is not a single contiguous allocation");
+    }
+    const auto& cfg = t.configurations().front();
+    ScheduleArena::Event e;
+    e.id = t.id();
+    e.type = t.type();
+    e.start = t.start_time();
+    e.end = t.end_time();
+    e.cluster_id = cfg.cluster_id;
+    e.host_start = cfg.hosts.front().start;
+    e.host_nb = cfg.hosts.front().nb;
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace jedule::engine

@@ -1,0 +1,37 @@
+#pragma once
+
+// Live-trace event ingestion (DESIGN.md §4h): the textual event-line
+// format shared by `POST /schedules/{id}/events` and the CLI's
+// `view --follow` tail mode. One event per line, mirroring the CSV task
+// row so a growing .csv trace can be tailed verbatim:
+//
+//   <task_id>,<type>,<start>,<end>,<cluster>:<host>        single host
+//   <task_id>,<type>,<start>,<end>,<cluster>:<a>-<b>       host range
+//
+// Blank lines, '#' comments and the CSV header row are skipped, so the
+// tail of a well-formed CSV schedule file parses directly. Events are the
+// single-configuration, single-contiguous-range shape live traces
+// produce; richer tasks still enter through the full parsers.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "jedule/model/arena.hpp"
+#include "jedule/model/schedule.hpp"
+
+namespace jedule::engine {
+
+/// Parses event lines (format above). Throws ParseError with the
+/// offending line number on malformed input.
+std::vector<model::ScheduleArena::Event> parse_event_lines(
+    const std::string& text);
+
+/// Converts tasks [first_new, size) of a parsed schedule into events —
+/// the `--follow` path for formats whose tails cannot be parsed in
+/// isolation (XML re-parses the file, then appends only the new tasks).
+/// Throws ArgumentError if a task is not a single contiguous allocation.
+std::vector<model::ScheduleArena::Event> events_from_tasks(
+    const model::Schedule& schedule, std::size_t first_new);
+
+}  // namespace jedule::engine

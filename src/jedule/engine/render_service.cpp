@@ -155,10 +155,19 @@ RenderService::Artifact RenderService::render(const EntryPtr& entry,
   req.u64(options_digest(options));
   const Key key{entry->content_hash, req.h};
   return cached(key, media_type_for(format), Encoding::identity, [&] {
-    // The entry's index makes windowed renders O(visible); bytes are
-    // identical with or without it, so it stays out of the cache key.
+    // The entry's index makes windowed renders O(visible), and the
+    // entry's cached composite list replaces the per-render overlap
+    // sweep; bytes are identical with or without either, so both stay
+    // out of the cache key.
     options.task_index = &entry->index;
-    std::string bytes = render::render_to_bytes(entry->schedule, options,
+    options.assume_validated = true;  // entries validate at ingest
+    std::shared_ptr<const std::vector<model::Composite>> composites;
+    if (options.style.show_composites && options.style.type_filter.empty() &&
+        !options.style.time_window) {
+      composites = entry->composites(util::resolve_threads(options.threads));
+      options.composites = composites.get();
+    }
+    std::string bytes = render::render_to_bytes(entry->schedule(), options,
                                                 format);
     const std::size_t raw = bytes.size();
     return Made{std::move(bytes), raw};
@@ -179,7 +188,7 @@ RenderService::Artifact RenderService::render_tile(
                         std::to_string(x) + " at zoom " +
                         std::to_string(zoom) + ")");
   }
-  const auto& clusters = entry->schedule.clusters();
+  const auto& clusters = entry->schedule().clusters();
   if (y >= static_cast<long long>(clusters.size())) {
     throw ArgumentError("tile y must be a cluster row in [0, " +
                         std::to_string(clusters.size()) + ") or omitted");
@@ -201,7 +210,7 @@ RenderService::Artifact RenderService::render_tile(
   const Key key{entry->content_hash, req.h};
   return cached(key, media_type_for("png"), Encoding::identity, [&] {
     render::TileCache::Request tile_req;
-    tile_req.schedule = &entry->schedule;
+    tile_req.schedule = &entry->schedule();
     tile_req.colormap = &options.colormap;
     tile_req.style = options.style;
     tile_req.index = &entry->index;

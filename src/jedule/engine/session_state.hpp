@@ -35,7 +35,7 @@ class SessionState {
                render::GanttStyle style);
 
   const EntryPtr& entry() const { return entry_; }
-  const model::Schedule& schedule() const { return entry_->schedule; }
+  const model::Schedule& schedule() const { return entry_->schedule(); }
   const model::TaskIndex& index() const { return entry_->index; }
   const render::GanttStyle& style() const { return style_; }
   const color::ColorMap& colormap() const { return colormap_; }

@@ -5,6 +5,7 @@
 #include "jedule/io/file.hpp"
 #include "jedule/io/registry.hpp"
 #include "jedule/util/error.hpp"
+#include "jedule/util/strings.hpp"
 
 namespace jedule::engine {
 
@@ -25,15 +26,132 @@ std::string hex_id(std::uint64_t hash) {
   return id;
 }
 
+// Rough resident footprint of a materialized AoS schedule; exact
+// accounting would walk every string's capacity, which isn't worth it for
+// a /stats gauge. Computed once when the materialization happens.
+std::size_t estimate_schedule_bytes(const model::Schedule& s) {
+  std::size_t n = s.tasks().capacity() * sizeof(model::Task);
+  for (const auto& t : s.tasks()) {
+    n += t.id().size();
+    for (const auto& cfg : t.configurations()) {
+      n += sizeof(model::Configuration) +
+           cfg.hosts.size() * sizeof(model::HostRange);
+    }
+    for (const auto& [k, v] : t.properties()) n += k.size() + v.size();
+  }
+  return n;
+}
+
 }  // namespace
 
 ScheduleEntry::ScheduleEntry(model::Schedule schedule_in,
                              std::string source_in)
-    : source(std::move(source_in)), schedule(validated(std::move(schedule_in))),
-      index(schedule) {
+    : source(std::move(source_in)) {
+  schedule_ = std::make_shared<const model::Schedule>(
+      validated(std::move(schedule_in)));
+  index = model::TaskIndex(*schedule_);
   content_hash = index.content_hash();
   id = hex_id(content_hash);
   if (const auto range = index.time_range()) full_range = *range;
+  aos_bytes_ = estimate_schedule_bytes(*schedule_);
+  first_new_ = task_count();
+}
+
+ScheduleEntry::ScheduleEntry(io::Snapshot snapshot, std::string source_in)
+    : source(std::move(source_in)), index(std::move(snapshot.index)) {
+  auto arena =
+      std::make_shared<model::ScheduleArena>(std::move(snapshot.arena));
+  // parse_snapshot checked structure and hashes; the numeric invariants
+  // (time sanity, overlaps, host bounds) still run as column sweeps.
+  // Duplicate-id certification happened at save time and is re-seeded
+  // lazily by the first append, so reopening a million-task snapshot
+  // never hashes a million id strings.
+  arena->validate_columns();
+  arena_ = std::move(arena);
+  content_hash = index.content_hash();
+  id = hex_id(content_hash);
+  if (const auto range = index.time_range()) full_range = *range;
+  first_new_ = task_count();
+}
+
+ScheduleEntry::ScheduleEntry(
+    const ScheduleEntry& base,
+    const std::vector<model::ScheduleArena::Event>& events)
+    : source(base.source) {
+  auto arena = std::make_shared<model::ScheduleArena>(base.arena());
+  const std::size_t first = arena->task_count();
+  arena->append(events);  // throws ValidationError, base untouched
+  arena_ = std::move(arena);
+  index = model::TaskIndex(base.index, *arena_, first);
+  content_hash = index.content_hash();
+  id = hex_id(content_hash);
+  if (const auto range = index.time_range()) full_range = *range;
+  first_new_ = first;
+  {
+    // Only adopt a composite list the base actually computed — never
+    // force one into existence just to extend it.
+    std::lock_guard<std::mutex> lock(base.lazy_mu_);
+    base_composites_ = base.composites_;
+  }
+}
+
+std::size_t ScheduleEntry::cluster_count() const {
+  std::lock_guard<std::mutex> lock(lazy_mu_);
+  return arena_ ? arena_->clusters().size() : schedule_->clusters().size();
+}
+
+const model::Schedule& ScheduleEntry::schedule_locked() const {
+  if (!schedule_) {
+    schedule_ =
+        std::make_shared<const model::Schedule>(arena_->to_schedule());
+    aos_bytes_ = estimate_schedule_bytes(*schedule_);
+  }
+  return *schedule_;
+}
+
+const model::Schedule& ScheduleEntry::schedule() const {
+  std::lock_guard<std::mutex> lock(lazy_mu_);
+  return schedule_locked();
+}
+
+const model::ScheduleArena& ScheduleEntry::arena() const {
+  std::lock_guard<std::mutex> lock(lazy_mu_);
+  if (!arena_) {
+    arena_ = std::make_shared<const model::ScheduleArena>(*schedule_);
+  }
+  return *arena_;
+}
+
+std::shared_ptr<const std::vector<model::Composite>> ScheduleEntry::composites(
+    int threads) const {
+  std::lock_guard<std::mutex> lock(lazy_mu_);
+  if (composites_) return composites_;
+  const model::Schedule& s = schedule_locked();
+  std::vector<model::Composite> list;
+  if (base_composites_ != nullptr) {
+    list = model::append_composites(s, index, *base_composites_, first_new_,
+                                    nullptr, threads);
+  } else {
+    list = model::synthesize_composites(s, nullptr, threads);
+  }
+  composites_ =
+      std::make_shared<const std::vector<model::Composite>>(std::move(list));
+  base_composites_.reset();
+  return composites_;
+}
+
+ScheduleEntry::Resident ScheduleEntry::resident() const {
+  std::lock_guard<std::mutex> lock(lazy_mu_);
+  Resident r;
+  if (arena_) {
+    r.mmap_bytes = arena_->mmap_bytes();
+    r.heap_bytes = arena_->heap_bytes();
+  }
+  if (schedule_) r.heap_bytes += aos_bytes_;
+  if (composites_) {
+    r.heap_bytes += composites_->size() * sizeof(model::Composite);
+  }
+  return r;
 }
 
 EntryPtr make_entry(model::Schedule schedule, std::string source) {
@@ -48,7 +166,18 @@ EntryPtr parse_entry(std::string content, const std::string& name_hint,
 }
 
 EntryPtr load_entry(const std::string& path, const std::string& format) {
+  if ((format.empty() && util::ends_with(path, ".jbin")) ||
+      format == "jbin") {
+    return std::make_shared<const ScheduleEntry>(io::load_snapshot(path),
+                                                 path);
+  }
   return make_entry(io::load_schedule(path, format), path);
+}
+
+EntryPtr append_entry(const EntryPtr& base,
+                      const std::vector<model::ScheduleArena::Event>& events) {
+  JED_ASSERT(base != nullptr);
+  return std::make_shared<const ScheduleEntry>(*base, events);
 }
 
 ScheduleStore::PutResult ScheduleStore::put(EntryPtr entry) {
@@ -61,7 +190,7 @@ ScheduleStore::PutResult ScheduleStore::put(EntryPtr entry) {
     return {it->second.entry, true};
   }
   lru_.push_front(entry->id);
-  tasks_ += entry->schedule.tasks().size();
+  tasks_ += entry->task_count();
   entries_.emplace(entry->id, Slot{entry, lru_.begin()});
   evict_over_budget_locked();
   return {std::move(entry), false};
@@ -83,7 +212,7 @@ bool ScheduleStore::erase(const std::string& id) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(id);
   if (it == entries_.end()) return false;
-  tasks_ -= it->second.entry->schedule.tasks().size();
+  tasks_ -= it->second.entry->task_count();
   lru_.erase(it->second.lru);
   entries_.erase(it);
   return true;
@@ -102,6 +231,11 @@ ScheduleStore::Stats ScheduleStore::stats() const {
   Stats s = stats_;
   s.entries = entries_.size();
   s.tasks = tasks_;
+  for (const auto& [id, slot] : entries_) {
+    const ScheduleEntry::Resident r = slot.entry->resident();
+    s.resident_mmap_bytes += r.mmap_bytes;
+    s.resident_heap_bytes += r.heap_bytes;
+  }
   return s;
 }
 
@@ -115,7 +249,7 @@ void ScheduleStore::evict_over_budget_locked() {
   while (entries_.size() > 1 && over()) {
     const std::string victim = lru_.back();
     auto it = entries_.find(victim);
-    tasks_ -= it->second.entry->schedule.tasks().size();
+    tasks_ -= it->second.entry->task_count();
     lru_.pop_back();
     entries_.erase(it);
     ++stats_.evictions;

@@ -21,6 +21,9 @@
 #include <string>
 #include <vector>
 
+#include "jedule/io/snapshot.hpp"
+#include "jedule/model/arena.hpp"
+#include "jedule/model/composite.hpp"
 #include "jedule/model/schedule.hpp"
 #include "jedule/model/task_index.hpp"
 
@@ -30,15 +33,76 @@ namespace jedule::engine {
 /// Everything downstream (layout culling, tile caching, artifact caching,
 /// dedup) keys off `content_hash`; `id` is its 16-digit hex spelling and
 /// doubles as the HTTP resource name.
+///
+/// An entry carries up to two representations of the task table: the AoS
+/// model::Schedule (what layout and the exporters consume) and the
+/// columnar model::ScheduleArena (what snapshots and the live-append path
+/// produce). Each materializes lazily from the other on first use, so a
+/// `.jbin` load stays a zero-copy validation pass over the mapping until
+/// someone actually renders, and an appended entry defers the O(n) AoS
+/// rebuild the same way. The identity surface (id, content_hash, index,
+/// full_range) is always eager.
 struct ScheduleEntry {
+  /// AoS ingest (parser output): validates, indexes, hashes.
   ScheduleEntry(model::Schedule schedule_in, std::string source_in);
+
+  /// Snapshot ingest: adopts the loaded (possibly mmapped) columns and
+  /// prebuilt index; runs the columnar semantic validation, never the
+  /// AoS materialization.
+  ScheduleEntry(io::Snapshot snapshot, std::string source_in);
+
+  /// O(delta) append: flat-copies the base's columns, appends and
+  /// validates only `events`, and extends index/hash incrementally.
+  /// Throws ValidationError (base unchanged) on invalid events.
+  ScheduleEntry(const ScheduleEntry& base,
+                const std::vector<model::ScheduleArena::Event>& events);
 
   std::string id;
   std::uint64_t content_hash = 0;
   std::string source;  // originating path / upload name hint (may be empty)
-  model::Schedule schedule;
   model::TaskIndex index;
   model::TimeRange full_range{0, 1};  // {0, 1} for an empty schedule
+
+  std::size_t task_count() const { return index.task_count(); }
+
+  /// Cluster count without forcing a representation into existence.
+  std::size_t cluster_count() const;
+
+  /// The AoS schedule, materialized from the columns on first use.
+  const model::Schedule& schedule() const;
+
+  /// The columnar arena, built from the AoS schedule on first use.
+  const model::ScheduleArena& arena() const;
+
+  /// The unfiltered composite list (synthesized on first use; append
+  /// entries extend their base's already-computed list in O(tail) via
+  /// model::append_composites instead of resweeping).
+  std::shared_ptr<const std::vector<model::Composite>> composites(
+      int threads = 1) const;
+
+  /// Resident-memory accounting for /stats: bytes still served straight
+  /// off a snapshot mapping vs heap bytes (columns + index-visible copies
+  /// + the AoS/composite materializations once they exist).
+  struct Resident {
+    std::size_t mmap_bytes = 0;
+    std::size_t heap_bytes = 0;
+  };
+  Resident resident() const;
+
+ private:
+  const model::Schedule& schedule_locked() const;
+
+  mutable std::mutex lazy_mu_;
+  mutable std::shared_ptr<const model::Schedule> schedule_;
+  mutable std::shared_ptr<const model::ScheduleArena> arena_;
+  mutable std::shared_ptr<const std::vector<model::Composite>> composites_;
+  mutable std::size_t aos_bytes_ = 0;  // estimate, set at materialization
+  // Append provenance: the base's composite list (when it was already
+  // computed) and the first appended task index, so composites() can
+  // extend instead of resynthesize.
+  mutable std::shared_ptr<const std::vector<model::Composite>>
+      base_composites_;
+  std::size_t first_new_ = 0;
 };
 
 using EntryPtr = std::shared_ptr<const ScheduleEntry>;
@@ -52,8 +116,16 @@ EntryPtr make_entry(model::Schedule schedule, std::string source = "");
 EntryPtr parse_entry(std::string content, const std::string& name_hint = "",
                      const std::string& format = "");
 
-/// Loads a schedule file into an entry — the CLI / Session path.
+/// Loads a schedule file into an entry — the CLI / Session path. `.jbin`
+/// snapshots take the zero-copy route: the file is mmapped and admitted
+/// as columns + prebuilt index with no parse and no AoS materialization.
 EntryPtr load_entry(const std::string& path, const std::string& format = "");
+
+/// Appends live-trace events to an existing entry, producing a new entry
+/// (entries are immutable; the new id reflects the new content hash).
+/// O(delta) except for one flat column copy.
+EntryPtr append_entry(const EntryPtr& base,
+                      const std::vector<model::ScheduleArena::Event>& events);
 
 /// Content-hash-addressed in-memory schedule store. put() deduplicates by
 /// hash (re-uploading a trace is a cheap no-op returning the existing
@@ -79,6 +151,11 @@ class ScheduleStore {
   struct Stats {
     std::size_t entries = 0;
     std::size_t tasks = 0;
+    /// Resident bytes across entries, split by backing: bytes still
+    /// served off snapshot mappings vs heap allocations (see
+    /// ScheduleEntry::resident).
+    std::size_t resident_mmap_bytes = 0;
+    std::size_t resident_heap_bytes = 0;
     std::uint64_t puts = 0;
     std::uint64_t dedup_hits = 0;
     std::uint64_t evictions = 0;

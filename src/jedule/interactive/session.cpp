@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cmath>
 
+#include "jedule/engine/events.hpp"
 #include "jedule/engine/options.hpp"
 #include "jedule/engine/store.hpp"
 #include "jedule/io/colormap_xml.hpp"
+#include "jedule/io/file.hpp"
+#include "jedule/io/registry.hpp"
 #include "jedule/model/stats.hpp"
 #include "jedule/render/ascii.hpp"
 #include "jedule/render/exporter.hpp"
@@ -129,6 +132,70 @@ void Session::reread() {
     throw Error("reread: session is not bound to a file");
   }
   state_.reset_entry(engine::load_entry(path_));
+}
+
+std::string Session::follow() {
+  if (path_.empty()) {
+    throw Error("follow: session is not bound to a file");
+  }
+  auto appended_msg = [this](std::size_t n) {
+    return "appended " + std::to_string(n) + " task(s) (" +
+           std::to_string(state_.entry()->task_count()) + " total)";
+  };
+
+  if (util::ends_with(path_, ".csv")) {
+    const std::string content = io::read_file(path_);
+    if (!follow_offset_ || content.size() < *follow_offset_) {
+      // First poll (resynchronize entry and byte offset from one read) or
+      // a truncated/rewritten file: start over from the full content.
+      state_.reset_entry(engine::parse_entry(content, path_));
+      const bool first = !follow_offset_.has_value();
+      follow_offset_ = content.size();
+      return first ? "following " + path_ + " (" +
+                         std::to_string(state_.entry()->task_count()) +
+                         " task(s))"
+                   : "reloaded " + path_ + " (file shrank)";
+    }
+    std::string_view tail{content};
+    tail.remove_prefix(*follow_offset_);
+    // Only consume whole lines; a writer caught mid-append keeps its
+    // partial last line for the next poll.
+    const auto last_nl = tail.rfind('\n');
+    if (last_nl == std::string_view::npos) return "no new tasks";
+    tail = tail.substr(0, last_nl + 1);
+    try {
+      const auto events = engine::parse_event_lines(std::string(tail));
+      if (!events.empty()) {
+        state_.reset_entry(engine::append_entry(state_.entry(), events));
+      }
+      *follow_offset_ += tail.size();
+      return events.empty() ? "no new tasks" : appended_msg(events.size());
+    } catch (const Error&) {
+      // Tail not appendable (malformed line, duplicate id, overlap):
+      // degrade to a full reload of whatever the file now holds.
+      state_.reset_entry(engine::parse_entry(content, path_));
+      follow_offset_ = content.size();
+      return "reloaded " + path_ + " (tail not appendable)";
+    }
+  }
+
+  // Formats without a line-oriented tail (XML): re-parse the file, then
+  // append only the new tasks — the parse is O(n) but the index, hash and
+  // composite extension stay O(delta).
+  model::Schedule fresh = io::load_schedule(path_, "");
+  const std::size_t have = state_.entry()->task_count();
+  if (fresh.tasks().size() == have) return "no new tasks";
+  if (fresh.tasks().size() > have) {
+    try {
+      const auto events = engine::events_from_tasks(fresh, have);
+      state_.reset_entry(engine::append_entry(state_.entry(), events));
+      return appended_msg(events.size());
+    } catch (const Error&) {
+      // Non-contiguous allocation or a prefix change: fall through.
+    }
+  }
+  state_.reset_entry(engine::make_entry(std::move(fresh), path_));
+  return "reloaded " + path_;
 }
 
 void Session::snapshot(const std::string& path) {
@@ -274,6 +341,11 @@ std::string Session::execute(const std::string& command) {
     reread();
     return "reloaded " + path_;
   }
+  if (op == "follow") {
+    // One live-trace poll; `view --follow` runs this in a loop.
+    need_args(0);
+    return follow();
+  }
   if (op == "export") {
     need_args(1);
     snapshot(words[1]);
@@ -284,7 +356,7 @@ std::string Session::execute(const std::string& command) {
            "pan <dt>, reset, clusters all|<ids>, types all|<names>, "
            "mode scaled|aligned, grayscale on|off, lod auto|off|force, "
            "cmap <file>, inspect <x> <y>, frame, stats, info, ascii, reread, "
-           "export <path>, help";
+           "follow, export <path>, help";
   }
   throw ArgumentError("unknown command '" + op + "' (try 'help')");
 }

@@ -17,6 +17,8 @@
 // viewport culling and point-query inspect, and frames render through a
 // render::TileCache, so a pan re-rasterizes only the newly exposed strip.
 
+#include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -125,6 +127,15 @@ class Session {
   /// session is not file-bound.
   void reread();
 
+  /// One `--follow` poll: ingest whatever the bound file gained since the
+  /// last poll, keeping the current view. CSV traces are tailed
+  /// byte-for-byte — only the appended lines are parsed and the entry is
+  /// extended in O(delta) (engine::append_entry); other formats re-parse
+  /// the file and append only the new tasks. A shrunken or rewritten file
+  /// falls back to a full reload. Returns a one-line status; throws Error
+  /// if the session is not file-bound.
+  std::string follow();
+
   /// Exports the current view (format from the extension).
   void snapshot(const std::string& path);
 
@@ -141,6 +152,9 @@ class Session {
 
   engine::SessionState state_;
   std::string path_;  // empty when in-memory
+  // Bytes of the bound CSV trace already ingested; unset until the first
+  // follow() resynchronizes (entry and offset must come from one read).
+  std::optional<std::size_t> follow_offset_;
 };
 
 }  // namespace jedule::interactive

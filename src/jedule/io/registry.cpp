@@ -3,6 +3,7 @@
 #include "jedule/io/csv.hpp"
 #include "jedule/io/file.hpp"
 #include "jedule/io/jedule_xml.hpp"
+#include "jedule/io/snapshot.hpp"
 #include "jedule/util/error.hpp"
 #include "jedule/util/inflate.hpp"
 #include "jedule/util/strings.hpp"
@@ -46,6 +47,30 @@ class CsvParser final : public ScheduleParser {
   }
 };
 
+// Generic-registry access to `.jbin` snapshots: materializes the AoS
+// schedule from the columns, so every load_schedule() caller (view,
+// export, diff, ...) accepts snapshots. The engine's store bypasses this
+// and keeps the zero-copy arena/index (engine::load_entry).
+class SnapshotParser final : public ScheduleParser {
+ public:
+  std::string name() const override { return "jbin"; }
+
+  bool sniff(const std::string& path, const std::string& head) const override {
+    return util::ends_with(path, ".jbin") || is_snapshot(head);
+  }
+
+  model::Schedule parse(const std::string& content) const override {
+    // The columns borrow from `content`; copy it into a keep-alive owner.
+    auto owner = std::make_shared<std::string>(content);
+    Snapshot snap = parse_snapshot(
+        reinterpret_cast<const std::uint8_t*>(owner->data()), owner->size(),
+        owner, 0);
+    model::Schedule schedule = snap.arena.to_schedule();
+    schedule.validate();
+    return schedule;
+  }
+};
+
 }  // namespace
 
 ParserRegistry& ParserRegistry::instance() {
@@ -53,6 +78,7 @@ ParserRegistry& ParserRegistry::instance() {
     auto* r = new ParserRegistry();
     r->register_parser(std::make_unique<JeduleXmlParser>());
     r->register_parser(std::make_unique<CsvParser>());
+    r->register_parser(std::make_unique<SnapshotParser>());
     return r;
   }();
   return *registry;

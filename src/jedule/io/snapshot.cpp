@@ -1,0 +1,569 @@
+#include "jedule/io/snapshot.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstring>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "jedule/io/file.hpp"
+#include "jedule/platform/mmap.hpp"
+#include "jedule/util/checksum.hpp"
+#include "jedule/util/error.hpp"
+
+namespace jedule::io {
+
+namespace {
+
+constexpr char kMagic[4] = {'J', 'B', 'I', 'N'};
+constexpr std::uint32_t kEndianMarker = 0x01020304u;
+constexpr std::uint32_t kHeaderSize = 64;
+constexpr std::uint32_t kSectionRecordSize = 32;
+constexpr std::size_t kSectionAlign = 64;
+
+// Section ids. Raw columns and blobs are fixed; per-cluster index arrays
+// use kIndexEntriesBase + 2k / kIndexMaxEndBase + 2k for cluster slot k.
+enum SectionId : std::uint32_t {
+  kSecStart = 1,
+  kSecEnd = 2,
+  kSecTypeId = 3,
+  kSecIdOff = 4,
+  kSecIdPool = 5,
+  kSecCfgOff = 6,
+  kSecCfgCluster = 7,
+  kSecRangeOff = 8,
+  kSecRanges = 9,
+  kSecPropOff = 10,
+  kSecPropSlices = 11,
+  kSecPropPool = 12,
+  kSecTypes = 13,
+  kSecClusters = 14,
+  kSecMeta = 15,
+  kSecIndexMeta = 16,
+  kIndexEntriesBase = 0x100,
+  kIndexMaxEndBase = 0x101,
+};
+
+// Serialized index entries are the in-memory TaskIndex::Entry layout with
+// the 4 trailing padding bytes zeroed; the loader reuses the mapped
+// records in place. Pin the layout so a compiler change cannot silently
+// produce unreadable files.
+using Entry = model::TaskIndex::Entry;
+static_assert(sizeof(Entry) == 32);
+static_assert(offsetof(Entry, begin) == 0);
+static_assert(offsetof(Entry, end) == 8);
+static_assert(offsetof(Entry, host_start) == 16);
+static_assert(offsetof(Entry, host_end) == 20);
+static_assert(offsetof(Entry, task) == 24);
+static_assert(sizeof(model::HostRange) == 8);
+static_assert(offsetof(model::HostRange, start) == 0);
+static_assert(offsetof(model::HostRange, nb) == 4);
+
+std::atomic<std::uint64_t> g_saves{0};
+std::atomic<std::uint64_t> g_save_bytes{0};
+std::atomic<std::uint64_t> g_loads{0};
+std::atomic<std::uint64_t> g_load_bytes{0};
+
+// ---- little-endian buffer writer -----------------------------------------
+
+void put_bytes(std::string* out, const void* data, std::size_t n) {
+  out->append(static_cast<const char*>(data), n);
+}
+
+void put_u32(std::string* out, std::uint32_t v) { put_bytes(out, &v, 4); }
+void put_u64(std::string* out, std::uint64_t v) { put_bytes(out, &v, 8); }
+void put_i64(std::string* out, std::int64_t v) { put_bytes(out, &v, 8); }
+void put_f64(std::string* out, double v) { put_bytes(out, &v, 8); }
+
+void put_string(std::string* out, std::string_view s) {
+  put_u64(out, s.size());
+  put_bytes(out, s.data(), s.size());
+}
+
+struct SectionRecord {
+  std::uint32_t id = 0;
+  std::uint32_t crc = 0;
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;
+  std::uint64_t count = 0;
+};
+
+class Writer {
+ public:
+  void add(std::uint32_t id, std::string payload, std::uint64_t count) {
+    Section s;
+    s.record.id = id;
+    s.record.size = payload.size();
+    s.record.count = count;
+    s.record.crc = util::crc32(
+        reinterpret_cast<const std::uint8_t*>(payload.data()),
+        payload.size());
+    s.payload = std::move(payload);
+    sections_.push_back(std::move(s));
+  }
+
+  void add_array(std::uint32_t id, const void* data, std::size_t count,
+                 std::size_t elem_size) {
+    std::string payload(static_cast<const char*>(data), count * elem_size);
+    add(id, std::move(payload), count);
+  }
+
+  std::string finish(std::uint64_t content_hash, std::uint64_t tasks_hash,
+                     std::uint64_t task_count) {
+    // Lay the sections out 64-byte aligned after header + table.
+    std::uint64_t offset =
+        kHeaderSize + sections_.size() * kSectionRecordSize;
+    for (auto& s : sections_) {
+      offset = (offset + kSectionAlign - 1) & ~(kSectionAlign - 1);
+      s.record.offset = offset;
+      offset += s.record.size;
+    }
+    const std::uint64_t file_size = offset;
+
+    std::string out;
+    out.reserve(file_size);
+    put_bytes(&out, kMagic, 4);
+    put_u32(&out, kSnapshotVersion);
+    put_u32(&out, kEndianMarker);
+    put_u32(&out, kHeaderSize);
+    put_u64(&out, content_hash);
+    put_u64(&out, tasks_hash);
+    put_u64(&out, task_count);
+    put_u32(&out, static_cast<std::uint32_t>(sections_.size()));
+    const std::size_t crc_pos = out.size();
+    put_u32(&out, 0);  // header_crc, patched below
+    put_u64(&out, file_size);
+    put_u64(&out, 0);  // reserved
+    JED_ASSERT(out.size() == kHeaderSize);
+
+    for (const auto& s : sections_) {
+      put_u32(&out, s.record.id);
+      put_u32(&out, s.record.crc);
+      put_u64(&out, s.record.offset);
+      put_u64(&out, s.record.size);
+      put_u64(&out, s.record.count);
+    }
+
+    // header_crc covers the header before the crc field plus the table.
+    std::uint32_t hcrc = util::crc32(
+        reinterpret_cast<const std::uint8_t*>(out.data()), crc_pos);
+    hcrc = util::crc32(
+        reinterpret_cast<const std::uint8_t*>(out.data()) + kHeaderSize,
+        out.size() - kHeaderSize, hcrc);
+    std::memcpy(out.data() + crc_pos, &hcrc, 4);
+
+    for (const auto& s : sections_) {
+      out.resize(s.record.offset, '\0');  // alignment padding
+      out += s.payload;
+    }
+    JED_ASSERT(out.size() == file_size);
+    return out;
+  }
+
+ private:
+  struct Section {
+    SectionRecord record;
+    std::string payload;
+  };
+  std::vector<Section> sections_;
+};
+
+// ---- bounds-checked little-endian reader ---------------------------------
+
+class Cursor {
+ public:
+  Cursor(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint32_t u32() { return get<std::uint32_t>(); }
+  std::uint64_t u64() { return get<std::uint64_t>(); }
+  std::int64_t i64() { return get<std::int64_t>(); }
+  double f64() { return get<double>(); }
+
+  std::string str() {
+    const std::uint64_t n = u64();
+    if (n > size_ - pos_) fail();
+    std::string s(reinterpret_cast<const char*>(data_ + pos_),
+                  static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return s;
+  }
+
+  void expect_end() const {
+    if (pos_ != size_) fail();
+  }
+
+ private:
+  template <typename T>
+  T get() {
+    if (sizeof(T) > size_ - pos_) fail();
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  [[noreturn]] static void fail() {
+    throw ParseError("snapshot: truncated metadata block");
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+struct LoadedSection {
+  const std::uint8_t* data = nullptr;
+  std::uint64_t size = 0;
+  std::uint64_t count = 0;
+};
+
+}  // namespace
+
+bool is_snapshot(std::string_view head) {
+  return head.size() >= 4 && std::memcmp(head.data(), kMagic, 4) == 0;
+}
+
+std::string serialize_snapshot(const model::ScheduleArena& arena,
+                               const model::TaskIndex& index) {
+  JED_ASSERT(arena.content_hash() == index.content_hash());
+  const auto cols = arena.columns();
+  Writer w;
+  w.add_array(kSecStart, cols.start, cols.tasks, 8);
+  w.add_array(kSecEnd, cols.end, cols.tasks, 8);
+  w.add_array(kSecTypeId, cols.type_id, cols.tasks, 4);
+  w.add_array(kSecIdOff, cols.id_off, cols.tasks + 1, 8);
+  w.add_array(kSecIdPool, cols.id_pool, cols.id_pool_size, 1);
+  w.add_array(kSecCfgOff, cols.cfg_off, cols.tasks + 1, 4);
+  w.add_array(kSecCfgCluster, cols.cfg_cluster, cols.configs, 4);
+  w.add_array(kSecRangeOff, cols.range_off, cols.configs + 1, 4);
+  w.add_array(kSecRanges, cols.ranges, cols.ranges_count, 8);
+  w.add_array(kSecPropOff, cols.prop_off, cols.tasks + 1, 4);
+  w.add_array(kSecPropSlices, cols.prop_slices, cols.props * 4, 8);
+  w.add_array(kSecPropPool, cols.prop_pool, cols.prop_pool_size, 1);
+
+  std::string types;
+  put_u64(&types, arena.types().size());
+  for (const auto& t : arena.types()) put_string(&types, t);
+  w.add(kSecTypes, std::move(types), arena.types().size());
+
+  std::string clusters;
+  put_u64(&clusters, arena.clusters().size());
+  for (const auto& c : arena.clusters()) {
+    put_i64(&clusters, c.id);
+    put_i64(&clusters, c.hosts);
+    put_string(&clusters, c.name);
+  }
+  w.add(kSecClusters, std::move(clusters), arena.clusters().size());
+
+  std::string meta;
+  put_u64(&meta, arena.meta().size());
+  for (const auto& [k, v] : arena.meta()) {
+    put_string(&meta, k);
+    put_string(&meta, v);
+  }
+  w.add(kSecMeta, std::move(meta), arena.meta().size());
+
+  const auto flat = index.flatten();
+  std::string imeta;
+  put_u64(&imeta, flat.size());
+  const auto range = index.time_range();
+  put_u64(&imeta, range ? 1 : 0);
+  put_f64(&imeta, range ? range->begin : 0.0);
+  put_f64(&imeta, range ? range->end : 0.0);
+  for (const auto& fc : flat) {
+    put_i64(&imeta, fc.cluster_id);
+    put_u64(&imeta, fc.entries.size());
+  }
+  w.add(kSecIndexMeta, std::move(imeta), flat.size());
+
+  for (std::size_t k = 0; k < flat.size(); ++k) {
+    // Zero the per-record padding so files are byte-deterministic and the
+    // section CRC does not depend on heap garbage.
+    std::string entries;
+    entries.reserve(flat[k].entries.size() * sizeof(Entry));
+    char rec[sizeof(Entry)];
+    for (const Entry& e : flat[k].entries) {
+      std::memset(rec, 0, sizeof rec);
+      std::memcpy(rec + offsetof(Entry, begin), &e.begin, 8);
+      std::memcpy(rec + offsetof(Entry, end), &e.end, 8);
+      std::memcpy(rec + offsetof(Entry, host_start), &e.host_start, 4);
+      std::memcpy(rec + offsetof(Entry, host_end), &e.host_end, 4);
+      std::memcpy(rec + offsetof(Entry, task), &e.task, 4);
+      entries.append(rec, sizeof rec);
+    }
+    w.add(kIndexEntriesBase + 2 * static_cast<std::uint32_t>(k),
+          std::move(entries), flat[k].entries.size());
+    w.add_array(kIndexMaxEndBase + 2 * static_cast<std::uint32_t>(k),
+                flat[k].max_end.data(), flat[k].max_end.size(), 8);
+  }
+
+  return w.finish(arena.content_hash(), arena.tasks_hash(),
+                  arena.task_count());
+}
+
+void save_snapshot(const model::ScheduleArena& arena,
+                   const model::TaskIndex& index, const std::string& path) {
+  std::string bytes = serialize_snapshot(arena, index);
+  write_file(path, bytes);
+  g_saves.fetch_add(1, std::memory_order_relaxed);
+  g_save_bytes.fetch_add(bytes.size(), std::memory_order_relaxed);
+}
+
+Snapshot parse_snapshot(const std::uint8_t* data, std::size_t size,
+                        std::shared_ptr<const void> owner,
+                        std::size_t mapped_bytes) {
+  auto fail = [](const std::string& what) {
+    throw ParseError("snapshot: " + what);
+  };
+  if (size < kHeaderSize) fail("file shorter than the header");
+  if (std::memcmp(data, kMagic, 4) != 0) fail("bad magic");
+
+  Cursor h(data + 4, kHeaderSize - 4);
+  const std::uint32_t version = h.u32();
+  if (version != kSnapshotVersion) {
+    fail("unsupported version " + std::to_string(version));
+  }
+  const std::uint32_t endian = h.u32();
+  if (endian == 0x04030201u) fail("wrong endianness");
+  if (endian != kEndianMarker) fail("bad endianness marker");
+  if (h.u32() != kHeaderSize) fail("bad header size");
+  const std::uint64_t content_hash = h.u64();
+  const std::uint64_t tasks_hash = h.u64();
+  const std::uint64_t task_count = h.u64();
+  const std::uint32_t section_count = h.u32();
+  const std::uint32_t header_crc = h.u32();
+  const std::uint64_t file_size = h.u64();
+  if (file_size != size) fail("file size mismatch (truncated?)");
+  if (section_count > (1u << 20)) fail("implausible section count");
+  const std::uint64_t table_bytes =
+      static_cast<std::uint64_t>(section_count) * kSectionRecordSize;
+  if (kHeaderSize + table_bytes > size) fail("section table out of bounds");
+
+  constexpr std::size_t kHeaderCrcPos = 44;
+  std::uint32_t hcrc = util::crc32(data, kHeaderCrcPos);
+  hcrc = util::crc32(data + kHeaderSize, table_bytes, hcrc);
+  if (hcrc != header_crc) fail("header checksum mismatch");
+
+  std::map<std::uint32_t, LoadedSection> sections;
+  for (std::uint32_t i = 0; i < section_count; ++i) {
+    Cursor rec(data + kHeaderSize + i * kSectionRecordSize,
+               kSectionRecordSize);
+    const std::uint32_t id = rec.u32();
+    const std::uint32_t crc = rec.u32();
+    const std::uint64_t offset = rec.u64();
+    const std::uint64_t bytes = rec.u64();
+    const std::uint64_t count = rec.u64();
+    if (offset % 8 != 0 || offset > size || bytes > size - offset) {
+      fail("section " + std::to_string(id) + " out of bounds");
+    }
+    if (util::crc32(data + offset, bytes) != crc) {
+      fail("section " + std::to_string(id) + " checksum mismatch");
+    }
+    if (!sections.emplace(id, LoadedSection{data + offset, bytes, count})
+             .second) {
+      fail("duplicate section " + std::to_string(id));
+    }
+  }
+
+  auto section = [&](std::uint32_t id, std::size_t elem_size,
+                     std::uint64_t expect_count) -> const LoadedSection& {
+    auto it = sections.find(id);
+    if (it == sections.end()) {
+      fail("missing section " + std::to_string(id));
+    }
+    const LoadedSection& s = it->second;
+    if (s.size != s.count * elem_size || s.count != expect_count) {
+      fail("section " + std::to_string(id) + " size mismatch");
+    }
+    return s;
+  };
+  auto blob = [&](std::uint32_t id) -> const LoadedSection& {
+    auto it = sections.find(id);
+    if (it == sections.end()) {
+      fail("missing section " + std::to_string(id));
+    }
+    return it->second;
+  };
+
+  const std::uint64_t n = task_count;
+  model::ScheduleArena::Raw raw;
+
+  const LoadedSection& types_sec = blob(kSecTypes);
+  {
+    Cursor c(types_sec.data, types_sec.size);
+    const std::uint64_t count = c.u64();
+    if (count != types_sec.count || count > types_sec.size) {
+      fail("type table count mismatch");
+    }
+    raw.types.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) raw.types.push_back(c.str());
+    c.expect_end();
+  }
+  const LoadedSection& clusters_sec = blob(kSecClusters);
+  {
+    Cursor c(clusters_sec.data, clusters_sec.size);
+    const std::uint64_t count = c.u64();
+    if (count != clusters_sec.count || count > clusters_sec.size) {
+      fail("cluster table count mismatch");
+    }
+    raw.clusters.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      model::Cluster cl;
+      cl.id = static_cast<int>(c.i64());
+      cl.hosts = static_cast<int>(c.i64());
+      cl.name = c.str();
+      raw.clusters.push_back(std::move(cl));
+    }
+    c.expect_end();
+  }
+  const LoadedSection& meta_sec = blob(kSecMeta);
+  {
+    Cursor c(meta_sec.data, meta_sec.size);
+    const std::uint64_t count = c.u64();
+    if (count != meta_sec.count || count > meta_sec.size) {
+      fail("meta table count mismatch");
+    }
+    for (std::uint64_t i = 0; i < count; ++i) {
+      std::string k = c.str();
+      std::string v = c.str();
+      raw.meta.emplace_back(std::move(k), std::move(v));
+    }
+    c.expect_end();
+  }
+
+  auto map_f64 = [&](std::uint32_t id, std::uint64_t count,
+                     model::detail::Column<double>* col) {
+    const LoadedSection& s = section(id, 8, count);
+    col->set_mapped(reinterpret_cast<const double*>(s.data),
+                    static_cast<std::size_t>(s.count));
+  };
+  auto map_u32 = [&](std::uint32_t id, std::uint64_t count,
+                     model::detail::Column<std::uint32_t>* col) {
+    const LoadedSection& s = section(id, 4, count);
+    col->set_mapped(reinterpret_cast<const std::uint32_t*>(s.data),
+                    static_cast<std::size_t>(s.count));
+  };
+
+  map_f64(kSecStart, n, &raw.start);
+  map_f64(kSecEnd, n, &raw.end);
+  map_u32(kSecTypeId, n, &raw.type_id);
+  {
+    const LoadedSection& s = section(kSecIdOff, 8, n + 1);
+    raw.id_off.set_mapped(reinterpret_cast<const std::uint64_t*>(s.data),
+                          static_cast<std::size_t>(s.count));
+  }
+  {
+    auto it = sections.find(kSecIdPool);
+    if (it == sections.end()) fail("missing section 5");
+    raw.id_pool.set_mapped(reinterpret_cast<const char*>(it->second.data),
+                           static_cast<std::size_t>(it->second.size));
+  }
+  map_u32(kSecCfgOff, n + 1, &raw.cfg_off);
+  const std::uint64_t configs = blob(kSecCfgCluster).count;
+  {
+    const LoadedSection& s = section(kSecCfgCluster, 4, configs);
+    raw.cfg_cluster.set_mapped(
+        reinterpret_cast<const std::int32_t*>(s.data),
+        static_cast<std::size_t>(s.count));
+  }
+  map_u32(kSecRangeOff, configs + 1, &raw.range_off);
+  {
+    const std::uint64_t count = blob(kSecRanges).count;
+    const LoadedSection& s = section(kSecRanges, 8, count);
+    raw.ranges.set_mapped(reinterpret_cast<const model::HostRange*>(s.data),
+                          static_cast<std::size_t>(s.count));
+  }
+  map_u32(kSecPropOff, n + 1, &raw.prop_off);
+  {
+    const std::uint64_t count = blob(kSecPropSlices).count;
+    const LoadedSection& s = section(kSecPropSlices, 8, count);
+    raw.prop_slices.set_mapped(
+        reinterpret_cast<const std::uint64_t*>(s.data),
+        static_cast<std::size_t>(s.count));
+  }
+  {
+    auto it = sections.find(kSecPropPool);
+    if (it == sections.end()) fail("missing section 12");
+    raw.prop_pool.set_mapped(reinterpret_cast<const char*>(it->second.data),
+                             static_cast<std::size_t>(it->second.size));
+  }
+
+  model::TaskIndex::Raw iraw;
+  const LoadedSection& imeta = blob(kSecIndexMeta);
+  {
+    Cursor c(imeta.data, imeta.size);
+    const std::uint64_t count = c.u64();
+    if (count != imeta.count || count != raw.clusters.size()) {
+      fail("index cluster count mismatch");
+    }
+    const bool has_range = c.u64() != 0;
+    const double begin = c.f64();
+    const double end = c.f64();
+    if (has_range) iraw.time_range = model::TimeRange{begin, end};
+    for (std::uint64_t k = 0; k < count; ++k) {
+      model::TaskIndex::RawCluster rc;
+      rc.cluster_id = static_cast<int>(c.i64());
+      const std::uint64_t entries = c.u64();
+      const std::uint32_t kk = static_cast<std::uint32_t>(k);
+      const LoadedSection& es =
+          section(kIndexEntriesBase + 2 * kk, sizeof(Entry), entries);
+      const LoadedSection& ms =
+          section(kIndexMaxEndBase + 2 * kk, 8, entries);
+      rc.entries = reinterpret_cast<const Entry*>(es.data);
+      rc.max_end = reinterpret_cast<const double*>(ms.data);
+      rc.count = static_cast<std::size_t>(entries);
+      // The index is trusted after CRC, but its task references must stay
+      // inside the arena or queries would read out of bounds. Branchless
+      // max fold; at a million entries a per-element compare-and-branch
+      // is measurable on the reopen path.
+      std::uint32_t max_task = 0;
+      for (std::size_t e = 0; e < rc.count; ++e) {
+        max_task = std::max(max_task, rc.entries[e].task);
+      }
+      if (rc.count > 0 && max_task >= n) fail("index entry out of range");
+      iraw.clusters.push_back(rc);
+    }
+    c.expect_end();
+  }
+  iraw.owner = owner;
+  iraw.task_count = static_cast<std::size_t>(n);
+  iraw.tasks_hash = tasks_hash;
+  iraw.content_hash = content_hash;
+
+  raw.tasks_hash = tasks_hash;
+  raw.owner = std::move(owner);
+  raw.mapped_file_bytes = mapped_bytes;
+
+  Snapshot snap{model::ScheduleArena(std::move(raw)),
+                model::TaskIndex(std::move(iraw)), mapped_bytes > 0, size};
+  if (snap.arena.content_hash() != content_hash) {
+    fail("content hash mismatch");
+  }
+  return snap;
+}
+
+Snapshot load_snapshot(const std::string& path) {
+  auto file = platform::MappedFile::open(path);
+  const std::size_t size = file->size();
+  const std::uint8_t* data = file->data();
+  Snapshot snap = parse_snapshot(data, size, file,
+                                 file->mapped() ? size : 0);
+  snap.mapped = file->mapped();
+  g_loads.fetch_add(1, std::memory_order_relaxed);
+  g_load_bytes.fetch_add(size, std::memory_order_relaxed);
+  return snap;
+}
+
+SnapshotCounters snapshot_counters() {
+  SnapshotCounters c;
+  c.saves = g_saves.load(std::memory_order_relaxed);
+  c.save_bytes = g_save_bytes.load(std::memory_order_relaxed);
+  c.loads = g_loads.load(std::memory_order_relaxed);
+  c.load_bytes = g_load_bytes.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace jedule::io

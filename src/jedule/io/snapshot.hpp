@@ -1,0 +1,77 @@
+#pragma once
+
+// Versioned binary schedule snapshots (`.jbin`, DESIGN.md §4h).
+//
+// A snapshot serializes a ScheduleArena's columns *and* the TaskIndex's
+// sorted per-cluster entry arrays into one little-endian file:
+//
+//   header (64 bytes)      magic "JBIN", format version, endianness
+//                          marker, content/tasks hashes, task count,
+//                          section count, header CRC32
+//   section table          one 32-byte record per section:
+//                          {id, crc32, offset, byte size, element count}
+//   sections               each 64-byte aligned: the raw columns
+//                          (start/end times, type ids, id pool + offsets,
+//                          configuration/range/property tables), small
+//                          serialized blobs (type table, clusters, meta,
+//                          index geometry), and per-cluster index
+//                          entry/max_end arrays
+//
+// Loading memory-maps the file (platform::MappedFile), verifies the
+// header and every section CRC32 (util::checksum, slice-by-8), and hands
+// the mapped spans zero-copy to ScheduleArena and TaskIndex — reopening a
+// million-task schedule is a checksum+validation pass over mapped
+// columns, not a parse. Truncated, bit-flipped, wrong-version or
+// wrong-endian files are rejected with ParseError before any model
+// object is built.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "jedule/model/arena.hpp"
+#include "jedule/model/task_index.hpp"
+
+namespace jedule::io {
+
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// True when `head` starts with the `.jbin` magic.
+bool is_snapshot(std::string_view head);
+
+/// Serializes arena + index to `buffer` (exact file bytes).
+std::string serialize_snapshot(const model::ScheduleArena& arena,
+                               const model::TaskIndex& index);
+
+/// serialize_snapshot + atomic-ish whole-file write; throws IoError.
+void save_snapshot(const model::ScheduleArena& arena,
+                   const model::TaskIndex& index, const std::string& path);
+
+struct Snapshot {
+  model::ScheduleArena arena;
+  model::TaskIndex index;
+  bool mapped = false;          // real mmap vs heap-read fallback
+  std::size_t file_bytes = 0;   // snapshot size on disk
+};
+
+/// Parses snapshot bytes. `owner` must keep `data` alive for the lifetime
+/// of the returned arena/index (zero-copy columns); pass the mapping or a
+/// heap copy. Throws ParseError on any structural or checksum failure.
+Snapshot parse_snapshot(const std::uint8_t* data, std::size_t size,
+                        std::shared_ptr<const void> owner,
+                        std::size_t mapped_bytes);
+
+/// Memory-maps `path` and parses it. Throws IoError (unopenable) or
+/// ParseError (corrupt).
+Snapshot load_snapshot(const std::string& path);
+
+/// Process-wide snapshot traffic counters (the serve /stats endpoint).
+struct SnapshotCounters {
+  std::uint64_t saves = 0;
+  std::uint64_t save_bytes = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t load_bytes = 0;
+};
+SnapshotCounters snapshot_counters();
+
+}  // namespace jedule::io

@@ -1,0 +1,846 @@
+#include "jedule/model/arena.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <unordered_set>
+
+#include "jedule/model/fnv.hpp"
+#include "jedule/util/error.hpp"
+
+namespace jedule::model {
+
+namespace {
+
+using detail::fnv_double;
+using detail::fnv_string;
+using detail::fnv_u64;
+
+constexpr std::uint32_t kIdEmpty = 0xFFFFFFFFu;
+constexpr std::size_t kDensityBins = 256;
+
+// Scalar fallbacks for the columnar scans; render::kernels swaps in the
+// runtime-dispatched SIMD variants via set_column_scan_ops().
+void scalar_minmax_f64(const double* a, const double* b, std::size_t n,
+                       double* lo, double* hi) {
+  double l = a[0], h = b[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    l = std::min(l, a[i]);
+    h = std::max(h, b[i]);
+  }
+  *lo = l;
+  *hi = h;
+}
+
+std::size_t scalar_first_violation(const double* start, const double* end,
+                                   std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(end[i] >= start[i])) return i;
+  }
+  return n;
+}
+
+ColumnScanOps g_scan_ops{&scalar_minmax_f64, &scalar_first_violation};
+
+// Density bin geometry is a pure function of the cluster's current time
+// bounds, so an incrementally grown histogram always matches a freshly
+// built one: the width is the smallest power of two covering the range
+// with kDensityBins bins, and the origin snaps down to the width grid.
+void density_geometry(Time begin, Time end, Time* origin, Time* width) {
+  double len = end - begin;
+  if (!(len > 0)) len = 1.0;
+  double w = 1.0;
+  while (w * static_cast<double>(kDensityBins) < len) w *= 2;
+  while (w * static_cast<double>(kDensityBins) >= len * 2 && w > 1e-9) w /= 2;
+  if (w * static_cast<double>(kDensityBins) < len) w *= 2;
+  double o = std::floor(begin / w) * w;
+  while (end > o + w * static_cast<double>(kDensityBins)) {
+    w *= 2;
+    o = std::floor(begin / w) * w;
+  }
+  *origin = o;
+  *width = w;
+}
+
+std::size_t density_bin(const ScheduleArena::Density& d, Time t) {
+  auto k = static_cast<long long>(std::floor((t - d.origin) / d.bin_width));
+  if (k < 0) k = 0;
+  if (k >= static_cast<long long>(d.bins.size())) {
+    k = static_cast<long long>(d.bins.size()) - 1;
+  }
+  return static_cast<std::size_t>(k);
+}
+
+}  // namespace
+
+void set_column_scan_ops(const ColumnScanOps& ops) {
+  if (ops.minmax_f64 != nullptr) g_scan_ops.minmax_f64 = ops.minmax_f64;
+  if (ops.first_violation != nullptr) {
+    g_scan_ops.first_violation = ops.first_violation;
+  }
+}
+
+const ColumnScanOps& column_scan_ops() { return g_scan_ops; }
+
+// ---------------------------------------------------------------------------
+// Construction from the AoS schedule
+
+ScheduleArena::ScheduleArena(const Schedule& schedule) {
+  clusters_ = schedule.clusters();
+  for (std::size_t c = 0; c < clusters_.size(); ++c) {
+    cluster_slot_[clusters_[c].id] = c;
+  }
+  meta_ = schedule.meta();
+
+  const auto& tasks = schedule.tasks();
+  const std::size_t n = tasks.size();
+
+  auto& start = start_.owned();
+  auto& end = end_.owned();
+  auto& type_id = type_id_.owned();
+  auto& id_off = id_off_.owned();
+  auto& id_pool = id_pool_.owned();
+  auto& cfg_off = cfg_off_.owned();
+  auto& cfg_cluster = cfg_cluster_.owned();
+  auto& range_off = range_off_.owned();
+  auto& ranges = ranges_.owned();
+  auto& prop_off = prop_off_.owned();
+  auto& prop_slices = prop_slices_.owned();
+  auto& prop_pool = prop_pool_.owned();
+
+  start.reserve(n);
+  end.reserve(n);
+  type_id.reserve(n);
+  id_off.reserve(n + 1);
+  cfg_off.reserve(n + 1);
+  prop_off.reserve(n + 1);
+  id_off.push_back(0);
+  cfg_off.push_back(0);
+  range_off.push_back(0);
+  prop_off.push_back(0);
+
+  std::map<std::string_view, std::uint32_t> type_slot;
+  for (const Task& t : tasks) {
+    start.push_back(t.start_time());
+    end.push_back(t.end_time());
+
+    auto it = type_slot.find(t.type());
+    if (it == type_slot.end()) {
+      // The key views the process-wide type intern pool (Task::type()
+      // returns the interned string), so it stays valid however types_
+      // reallocates.
+      it = type_slot
+               .emplace(t.type(), static_cast<std::uint32_t>(types_.size()))
+               .first;
+      types_.push_back(t.type());
+    }
+    type_id.push_back(it->second);
+
+    id_pool.insert(id_pool.end(), t.id().begin(), t.id().end());
+    id_off.push_back(id_pool.size());
+
+    for (const auto& cfg : t.configurations()) {
+      cfg_cluster.push_back(cfg.cluster_id);
+      ranges.insert(ranges.end(), cfg.hosts.begin(), cfg.hosts.end());
+      range_off.push_back(static_cast<std::uint32_t>(ranges.size()));
+    }
+    cfg_off.push_back(static_cast<std::uint32_t>(cfg_cluster.size()));
+
+    for (const auto& [k, v] : t.properties()) {
+      prop_slices.push_back(prop_pool.size());
+      prop_slices.push_back(k.size());
+      prop_pool.insert(prop_pool.end(), k.begin(), k.end());
+      prop_slices.push_back(prop_pool.size());
+      prop_slices.push_back(v.size());
+      prop_pool.insert(prop_pool.end(), v.begin(), v.end());
+    }
+    prop_off.push_back(static_cast<std::uint32_t>(prop_slices.size() / 4));
+  }
+
+  build_derived();
+
+  tasks_hash_ = detail::kFnvOffset;
+  fnv_u64(&tasks_hash_, clusters_.size());
+  for (const auto& c : clusters_) {
+    fnv_u64(&tasks_hash_, static_cast<std::uint64_t>(c.id));
+    fnv_u64(&tasks_hash_, static_cast<std::uint64_t>(c.hosts));
+    fnv_string(&tasks_hash_, c.name);
+  }
+  for (std::size_t i = 0; i < n; ++i) hash_row(i);
+}
+
+// ---------------------------------------------------------------------------
+// Construction from loaded columns
+
+ScheduleArena::ScheduleArena(Raw raw)
+    : start_(std::move(raw.start)),
+      end_(std::move(raw.end)),
+      type_id_(std::move(raw.type_id)),
+      id_off_(std::move(raw.id_off)),
+      id_pool_(std::move(raw.id_pool)),
+      cfg_off_(std::move(raw.cfg_off)),
+      cfg_cluster_(std::move(raw.cfg_cluster)),
+      range_off_(std::move(raw.range_off)),
+      ranges_(std::move(raw.ranges)),
+      prop_off_(std::move(raw.prop_off)),
+      prop_slices_(std::move(raw.prop_slices)),
+      prop_pool_(std::move(raw.prop_pool)),
+      types_(std::move(raw.types)),
+      clusters_(std::move(raw.clusters)),
+      meta_(std::move(raw.meta)),
+      tasks_hash_(raw.tasks_hash),
+      owner_(std::move(raw.owner)),
+      mapped_file_bytes_(raw.mapped_file_bytes) {
+  for (std::size_t c = 0; c < clusters_.size(); ++c) {
+    if (!cluster_slot_.emplace(clusters_[c].id, c).second) {
+      throw ParseError("snapshot: duplicate cluster id " +
+                       std::to_string(clusters_[c].id));
+    }
+  }
+  check_structure();
+  build_derived();
+}
+
+void ScheduleArena::check_structure() const {
+  const std::size_t n = start_.size();
+  auto fail = [](const std::string& what) {
+    throw ParseError("snapshot: inconsistent columns (" + what + ")");
+  };
+  if (end_.size() != n || type_id_.size() != n) fail("task column sizes");
+  if (id_off_.size() != n + 1 || cfg_off_.size() != n + 1 ||
+      prop_off_.size() != n + 1) {
+    fail("offset column sizes");
+  }
+  if (id_off_[0] != 0 || cfg_off_[0] != 0 || prop_off_[0] != 0) {
+    fail("offset origins");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (id_off_[i + 1] < id_off_[i]) fail("id offsets");
+    if (cfg_off_[i + 1] < cfg_off_[i]) fail("config offsets");
+    if (prop_off_[i + 1] < prop_off_[i]) fail("property offsets");
+    if (type_id_[i] >= types_.size()) fail("type ids");
+  }
+  if (id_off_[n] != id_pool_.size()) fail("id pool size");
+  const std::size_t m = cfg_off_[n];
+  if (cfg_cluster_.size() != m || range_off_.size() != m + 1) {
+    fail("config column sizes");
+  }
+  if (m > 0 && range_off_[0] != 0) fail("range offsets");
+  for (std::size_t c = 0; c < m; ++c) {
+    if (range_off_[c + 1] < range_off_[c]) fail("range offsets");
+  }
+  if ((m == 0 && ranges_.size() != 0) ||
+      (m > 0 && range_off_[m] != ranges_.size())) {
+    fail("range count");
+  }
+  if (m == 0 && range_off_.size() != 1) fail("range offset size");
+  const std::size_t p = prop_off_[n];
+  if (prop_slices_.size() != p * 4) fail("property slice count");
+  for (std::size_t s = 0; s < p; ++s) {
+    const std::uint64_t ko = prop_slices_[4 * s];
+    const std::uint64_t kl = prop_slices_[4 * s + 1];
+    const std::uint64_t vo = prop_slices_[4 * s + 2];
+    const std::uint64_t vl = prop_slices_[4 * s + 3];
+    if (ko + kl < ko || ko + kl > prop_pool_.size() || vo + vl < vo ||
+        vo + vl > prop_pool_.size()) {
+      fail("property slices");
+    }
+  }
+}
+
+void ScheduleArena::build_derived() {
+  per_cluster_.clear();
+  any_tasks_ = false;
+  const std::size_t n = start_.size();
+  if (n > 0) {
+    g_scan_ops.minmax_f64(start_.data(), end_.data(), n, &range_.begin,
+                          &range_.end);
+    any_tasks_ = true;
+  }
+
+  // Pass 1: partitions and per-cluster bounds. Consecutive configs tend
+  // to name the same cluster, so one cached slot skips the map lookup on
+  // the hot path of this million-iteration loop.
+  std::vector<int> seen;  // clusters of the current task, deduplicated
+  int cached_cid = 0;
+  PerCluster* cached_pc = nullptr;
+  for (std::size_t i = 0; i < n; ++i) {
+    seen.clear();
+    for (std::size_t c = cfg_off_[i]; c < cfg_off_[i + 1]; ++c) {
+      const int cid = cfg_cluster_[c];
+      if (std::find(seen.begin(), seen.end(), cid) != seen.end()) continue;
+      seen.push_back(cid);
+      if (cached_pc == nullptr || cid != cached_cid) {
+        cached_pc = &per_cluster_[cid];
+        cached_cid = cid;
+      }
+      PerCluster& pc = *cached_pc;
+      pc.tasks.push_back(static_cast<std::uint32_t>(i));
+      if (!pc.any) {
+        pc.range = TimeRange{start_[i], end_[i]};
+        pc.any = true;
+      } else {
+        pc.range.begin = std::min(pc.range.begin, start_[i]);
+        pc.range.end = std::max(pc.range.end, end_[i]);
+      }
+    }
+  }
+
+  // Pass 2: start-time density histograms (additive, so append() can bump
+  // or re-bucket them without rescanning columns).
+  for (auto& [cid, pc] : per_cluster_) {
+    pc.density.bins.assign(kDensityBins, 0);
+    density_geometry(pc.range.begin, pc.range.end, &pc.density.origin,
+                     &pc.density.bin_width);
+    for (std::uint32_t t : pc.tasks) {
+      ++pc.density.bins[density_bin(pc.density, start_[t])];
+    }
+  }
+
+  id_slots_.clear();
+  id_count_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Column access
+
+ScheduleArena::ColumnsView ScheduleArena::columns() const {
+  ColumnsView v;
+  v.tasks = start_.size();
+  v.configs = cfg_cluster_.size();
+  v.ranges_count = ranges_.size();
+  v.props = prop_slices_.size() / 4;
+  v.start = start_.data();
+  v.end = end_.data();
+  v.type_id = type_id_.data();
+  v.id_off = id_off_.data();
+  v.id_pool = id_pool_.data();
+  v.id_pool_size = id_pool_.size();
+  v.cfg_off = cfg_off_.data();
+  v.cfg_cluster = cfg_cluster_.data();
+  v.range_off = range_off_.data();
+  v.ranges = ranges_.data();
+  v.prop_off = prop_off_.data();
+  v.prop_slices = prop_slices_.data();
+  v.prop_pool = prop_pool_.data();
+  v.prop_pool_size = prop_pool_.size();
+  return v;
+}
+
+std::string_view ScheduleArena::task_id(std::size_t i) const {
+  const std::uint64_t b = id_off_[i];
+  return {id_pool_.data() + b, static_cast<std::size_t>(id_off_[i + 1] - b)};
+}
+
+std::string_view ScheduleArena::task_type(std::size_t i) const {
+  return types_[type_id_[i]];
+}
+
+std::optional<TimeRange> ScheduleArena::time_range() const {
+  if (!any_tasks_) return std::nullopt;
+  return range_;
+}
+
+std::optional<TimeRange> ScheduleArena::cluster_time_range(
+    int cluster_id) const {
+  auto it = per_cluster_.find(cluster_id);
+  if (it == per_cluster_.end() || !it->second.any) return std::nullopt;
+  return it->second.range;
+}
+
+const std::vector<std::uint32_t>* ScheduleArena::cluster_tasks(
+    int cluster_id) const {
+  auto it = per_cluster_.find(cluster_id);
+  if (it == per_cluster_.end()) return nullptr;
+  return &it->second.tasks;
+}
+
+const ScheduleArena::Density* ScheduleArena::density(int cluster_id) const {
+  auto it = per_cluster_.find(cluster_id);
+  if (it == per_cluster_.end() || !it->second.any) return nullptr;
+  return &it->second.density;
+}
+
+std::uint64_t ScheduleArena::content_hash() const {
+  std::uint64_t h = tasks_hash_;
+  fnv_u64(&h, task_count());
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// Hashing (must stay byte-identical to TaskIndex::hash_schedule)
+
+void ScheduleArena::hash_row(std::size_t i) {
+  std::uint64_t* h = &tasks_hash_;
+  fnv_string(h, task_id(i));
+  fnv_string(h, task_type(i));
+  fnv_double(h, start_[i]);
+  fnv_double(h, end_[i]);
+  const std::size_t c0 = cfg_off_[i], c1 = cfg_off_[i + 1];
+  fnv_u64(h, c1 - c0);
+  for (std::size_t c = c0; c < c1; ++c) {
+    fnv_u64(h, static_cast<std::uint64_t>(cfg_cluster_[c]));
+    for (std::size_t r = range_off_[c]; r < range_off_[c + 1]; ++r) {
+      fnv_u64(h, static_cast<std::uint64_t>(ranges_[r].start));
+      fnv_u64(h, static_cast<std::uint64_t>(ranges_[r].nb));
+    }
+  }
+  const std::size_t p0 = prop_off_[i], p1 = prop_off_[i + 1];
+  fnv_u64(h, p1 - p0);
+  for (std::size_t p = p0; p < p1; ++p) {
+    const char* pool = prop_pool_.data();
+    fnv_string(h, {pool + prop_slices_[4 * p],
+                   static_cast<std::size_t>(prop_slices_[4 * p + 1])});
+    fnv_string(h, {pool + prop_slices_[4 * p + 2],
+                   static_cast<std::size_t>(prop_slices_[4 * p + 3])});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Task-id hash table
+
+std::uint32_t ScheduleArena::id_table_find(std::string_view id) const {
+  if (id_slots_.empty()) return kIdEmpty;
+  const std::size_t cap = id_slots_.size();
+  std::size_t h = std::hash<std::string_view>{}(id) & (cap - 1);
+  while (id_slots_[h] != kIdEmpty) {
+    if (task_id(id_slots_[h]) == id) return id_slots_[h];
+    h = (h + 1) & (cap - 1);
+  }
+  return kIdEmpty;
+}
+
+void ScheduleArena::id_table_grow() const {
+  const std::size_t cap = std::bit_ceil(
+      std::max<std::size_t>(id_count_ * 2 + 16, id_slots_.size() * 2));
+  std::vector<std::uint32_t> bigger(cap, kIdEmpty);
+  for (std::uint32_t t : id_slots_) {
+    if (t == kIdEmpty) continue;
+    std::size_t h = std::hash<std::string_view>{}(task_id(t)) & (cap - 1);
+    while (bigger[h] != kIdEmpty) h = (h + 1) & (cap - 1);
+    bigger[h] = t;
+  }
+  id_slots_.swap(bigger);
+}
+
+void ScheduleArena::id_table_insert(std::uint32_t task,
+                                    bool* duplicate) const {
+  if (id_slots_.empty() || (id_count_ + 1) * 2 > id_slots_.size()) {
+    id_table_grow();
+  }
+  const std::size_t cap = id_slots_.size();
+  const std::string_view id = task_id(task);
+  std::size_t h = std::hash<std::string_view>{}(id) & (cap - 1);
+  while (id_slots_[h] != kIdEmpty) {
+    if (task_id(id_slots_[h]) == id) {
+      *duplicate = true;
+      return;
+    }
+    h = (h + 1) & (cap - 1);
+  }
+  id_slots_[h] = task;
+  ++id_count_;
+  *duplicate = false;
+}
+
+// ---------------------------------------------------------------------------
+// Validation (mirrors Schedule::validate, column-backed)
+
+void ScheduleArena::validate() const {
+  if (clusters_.empty()) {
+    throw ValidationError("a schedule requires at least one cluster");
+  }
+  const std::size_t n = task_count();
+
+  // Wide pre-scan: the common, valid case skips the per-row time branch
+  // entirely; a hit is re-reported below at the exact row AoS validate
+  // would have reached first.
+  const std::size_t violation =
+      n > 0 ? g_scan_ops.first_violation(start_.data(), end_.data(), n) : 0;
+
+  id_slots_.assign(std::bit_ceil(n * 2 + 16), kIdEmpty);
+  id_count_ = 0;
+
+  int cached_id = 0;
+  const Cluster* cached_cluster = nullptr;
+  for (std::size_t ti = 0; ti < n; ++ti) {
+    const std::string_view id = task_id(ti);
+    if (id.empty()) {
+      throw ValidationError("task with empty id");
+    }
+    bool duplicate = false;
+    id_table_insert(static_cast<std::uint32_t>(ti), &duplicate);
+    if (duplicate) {
+      throw ValidationError("duplicate task id '" + std::string(id) + "'");
+    }
+    if (ti == violation) {
+      throw ValidationError("task '" + std::string(id) + "' has end_time " +
+                            std::to_string(end_[ti]) +
+                            " before start_time " +
+                            std::to_string(start_[ti]));
+    }
+    const std::size_t c0 = cfg_off_[ti], c1 = cfg_off_[ti + 1];
+    if (c0 == c1) {
+      throw ValidationError("task '" + std::string(id) +
+                            "' has no configuration");
+    }
+    for (std::size_t c = c0; c < c1; ++c) {
+      const int cid = cfg_cluster_[c];
+      if (cached_cluster == nullptr || cid != cached_id) {
+        auto it = cluster_slot_.find(cid);
+        if (it == cluster_slot_.end()) {
+          throw ValidationError("task '" + std::string(id) +
+                                "' references unknown cluster " +
+                                std::to_string(cid));
+        }
+        cached_id = cid;
+        cached_cluster = &clusters_[it->second];
+      }
+      const Cluster& cluster = *cached_cluster;
+      check_config_ranges(id, cluster, range_off_[c], range_off_[c + 1]);
+    }
+  }
+}
+
+void ScheduleArena::check_config_ranges(std::string_view id,
+                                        const Cluster& cluster,
+                                        std::size_t r0,
+                                        std::size_t r1) const {
+  if (r0 == r1) {
+    throw ValidationError("task '" + std::string(id) +
+                          "' has a configuration without hosts");
+  }
+  std::map<int, int> used;
+  for (std::size_t r = r0; r < r1; ++r) {
+    const HostRange range = ranges_[r];
+    if (range.nb <= 0) {
+      throw ValidationError("task '" + std::string(id) +
+                            "' has a host range with nb <= 0");
+    }
+    if (range.start < 0 || range.start + range.nb > cluster.hosts) {
+      throw ValidationError(
+          "task '" + std::string(id) + "' host range [" +
+          std::to_string(range.start) + ", " +
+          std::to_string(range.start + range.nb) + ") exceeds cluster " +
+          std::to_string(cluster.id) + " size " +
+          std::to_string(cluster.hosts));
+    }
+    if (r1 - r0 == 1) break;
+    const int start = range.start;
+    const int end = range.start + range.nb;
+    int dup = -1;
+    auto next = used.upper_bound(start);
+    if (next != used.begin() && std::prev(next)->second > start) {
+      dup = start;
+    } else if (next != used.end() && next->first < end) {
+      dup = next->first;
+    }
+    if (dup >= 0) {
+      throw ValidationError("task '" + std::string(id) + "' lists host " +
+                            std::to_string(dup) + " of cluster " +
+                            std::to_string(cluster.id) + " twice");
+    }
+    int merged_start = start;
+    int merged_end = end;
+    if (next != used.begin() && std::prev(next)->second == start) {
+      auto prev = std::prev(next);
+      merged_start = prev->first;
+      used.erase(prev);
+    }
+    if (next != used.end() && next->first == end) {
+      merged_end = next->second;
+      used.erase(next);
+    }
+    used[merged_start] = merged_end;
+  }
+}
+
+void ScheduleArena::validate_columns() const {
+  if (clusters_.empty()) {
+    throw ValidationError("a schedule requires at least one cluster");
+  }
+  const std::size_t n = task_count();
+  if (n == 0) return;
+
+  // Each invariant becomes one branch-light sweep over a single column
+  // instead of validate()'s fused per-row walk; none of them needs the
+  // task id until the (exceptional) moment it reports a violation.
+  const std::size_t violation =
+      g_scan_ops.first_violation(start_.data(), end_.data(), n);
+  if (violation < n) {
+    throw ValidationError("task '" + std::string(task_id(violation)) +
+                          "' has end_time " + std::to_string(end_[violation]) +
+                          " before start_time " +
+                          std::to_string(start_[violation]));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (id_off_[i + 1] == id_off_[i]) {
+      throw ValidationError("task with empty id");
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (cfg_off_[i + 1] == cfg_off_[i]) {
+      throw ValidationError("task '" + std::string(task_id(i)) +
+                            "' has no configuration");
+    }
+  }
+
+  // Host-range sweep over the flat config columns. Configs are grouped by
+  // task but clusters repeat heavily, so one cached cluster pointer covers
+  // almost every row; the task id is recovered by binary search only when
+  // a violation needs reporting.
+  auto task_of_config = [&](std::size_t c) -> std::string_view {
+    const std::uint32_t cc = static_cast<std::uint32_t>(c);
+    const auto it =
+        std::upper_bound(cfg_off_.data() + 1, cfg_off_.data() + n + 1, cc);
+    return task_id(static_cast<std::size_t>(it - (cfg_off_.data() + 1)));
+  };
+  const std::size_t m = cfg_off_[n];
+  int cached_id = 0;
+  const Cluster* cached_cluster = nullptr;
+  for (std::size_t c = 0; c < m; ++c) {
+    const int cid = cfg_cluster_[c];
+    if (cached_cluster == nullptr || cid != cached_id) {
+      auto it = cluster_slot_.find(cid);
+      if (it == cluster_slot_.end()) {
+        throw ValidationError("task '" + std::string(task_of_config(c)) +
+                              "' references unknown cluster " +
+                              std::to_string(cid));
+      }
+      cached_id = cid;
+      cached_cluster = &clusters_[it->second];
+    }
+    const std::size_t r0 = range_off_[c], r1 = range_off_[c + 1];
+    if (r1 - r0 == 1) {
+      // Overwhelmingly common shape: one contiguous range, three compares.
+      const HostRange range = ranges_[r0];
+      if (range.nb > 0 && range.start >= 0 &&
+          range.start + range.nb <= cached_cluster->hosts) {
+        continue;
+      }
+    }
+    check_config_ranges(task_of_config(c), *cached_cluster, r0, r1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Materialization
+
+Schedule ScheduleArena::to_schedule() const {
+  Schedule out;
+  for (const auto& c : clusters_) out.add_cluster(c);
+  for (const auto& [k, v] : meta_) out.set_meta(k, v);
+
+  // Intern each distinct type once instead of per task — at a million
+  // tasks the per-row intern lookup would be the materialization cost.
+  std::vector<const std::string*> interned;
+  interned.reserve(types_.size());
+  for (const auto& t : types_) interned.push_back(detail::intern_task_type(t));
+
+  const std::size_t n = task_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    Task t;
+    t.set_id(std::string(task_id(i)));
+    t.set_interned_type(interned[type_id_[i]]);
+    t.set_times(start_[i], end_[i]);
+    for (std::size_t c = cfg_off_[i]; c < cfg_off_[i + 1]; ++c) {
+      Configuration cfg;
+      cfg.cluster_id = cfg_cluster_[c];
+      cfg.hosts.assign(ranges_.data() + range_off_[c],
+                       ranges_.data() + range_off_[c + 1]);
+      t.add_configuration(std::move(cfg));
+    }
+    for (std::size_t p = prop_off_[i]; p < prop_off_[i + 1]; ++p) {
+      const char* pool = prop_pool_.data();
+      t.set_property(
+          std::string(pool + prop_slices_[4 * p],
+                      static_cast<std::size_t>(prop_slices_[4 * p + 1])),
+          std::string(pool + prop_slices_[4 * p + 2],
+                      static_cast<std::size_t>(prop_slices_[4 * p + 3])));
+    }
+    out.add_task(std::move(t));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// O(delta) append
+
+void ScheduleArena::append(const std::vector<Event>& events) {
+  // Phase 1: validate everything without touching the arena, so a bad
+  // batch leaves it unchanged. The persistent id table answers duplicate
+  // probes in O(1) per event instead of re-probing all rows.
+  if (id_slots_.empty() && task_count() > 0) {
+    // validate() normally seeds the table; seed it here for arenas that
+    // skipped it (trusted snapshot loads).
+    id_slots_.assign(std::bit_ceil(task_count() * 2 + 16), kIdEmpty);
+    id_count_ = 0;
+    for (std::size_t i = 0; i < task_count(); ++i) {
+      bool duplicate = false;
+      id_table_insert(static_cast<std::uint32_t>(i), &duplicate);
+    }
+  }
+  std::unordered_set<std::string_view> batch_ids;
+  batch_ids.reserve(events.size());
+  for (const Event& e : events) {
+    if (e.id.empty()) {
+      throw ValidationError("task with empty id");
+    }
+    if (id_table_find(e.id) != kIdEmpty || !batch_ids.insert(e.id).second) {
+      throw ValidationError("duplicate task id '" + e.id + "'");
+    }
+    if (!(e.end >= e.start)) {
+      throw ValidationError("task '" + e.id + "' has end_time " +
+                            std::to_string(e.end) + " before start_time " +
+                            std::to_string(e.start));
+    }
+    auto it = cluster_slot_.find(e.cluster_id);
+    if (it == cluster_slot_.end()) {
+      throw ValidationError("task '" + e.id + "' references unknown cluster " +
+                            std::to_string(e.cluster_id));
+    }
+    const Cluster& cluster = clusters_[it->second];
+    if (e.host_nb <= 0) {
+      throw ValidationError("task '" + e.id +
+                            "' has a host range with nb <= 0");
+    }
+    if (e.host_start < 0 || e.host_start + e.host_nb > cluster.hosts) {
+      throw ValidationError(
+          "task '" + e.id + "' host range [" + std::to_string(e.host_start) +
+          ", " + std::to_string(e.host_start + e.host_nb) +
+          ") exceeds cluster " + std::to_string(cluster.id) + " size " +
+          std::to_string(cluster.hosts));
+    }
+  }
+
+  // Phase 2: commit. First write to a mapped arena copies the columns out.
+  ensure_owned();
+  std::map<std::string_view, std::uint32_t> type_slot;
+  for (std::size_t t = 0; t < types_.size(); ++t) {
+    type_slot[*detail::intern_task_type(types_[t])] =
+        static_cast<std::uint32_t>(t);
+  }
+  for (const Event& e : events) {
+    const auto i = static_cast<std::uint32_t>(task_count());
+    start_.owned().push_back(e.start);
+    end_.owned().push_back(e.end);
+
+    auto ts = type_slot.find(e.type);
+    if (ts == type_slot.end()) {
+      const auto slot = static_cast<std::uint32_t>(types_.size());
+      types_.push_back(e.type);
+      ts = type_slot.emplace(*detail::intern_task_type(e.type), slot).first;
+    }
+    type_id_.owned().push_back(ts->second);
+
+    auto& id_pool = id_pool_.owned();
+    id_pool.insert(id_pool.end(), e.id.begin(), e.id.end());
+    id_off_.owned().push_back(id_pool.size());
+
+    cfg_cluster_.owned().push_back(e.cluster_id);
+    ranges_.owned().push_back(HostRange{e.host_start, e.host_nb});
+    range_off_.owned().push_back(
+        static_cast<std::uint32_t>(ranges_.size()));
+    cfg_off_.owned().push_back(
+        static_cast<std::uint32_t>(cfg_cluster_.size()));
+    prop_off_.owned().push_back(
+        static_cast<std::uint32_t>(prop_slices_.size() / 4));
+
+    bool duplicate = false;
+    id_table_insert(i, &duplicate);
+
+    PerCluster& pc = per_cluster_[e.cluster_id];
+    pc.tasks.push_back(i);
+    const bool fresh = !pc.any;
+    if (fresh) {
+      pc.range = TimeRange{e.start, e.end};
+      pc.any = true;
+    } else {
+      pc.range.begin = std::min(pc.range.begin, e.start);
+      pc.range.end = std::max(pc.range.end, e.end);
+    }
+    bump_density(&pc, e.start);
+
+    if (!any_tasks_) {
+      range_ = TimeRange{e.start, e.end};
+      any_tasks_ = true;
+    } else {
+      range_.begin = std::min(range_.begin, e.start);
+      range_.end = std::max(range_.end, e.end);
+    }
+
+    hash_row(i);
+  }
+  ++version_;
+}
+
+void ScheduleArena::bump_density(PerCluster* pc, Time start) {
+  Density& d = pc->density;
+  if (d.bins.empty()) {
+    d.bins.assign(kDensityBins, 0);
+    density_geometry(pc->range.begin, pc->range.end, &d.origin, &d.bin_width);
+    ++d.bins[density_bin(d, start)];
+    return;
+  }
+  Time origin = 0, width = 0;
+  density_geometry(pc->range.begin, pc->range.end, &origin, &width);
+  if (origin != d.origin || width != d.bin_width) {
+    // The cluster outgrew its histogram: re-bucket the counts into the new
+    // geometry. Start counts are additive, so no column rescan is needed —
+    // every old bin lands wholly inside one new bin (widths are powers of
+    // two and origins snap to the width grid).
+    std::vector<std::uint32_t> bins(kDensityBins, 0);
+    Density fresh{origin, width, std::move(bins)};
+    for (std::size_t k = 0; k < d.bins.size(); ++k) {
+      if (d.bins[k] == 0) continue;
+      const Time t = d.origin + (static_cast<Time>(k) + 0.5) * d.bin_width;
+      fresh.bins[density_bin(fresh, t)] += d.bins[k];
+    }
+    d = std::move(fresh);
+  }
+  ++d.bins[density_bin(d, start)];
+}
+
+// ---------------------------------------------------------------------------
+// Accounting
+
+void ScheduleArena::ensure_owned() {
+  start_.owned();
+  end_.owned();
+  type_id_.owned();
+  id_off_.owned();
+  id_pool_.owned();
+  cfg_off_.owned();
+  cfg_cluster_.owned();
+  range_off_.owned();
+  ranges_.owned();
+  prop_off_.owned();
+  prop_slices_.owned();
+  prop_pool_.owned();
+  owner_.reset();
+  mapped_file_bytes_ = 0;
+}
+
+std::size_t ScheduleArena::heap_bytes() const {
+  std::size_t b = start_.heap_bytes() + end_.heap_bytes() +
+                  type_id_.heap_bytes() + id_off_.heap_bytes() +
+                  id_pool_.heap_bytes() + cfg_off_.heap_bytes() +
+                  cfg_cluster_.heap_bytes() + range_off_.heap_bytes() +
+                  ranges_.heap_bytes() + prop_off_.heap_bytes() +
+                  prop_slices_.heap_bytes() + prop_pool_.heap_bytes();
+  b += id_slots_.capacity() * sizeof(std::uint32_t);
+  for (const auto& [cid, pc] : per_cluster_) {
+    b += pc.tasks.capacity() * sizeof(std::uint32_t);
+    b += pc.density.bins.capacity() * sizeof(std::uint32_t);
+  }
+  for (const auto& t : types_) b += t.capacity();
+  return b;
+}
+
+std::size_t ScheduleArena::mmap_bytes() const { return mapped_file_bytes_; }
+
+bool ScheduleArena::mmap_backed() const { return owner_ != nullptr; }
+
+}  // namespace jedule::model

@@ -1,0 +1,299 @@
+#pragma once
+
+// model::ScheduleArena — the columnar (struct-of-arrays) twin of the AoS
+// Schedule (DESIGN.md §4h). Task fields live in contiguous parallel
+// columns: start/end times, interned type ids, task-id bytes in one string
+// pool addressed by an offset column, per-task configuration spans into a
+// flat (cluster, host-range) table, and property key/value slices into a
+// second string pool. Columns are either heap vectors or zero-copy views
+// into an mmapped `.jbin` snapshot (io/snapshot.hpp); the first append to
+// a mapped arena copies the columns out once (copy-on-append) and stays
+// heap-backed from then on.
+//
+// On top of the raw columns the arena maintains derived structures kept
+// consistent incrementally across append():
+//   * per-cluster task partitions (sorted task indices) — the replacement
+//     for Schedule::tasks_in_cluster's O(n) scan,
+//   * per-cluster and global time bounds (O(1) lookups for the layout's
+//     panel ranges),
+//   * per-cluster LOD density histograms over fixed time bins,
+//   * an open-addressed task-id hash table, so appending checks duplicate
+//     ids in O(delta) instead of re-probing the whole table,
+//   * the running FNV content hash, byte-identical to
+//     TaskIndex::hash_schedule on the materialized schedule, extended in
+//     O(delta) per append.
+//
+// The AoS Schedule stays the construction and differential-reference
+// path: `ScheduleArena(schedule)` builds the columns, `to_schedule()`
+// materializes them back, and the test suite cross-checks validate(),
+// hashes, partitions and bounds between the two representations.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "jedule/model/schedule.hpp"
+
+namespace jedule::model {
+
+namespace detail {
+
+/// One arena column: either an owned heap vector or a borrowed span into
+/// an mmapped snapshot. owned() copies a borrowed span out (once), so
+/// append paths can mutate.
+template <typename T>
+class Column {
+ public:
+  const T* data() const { return mapped_ ? mapped_ : vec_.data(); }
+  std::size_t size() const { return mapped_ ? mapped_size_ : vec_.size(); }
+  bool empty() const { return size() == 0; }
+  bool mapped() const { return mapped_ != nullptr; }
+  T operator[](std::size_t i) const { return data()[i]; }
+
+  void set_mapped(const T* p, std::size_t n) {
+    mapped_ = p;
+    mapped_size_ = n;
+    vec_.clear();
+  }
+  void set_owned(std::vector<T> v) {
+    vec_ = std::move(v);
+    mapped_ = nullptr;
+    mapped_size_ = 0;
+  }
+  std::vector<T>& owned() {
+    if (mapped_ != nullptr) {
+      vec_.assign(mapped_, mapped_ + mapped_size_);
+      mapped_ = nullptr;
+      mapped_size_ = 0;
+    }
+    return vec_;
+  }
+
+  std::size_t heap_bytes() const { return vec_.capacity() * sizeof(T); }
+  std::size_t mapped_bytes() const {
+    return mapped_ ? mapped_size_ * sizeof(T) : 0;
+  }
+
+ private:
+  const T* mapped_ = nullptr;
+  std::size_t mapped_size_ = 0;
+  std::vector<T> vec_;
+};
+
+}  // namespace detail
+
+/// Columnar scan hooks. The arena's hot sweeps (min/max time bounds, the
+/// end>=start sanity scan of validate()) call through these so the
+/// runtime-dispatched SIMD kernels in render::kernels can serve them;
+/// jed_render installs the dispatcher at static-init time and standalone
+/// jed_model users fall back to the scalar loops.
+struct ColumnScanOps {
+  /// Writes min(a[0..n)) / max(b[0..n)) to *lo / *hi; n >= 1.
+  void (*minmax_f64)(const double* a, const double* b, std::size_t n,
+                     double* lo, double* hi) = nullptr;
+  /// First index i with !(end[i] >= start[i]) (catches NaNs), or n.
+  std::size_t (*first_violation)(const double* start, const double* end,
+                                 std::size_t n) = nullptr;
+};
+void set_column_scan_ops(const ColumnScanOps& ops);
+const ColumnScanOps& column_scan_ops();
+
+class ScheduleArena {
+ public:
+  /// One appended task: a single contiguous allocation on one cluster —
+  /// the shape live traces produce (`--follow`, POST /schedules/:id/events).
+  struct Event {
+    std::string id;
+    std::string type;
+    Time start = 0;
+    Time end = 0;
+    int cluster_id = 0;
+    int host_start = 0;
+    int host_nb = 1;
+  };
+
+  /// Per-cluster LOD density histogram: bins[k] counts the tasks of the
+  /// cluster whose *start* time falls in [origin + k*bin_width,
+  /// origin + (k+1)*bin_width). Start counts (unlike overlap counts) are
+  /// additive under bin merges, so append() re-buckets a histogram the
+  /// cluster outgrew without rescanning the columns; the bin geometry is a
+  /// pure function of the cluster's current time bounds, making an
+  /// incrementally maintained histogram identical to a freshly built one.
+  struct Density {
+    Time origin = 0;
+    Time bin_width = 0;
+    std::vector<std::uint32_t> bins;
+  };
+
+  /// Raw column package, the snapshot loader's construction input. Every
+  /// column may be mapped (zero-copy spans kept alive by `owner`) or
+  /// owned. The constructor bounds-checks all offsets/ids (ParseError on
+  /// inconsistency) before deriving anything, so corrupted snapshots fail
+  /// cleanly instead of faulting.
+  struct Raw {
+    detail::Column<double> start, end;
+    detail::Column<std::uint32_t> type_id;
+    detail::Column<std::uint64_t> id_off;  // n+1 offsets into id_pool
+    detail::Column<char> id_pool;
+    detail::Column<std::uint32_t> cfg_off;  // n+1 offsets into cfg_cluster
+    detail::Column<std::int32_t> cfg_cluster;
+    detail::Column<std::uint32_t> range_off;  // m+1 offsets into ranges
+    detail::Column<HostRange> ranges;
+    detail::Column<std::uint32_t> prop_off;  // n+1 offsets (property count)
+    // 4 words per property: key_off, key_len, val_off, val_len (prop_pool).
+    detail::Column<std::uint64_t> prop_slices;
+    detail::Column<char> prop_pool;
+
+    std::vector<std::string> types;  // interned type table
+    std::vector<Cluster> clusters;
+    std::vector<std::pair<std::string, std::string>> meta;
+
+    std::uint64_t tasks_hash = 0;  // running hash, pre task-count fold
+    std::shared_ptr<const void> owner;   // the file mapping, when mapped
+    std::size_t mapped_file_bytes = 0;   // accounting (mmap-resident)
+  };
+
+  /// Borrowed read-only view of every column (snapshot writer, tests,
+  /// columnar sweeps).
+  struct ColumnsView {
+    std::size_t tasks = 0, configs = 0, ranges_count = 0, props = 0;
+    const double* start = nullptr;
+    const double* end = nullptr;
+    const std::uint32_t* type_id = nullptr;
+    const std::uint64_t* id_off = nullptr;
+    const char* id_pool = nullptr;
+    std::size_t id_pool_size = 0;
+    const std::uint32_t* cfg_off = nullptr;
+    const std::int32_t* cfg_cluster = nullptr;
+    const std::uint32_t* range_off = nullptr;
+    const HostRange* ranges = nullptr;
+    const std::uint32_t* prop_off = nullptr;
+    const std::uint64_t* prop_slices = nullptr;
+    const char* prop_pool = nullptr;
+    std::size_t prop_pool_size = 0;
+  };
+
+  /// Columnarizes `schedule` (one pass; the schedule is not retained).
+  explicit ScheduleArena(const Schedule& schedule);
+
+  /// Adopts loaded columns; throws ParseError on structural inconsistency
+  /// (out-of-range offsets, type ids past the table, ...).
+  explicit ScheduleArena(Raw raw);
+
+  std::size_t task_count() const { return start_.size(); }
+  ColumnsView columns() const;
+
+  std::string_view task_id(std::size_t i) const;
+  std::string_view task_type(std::size_t i) const;
+  Time task_start(std::size_t i) const { return start_[i]; }
+  Time task_end(std::size_t i) const { return end_[i]; }
+
+  const std::vector<Cluster>& clusters() const { return clusters_; }
+  const std::vector<std::pair<std::string, std::string>>& meta() const {
+    return meta_;
+  }
+  const std::vector<std::string>& types() const { return types_; }
+
+  std::optional<TimeRange> time_range() const;
+  /// O(1): bounds of the tasks with a configuration in `cluster_id`,
+  /// maintained across append(); nullopt if none.
+  std::optional<TimeRange> cluster_time_range(int cluster_id) const;
+  /// Sorted task indices with a configuration in `cluster_id`; nullptr if
+  /// none (or unknown cluster).
+  const std::vector<std::uint32_t>* cluster_tasks(int cluster_id) const;
+  /// Density histogram for `cluster_id`; nullptr if the cluster is empty.
+  const Density* density(int cluster_id) const;
+
+  /// Byte-identical to TaskIndex::hash_schedule(to_schedule()).
+  std::uint64_t content_hash() const;
+  std::uint64_t tasks_hash() const { return tasks_hash_; }
+  /// Bumped once per successful append().
+  std::uint64_t version() const { return version_; }
+
+  /// Semantic validation over the columns — the same invariants (and
+  /// error messages) as Schedule::validate(), plus it seeds the id table
+  /// used for O(delta) duplicate checks on append.
+  void validate() const;
+
+  /// Snapshot-load validation: the numeric invariants of validate() (time
+  /// sanity, non-empty ids and configurations, host-range bounds and
+  /// overlap) as wide column sweeps, but without hashing a million task
+  /// ids into the duplicate-id table — id uniqueness was certified when
+  /// the snapshot was written and every column is CRC-covered, so the
+  /// table is seeded lazily by the first append() instead. Roughly 10x
+  /// cheaper than validate() on large arenas.
+  void validate_columns() const;
+
+  /// Materializes the AoS schedule (snapshot load / render path).
+  Schedule to_schedule() const;
+
+  /// Appends `events` as new tasks: validates them (duplicate ids via the
+  /// persistent id table, host bounds, time sanity) without touching the
+  /// existing rows, extends every column and derived structure, and
+  /// continues the content hash — O(delta) total. Throws ValidationError
+  /// leaving the arena unchanged.
+  void append(const std::vector<Event>& events);
+
+  std::size_t heap_bytes() const;
+  std::size_t mmap_bytes() const;
+  bool mmap_backed() const;
+
+ private:
+  struct PerCluster {
+    TimeRange range{0, 0};
+    bool any = false;
+    std::vector<std::uint32_t> tasks;  // ascending
+    Density density;
+  };
+
+  void check_structure() const;  // throws ParseError
+  void build_derived();          // partitions, bounds, density, id table
+  void check_config_ranges(std::string_view id, const Cluster& cluster,
+                           std::size_t r0, std::size_t r1) const;
+  void ensure_owned();           // copy-on-append out of the mapping
+  void id_table_insert(std::uint32_t task, bool* duplicate) const;
+  void id_table_grow() const;
+  std::uint32_t id_table_find(std::string_view id) const;  // task or npos
+  void bump_density(PerCluster* pc, Time start);
+  void hash_row(std::size_t i);  // folds row i into tasks_hash_
+
+  detail::Column<double> start_, end_;
+  detail::Column<std::uint32_t> type_id_;
+  detail::Column<std::uint64_t> id_off_;
+  detail::Column<char> id_pool_;
+  detail::Column<std::uint32_t> cfg_off_;
+  detail::Column<std::int32_t> cfg_cluster_;
+  detail::Column<std::uint32_t> range_off_;
+  detail::Column<HostRange> ranges_;
+  detail::Column<std::uint32_t> prop_off_;
+  detail::Column<std::uint64_t> prop_slices_;
+  detail::Column<char> prop_pool_;
+
+  std::vector<std::string> types_;
+  std::vector<Cluster> clusters_;
+  std::map<int, std::size_t> cluster_slot_;  // id -> clusters_ index
+  std::vector<std::pair<std::string, std::string>> meta_;
+
+  std::map<int, PerCluster> per_cluster_;
+  TimeRange range_{0, 0};
+  bool any_tasks_ = false;
+
+  // Open-addressed task-id table: slot -> task index (kIdEmpty free),
+  // power-of-two capacity. Mutable: validate() seeds it lazily.
+  mutable std::vector<std::uint32_t> id_slots_;
+  mutable std::size_t id_count_ = 0;
+
+  std::uint64_t tasks_hash_ = 0;
+  std::uint64_t version_ = 0;
+  std::shared_ptr<const void> owner_;
+  std::size_t mapped_file_bytes_ = 0;
+};
+
+using ArenaPtr = std::shared_ptr<const ScheduleArena>;
+
+}  // namespace jedule::model

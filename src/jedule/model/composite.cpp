@@ -1,10 +1,13 @@
 #include "jedule/model/composite.hpp"
 
 #include <algorithm>
+#include <iterator>
+#include <limits>
 #include <map>
 #include <tuple>
 #include <utility>
 
+#include "jedule/model/task_index.hpp"
 #include "jedule/util/error.hpp"
 #include "jedule/util/parallel.hpp"
 #include "jedule/util/strings.hpp"
@@ -208,29 +211,26 @@ std::vector<Slab> build_slabs(
   return slabs;
 }
 
-}  // namespace
-
-std::vector<Composite> synthesize_composites(
-    const Schedule& schedule,
-    const std::function<bool(const Task&)>& include_task, int threads) {
-  const auto& tasks = schedule.tasks();
-
-  // Per-cluster allocation lists; hosts stay as ranges throughout — the
-  // sweep below works per boundary-delimited slab, so the cost is in the
-  // number of ranges, never in the hosts they expand to.
-  std::map<int, std::vector<Entry>> per_cluster;
-  for (std::size_t i = 0; i < tasks.size(); ++i) {
-    const Task& t = tasks[i];
-    if (include_task && !include_task(t)) continue;
-    if (!(t.end_time() > t.start_time())) continue;  // zero area
-    for (const auto& cfg : t.configurations()) {
-      for (const auto& range : cfg.hosts) {
-        per_cluster[cfg.cluster_id].push_back(
-            Entry{range, Interval{i, t.start_time(), t.end_time()}});
-      }
+// Appends task `i`'s allocations to the per-cluster entry lists, applying
+// the participation filters (predicate, zero-area).
+void add_task_entries(const std::vector<Task>& tasks, std::size_t i,
+                      const std::function<bool(const Task&)>& include_task,
+                      std::map<int, std::vector<Entry>>* per_cluster) {
+  const Task& t = tasks[i];
+  if (include_task && !include_task(t)) return;
+  if (!(t.end_time() > t.start_time())) return;  // zero area
+  for (const auto& cfg : t.configurations()) {
+    for (const auto& range : cfg.hosts) {
+      (*per_cluster)[cfg.cluster_id].push_back(
+          Entry{range, Interval{i, t.start_time(), t.end_time()}});
     }
   }
+}
 
+// Slab build + sharded sweep + deterministic merge: the thread-count
+// invariant pipeline shared by the full synthesis and the append path.
+GroupMap sweep_groups(const std::map<int, std::vector<Entry>>& per_cluster,
+                      int threads) {
   // Slabs are emitted in ascending (cluster, host) order so the sweep can be
   // partitioned into contiguous shards, one per worker slot.
   std::vector<Slab> slabs = build_slabs(per_cluster);
@@ -271,8 +271,13 @@ std::vector<Composite> synthesize_composites(
       it = next;
     }
   }
+  return groups;
+}
 
-  // Materialize one composite task per group.
+// Materializes one composite task per group, in GroupMap key order:
+// (cluster_id, begin, end, member indices) ascending.
+std::vector<Composite> materialize(GroupMap&& groups,
+                                   const std::vector<Task>& tasks) {
   std::vector<Composite> out;
   out.reserve(groups.size());
   for (auto& [key, ranges] : groups) {
@@ -285,6 +290,7 @@ std::vector<Composite> synthesize_composites(
     }
     comp.task.set_id(util::join(ids, "+"));
     comp.member_ids = std::move(ids);
+    comp.member_indices = key.members;
     comp.task.set_type("composite");
     comp.task.set_times(key.begin, key.end);
     Configuration cfg;
@@ -293,6 +299,129 @@ std::vector<Composite> synthesize_composites(
     comp.task.add_configuration(std::move(cfg));
     out.push_back(std::move(comp));
   }
+  return out;
+}
+
+// The GroupMap key order, recovered from a materialized composite — the
+// merge order of append_composites. Keys are distinct across the cut, so
+// head + tail merge reproduces the full-sweep order exactly.
+bool composite_less(const Composite& a, const Composite& b) {
+  const int ca = a.task.configurations().front().cluster_id;
+  const int cb = b.task.configurations().front().cluster_id;
+  if (ca != cb) return ca < cb;
+  if (a.task.start_time() != b.task.start_time()) {
+    return a.task.start_time() < b.task.start_time();
+  }
+  if (a.task.end_time() != b.task.end_time()) {
+    return a.task.end_time() < b.task.end_time();
+  }
+  return a.member_indices < b.member_indices;
+}
+
+}  // namespace
+
+std::vector<Composite> synthesize_composites(
+    const Schedule& schedule,
+    const std::function<bool(const Task&)>& include_task, int threads) {
+  const auto& tasks = schedule.tasks();
+
+  // Per-cluster allocation lists; hosts stay as ranges throughout — the
+  // sweep works per boundary-delimited slab, so the cost is in the number
+  // of ranges, never in the hosts they expand to.
+  std::map<int, std::vector<Entry>> per_cluster;
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    add_task_entries(tasks, i, include_task, &per_cluster);
+  }
+  return materialize(sweep_groups(per_cluster, threads), tasks);
+}
+
+std::vector<Composite> append_composites(
+    const Schedule& schedule, const TaskIndex& index,
+    std::vector<Composite> cached, std::size_t first_new,
+    const std::function<bool(const Task&)>& include_task, int threads) {
+  const auto& tasks = schedule.tasks();
+  JED_ASSERT(index.task_count() == tasks.size());
+  JED_ASSERT(first_new <= tasks.size());
+  if (first_new >= tasks.size()) return cached;
+  if (first_new == 0) {
+    return synthesize_composites(schedule, include_task, threads);
+  }
+
+  // The initial cut: the earliest participating appended task.
+  bool any_new = false;
+  Time t_cut = 0;
+  for (std::size_t i = first_new; i < tasks.size(); ++i) {
+    const Task& t = tasks[i];
+    if (include_task && !include_task(t)) continue;
+    if (!(t.end_time() > t.start_time())) continue;
+    if (!any_new || t.start_time() < t_cut) t_cut = t.start_time();
+    any_new = true;
+  }
+  if (!any_new) return cached;
+
+  // Fixpoint: lower t_cut until no included task strictly straddles it.
+  // Each straddler can lower the cut at most once (to its own begin), so
+  // the loop terminates; the guard caps pathological nesting chains with
+  // a full resweep, which is always correct.
+  for (int guard = 0;; ++guard) {
+    if (guard >= 256) {
+      return synthesize_composites(schedule, include_task, threads);
+    }
+    Time lowest = t_cut;
+    for (const auto& cluster : schedule.clusters()) {
+      index.query(cluster.id, t_cut, t_cut, [&](const TaskIndex::Entry& e) {
+        if (!(e.begin < t_cut && e.end > t_cut)) return;
+        const Task& t = tasks[e.task];
+        if (include_task && !include_task(t)) return;
+        lowest = std::min(lowest, e.begin);
+      });
+    }
+    if (lowest == t_cut) break;
+    t_cut = lowest;
+  }
+
+  // Head: cached composites entirely before the cut, kept verbatim. A
+  // composite's members are all active over its whole interval, so a
+  // composite straddling the cut would imply straddling members — the
+  // fixpoint ruled those out; every cached composite falls cleanly on
+  // one side.
+  std::vector<Composite> head;
+  head.reserve(cached.size());
+  for (auto& comp : cached) {
+    JED_ASSERT(comp.task.end_time() <= t_cut ||
+               comp.task.start_time() >= t_cut);
+    if (comp.task.end_time() <= t_cut) head.push_back(std::move(comp));
+  }
+
+  // Tail: every included task at or after the cut, found via the index
+  // (the closed-interval query also reports tasks ending exactly at the
+  // cut; the start >= t_cut filter drops them — with no straddlers,
+  // end > t_cut and start >= t_cut coincide for positive-area tasks).
+  std::vector<std::uint32_t> subset;
+  for (const auto& cluster : schedule.clusters()) {
+    index.collect_tasks(cluster.id, t_cut,
+                        std::numeric_limits<double>::infinity(), &subset);
+  }
+  std::sort(subset.begin(), subset.end());
+  subset.erase(std::unique(subset.begin(), subset.end()), subset.end());
+
+  std::map<int, std::vector<Entry>> per_cluster;
+  for (std::uint32_t i : subset) {
+    if (tasks[i].start_time() < t_cut) continue;
+    add_task_entries(tasks, i, include_task, &per_cluster);
+  }
+  std::vector<Composite> tail =
+      materialize(sweep_groups(per_cluster, threads), tasks);
+
+  // Both halves are already in GroupMap order with distinct keys; the
+  // merge reproduces the full-sweep output exactly.
+  std::vector<Composite> out;
+  out.reserve(head.size() + tail.size());
+  std::merge(std::make_move_iterator(head.begin()),
+             std::make_move_iterator(head.end()),
+             std::make_move_iterator(tail.begin()),
+             std::make_move_iterator(tail.end()), std::back_inserter(out),
+             composite_less);
   return out;
 }
 

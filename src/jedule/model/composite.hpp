@@ -20,10 +20,16 @@
 
 namespace jedule::model {
 
+class TaskIndex;
+
 struct Composite {
   Task task;                            // id, "composite" type, time, hosts
   std::vector<std::string> member_ids;  // sorted by schedule order
   std::set<std::string> member_types;   // distinct member types (for colors)
+  // Sorted indices into Schedule::tasks() of the members — the stable
+  // identity append_composites merges on (task indices never move, the
+  // live-trace path only appends).
+  std::vector<std::size_t> member_indices;
 };
 
 /// Synthesizes all composite tasks of `schedule`. Intervals are half-open:
@@ -35,6 +41,26 @@ struct Composite {
 /// is identical for every thread count.
 std::vector<Composite> synthesize_composites(
     const Schedule& schedule,
+    const std::function<bool(const Task&)>& include_task = nullptr,
+    int threads = 1);
+
+/// O(delta) composite maintenance for the live-trace append path:
+/// `cached` must be the synthesize_composites/append_composites result for
+/// the first `first_new` tasks of `schedule` under the *same*
+/// `include_task` predicate, and `index` must cover all of `schedule`
+/// (the O(delta)-extended TaskIndex). Returns the full composite list,
+/// byte-identical to synthesize_composites over the whole schedule.
+///
+/// Cost scales with the tail, not the schedule: a cut time t_cut is
+/// lowered from the earliest new task start until no included task
+/// strictly straddles it (each straddler can lower the cut once, and the
+/// straddlers at the cut come from an index point query, not a scan).
+/// Half-open intervals then guarantee no composite crosses the cut, so
+/// cached composites ending at or before it are kept verbatim and only
+/// the tasks at or after it — found through the index — are re-swept.
+std::vector<Composite> append_composites(
+    const Schedule& schedule, const TaskIndex& index,
+    std::vector<Composite> cached, std::size_t first_new,
     const std::function<bool(const Task&)>& include_task = nullptr,
     int threads = 1);
 

@@ -72,6 +72,9 @@ class Task {
   void set_type(std::string_view type) {
     type_ = detail::intern_task_type(type);
   }
+  /// Bulk-materialization fast path: adopts an already-interned pointer
+  /// (must come from detail::intern_task_type) without a pool lookup.
+  void set_interned_type(const std::string* type) { type_ = type; }
 
   Time start_time() const { return start_; }
   Time end_time() const { return end_; }
@@ -170,7 +173,15 @@ class Schedule {
   std::optional<TimeRange> view_time_range(int cluster_id,
                                            ViewMode mode) const;
 
-  /// Tasks with at least one configuration in the cluster.
+  /// cluster_time_range for every non-empty cluster in one pass over the
+  /// tasks — the panel loop of layout_gantt would otherwise rescan all
+  /// tasks once per displayed cluster.
+  std::map<int, TimeRange> cluster_time_ranges() const;
+
+  /// Tasks with at least one configuration in the cluster. This is an
+  /// O(n) scan over all tasks; hot paths that already hold a TaskIndex
+  /// or ScheduleArena should use TaskIndex::cluster_tasks / the arena's
+  /// per-cluster partitions, which answer the same query precomputed.
   std::vector<const Task*> tasks_in_cluster(int cluster_id) const;
 
   /// Checks every invariant of DESIGN.md §6 items 1-2 plus time sanity and

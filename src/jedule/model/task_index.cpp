@@ -1,36 +1,58 @@
 #include "jedule/model/task_index.hpp"
 
 #include <algorithm>
-#include <cstring>
 #include <limits>
 #include <string>
+#include <utility>
+
+#include "jedule/model/arena.hpp"
+#include "jedule/model/fnv.hpp"
+#include "jedule/util/error.hpp"
 
 namespace jedule::model {
 
 namespace {
 
-constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
-constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+using detail::fnv_double;
+using detail::fnv_string;
+using detail::fnv_u64;
 
-void hash_bytes(std::uint64_t* h, const void* data, std::size_t n) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < n; ++i) {
-    *h ^= p[i];
-    *h *= kFnvPrime;
+// Beyond this many segments per cluster the per-query segment loop starts
+// to cost more than one amortized merge; the extension ctor compacts back
+// to a single segment.
+constexpr std::size_t kMaxSegments = 8;
+
+// FNV-1a over the cluster table — the prefix of the schedule hash.
+std::uint64_t hash_clusters(const Schedule& schedule) {
+  std::uint64_t h = detail::kFnvOffset;
+  fnv_u64(&h, schedule.clusters().size());
+  for (const auto& c : schedule.clusters()) {
+    fnv_u64(&h, static_cast<std::uint64_t>(c.id));
+    fnv_u64(&h, static_cast<std::uint64_t>(c.hosts));
+    fnv_string(&h, c.name);
   }
+  return h;
 }
 
-void hash_u64(std::uint64_t* h, std::uint64_t v) { hash_bytes(h, &v, 8); }
-
-void hash_double(std::uint64_t* h, double v) {
-  std::uint64_t bits;
-  std::memcpy(&bits, &v, 8);
-  hash_u64(h, bits);
-}
-
-void hash_string(std::uint64_t* h, const std::string& s) {
-  hash_u64(h, s.size());
-  hash_bytes(h, s.data(), s.size());
+void hash_task(std::uint64_t* h, const Task& t) {
+  fnv_string(h, t.id());
+  fnv_string(h, t.type());
+  fnv_double(h, t.start_time());
+  fnv_double(h, t.end_time());
+  fnv_u64(h, t.configurations().size());
+  for (const auto& cfg : t.configurations()) {
+    fnv_u64(h, static_cast<std::uint64_t>(cfg.cluster_id));
+    for (const auto& hr : cfg.hosts) {
+      fnv_u64(h, static_cast<std::uint64_t>(hr.start));
+      fnv_u64(h, static_cast<std::uint64_t>(hr.nb));
+    }
+  }
+  // Properties drive highlighting, so they are part of the identity.
+  fnv_u64(h, t.properties().size());
+  for (const auto& [k, v] : t.properties()) {
+    fnv_string(h, k);
+    fnv_string(h, v);
+  }
 }
 
 // Recursively fills max_end[mid] with the maximum end time over
@@ -47,9 +69,8 @@ double build_max_end(const std::vector<TaskIndex::Entry>& entries,
   return m;
 }
 
-void query_range(const std::vector<TaskIndex::Entry>& entries,
-                 const std::vector<double>& max_end, std::size_t lo,
-                 std::size_t hi, double t0, double t1,
+void query_range(const TaskIndex::Entry* entries, const double* max_end,
+                 std::size_t lo, std::size_t hi, double t0, double t1,
                  const std::function<void(const TaskIndex::Entry&)>& fn) {
   while (lo < hi) {
     const std::size_t mid = lo + (hi - lo) / 2;
@@ -65,18 +86,44 @@ void query_range(const std::vector<TaskIndex::Entry>& entries,
   }
 }
 
+// The heap backing of one segment: the shared owner keeps both arrays
+// alive for as long as any index generation references them.
+struct SegmentStorage {
+  std::vector<TaskIndex::Entry> entries;
+  std::vector<double> max_end;
+};
+
 }  // namespace
 
-TaskIndex::TaskIndex(const Schedule& schedule) {
-  task_count_ = schedule.tasks().size();
-  content_hash_ = hash_schedule(schedule);
+TaskIndex::Segment TaskIndex::make_segment(std::vector<Entry> entries) {
+  auto storage = std::make_shared<SegmentStorage>();
+  storage->entries = std::move(entries);
+  std::sort(storage->entries.begin(), storage->entries.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.begin != b.begin) return a.begin < b.begin;
+              return a.task < b.task;
+            });
+  storage->max_end.assign(storage->entries.size(), 0.0);
+  build_max_end(storage->entries, &storage->max_end, 0,
+                storage->entries.size());
 
-  clusters_.reserve(schedule.clusters().size());
-  for (const auto& c : schedule.clusters()) {
-    ClusterIndex ci;
-    ci.cluster_id = c.id;
-    clusters_.push_back(std::move(ci));
-  }
+  auto tasks = std::make_shared<std::vector<std::uint32_t>>();
+  tasks->reserve(storage->entries.size());
+  for (const auto& e : storage->entries) tasks->push_back(e.task);
+  std::sort(tasks->begin(), tasks->end());
+  tasks->erase(std::unique(tasks->begin(), tasks->end()), tasks->end());
+
+  Segment seg;
+  seg.entries = storage->entries.data();
+  seg.max_end = storage->max_end.data();
+  seg.count = storage->entries.size();
+  seg.owner = std::move(storage);
+  seg.tasks = std::move(tasks);
+  return seg;
+}
+
+void TaskIndex::extend(const Schedule& schedule, std::size_t first) {
+  const auto& tasks = schedule.tasks();
   auto cluster_slot = [this](int id) -> ClusterIndex* {
     for (auto& ci : clusters_) {
       if (ci.cluster_id == id) return &ci;
@@ -84,10 +131,11 @@ TaskIndex::TaskIndex(const Schedule& schedule) {
     return nullptr;
   };
 
+  std::vector<std::vector<Entry>> fresh(clusters_.size());
   double lo = 0, hi = 0;
   bool any = false;
-  for (std::size_t i = 0; i < schedule.tasks().size(); ++i) {
-    const Task& t = schedule.tasks()[i];
+  for (std::size_t i = first; i < tasks.size(); ++i) {
+    const Task& t = tasks[i];
     if (!any) {
       lo = t.start_time();
       hi = t.end_time();
@@ -106,52 +154,174 @@ TaskIndex::TaskIndex(const Schedule& schedule) {
         e.host_start = hr.start;
         e.host_end = hr.start + hr.nb - 1;
         e.task = static_cast<std::uint32_t>(i);
-        ci->entries.push_back(e);
+        fresh[static_cast<std::size_t>(ci - clusters_.data())].push_back(e);
+      }
+    }
+    hash_task(&tasks_hash_, t);
+  }
+  finish_extend(&fresh, any, lo, hi, tasks.size(), tasks_hash_);
+}
+
+void TaskIndex::finish_extend(std::vector<std::vector<Entry>>* fresh,
+                              bool any, double lo, double hi,
+                              std::size_t new_count,
+                              std::uint64_t new_tasks_hash) {
+  if (any) {
+    if (!time_range_) {
+      time_range_ = TimeRange{lo, hi};
+    } else {
+      time_range_->begin = std::min(time_range_->begin, lo);
+      time_range_->end = std::max(time_range_->end, hi);
+    }
+  }
+
+  for (std::size_t c = 0; c < clusters_.size(); ++c) {
+    if ((*fresh)[c].empty()) continue;
+    clusters_[c].segments.push_back(make_segment(std::move((*fresh)[c])));
+    compact_cluster(&clusters_[c]);
+  }
+
+  task_count_ = new_count;
+  tasks_hash_ = new_tasks_hash;
+  content_hash_ = tasks_hash_;
+  fnv_u64(&content_hash_, task_count_);
+}
+
+void TaskIndex::compact_cluster(ClusterIndex* ci) {
+  if (ci->segments.size() <= kMaxSegments) return;
+  std::vector<Entry> all;
+  std::size_t total = 0;
+  for (const auto& s : ci->segments) total += s.count;
+  all.reserve(total);
+  for (const auto& s : ci->segments) {
+    all.insert(all.end(), s.entries, s.entries + s.count);
+  }
+  ci->segments.clear();
+  ci->segments.push_back(make_segment(std::move(all)));
+}
+
+TaskIndex::TaskIndex(const Schedule& schedule) {
+  clusters_.reserve(schedule.clusters().size());
+  for (const auto& c : schedule.clusters()) {
+    ClusterIndex ci;
+    ci.cluster_id = c.id;
+    clusters_.push_back(std::move(ci));
+  }
+  tasks_hash_ = hash_clusters(schedule);
+  extend(schedule, 0);
+}
+
+TaskIndex::TaskIndex(const TaskIndex& base, const Schedule& schedule,
+                     std::size_t first_new)
+    : clusters_(base.clusters_),
+      task_count_(base.task_count_),
+      time_range_(base.time_range_),
+      content_hash_(base.content_hash_),
+      tasks_hash_(base.tasks_hash_) {
+  JED_ASSERT(first_new == base.task_count_);
+  JED_ASSERT(schedule.tasks().size() >= first_new);
+  // The hash continuation is only valid when the cluster table is the one
+  // the base hashed.
+  JED_ASSERT(schedule.clusters().size() == clusters_.size());
+  for (std::size_t c = 0; c < clusters_.size(); ++c) {
+    JED_ASSERT(schedule.clusters()[c].id == clusters_[c].cluster_id);
+  }
+  extend(schedule, first_new);
+}
+
+TaskIndex::TaskIndex(const TaskIndex& base, const ScheduleArena& arena,
+                     std::size_t first_new)
+    : clusters_(base.clusters_),
+      task_count_(base.task_count_),
+      time_range_(base.time_range_),
+      content_hash_(base.content_hash_),
+      tasks_hash_(base.tasks_hash_) {
+  JED_ASSERT(first_new == base.task_count_);
+  JED_ASSERT(arena.task_count() >= first_new);
+  JED_ASSERT(arena.clusters().size() == clusters_.size());
+  for (std::size_t c = 0; c < clusters_.size(); ++c) {
+    JED_ASSERT(arena.clusters()[c].id == clusters_[c].cluster_id);
+  }
+
+  const ScheduleArena::ColumnsView cols = arena.columns();
+  auto cluster_slot = [this](int id) -> ClusterIndex* {
+    for (auto& ci : clusters_) {
+      if (ci.cluster_id == id) return &ci;
+    }
+    return nullptr;
+  };
+
+  std::vector<std::vector<Entry>> fresh(clusters_.size());
+  double lo = 0, hi = 0;
+  bool any = false;
+  for (std::size_t i = first_new; i < cols.tasks; ++i) {
+    const double b = cols.start[i];
+    const double e = cols.end[i];
+    if (!any) {
+      lo = b;
+      hi = e;
+      any = true;
+    } else {
+      lo = std::min(lo, b);
+      hi = std::max(hi, e);
+    }
+    for (std::uint32_t c = cols.cfg_off[i]; c < cols.cfg_off[i + 1]; ++c) {
+      ClusterIndex* ci = cluster_slot(cols.cfg_cluster[c]);
+      if (ci == nullptr) continue;  // append() rejects this anyway
+      for (std::uint32_t r = cols.range_off[c]; r < cols.range_off[c + 1];
+           ++r) {
+        Entry en;
+        en.begin = b;
+        en.end = e;
+        en.host_start = cols.ranges[r].start;
+        en.host_end = cols.ranges[r].start + cols.ranges[r].nb - 1;
+        en.task = static_cast<std::uint32_t>(i);
+        fresh[static_cast<std::size_t>(ci - clusters_.data())].push_back(en);
       }
     }
   }
-  if (any) time_range_ = TimeRange{lo, hi};
+  // The arena extended the same running FNV chain row by row; adopting it
+  // skips rehashing and stays byte-identical to the AoS extension path.
+  finish_extend(&fresh, any, lo, hi, cols.tasks, arena.tasks_hash());
+  JED_ASSERT(content_hash_ == arena.content_hash());
+}
 
-  for (auto& ci : clusters_) {
-    std::sort(ci.entries.begin(), ci.entries.end(),
-              [](const Entry& a, const Entry& b) {
-                if (a.begin != b.begin) return a.begin < b.begin;
-                return a.task < b.task;
-              });
-    ci.max_end.assign(ci.entries.size(), 0.0);
-    build_max_end(ci.entries, &ci.max_end, 0, ci.entries.size());
+TaskIndex::TaskIndex(Raw raw)
+    : task_count_(raw.task_count),
+      time_range_(raw.time_range),
+      content_hash_(raw.content_hash),
+      tasks_hash_(raw.tasks_hash) {
+  clusters_.reserve(raw.clusters.size());
+  for (const auto& rc : raw.clusters) {
+    ClusterIndex ci;
+    ci.cluster_id = rc.cluster_id;
+    if (rc.count > 0) {
+      auto tasks = std::make_shared<std::vector<std::uint32_t>>();
+      tasks->reserve(rc.count);
+      for (std::size_t i = 0; i < rc.count; ++i) {
+        tasks->push_back(rc.entries[i].task);
+      }
+      std::sort(tasks->begin(), tasks->end());
+      tasks->erase(std::unique(tasks->begin(), tasks->end()), tasks->end());
+
+      Segment seg;
+      seg.entries = rc.entries;
+      seg.max_end = rc.max_end;
+      seg.count = rc.count;
+      seg.owner = raw.owner;
+      seg.tasks = std::move(tasks);
+      ci.segments.push_back(std::move(seg));
+    }
+    clusters_.push_back(std::move(ci));
   }
 }
 
 std::uint64_t TaskIndex::hash_schedule(const Schedule& schedule) {
-  std::uint64_t h = kFnvOffset;
-  hash_u64(&h, schedule.clusters().size());
-  for (const auto& c : schedule.clusters()) {
-    hash_u64(&h, static_cast<std::uint64_t>(c.id));
-    hash_u64(&h, static_cast<std::uint64_t>(c.hosts));
-    hash_string(&h, c.name);
-  }
-  hash_u64(&h, schedule.tasks().size());
-  for (const auto& t : schedule.tasks()) {
-    hash_string(&h, t.id());
-    hash_string(&h, t.type());
-    hash_double(&h, t.start_time());
-    hash_double(&h, t.end_time());
-    hash_u64(&h, t.configurations().size());
-    for (const auto& cfg : t.configurations()) {
-      hash_u64(&h, static_cast<std::uint64_t>(cfg.cluster_id));
-      for (const auto& hr : cfg.hosts) {
-        hash_u64(&h, static_cast<std::uint64_t>(hr.start));
-        hash_u64(&h, static_cast<std::uint64_t>(hr.nb));
-      }
-    }
-    // Properties drive highlighting, so they are part of the identity.
-    hash_u64(&h, t.properties().size());
-    for (const auto& [k, v] : t.properties()) {
-      hash_string(&h, k);
-      hash_string(&h, v);
-    }
-  }
+  std::uint64_t h = hash_clusters(schedule);
+  for (const auto& t : schedule.tasks()) hash_task(&h, t);
+  // The count folds in last so the per-task chain above is resumable: an
+  // O(delta) append rehashes only the new tasks, then re-folds the count.
+  fnv_u64(&h, schedule.tasks().size());
   return h;
 }
 
@@ -164,14 +334,24 @@ const TaskIndex::ClusterIndex* TaskIndex::cluster(int id) const {
 
 std::size_t TaskIndex::entry_count(int cluster_id) const {
   const ClusterIndex* ci = cluster(cluster_id);
-  return ci ? ci->entries.size() : 0;
+  if (ci == nullptr) return 0;
+  std::size_t n = 0;
+  for (const auto& s : ci->segments) n += s.count;
+  return n;
+}
+
+std::size_t TaskIndex::segment_count(int cluster_id) const {
+  const ClusterIndex* ci = cluster(cluster_id);
+  return ci ? ci->segments.size() : 0;
 }
 
 void TaskIndex::query(int cluster_id, double t0, double t1,
                       const std::function<void(const Entry&)>& fn) const {
   const ClusterIndex* ci = cluster(cluster_id);
-  if (ci == nullptr || ci->entries.empty()) return;
-  query_range(ci->entries, ci->max_end, 0, ci->entries.size(), t0, t1, fn);
+  if (ci == nullptr) return;
+  for (const auto& s : ci->segments) {
+    query_range(s.entries, s.max_end, 0, s.count, t0, t1, fn);
+  }
 }
 
 void TaskIndex::collect_tasks(int cluster_id, double t0, double t1,
@@ -206,6 +386,48 @@ const TaskIndex::Entry* TaskIndex::topmost_at(int cluster_id, double t,
     if (best == nullptr || e.task > best->task) best = &e;
   });
   return best;
+}
+
+std::vector<std::uint32_t> TaskIndex::cluster_tasks(int cluster_id) const {
+  std::vector<std::uint32_t> out;
+  const ClusterIndex* ci = cluster(cluster_id);
+  if (ci == nullptr) return out;
+  std::size_t total = 0;
+  for (const auto& s : ci->segments) total += s.tasks->size();
+  out.reserve(total);
+  // Extension segments always cover strictly later task indices than the
+  // segments before them, so the per-segment sorted lists concatenate
+  // into one sorted, duplicate-free partition.
+  for (const auto& s : ci->segments) {
+    out.insert(out.end(), s.tasks->begin(), s.tasks->end());
+  }
+  return out;
+}
+
+std::vector<TaskIndex::FlatCluster> TaskIndex::flatten() const {
+  std::vector<FlatCluster> out;
+  out.reserve(clusters_.size());
+  for (const auto& ci : clusters_) {
+    FlatCluster fc;
+    fc.cluster_id = ci.cluster_id;
+    std::size_t total = 0;
+    for (const auto& s : ci.segments) total += s.count;
+    fc.entries.reserve(total);
+    for (const auto& s : ci.segments) {
+      fc.entries.insert(fc.entries.end(), s.entries, s.entries + s.count);
+    }
+    if (ci.segments.size() > 1) {
+      std::sort(fc.entries.begin(), fc.entries.end(),
+                [](const Entry& a, const Entry& b) {
+                  if (a.begin != b.begin) return a.begin < b.begin;
+                  return a.task < b.task;
+                });
+    }
+    fc.max_end.assign(fc.entries.size(), 0.0);
+    build_max_end(fc.entries, &fc.max_end, 0, fc.entries.size());
+    out.push_back(std::move(fc));
+  }
+  return out;
 }
 
 }  // namespace jedule::model

@@ -13,19 +13,33 @@
 // which over-approximates the renderer's half-open clipping — harmless,
 // since non-painting boxes are dropped by the clip itself.
 //
+// A cluster's entries live in one or more immutable *segments*, each a
+// sorted array with its own implicit BST. A full build produces a single
+// segment; the O(delta) extension constructor shares the base index's
+// segments untouched and adds one small segment holding only the new
+// tasks, so appending to a million-task index never re-sorts the base.
+// Segments may also point into an mmapped snapshot (DESIGN.md §4h)
+// instead of heap vectors; `owner` keeps the backing storage alive.
+// Queries visit every segment; result order stays unspecified, as before.
+//
 // The index is immutable after construction and safe to share across
 // threads. It also records a content hash of the schedule (tasks, times,
 // allocations, clusters) that the render::TileCache uses as a cache key.
+// The hash folds the task count in *last*, so the running pre-count hash
+// (`tasks_hash()`) can be extended with appended tasks in O(delta).
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "jedule/model/schedule.hpp"
 
 namespace jedule::model {
+
+class ScheduleArena;
 
 class TaskIndex {
  public:
@@ -37,9 +51,50 @@ class TaskIndex {
     std::uint32_t task = 0;  // index into Schedule::tasks()
   };
 
+  /// Empty index (no clusters, zero hash) — the placeholder state for
+  /// two-phase construction (engine::ScheduleEntry); move-assign a real
+  /// index over it before use.
+  TaskIndex() = default;
+
   /// Builds the index in O(n log n). The schedule must outlive nothing —
   /// the index copies what it needs (times, host spans, task indices).
   explicit TaskIndex(const Schedule& schedule);
+
+  /// O(delta) extension: `base` indexed the first `first_new` tasks of
+  /// `schedule` (same clusters, same tasks, in the same order — only
+  /// tasks appended at the end). Shares the base's segments and indexes
+  /// only tasks [first_new, size); the content hash is continued from the
+  /// base's running hash instead of rehashing the whole schedule.
+  TaskIndex(const TaskIndex& base, const Schedule& schedule,
+            std::size_t first_new);
+
+  /// Same O(delta) extension, reading the appended rows straight from the
+  /// columnar arena — the live-append path never materializes an AoS
+  /// schedule. The hash continuation reuses the arena's running hash
+  /// (byte-identical to hashing the materialized tasks).
+  TaskIndex(const TaskIndex& base, const ScheduleArena& arena,
+            std::size_t first_new);
+
+  /// One pre-sorted, pre-augmented cluster loaded from a snapshot; the
+  /// pointers typically alias an mmapped file kept alive by `Raw::owner`.
+  struct RawCluster {
+    int cluster_id = 0;
+    const Entry* entries = nullptr;   // sorted by (begin, task)
+    const double* max_end = nullptr;  // implicit-BST augmentation
+    std::size_t count = 0;
+  };
+
+  /// Zero-copy construction input (the `.jbin` load path): trusted
+  /// precomputed segments plus the recorded hashes and bounds.
+  struct Raw {
+    std::vector<RawCluster> clusters;
+    std::shared_ptr<const void> owner;  // keeps the mapping alive
+    std::size_t task_count = 0;
+    std::optional<TimeRange> time_range;
+    std::uint64_t content_hash = 0;
+    std::uint64_t tasks_hash = 0;  // running hash, pre task-count fold
+  };
+  explicit TaskIndex(Raw raw);
 
   std::size_t task_count() const { return task_count_; }
 
@@ -70,20 +125,61 @@ class TaskIndex {
   /// on host `h` (the topmost rectangle in paint order), or nullptr.
   const Entry* topmost_at(int cluster_id, double t, int h) const;
 
+  /// Ascending, duplicate-free indices of the tasks having at least one
+  /// configuration in `cluster_id` — the cluster partition that replaces
+  /// Schedule::tasks_in_cluster's O(n) scan. Segments cover disjoint task
+  /// ranges, so this concatenates precomputed per-segment lists.
+  std::vector<std::uint32_t> cluster_tasks(int cluster_id) const;
+
+  /// Number of segments backing `cluster_id` (test/bench introspection).
+  std::size_t segment_count(int cluster_id) const;
+
+  /// One merged, sorted entry array (+ implicit-BST max_end) per cluster,
+  /// in schedule cluster order — the snapshot serialization form.
+  struct FlatCluster {
+    int cluster_id = 0;
+    std::vector<Entry> entries;
+    std::vector<double> max_end;
+  };
+  std::vector<FlatCluster> flatten() const;
+
   /// FNV-1a over clusters, task ids/types/times and allocations; two
   /// schedules with equal hashes render identically (used to key the
   /// tile cache across reread()).
   std::uint64_t content_hash() const { return content_hash_; }
 
+  /// The running hash before the task count is folded in — the resume
+  /// point for O(delta) hash extension (extension ctor, ScheduleArena).
+  std::uint64_t tasks_hash() const { return tasks_hash_; }
+
   /// The hash above without building an index (cache fallback path).
   static std::uint64_t hash_schedule(const Schedule& schedule);
 
  private:
+  struct Segment {
+    const Entry* entries = nullptr;   // sorted by begin (ties: task index)
+    const double* max_end = nullptr;  // subtree max end, implicit BST
+    std::size_t count = 0;
+    std::shared_ptr<const void> owner;  // heap vectors or a file mapping
+    // Sorted unique task indices appearing in this segment.
+    std::shared_ptr<const std::vector<std::uint32_t>> tasks;
+  };
   struct ClusterIndex {
     int cluster_id = 0;
-    std::vector<Entry> entries;   // sorted by begin (ties: task index)
-    std::vector<double> max_end;  // subtree max end, implicit BST on entries
+    std::vector<Segment> segments;
   };
+
+  /// Builds a heap-backed segment from unsorted entries.
+  static Segment make_segment(std::vector<Entry> entries);
+  /// Indexes tasks [first, size) of `schedule`, appending one segment per
+  /// cluster that gains entries, and extends hash/bounds/count.
+  void extend(const Schedule& schedule, std::size_t first);
+  /// Shared tail of the extension paths: installs the per-cluster fresh
+  /// entry lists as segments, widens the bounds, refolds the count.
+  void finish_extend(std::vector<std::vector<Entry>>* fresh, bool any,
+                     double lo, double hi, std::size_t new_count,
+                     std::uint64_t new_tasks_hash);
+  void compact_cluster(ClusterIndex* ci);
 
   const ClusterIndex* cluster(int id) const;
 
@@ -91,6 +187,7 @@ class TaskIndex {
   std::size_t task_count_ = 0;
   std::optional<TimeRange> time_range_;
   std::uint64_t content_hash_ = 0;
+  std::uint64_t tasks_hash_ = 0;
 };
 
 }  // namespace jedule::model

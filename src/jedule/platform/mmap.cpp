@@ -1,0 +1,83 @@
+#include "jedule/platform/mmap.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "jedule/util/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define JEDULE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace jedule::platform {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const char* what) {
+  throw IoError("cannot " + std::string(what) + " '" + path +
+                "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+std::shared_ptr<const MappedFile> MappedFile::open(const std::string& path) {
+  auto file = std::shared_ptr<MappedFile>(new MappedFile());
+#if JEDULE_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) fail(path, "open");
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    fail(path, "stat");
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size > 0) {
+    void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      ::close(fd);
+      fail(path, "mmap");
+    }
+    file->map_addr_ = addr;
+    file->data_ = static_cast<const std::uint8_t*>(addr);
+  }
+  // The mapping outlives the descriptor.
+  ::close(fd);
+  file->size_ = size;
+  file->mapped_ = true;
+#else
+  std::FILE* fp = std::fopen(path.c_str(), "rb");
+  if (fp == nullptr) fail(path, "open");
+  std::fseek(fp, 0, SEEK_END);
+  const long end = std::ftell(fp);
+  std::fseek(fp, 0, SEEK_SET);
+  if (end < 0) {
+    std::fclose(fp);
+    fail(path, "seek");
+  }
+  file->heap_.resize(static_cast<std::size_t>(end));
+  if (!file->heap_.empty() &&
+      std::fread(file->heap_.data(), 1, file->heap_.size(), fp) !=
+          file->heap_.size()) {
+    std::fclose(fp);
+    fail(path, "read");
+  }
+  std::fclose(fp);
+  file->data_ = file->heap_.data();
+  file->size_ = file->heap_.size();
+  file->mapped_ = false;
+#endif
+  return file;
+}
+
+MappedFile::~MappedFile() {
+#if JEDULE_HAVE_MMAP
+  if (map_addr_ != nullptr) ::munmap(map_addr_, size_);
+#endif
+}
+
+}  // namespace jedule::platform

@@ -1,0 +1,51 @@
+#pragma once
+
+// Read-only memory-mapped files (DESIGN.md §4h). This is the one
+// OS-facing corner of jedule::platform (the rest of the namespace models
+// the *simulated* execution platform): the `.jbin` snapshot loader maps
+// the file and hands zero-copy column views to model::ScheduleArena, so
+// reopening a million-task schedule is a validation pass over mapped
+// memory instead of a parse.
+//
+// On POSIX the mapping is a real mmap(PROT_READ, MAP_PRIVATE); elsewhere
+// open() falls back to reading the file into heap memory, which keeps the
+// same interface (and correctness) at the cost of residency — mapped()
+// reports which one the caller got, and the engine's /stats endpoint
+// surfaces the split.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace jedule::platform {
+
+class MappedFile {
+ public:
+  /// Maps `path` read-only; throws jedule::IoError when the file cannot
+  /// be opened or mapped (a zero-byte file yields an empty mapping).
+  static std::shared_ptr<const MappedFile> open(const std::string& path);
+
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const std::uint8_t* data() const { return data_; }
+  std::size_t size() const { return size_; }
+
+  /// True when backed by a real memory mapping, false on the heap-read
+  /// fallback path.
+  bool mapped() const { return mapped_; }
+
+ private:
+  MappedFile() = default;
+
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;
+  void* map_addr_ = nullptr;          // munmap handle (POSIX)
+  std::vector<std::uint8_t> heap_;    // fallback storage
+};
+
+}  // namespace jedule::platform

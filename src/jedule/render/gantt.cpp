@@ -356,6 +356,17 @@ GanttLayout layout_gantt(const Schedule& schedule,
   int total_hosts = 0;
   for (const auto* c : shown) total_hosts += c->hosts;
 
+  // Panel windows: every cluster's bounds in one pass over the tasks
+  // instead of one O(n) view_time_range scan per panel; the global range
+  // comes for free from the index when the caller supplied one.
+  std::map<int, TimeRange> local_ranges;
+  std::optional<TimeRange> global_range;
+  if (!style.time_window) {
+    local_ranges = schedule.cluster_time_ranges();
+    global_range = hints.index != nullptr ? hints.index->time_range()
+                                          : schedule.time_range();
+  }
+
   const double panel_x = kMarginLeft;
   const double panel_w = style.width - kMarginLeft - kMarginRight;
   double cursor_y = avail_y0;
@@ -374,7 +385,14 @@ GanttLayout layout_gantt(const Schedule& schedule,
       // O(n) scan keeps warm interactive frames O(visible).
       panel.time_range = *style.time_window;
     } else {
-      auto range = schedule.view_time_range(c->id, style.view_mode);
+      std::optional<TimeRange> range;
+      if (style.view_mode == model::ViewMode::kAligned) {
+        range = global_range;
+      } else {
+        const auto it = local_ranges.find(c->id);
+        range = it != local_ranges.end() ? std::optional<TimeRange>(it->second)
+                                         : global_range;
+      }
       if (!range || range->length() <= 0) {
         range = TimeRange{0, 1};  // empty cluster: unit axis
       }
@@ -483,6 +501,10 @@ GanttLayout layout_gantt(const Schedule& schedule,
         }
         composites = model::synthesize_composites(sub, nullptr, threads);
       }
+    } else if (hints.composites != nullptr && style.type_filter.empty()) {
+      // The engine's incrementally-maintained list (append_composites);
+      // copied because the loop below decorates each task with properties.
+      composites = *hints.composites;
     } else {
       composites = model::synthesize_composites(schedule, type_selected,
                                                 threads);

@@ -176,6 +176,14 @@ struct LayoutHints {
   /// cache's label-overlay layout: bins are painted by the tiles).
   bool skip_lod_bins = false;
 
+  /// Precomputed composites of the *whole, unfiltered* schedule (the
+  /// serve engine maintains this list across appends with
+  /// model::append_composites instead of resweeping every frame).
+  /// Consumed only when no type filter is active and the layout is not
+  /// viewport-culled — the only cases the precomputed list matches;
+  /// otherwise it is ignored and composites are synthesized as usual.
+  const std::vector<model::Composite>* composites = nullptr;
+
   std::optional<SnapGrid> snap;
 };
 

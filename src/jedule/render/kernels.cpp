@@ -1,9 +1,11 @@
 #include "jedule/render/kernels.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
 
+#include "jedule/model/arena.hpp"
 #include "jedule/util/cpu.hpp"
 
 #if !defined(JEDULE_SIMD_DISABLED)
@@ -674,6 +676,155 @@ std::uint64_t png_sad_neon(const std::uint8_t* data, std::size_t n) {
 
 #endif  // JEDULE_KERNELS_NEON
 
+// --- columnar double scans (model::ScheduleArena, DESIGN.md §4h) ------
+
+void minmax_f64_scalar(const double* a, const double* b, std::size_t n,
+                       double* lo, double* hi) {
+  double l = a[0], h = b[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    l = std::min(l, a[i]);
+    h = std::max(h, b[i]);
+  }
+  *lo = l;
+  *hi = h;
+}
+
+std::size_t first_violation_scalar(const double* start, const double* end,
+                                   std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(end[i] >= start[i])) return i;
+  }
+  return n;
+}
+
+#if defined(JEDULE_KERNELS_X86)
+
+void minmax_f64_sse2(const double* a, const double* b, std::size_t n,
+                     double* lo, double* hi) {
+  if (n < 4) {
+    minmax_f64_scalar(a, b, n, lo, hi);
+    return;
+  }
+  __m128d vlo = _mm_loadu_pd(a);
+  __m128d vhi = _mm_loadu_pd(b);
+  std::size_t i = 2;
+  for (; i + 2 <= n; i += 2) {
+    vlo = _mm_min_pd(vlo, _mm_loadu_pd(a + i));
+    vhi = _mm_max_pd(vhi, _mm_loadu_pd(b + i));
+  }
+  double l2[2], h2[2];
+  _mm_storeu_pd(l2, vlo);
+  _mm_storeu_pd(h2, vhi);
+  double l = std::min(l2[0], l2[1]);
+  double h = std::max(h2[0], h2[1]);
+  for (; i < n; ++i) {
+    l = std::min(l, a[i]);
+    h = std::max(h, b[i]);
+  }
+  *lo = l;
+  *hi = h;
+}
+
+std::size_t first_violation_sse2(const double* start, const double* end,
+                                 std::size_t n) {
+  std::size_t i = 0;
+  // cmpge is false for NaN lanes, so a NaN breaks out like end < start;
+  // the scalar tail then reports the exact first offending index.
+  for (; i + 2 <= n; i += 2) {
+    const __m128d ge =
+        _mm_cmpge_pd(_mm_loadu_pd(end + i), _mm_loadu_pd(start + i));
+    if (_mm_movemask_pd(ge) != 0x3) break;
+  }
+  for (; i < n; ++i) {
+    if (!(end[i] >= start[i])) return i;
+  }
+  return n;
+}
+
+__attribute__((target("avx2"))) void minmax_f64_avx2(const double* a,
+                                                     const double* b,
+                                                     std::size_t n,
+                                                     double* lo, double* hi) {
+  if (n < 8) {
+    minmax_f64_sse2(a, b, n, lo, hi);
+    return;
+  }
+  __m256d vlo = _mm256_loadu_pd(a);
+  __m256d vhi = _mm256_loadu_pd(b);
+  std::size_t i = 4;
+  for (; i + 4 <= n; i += 4) {
+    vlo = _mm256_min_pd(vlo, _mm256_loadu_pd(a + i));
+    vhi = _mm256_max_pd(vhi, _mm256_loadu_pd(b + i));
+  }
+  double l4[4], h4[4];
+  _mm256_storeu_pd(l4, vlo);
+  _mm256_storeu_pd(h4, vhi);
+  double l = std::min(std::min(l4[0], l4[1]), std::min(l4[2], l4[3]));
+  double h = std::max(std::max(h4[0], h4[1]), std::max(h4[2], h4[3]));
+  for (; i < n; ++i) {
+    l = std::min(l, a[i]);
+    h = std::max(h, b[i]);
+  }
+  *lo = l;
+  *hi = h;
+}
+
+__attribute__((target("avx2"))) std::size_t first_violation_avx2(
+    const double* start, const double* end, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d ge = _mm256_cmp_pd(_mm256_loadu_pd(end + i),
+                                     _mm256_loadu_pd(start + i), _CMP_GE_OQ);
+    if (_mm256_movemask_pd(ge) != 0xF) break;
+  }
+  for (; i < n; ++i) {
+    if (!(end[i] >= start[i])) return i;
+  }
+  return n;
+}
+
+#endif  // JEDULE_KERNELS_X86
+
+#if defined(JEDULE_KERNELS_NEON)
+
+void minmax_f64_neon(const double* a, const double* b, std::size_t n,
+                     double* lo, double* hi) {
+  if (n < 4) {
+    minmax_f64_scalar(a, b, n, lo, hi);
+    return;
+  }
+  float64x2_t vlo = vld1q_f64(a);
+  float64x2_t vhi = vld1q_f64(b);
+  std::size_t i = 2;
+  for (; i + 2 <= n; i += 2) {
+    vlo = vminq_f64(vlo, vld1q_f64(a + i));
+    vhi = vmaxq_f64(vhi, vld1q_f64(b + i));
+  }
+  double l = std::min(vgetq_lane_f64(vlo, 0), vgetq_lane_f64(vlo, 1));
+  double h = std::max(vgetq_lane_f64(vhi, 0), vgetq_lane_f64(vhi, 1));
+  for (; i < n; ++i) {
+    l = std::min(l, a[i]);
+    h = std::max(h, b[i]);
+  }
+  *lo = l;
+  *hi = h;
+}
+
+std::size_t first_violation_neon(const double* start, const double* end,
+                                 std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t ge = vcgeq_f64(vld1q_f64(end + i), vld1q_f64(start + i));
+    if ((vgetq_lane_u64(ge, 0) & vgetq_lane_u64(ge, 1)) != ~0ull) break;
+  }
+  for (; i < n; ++i) {
+    if (!(end[i] >= start[i])) return i;
+  }
+  return n;
+}
+
+#endif  // JEDULE_KERNELS_NEON
+
 std::atomic<const Kernels*> g_override{nullptr};
 
 const Kernels* env_or_best() {
@@ -691,7 +842,8 @@ const Kernels& scalar() {
   static const Kernels k{"scalar",          fill_row_scalar,
                          blend_row_scalar,  copy_row_scalar,
                          png_filter_row_scalar, png_unfilter_row_scalar,
-                         png_sad_scalar};
+                         png_sad_scalar,    minmax_f64_scalar,
+                         first_violation_scalar};
   return k;
 }
 
@@ -704,14 +856,16 @@ const std::vector<const Kernels*>& available() {
       static const Kernels sse2{"sse2",          fill_row_sse2,
                                 blend_row_sse2,  copy_row_sse2,
                                 png_filter_row_sse2, png_unfilter_row_sse2,
-                                png_sad_sse2};
+                                png_sad_sse2,    minmax_f64_sse2,
+                                first_violation_sse2};
       v.push_back(&sse2);
     }
     if (cpu.avx2) {
       static const Kernels avx2{"avx2",          fill_row_avx2,
                                 blend_row_avx2,  copy_row_avx2,
                                 png_filter_row_avx2, png_unfilter_row_avx2,
-                                png_sad_avx2};
+                                png_sad_avx2,    minmax_f64_avx2,
+                                first_violation_avx2};
       v.push_back(&avx2);
     }
 #elif defined(JEDULE_KERNELS_NEON)
@@ -719,7 +873,8 @@ const std::vector<const Kernels*>& available() {
       static const Kernels neon{"neon",          fill_row_neon,
                                 blend_row_neon,  copy_row_neon,
                                 png_filter_row_neon, png_unfilter_row_neon,
-                                png_sad_neon};
+                                png_sad_neon,    minmax_f64_neon,
+                                first_violation_neon};
       v.push_back(&neon);
     }
 #endif
@@ -746,5 +901,33 @@ const Kernels& active() {
 void override_active(const Kernels* k) {
   g_override.store(k, std::memory_order_release);
 }
+
+namespace {
+
+// Route model::ScheduleArena's column scans through the dispatcher. The
+// wrappers consult active() at call time, so the JEDULE_SIMD env
+// selection and the test override keep working for arena sweeps too.
+// Registration happens at static-init of this TU: any binary that links
+// the render kernels gets SIMD column scans, while jed_model alone keeps
+// its built-in scalar fallbacks (no model -> render dependency).
+void arena_minmax_f64(const double* a, const double* b, std::size_t n,
+                      double* lo, double* hi) {
+  active().minmax_f64(a, b, n, lo, hi);
+}
+
+std::size_t arena_first_violation(const double* start, const double* end,
+                                  std::size_t n) {
+  return active().first_violation(start, end, n);
+}
+
+const bool g_column_scan_ops_installed = [] {
+  model::ColumnScanOps ops;
+  ops.minmax_f64 = &arena_minmax_f64;
+  ops.first_violation = &arena_first_violation;
+  model::set_column_scan_ops(ops);
+  return true;
+}();
+
+}  // namespace
 
 }  // namespace jedule::render::kernels

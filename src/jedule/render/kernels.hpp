@@ -1,10 +1,13 @@
 #pragma once
 
-// Runtime-dispatched SIMD row kernels for the software rasterizer and the
-// PNG codec (DESIGN.md §4e, §4g). Six primitives cover every hot inner
-// loop: opaque row fill (pattern broadcast), source-over alpha blend, row
-// copy, PNG scanline filter/unfilter, and the sum-of-absolute-differences
-// filter-selection score. Each has scalar, SSE2, AVX2 and NEON variants;
+// Runtime-dispatched SIMD row kernels for the software rasterizer, the
+// PNG codec, and the columnar schedule arena (DESIGN.md §4e, §4g, §4h).
+// Eight primitives cover every hot inner loop: opaque row fill (pattern
+// broadcast), source-over alpha blend, row copy, PNG scanline
+// filter/unfilter, the sum-of-absolute-differences filter-selection
+// score, and two double-column scans (paired min/max reduction and
+// first-time-violation search) that serve model::ScheduleArena through
+// the ColumnScanOps hook. Each has scalar, SSE2, AVX2 and NEON variants;
 // dispatch picks the best one the executing CPU supports, decided once at
 // startup.
 //
@@ -66,6 +69,19 @@ using PngUnfilterRowFn = void (*)(int type, std::uint8_t* cur,
 /// differences heuristic that scores one filtered scanline candidate.
 using PngSadFn = std::uint64_t (*)(const std::uint8_t* data, std::size_t n);
 
+/// Paired column reduction: *lo = min over a[0..n), *hi = max over
+/// b[0..n); n >= 1. Inputs must be NaN-free (the arena computes time
+/// bounds only over columns its validation pass accepted) — with NaNs the
+/// variants may legitimately disagree, like any SIMD min/max.
+using MinMaxF64Fn = void (*)(const double* a, const double* b, std::size_t n,
+                             double* lo, double* hi);
+
+/// First index i in [0, n) with !(end[i] >= start[i]) — i.e. end < start
+/// or either value NaN — or n if none. The arena's columnar
+/// time-sanity scan; every variant returns the exact first index.
+using FirstViolationFn = std::size_t (*)(const double* start,
+                                         const double* end, std::size_t n);
+
 struct Kernels {
   const char* name;  // "scalar", "sse2", "avx2", "neon"
   FillRowFn fill_row;
@@ -74,6 +90,8 @@ struct Kernels {
   PngFilterRowFn png_filter_row;
   PngUnfilterRowFn png_unfilter_row;
   PngSadFn png_sad;
+  MinMaxF64Fn minmax_f64;
+  FirstViolationFn first_violation;
 };
 
 /// The portable reference variant (always present).

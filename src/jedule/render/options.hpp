@@ -25,6 +25,15 @@ struct RenderOptions {
   /// same boxes, O(visible) work — instead of scanning every task.
   const model::TaskIndex* task_index = nullptr;
 
+  /// Precomputed unfiltered composite list (must outlive the render); see
+  /// LayoutHints::composites. The engine passes its per-entry cached list
+  /// so repeated/appended renders skip the full overlap sweep.
+  const std::vector<model::Composite>* composites = nullptr;
+
+  /// Skip Schedule::validate() inside the layout — set by callers that
+  /// validated at ingest (the engine's entries always are).
+  bool assume_validated = false;
+
   int resolved_threads() const { return util::resolve_threads(threads); }
 };
 
@@ -33,6 +42,8 @@ inline GanttLayout layout_gantt(const model::Schedule& schedule,
                                 const RenderOptions& options) {
   LayoutHints hints;
   hints.index = options.task_index;
+  hints.composites = options.composites;
+  hints.assume_validated = options.assume_validated;
   return layout_gantt(schedule, options.colormap, options.style,
                       options.resolved_threads(), hints);
 }

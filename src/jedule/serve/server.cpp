@@ -10,7 +10,9 @@
 #include <cstring>
 #include <utility>
 
+#include "jedule/engine/events.hpp"
 #include "jedule/engine/options.hpp"
+#include "jedule/io/snapshot.hpp"
 #include "jedule/render/exporter.hpp"
 #include "jedule/util/error.hpp"
 #include "jedule/util/strings.hpp"
@@ -61,11 +63,55 @@ HttpResponse json_response(int status, std::string body) {
 std::string entry_json(const engine::ScheduleEntry& entry) {
   std::string out = "{\"id\":\"" + entry.id + "\"";
   out += ",\"source\":\"" + json_escape(entry.source) + "\"";
-  out += ",\"tasks\":" + std::to_string(entry.schedule.tasks().size());
-  out += ",\"clusters\":" + std::to_string(entry.schedule.clusters().size());
+  out += ",\"tasks\":" + std::to_string(entry.task_count());
+  out += ",\"clusters\":" + std::to_string(entry.cluster_count());
   out += ",\"time\":{\"begin\":" + std::to_string(entry.full_range.begin) +
          ",\"end\":" + std::to_string(entry.full_range.end) + "}}";
   return out;
+}
+
+std::string hex16(std::uint64_t v) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+// Strong ETag for a render artifact: the entry's content hash, the digest
+// of every render-affecting option, and the request shape (format, wire
+// encoding, tile coordinates) — anything that changes the bytes changes
+// the tag.
+std::string artifact_etag(const engine::ScheduleEntry& entry,
+                          std::uint64_t options_digest,
+                          const std::string& shape) {
+  return "\"" + hex16(entry.content_hash) + "-" + hex16(options_digest) +
+         "-" + shape + "\"";
+}
+
+// RFC 9110 If-None-Match: a list of entity tags, or "*". Strong vs weak
+// comparison collapses here because we only ever mint strong tags; a
+// client echoing the tag back as W/"..." still matches on the opaque part.
+bool if_none_match(const HttpRequest& request, const std::string& etag) {
+  const auto it = request.headers.find("if-none-match");
+  if (it == request.headers.end()) return false;
+  for (const auto& part : util::split(it->second, ',')) {
+    std::string_view tag = util::trim(part);
+    if (tag == "*") return true;
+    if (tag.rfind("W/", 0) == 0) tag = tag.substr(2);
+    if (tag == etag) return true;
+  }
+  return false;
+}
+
+HttpResponse not_modified(const std::string& etag) {
+  HttpResponse resp;
+  resp.status = 304;
+  resp.media_type.clear();
+  resp.headers["ETag"] = etag;
+  return resp;
 }
 
 // RFC 9110 Accept-Encoding: does the client accept gzip? A listed
@@ -281,7 +327,7 @@ HttpResponse Server::handle_schedules(const HttpRequest& request) {
     engine::EntryPtr entry = engine::parse_entry(request.body, name, format);
     const auto put = store_.put(std::move(entry));
     std::string body = "{\"id\":\"" + put.entry->id + "\"";
-    body += ",\"tasks\":" + std::to_string(put.entry->schedule.tasks().size());
+    body += ",\"tasks\":" + std::to_string(put.entry->task_count());
     body += ",\"deduplicated\":";
     body += put.deduplicated ? "true" : "false";
     body += "}\n";
@@ -312,6 +358,32 @@ HttpResponse Server::handle_schedule_resource(const HttpRequest& request,
     const engine::EntryPtr entry = store_.find(id);
     if (!entry) return text_response(404, "no schedule with id " + id);
     return json_response(200, entry_json(*entry) + "\n");
+  }
+
+  if (tail == "events") {
+    if (request.method != "POST") {
+      return text_response(405, "use POST on /schedules/{id}/events");
+    }
+    const engine::EntryPtr base = store_.find(id);
+    if (!base) return text_response(404, "no schedule with id " + id);
+    const auto events = engine::parse_event_lines(request.body);
+    if (events.empty()) {
+      return text_response(400, "no events in request body");
+    }
+    // Entries are immutable: the append produces a *new* entry whose id
+    // is the new content hash. The base entry stays addressable (and
+    // LRU-evictable) so in-flight renders of the old state stay valid.
+    const auto put = store_.put(engine::append_entry(base, events));
+    std::string body = "{\"id\":\"" + put.entry->id + "\"";
+    body += ",\"tasks\":" + std::to_string(put.entry->task_count());
+    body += ",\"appended\":" + std::to_string(events.size());
+    body += ",\"deduplicated\":";
+    body += put.deduplicated ? "true" : "false";
+    body += "}\n";
+    HttpResponse resp =
+        json_response(put.deduplicated ? 200 : 201, std::move(body));
+    resp.headers["Location"] = "/schedules/" + put.entry->id;
+    return resp;
   }
 
   if (request.method != "GET") return text_response(405, "use GET");
@@ -346,10 +418,21 @@ HttpResponse Server::handle_schedule_resource(const HttpRequest& request,
     const auto encoding = negotiable && accepts_gzip(request)
                               ? engine::RenderService::Encoding::gzip
                               : engine::RenderService::Encoding::identity;
+    const std::string etag = artifact_etag(
+        *entry, engine::RenderService::options_digest(options),
+        encoding == engine::RenderService::Encoding::gzip ? format + ".gz"
+                                                          : format);
+    if (if_none_match(request, etag)) {
+      not_modified_304_.fetch_add(1);
+      HttpResponse resp = not_modified(etag);
+      if (negotiable) resp.headers["Vary"] = "Accept-Encoding";
+      return resp;
+    }
     engine::RenderService::Artifact artifact =
         renders_.render(entry, std::move(options), format, encoding);
     HttpResponse resp;
     resp.media_type = artifact.media_type;
+    resp.headers["ETag"] = etag;
     resp.headers["X-Cache"] = artifact.cache_hit ? "hit" : "miss";
     if (negotiable) resp.headers["Vary"] = "Accept-Encoding";
     // A .svgz body is a gzip stream by definition; label it so clients
@@ -371,13 +454,26 @@ HttpResponse Server::handle_schedule_resource(const HttpRequest& request,
       throw ArgumentError("tile requires x and zoom query parameters");
     }
     const auto y = request.query_value("y");
+    const long long tx = parse_integer(*x, "x");
+    const long long ty = y ? parse_integer(*y, "y") : -1;
+    const int tzoom = static_cast<int>(parse_integer(*zoom, "zoom"));
     render::RenderOptions options =
         engine::render_options_from(query_lookup, /*allow_cmap_file=*/false);
-    engine::RenderService::Artifact artifact = renders_.render_tile(
-        entry, parse_integer(*x, "x"), y ? parse_integer(*y, "y") : -1,
-        static_cast<int>(parse_integer(*zoom, "zoom")), std::move(options));
+    // x/y/zoom are folded into the style inside render_tile, so they go
+    // into the ETag's shape component instead of the options digest.
+    const std::string etag = artifact_etag(
+        *entry, engine::RenderService::options_digest(options),
+        "tile." + std::to_string(tx) + "." + std::to_string(ty) + "." +
+            std::to_string(tzoom));
+    if (if_none_match(request, etag)) {
+      not_modified_304_.fetch_add(1);
+      return not_modified(etag);
+    }
+    engine::RenderService::Artifact artifact =
+        renders_.render_tile(entry, tx, ty, tzoom, std::move(options));
     HttpResponse resp;
     resp.media_type = artifact.media_type;
+    resp.headers["ETag"] = etag;
     resp.headers["X-Cache"] = artifact.cache_hit ? "hit" : "miss";
     resp.body = *artifact.bytes;
     wire_bytes_.fetch_add(resp.body.size());
@@ -399,6 +495,7 @@ Server::Counters Server::counters() const {
   c.raw_bytes = raw_bytes_.load();
   c.gzip_responses = gzip_responses_.load();
   c.identity_responses = identity_responses_.load();
+  c.not_modified_304 = not_modified_304_.load();
   return c;
 }
 
@@ -416,6 +513,16 @@ std::string Server::stats_json() const {
   out += ",\"evictions\":" + std::to_string(store_stats.evictions);
   out += ",\"lookups\":" + std::to_string(store_stats.lookups);
   out += ",\"lookup_misses\":" + std::to_string(store_stats.lookup_misses);
+  out += ",\"resident_mmap_bytes\":" +
+         std::to_string(store_stats.resident_mmap_bytes);
+  out += ",\"resident_heap_bytes\":" +
+         std::to_string(store_stats.resident_heap_bytes);
+  out += "},\"snapshot\":{";
+  const io::SnapshotCounters snap = io::snapshot_counters();
+  out += "\"saves\":" + std::to_string(snap.saves);
+  out += ",\"save_bytes\":" + std::to_string(snap.save_bytes);
+  out += ",\"loads\":" + std::to_string(snap.loads);
+  out += ",\"load_bytes\":" + std::to_string(snap.load_bytes);
   out += "},\"render\":{";
   out += "\"artifact_hits\":" + std::to_string(render_stats.artifact_hits);
   out += ",\"artifact_misses\":" + std::to_string(render_stats.artifact_misses);
@@ -440,6 +547,7 @@ std::string Server::stats_json() const {
   out += ",\"raw_bytes\":" + std::to_string(c.raw_bytes);
   out += ",\"gzip_responses\":" + std::to_string(c.gzip_responses);
   out += ",\"identity_responses\":" + std::to_string(c.identity_responses);
+  out += ",\"not_modified_304\":" + std::to_string(c.not_modified_304);
   out += "}}\n";
   return out;
 }

@@ -18,8 +18,17 @@
 //                                           allows it; svgz is always a
 //                                           gzip stream
 //   GET    /schedules/{id}/tile?x=&y=&zoom= windowed viewport tile (PNG)
+//   POST   /schedules/{id}/events           append live-trace events
+//                                           (engine/events.hpp line format);
+//                                           answers with the *new* entry id
+//                                           (entries are immutable — the
+//                                           appended schedule is new content)
 //   GET    /stats                           store/cache/server counters
 //   GET    /healthz                         liveness probe
+//
+// Render and tile responses carry a strong ETag derived from the entry's
+// content hash and the render-option digest; a matching If-None-Match is
+// answered 304 without touching the render service.
 //
 // Concurrency model: one listener thread accepts and hands connections to
 // a fixed util::WorkerPool over a bounded queue. A full queue is answered
@@ -68,6 +77,8 @@ class Server {
     std::uint64_t raw_bytes = 0;
     std::uint64_t gzip_responses = 0;
     std::uint64_t identity_responses = 0;
+    // Conditional requests answered 304 off the ETag, no body rendered.
+    std::uint64_t not_modified_304 = 0;
   };
 
   Server() : Server(Options{}) {}
@@ -131,6 +142,7 @@ class Server {
   std::atomic<std::uint64_t> raw_bytes_{0};
   std::atomic<std::uint64_t> gzip_responses_{0};
   std::atomic<std::uint64_t> identity_responses_{0};
+  std::atomic<std::uint64_t> not_modified_304_{0};
 };
 
 }  // namespace jedule::serve

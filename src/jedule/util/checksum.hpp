@@ -20,9 +20,17 @@ std::uint32_t adler32_combine(std::uint32_t a1, std::uint32_t a2,
                               std::size_t len2);
 
 /// CRC-32 (ISO 3309, as used by PNG chunks and gzip), optionally chained
-/// via `seed`.
+/// via `seed`. Dispatches to a carry-less-multiply (PCLMULQDQ) folding
+/// kernel on CPUs that have one — snapshot loads checksum ~100 MB of
+/// mapped columns, where the table walk would dominate the reopen time.
+/// Set JEDULE_SIMD=scalar (or off/0) to force the portable path.
 std::uint32_t crc32(const std::uint8_t* data, std::size_t size,
                     std::uint32_t seed = 0);
+
+/// The portable slice-by-8 CRC-32 the dispatcher falls back to. Exposed so
+/// tests can pin the accelerated path against it bit-for-bit.
+std::uint32_t crc32_portable(const std::uint8_t* data, std::size_t size,
+                             std::uint32_t seed = 0);
 
 /// CRC-32 of the concatenation of two buffers from their individual CRCs
 /// (GF(2) matrix method); `len2` is the second buffer's length.

@@ -10,6 +10,8 @@ const CpuFeatures& cpu_features() {
 #if defined(__GNUC__) || defined(__clang__)
     __builtin_cpu_init();
     f.avx2 = __builtin_cpu_supports("avx2") != 0;
+    f.pclmul = __builtin_cpu_supports("pclmul") != 0 &&
+               __builtin_cpu_supports("sse4.1") != 0;
 #endif
 #elif defined(__aarch64__)
     f.neon = true;

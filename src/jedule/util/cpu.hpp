@@ -7,9 +7,10 @@
 namespace jedule::util {
 
 struct CpuFeatures {
-  bool sse2 = false;  ///< x86-64 baseline; always set there.
+  bool sse2 = false;    ///< x86-64 baseline; always set there.
   bool avx2 = false;
-  bool neon = false;  ///< AArch64 baseline; always set there.
+  bool pclmul = false;  ///< carry-less multiply (x86 PCLMULQDQ + SSE4.1)
+  bool neon = false;    ///< AArch64 baseline; always set there.
 };
 
 /// Features of the executing CPU.

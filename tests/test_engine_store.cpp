@@ -12,14 +12,19 @@
 #include <thread>
 #include <vector>
 
+#include <filesystem>
+
+#include "jedule/engine/events.hpp"
 #include "jedule/engine/options.hpp"
 #include "jedule/engine/render_service.hpp"
 #include "jedule/engine/session_state.hpp"
 #include "jedule/engine/store.hpp"
 #include "jedule/io/jedule_xml.hpp"
+#include "jedule/io/snapshot.hpp"
 #include "jedule/util/inflate.hpp"
 #include "jedule/model/builder.hpp"
 #include "jedule/render/deflate.hpp"
+#include "jedule/render/exporter.hpp"
 #include "jedule/util/checksum.hpp"
 #include "jedule/util/error.hpp"
 
@@ -89,7 +94,7 @@ TEST(ScheduleEntry, ParseEntrySniffsGzip) {
   const EntryPtr plain = parse_entry(xml, "trace.jed");
   const EntryPtr zipped = parse_entry(gz, "trace.jed.gz");
   EXPECT_EQ(plain->id, zipped->id);
-  EXPECT_EQ(zipped->schedule.tasks().size(), 8u);
+  EXPECT_EQ(zipped->schedule().tasks().size(), 8u);
 }
 
 TEST(ScheduleStore, DeduplicatesByContentHash) {
@@ -135,7 +140,7 @@ TEST(ScheduleStore, EvictsLeastRecentlyUsed) {
   EXPECT_NE(store.find(c->id), nullptr);
   EXPECT_EQ(store.stats().evictions, 1u);
   // The evicted entry stays usable through outstanding references.
-  EXPECT_EQ(b->schedule.tasks().size(), 4u);
+  EXPECT_EQ(b->schedule().tasks().size(), 4u);
 }
 
 TEST(ScheduleStore, TaskBudgetEvictsButAdmitsOversizedEntry) {
@@ -151,7 +156,7 @@ TEST(ScheduleStore, TaskBudgetEvictsButAdmitsOversizedEntry) {
   const auto big = store2.put(make_entry(sample_schedule(50, 0), "big"));
   // A single over-budget entry is still admitted.
   EXPECT_EQ(store2.stats().entries, 1u);
-  EXPECT_EQ(big.entry->schedule.tasks().size(), 50u);
+  EXPECT_EQ(big.entry->schedule().tasks().size(), 50u);
 }
 
 TEST(RenderService, CachesByContentAndOptions) {
@@ -338,6 +343,83 @@ TEST(RenderService, ConcurrentUploadAndRenderAcrossEntries) {
   EXPECT_EQ(mismatches.load(), 0);
   EXPECT_EQ(store.stats().entries, static_cast<std::size_t>(kSchedules));
   EXPECT_GE(store.stats().dedup_hits, 1u);
+}
+
+TEST(ScheduleEntry, AppendedEntryMatchesFreshIngestOnEveryExporter) {
+  // The acceptance bar for O(delta) append: an entry grown via
+  // append_entry must be indistinguishable — id, hashes, and every
+  // exporter's bytes at any thread count — from a fresh ingest of the
+  // same final schedule.
+  const EntryPtr base = make_entry(sample_schedule(16), "base");
+  const EntryPtr fresh = make_entry(sample_schedule(24), "fresh");
+  // Force the base's composites so the grown entry takes the
+  // append_composites extension path rather than a full resweep.
+  base->composites();
+
+  const auto events = events_from_tasks(fresh->schedule(), 16);
+  ASSERT_EQ(events.size(), 8u);
+  const EntryPtr grown = append_entry(base, events);
+
+  EXPECT_EQ(grown->id, fresh->id);
+  EXPECT_EQ(grown->content_hash, fresh->content_hash);
+  EXPECT_EQ(grown->task_count(), fresh->task_count());
+  EXPECT_EQ(io::write_schedule_xml(grown->schedule()),
+            io::write_schedule_xml(fresh->schedule()));
+
+  const auto names = render::ExporterRegistry::instance().exporter_names();
+  ASSERT_GE(names.size(), 5u);
+  for (const std::string& format : names) {
+    for (int threads : {1, 4}) {
+      auto render_with = [&](const EntryPtr& entry) {
+        render::RenderOptions options = small_options();
+        options.threads = threads;
+        options.style.show_composites = true;
+        options.task_index = &entry->index;
+        options.assume_validated = true;
+        const auto composites = entry->composites(threads);
+        options.composites = composites.get();
+        return render::render_to_bytes(entry->schedule(), options, format);
+      };
+      EXPECT_EQ(render_with(grown), render_with(fresh))
+          << format << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ScheduleEntry, SnapshotEntryStaysMappedUntilRendered) {
+  const EntryPtr source = make_entry(sample_schedule(64), "mem");
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "jedule_store_entry.jbin")
+          .string();
+  io::save_snapshot(source->arena(), source->index, path);
+
+  const EntryPtr loaded = load_entry(path);
+  EXPECT_EQ(loaded->id, source->id);
+  EXPECT_EQ(loaded->content_hash, source->content_hash);
+  EXPECT_EQ(loaded->task_count(), 64u);
+  EXPECT_EQ(loaded->cluster_count(), 2u);
+
+  // Before anything renders, the entry serves straight off the mapping.
+  const auto cold = loaded->resident();
+  EXPECT_GT(cold.mmap_bytes, 0u);
+
+  // Forcing the AoS materialization moves bytes onto the heap but keeps
+  // the mapped columns (and their identity) intact.
+  EXPECT_EQ(io::write_schedule_xml(loaded->schedule()),
+            io::write_schedule_xml(source->schedule()));
+  const auto warm = loaded->resident();
+  EXPECT_EQ(warm.mmap_bytes, cold.mmap_bytes);
+  EXPECT_GT(warm.heap_bytes, cold.heap_bytes);
+
+  // Store stats split resident bytes by backing, so /stats can report
+  // how much of the fleet is still zero-copy.
+  ScheduleStore store;
+  store.put(loaded);
+  store.put(make_entry(sample_schedule(8, 500.0), "heap-only"));
+  const auto stats = store.stats();
+  EXPECT_GE(stats.resident_mmap_bytes, cold.mmap_bytes);
+  EXPECT_GT(stats.resident_heap_bytes, 0u);
+  std::filesystem::remove(path);
 }
 
 TEST(SessionState, ViewsShareOneEntry) {

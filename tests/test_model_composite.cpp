@@ -5,6 +5,7 @@
 #include <set>
 
 #include "jedule/model/builder.hpp"
+#include "jedule/model/task_index.hpp"
 #include "jedule/util/rng.hpp"
 
 namespace jedule::model {
@@ -242,6 +243,98 @@ TEST_P(CompositeProperty, CoversExactlyMultiOccupiedRegions) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CompositeProperty, ::testing::Range(1, 9));
+
+// Differential: append_composites over any split/threads/filter must be
+// indistinguishable from resweeping the whole schedule — the acceptance
+// bar for the O(delta) live-trace path.
+void expect_same_composites(const std::vector<Composite>& got,
+                            const std::vector<Composite>& want,
+                            const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const Composite& g = got[i];
+    const Composite& w = want[i];
+    EXPECT_EQ(g.task.id(), w.task.id()) << label << " #" << i;
+    EXPECT_EQ(g.task.start_time(), w.task.start_time()) << label << " #" << i;
+    EXPECT_EQ(g.task.end_time(), w.task.end_time()) << label << " #" << i;
+    EXPECT_EQ(g.task.configurations().size(), w.task.configurations().size())
+        << label << " #" << i;
+    for (std::size_t c = 0;
+         c < g.task.configurations().size() &&
+         c < w.task.configurations().size();
+         ++c) {
+      EXPECT_EQ(g.task.configurations()[c].hosts,
+                w.task.configurations()[c].hosts)
+          << label << " #" << i;
+    }
+    EXPECT_EQ(g.member_ids, w.member_ids) << label << " #" << i;
+    EXPECT_EQ(g.member_types, w.member_types) << label << " #" << i;
+    EXPECT_EQ(g.member_indices, w.member_indices) << label << " #" << i;
+  }
+}
+
+class CompositeAppend : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompositeAppend, ExtensionMatchesFullResweep) {
+  util::Rng rng(static_cast<std::uint64_t>(1000 + GetParam()));
+  const int hosts = 6;
+  const int n = 24;
+  struct Spec {
+    std::string id, type;
+    double start, end;
+    int first, count;
+  };
+  std::vector<Spec> specs;
+  for (int i = 0; i < n; ++i) {
+    Spec s;
+    s.id = "t" + std::to_string(i);
+    s.type = i % 3 ? "computation" : "transfer";
+    s.start = rng.uniform(0, 50);
+    s.end = s.start + rng.uniform(1, 20);
+    s.first = static_cast<int>(rng.uniform_int(0, hosts - 1));
+    s.count = static_cast<int>(rng.uniform_int(1, hosts - s.first));
+    specs.push_back(std::move(s));
+  }
+  auto build = [&](std::size_t count) {
+    ScheduleBuilder builder;
+    builder.cluster(0, "c", hosts);
+    for (std::size_t i = 0; i < count; ++i) {
+      builder.task(specs[i].id, specs[i].type, specs[i].start, specs[i].end)
+          .on(0, specs[i].first, specs[i].count);
+    }
+    return builder.build();
+  };
+
+  const Schedule full = build(n);
+  const TaskIndex index(full);
+  const auto compute_only = [](const Task& t) {
+    return t.type() == "computation";
+  };
+
+  for (std::size_t split : {std::size_t{0}, std::size_t{1}, std::size_t{8},
+                            std::size_t{16}, std::size_t{23},
+                            std::size_t{24}}) {
+    const Schedule prefix = build(split);
+    for (int threads : {1, 3}) {
+      const std::string label = "split=" + std::to_string(split) +
+                                " threads=" + std::to_string(threads);
+      expect_same_composites(
+          append_composites(full, index,
+                            synthesize_composites(prefix, nullptr, threads),
+                            split, nullptr, threads),
+          synthesize_composites(full, nullptr, threads), label);
+      // Same under a participation filter (the predicate the schedulers
+      // use must thread through the cut logic unchanged).
+      expect_same_composites(
+          append_composites(full, index,
+                            synthesize_composites(prefix, compute_only),
+                            split, compute_only),
+          synthesize_composites(full, compute_only), label + " filtered");
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompositeAppend, ::testing::Range(1, 7));
 
 }  // namespace
 }  // namespace jedule::model

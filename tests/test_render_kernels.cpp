@@ -7,6 +7,7 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string_view>
 #include <vector>
 
@@ -245,6 +246,76 @@ TEST(RasterKernels, PngSadVariantsMatchScalar) {
     for (std::size_t i = 0; i < extremes.size(); i += 3) extremes[i] = 0xFF;
     EXPECT_EQ(k->png_sad(extremes.data(), extremes.size()),
               kernels::scalar().png_sad(extremes.data(), extremes.size()))
+        << k->name;
+  }
+}
+
+TEST(RasterKernels, MinMaxF64VariantsMatchScalar) {
+  util::Rng rng(123);
+  for (const kernels::Kernels* k : kernels::available()) {
+    for (std::size_t n = 1; n <= 67; ++n) {
+      std::vector<double> a(n), b(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        a[i] = rng.uniform(-1e6, 1e6);
+        b[i] = a[i] + rng.uniform(0.0, 1e3);
+      }
+      double lo_k = 0, hi_k = 0, lo_s = 0, hi_s = 0;
+      k->minmax_f64(a.data(), b.data(), n, &lo_k, &hi_k);
+      kernels::scalar().minmax_f64(a.data(), b.data(), n, &lo_s, &hi_s);
+      EXPECT_EQ(lo_k, lo_s) << k->name << " n=" << n;
+      EXPECT_EQ(hi_k, hi_s) << k->name << " n=" << n;
+    }
+    // Extremes at every lane position of a long run.
+    std::vector<double> a(4099, 1.0), b(4099, 2.0);
+    for (std::size_t pos = 0; pos < a.size(); pos += 257) {
+      a[pos] = -1e18;
+      b[pos] = 1e18;
+      double lo_k = 0, hi_k = 0, lo_s = 0, hi_s = 0;
+      k->minmax_f64(a.data(), b.data(), a.size(), &lo_k, &hi_k);
+      kernels::scalar().minmax_f64(a.data(), b.data(), a.size(), &lo_s,
+                                   &hi_s);
+      EXPECT_EQ(lo_k, lo_s) << k->name << " pos=" << pos;
+      EXPECT_EQ(hi_k, hi_s) << k->name << " pos=" << pos;
+      a[pos] = 1.0;
+      b[pos] = 2.0;
+    }
+  }
+}
+
+TEST(RasterKernels, FirstViolationVariantsMatchScalar) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (const kernels::Kernels* k : kernels::available()) {
+    // Clean columns: no violation at any length.
+    for (std::size_t n = 0; n <= 67; ++n) {
+      std::vector<double> start(n), end(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        start[i] = static_cast<double>(i);
+        end[i] = static_cast<double>(i) + 0.5;
+      }
+      EXPECT_EQ(k->first_violation(start.data(), end.data(), n), n)
+          << k->name << " n=" << n;
+    }
+    // A violation planted at every position of a lane-straddling run,
+    // both as end<start and as NaN (which the >= comparison must catch).
+    const std::size_t n = 67;
+    for (std::size_t pos = 0; pos < n; ++pos) {
+      std::vector<double> start(n, 1.0), end(n, 2.0);
+      end[pos] = 0.5;
+      EXPECT_EQ(k->first_violation(start.data(), end.data(), n), pos)
+          << k->name << " pos=" << pos;
+      end[pos] = nan;
+      EXPECT_EQ(k->first_violation(start.data(), end.data(), n), pos)
+          << k->name << " nan end pos=" << pos;
+      end[pos] = 2.0;
+      start[pos] = nan;
+      EXPECT_EQ(k->first_violation(start.data(), end.data(), n), pos)
+          << k->name << " nan start pos=" << pos;
+    }
+    // Two violations: the *first* index must win in every variant.
+    std::vector<double> start(40, 0.0), end(40, 1.0);
+    end[7] = -1.0;
+    end[31] = -1.0;
+    EXPECT_EQ(k->first_violation(start.data(), end.data(), 40), 7u)
         << k->name;
   }
 }

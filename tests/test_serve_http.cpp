@@ -125,11 +125,13 @@ RawResponse parse_response(const std::string& raw) {
   return resp;
 }
 
-std::string format_request(const std::string& method,
-                           const std::string& target,
-                           const std::string& body = "") {
+std::string format_request(
+    const std::string& method, const std::string& target,
+    const std::string& body = "",
+    const std::vector<std::string>& extra_headers = {}) {
   std::string req = method + " " + target + " HTTP/1.1\r\n";
   req += "Host: 127.0.0.1\r\n";
+  for (const auto& header : extra_headers) req += header + "\r\n";
   if (!body.empty() || method == "POST") {
     req += "Content-Length: " + std::to_string(body.size()) + "\r\n";
   }
@@ -140,10 +142,11 @@ std::string format_request(const std::string& method,
 
 /// One full exchange against the server.
 RawResponse fetch(int port, const std::string& method,
-                  const std::string& target, const std::string& body = "") {
+                  const std::string& target, const std::string& body = "",
+                  const std::vector<std::string>& extra_headers = {}) {
   Client client(port);
   EXPECT_TRUE(client.connected());
-  client.send(format_request(method, target, body));
+  client.send(format_request(method, target, body, extra_headers));
   return parse_response(client.read_to_eof());
 }
 
@@ -187,7 +190,8 @@ TEST_F(ServeHttp, HealthAndStats) {
             std::string::npos);
   for (const char* key :
        {"\"store\"", "\"render\"", "\"server\"", "\"artifact_hits\"",
-        "\"rejected_429\"", "\"queue_depth\""}) {
+        "\"rejected_429\"", "\"queue_depth\"", "\"resident_mmap_bytes\"",
+        "\"resident_heap_bytes\"", "\"snapshot\"", "\"not_modified_304\""}) {
     EXPECT_NE(stats.body.find(key), std::string::npos) << key;
   }
 }
@@ -248,6 +252,143 @@ TEST_F(ServeHttp, ReuploadDeduplicatesByContentHash) {
   EXPECT_NE(fetch(server_->port(), "GET", "/stats")
                 .body.find("\"dedup_hits\":1"),
             std::string::npos);
+}
+
+TEST_F(ServeHttp, EtagEnables304Revalidation) {
+  const auto upload = fetch(server_->port(), "POST", "/schedules",
+                            sample_xml());
+  ASSERT_EQ(upload.status, 201);
+  const std::string id = id_of(upload);
+  const std::string target = "/schedules/" + id + "/render.svg?width=320";
+
+  const auto full = fetch(server_->port(), "GET", target);
+  ASSERT_EQ(full.status, 200);
+  ASSERT_NE(full.headers.count("etag"), 0u);
+  const std::string etag = full.headers.at("etag");
+  EXPECT_EQ(etag.front(), '"');
+  EXPECT_EQ(etag.back(), '"');
+
+  // A matching validator short-circuits to an empty 304 carrying the tag.
+  const auto cached = fetch(server_->port(), "GET", target, "",
+                            {"If-None-Match: " + etag});
+  EXPECT_EQ(cached.status, 304);
+  EXPECT_TRUE(cached.body.empty());
+  EXPECT_EQ(cached.headers.at("etag"), etag);
+  // Weak-comparison spellings and the wildcard revalidate too.
+  EXPECT_EQ(fetch(server_->port(), "GET", target, "",
+                  {"If-None-Match: W/" + etag})
+                .status,
+            304);
+  EXPECT_EQ(fetch(server_->port(), "GET", target, "",
+                  {"If-None-Match: \"nope\", " + etag})
+                .status,
+            304);
+  EXPECT_EQ(fetch(server_->port(), "GET", target, "", {"If-None-Match: *"})
+                .status,
+            304);
+  // A stale validator gets the full body again.
+  EXPECT_EQ(fetch(server_->port(), "GET", target, "",
+                  {"If-None-Match: \"0000000000000000-0-svg\""})
+                .status,
+            200);
+  // The tag covers the option digest: different options, different tag.
+  const auto wider =
+      fetch(server_->port(), "GET",
+            "/schedules/" + id + "/render.svg?width=400");
+  EXPECT_EQ(wider.status, 200);
+  EXPECT_NE(wider.headers.at("etag"), etag);
+
+  // Tiles carry validators as well.
+  const std::string tile_target = "/schedules/" + id + "/tile?x=0&zoom=1";
+  const auto tile = fetch(server_->port(), "GET", tile_target);
+  ASSERT_EQ(tile.status, 200);
+  const std::string tile_etag = tile.headers.at("etag");
+  EXPECT_NE(tile_etag, etag);
+  EXPECT_EQ(fetch(server_->port(), "GET", tile_target, "",
+                  {"If-None-Match: " + tile_etag})
+                .status,
+            304);
+
+  const auto stats = fetch(server_->port(), "GET", "/stats");
+  EXPECT_NE(stats.body.find("\"not_modified_304\":5"), std::string::npos)
+      << stats.body;
+}
+
+TEST_F(ServeHttp, PostEventsGrowsTheScheduleAsANewEntry) {
+  const auto upload = fetch(server_->port(), "POST", "/schedules",
+                            sample_xml());
+  ASSERT_EQ(upload.status, 201);
+  const std::string base = id_of(upload);
+
+  // Two more tasks in the sample_schedule formula, as event lines (the
+  // CSV tail grammar — comments and header rows are tolerated).
+  const std::string events =
+      "# tail\n"
+      "task_id,type,start,end,allocation\n"
+      "12,transfer,12,14,0:0-1\n"
+      "13,computation,13,15,1:1-2\n";
+  const auto grown = fetch(server_->port(), "POST",
+                           "/schedules/" + base + "/events", events);
+  ASSERT_EQ(grown.status, 201) << grown.body;
+  const std::string grown_id = id_of(grown);
+  EXPECT_NE(grown_id, base);
+  EXPECT_EQ(grown.headers.at("location"), "/schedules/" + grown_id);
+  EXPECT_NE(grown.body.find("\"tasks\":14"), std::string::npos) << grown.body;
+  EXPECT_NE(grown.body.find("\"appended\":2"), std::string::npos);
+
+  // The base entry stays addressable (in-flight renders keep working)...
+  EXPECT_EQ(fetch(server_->port(), "GET", "/schedules/" + base).status, 200);
+  // ...and the grown entry is content-addressed: uploading the full
+  // 14-task schedule dedups against it.
+  model::ScheduleBuilder builder;
+  builder.cluster(0, "c0", 8).cluster(1, "c1", 4);
+  for (int i = 0; i < 14; ++i) {
+    builder
+        .task(std::to_string(i), i % 2 ? "computation" : "transfer",
+              static_cast<double>(i), i + 2.0)
+        .on(i % 2, i % 3, 2);
+  }
+  const auto fresh = fetch(server_->port(), "POST", "/schedules",
+                           io::write_schedule_xml(builder.build()));
+  EXPECT_EQ(fresh.status, 200);
+  EXPECT_EQ(id_of(fresh), grown_id);
+  EXPECT_NE(fresh.body.find("\"deduplicated\":true"), std::string::npos);
+
+  // Replaying the same delta is idempotent: same grown id, deduplicated.
+  const auto replay = fetch(server_->port(), "POST",
+                            "/schedules/" + base + "/events", events);
+  EXPECT_EQ(replay.status, 200);
+  EXPECT_EQ(id_of(replay), grown_id);
+  EXPECT_NE(replay.body.find("\"deduplicated\":true"), std::string::npos);
+
+  // Error mapping: unknown id, empty delta, unparseable delta, invalid
+  // events and a wrong method never crash the worker.
+  EXPECT_EQ(fetch(server_->port(), "POST",
+                  "/schedules/0000000000000000/events", events)
+                .status,
+            404);
+  EXPECT_EQ(fetch(server_->port(), "POST",
+                  "/schedules/" + base + "/events", "")
+                .status,
+            400);
+  EXPECT_EQ(fetch(server_->port(), "POST",
+                  "/schedules/" + base + "/events", "one,two,three\n")
+                .status,
+            415);
+  // Duplicate task id: parses fine, fails columnar validation.
+  EXPECT_EQ(fetch(server_->port(), "POST",
+                  "/schedules/" + base + "/events", "5,w,1,2,0:0\n")
+                .status,
+            400);
+  // Host range off the end of cluster 1 (4 hosts).
+  EXPECT_EQ(fetch(server_->port(), "POST",
+                  "/schedules/" + base + "/events", "x,w,1,2,1:3-6\n")
+                .status,
+            400);
+  EXPECT_EQ(fetch(server_->port(), "GET",
+                  "/schedules/" + base + "/events")
+                .status,
+            405);
 }
 
 TEST_F(ServeHttp, ConcurrentClientsShareOneRender) {

@@ -1,0 +1,87 @@
+#include "jedule/util/checksum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "jedule/util/rng.hpp"
+
+namespace jedule {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(util::Rng* rng, std::size_t size) {
+  std::vector<std::uint8_t> out(size);
+  for (auto& b : out) {
+    b = static_cast<std::uint8_t>(rng->uniform_int(0, 255));
+  }
+  return out;
+}
+
+// crc32() may take a carry-less-multiply fast path on capable CPUs; it must
+// be bit-identical to the portable slice-by-8 walk for every size class the
+// folding kernel branches on (< 64, 16-byte multiples, ragged tails).
+TEST(Checksum, DispatchedCrc32MatchesPortableAcrossSizes) {
+  util::Rng rng(20240807);
+  for (std::size_t size = 0; size <= 300; ++size) {
+    const auto data = random_bytes(&rng, size);
+    EXPECT_EQ(util::crc32(data.data(), size),
+              util::crc32_portable(data.data(), size))
+        << "size " << size;
+  }
+}
+
+TEST(Checksum, DispatchedCrc32MatchesPortableOnLargeUnalignedBuffers) {
+  util::Rng rng(7);
+  const auto data = random_bytes(&rng, (1 << 20) + 37);
+  for (std::size_t offset : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                             std::size_t{15}, std::size_t{63}}) {
+    for (std::size_t size :
+         {std::size_t{64}, std::size_t{65}, std::size_t{1024},
+          std::size_t{4096} + 17, data.size() - offset}) {
+      EXPECT_EQ(util::crc32(data.data() + offset, size),
+                util::crc32_portable(data.data() + offset, size))
+          << "offset " << offset << " size " << size;
+    }
+  }
+}
+
+TEST(Checksum, DispatchedCrc32ChainsSeedsLikePortable) {
+  util::Rng rng(99);
+  const auto data = random_bytes(&rng, 100000);
+  // Chained calls (arbitrary split points, non-zero seeds) must agree with
+  // one portable pass over the whole buffer.
+  const std::uint32_t whole = util::crc32_portable(data.data(), data.size());
+  std::uint32_t chained = 0;
+  std::size_t done = 0;
+  for (std::size_t chunk : {std::size_t{1}, std::size_t{63}, std::size_t{64},
+                            std::size_t{4099}, std::size_t{50000}}) {
+    chained = util::crc32(data.data() + done, chunk, chained);
+    done += chunk;
+  }
+  chained = util::crc32(data.data() + done, data.size() - done, chained);
+  EXPECT_EQ(chained, whole);
+
+  EXPECT_EQ(util::crc32(data.data(), data.size(), 0xDEADBEEFu),
+            util::crc32_portable(data.data(), data.size(), 0xDEADBEEFu));
+}
+
+TEST(Checksum, ParallelCrc32MatchesSerial) {
+  util::Rng rng(3);
+  const auto data = random_bytes(&rng, (1 << 19) + 11);
+  const std::uint32_t serial = util::crc32(data.data(), data.size());
+  for (int threads : {1, 2, 4, 7}) {
+    EXPECT_EQ(util::crc32_parallel(data.data(), data.size(), threads), serial)
+        << "threads " << threads;
+  }
+}
+
+TEST(Checksum, Crc32KnownVectors) {
+  // "123456789" -> 0xCBF43926 (the CRC-32/ISO-HDLC check value).
+  const std::uint8_t check[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(util::crc32(check, sizeof(check)), 0xCBF43926u);
+  EXPECT_EQ(util::crc32(nullptr, 0), 0u);
+}
+
+}  // namespace
+}  // namespace jedule
