@@ -19,6 +19,7 @@
 #include "jedule/engine/render_service.hpp"
 #include "jedule/engine/store.hpp"
 #include "jedule/interactive/session.hpp"
+#include "jedule/io/ingest.hpp"
 #include "jedule/io/jedule_xml.hpp"
 #include "jedule/io/snapshot.hpp"
 #include "jedule/model/builder.hpp"
@@ -707,6 +708,16 @@ void report() {
   using namespace jedule::bench;
   report_header("scale", "'Jedule can handle big data sets ... more than "
                          "200,000 individual tasks' (Sec. VI)");
+#ifndef NDEBUG
+  // Debug timings are not comparable to the committed numbers; refuse to
+  // emit rows that could be mistaken for them.
+  report_row("library_build_type", "debug");
+  report_row("report rows and checks",
+             "refused (debug build; rerun with a release configuration)");
+  report_footer();
+  return;
+#endif
+  report_row("library_build_type", "release");
   const int kTasks = 250000;
   util::Stopwatch watch;
   const auto schedule = big_schedule(kTasks);
@@ -895,6 +906,64 @@ void report() {
                  comp_legacy.empty() && comp_dom.empty() && comp_pull.empty());
     report_check("1M-task ingest >= 5x vs pre-PR DOM path",
                  ingest_legacy / ingest_pull >= 5.0);
+  }
+
+  // Parallel chunked ingest (DESIGN.md §4i): the same 1M-task document
+  // through the boundary-scan + worker-chunk reader at 1 vs 8 threads,
+  // plus a gzip input to show decompression overlapping the parse. The
+  // outputs must serialize back to the exact input bytes at every thread
+  // count.
+  {
+    const auto& mxml = million_xml();
+    io::IngestOptions opt;
+    opt.threads = 1;
+    watch.reset();
+    io::TextSource serial_src(std::string_view(mxml), nullptr);
+    const auto via_serial = io::read_schedule_xml_chunked(
+        serial_src, opt, nullptr);
+    const double chunked_1t = watch.seconds();
+    report_row("1M chunked ingest (1 thread)", fmt(chunked_1t, 2) + " s");
+
+    opt.threads = kBenchThreads;
+    io::IngestStats stats;
+    watch.reset();
+    io::TextSource parallel_src(std::string_view(mxml), nullptr);
+    const auto via_parallel =
+        io::read_schedule_xml_chunked(parallel_src, opt, &stats);
+    const double chunked_8t = watch.seconds();
+    report_row("1M chunked ingest (" + std::to_string(kBenchThreads) +
+                   " threads)",
+               fmt(chunked_8t, 2) + " s (" + fmt(chunked_1t / chunked_8t, 1) +
+                   "x, " + std::to_string(stats.chunks) + " chunks)");
+    report_check("chunked ingest is byte-identical at every thread count",
+                 io::write_schedule_xml(via_serial) == mxml &&
+                     io::write_schedule_xml(via_parallel) == mxml);
+    if (util::hardware_threads() >= 2) {
+      report_check("1M-task chunked ingest >= 3x with " +
+                       std::to_string(kBenchThreads) + " threads",
+                   chunked_1t / chunked_8t >= 3.0);
+    } else {
+      report_row("1M-task chunked ingest >= 3x with " +
+                     std::to_string(kBenchThreads) + " threads",
+                 "skipped (single-core host)");
+    }
+
+    const auto zipped = render::gzip_compress(
+        reinterpret_cast<const std::uint8_t*>(mxml.data()), mxml.size(),
+        render::DeflateStrategy::dynamic, kBenchThreads);
+    watch.reset();
+    io::TextSource gz_src(
+        std::string_view(reinterpret_cast<const char*>(zipped.data()),
+                         zipped.size()),
+        nullptr);
+    const auto via_gz = io::read_schedule_xml_chunked(gz_src, opt, nullptr);
+    const double gz_s = watch.seconds();
+    report_row("1M chunked ingest from gzip (inflate overlapped)",
+               fmt(gz_s, 2) + " s (" +
+                   std::to_string(zipped.size() / 1024 / 1024) +
+                   " MiB compressed)");
+    report_check("gzip-pipelined ingest matches the plain parse",
+                 io::write_schedule_xml(via_gz) == mxml);
   }
 
   // Interactive frames on the 1M-task schedule: full relayout (the pre-PR
@@ -1393,6 +1462,25 @@ void BM_IngestPull(benchmark::State& state) {
                           static_cast<std::int64_t>(xml.size()));
 }
 BENCHMARK(BM_IngestPull)->Unit(benchmark::kMillisecond);
+
+// The chunked parallel reader on the same document; arg = worker threads.
+// The 1-thread row is the serial baseline the speedup target measures
+// against, and every row parses to the identical schedule.
+void BM_IngestParallel(benchmark::State& state) {
+  const auto& xml = million_xml();
+  io::IngestOptions opt;
+  opt.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    io::TextSource src{std::string_view(xml), nullptr};
+    benchmark::DoNotOptimize(io::read_schedule_xml_chunked(src, opt, nullptr));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(xml.size()));
+}
+BENCHMARK(BM_IngestParallel)
+    ->Arg(1)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 // Raster rows recorded in BENCH_scale.json: arg 0 runs the reconstructed
 // pre-PR per-pixel path, arg 1 the span/SIMD path (the label names the

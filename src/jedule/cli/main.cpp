@@ -97,9 +97,12 @@ std::string usage() {
       "  --image-format NAME force the output format: " +
       util::join(registry.exporter_names(), " ") +
       "\n"
-      "  --threads N         worker threads (default: JEDULE_THREADS env,\n"
-      "                      else hardware concurrency); output is identical\n"
-      "                      for every thread count\n"
+      "  --threads N         worker threads for parsing *and* rendering\n"
+      "                      (default: JEDULE_THREADS env, else hardware\n"
+      "                      concurrency); output is identical for every\n"
+      "                      thread count\n"
+      "  --ingest-stats      print a parse summary to stderr (time, MB/s,\n"
+      "                      threads, chunks, gzip/mmap)\n"
       "  --verbose           log progress to stderr\n"
       "\n"
       "batch options: render options plus\n"
@@ -141,14 +144,37 @@ std::string usage() {
   return u;
 }
 
+/// --threads N feeds the chunked parallel parse (0 = JEDULE_THREADS env,
+/// else hardware); the loaded schedule is identical at any thread count.
+io::IngestOptions ingest_options_from_args(const Args& args) {
+  io::IngestOptions opt;
+  if (const auto t = args.value("threads")) {
+    opt.threads = engine::parse_positive_int(*t, "threads");
+  }
+  return opt;
+}
+
+/// Shared schedule-loading path of the single-input commands: mmap-backed
+/// chunked ingest, with the --ingest-stats one-liner on stderr.
+model::Schedule load_schedule_from_args(const Args& args,
+                                        const std::string& path) {
+  io::IngestStats stats;
+  model::Schedule schedule = io::load_schedule(
+      path, args.value_or("format", ""), ingest_options_from_args(args),
+      &stats);
+  if (args.has("ingest-stats")) {
+    std::cerr << io::ingest_summary(stats) << "\n";
+  }
+  return schedule;
+}
+
 int cmd_render(const Args& args) {
   if (args.positional().size() != 2) {
     throw ArgumentError("render: expected exactly one schedule file");
   }
   auto out = args.value("out");
   if (!out) throw ArgumentError("render: --out FILE is required");
-  const auto schedule =
-      io::load_schedule(args.positional()[1], args.value_or("format", ""));
+  const auto schedule = load_schedule_from_args(args, args.positional()[1]);
   JED_INFO() << "loaded " << schedule.tasks().size() << " tasks from "
              << args.positional()[1];
   auto options = options_from_args(args);
@@ -215,10 +241,20 @@ int cmd_batch(const Args& args) {
                                              static_cast<std::size_t>(threads)));
   options.threads = std::max(1, threads / file_workers);
 
+  // Per-file parses stay chunked too, with the per-render thread share.
+  io::IngestOptions ingest_opt = ingest_options_from_args(args);
+  ingest_opt.threads = options.threads;
+  const bool ingest_stats = args.has("ingest-stats");
+
   std::vector<std::string> errors(inputs.size());
   util::parallel_for(inputs.size(), file_workers, [&](std::size_t i) {
     try {
-      const auto schedule = io::load_schedule(inputs[i], parser_format);
+      io::IngestStats stats;
+      const auto schedule =
+          io::load_schedule(inputs[i], parser_format, ingest_opt, &stats);
+      if (ingest_stats) {
+        std::cerr << inputs[i] + ": " + io::ingest_summary(stats) + "\n";
+      }
       render::RenderOptions file_options = options;
       std::optional<model::TaskIndex> index;
       if (file_options.style.time_window) {
@@ -340,7 +376,11 @@ int cmd_snapshot(const Args& args) {
   // .jbin input round-trips (load mmapped, rewrite) without ever
   // materializing the AoS schedule.
   const engine::EntryPtr entry =
-      engine::load_entry(args.positional()[1], args.value_or("format", ""));
+      engine::load_entry(args.positional()[1], args.value_or("format", ""),
+                         ingest_options_from_args(args));
+  if (args.has("ingest-stats") && !entry->ingest.format.empty()) {
+    std::cerr << io::ingest_summary(entry->ingest) << "\n";
+  }
   io::save_snapshot(entry->arena(), entry->index, *out);
   std::cout << "wrote " << *out << " ("
             << std::filesystem::file_size(*out) << " bytes, "
@@ -352,8 +392,7 @@ int cmd_info(const Args& args) {
   if (args.positional().size() != 2) {
     throw ArgumentError("info: expected exactly one schedule file");
   }
-  const auto schedule =
-      io::load_schedule(args.positional()[1], args.value_or("format", ""));
+  const auto schedule = load_schedule_from_args(args, args.positional()[1]);
   const auto stats = model::compute_stats(schedule);
   std::cout << "clusters:    " << schedule.clusters().size() << "\n";
   for (const auto& c : schedule.clusters()) {
@@ -386,8 +425,7 @@ int cmd_convert(const Args& args) {
   }
   auto out = args.value("out");
   if (!out) throw ArgumentError("convert: --out FILE is required");
-  const auto schedule =
-      io::load_schedule(args.positional()[1], args.value_or("format", ""));
+  const auto schedule = load_schedule_from_args(args, args.positional()[1]);
   if (util::ends_with(*out, ".csv")) {
     io::save_schedule_csv(schedule, *out);
   } else if (util::ends_with(*out, ".xml") ||
@@ -405,8 +443,7 @@ int cmd_profile(const Args& args) {
   }
   auto out = args.value("out");
   if (!out) throw ArgumentError("profile: --out FILE is required");
-  const auto schedule =
-      io::load_schedule(args.positional()[1], args.value_or("format", ""));
+  const auto schedule = load_schedule_from_args(args, args.positional()[1]);
   render::ProfileStyle style;
   if (auto w = args.value("width")) {
     auto v = util::parse_int(*w);
@@ -548,7 +585,7 @@ int run(int argc, char** argv) {
       "out-dir",   "ext",           "image-format", "lod", "frame-stats",
       "host",      "port",          "queue",      "deadline-ms",
       "store-entries", "cache-mb",  "follow",     "poll-ms",
-      "quiet-polls"};
+      "quiet-polls", "ingest-stats"};
 
   Args args(argc - 1, argv + 1, value_flags);
   if (args.has("verbose")) util::set_log_level(util::LogLevel::kInfo);

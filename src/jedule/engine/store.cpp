@@ -1,5 +1,6 @@
 #include "jedule/engine/store.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "jedule/io/file.hpp"
@@ -45,11 +46,13 @@ std::size_t estimate_schedule_bytes(const model::Schedule& s) {
 }  // namespace
 
 ScheduleEntry::ScheduleEntry(model::Schedule schedule_in,
-                             std::string source_in)
-    : source(std::move(source_in)) {
+                             std::string source_in, io::IngestStats ingest_in)
+    : source(std::move(source_in)), ingest(std::move(ingest_in)) {
   schedule_ = std::make_shared<const model::Schedule>(
       validated(std::move(schedule_in)));
-  index = model::TaskIndex(*schedule_);
+  // The parse's worker count also sizes the index build: per-cluster
+  // segments sort concurrently, output identical at any thread count.
+  index = model::TaskIndex(*schedule_, std::max(1, ingest.threads));
   content_hash = index.content_hash();
   id = hex_id(content_hash);
   if (const auto range = index.time_range()) full_range = *range;
@@ -154,24 +157,30 @@ ScheduleEntry::Resident ScheduleEntry::resident() const {
   return r;
 }
 
-EntryPtr make_entry(model::Schedule schedule, std::string source) {
-  return std::make_shared<const ScheduleEntry>(std::move(schedule),
-                                               std::move(source));
+EntryPtr make_entry(model::Schedule schedule, std::string source,
+                    io::IngestStats ingest) {
+  return std::make_shared<const ScheduleEntry>(
+      std::move(schedule), std::move(source), std::move(ingest));
 }
 
 EntryPtr parse_entry(std::string content, const std::string& name_hint,
-                     const std::string& format) {
-  return make_entry(io::parse_schedule(std::move(content), name_hint, format),
-                    name_hint);
+                     const std::string& format, const io::IngestOptions& opt) {
+  io::IngestStats stats;
+  model::Schedule schedule =
+      io::parse_schedule(std::move(content), name_hint, format, opt, &stats);
+  return make_entry(std::move(schedule), name_hint, std::move(stats));
 }
 
-EntryPtr load_entry(const std::string& path, const std::string& format) {
+EntryPtr load_entry(const std::string& path, const std::string& format,
+                    const io::IngestOptions& opt) {
   if ((format.empty() && util::ends_with(path, ".jbin")) ||
       format == "jbin") {
     return std::make_shared<const ScheduleEntry>(io::load_snapshot(path),
                                                  path);
   }
-  return make_entry(io::load_schedule(path, format), path);
+  io::IngestStats stats;
+  model::Schedule schedule = io::load_schedule(path, format, opt, &stats);
+  return make_entry(std::move(schedule), path, std::move(stats));
 }
 
 EntryPtr append_entry(const EntryPtr& base,
@@ -235,6 +244,7 @@ ScheduleStore::Stats ScheduleStore::stats() const {
     const ScheduleEntry::Resident r = slot.entry->resident();
     s.resident_mmap_bytes += r.mmap_bytes;
     s.resident_heap_bytes += r.heap_bytes;
+    s.ingest_mapped_bytes += slot.entry->ingest.mapped_bytes;
   }
   return s;
 }

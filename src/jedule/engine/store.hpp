@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "jedule/io/ingest.hpp"
 #include "jedule/io/snapshot.hpp"
 #include "jedule/model/arena.hpp"
 #include "jedule/model/composite.hpp"
@@ -43,8 +44,11 @@ namespace jedule::engine {
 /// rebuild the same way. The identity surface (id, content_hash, index,
 /// full_range) is always eager.
 struct ScheduleEntry {
-  /// AoS ingest (parser output): validates, indexes, hashes.
-  ScheduleEntry(model::Schedule schedule_in, std::string source_in);
+  /// AoS ingest (parser output): validates, indexes, hashes. `ingest_in`
+  /// records what the parse did (threads, chunks, gzip, mapped input);
+  /// its thread count also drives the parallel TaskIndex build.
+  ScheduleEntry(model::Schedule schedule_in, std::string source_in,
+                io::IngestStats ingest_in = {});
 
   /// Snapshot ingest: adopts the loaded (possibly mmapped) columns and
   /// prebuilt index; runs the columnar semantic validation, never the
@@ -60,6 +64,9 @@ struct ScheduleEntry {
   std::string id;
   std::uint64_t content_hash = 0;
   std::string source;  // originating path / upload name hint (may be empty)
+  /// How this entry was ingested (io::IngestStats; default-empty for
+  /// snapshot and append entries, which never ran a text parse).
+  io::IngestStats ingest;
   model::TaskIndex index;
   model::TimeRange full_range{0, 1};  // {0, 1} for an empty schedule
 
@@ -109,17 +116,23 @@ using EntryPtr = std::shared_ptr<const ScheduleEntry>;
 
 /// Wraps an in-memory schedule: validates, builds the index, hashes.
 /// Throws ValidationError on an invalid schedule.
-EntryPtr make_entry(model::Schedule schedule, std::string source = "");
+EntryPtr make_entry(model::Schedule schedule, std::string source = "",
+                    io::IngestStats ingest = {});
 
 /// Parses in-memory trace bytes (gzip-sniffed, io::parse_schedule) into an
-/// entry — the `jedule serve` upload path.
+/// entry — the `jedule serve` upload path. `opt` drives the chunked
+/// parallel parse (0 threads = JEDULE_THREADS / hardware); the entry is
+/// bit-identical at any thread count.
 EntryPtr parse_entry(std::string content, const std::string& name_hint = "",
-                     const std::string& format = "");
+                     const std::string& format = "",
+                     const io::IngestOptions& opt = {});
 
 /// Loads a schedule file into an entry — the CLI / Session path. `.jbin`
 /// snapshots take the zero-copy route: the file is mmapped and admitted
 /// as columns + prebuilt index with no parse and no AoS materialization.
-EntryPtr load_entry(const std::string& path, const std::string& format = "");
+/// Text formats memory-map the input and parse chunked per `opt`.
+EntryPtr load_entry(const std::string& path, const std::string& format = "",
+                    const io::IngestOptions& opt = {});
 
 /// Appends live-trace events to an existing entry, producing a new entry
 /// (entries are immutable; the new id reflects the new content hash).
@@ -156,6 +169,10 @@ class ScheduleStore {
     /// ScheduleEntry::resident).
     std::size_t resident_mmap_bytes = 0;
     std::size_t resident_heap_bytes = 0;
+    /// Bytes of memory-mapped *input files* across stored entries (the
+    /// ingest-time mapping; freed once parsing finished, reported for
+    /// observability of the mmap ingest path).
+    std::size_t ingest_mapped_bytes = 0;
     std::uint64_t puts = 0;
     std::uint64_t dedup_hits = 0;
     std::uint64_t evictions = 0;

@@ -1,6 +1,8 @@
 #include "jedule/io/csv.hpp"
 
 #include <algorithm>
+#include <array>
+#include <deque>
 
 #include "jedule/io/file.hpp"
 #include "jedule/util/error.hpp"
@@ -54,7 +56,7 @@ Configuration parse_alloc(std::string_view spec, long line) {
 
 }  // namespace
 
-model::Schedule read_schedule_csv(const std::string& csv_text) {
+model::Schedule read_schedule_csv(std::string_view csv_text) {
   Schedule schedule;
   bool have_clusters = false;
   bool have_header = false;
@@ -122,6 +124,186 @@ model::Schedule read_schedule_csv(const std::string& csv_text) {
   for (auto& t : tasks) schedule.add_task(std::move(t));
   schedule.validate();
   return schedule;
+}
+
+namespace {
+
+// Result of one worker chunk of data lines: the tasks in file order plus
+// the chunk-local max host index (for the inferred default cluster).
+struct CsvChunk {
+  std::vector<Task> tasks;
+  int max_host = -1;
+};
+
+// Parses the data lines of `chunk` (complete lines; every chunk except
+// possibly the last ends with '\n'), replicating the serial reader's line
+// handling exactly. Line numbers are irrelevant here: any ParseError makes
+// the caller rerun the serial parse, which re-derives the exact serial
+// error. A directive line is legal input the chunked path cannot order
+// correctly, so it bails through the same ParseError channel.
+void parse_csv_chunk(std::string_view chunk, CsvChunk* out) {
+  TypeInternCache types;
+  std::size_t pos = 0;
+  while (pos < chunk.size()) {
+    const std::size_t nl = chunk.find('\n', pos);
+    const std::string_view seg =
+        nl == std::string_view::npos ? chunk.substr(pos)
+                                     : chunk.substr(pos, nl - pos);
+    pos = nl == std::string_view::npos ? chunk.size() : nl + 1;
+
+    const auto line = util::trim(seg);
+    if (line.empty() || line[0] == '#') continue;
+    if (line[0] == '!') {
+      throw ParseError("directive after header needs the serial reader");
+    }
+    std::array<std::string_view, 5> f;
+    std::size_t n = 0;
+    std::size_t start = 0;
+    bool overflow = false;
+    for (std::size_t i = 0; i <= line.size(); ++i) {
+      if (i == line.size() || line[i] == ',') {
+        if (n == 5) {
+          overflow = true;
+          break;
+        }
+        f[n++] = line.substr(start, i - start);
+        start = i + 1;
+      }
+    }
+    if (overflow || n != 5) throw ParseError("expected 5 fields");
+    const auto start_t = util::parse_double(f[2]);
+    const auto end_t = util::parse_double(f[3]);
+    if (!start_t || !end_t) throw ParseError("bad start/end time");
+    Task t;
+    t.set_id(std::string(f[0]));
+    t.set_interned_type(types.intern(f[1]));
+    t.set_times(*start_t, *end_t);
+    const std::string_view allocs = f[4];
+    std::size_t a = 0;
+    for (std::size_t i = 0; i <= allocs.size(); ++i) {
+      if (i == allocs.size() || allocs[i] == '|') {
+        Configuration cfg = parse_alloc(allocs.substr(a, i - a), 0);
+        for (const auto& r : cfg.hosts) {
+          out->max_host = std::max(out->max_host, r.start + r.nb - 1);
+        }
+        t.add_configuration(std::move(cfg));
+        a = i + 1;
+      }
+    }
+    out->tasks.push_back(std::move(t));
+  }
+}
+
+}  // namespace
+
+model::Schedule read_schedule_csv_chunked(TextSource& src,
+                                          const IngestOptions& opt,
+                                          IngestStats* stats) {
+  const int threads = std::max(1, opt.threads);
+  if (threads <= 1) return read_schedule_csv(src.all());
+  if (!src.gzip()) {
+    const TextSource::View head = src.wait_for(0);
+    if (head.complete && head.size < opt.min_parallel_bytes) {
+      return read_schedule_csv(src.all());
+    }
+  }
+  try {
+    LineScanner scan(src);
+    Schedule schedule;
+    bool have_clusters = false;
+
+    // Serial pre-pass, identical to the serial reader: comments and
+    // directives up to and including the header line, in file order.
+    long line_no = 0;
+    std::size_t pos = 0;
+    std::size_t data_begin = LineScanner::npos;
+    while (true) {
+      const std::size_t nl = scan.find_newline(pos);
+      const std::size_t line_end = nl == LineScanner::npos ? scan.size() : nl;
+      const std::size_t next =
+          nl == LineScanner::npos ? LineScanner::npos : nl + 1;
+      ++line_no;
+      const auto line = util::trim(scan.slice(pos, line_end));
+      if (line.empty() || line[0] == '#') {
+        // skip
+      } else if (line[0] == '!') {
+        const auto fields = util::split(line, ',');
+        if (fields[0] == "!cluster") {
+          if (fields.size() != 4) {
+            throw ParseError("!cluster needs id,name,hosts", line_no);
+          }
+          auto id = util::parse_int(fields[1]);
+          auto hosts = util::parse_int(fields[3]);
+          if (!id || !hosts) throw ParseError("bad !cluster line", line_no);
+          schedule.add_cluster(static_cast<int>(*id), fields[2],
+                               static_cast<int>(*hosts));
+          have_clusters = true;
+        } else if (fields[0] == "!meta") {
+          if (fields.size() < 3) {
+            throw ParseError("!meta needs key,value", line_no);
+          }
+          schedule.set_meta(fields[1], fields[2]);
+        } else {
+          throw ParseError("unknown directive '" + fields[0] + "'", line_no);
+        }
+      } else {
+        // First non-directive line: the header.
+        const auto fields = util::split(line, ',');
+        if (fields.size() < 5 || fields[0] != "task_id") {
+          throw ParseError("expected header 'task_id,type,start,end,allocs'",
+                           line_no);
+        }
+        data_begin = next;
+        break;
+      }
+      if (next == LineScanner::npos) {
+        throw ParseError("missing 'task_id,type,start,end,allocs' header");
+      }
+      pos = next;
+    }
+
+    // Data lines: deterministic byte-threshold chunks cut at newlines.
+    std::deque<CsvChunk> outputs;
+    ChunkExecutor exec(threads);
+    if (data_begin != LineScanner::npos) {
+      std::size_t begin = data_begin;
+      while (true) {
+        scan.ensure(begin + 1);
+        if (scan.complete() && begin >= scan.size()) break;
+        const std::size_t nl = scan.find_newline(begin + opt.target_chunk_bytes);
+        const std::size_t end =
+            nl == LineScanner::npos ? scan.size() : nl + 1;
+        outputs.emplace_back();
+        CsvChunk* out = &outputs.back();
+        const std::string_view chunk = scan.slice(begin, end);
+        exec.submit([chunk, out] { parse_csv_chunk(chunk, out); });
+        if (nl == LineScanner::npos) break;
+        begin = end;
+      }
+    }
+    exec.finish();
+
+    int max_host = -1;
+    for (const auto& o : outputs) max_host = std::max(max_host, o.max_host);
+    if (!have_clusters) {
+      schedule.add_cluster(0, "cluster-0", std::max(max_host + 1, 1));
+    }
+    for (auto& o : outputs) {
+      for (auto& t : o.tasks) schedule.add_task(std::move(t));
+    }
+    if (stats != nullptr) {
+      stats->chunks = outputs.size();
+      stats->parallel = true;
+    }
+    schedule.validate();
+    return schedule;
+  } catch (const ParseError&) {
+    if (stats != nullptr) {
+      stats->chunks = 0;
+      stats->parallel = false;
+    }
+    return read_schedule_csv(src.all());
+  }
 }
 
 model::Schedule load_schedule_csv(const std::string& path) {

@@ -16,13 +16,26 @@
 // cluster 0 is inferred, sized to the largest host index used.
 
 #include <string>
+#include <string_view>
 
+#include "jedule/io/ingest.hpp"
 #include "jedule/model/schedule.hpp"
 
 namespace jedule::io {
 
-model::Schedule read_schedule_csv(const std::string& csv_text);
+model::Schedule read_schedule_csv(std::string_view csv_text);
 model::Schedule load_schedule_csv(const std::string& path);
+
+/// Parallel chunked reader (DESIGN.md §4i): directives, comments and the
+/// header line are handled serially in file order, the data lines after
+/// the header are split at newlines into deterministic byte-threshold
+/// chunks parsed by worker threads, and tasks merge back in file order —
+/// bit-identical to read_schedule_csv at any thread count. Any directive
+/// after the header and any worker parse error falls back to the serial
+/// reader, which re-derives the exact serial result or error.
+model::Schedule read_schedule_csv_chunked(TextSource& src,
+                                          const IngestOptions& opt,
+                                          IngestStats* stats);
 
 std::string write_schedule_csv(const model::Schedule& schedule);
 void save_schedule_csv(const model::Schedule& schedule,

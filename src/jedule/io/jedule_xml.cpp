@@ -1,6 +1,10 @@
 #include "jedule/io/jedule_xml.hpp"
 
 #include <cmath>
+#include <deque>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "jedule/io/file.hpp"
 #include "jedule/util/error.hpp"
@@ -197,7 +201,7 @@ Configuration read_configuration(PullParser& p) {
   return cfg;
 }
 
-Task read_node(PullParser& p) {
+Task read_node(PullParser& p, TypeInternCache* types = nullptr) {
   const long node_line = p.line();
   Task t;
   bool have_id = false;
@@ -216,7 +220,11 @@ Task read_node(PullParser& p) {
         t.set_id(std::string(value));
         have_id = true;
       } else if (name == "type") {
-        t.set_type(std::string(value));
+        if (types != nullptr) {
+          t.set_interned_type(types->intern(value));
+        } else {
+          t.set_type(std::string(value));
+        }
         have_type = true;
       } else if (name == "start_time") {
         auto v = util::parse_double(value);
@@ -248,9 +256,7 @@ Task read_node(PullParser& p) {
   return t;
 }
 
-}  // namespace
-
-model::Schedule read_schedule_xml(const std::string& xml_text) {
+Schedule read_schedule_xml_impl(std::string_view xml_text, bool validate) {
   PullParser p(xml_text);
   p.next();  // the parser throws unless the document opens with an element
   if (p.name() != "jedule") {
@@ -320,8 +326,381 @@ model::Schedule read_schedule_xml(const std::string& xml_text) {
                      root_line);
   }
 
-  schedule.validate();
+  if (validate) schedule.validate();
   return schedule;
+}
+
+// ---------------------------------------------------------------------------
+// Parallel chunked reader (DESIGN.md §4i).
+//
+// The boundary scanner is a conservative mini-lexer: it tracks tags,
+// quoted attribute values, comments and CDATA exactly as far as needed to
+// locate the <node_statistics> record spans of the first <node_infos>
+// section — and *bails* (returns "let the serial reader decide") on
+// anything outside its model (PIs or declarations in content, a
+// non-record child of <node_infos>, truncated constructs). Everything the
+// scan excises is exactly the record spans; the remaining bytes — the
+// "skeleton" document — are re-parsed serially, so prolog, platform,
+// meta, inter-record comments/text and the epilog all keep their serial
+// validation. Workers parse each record slice as a standalone document
+// through a reused PullParser; the merge appends tasks in document order.
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kScanNpos = std::string_view::npos;
+
+class ChunkScanner {
+ public:
+  explicit ChunkScanner(TextSource& src) : src_(&src) { grow(64 * 1024); }
+
+  std::string_view view() const { return view_; }
+  bool complete() const { return complete_; }
+
+  /// Extends the published view to cover [0, end); false at true EOF.
+  bool ensure(std::size_t end) {
+    while (view_.size() < end && !complete_) grow(end);
+    return view_.size() >= end;
+  }
+
+  /// find() over the growing view: only returns npos at true EOF.
+  std::size_t find(std::string_view token, std::size_t from) {
+    std::size_t searched = from;
+    while (true) {
+      const std::size_t hit = view_.find(token, searched);
+      if (hit != kScanNpos) return hit;
+      if (complete_) return kScanNpos;
+      // Re-search only the bytes a straddling match could start in.
+      searched = view_.size() > from + token.size()
+                     ? view_.size() - token.size() + 1
+                     : from;
+      grow(view_.size() + kGrowStep);
+    }
+  }
+  std::size_t find(char c, std::size_t from) {
+    return find(std::string_view(&c, 1), from);
+  }
+
+  bool match(std::size_t pos, std::string_view token) {
+    if (!ensure(pos + token.size())) return false;
+    return view_.compare(pos, token.size(), token) == 0;
+  }
+
+  struct Tag {
+    enum Kind { kStart, kEnd, kComment, kCData, kBail } kind = kBail;
+    std::string_view name;  // start/end tags only
+    std::size_t end = 0;    // one past the construct
+    bool self_closing = false;
+  };
+
+  /// Lexes the markup construct at `lt` (which holds '<').
+  Tag next_tag(std::size_t lt) {
+    Tag tag;
+    if (match(lt, "<!--")) {
+      const std::size_t e = find("-->", lt + 4);
+      if (e == kScanNpos) return tag;
+      tag.kind = Tag::kComment;
+      tag.end = e + 3;
+      return tag;
+    }
+    if (match(lt, "<![CDATA[")) {
+      const std::size_t e = find("]]>", lt + 9);
+      if (e == kScanNpos) return tag;
+      tag.kind = Tag::kCData;
+      tag.end = e + 3;
+      return tag;
+    }
+    if (!ensure(lt + 2)) return tag;
+    const char c1 = view_[lt + 1];
+    if (c1 == '?' || c1 == '!') return tag;  // PI / declaration: bail
+    if (c1 == '/') {
+      const std::size_t gt = find('>', lt + 2);
+      if (gt == kScanNpos) return tag;
+      std::string_view name = view_.substr(lt + 2, gt - lt - 2);
+      while (!name.empty() && is_space(name.back())) name.remove_suffix(1);
+      tag.kind = Tag::kEnd;
+      tag.name = name;
+      tag.end = gt + 1;
+      return tag;
+    }
+    // Start tag: name runs to the first space, '/' or '>'.
+    std::size_t ne = lt + 1;
+    while (true) {
+      if (!ensure(ne + 1)) return tag;
+      const char c = view_[ne];
+      if (is_space(c) || c == '/' || c == '>') break;
+      ++ne;
+    }
+    if (ne == lt + 1) return tag;  // "<>" or "< ": malformed, bail
+    tag.name = view_.substr(lt + 1, ne - lt - 1);
+    // Attributes: scan to the closing '>', skipping quoted values whole
+    // (a '>' or '/' inside quotes is data, not structure).
+    std::size_t i = ne;
+    while (true) {
+      if (!ensure(i + 1)) return tag;
+      const char c = view_[i];
+      if (c == '"' || c == '\'') {
+        const std::size_t q = find(c, i + 1);
+        if (q == kScanNpos) return tag;
+        i = q + 1;
+        continue;
+      }
+      if (c == '>') break;
+      if (c == '<') return tag;  // malformed; let the serial parser report
+      ++i;
+    }
+    tag.kind = Tag::kStart;
+    tag.self_closing = view_[i - 1] == '/';
+    tag.end = i + 1;
+    return tag;
+  }
+
+  /// From just past a non-self-closing start tag, scans to just past the
+  /// matching end tag; kScanNpos to bail.
+  std::size_t scan_element_body(std::size_t pos) {
+    int depth = 1;
+    while (depth > 0) {
+      const std::size_t lt = find('<', pos);
+      if (lt == kScanNpos) return kScanNpos;
+      const Tag t = next_tag(lt);
+      switch (t.kind) {
+        case Tag::kComment:
+        case Tag::kCData:
+          break;
+        case Tag::kStart:
+          if (!t.self_closing) ++depth;
+          break;
+        case Tag::kEnd:
+          --depth;
+          break;
+        case Tag::kBail:
+          return kScanNpos;
+      }
+      pos = t.end;
+    }
+    return pos;
+  }
+
+  static bool is_space(char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+  }
+
+ private:
+  static constexpr std::size_t kGrowStep = 256 * 1024;
+
+  void grow(std::size_t hint) {
+    const TextSource::View v =
+        src_->wait_for(std::max(hint, view_.size() + kGrowStep));
+    view_ = std::string_view(v.data, v.size);
+    complete_ = v.complete;
+  }
+
+  TextSource* src_;
+  std::string_view view_;
+  bool complete_ = false;
+};
+
+/// One worker batch: record spans as offsets plus the view base current at
+/// dispatch time (kept valid by TextSource even across its rare gzip
+/// overflow fallback, which switches buffers but retires neither).
+struct RecordBatch {
+  const char* base = nullptr;
+  std::vector<std::pair<std::size_t, std::size_t>> spans;
+  std::size_t bytes = 0;
+};
+
+void parse_record_batch(const RecordBatch& batch, std::vector<Task>* out) {
+  PullParser p(std::string_view{});
+  TypeInternCache types;
+  out->reserve(batch.spans.size());
+  for (const auto& [begin, end] : batch.spans) {
+    // A record slice is a complete standalone document: one element, no
+    // prolog or epilog. The PullParser accepts exactly that, with every
+    // in-record validation rule of the serial pass.
+    p.reset(std::string_view(batch.base + begin, end - begin));
+    p.next();  // kStartElement <node_statistics> (or throws)
+    out->push_back(read_node(p, &types));
+  }
+}
+
+/// Scans the document, dispatching record batches to `exec` as they are
+/// discovered (so workers overlap with the scan — and, for gzip, with
+/// decompression). Returns false to bail to the serial reader. On success,
+/// `records` holds every record span in document order and `batch_count`
+/// the number of submitted jobs.
+bool scan_and_dispatch(ChunkScanner& scan, const IngestOptions& opt,
+                       ChunkExecutor& exec,
+                       std::deque<std::vector<Task>>& outputs,
+                       std::vector<std::pair<std::size_t, std::size_t>>& records) {
+  // Prolog: XML declaration / comments / DOCTYPE until the root start tag.
+  std::size_t pos = 0;
+  ChunkScanner::Tag root;
+  while (true) {
+    const std::size_t lt = scan.find('<', pos);
+    if (lt == kScanNpos) return false;
+    for (std::size_t i = pos; i < lt; ++i) {
+      if (!ChunkScanner::is_space(scan.view()[i])) return false;
+    }
+    if (scan.match(lt, "<?")) {
+      const std::size_t e = scan.find("?>", lt + 2);
+      if (e == kScanNpos) return false;
+      pos = e + 2;
+      continue;
+    }
+    if (scan.match(lt, "<!--")) {
+      const std::size_t e = scan.find("-->", lt + 4);
+      if (e == kScanNpos) return false;
+      pos = e + 3;
+      continue;
+    }
+    if (scan.match(lt, "<!")) {  // DOCTYPE (non-nested, like the parser)
+      const std::size_t e = scan.find('>', lt + 2);
+      if (e == kScanNpos) return false;
+      pos = e + 1;
+      continue;
+    }
+    root = scan.next_tag(lt);
+    if (root.kind != ChunkScanner::Tag::kStart) return false;
+    break;
+  }
+  if (root.name != "jedule" || root.self_closing) return false;
+
+  // Depth-1 walk to the first <node_infos>.
+  pos = root.end;
+  while (true) {
+    const std::size_t lt = scan.find('<', pos);
+    if (lt == kScanNpos) return false;
+    const ChunkScanner::Tag t = scan.next_tag(lt);
+    switch (t.kind) {
+      case ChunkScanner::Tag::kComment:
+      case ChunkScanner::Tag::kCData:
+        pos = t.end;
+        continue;
+      case ChunkScanner::Tag::kEnd:
+        // Root closed without a <node_infos>: nothing to parallelize.
+        return false;
+      case ChunkScanner::Tag::kBail:
+        return false;
+      case ChunkScanner::Tag::kStart:
+        break;
+    }
+    if (t.name == "node_infos" && !t.self_closing) {
+      pos = t.end;
+      break;
+    }
+    // Some other depth-1 section: skip its whole subtree.
+    pos = t.self_closing ? t.end : scan.scan_element_body(t.end);
+    if (pos == kScanNpos) return false;
+  }
+
+  // Record scan inside <node_infos>: batches close on a deterministic byte
+  // threshold (a pure function of the input, never of worker timing).
+  RecordBatch batch;
+  const auto flush = [&] {
+    if (batch.spans.empty()) return;
+    batch.base = scan.view().data();
+    outputs.emplace_back();
+    exec.submit([b = std::move(batch), out = &outputs.back()] {
+      parse_record_batch(b, out);
+    });
+    batch = RecordBatch{};
+  };
+  while (true) {
+    const std::size_t lt = scan.find('<', pos);
+    if (lt == kScanNpos) return false;
+    const ChunkScanner::Tag t = scan.next_tag(lt);
+    if (t.kind == ChunkScanner::Tag::kComment ||
+        t.kind == ChunkScanner::Tag::kCData) {
+      pos = t.end;
+      continue;
+    }
+    if (t.kind == ChunkScanner::Tag::kEnd) {
+      if (t.name != "node_infos") return false;
+      break;
+    }
+    if (t.kind != ChunkScanner::Tag::kStart || t.name != "node_statistics") {
+      return false;  // a non-record child: rare, let the serial reader rule
+    }
+    const std::size_t rec_end =
+        t.self_closing ? t.end : scan.scan_element_body(t.end);
+    if (rec_end == kScanNpos) return false;
+    records.emplace_back(lt, rec_end);
+    batch.spans.emplace_back(lt, rec_end);
+    batch.bytes += rec_end - lt;
+    if (batch.bytes >= opt.target_chunk_bytes) flush();
+    pos = rec_end;
+  }
+  flush();
+  return true;
+}
+
+}  // namespace
+
+model::Schedule read_schedule_xml(std::string_view xml_text) {
+  return read_schedule_xml_impl(xml_text, /*validate=*/true);
+}
+
+model::Schedule read_schedule_xml_chunked(TextSource& src,
+                                          const IngestOptions& opt,
+                                          IngestStats* stats) {
+  const int threads = std::max(1, opt.threads);
+  if (threads <= 1) return read_schedule_xml(src.all());
+  if (!src.gzip()) {
+    // Small plain inputs: chunk bookkeeping costs more than it saves.
+    // (Gzip inputs always take the pipelined path — the decoded size is
+    // not known yet, and the overlap pays for itself.)
+    const TextSource::View head = src.wait_for(0);
+    if (head.complete && head.size < opt.min_parallel_bytes) {
+      return read_schedule_xml(head.text());
+    }
+  }
+
+  std::deque<std::vector<Task>> outputs;
+  std::vector<std::pair<std::size_t, std::size_t>> records;
+  try {
+    ChunkScanner scan(src);
+    ChunkExecutor exec(threads);
+    const bool scanned = scan_and_dispatch(scan, opt, exec, outputs, records);
+    exec.finish();  // rethrows the lowest-index worker error
+    if (!scanned) return read_schedule_xml(src.all());
+
+    // Skeleton pass: the full text minus the record spans, parsed
+    // serially. Everything outside records (prolog, meta, platform,
+    // inter-record comments/text, later sections, epilog) keeps its
+    // serial validation; the first <node_infos> simply has no records
+    // left, so the skeleton contributes clusters/meta and zero tasks.
+    const std::string_view text = src.all();
+    std::size_t excised = 0;
+    for (const auto& [begin, end] : records) excised += end - begin;
+    std::string skeleton;
+    skeleton.reserve(text.size() - excised);
+    std::size_t cursor = 0;
+    for (const auto& [begin, end] : records) {
+      skeleton.append(text.data() + cursor, begin - cursor);
+      cursor = end;
+    }
+    skeleton.append(text.data() + cursor, text.size() - cursor);
+    Schedule schedule = read_schedule_xml_impl(skeleton, /*validate=*/false);
+
+    // In-order merge: batches were submitted in document order and each
+    // holds its records in document order, so this reproduces the serial
+    // add_task sequence exactly.
+    for (auto& tasks : outputs) {
+      for (auto& t : tasks) schedule.add_task(std::move(t));
+    }
+    if (stats != nullptr) {
+      stats->chunks = outputs.size();
+      stats->parallel = true;
+    }
+    schedule.validate();
+    return schedule;
+  } catch (const ParseError&) {
+    // The serial reader is the spec: re-run it to produce the exact
+    // serial result — or the exact serial error message and line.
+    if (stats != nullptr) {
+      stats->chunks = 0;
+      stats->parallel = false;
+    }
+    return read_schedule_xml(src.all());
+  }
 }
 
 model::Schedule read_schedule_xml_dom(const std::string& xml_text) {

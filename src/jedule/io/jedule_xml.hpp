@@ -33,7 +33,9 @@
 // entries beyond the four standard ones round-trip as Task properties.
 
 #include <string>
+#include <string_view>
 
+#include "jedule/io/ingest.hpp"
 #include "jedule/model/schedule.hpp"
 
 namespace jedule::io {
@@ -41,7 +43,21 @@ namespace jedule::io {
 /// Parses a schedule from Jedule XML text; validates before returning.
 /// Streams directly from xml::PullParser events — no DOM is built, so the
 /// cost is one zero-copy lexer pass plus the Schedule itself.
-model::Schedule read_schedule_xml(const std::string& xml_text);
+model::Schedule read_schedule_xml(std::string_view xml_text);
+
+/// Parallel chunked reader (DESIGN.md §4i): a conservative boundary scan
+/// finds the <node_statistics> record spans of the first <node_infos>
+/// section, worker threads parse record batches through per-thread
+/// PullParsers, and the merge re-assembles tasks in document order —
+/// bit-identical to read_schedule_xml at any thread count. Anything the
+/// scanner is not sure about (PIs in content, DOCTYPE subtleties,
+/// non-record children) and any worker parse error falls back to the
+/// serial reader, which is the spec: it re-derives the exact serial result
+/// or error. Gzip inputs overlap decompression with scanning/parsing via
+/// the TextSource producer.
+model::Schedule read_schedule_xml_chunked(TextSource& src,
+                                          const IngestOptions& opt,
+                                          IngestStats* stats);
 
 /// Reference reader: parses via the original DOM walk (xml::baseline_parse
 /// + tree traversal). Accepts exactly the same documents and produces the

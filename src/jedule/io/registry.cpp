@@ -1,11 +1,17 @@
 #include "jedule/io/registry.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
 #include "jedule/io/csv.hpp"
 #include "jedule/io/file.hpp"
 #include "jedule/io/jedule_xml.hpp"
 #include "jedule/io/snapshot.hpp"
+#include "jedule/platform/mmap.hpp"
 #include "jedule/util/error.hpp"
 #include "jedule/util/inflate.hpp"
+#include "jedule/util/parallel.hpp"
 #include "jedule/util/strings.hpp"
 
 namespace jedule::io {
@@ -26,8 +32,13 @@ class JeduleXmlParser final : public ScheduleParser {
            util::starts_with(body, "<jedule");
   }
 
-  model::Schedule parse(const std::string& content) const override {
+  model::Schedule parse(std::string_view content) const override {
     return read_schedule_xml(content);
+  }
+
+  model::Schedule parse_chunked(TextSource& src, const IngestOptions& opt,
+                                IngestStats* stats) const override {
+    return read_schedule_xml_chunked(src, opt, stats);
   }
 };
 
@@ -42,8 +53,13 @@ class CsvParser final : public ScheduleParser {
            util::starts_with(body, "task_id,");
   }
 
-  model::Schedule parse(const std::string& content) const override {
+  model::Schedule parse(std::string_view content) const override {
     return read_schedule_csv(content);
+  }
+
+  model::Schedule parse_chunked(TextSource& src, const IngestOptions& opt,
+                                IngestStats* stats) const override {
+    return read_schedule_csv_chunked(src, opt, stats);
   }
 };
 
@@ -59,7 +75,7 @@ class SnapshotParser final : public ScheduleParser {
     return util::ends_with(path, ".jbin") || is_snapshot(head);
   }
 
-  model::Schedule parse(const std::string& content) const override {
+  model::Schedule parse(std::string_view content) const override {
     // The columns borrow from `content`; copy it into a keep-alive owner.
     auto owner = std::make_shared<std::string>(content);
     Snapshot snap = parse_snapshot(
@@ -121,21 +137,21 @@ std::string ParserRegistry::supported_summary() const {
   return util::join(parser_names(), ", ");
 }
 
-model::Schedule parse_schedule(std::string content,
-                               const std::string& name_hint,
-                               const std::string& format) {
-  std::string sniff_path = name_hint;
+model::Schedule parse_schedule(TextSource& src, const std::string& name_hint,
+                               const std::string& format,
+                               const IngestOptions& opt, IngestStats* stats) {
+  const auto started = std::chrono::steady_clock::now();
+  IngestStats local;
+  IngestStats* s = stats != nullptr ? stats : &local;
+
   // Gzip container (e.g. schedule.jed.gz): detected by the magic bytes, not
   // the suffix, so piped/renamed files work too. The ".gz" is stripped
   // before sniffing so the inner format is chosen from the inner name.
-  if (util::looks_like_gzip(content)) {
-    const auto raw = util::gzip_decompress(
-        reinterpret_cast<const std::uint8_t*>(content.data()), content.size());
-    content.assign(raw.begin(), raw.end());
-    if (util::ends_with(sniff_path, ".gz")) {
-      sniff_path.resize(sniff_path.size() - 3);
-    }
+  std::string sniff_path = name_hint;
+  if (src.gzip() && util::ends_with(sniff_path, ".gz")) {
+    sniff_path.resize(sniff_path.size() - 3);
   }
+
   const ParserRegistry& registry = ParserRegistry::instance();
   const ScheduleParser* parser = nullptr;
   if (!format.empty()) {
@@ -146,7 +162,12 @@ model::Schedule parse_schedule(std::string content,
                        registry.supported_summary() + ")");
     }
   } else {
-    parser = registry.sniff(sniff_path, content.substr(0, 512));
+    // Sniff on the first decoded bytes; for a gzip input this overlaps
+    // with the producer thread already inflating the rest.
+    const TextSource::View head = src.wait_for(512);
+    parser = registry.sniff(sniff_path,
+                            std::string(head.text().substr(
+                                0, std::min<std::size_t>(head.size, 512))));
     if (parser == nullptr) {
       const std::string what =
           name_hint.empty() ? "the input" : "'" + name_hint + "'";
@@ -155,12 +176,55 @@ model::Schedule parse_schedule(std::string content,
                        "; pick one explicitly with --format or ?format=)");
     }
   }
-  return parser->parse(content);
+
+  IngestOptions resolved = opt;
+  resolved.threads = util::resolve_threads(opt.threads);
+  s->format = parser->name();
+  s->gzip = src.gzip();
+  s->threads = resolved.threads;
+
+  model::Schedule schedule = parser->parse_chunked(src, resolved, s);
+
+  s->bytes = src.all().size();
+  s->parse_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - started)
+                    .count();
+  record_ingest(*s);
+  return schedule;
+}
+
+model::Schedule parse_schedule(std::string content,
+                               const std::string& name_hint,
+                               const std::string& format,
+                               const IngestOptions& opt, IngestStats* stats) {
+  TextSource src(std::move(content));
+  return parse_schedule(src, name_hint, format, opt, stats);
 }
 
 model::Schedule load_schedule(const std::string& path,
-                              const std::string& format) {
-  return parse_schedule(read_file(path), path, format);
+                              const std::string& format,
+                              const IngestOptions& opt, IngestStats* stats) {
+  std::shared_ptr<const platform::MappedFile> map;
+  try {
+    map = platform::MappedFile::open(path);
+  } catch (const IoError&) {
+    // Unreadable or non-seekable (pipe, device): read_file below either
+    // succeeds streaming or raises its usual error for missing files.
+    map = nullptr;
+  }
+  if (map != nullptr) {
+    IngestStats local;
+    IngestStats* s = stats != nullptr ? stats : &local;
+    s->mapped_input = map->mapped();
+    s->mapped_bytes = map->mapped() ? map->size() : 0;
+    TextSource src(
+        std::string_view(reinterpret_cast<const char*>(map->data()),
+                         map->size()),
+        map);
+    return parse_schedule(src, path, format, opt, s);
+  }
+  TextSource src(read_file(path));
+  return parse_schedule(src, path, format, opt, stats);
 }
 
 }  // namespace jedule::io

@@ -12,8 +12,10 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "jedule/io/ingest.hpp"
 #include "jedule/model/schedule.hpp"
 
 namespace jedule::io {
@@ -29,8 +31,22 @@ class ScheduleParser {
   /// `head` the first bytes of its content (possibly the whole file).
   virtual bool sniff(const std::string& path, const std::string& head) const = 0;
 
-  /// Parses the whole content into a validated schedule.
-  virtual model::Schedule parse(const std::string& content) const = 0;
+  /// Parses the whole content into a validated schedule. The view borrows
+  /// the caller's bytes; parsers must copy whatever they keep.
+  virtual model::Schedule parse(std::string_view content) const = 0;
+
+  /// Chunked entry point of the parallel ingest pipeline (DESIGN.md §4i).
+  /// The default delegates to parse() on the complete text; the built-in
+  /// XML/CSV/SWF parsers override it with boundary-scanned multi-threaded
+  /// readers whose output is bit-identical to parse() at any thread
+  /// count. `opt.threads` arrives already resolved (>= 1).
+  virtual model::Schedule parse_chunked(TextSource& src,
+                                        const IngestOptions& opt,
+                                        IngestStats* stats) const {
+    (void)opt;
+    (void)stats;
+    return parse(src.all());
+  }
 };
 
 class ParserRegistry {
@@ -63,9 +79,16 @@ class ParserRegistry {
 /// Loads `path` using the registry. If `format` is nonempty it selects the
 /// parser by name; otherwise the format is sniffed. Throws ParseError when
 /// no parser accepts the file; the error names the offending path and the
-/// registered formats.
+/// registered formats. The input is served from a platform::MappedFile
+/// when the file is mappable (no full-file copy); non-seekable inputs fall
+/// back to read_file. `opt.threads` (resolved via util::resolve_threads:
+/// explicit value, else JEDULE_THREADS, else hardware) drives the chunked
+/// parallel parse; the result is bit-identical at any thread count.
+/// When `stats` is non-null it receives what the ingest actually did.
 model::Schedule load_schedule(const std::string& path,
-                              const std::string& format = "");
+                              const std::string& format = "",
+                              const IngestOptions& opt = {},
+                              IngestStats* stats = nullptr);
 
 /// Parses in-memory trace bytes exactly like load_schedule parses a file:
 /// transparent gzip (detected by the RFC 1952 magic), an explicit `format`
@@ -75,6 +98,16 @@ model::Schedule load_schedule(const std::string& path,
 /// never touch the filesystem.
 model::Schedule parse_schedule(std::string content,
                                const std::string& name_hint = "",
-                               const std::string& format = "");
+                               const std::string& format = "",
+                               const IngestOptions& opt = {},
+                               IngestStats* stats = nullptr);
+
+/// The shared core: parses a TextSource (pipelined gzip, chunked parallel
+/// readers) through the registry. Records per-format ingest counters and
+/// fills `stats` (optional) with bytes, chunk/thread counts and wall time.
+model::Schedule parse_schedule(TextSource& src, const std::string& name_hint,
+                               const std::string& format,
+                               const IngestOptions& opt,
+                               IngestStats* stats = nullptr);
 
 }  // namespace jedule::io

@@ -10,7 +10,10 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "jedule/io/ingest.hpp"
 
 namespace jedule::io {
 
@@ -47,8 +50,17 @@ struct SwfTrace {
   int max_procs() const;
 };
 
-SwfTrace read_swf(const std::string& text);
+SwfTrace read_swf(std::string_view text);
 SwfTrace load_swf(const std::string& path);
+
+/// Parallel chunked reader (DESIGN.md §4i): the leading ';' header block
+/// is read serially, the data lines after it are split at newlines into
+/// deterministic byte-threshold chunks parsed by worker threads, and jobs
+/// merge back in file order — identical to read_swf at any thread count.
+/// A ';' header line after the first data line (legal, last-wins in file
+/// order) and any worker parse error falls back to the serial reader.
+SwfTrace read_swf_chunked(TextSource& src, const IngestOptions& opt,
+                          IngestStats* stats);
 
 std::string write_swf(const SwfTrace& trace);
 void save_swf(const SwfTrace& trace, const std::string& path);

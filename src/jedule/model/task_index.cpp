@@ -8,6 +8,7 @@
 #include "jedule/model/arena.hpp"
 #include "jedule/model/fnv.hpp"
 #include "jedule/util/error.hpp"
+#include "jedule/util/parallel.hpp"
 
 namespace jedule::model {
 
@@ -175,10 +176,27 @@ void TaskIndex::finish_extend(std::vector<std::vector<Entry>>* fresh,
     }
   }
 
+  // Per-cluster segment builds (sort + BST augmentation) are independent;
+  // spread them over the build workers. The segments are a pure function
+  // of the entry lists, so the index is identical at any thread count.
+  std::vector<std::size_t> pending;
   for (std::size_t c = 0; c < clusters_.size(); ++c) {
-    if ((*fresh)[c].empty()) continue;
-    clusters_[c].segments.push_back(make_segment(std::move((*fresh)[c])));
-    compact_cluster(&clusters_[c]);
+    if (!(*fresh)[c].empty()) pending.push_back(c);
+  }
+  if (build_threads_ > 1 && pending.size() > 1) {
+    std::vector<Segment> built(pending.size());
+    util::parallel_for(pending.size(), build_threads_, [&](std::size_t k) {
+      built[k] = make_segment(std::move((*fresh)[pending[k]]));
+    });
+    for (std::size_t k = 0; k < pending.size(); ++k) {
+      clusters_[pending[k]].segments.push_back(std::move(built[k]));
+      compact_cluster(&clusters_[pending[k]]);
+    }
+  } else {
+    for (const std::size_t c : pending) {
+      clusters_[c].segments.push_back(make_segment(std::move((*fresh)[c])));
+      compact_cluster(&clusters_[c]);
+    }
   }
 
   task_count_ = new_count;
@@ -200,7 +218,8 @@ void TaskIndex::compact_cluster(ClusterIndex* ci) {
   ci->segments.push_back(make_segment(std::move(all)));
 }
 
-TaskIndex::TaskIndex(const Schedule& schedule) {
+TaskIndex::TaskIndex(const Schedule& schedule, int threads)
+    : build_threads_(std::max(1, threads)) {
   clusters_.reserve(schedule.clusters().size());
   for (const auto& c : schedule.clusters()) {
     ClusterIndex ci;

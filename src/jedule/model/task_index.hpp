@@ -58,7 +58,10 @@ class TaskIndex {
 
   /// Builds the index in O(n log n). The schedule must outlive nothing —
   /// the index copies what it needs (times, host spans, task indices).
-  explicit TaskIndex(const Schedule& schedule);
+  /// `threads` > 1 sorts/augments the per-cluster segments concurrently
+  /// (util::parallel_for); the segments — and therefore every query
+  /// result and the content hash — are identical at any thread count.
+  explicit TaskIndex(const Schedule& schedule, int threads = 1);
 
   /// O(delta) extension: `base` indexed the first `first_new` tasks of
   /// `schedule` (same clusters, same tasks, in the same order — only
@@ -183,6 +186,9 @@ class TaskIndex {
 
   const ClusterIndex* cluster(int id) const;
 
+  // Worker count for segment builds during construction only; the built
+  // index is immutable and thread-agnostic.
+  int build_threads_ = 1;
   std::vector<ClusterIndex> clusters_;
   std::size_t task_count_ = 0;
   std::optional<TimeRange> time_range_;

@@ -7,11 +7,13 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
 #include "jedule/engine/events.hpp"
 #include "jedule/engine/options.hpp"
+#include "jedule/io/ingest.hpp"
 #include "jedule/io/snapshot.hpp"
 #include "jedule/render/exporter.hpp"
 #include "jedule/util/error.hpp"
@@ -517,12 +519,35 @@ std::string Server::stats_json() const {
          std::to_string(store_stats.resident_mmap_bytes);
   out += ",\"resident_heap_bytes\":" +
          std::to_string(store_stats.resident_heap_bytes);
+  out += ",\"ingest_mapped_bytes\":" +
+         std::to_string(store_stats.ingest_mapped_bytes);
   out += "},\"snapshot\":{";
   const io::SnapshotCounters snap = io::snapshot_counters();
   out += "\"saves\":" + std::to_string(snap.saves);
   out += ",\"save_bytes\":" + std::to_string(snap.save_bytes);
   out += ",\"loads\":" + std::to_string(snap.loads);
   out += ",\"load_bytes\":" + std::to_string(snap.load_bytes);
+  out += "},\"ingest\":{";
+  // Per-format chunked-parse counters (io::record_ingest): cumulative
+  // parses, how many took the parallel path, decoded bytes, worker chunks,
+  // wall time and the last resolved thread count.
+  {
+    bool first_fmt = true;
+    for (const auto& [fmt, ic] : io::ingest_counters()) {
+      if (!first_fmt) out += ',';
+      first_fmt = false;
+      char ms[32];
+      std::snprintf(ms, sizeof(ms), "%.3f", ic.parse_ms);
+      out += "\"" + fmt + "\":{";
+      out += "\"parses\":" + std::to_string(ic.parses);
+      out += ",\"parallel_parses\":" + std::to_string(ic.parallel_parses);
+      out += ",\"bytes\":" + std::to_string(ic.bytes);
+      out += ",\"chunks\":" + std::to_string(ic.chunks);
+      out += ",\"parse_ms\":" + std::string(ms);
+      out += ",\"last_threads\":" + std::to_string(ic.last_threads);
+      out += "}";
+    }
+  }
   out += "},\"render\":{";
   out += "\"artifact_hits\":" + std::to_string(render_stats.artifact_hits);
   out += ",\"artifact_misses\":" + std::to_string(render_stats.artifact_misses);

@@ -152,14 +152,61 @@ std::vector<int> fixed_literal_lengths() {
 // 30 and 31 never appear in valid data and are rejected after decode.
 std::vector<int> fixed_distance_lengths() { return std::vector<int>(32, 5); }
 
+// The decode loops are templated on a Sink policy so the same core serves
+// both output disciplines: VecSink (a growing heap vector — the historical
+// behavior, byte for byte) and BoundedSink (a caller-provided fixed buffer
+// for the pipelined ingest path, where reallocation would dangle the
+// concurrent readers' views into the already-published prefix).
+struct VecSink {
+  std::vector<std::uint8_t>& out;
+  void push(std::uint8_t b) { out.push_back(b); }
+  std::size_t size() const { return out.size(); }
+  std::uint8_t back_byte(std::size_t distance) const {
+    return out[out.size() - distance];
+  }
+};
+
+/// Thrown (and caught internally) when the bounded buffer fills; distinct
+/// from ParseError so callers can tell "ISIZE lied" from corruption.
+struct BoundedOverflow {};
+
+class BoundedSink {
+ public:
+  BoundedSink(std::uint8_t* buf, std::size_t cap,
+              const std::function<void(std::size_t)>& progress)
+      : buf_(buf), cap_(cap), progress_(progress) {}
+
+  void push(std::uint8_t b) {
+    if (len_ == cap_) throw BoundedOverflow{};
+    buf_[len_++] = b;
+    if (++since_publish_ >= kPublishEvery) publish();
+  }
+  std::size_t size() const { return len_; }
+  std::uint8_t back_byte(std::size_t distance) const {
+    return buf_[len_ - distance];
+  }
+  void publish() {
+    since_publish_ = 0;
+    if (progress_) progress_(len_);
+  }
+
+ private:
+  static constexpr std::size_t kPublishEvery = 256 * 1024;
+  std::uint8_t* buf_;
+  std::size_t cap_;
+  std::size_t len_ = 0;
+  std::size_t since_publish_ = 0;
+  const std::function<void(std::size_t)>& progress_;
+};
+
+template <typename Sink>
 void inflate_block(BitReader& br, const HuffmanTable& literals,
-                   const HuffmanTable& distances,
-                   std::vector<std::uint8_t>& out) {
+                   const HuffmanTable& distances, Sink& out) {
   while (true) {
     const int sym = literals.decode(br);
     if (sym == 256) return;
     if (sym < 256) {
-      out.push_back(static_cast<std::uint8_t>(sym));
+      out.push(static_cast<std::uint8_t>(sym));
       continue;
     }
     if (sym > 285) throw ParseError("deflate: invalid length symbol");
@@ -173,17 +220,13 @@ void inflate_block(BitReader& br, const HuffmanTable& literals,
       throw ParseError("deflate: distance exceeds output");
     }
     for (int i = 0; i < length; ++i) {
-      out.push_back(out[out.size() - static_cast<std::size_t>(distance)]);
+      out.push(out.back_byte(static_cast<std::size_t>(distance)));
     }
   }
 }
 
-}  // namespace
-
-std::vector<std::uint8_t> inflate_decompress(const std::uint8_t* data,
-                                             std::size_t size) {
-  BitReader br(data, size);
-  std::vector<std::uint8_t> out;
+template <typename Sink>
+void inflate_into(BitReader& br, Sink& out) {
   bool final_block = false;
   while (!final_block) {
     final_block = br.get_bit() != 0;
@@ -197,7 +240,7 @@ std::vector<std::uint8_t> inflate_decompress(const std::uint8_t* data,
       if ((len ^ nlen) != 0xFFFF) {
         throw ParseError("deflate: stored block LEN/NLEN mismatch");
       }
-      for (std::uint32_t i = 0; i < len; ++i) out.push_back(br.get_byte());
+      for (std::uint32_t i = 0; i < len; ++i) out.push(br.get_byte());
     } else if (type == 1) {  // fixed Huffman
       static const HuffmanTable literals(fixed_literal_lengths());
       static const HuffmanTable distances(fixed_distance_lengths());
@@ -261,31 +304,11 @@ std::vector<std::uint8_t> inflate_decompress(const std::uint8_t* data,
       throw ParseError("deflate: reserved block type");
     }
   }
-  return out;
 }
 
-std::vector<std::uint8_t> zlib_decompress(const std::uint8_t* data,
-                                          std::size_t size) {
-  if (size < 6) throw ParseError("zlib: stream too short");
-  if ((data[0] & 0x0F) != 8) throw ParseError("zlib: not a deflate stream");
-  if (((static_cast<unsigned>(data[0]) << 8) | data[1]) % 31 != 0) {
-    throw ParseError("zlib: header check failed");
-  }
-  if (data[1] & 0x20) throw ParseError("zlib: preset dictionaries unsupported");
-  auto out = inflate_decompress(data + 2, size - 6);
-  const std::uint32_t expected =
-      (static_cast<std::uint32_t>(data[size - 4]) << 24) |
-      (static_cast<std::uint32_t>(data[size - 3]) << 16) |
-      (static_cast<std::uint32_t>(data[size - 2]) << 8) |
-      static_cast<std::uint32_t>(data[size - 1]);
-  if (adler32(out.data(), out.size()) != expected) {
-    throw ParseError("zlib: Adler-32 mismatch");
-  }
-  return out;
-}
-
-std::vector<std::uint8_t> gzip_decompress(const std::uint8_t* data,
-                                          std::size_t size) {
+// Gzip header walk shared by the eager and bounded decoders: returns the
+// offset of the DEFLATE body. Identical errors in identical order.
+std::size_t parse_gzip_header(const std::uint8_t* data, std::size_t size) {
   if (size < 18) throw ParseError("gzip: stream too short");
   if (data[0] != 0x1f || data[1] != 0x8b) throw ParseError("gzip: bad magic");
   if (data[2] != 8) throw ParseError("gzip: unsupported compression method");
@@ -320,8 +343,12 @@ std::vector<std::uint8_t> gzip_decompress(const std::uint8_t* data,
     need(2);
     pos += 2;
   }
-  auto out = inflate_decompress(data + pos, size - pos - 8);
-  const std::uint8_t* trailer = data + size - 8;
+  return pos;
+}
+
+// Verifies the 8-byte CRC-32 + ISIZE gzip trailer against decoded output.
+void check_gzip_trailer(const std::uint8_t* trailer, const std::uint8_t* out,
+                        std::size_t out_size) {
   const std::uint32_t expected_crc =
       static_cast<std::uint32_t>(trailer[0]) |
       (static_cast<std::uint32_t>(trailer[1]) << 8) |
@@ -332,13 +359,76 @@ std::vector<std::uint8_t> gzip_decompress(const std::uint8_t* data,
       (static_cast<std::uint32_t>(trailer[5]) << 8) |
       (static_cast<std::uint32_t>(trailer[6]) << 16) |
       (static_cast<std::uint32_t>(trailer[7]) << 24);
-  if (crc32(out.data(), out.size()) != expected_crc) {
+  if (crc32(out, out_size) != expected_crc) {
     throw ParseError("gzip: CRC-32 mismatch");
   }
-  if (static_cast<std::uint32_t>(out.size() & 0xFFFFFFFFu) != expected_size) {
+  if (static_cast<std::uint32_t>(out_size & 0xFFFFFFFFu) != expected_size) {
     throw ParseError("gzip: uncompressed size mismatch");
   }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> inflate_decompress(const std::uint8_t* data,
+                                             std::size_t size) {
+  BitReader br(data, size);
+  std::vector<std::uint8_t> out;
+  VecSink sink{out};
+  inflate_into(br, sink);
   return out;
+}
+
+std::vector<std::uint8_t> zlib_decompress(const std::uint8_t* data,
+                                          std::size_t size) {
+  if (size < 6) throw ParseError("zlib: stream too short");
+  if ((data[0] & 0x0F) != 8) throw ParseError("zlib: not a deflate stream");
+  if (((static_cast<unsigned>(data[0]) << 8) | data[1]) % 31 != 0) {
+    throw ParseError("zlib: header check failed");
+  }
+  if (data[1] & 0x20) throw ParseError("zlib: preset dictionaries unsupported");
+  auto out = inflate_decompress(data + 2, size - 6);
+  const std::uint32_t expected =
+      (static_cast<std::uint32_t>(data[size - 4]) << 24) |
+      (static_cast<std::uint32_t>(data[size - 3]) << 16) |
+      (static_cast<std::uint32_t>(data[size - 2]) << 8) |
+      static_cast<std::uint32_t>(data[size - 1]);
+  if (adler32(out.data(), out.size()) != expected) {
+    throw ParseError("zlib: Adler-32 mismatch");
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> gzip_decompress(const std::uint8_t* data,
+                                          std::size_t size) {
+  const std::size_t pos = parse_gzip_header(data, size);
+  auto out = inflate_decompress(data + pos, size - pos - 8);
+  check_gzip_trailer(data + size - 8, out.data(), out.size());
+  return out;
+}
+
+std::optional<std::size_t> gzip_decompress_bounded(
+    const std::uint8_t* data, std::size_t size, std::uint8_t* out,
+    std::size_t capacity, const std::function<void(std::size_t)>& progress) {
+  const std::size_t pos = parse_gzip_header(data, size);
+  BitReader br(data + pos, size - pos - 8);
+  BoundedSink sink(out, capacity, progress);
+  try {
+    inflate_into(br, sink);
+  } catch (const BoundedOverflow&) {
+    return std::nullopt;
+  }
+  check_gzip_trailer(data + size - 8, out, sink.size());
+  sink.publish();
+  return sink.size();
+}
+
+std::size_t gzip_isize_hint(const std::uint8_t* data, std::size_t size) {
+  if (size < 18) return 0;
+  const std::uint8_t* trailer = data + size - 4;
+  return static_cast<std::size_t>(trailer[0]) |
+         (static_cast<std::size_t>(trailer[1]) << 8) |
+         (static_cast<std::size_t>(trailer[2]) << 16) |
+         (static_cast<std::size_t>(trailer[3]) << 24);
 }
 
 bool looks_like_gzip(std::string_view head) {

@@ -7,6 +7,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <string_view>
 #include <vector>
 
@@ -26,6 +28,23 @@ std::vector<std::uint8_t> zlib_decompress(const std::uint8_t* data,
 /// the DEFLATE body, and verifies the CRC-32 + ISIZE trailer.
 std::vector<std::uint8_t> gzip_decompress(const std::uint8_t* data,
                                           std::size_t size);
+
+/// Streaming variant of gzip_decompress for the pipelined ingest path:
+/// decodes into the caller-provided buffer (which is never reallocated, so
+/// concurrent readers may hold views into the already-published prefix)
+/// and invokes `progress` with the decoded byte count every ~256 KiB.
+/// Returns the decoded size, or nullopt when the output would exceed
+/// `capacity` (the ISIZE trailer lied); header, CRC-32 and ISIZE failures
+/// throw the same ParseError messages as gzip_decompress.
+std::optional<std::size_t> gzip_decompress_bounded(
+    const std::uint8_t* data, std::size_t size, std::uint8_t* out,
+    std::size_t capacity,
+    const std::function<void(std::size_t)>& progress = nullptr);
+
+/// The ISIZE trailer field (uncompressed size mod 2^32) of a gzip stream,
+/// or 0 when `size` cannot hold a gzip member. A *hint* only: the field is
+/// attacker-controlled, so callers must bound allocations independently.
+std::size_t gzip_isize_hint(const std::uint8_t* data, std::size_t size);
 
 /// True when `head` starts with the gzip magic bytes 0x1f 0x8b.
 bool looks_like_gzip(std::string_view head);

@@ -22,8 +22,22 @@ class SwfScheduleParser final : public io::ScheduleParser {
     return util::starts_with(body, ";");
   }
 
-  model::Schedule parse(const std::string& content) const override {
-    const io::SwfTrace trace = io::read_swf(content);
+  model::Schedule parse(std::string_view content) const override {
+    return from_trace(io::read_swf(content));
+  }
+
+  // Chunked ingest: the trace lines parse in parallel (io::read_swf_chunked,
+  // identical to read_swf at any thread count); the trace-to-schedule
+  // packing stays serial — its host placement is an inherently sequential
+  // sweep over jobs in submit order.
+  model::Schedule parse_chunked(io::TextSource& src,
+                                const io::IngestOptions& opt,
+                                io::IngestStats* stats) const override {
+    return from_trace(io::read_swf_chunked(src, opt, stats));
+  }
+
+ private:
+  static model::Schedule from_trace(const io::SwfTrace& trace) {
     TraceScheduleOptions options;
     options.cluster_name = "trace";
     auto it = trace.header.find("Reserved");

@@ -39,6 +39,20 @@ void PullParser::fail(const std::string& msg) const {
   throw ParseError("xml: " + msg, line_);
 }
 
+void PullParser::reset(std::string_view input, long line_base) {
+  in_ = input;
+  pos_ = 0;
+  line_ = line_base + 1;
+  state_ = State::kProlog;
+  decoded_.clear();
+  stack_.clear();
+  attrs_.clear();
+  name_ = {};
+  text_ = {};
+  elem_line_ = 0;
+  pending_end_ = false;
+}
+
 char PullParser::get() {
   if (at_end()) fail("unexpected end of input");
   char c = in_[pos_++];

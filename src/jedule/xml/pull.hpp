@@ -38,6 +38,14 @@ class PullParser {
   /// The input buffer must outlive the parser; views point into it.
   explicit PullParser(std::string_view input) : in_(input) {}
 
+  /// Rewinds onto a fresh input buffer, keeping the decoded-string arena's
+  /// and the scratch vectors' capacity. The chunked ingest workers parse
+  /// thousands of record slices through one parser this way instead of
+  /// paying construction per record. `line_base` offsets every reported
+  /// line number, so a slice at line N of the real document keeps its
+  /// document-relative diagnostics.
+  void reset(std::string_view input, long line_base = 0);
+
   /// Advances to the next event; throws jedule::ParseError on malformed
   /// input. After kEndDocument, keeps returning kEndDocument.
   Event next();

@@ -110,10 +110,11 @@ TEST(Registry, UserParserExtensionPoint) {
     bool sniff(const std::string& path, const std::string&) const override {
       return path.ends_with(".one");
     }
-    model::Schedule parse(const std::string& content) const override {
+    model::Schedule parse(std::string_view content) const override {
       model::Schedule s;
       s.add_cluster(0, "c", 1);
-      model::Task t(content.substr(0, content.find('\n')), "custom", 0, 1);
+      model::Task t(std::string(content.substr(0, content.find('\n'))),
+                    "custom", 0, 1);
       t.allocate(0, 0, 1);
       s.add_task(std::move(t));
       s.validate();
