@@ -38,6 +38,21 @@ inline std::string fmt(double v, int digits = 3) {
   return buf;
 }
 
+/// The build type of the jedule code under test, as NDEBUG sees it.
+/// google-benchmark's own `library_build_type` context key describes the
+/// *benchmark library* (a distro package may well be a debug build), so
+/// every JSON also records `jedule_build_type` for the code actually
+/// being timed, and debug builds refuse to run the timing loop at all —
+/// previously only the human-readable report() refused, while
+/// `--benchmark_out` would still write a plausible-looking JSON.
+#ifndef NDEBUG
+inline constexpr bool kReleaseTimings = false;
+inline constexpr const char* kBuildType = "debug";
+#else
+inline constexpr bool kReleaseTimings = true;
+inline constexpr const char* kBuildType = "release";
+#endif
+
 }  // namespace jedule::bench
 
 /// Prints the report, then hands over to google-benchmark. A short default
@@ -46,6 +61,14 @@ inline std::string fmt(double v, int digits = 3) {
 #define JEDULE_BENCH_MAIN(report_fn)                                    \
   int main(int argc, char** argv) {                                     \
     report_fn();                                                        \
+    if (!jedule::bench::kReleaseTimings) {                              \
+      std::fprintf(stderr,                                              \
+                   "bench: refusing to run timings from a debug build " \
+                   "(--benchmark_out would record non-comparable "      \
+                   "numbers); reconfigure with "                        \
+                   "-DCMAKE_BUILD_TYPE=Release\n");                     \
+      return 1;                                                         \
+    }                                                                   \
     std::vector<char*> args;                                            \
     args.push_back(argv[0]);                                            \
     char default_min_time[] = "--benchmark_min_time=0.05";             \
@@ -57,6 +80,8 @@ inline std::string fmt(double v, int digits = 3) {
                                                  args.data())) {        \
       return 1;                                                         \
     }                                                                   \
+    ::benchmark::AddCustomContext("jedule_build_type",                  \
+                                  jedule::bench::kBuildType);           \
     ::benchmark::RunSpecifiedBenchmarks();                              \
     ::benchmark::Shutdown();                                            \
     return 0;                                                           \

@@ -24,6 +24,7 @@
 #include "jedule/io/snapshot.hpp"
 #include "jedule/model/builder.hpp"
 #include "jedule/model/composite.hpp"
+#include "jedule/model/edge_index.hpp"
 #include "jedule/model/task_index.hpp"
 #include "jedule/render/canvas.hpp"
 #include "jedule/render/export.hpp"
@@ -704,6 +705,74 @@ render::RenderOptions dense_options() {
   return options;
 }
 
+// ---------------------------------------------------------------------------
+// Dependency-edge workload (DESIGN.md §4j): the 1M-task schedule plus 2M
+// precedence edges — every per-host chain link, topped up with random
+// forward communication edges between nearby tasks. Shared by the report
+// block and the BM_Edge* rows.
+// ---------------------------------------------------------------------------
+
+constexpr int kEdgeTasks = 1000000;
+constexpr std::size_t kEdgeCount = 2000000;
+
+const model::Schedule& edge_schedule() {
+  static const model::Schedule s = [] {
+    model::Schedule sched = frame_schedule(kEdgeTasks);
+    const int n = static_cast<int>(sched.tasks().size());
+    // ~1M chain edges: million_schedule runs host h's tasks at indices
+    // h, h+4096, ... so i-4096 precedes i on the same host (edges into
+    // or out of the interleaved barriers are legal precedences too).
+    for (int i = 4096; i < n; ++i) {
+      sched.add_dependency(static_cast<std::uint32_t>(i - 4096),
+                           static_cast<std::uint32_t>(i), 1.0);
+    }
+    util::Rng rng(23);
+    while (sched.dependencies().size() < kEdgeCount) {
+      const int src =
+          static_cast<int>(rng.uniform(0.0, static_cast<double>(n - 2)));
+      const int hop = 1 + static_cast<int>(rng.uniform(0.0, 999.0));
+      const int dst = std::min(src + hop, n - 1);
+      sched.add_dependency(static_cast<std::uint32_t>(src),
+                           static_cast<std::uint32_t>(dst), 1.0);
+    }
+    sched.validate();
+    return sched;
+  }();
+  return s;
+}
+
+const model::EdgeIndex& edge_index() {
+  static const model::EdgeIndex index(edge_schedule(), kBenchThreads);
+  return index;
+}
+
+const model::TaskIndex& edge_task_index() {
+  static const model::TaskIndex index(edge_schedule());
+  return index;
+}
+
+FrameSetup edge_frame_setup() {
+  const auto& s = edge_schedule();
+  const auto range = *s.time_range();
+  FrameSetup setup;
+  setup.schedule = &s;
+  setup.index = &edge_task_index();
+  setup.begin = range.begin;
+  setup.span = range.length();
+  setup.len = setup.span * 0.001;
+  setup.step = setup.len / 930.0;
+  return setup;
+}
+
+render::TileCache::Request edge_frame_request(const FrameSetup& setup,
+                                              double t0,
+                                              render::EdgeMode mode) {
+  auto req = frame_request(setup, t0);
+  req.style.edges = mode;
+  if (mode != render::EdgeMode::kOff) req.edge_index = &edge_index();
+  return req;
+}
+
 void report() {
   using namespace jedule::bench;
   report_header("scale", "'Jedule can handle big data sets ... more than "
@@ -1234,6 +1303,94 @@ void report() {
     std::filesystem::remove(path);
   }
 
+  // Dependency-edge rendering at 1M tasks / 2M edges (DESIGN.md §4j):
+  // a cold windowed frame through the columnar EdgeIndex vs the
+  // brute-force scan of every dependency, then the warm tile-cache pan
+  // with the edge overlay on vs bar-only. Targets: cold edge frame
+  // >= 5x vs brute force; warm pan with edges <= 2x bar-only. Both are
+  // algorithmic bounds (O(log n + visible) vs O(m)), so neither is
+  // gated on core count.
+  {
+    watch.reset();
+    const auto& es = edge_schedule();
+    report_row("build 1M-task/2M-edge schedule",
+               fmt(watch.seconds(), 2) + " s (" +
+                   std::to_string(es.dependencies().size()) + " edges)");
+    watch.reset();
+    const auto& eindex = edge_index();
+    report_row("2M-edge EdgeIndex build (" + std::to_string(kBenchThreads) +
+                   " threads)",
+               fmt(watch.seconds(), 2) + " s (" +
+                   std::to_string(eindex.heap_bytes() / 1024 / 1024) +
+                   " MiB)");
+
+    const auto setup = edge_frame_setup();
+    auto style = frame_style();
+    style.edges = render::EdgeMode::kAuto;
+    const auto time_cold = [&](const model::EdgeIndex* ei) {
+      render::LayoutHints hints;
+      hints.index = setup.index;
+      hints.edge_index = ei;
+      hints.assume_validated = true;
+      const int kFrames = 5;
+      util::Stopwatch w;
+      for (int i = 0; i < kFrames; ++i) {
+        auto st = style;
+        const double t0 = setup.begin + i * 97 * setup.step;
+        st.time_window = model::TimeRange{t0, t0 + setup.len};
+        const auto lay = render::layout_gantt(*setup.schedule,
+                                              bench_colormap(), st, 1, hints);
+        if (lay.edge_stats.considered == 0) throw Error("no visible edges");
+      }
+      return w.seconds() * 1000 / kFrames;
+    };
+    const double cold_index_ms = time_cold(&eindex);
+    const double cold_brute_ms = time_cold(nullptr);
+    report_row("cold edge frame, EdgeIndex window query",
+               fmt(cold_index_ms, 2) + " ms");
+    report_row("cold edge frame, brute-force dependency scan",
+               fmt(cold_brute_ms, 2) + " ms (" +
+                   fmt(cold_brute_ms / cold_index_ms, 1) + "x slower)");
+    report_check("cold 1M-task edge frame >= 5x vs brute-force scan",
+                 cold_brute_ms / cold_index_ms >= 5.0);
+
+    const auto pan = [&](render::EdgeMode mode) {
+      render::TileCache cache;
+      (void)cache.render_frame(edge_frame_request(setup, setup.begin, mode));
+      const int kFrames = 30;
+      util::Stopwatch w;
+      for (int i = 1; i <= kFrames; ++i) {
+        const double t0 = setup.begin + i * 8 * setup.step;
+        const auto fb = cache.render_frame(edge_frame_request(setup, t0, mode));
+        if (fb.width() != style.width) throw Error("bad frame");
+      }
+      return w.seconds() * 1000 / kFrames;
+    };
+    const double pan_plain_ms = pan(render::EdgeMode::kOff);
+    const double pan_edges_ms = pan(render::EdgeMode::kAuto);
+    report_row("1M-task warm pan, bar-only", fmt(pan_plain_ms, 2) + " ms");
+    report_row("1M-task warm pan, 2M-edge overlay",
+               fmt(pan_edges_ms, 2) + " ms (" +
+                   fmt(pan_edges_ms / pan_plain_ms, 2) + "x bar-only)");
+    report_check("warm 2M-edge pan <= 2x bar-only",
+                 pan_edges_ms <= 2.0 * pan_plain_ms);
+
+    // The exported bytes must not depend on which edge path ran.
+    auto options = bench_options(1);
+    options.style = style;
+    options.style.time_window =
+        model::TimeRange{setup.begin + setup.span / 2,
+                         setup.begin + setup.span / 2 + setup.len};
+    options.task_index = setup.index;
+    options.assume_validated = true;
+    options.edge_index = &eindex;
+    const auto png_index = render::render_to_bytes(es, options, "png");
+    options.edge_index = nullptr;
+    const auto png_brute = render::render_to_bytes(es, options, "png");
+    report_check("edge overlay bytes identical, index vs brute force",
+                 png_index == png_brute);
+  }
+
   // `jedule serve` artifact cache on the 250k-task schedule: the first
   // request renders (miss), every identical repeat is served the same
   // immutable byte buffer from the LRU artifact cache (hit).
@@ -1668,6 +1825,72 @@ void BM_AppendDelta(benchmark::State& state) {
 }
 BENCHMARK(BM_AppendDelta)
     ->Arg(200000)->Arg(1000000)->Unit(benchmark::kMillisecond);
+
+// Dependency-edge rows recorded in BENCH_scale.json (DESIGN.md §4j), all
+// on the 1M-task/2M-edge schedule. Warm: tile-cache pans with the edge
+// overlay on vs bar-only (arg 1/0). Cold: a windowed layout answering
+// the edge pass from the EdgeIndex vs the brute-force scan of all 2M
+// dependencies (arg 1/0).
+void BM_EdgeFrameWarm(benchmark::State& state) {
+  const bool edges = state.range(0) != 0;
+  const auto mode = edges ? render::EdgeMode::kAuto : render::EdgeMode::kOff;
+  const auto setup = edge_frame_setup();
+  render::TileCache cache;
+  (void)cache.render_frame(edge_frame_request(setup, setup.begin, mode));
+  std::int64_t k = 0;
+  const std::int64_t wrap =
+      static_cast<std::int64_t>((setup.span - setup.len) / setup.step);
+  for (auto _ : state) {
+    k = (k + 8) % std::max<std::int64_t>(wrap, 1);
+    const double t0 = setup.begin + static_cast<double>(k) * setup.step;
+    benchmark::DoNotOptimize(
+        cache.render_frame(edge_frame_request(setup, t0, mode)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kEdgeCount));
+  state.SetLabel(edges ? "2M-edge overlay" : "bar-only");
+}
+BENCHMARK(BM_EdgeFrameWarm)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_EdgeFrameCold(benchmark::State& state) {
+  const bool use_index = state.range(0) != 0;
+  const auto setup = edge_frame_setup();
+  render::LayoutHints hints;
+  hints.index = setup.index;
+  hints.edge_index = use_index ? &edge_index() : nullptr;
+  hints.assume_validated = true;
+  auto style = frame_style();
+  style.edges = render::EdgeMode::kAuto;
+  std::int64_t k = 0;
+  const std::int64_t wrap =
+      static_cast<std::int64_t>((setup.span - setup.len) / setup.step);
+  for (auto _ : state) {
+    k = (k + 97) % std::max<std::int64_t>(wrap, 1);
+    const double t0 = setup.begin + static_cast<double>(k) * setup.step;
+    style.time_window = model::TimeRange{t0, t0 + setup.len};
+    benchmark::DoNotOptimize(render::layout_gantt(
+        *setup.schedule, bench_colormap(), style, 1, hints));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kEdgeCount));
+  state.SetLabel(use_index ? "EdgeIndex query" : "brute-force scan");
+}
+BENCHMARK(BM_EdgeFrameCold)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_EdgeHeatAccumulate(benchmark::State& state) {
+  // One frame's worth of heat-lane columns: 930 pixel columns x 64 lanes.
+  std::vector<float> acc(930 * 64, 0.0f);
+  const auto& kernels = render::kernels::active();
+  for (auto _ : state) {
+    kernels.heat_accum(acc.data(), acc.size(), 1.0f);
+    benchmark::ClobberMemory();
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(acc.size() * sizeof(float)));
+  state.SetLabel(render::kernels::active().name);
+}
+BENCHMARK(BM_EdgeHeatAccumulate)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

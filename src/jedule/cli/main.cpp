@@ -9,8 +9,10 @@
 //   jedule formats                                     registered parsers/exporters
 //   jedule serve [--port N]                            long-lived HTTP render daemon
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <filesystem>
@@ -32,10 +34,12 @@
 #include "jedule/io/file.hpp"
 #include "jedule/io/jedule_xml.hpp"
 #include "jedule/io/registry.hpp"
+#include "jedule/model/edge_index.hpp"
 #include "jedule/model/stats.hpp"
 #include "jedule/model/task_index.hpp"
 #include "jedule/render/ascii.hpp"
 #include "jedule/render/exporter.hpp"
+#include "jedule/render/kernels.hpp"
 #include "jedule/render/profile.hpp"
 #include "jedule/serve/server.hpp"
 #include "jedule/util/error.hpp"
@@ -93,6 +97,14 @@ std::string usage() {
       "                      level of detail: collapse sub-pixel tasks into\n"
       "                      density bins (default: off for exports, auto\n"
       "                      for interactive frames)\n"
+      "  --edges auto|off|force\n"
+      "                      dependency rendering: arrows while the visible\n"
+      "                      edge count fits the per-column budget, a heat\n"
+      "                      lane above it; force always bundles (default:\n"
+      "                      auto — schedules without dependencies draw\n"
+      "                      nothing). The critical path overlays in red.\n"
+      "  --edge-density N    arrows-vs-heat budget in visible edges per\n"
+      "                      pixel column (default 2)\n"
       "  --format NAME       force the input parser (see 'jedule formats')\n"
       "  --image-format NAME force the output format: " +
       util::join(registry.exporter_names(), " ") +
@@ -185,6 +197,13 @@ int cmd_render(const Args& args) {
     index.emplace(schedule);
     options.task_index = &*index;
   }
+  // Same deal for dependency edges: the index turns the per-panel edge
+  // layout into window queries instead of full dependency scans.
+  std::optional<model::EdgeIndex> edge_index;
+  if (!schedule.dependencies().empty()) {
+    edge_index.emplace(schedule, options.resolved_threads());
+    options.edge_index = &*edge_index;
+  }
   render::export_schedule(schedule, options, *out,
                           args.value_or("image-format", ""));
   JED_INFO() << "wrote " << *out << " (threads=" << options.resolved_threads()
@@ -260,6 +279,11 @@ int cmd_batch(const Args& args) {
       if (file_options.style.time_window) {
         index.emplace(schedule);
         file_options.task_index = &*index;
+      }
+      std::optional<model::EdgeIndex> edge_index;
+      if (!schedule.dependencies().empty()) {
+        edge_index.emplace(schedule, file_options.threads);
+        file_options.edge_index = &*edge_index;
       }
       render::export_schedule(schedule, file_options, outputs[i],
                               image_format);
@@ -381,7 +405,7 @@ int cmd_snapshot(const Args& args) {
   if (args.has("ingest-stats") && !entry->ingest.format.empty()) {
     std::cerr << io::ingest_summary(entry->ingest) << "\n";
   }
-  io::save_snapshot(entry->arena(), entry->index, *out);
+  io::save_snapshot(entry->arena(), entry->index, *out, &entry->edges);
   std::cout << "wrote " << *out << " ("
             << std::filesystem::file_size(*out) << " bytes, "
             << entry->task_count() << " task(s), id " << entry->id << ")\n";
@@ -409,6 +433,50 @@ int cmd_info(const Args& args) {
   for (const auto& [type, area] : stats.area_by_type) {
     std::cout << "  area[" << type << "] = " << util::format_fixed(area, 3)
               << "\n";
+  }
+  if (!schedule.dependencies().empty()) {
+    const model::EdgeIndex edges(schedule);
+    // Max per-column density on a 1000-column grid over the full time
+    // range — the quantity the renderer's arrows-vs-heat budget compares
+    // against (accumulated with the heat-lane kernel itself).
+    constexpr std::size_t kCols = 1000;
+    std::size_t max_col = 0;
+    const auto range = schedule.time_range();
+    if (range && range->length() > 0) {
+      const double len = range->length();
+      for (const auto& c : schedule.clusters()) {
+        std::vector<float> acc(kCols, 0.0f);
+        edges.query(
+            c.id, range->begin, range->end,
+            [&](const model::EdgeIndex::Entry& e) {
+              const double u0 = (std::max(e.begin, range->begin) -
+                                 range->begin) /
+                                len * static_cast<double>(kCols);
+              const double u1 = (std::min(e.end, range->end) -
+                                 range->begin) /
+                                len * static_cast<double>(kCols);
+              auto c0 = static_cast<long long>(std::floor(u0));
+              auto c1 = static_cast<long long>(std::ceil(u1));
+              if (c1 <= c0) c1 = c0 + 1;
+              c0 = std::clamp<long long>(c0, 0, kCols);
+              c1 = std::clamp<long long>(c1, 0, kCols);
+              if (c1 > c0) {
+                render::kernels::active().heat_accum(
+                    acc.data() + c0, static_cast<std::size_t>(c1 - c0),
+                    1.0f);
+              }
+            });
+        for (const float v : acc) {
+          max_col = std::max(max_col, static_cast<std::size_t>(v));
+        }
+      }
+    }
+    std::cout << "edges:       " << edges.edge_count() << "\n";
+    std::cout << "  max edges/column: " << max_col
+              << " (1000-column grid)\n";
+    std::cout << "  critical path: " << edges.critical_path().size()
+              << " task(s), length "
+              << util::format_fixed(edges.critical_path_time(), 3) << "\n";
   }
   if (!schedule.meta().empty()) {
     std::cout << "meta:\n";
@@ -575,6 +643,7 @@ int run(int argc, char** argv) {
       "out",      "cmap",  "width",     "height", "window",
       "clusters", "types", "highlight", "format", "script",
       "threads",  "out-dir", "ext",     "image-format", "lod",
+      "edges",    "edge-density",
       "host",     "port",  "queue",     "deadline-ms",  "store-entries",
       "cache-mb", "poll-ms", "quiet-polls"};
   const std::vector<std::string> known_flags = {
@@ -583,6 +652,7 @@ int run(int argc, char** argv) {
       "script",    "grayscale",     "aligned",    "no-composites",
       "no-labels", "hatch-composites", "verbose", "threads",
       "out-dir",   "ext",           "image-format", "lod", "frame-stats",
+      "edges",     "edge-density",
       "host",      "port",          "queue",      "deadline-ms",
       "store-entries", "cache-mb",  "follow",     "poll-ms",
       "quiet-polls", "ingest-stats"};

@@ -58,10 +58,11 @@ std::vector<ScheduleArena::Event> parse_event_lines(const std::string& text) {
     if (line.empty() || line[0] == '#' || line[0] == '!') continue;
     const auto fields = util::split(line, ',');
     if (fields[0] == "task_id") continue;  // CSV header row
-    if (fields.size() != 5) {
-      throw ParseError("expected 'id,type,start,end,cluster:hosts', got " +
-                           std::to_string(fields.size()) + " fields",
-                       line_no);
+    if (fields.size() != 5 && fields.size() != 6) {
+      throw ParseError(
+          "expected 'id,type,start,end,cluster:hosts[,deps]', got " +
+              std::to_string(fields.size()) + " fields",
+          line_no);
     }
     const auto start = util::parse_double(fields[2]);
     const auto end = util::parse_double(fields[3]);
@@ -72,6 +73,13 @@ std::vector<ScheduleArena::Event> parse_event_lines(const std::string& text) {
     e.start = *start;
     e.end = *end;
     parse_alloc(fields[4], line_no, &e);
+    if (fields.size() == 6) {
+      for (const auto& token : util::split(fields[5], ';')) {
+        if (token.empty()) continue;
+        const util::DepToken dep = util::parse_dep_token(token);
+        e.deps.emplace_back(std::string(dep.id), dep.data);
+      }
+    }
     events.push_back(std::move(e));
   }
   return events;
@@ -100,6 +108,14 @@ std::vector<ScheduleArena::Event> events_from_tasks(
     e.host_start = cfg.hosts.front().start;
     e.host_nb = cfg.hosts.front().nb;
     out.push_back(std::move(e));
+  }
+  // Attach the dependencies entering the new tasks, by source id (the
+  // event grammar references tasks by id). One pass over the dependency
+  // vector keeps each destination's per-edge order, so the appended
+  // arena hashes its edges exactly like a full rebuild would.
+  for (const auto& d : schedule.dependencies()) {
+    if (d.dst < first_new) continue;
+    out[d.dst - first_new].deps.emplace_back(tasks[d.src].id(), d.data);
   }
   return out;
 }

@@ -8,6 +8,12 @@
 //   <task_id>,<type>,<start>,<end>,<cluster>:<host>        single host
 //   <task_id>,<type>,<start>,<end>,<cluster>:<a>-<b>       host range
 //
+// An optional sixth field carries the task's dependencies, mirroring the
+// CSV `deps` column: `;`-separated `<src_id>` or `<src_id>:<data>`
+// references to already-ingested tasks (the volume splits at the last
+// ':' so ids containing ':' keep working unless their tail parses as a
+// number).
+//
 // Blank lines, '#' comments and the CSV header row are skipped, so the
 // tail of a well-formed CSV schedule file parses directly. Events are the
 // single-configuration, single-contiguous-range shape live traces

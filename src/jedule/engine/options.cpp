@@ -22,6 +22,14 @@ render::LodMode parse_lod_mode(std::string_view value) {
                       ")");
 }
 
+render::EdgeMode parse_edge_mode(std::string_view value) {
+  if (value == "auto") return render::EdgeMode::kAuto;
+  if (value == "off") return render::EdgeMode::kOff;
+  if (value == "force") return render::EdgeMode::kForce;
+  throw ArgumentError("edges must be auto, off or force (got " +
+                      quoted(value) + ")");
+}
+
 model::TimeRange parse_time_window(std::string_view value) {
   const auto parts = util::split(value, ':');
   if (parts.size() != 2) {
@@ -102,6 +110,12 @@ render::GanttStyle style_from_options(const OptionLookup& get) {
   }
   if (const auto lod = get("lod")) {
     style.lod = parse_lod_mode(*lod);
+  }
+  if (const auto edges = get("edges")) {
+    style.edges = parse_edge_mode(*edges);
+  }
+  if (const auto density = get("edge-density")) {
+    style.edge_density = parse_positive_int(*density, "edge-density");
   }
   return style;
 }

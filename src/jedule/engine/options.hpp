@@ -8,8 +8,8 @@
 // OptionLookup and gets the same validation and the same error messages.
 //
 // Option names are the CLI flag names without dashes: width, height,
-// aligned, window, clusters, types, highlight, lod, grayscale, cmap,
-// no-composites, no-labels, hatch-composites, threads.
+// aligned, window, clusters, types, highlight, lod, edges, edge-density,
+// grayscale, cmap, no-composites, no-labels, hatch-composites, threads.
 
 #include <functional>
 #include <optional>
@@ -34,6 +34,10 @@ using OptionLookup =
 
 /// "auto" | "off" | "force"; throws ArgumentError otherwise.
 render::LodMode parse_lod_mode(std::string_view value);
+
+/// "auto" | "off" | "force" for dependency-edge rendering; throws
+/// ArgumentError otherwise.
+render::EdgeMode parse_edge_mode(std::string_view value);
 
 /// "T0:T1" with finite T1 > T0; throws ArgumentError otherwise.
 model::TimeRange parse_time_window(std::string_view value);

@@ -66,6 +66,8 @@ void hash_style(Fnv& f, const render::GanttStyle& s) {
   f.i32(s.time_ticks);
   f.i32(static_cast<int>(s.lod));
   f.i32(s.lod_density);
+  f.i32(static_cast<int>(s.edges));
+  f.i32(s.edge_density);
 }
 
 void hash_colormap(Fnv& f, const color::ColorMap& m) {
@@ -155,12 +157,19 @@ RenderService::Artifact RenderService::render(const EntryPtr& entry,
   req.u64(options_digest(options));
   const Key key{entry->content_hash, req.h};
   return cached(key, media_type_for(format), Encoding::identity, [&] {
-    // The entry's index makes windowed renders O(visible), and the
-    // entry's cached composite list replaces the per-render overlap
-    // sweep; bytes are identical with or without either, so both stay
-    // out of the cache key.
+    // The entry's index makes windowed renders O(visible), the edge
+    // index makes dependency layout O(log n + visible), and the entry's
+    // cached composite list replaces the per-render overlap sweep; bytes
+    // are identical with or without any of them, so all stay out of the
+    // cache key.
     options.task_index = &entry->index;
+    options.edge_index = &entry->edges;
     options.assume_validated = true;  // entries validate at ingest
+    if (!entry->edges.empty() &&
+        options.style.edges != render::EdgeMode::kOff) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.edge_renders;
+    }
     std::shared_ptr<const std::vector<model::Composite>> composites;
     if (options.style.show_composites && options.style.type_filter.empty() &&
         !options.style.time_window) {
@@ -214,10 +223,18 @@ RenderService::Artifact RenderService::render_tile(
     tile_req.colormap = &options.colormap;
     tile_req.style = options.style;
     tile_req.index = &entry->index;
+    tile_req.edge_index = &entry->edges;
     tile_req.colormap_epoch = colormap_epoch(options.colormap);
     tile_req.validated = true;
     std::lock_guard<std::mutex> lock(tile_mu_);
     const render::Framebuffer fb = tiles_.render_frame(tile_req);
+    const auto& frame = tiles_.last_frame();
+    if (frame.edges_considered > 0 || frame.edge_heat_panels > 0) {
+      std::lock_guard<std::mutex> stats_lock(mu_);
+      ++stats_.edge_renders;
+      stats_.edge_arrows += frame.edge_arrows;
+      stats_.edge_heat_frames += frame.edge_heat_panels > 0 ? 1 : 0;
+    }
     std::string bytes =
         render::encode_png(fb, util::resolve_threads(options.threads));
     const std::size_t raw = bytes.size();

@@ -67,6 +67,11 @@ class RenderService {
     std::size_t artifact_bytes = 0;
     /// Counters of the shared tile cache (render::frame_profile).
     render::profile::CacheStats tile;
+    /// Dependency-edge rendering: artifact renders with edges active,
+    /// and how the tile path drew them (arrows vs heat lanes).
+    std::uint64_t edge_renders = 0;
+    std::uint64_t edge_arrows = 0;
+    std::uint64_t edge_heat_frames = 0;
   };
 
   RenderService() : RenderService(Options{}) {}

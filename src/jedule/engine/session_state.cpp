@@ -45,6 +45,7 @@ const render::GanttLayout& SessionState::layout() {
   if (!layout_) {
     render::LayoutHints hints;
     hints.index = &entry_->index;
+    hints.edge_index = &entry_->edges;
     hints.assume_validated = true;  // entries validate at ingest
     hints.interactive = true;
     layout_ = render::layout_gantt(schedule(), colormap_, style_,
@@ -198,6 +199,19 @@ void SessionState::set_lod(render::LodMode mode) {
   invalidate();
 }
 
+void SessionState::set_edges(render::EdgeMode mode) {
+  style_.edges = mode;
+  invalidate();
+}
+
+void SessionState::set_edge_density(int per_column) {
+  if (per_column <= 0) {
+    throw ArgumentError("edge-density must be a positive integer");
+  }
+  style_.edge_density = per_column;
+  invalidate();
+}
+
 const render::Framebuffer& SessionState::frame() {
   render::TileCache::Request req;
   req.schedule = &schedule();
@@ -205,6 +219,7 @@ const render::Framebuffer& SessionState::frame() {
   req.style = style_;
   req.style.time_window = current_window();
   req.index = &entry_->index;
+  req.edge_index = &entry_->edges;
   req.colormap_epoch = colormap_epoch_;
   req.validated = true;
   frame_ = cache_.render_frame(req);

@@ -80,6 +80,10 @@ class SessionState {
   void set_colormap(color::ColorMap colormap);
   void set_grayscale(bool on);
   void set_lod(render::LodMode mode);
+  void set_edges(render::EdgeMode mode);
+  /// Arrow budget per pixel column before the view switches to heat
+  /// lanes; throws ArgumentError unless strictly positive.
+  void set_edge_density(int per_column);
 
   // -- frames -----------------------------------------------------------
 

@@ -5,6 +5,7 @@
 
 #include "jedule/io/file.hpp"
 #include "jedule/io/registry.hpp"
+#include "jedule/model/fnv.hpp"
 #include "jedule/util/error.hpp"
 #include "jedule/util/strings.hpp"
 
@@ -43,6 +44,18 @@ std::size_t estimate_schedule_bytes(const model::Schedule& s) {
   return n;
 }
 
+// The entry's identity hash: the task hash folded with the edge hash when
+// edges exist — the same fold as ScheduleArena::combined_hash, so AoS,
+// snapshot and append ingest all agree on the id of identical content.
+std::uint64_t combined_hash_of(std::uint64_t tasks_hash,
+                               const model::EdgeIndex& edges) {
+  if (edges.empty()) return tasks_hash;
+  std::uint64_t h = tasks_hash;
+  model::detail::fnv_u64(&h, edges.edges_hash());
+  model::detail::fnv_u64(&h, edges.edge_count());
+  return h;
+}
+
 }  // namespace
 
 ScheduleEntry::ScheduleEntry(model::Schedule schedule_in,
@@ -53,7 +66,10 @@ ScheduleEntry::ScheduleEntry(model::Schedule schedule_in,
   // The parse's worker count also sizes the index build: per-cluster
   // segments sort concurrently, output identical at any thread count.
   index = model::TaskIndex(*schedule_, std::max(1, ingest.threads));
-  content_hash = index.content_hash();
+  if (!schedule_->dependencies().empty()) {
+    edges = model::EdgeIndex(*schedule_, std::max(1, ingest.threads));
+  }
+  content_hash = combined_hash_of(index.content_hash(), edges);
   id = hex_id(content_hash);
   if (const auto range = index.time_range()) full_range = *range;
   aos_bytes_ = estimate_schedule_bytes(*schedule_);
@@ -61,7 +77,9 @@ ScheduleEntry::ScheduleEntry(model::Schedule schedule_in,
 }
 
 ScheduleEntry::ScheduleEntry(io::Snapshot snapshot, std::string source_in)
-    : source(std::move(source_in)), index(std::move(snapshot.index)) {
+    : source(std::move(source_in)),
+      index(std::move(snapshot.index)),
+      edges(std::move(snapshot.edges)) {
   auto arena =
       std::make_shared<model::ScheduleArena>(std::move(snapshot.arena));
   // parse_snapshot checked structure and hashes; the numeric invariants
@@ -71,7 +89,7 @@ ScheduleEntry::ScheduleEntry(io::Snapshot snapshot, std::string source_in)
   // never hashes a million id strings.
   arena->validate_columns();
   arena_ = std::move(arena);
-  content_hash = index.content_hash();
+  content_hash = combined_hash_of(index.content_hash(), edges);
   id = hex_id(content_hash);
   if (const auto range = index.time_range()) full_range = *range;
   first_new_ = task_count();
@@ -86,7 +104,15 @@ ScheduleEntry::ScheduleEntry(
   arena->append(events);  // throws ValidationError, base untouched
   arena_ = std::move(arena);
   index = model::TaskIndex(base.index, *arena_, first);
-  content_hash = index.content_hash();
+  if (arena_->dep_count() > 0) {
+    // Built entries have a non-empty edge index exactly when edges exist,
+    // so a non-empty base extends in O(delta); the rare first-ever edge
+    // arriving via append pays one full build.
+    edges = base.edges.empty()
+                ? model::EdgeIndex(*arena_)
+                : model::EdgeIndex(base.edges, *arena_, first);
+  }
+  content_hash = combined_hash_of(index.content_hash(), edges);
   id = hex_id(content_hash);
   if (const auto range = index.time_range()) full_range = *range;
   first_new_ = first;
@@ -154,6 +180,7 @@ ScheduleEntry::Resident ScheduleEntry::resident() const {
   if (composites_) {
     r.heap_bytes += composites_->size() * sizeof(model::Composite);
   }
+  r.heap_bytes += edges.heap_bytes();
   return r;
 }
 

@@ -25,6 +25,7 @@
 #include "jedule/io/snapshot.hpp"
 #include "jedule/model/arena.hpp"
 #include "jedule/model/composite.hpp"
+#include "jedule/model/edge_index.hpp"
 #include "jedule/model/schedule.hpp"
 #include "jedule/model/task_index.hpp"
 
@@ -62,12 +63,21 @@ struct ScheduleEntry {
                 const std::vector<model::ScheduleArena::Event>& events);
 
   std::string id;
+  /// Identity of the entry's full content: the task-column hash folded
+  /// with the dependency-edge hash when edges exist (equal to the task
+  /// hash otherwise, so edge-free ids match pre-edge builds). Everything
+  /// keyed off it — artifact caches, tile caches, ETags — invalidates
+  /// when either tasks or edges change.
   std::uint64_t content_hash = 0;
   std::string source;  // originating path / upload name hint (may be empty)
   /// How this entry was ingested (io::IngestStats; default-empty for
   /// snapshot and append entries, which never ran a text parse).
   io::IngestStats ingest;
   model::TaskIndex index;
+  /// Dependency-edge index; empty when the schedule carries no edges
+  /// (built only when dependencies exist, so edge-free ingest pays
+  /// nothing).
+  model::EdgeIndex edges;
   model::TimeRange full_range{0, 1};  // {0, 1} for an empty schedule
 
   std::size_t task_count() const { return index.task_count(); }

@@ -124,6 +124,10 @@ std::string Session::info() const {
                     " host(s), makespan=" +
                     util::format_fixed(stats.makespan, 3) + ", utilization=" +
                     util::format_fixed(stats.utilization * 100.0, 1) + "%";
+  if (!schedule().dependencies().empty()) {
+    out += ", " + std::to_string(schedule().dependencies().size()) +
+           " dependency edge(s)";
+  }
   return out;
 }
 
@@ -203,6 +207,7 @@ void Session::snapshot(const std::string& path) {
   options.style = state_.style();
   options.colormap = state_.colormap();
   options.task_index = &state_.index();
+  options.edge_index = &state_.entry()->edges;
   render::export_schedule(schedule(), options, path);
 }
 
@@ -307,6 +312,16 @@ std::string Session::execute(const std::string& command) {
     set_lod(engine::parse_lod_mode(words[1]));
     return "lod " + words[1];
   }
+  if (op == "edges") {
+    need_args(1);
+    set_edges(engine::parse_edge_mode(words[1]));
+    return "edges " + words[1];
+  }
+  if (op == "edge-density") {
+    need_args(1);
+    set_edge_density(engine::parse_positive_int(words[1], "edge-density"));
+    return "edge-density " + words[1];
+  }
   if (op == "inspect" || op == "click") {
     need_args(2);
     return inspect(as_double(words[1]), as_double(words[2]));
@@ -355,7 +370,8 @@ std::string Session::execute(const std::string& command) {
     return "commands: zoom <factor>|zoom <t0> <t1>, window <t0> <t1>, "
            "pan <dt>, reset, clusters all|<ids>, types all|<names>, "
            "mode scaled|aligned, grayscale on|off, lod auto|off|force, "
-           "cmap <file>, inspect <x> <y>, frame, stats, info, ascii, reread, "
+           "edges auto|off|force, edge-density <n>, cmap <file>, "
+           "inspect <x> <y>, frame, stats, info, ascii, reread, "
            "follow, export <path>, help";
   }
   throw ArgumentError("unknown command '" + op + "' (try 'help')");

@@ -97,6 +97,10 @@ class Session {
   }
   void set_grayscale(bool on) { state_.set_grayscale(on); }
   void set_lod(render::LodMode mode) { state_.set_lod(mode); }
+  void set_edges(render::EdgeMode mode) { state_.set_edges(mode); }
+  void set_edge_density(int per_column) {
+    state_.set_edge_density(per_column);
+  }
 
   // -- frames -----------------------------------------------------------
 
@@ -143,6 +147,7 @@ class Session {
   ///   zoom <factor> | zoom <t0> <t1> | window <t0> <t1> | pan <dt> | reset
   ///   clusters all | clusters <id>[,<id>...]
   ///   mode scaled|aligned | grayscale on|off | lod auto|off|force
+  ///   edges auto|off|force | edge-density <n>
   ///   inspect <x> <y> | info | frame | stats | reread | export <path> | help
   /// Throws ArgumentError on unknown commands or malformed arguments.
   std::string execute(const std::string& command);

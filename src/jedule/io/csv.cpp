@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <deque>
+#include <unordered_map>
 
 #include "jedule/io/file.hpp"
 #include "jedule/util/error.hpp"
@@ -60,8 +61,14 @@ model::Schedule read_schedule_csv(std::string_view csv_text) {
   Schedule schedule;
   bool have_clusters = false;
   bool have_header = false;
+  // The optional sixth header column `deps` enables per-row dependency
+  // cells: `;`-separated `<src_id>` or `<src_id>:<data>` references to
+  // tasks on earlier rows.
+  bool has_deps = false;
   int max_host = -1;
   std::vector<Task> tasks;
+  std::unordered_map<std::string, std::uint32_t> ids;  // only when has_deps
+  std::vector<model::Dependency> deps;
 
   long line_no = 0;
   for (const auto& raw : util::split(csv_text, '\n')) {
@@ -93,17 +100,39 @@ model::Schedule read_schedule_csv(std::string_view csv_text) {
         throw ParseError(
             "expected header 'task_id,type,start,end,allocs'", line_no);
       }
+      has_deps = fields.size() >= 6 && fields[5] == "deps";
       have_header = true;
       continue;
     }
-    if (fields.size() != 5) {
-      throw ParseError("expected 5 fields, got " +
-                           std::to_string(fields.size()),
+    const std::size_t expected = has_deps ? 6 : 5;
+    if (fields.size() != expected) {
+      throw ParseError("expected " + std::to_string(expected) +
+                           " fields, got " + std::to_string(fields.size()),
                        line_no);
     }
     auto start = util::parse_double(fields[2]);
     auto end = util::parse_double(fields[3]);
     if (!start || !end) throw ParseError("bad start/end time", line_no);
+    if (has_deps) {
+      // Resolve before this row's id is registered, so a self-reference
+      // reads as unknown (like the live-append path).
+      const auto dst = static_cast<std::uint32_t>(tasks.size());
+      if (!fields[5].empty()) {
+        for (const auto& token : util::split(fields[5], ';')) {
+          if (token.empty()) continue;
+          const util::DepToken dep = util::parse_dep_token(token);
+          const auto it = ids.find(std::string(dep.id));
+          if (it == ids.end()) {
+            throw ParseError("task '" + fields[0] +
+                                 "' depends on unknown task '" +
+                                 std::string(dep.id) + "'",
+                             line_no);
+          }
+          deps.push_back(model::Dependency{it->second, dst, dep.data});
+        }
+      }
+      ids.emplace(fields[0], dst);
+    }
     Task t(fields[0], fields[1], *start, *end);
     for (const auto& alloc : util::split(fields[4], '|')) {
       Configuration cfg = parse_alloc(alloc, line_no);
@@ -122,6 +151,7 @@ model::Schedule read_schedule_csv(std::string_view csv_text) {
     schedule.add_cluster(0, "cluster-0", std::max(max_host + 1, 1));
   }
   for (auto& t : tasks) schedule.add_task(std::move(t));
+  for (const auto& d : deps) schedule.add_dependency(d.src, d.dst, d.data);
   schedule.validate();
   return schedule;
 }
@@ -130,8 +160,12 @@ namespace {
 
 // Result of one worker chunk of data lines: the tasks in file order plus
 // the chunk-local max host index (for the inferred default cluster).
+// Dependency cells stay raw (chunk-local task index, cell text): their
+// ids can reference tasks in earlier chunks, so resolution waits for the
+// in-order merge.
 struct CsvChunk {
   std::vector<Task> tasks;
+  std::vector<std::pair<std::size_t, std::string>> deps;
   int max_host = -1;
 };
 
@@ -141,8 +175,9 @@ struct CsvChunk {
 // the caller rerun the serial parse, which re-derives the exact serial
 // error. A directive line is legal input the chunked path cannot order
 // correctly, so it bails through the same ParseError channel.
-void parse_csv_chunk(std::string_view chunk, CsvChunk* out) {
+void parse_csv_chunk(std::string_view chunk, bool has_deps, CsvChunk* out) {
   TypeInternCache types;
+  const std::size_t expected = has_deps ? 6 : 5;
   std::size_t pos = 0;
   while (pos < chunk.size()) {
     const std::size_t nl = chunk.find('\n', pos);
@@ -156,13 +191,13 @@ void parse_csv_chunk(std::string_view chunk, CsvChunk* out) {
     if (line[0] == '!') {
       throw ParseError("directive after header needs the serial reader");
     }
-    std::array<std::string_view, 5> f;
+    std::array<std::string_view, 6> f;
     std::size_t n = 0;
     std::size_t start = 0;
     bool overflow = false;
     for (std::size_t i = 0; i <= line.size(); ++i) {
       if (i == line.size() || line[i] == ',') {
-        if (n == 5) {
+        if (n == expected) {
           overflow = true;
           break;
         }
@@ -170,7 +205,10 @@ void parse_csv_chunk(std::string_view chunk, CsvChunk* out) {
         start = i + 1;
       }
     }
-    if (overflow || n != 5) throw ParseError("expected 5 fields");
+    if (overflow || n != expected) throw ParseError("wrong field count");
+    if (has_deps && !f[5].empty()) {
+      out->deps.emplace_back(out->tasks.size(), std::string(f[5]));
+    }
     const auto start_t = util::parse_double(f[2]);
     const auto end_t = util::parse_double(f[3]);
     if (!start_t || !end_t) throw ParseError("bad start/end time");
@@ -211,6 +249,7 @@ model::Schedule read_schedule_csv_chunked(TextSource& src,
     LineScanner scan(src);
     Schedule schedule;
     bool have_clusters = false;
+    bool has_deps = false;
 
     // Serial pre-pass, identical to the serial reader: comments and
     // directives up to and including the header line, in file order.
@@ -253,6 +292,7 @@ model::Schedule read_schedule_csv_chunked(TextSource& src,
           throw ParseError("expected header 'task_id,type,start,end,allocs'",
                            line_no);
         }
+        has_deps = fields.size() >= 6 && fields[5] == "deps";
         data_begin = next;
         break;
       }
@@ -276,7 +316,8 @@ model::Schedule read_schedule_csv_chunked(TextSource& src,
         outputs.emplace_back();
         CsvChunk* out = &outputs.back();
         const std::string_view chunk = scan.slice(begin, end);
-        exec.submit([chunk, out] { parse_csv_chunk(chunk, out); });
+        exec.submit(
+            [chunk, has_deps, out] { parse_csv_chunk(chunk, has_deps, out); });
         if (nl == LineScanner::npos) break;
         begin = end;
       }
@@ -290,6 +331,33 @@ model::Schedule read_schedule_csv_chunked(TextSource& src,
     }
     for (auto& o : outputs) {
       for (auto& t : o.tasks) schedule.add_task(std::move(t));
+    }
+    if (has_deps) {
+      // Resolve the raw dependency cells against the merged task order.
+      // The serial reader only resolves against *earlier* rows; any cell
+      // that would resolve differently (unknown id, forward reference)
+      // bails to the serial rerun for its exact error message.
+      std::unordered_map<std::string_view, std::uint32_t> ids;
+      ids.reserve(schedule.tasks().size());
+      for (std::size_t i = 0; i < schedule.tasks().size(); ++i) {
+        ids.emplace(schedule.tasks()[i].id(), static_cast<std::uint32_t>(i));
+      }
+      std::size_t chunk_base = 0;
+      for (const auto& o : outputs) {
+        for (const auto& [local, cell] : o.deps) {
+          const auto dst = static_cast<std::uint32_t>(chunk_base + local);
+          for (const auto& token : util::split(cell, ';')) {
+            if (token.empty()) continue;
+            const util::DepToken dep = util::parse_dep_token(token);
+            const auto it = ids.find(dep.id);
+            if (it == ids.end() || it->second >= dst) {
+              throw ParseError("dependency cell needs the serial reader");
+            }
+            schedule.add_dependency(it->second, dst, dep.data);
+          }
+        }
+        chunk_base += o.tasks.size();
+      }
     }
     if (stats != nullptr) {
       stats->chunks = outputs.size();
@@ -319,7 +387,20 @@ std::string write_schedule_csv(const model::Schedule& schedule) {
   for (const auto& [k, v] : schedule.meta()) {
     out += "!meta," + k + "," + v + "\n";
   }
-  out += "task_id,type,start,end,allocs\n";
+  const bool has_deps = !schedule.dependencies().empty();
+  std::vector<std::string> dep_cells;
+  if (has_deps) {
+    dep_cells.resize(schedule.tasks().size());
+    for (const auto& d : schedule.dependencies()) {
+      std::string& cell = dep_cells[d.dst];
+      if (!cell.empty()) cell += ';';
+      cell += schedule.tasks()[d.src].id();
+      if (d.data != 0) cell += ":" + util::format_fixed(d.data, 6);
+    }
+  }
+  out += has_deps ? "task_id,type,start,end,allocs,deps\n"
+                  : "task_id,type,start,end,allocs\n";
+  std::size_t row = 0;
   for (const auto& t : schedule.tasks()) {
     out += t.id() + "," + t.type() + "," +
            util::format_fixed(t.start_time(), 6) + "," +
@@ -336,7 +417,10 @@ std::string write_schedule_csv(const model::Schedule& schedule) {
       spec += util::join(items, ";");
       allocs.push_back(std::move(spec));
     }
-    out += util::join(allocs, "|") + "\n";
+    out += util::join(allocs, "|");
+    if (has_deps) out += "," + dep_cells[row];
+    out += "\n";
+    ++row;
   }
   return out;
 }

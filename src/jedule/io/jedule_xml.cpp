@@ -256,7 +256,60 @@ Task read_node(PullParser& p, TypeInternCache* types = nullptr) {
   return t;
 }
 
-Schedule read_schedule_xml_impl(std::string_view xml_text, bool validate) {
+// A `<precedence src=... dst=... data=...>` record as parsed, before the
+// task ids are resolved to indices. Resolution is deferred until every
+// task is known, so a <precedences> section may precede <node_infos> —
+// and so the chunked reader can resolve after its worker merge.
+struct PendingDep {
+  std::string src;
+  std::string dst;
+  double data = 0;
+  long line = 0;
+};
+
+void resolve_deps(Schedule& schedule, const std::vector<PendingDep>& pending) {
+  if (pending.empty()) return;
+  std::unordered_map<std::string_view, std::uint32_t> ids;
+  ids.reserve(schedule.tasks().size());
+  for (std::size_t i = 0; i < schedule.tasks().size(); ++i) {
+    ids.emplace(schedule.tasks()[i].id(), static_cast<std::uint32_t>(i));
+  }
+  for (const auto& p : pending) {
+    const auto s = ids.find(p.src);
+    if (s == ids.end()) {
+      throw ParseError("<precedence> references unknown task '" + p.src + "'",
+                       p.line);
+    }
+    const auto d = ids.find(p.dst);
+    if (d == ids.end()) {
+      throw ParseError("<precedence> references unknown task '" + p.dst + "'",
+                       p.line);
+    }
+    schedule.add_dependency(s->second, d->second, p.data);
+  }
+}
+
+PendingDep read_precedence(const PullParser& p) {
+  PendingDep d;
+  d.src = std::string(p.require_attr("src"));
+  d.dst = std::string(p.require_attr("dst"));
+  d.line = p.line();
+  if (const auto data = p.attr("data")) {
+    const auto v = util::parse_double(*data);
+    if (!v) {
+      throw ParseError("attribute 'data' of <precedence> is not a number",
+                       p.line());
+    }
+    d.data = *v;
+  }
+  return d;
+}
+
+// When `defer` is non-null the <precedences> records are returned raw
+// instead of resolved — the chunked reader resolves them only after the
+// worker batches are merged back in.
+Schedule read_schedule_xml_impl(std::string_view xml_text, bool validate,
+                                std::vector<PendingDep>* defer = nullptr) {
   PullParser p(xml_text);
   p.next();  // the parser throws unless the document opens with an element
   if (p.name() != "jedule") {
@@ -267,9 +320,11 @@ Schedule read_schedule_xml_impl(std::string_view xml_text, bool validate) {
   const long root_line = p.line();
 
   Schedule schedule;
+  std::vector<PendingDep> pending;
   bool seen_meta = false;
   bool seen_platform = false;
   bool seen_nodes = false;
+  bool seen_precedences = false;
   for (auto ev = p.next(); ev != PullParser::Event::kEndElement;
        ev = p.next()) {
     if (ev != PullParser::Event::kStartElement) continue;
@@ -315,6 +370,14 @@ Schedule read_schedule_xml_impl(std::string_view xml_text, bool validate) {
           p.skip_element();
         }
       }
+    } else if (section == "precedences" && !seen_precedences) {
+      seen_precedences = true;
+      for (auto prec_ev = p.next(); prec_ev != PullParser::Event::kEndElement;
+           prec_ev = p.next()) {
+        if (prec_ev != PullParser::Event::kStartElement) continue;
+        if (p.name() == "precedence") pending.push_back(read_precedence(p));
+        p.skip_element();
+      }
     } else {
       p.skip_element();
     }
@@ -326,6 +389,11 @@ Schedule read_schedule_xml_impl(std::string_view xml_text, bool validate) {
                      root_line);
   }
 
+  if (defer != nullptr) {
+    *defer = std::move(pending);
+  } else {
+    resolve_deps(schedule, pending);
+  }
   if (validate) schedule.validate();
   return schedule;
 }
@@ -678,7 +746,11 @@ model::Schedule read_schedule_xml_chunked(TextSource& src,
       cursor = end;
     }
     skeleton.append(text.data() + cursor, text.size() - cursor);
-    Schedule schedule = read_schedule_xml_impl(skeleton, /*validate=*/false);
+    // Precedence records stay raw through the skeleton pass — their task
+    // ids resolve only once the worker batches are merged back in.
+    std::vector<PendingDep> pending;
+    Schedule schedule =
+        read_schedule_xml_impl(skeleton, /*validate=*/false, &pending);
 
     // In-order merge: batches were submitted in document order and each
     // holds its records in document order, so this reproduces the serial
@@ -686,6 +758,7 @@ model::Schedule read_schedule_xml_chunked(TextSource& src,
     for (auto& tasks : outputs) {
       for (auto& t : tasks) schedule.add_task(std::move(t));
     }
+    resolve_deps(schedule, pending);
     if (stats != nullptr) {
       stats->chunks = outputs.size();
       stats->parallel = true;
@@ -743,6 +816,26 @@ model::Schedule read_schedule_xml_dom(const std::string& xml_text) {
     for (const auto* node : nodes->children_named("node_statistics")) {
       schedule.add_task(parse_node(*node));
     }
+  }
+
+  if (const auto* precs = root.first_child("precedences")) {
+    std::vector<PendingDep> pending;
+    for (const auto* prec : precs->children_named("precedence")) {
+      PendingDep d;
+      d.src = std::string(prec->require_attr("src"));
+      d.dst = std::string(prec->require_attr("dst"));
+      d.line = prec->source_line();
+      if (const auto data = prec->attr("data")) {
+        const auto v = util::parse_double(*data);
+        if (!v) {
+          throw ParseError("attribute 'data' of <precedence> is not a number",
+                           prec->source_line());
+        }
+        d.data = *v;
+      }
+      pending.push_back(std::move(d));
+    }
+    resolve_deps(schedule, pending);
   }
 
   schedule.validate();
@@ -815,6 +908,17 @@ std::string write_schedule_xml(const model::Schedule& schedule) {
         h.set_attr("start", std::to_string(r.start));
         h.set_attr("nb", std::to_string(r.nb));
       }
+    }
+  }
+
+  if (!schedule.dependencies().empty()) {
+    const auto& tasks = schedule.tasks();
+    auto& precs = root.add_child("precedences");
+    for (const auto& d : schedule.dependencies()) {
+      auto& e = precs.add_child("precedence");
+      e.set_attr("src", tasks[d.src].id());
+      e.set_attr("dst", tasks[d.dst].id());
+      if (d.data != 0) e.set_attr("data", format_time(d.data));
     }
   }
 

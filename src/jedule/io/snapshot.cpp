@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <cstring>
 #include <map>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -42,8 +43,19 @@ enum SectionId : std::uint32_t {
   kSecClusters = 14,
   kSecMeta = 15,
   kSecIndexMeta = 16,
+  // Optional dependency sections: written only when the arena carries
+  // edges, so edge-free snapshots stay byte-identical to version-1 files
+  // and old files load as zero-edge arenas.
+  kSecDepOff = 17,
+  kSecDepSrc = 18,
+  kSecDepData = 19,
+  kSecEdgeMeta = 20,
   kIndexEntriesBase = 0x100,
   kIndexMaxEndBase = 0x101,
+  // Per-cluster EdgeIndex arrays live far above the task-index range so
+  // the two families can both grow by 2k per cluster slot.
+  kEdgeEntriesBase = 0x10000,
+  kEdgeMaxEndBase = 0x10001,
 };
 
 // Serialized index entries are the in-memory TaskIndex::Entry layout with
@@ -60,6 +72,16 @@ static_assert(offsetof(Entry, task) == 24);
 static_assert(sizeof(model::HostRange) == 8);
 static_assert(offsetof(model::HostRange, start) == 0);
 static_assert(offsetof(model::HostRange, nb) == 4);
+
+// EdgeIndex entries are padding-free, so they serialize as raw arrays.
+using EdgeEntry = model::EdgeIndex::Entry;
+static_assert(sizeof(EdgeEntry) == 32);
+static_assert(offsetof(EdgeEntry, begin) == 0);
+static_assert(offsetof(EdgeEntry, end) == 8);
+static_assert(offsetof(EdgeEntry, src_host) == 16);
+static_assert(offsetof(EdgeEntry, dst_host) == 20);
+static_assert(offsetof(EdgeEntry, src) == 24);
+static_assert(offsetof(EdgeEntry, dst) == 28);
 
 std::atomic<std::uint64_t> g_saves{0};
 std::atomic<std::uint64_t> g_save_bytes{0};
@@ -227,9 +249,17 @@ bool is_snapshot(std::string_view head) {
 }
 
 std::string serialize_snapshot(const model::ScheduleArena& arena,
-                               const model::TaskIndex& index) {
+                               const model::TaskIndex& index,
+                               const model::EdgeIndex* edges) {
   JED_ASSERT(arena.content_hash() == index.content_hash());
   const auto cols = arena.columns();
+  // Edge sections need the per-cluster EdgeIndex arrays; build them here
+  // when the caller has none at hand (the snapshot CLI path).
+  std::optional<model::EdgeIndex> built_edges;
+  if (cols.deps > 0 && edges == nullptr) {
+    built_edges.emplace(arena);
+    edges = &*built_edges;
+  }
   Writer w;
   w.add_array(kSecStart, cols.start, cols.tasks, 8);
   w.add_array(kSecEnd, cols.end, cols.tasks, 8);
@@ -300,13 +330,39 @@ std::string serialize_snapshot(const model::ScheduleArena& arena,
                 flat[k].max_end.data(), flat[k].max_end.size(), 8);
   }
 
+  if (cols.deps > 0) {
+    JED_ASSERT(edges != nullptr && edges->edge_count() == cols.deps);
+    w.add_array(kSecDepOff, cols.dep_off, cols.tasks + 1, 8);
+    w.add_array(kSecDepSrc, cols.dep_src, cols.deps, 4);
+    w.add_array(kSecDepData, cols.dep_data, cols.deps, 8);
+
+    const auto eflat = edges->flatten();
+    std::string emeta;
+    put_u64(&emeta, cols.deps);
+    put_u64(&emeta, arena.edges_hash());
+    put_u64(&emeta, eflat.size());
+    for (const auto& fc : eflat) {
+      put_i64(&emeta, fc.cluster_id);
+      put_u64(&emeta, fc.entries.size());
+    }
+    w.add(kSecEdgeMeta, std::move(emeta), eflat.size());
+    for (std::size_t k = 0; k < eflat.size(); ++k) {
+      w.add_array(kEdgeEntriesBase + 2 * static_cast<std::uint32_t>(k),
+                  eflat[k].entries.data(), eflat[k].entries.size(),
+                  sizeof(EdgeEntry));
+      w.add_array(kEdgeMaxEndBase + 2 * static_cast<std::uint32_t>(k),
+                  eflat[k].max_end.data(), eflat[k].max_end.size(), 8);
+    }
+  }
+
   return w.finish(arena.content_hash(), arena.tasks_hash(),
                   arena.task_count());
 }
 
 void save_snapshot(const model::ScheduleArena& arena,
-                   const model::TaskIndex& index, const std::string& path) {
-  std::string bytes = serialize_snapshot(arena, index);
+                   const model::TaskIndex& index, const std::string& path,
+                   const model::EdgeIndex* edges) {
+  std::string bytes = serialize_snapshot(arena, index, edges);
   write_file(path, bytes);
   g_saves.fetch_add(1, std::memory_order_relaxed);
   g_save_bytes.fetch_add(bytes.size(), std::memory_order_relaxed);
@@ -491,6 +547,35 @@ Snapshot parse_snapshot(const std::uint8_t* data, std::size_t size,
                              static_cast<std::size_t>(it->second.size));
   }
 
+  // Optional dependency sections (absent in edge-free and pre-edge files).
+  const bool has_edges = sections.count(kSecEdgeMeta) != 0;
+  std::uint64_t edge_count = 0;
+  std::vector<std::pair<int, std::uint64_t>> edge_clusters;
+  if (has_edges) {
+    const LoadedSection& emeta = blob(kSecEdgeMeta);
+    Cursor c(emeta.data, emeta.size);
+    edge_count = c.u64();
+    raw.edges_hash = c.u64();
+    const std::uint64_t ccount = c.u64();
+    if (ccount != emeta.count || ccount != raw.clusters.size()) {
+      fail("edge cluster count mismatch");
+    }
+    for (std::uint64_t k = 0; k < ccount; ++k) {
+      const int cid = static_cast<int>(c.i64());
+      edge_clusters.emplace_back(cid, c.u64());
+    }
+    c.expect_end();
+    if (edge_count == 0) fail("edge meta without edges");
+
+    {
+      const LoadedSection& s = section(kSecDepOff, 8, n + 1);
+      raw.dep_off.set_mapped(reinterpret_cast<const std::uint64_t*>(s.data),
+                             static_cast<std::size_t>(s.count));
+    }
+    map_u32(kSecDepSrc, edge_count, &raw.dep_src);
+    map_f64(kSecDepData, edge_count, &raw.dep_data);
+  }
+
   model::TaskIndex::Raw iraw;
   const LoadedSection& imeta = blob(kSecIndexMeta);
   {
@@ -533,12 +618,47 @@ Snapshot parse_snapshot(const std::uint8_t* data, std::size_t size,
   iraw.tasks_hash = tasks_hash;
   iraw.content_hash = content_hash;
 
+  model::EdgeIndex::Raw eraw;
+  if (has_edges) {
+    std::uint64_t total_entries = 0;
+    for (std::size_t k = 0; k < edge_clusters.size(); ++k) {
+      model::EdgeIndex::RawCluster rc;
+      rc.cluster_id = edge_clusters[k].first;
+      const std::uint64_t entries = edge_clusters[k].second;
+      const std::uint32_t kk = static_cast<std::uint32_t>(k);
+      const LoadedSection& es =
+          section(kEdgeEntriesBase + 2 * kk, sizeof(EdgeEntry), entries);
+      const LoadedSection& ms = section(kEdgeMaxEndBase + 2 * kk, 8, entries);
+      rc.entries = reinterpret_cast<const EdgeEntry*>(es.data);
+      rc.max_end = reinterpret_cast<const double*>(ms.data);
+      rc.count = static_cast<std::size_t>(entries);
+      // Same guard as the task index: mapped entries are trusted after
+      // CRC, but their task references must stay inside the arena.
+      std::uint32_t max_task = 0;
+      for (std::size_t e = 0; e < rc.count; ++e) {
+        max_task = std::max(max_task, rc.entries[e].src);
+        max_task = std::max(max_task, rc.entries[e].dst);
+      }
+      if (rc.count > 0 && max_task >= n) fail("edge entry out of range");
+      total_entries += entries;
+      eraw.clusters.push_back(rc);
+    }
+    if (total_entries < edge_count) fail("edge entries undercount");
+    eraw.owner = owner;
+    eraw.edges_hash = raw.edges_hash;
+    eraw.edge_count = static_cast<std::size_t>(edge_count);
+  }
+
   raw.tasks_hash = tasks_hash;
   raw.owner = std::move(owner);
   raw.mapped_file_bytes = mapped_bytes;
 
   Snapshot snap{model::ScheduleArena(std::move(raw)),
-                model::TaskIndex(std::move(iraw)), mapped_bytes > 0, size};
+                model::TaskIndex(std::move(iraw)), model::EdgeIndex{},
+                mapped_bytes > 0, size};
+  if (has_edges) {
+    snap.edges = model::EdgeIndex(std::move(eraw), snap.arena);
+  }
   if (snap.arena.content_hash() != content_hash) {
     fail("content hash mismatch");
   }

@@ -30,6 +30,7 @@
 #include <string_view>
 
 #include "jedule/model/arena.hpp"
+#include "jedule/model/edge_index.hpp"
 #include "jedule/model/task_index.hpp"
 
 namespace jedule::io {
@@ -39,17 +40,24 @@ inline constexpr std::uint32_t kSnapshotVersion = 1;
 /// True when `head` starts with the `.jbin` magic.
 bool is_snapshot(std::string_view head);
 
-/// Serializes arena + index to `buffer` (exact file bytes).
+/// Serializes arena + index to `buffer` (exact file bytes). When the
+/// arena carries dependency edges, CRC-covered CSR columns and the
+/// per-cluster EdgeIndex arrays are appended as optional sections
+/// (edge-free snapshots stay byte-identical to pre-edge files); pass
+/// `edges` to reuse an already-built index, else one is built here.
 std::string serialize_snapshot(const model::ScheduleArena& arena,
-                               const model::TaskIndex& index);
+                               const model::TaskIndex& index,
+                               const model::EdgeIndex* edges = nullptr);
 
 /// serialize_snapshot + atomic-ish whole-file write; throws IoError.
 void save_snapshot(const model::ScheduleArena& arena,
-                   const model::TaskIndex& index, const std::string& path);
+                   const model::TaskIndex& index, const std::string& path,
+                   const model::EdgeIndex* edges = nullptr);
 
 struct Snapshot {
   model::ScheduleArena arena;
   model::TaskIndex index;
+  model::EdgeIndex edges;       // empty when the file has no edge sections
   bool mapped = false;          // real mmap vs heap-read fallback
   std::size_t file_bytes = 0;   // snapshot size on disk
 };

@@ -159,6 +159,34 @@ ScheduleArena::ScheduleArena(const Schedule& schedule) {
     prop_off.push_back(static_cast<std::uint32_t>(prop_slices.size() / 4));
   }
 
+  // CSR edge columns, grouped by destination task (stable counting sort
+  // preserves per-destination insertion order). Built only when the
+  // schedule actually carries dependencies; src < dst was certified by
+  // Schedule::validate and is re-checked by check_structure on load.
+  edges_hash_ = detail::kFnvOffset;
+  if (!schedule.dependencies().empty()) {
+    const auto& deps = schedule.dependencies();
+    auto& dep_off = dep_off_.owned();
+    auto& dep_src = dep_src_.owned();
+    auto& dep_data = dep_data_.owned();
+    dep_off.assign(n + 1, 0);
+    for (const Dependency& d : deps) ++dep_off[d.dst + 1];
+    for (std::size_t i = 0; i < n; ++i) dep_off[i + 1] += dep_off[i];
+    dep_src.resize(deps.size());
+    dep_data.resize(deps.size());
+    std::vector<std::uint64_t> cursor(dep_off.begin(), dep_off.end() - 1);
+    for (const Dependency& d : deps) {
+      const std::uint64_t slot = cursor[d.dst]++;
+      dep_src[slot] = d.src;
+      dep_data[slot] = d.data;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::uint64_t k = dep_off[i]; k < dep_off[i + 1]; ++k) {
+        hash_edge(dep_src[k], static_cast<std::uint32_t>(i), dep_data[k]);
+      }
+    }
+  }
+
   build_derived();
 
   tasks_hash_ = detail::kFnvOffset;
@@ -187,10 +215,14 @@ ScheduleArena::ScheduleArena(Raw raw)
       prop_off_(std::move(raw.prop_off)),
       prop_slices_(std::move(raw.prop_slices)),
       prop_pool_(std::move(raw.prop_pool)),
+      dep_off_(std::move(raw.dep_off)),
+      dep_src_(std::move(raw.dep_src)),
+      dep_data_(std::move(raw.dep_data)),
       types_(std::move(raw.types)),
       clusters_(std::move(raw.clusters)),
       meta_(std::move(raw.meta)),
       tasks_hash_(raw.tasks_hash),
+      edges_hash_(raw.edges_hash != 0 ? raw.edges_hash : detail::kFnvOffset),
       owner_(std::move(raw.owner)),
       mapped_file_bytes_(raw.mapped_file_bytes) {
   for (std::size_t c = 0; c < clusters_.size(); ++c) {
@@ -236,6 +268,23 @@ void ScheduleArena::check_structure() const {
     fail("range count");
   }
   if (m == 0 && range_off_.size() != 1) fail("range offset size");
+  if (dep_off_.empty()) {
+    if (dep_src_.size() != 0 || dep_data_.size() != 0) fail("edge columns");
+  } else {
+    if (dep_off_.size() != n + 1) fail("edge offset size");
+    if (dep_off_[0] != 0) fail("edge offset origin");
+    for (std::size_t i = 0; i < n; ++i) {
+      if (dep_off_[i + 1] < dep_off_[i]) fail("edge offsets");
+    }
+    if (dep_src_.size() != dep_off_[n] || dep_data_.size() != dep_off_[n]) {
+      fail("edge column sizes");
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::uint64_t k = dep_off_[i]; k < dep_off_[i + 1]; ++k) {
+        if (dep_src_[k] >= i) fail("edge sources");
+      }
+    }
+  }
   const std::size_t p = prop_off_[n];
   if (prop_slices_.size() != p * 4) fail("property slice count");
   for (std::size_t s = 0; s < p; ++s) {
@@ -326,6 +375,10 @@ ScheduleArena::ColumnsView ScheduleArena::columns() const {
   v.prop_slices = prop_slices_.data();
   v.prop_pool = prop_pool_.data();
   v.prop_pool_size = prop_pool_.size();
+  v.deps = dep_src_.size();
+  v.dep_off = dep_off_.empty() ? nullptr : dep_off_.data();
+  v.dep_src = dep_src_.data();
+  v.dep_data = dep_data_.data();
   return v;
 }
 
@@ -367,6 +420,21 @@ std::uint64_t ScheduleArena::content_hash() const {
   std::uint64_t h = tasks_hash_;
   fnv_u64(&h, task_count());
   return h;
+}
+
+std::uint64_t ScheduleArena::combined_hash() const {
+  std::uint64_t h = content_hash();
+  if (dep_src_.empty()) return h;
+  fnv_u64(&h, edges_hash_);
+  fnv_u64(&h, dep_src_.size());
+  return h;
+}
+
+void ScheduleArena::hash_edge(std::uint32_t src, std::uint32_t dst,
+                              double data) {
+  fnv_u64(&edges_hash_, src);
+  fnv_u64(&edges_hash_, dst);
+  fnv_double(&edges_hash_, data);
 }
 
 // ---------------------------------------------------------------------------
@@ -502,6 +570,28 @@ void ScheduleArena::validate() const {
       check_config_ranges(id, cluster, range_off_[c], range_off_[c + 1]);
     }
   }
+  check_deps();
+}
+
+void ScheduleArena::check_deps() const {
+  if (dep_off_.empty()) return;
+  const std::size_t n = task_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::uint64_t k = dep_off_[i]; k < dep_off_[i + 1]; ++k) {
+      if (dep_src_[k] >= i) {
+        throw ValidationError(
+            "dependency " + std::to_string(dep_src_[k]) + " -> " +
+            std::to_string(i) +
+            " must point forward in task order (src < dst)");
+      }
+      if (!(dep_data_[k] >= 0)) {
+        throw ValidationError("dependency " + std::to_string(dep_src_[k]) +
+                              " -> " + std::to_string(i) +
+                              " has negative data " +
+                              std::to_string(dep_data_[k]));
+      }
+    }
+  }
 }
 
 void ScheduleArena::check_config_ranges(std::string_view id,
@@ -623,6 +713,7 @@ void ScheduleArena::validate_columns() const {
     }
     check_config_ranges(task_of_config(c), *cached_cluster, r0, r1);
   }
+  check_deps();
 }
 
 // ---------------------------------------------------------------------------
@@ -662,6 +753,14 @@ Schedule ScheduleArena::to_schedule() const {
     }
     out.add_task(std::move(t));
   }
+  if (!dep_off_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::uint64_t k = dep_off_[i]; k < dep_off_[i + 1]; ++k) {
+        out.add_dependency(dep_src_[k], static_cast<std::uint32_t>(i),
+                           dep_data_[k]);
+      }
+    }
+  }
   return out;
 }
 
@@ -684,6 +783,14 @@ void ScheduleArena::append(const std::vector<Event>& events) {
   }
   std::unordered_set<std::string_view> batch_ids;
   batch_ids.reserve(events.size());
+  // Dep targets resolved during phase 1 (per event, parallel to `events`),
+  // so phase 2 commits without re-probing. A dep may name an existing
+  // task or an *earlier* event of this batch — later events would break
+  // the src < dst invariant and read as unknown here.
+  std::vector<std::vector<std::pair<std::uint32_t, double>>> resolved;
+  resolved.reserve(events.size());
+  std::map<std::string_view, std::uint32_t> batch_index;
+  std::uint32_t next_index = static_cast<std::uint32_t>(task_count());
   for (const Event& e : events) {
     if (e.id.empty()) {
       throw ValidationError("task with empty id");
@@ -713,16 +820,45 @@ void ScheduleArena::append(const std::vector<Event>& events) {
           ") exceeds cluster " + std::to_string(cluster.id) + " size " +
           std::to_string(cluster.hosts));
     }
+    resolved.emplace_back();
+    auto& out = resolved.back();
+    out.reserve(e.deps.size());
+    for (const auto& [src_id, data] : e.deps) {
+      std::uint32_t src = id_table_find(src_id);
+      if (src == kIdEmpty) {
+        auto bit = batch_index.find(src_id);
+        if (bit != batch_index.end()) src = bit->second;
+      }
+      if (src == kIdEmpty) {
+        throw ValidationError("task '" + e.id + "' depends on unknown task '" +
+                              src_id + "'");
+      }
+      if (!(data >= 0)) {
+        throw ValidationError("task '" + e.id + "' dependency on '" + src_id +
+                              "' has negative data " + std::to_string(data));
+      }
+      out.emplace_back(src, data);
+    }
+    batch_index.emplace(e.id, next_index++);
   }
 
   // Phase 2: commit. First write to a mapped arena copies the columns out.
   ensure_owned();
+  bool batch_has_deps = false;
+  for (const auto& r : resolved) {
+    if (!r.empty()) {
+      batch_has_deps = true;
+      break;
+    }
+  }
+  if (batch_has_deps && dep_off_.empty()) materialize_dep_offsets();
   std::map<std::string_view, std::uint32_t> type_slot;
   for (std::size_t t = 0; t < types_.size(); ++t) {
     type_slot[*detail::intern_task_type(types_[t])] =
         static_cast<std::uint32_t>(t);
   }
-  for (const Event& e : events) {
+  for (std::size_t ev = 0; ev < events.size(); ++ev) {
+    const Event& e = events[ev];
     const auto i = static_cast<std::uint32_t>(task_count());
     start_.owned().push_back(e.start);
     end_.owned().push_back(e.end);
@@ -747,6 +883,15 @@ void ScheduleArena::append(const std::vector<Event>& events) {
         static_cast<std::uint32_t>(cfg_cluster_.size()));
     prop_off_.owned().push_back(
         static_cast<std::uint32_t>(prop_slices_.size() / 4));
+
+    if (!dep_off_.empty()) {
+      for (const auto& [src, data] : resolved[ev]) {
+        dep_src_.owned().push_back(src);
+        dep_data_.owned().push_back(data);
+        hash_edge(src, i, data);
+      }
+      dep_off_.owned().push_back(dep_src_.size());
+    }
 
     bool duplicate = false;
     id_table_insert(i, &duplicate);
@@ -774,6 +919,12 @@ void ScheduleArena::append(const std::vector<Event>& events) {
     hash_row(i);
   }
   ++version_;
+}
+
+void ScheduleArena::materialize_dep_offsets() {
+  auto& off = dep_off_.owned();
+  off.assign(task_count() + 1, 0);
+  if (edges_hash_ == 0) edges_hash_ = detail::kFnvOffset;
 }
 
 void ScheduleArena::bump_density(PerCluster* pc, Time start) {
@@ -819,6 +970,9 @@ void ScheduleArena::ensure_owned() {
   prop_off_.owned();
   prop_slices_.owned();
   prop_pool_.owned();
+  if (!dep_off_.empty()) dep_off_.owned();
+  dep_src_.owned();
+  dep_data_.owned();
   owner_.reset();
   mapped_file_bytes_ = 0;
 }
@@ -829,7 +983,9 @@ std::size_t ScheduleArena::heap_bytes() const {
                   id_pool_.heap_bytes() + cfg_off_.heap_bytes() +
                   cfg_cluster_.heap_bytes() + range_off_.heap_bytes() +
                   ranges_.heap_bytes() + prop_off_.heap_bytes() +
-                  prop_slices_.heap_bytes() + prop_pool_.heap_bytes();
+                  prop_slices_.heap_bytes() + prop_pool_.heap_bytes() +
+                  dep_off_.heap_bytes() + dep_src_.heap_bytes() +
+                  dep_data_.heap_bytes();
   b += id_slots_.capacity() * sizeof(std::uint32_t);
   for (const auto& [cid, pc] : per_cluster_) {
     b += pc.tasks.capacity() * sizeof(std::uint32_t);

@@ -115,6 +115,10 @@ class ScheduleArena {
     int cluster_id = 0;
     int host_start = 0;
     int host_nb = 1;
+    /// Predecessor task ids this event depends on, each with the data
+    /// volume transferred. A dep may name an existing task or an earlier
+    /// event of the same batch; unknown ids fail validation.
+    std::vector<std::pair<std::string, double>> deps;
   };
 
   /// Per-cluster LOD density histogram: bins[k] counts the tasks of the
@@ -148,12 +152,18 @@ class ScheduleArena {
     // 4 words per property: key_off, key_len, val_off, val_len (prop_pool).
     detail::Column<std::uint64_t> prop_slices;
     detail::Column<char> prop_pool;
+    // CSR dependency columns, grouped by destination task (predecessor
+    // lists). All-empty when the snapshot carries no edge sections.
+    detail::Column<std::uint64_t> dep_off;  // n+1 offsets, or empty
+    detail::Column<std::uint32_t> dep_src;
+    detail::Column<double> dep_data;
 
     std::vector<std::string> types;  // interned type table
     std::vector<Cluster> clusters;
     std::vector<std::pair<std::string, std::string>> meta;
 
     std::uint64_t tasks_hash = 0;  // running hash, pre task-count fold
+    std::uint64_t edges_hash = 0;  // running CSR edge hash (0 if no edges)
     std::shared_ptr<const void> owner;   // the file mapping, when mapped
     std::size_t mapped_file_bytes = 0;   // accounting (mmap-resident)
   };
@@ -176,6 +186,10 @@ class ScheduleArena {
     const std::uint64_t* prop_slices = nullptr;
     const char* prop_pool = nullptr;
     std::size_t prop_pool_size = 0;
+    std::size_t deps = 0;                      // edge count
+    const std::uint64_t* dep_off = nullptr;    // n+1, or nullptr if no edges
+    const std::uint32_t* dep_src = nullptr;
+    const double* dep_data = nullptr;
   };
 
   /// Columnarizes `schedule` (one pass; the schedule is not retained).
@@ -193,6 +207,18 @@ class ScheduleArena {
   Time task_start(std::size_t i) const { return start_[i]; }
   Time task_end(std::size_t i) const { return end_[i]; }
 
+  /// Total precedence-edge count (CSR, grouped by destination task).
+  std::size_t dep_count() const { return dep_src_.size(); }
+  /// Half-open [first, last) span of task i's predecessor slots in
+  /// dep_src()/dep_data(); {0, 0} when the arena has no edges at all.
+  std::pair<std::size_t, std::size_t> task_dep_span(std::size_t i) const {
+    if (dep_off_.empty()) return {0, 0};
+    return {static_cast<std::size_t>(dep_off_[i]),
+            static_cast<std::size_t>(dep_off_[i + 1])};
+  }
+  const std::uint32_t* dep_src() const { return dep_src_.data(); }
+  const double* dep_data() const { return dep_data_.data(); }
+
   const std::vector<Cluster>& clusters() const { return clusters_; }
   const std::vector<std::pair<std::string, std::string>>& meta() const {
     return meta_;
@@ -209,9 +235,19 @@ class ScheduleArena {
   /// Density histogram for `cluster_id`; nullptr if the cluster is empty.
   const Density* density(int cluster_id) const;
 
-  /// Byte-identical to TaskIndex::hash_schedule(to_schedule()).
+  /// Byte-identical to TaskIndex::hash_schedule(to_schedule()). Covers
+  /// the task columns only (edges excluded) so task-only tooling — the
+  /// snapshot header, TaskIndex — keeps matching historical hashes.
   std::uint64_t content_hash() const;
+  /// content_hash() when the arena has no edges (so legacy ids and dedup
+  /// keys are unchanged), else content_hash() folded with the running
+  /// edge hash and edge count. This is the invalidation key for caches
+  /// whose output depends on edges (TileCache, serve ETags).
+  std::uint64_t combined_hash() const;
   std::uint64_t tasks_hash() const { return tasks_hash_; }
+  /// Running FNV over the CSR edge triples (src, dst, data), extended in
+  /// O(delta) per append.
+  std::uint64_t edges_hash() const { return edges_hash_; }
   /// Bumped once per successful append().
   std::uint64_t version() const { return version_; }
 
@@ -252,6 +288,7 @@ class ScheduleArena {
   };
 
   void check_structure() const;  // throws ParseError
+  void check_deps() const;       // throws ValidationError
   void build_derived();          // partitions, bounds, density, id table
   void check_config_ranges(std::string_view id, const Cluster& cluster,
                            std::size_t r0, std::size_t r1) const;
@@ -261,6 +298,8 @@ class ScheduleArena {
   std::uint32_t id_table_find(std::string_view id) const;  // task or npos
   void bump_density(PerCluster* pc, Time start);
   void hash_row(std::size_t i);  // folds row i into tasks_hash_
+  void hash_edge(std::uint32_t src, std::uint32_t dst, double data);
+  void materialize_dep_offsets();  // dep_off_: empty -> task_count()+1 zeros
 
   detail::Column<double> start_, end_;
   detail::Column<std::uint32_t> type_id_;
@@ -273,6 +312,13 @@ class ScheduleArena {
   detail::Column<std::uint32_t> prop_off_;
   detail::Column<std::uint64_t> prop_slices_;
   detail::Column<char> prop_pool_;
+  // CSR predecessor lists grouped by destination task. dep_off_ is either
+  // empty (the arena never saw an edge) or exactly task_count()+1 offsets;
+  // the first appended edge materializes the offsets, so edge-free arenas
+  // pay nothing.
+  detail::Column<std::uint64_t> dep_off_;
+  detail::Column<std::uint32_t> dep_src_;
+  detail::Column<double> dep_data_;
 
   std::vector<std::string> types_;
   std::vector<Cluster> clusters_;
@@ -289,6 +335,7 @@ class ScheduleArena {
   mutable std::size_t id_count_ = 0;
 
   std::uint64_t tasks_hash_ = 0;
+  std::uint64_t edges_hash_ = 0;
   std::uint64_t version_ = 0;
   std::shared_ptr<const void> owner_;
   std::size_t mapped_file_bytes_ = 0;

@@ -345,6 +345,24 @@ void Schedule::validate() const {
       }
     }
   }
+  for (const Dependency& d : deps_) {
+    if (d.src >= tasks_.size() || d.dst >= tasks_.size()) {
+      throw ValidationError("dependency " + std::to_string(d.src) + " -> " +
+                            std::to_string(d.dst) +
+                            " references a task index out of range (" +
+                            std::to_string(tasks_.size()) + " tasks)");
+    }
+    if (d.src >= d.dst) {
+      throw ValidationError("dependency " + std::to_string(d.src) + " -> " +
+                            std::to_string(d.dst) +
+                            " must point forward in task order (src < dst)");
+    }
+    if (!(d.data >= 0)) {
+      throw ValidationError("dependency " + std::to_string(d.src) + " -> " +
+                            std::to_string(d.dst) + " has negative data " +
+                            std::to_string(d.data));
+    }
+  }
 }
 
 }  // namespace jedule::model

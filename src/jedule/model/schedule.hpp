@@ -8,6 +8,7 @@
 // non-contiguous list of host ranges inside it; a task with configurations in
 // several clusters spans clusters (e.g. an inter-cluster transfer).
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -131,6 +132,18 @@ struct TimeRange {
 /// Aligned view: every panel spans the global bounds (paper Sec. II.C.3).
 enum class ViewMode { kScaled, kAligned };
 
+/// Precedence (communication) edge between two tasks, by task index. The
+/// application model is a DAG of communicating tasks; edges always point
+/// forward in task order (src < dst), which validate() enforces — the task
+/// sequence is therefore a topological order and acyclicity comes for free.
+struct Dependency {
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  double data = 0;  ///< transferred volume (bytes or user units), >= 0
+
+  friend bool operator==(const Dependency&, const Dependency&) = default;
+};
+
 class Schedule {
  public:
   /// Adds a cluster; ids must be unique. Returns the cluster index.
@@ -153,6 +166,14 @@ class Schedule {
   std::vector<Task>& mutable_tasks() { return tasks_; }
 
   const Task* find_task(std::string_view id) const;
+
+  /// Adds a precedence edge between two tasks by index. Edges must point
+  /// forward in task order (src < dst); validated by validate().
+  void add_dependency(std::uint32_t src, std::uint32_t dst, double data = 0) {
+    deps_.push_back(Dependency{src, dst, data});
+  }
+  const std::vector<Dependency>& dependencies() const { return deps_; }
+  std::vector<Dependency>& mutable_dependencies() { return deps_; }
 
   /// Schedule-level meta information (paper Sec. II.C.2), in file order.
   const std::vector<std::pair<std::string, std::string>>& meta() const {
@@ -193,6 +214,7 @@ class Schedule {
   std::vector<Cluster> clusters_;
   std::map<int, std::size_t> cluster_index_;
   std::vector<Task> tasks_;
+  std::vector<Dependency> deps_;
   std::vector<std::pair<std::string, std::string>> meta_;
 };
 

@@ -20,6 +20,8 @@ std::string FrameStats::summary() const {
   }
   out += ", " + std::to_string(boxes) + " boxes";
   if (lod) out += ", lod";
+  if (edge_arrows > 0) out += ", " + std::to_string(edge_arrows) + " edges";
+  if (edge_heat_panels > 0) out += ", edge-heat";
   out += ")";
   return out;
 }
@@ -33,6 +35,8 @@ void FrameLog::record(const FrameStats& s) {
   cache_.misses += s.tiles_missed;
   cache_.evictions += s.tiles_evicted;
   cache_.invalidations += s.invalidations;
+  edge_arrows_ += s.edge_arrows;
+  if (s.edge_heat_panels > 0) ++edge_heat_frames_;
 }
 
 std::string FrameLog::summary() const {

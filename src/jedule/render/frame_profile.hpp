@@ -29,6 +29,10 @@ struct FrameStats {
   bool lod = false;       // any panel rendered as density bins
   bool cached = true;     // false when the frame bypassed the tile cache
 
+  std::size_t edges_considered = 0;  // visible dependency entries inspected
+  std::size_t edge_arrows = 0;       // individual arrows drawn (overlay)
+  std::size_t edge_heat_panels = 0;  // panels drawn as heat lanes
+
   /// One line, e.g. "frame 3.2ms (tiles 5 hit / 1 miss, 412 boxes)".
   std::string summary() const;
 };
@@ -52,6 +56,10 @@ class FrameLog {
   double worst_ms() const { return worst_ms_; }
   const CacheStats& cache() const { return cache_; }
 
+  /// Lifetime dependency-rendering counters (serve /stats).
+  std::size_t edge_arrows() const { return edge_arrows_; }
+  std::size_t edge_heat_frames() const { return edge_heat_frames_; }
+
   /// One line: frame count, mean/worst ms, lifetime hit/miss/evict.
   std::string summary() const;
 
@@ -61,6 +69,8 @@ class FrameLog {
   double total_ms_ = 0;
   double worst_ms_ = 0;
   CacheStats cache_;
+  std::size_t edge_arrows_ = 0;
+  std::size_t edge_heat_frames_ = 0;
 };
 
 }  // namespace jedule::render::profile

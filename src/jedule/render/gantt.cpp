@@ -6,6 +6,7 @@
 #include <functional>
 #include <set>
 
+#include "jedule/render/kernels.hpp"
 #include "jedule/util/error.hpp"
 #include "jedule/util/strings.hpp"
 
@@ -293,6 +294,280 @@ void add_lod_bins(GanttLayout* layout, std::size_t panel_index,
       }
     }
     flush(rows);
+  }
+}
+
+// --- Dependency-edge layout (DESIGN.md §4j) --------------------------------
+
+// Liang-Barsky clip of the segment in `a` against [rx0, rx1] x [ry0, ry1].
+// Returns false when nothing survives; sets a->head when the destination
+// endpoint itself is inside the rect, so arrowheads only draw where the
+// dependency actually lands.
+bool clip_arrow(EdgeArrow* a, double rx0, double ry0, double rx1,
+                double ry1) {
+  double t0 = 0, t1 = 1;
+  const double dx = a->x1 - a->x0;
+  const double dy = a->y1 - a->y0;
+  const double p[4] = {-dx, dx, -dy, dy};
+  const double q[4] = {a->x0 - rx0, rx1 - a->x0, a->y0 - ry0, ry1 - a->y0};
+  for (int i = 0; i < 4; ++i) {
+    if (p[i] == 0) {
+      if (q[i] < 0) return false;
+      continue;
+    }
+    const double r = q[i] / p[i];
+    if (p[i] < 0) {
+      if (r > t1) return false;
+      if (r > t0) t0 = r;
+    } else {
+      if (r < t0) return false;
+      if (r < t1) t1 = r;
+    }
+  }
+  const double x0 = a->x0 + t0 * dx;
+  const double y0 = a->y0 + t0 * dy;
+  const double x1 = a->x0 + t1 * dx;
+  const double y1 = a->y0 + t1 * dy;
+  a->x0 = x0;
+  a->y0 = y0;
+  a->x1 = x1;
+  a->y1 = y1;
+  a->head = t1 == 1.0;
+  return true;
+}
+
+// Is (src, dst) a consecutive pair of the (ascending) critical path?
+bool on_path(const std::vector<std::uint32_t>& path, std::uint32_t src,
+             std::uint32_t dst) {
+  const auto it = std::lower_bound(path.begin(), path.end(), src);
+  return it != path.end() && *it == src && it + 1 != path.end() &&
+         *(it + 1) == dst;
+}
+
+bool entry_before(const model::EdgeIndex::Entry& a,
+                  const model::EdgeIndex::Entry& b) {
+  if (a.begin != b.begin) return a.begin < b.begin;
+  if (a.src != b.src) return a.src < b.src;
+  return a.dst < b.dst;
+}
+
+// Lays out dependency arrows / heat lanes for every panel. With an
+// EdgeIndex hint a panel costs O(log n + visible); the fallback scans
+// Schedule::dependencies() per panel and produces the identical layout
+// (same entries, same sort, same critical path — the differential tests
+// rely on this, and the bench uses it as the brute-force baseline).
+void layout_edges(GanttLayout* layout, const Schedule& schedule,
+                  const GanttStyle& style, const LayoutHints& hints) {
+  const EdgeMode mode =
+      style.edges == EdgeMode::kDefault ? EdgeMode::kAuto : style.edges;
+  if (mode == EdgeMode::kOff) return;
+  const model::EdgeIndex* index = hints.edge_index;
+  if (index != nullptr && index->empty()) index = nullptr;
+  if (index == nullptr && schedule.dependencies().empty()) return;
+  const auto& tasks = schedule.tasks();
+  constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+
+  // The critical path: persistent DP in the index, or the identical
+  // O(n + m) recomputation (same CSR order, same tie-breaks) here.
+  std::vector<std::uint32_t> local_path;
+  const std::vector<std::uint32_t>* path = &local_path;
+  if (index != nullptr) {
+    path = &index->critical_path();
+  } else {
+    const auto& deps = schedule.dependencies();
+    const std::size_t n = tasks.size();
+    std::vector<std::size_t> off(n + 1, 0);
+    for (const auto& d : deps) ++off[d.dst + 1];
+    for (std::size_t i = 0; i < n; ++i) off[i + 1] += off[i];
+    std::vector<std::uint32_t> src(deps.size());
+    {
+      std::vector<std::size_t> cur(off.begin(), off.end() - 1);
+      for (const auto& d : deps) src[cur[d.dst]++] = d.src;
+    }
+    std::vector<double> finish(n);
+    std::vector<std::uint32_t> via(n, kNone);
+    double best_time = -1.0;
+    std::uint32_t best = kNone;
+    for (std::size_t i = 0; i < n; ++i) {
+      double start = 0.0;
+      for (std::size_t k = off[i]; k < off[i + 1]; ++k) {
+        if (finish[src[k]] > start) {
+          start = finish[src[k]];
+          via[i] = src[k];
+        }
+      }
+      finish[i] = start + tasks[i].duration();
+      if (finish[i] > best_time) {
+        best_time = finish[i];
+        best = static_cast<std::uint32_t>(i);
+      }
+    }
+    for (std::uint32_t v = best; v != kNone; v = via[v]) {
+      local_path.push_back(v);
+    }
+    std::reverse(local_path.begin(), local_path.end());
+  }
+
+  auto rep_host = [&tasks](std::uint32_t task, int cid) -> std::int32_t {
+    for (const auto& cfg : tasks[task].configurations()) {
+      if (cfg.cluster_id == cid && !cfg.hosts.empty()) {
+        return cfg.hosts.front().start;
+      }
+    }
+    return -1;
+  };
+
+  using Entry = model::EdgeIndex::Entry;
+  for (std::size_t pi = 0; pi < layout->panels.size(); ++pi) {
+    const PanelLayout& panel = layout->panels[pi];
+    const TimeRange win = panel.time_range;
+    if (!(win.length() > 0) || panel.hosts <= 0) continue;
+
+    // Visible-entry stream: the index reports an edge once per cluster
+    // containing either endpoint; the fallback reproduces exactly that.
+    const auto for_each_entry =
+        [&](const std::function<void(const Entry&)>& fn) {
+          if (index != nullptr) {
+            index->query(panel.cluster_id, win.begin, win.end, fn);
+            return;
+          }
+          const auto in_cluster = [&](std::uint32_t t) {
+            for (const auto& cfg : tasks[t].configurations()) {
+              if (cfg.cluster_id == panel.cluster_id) return true;
+            }
+            return false;
+          };
+          for (const auto& d : schedule.dependencies()) {
+            Entry e;
+            e.begin = std::min(tasks[d.src].end_time(),
+                               tasks[d.dst].start_time());
+            e.end = std::max(tasks[d.src].end_time(),
+                             tasks[d.dst].start_time());
+            if (e.begin > win.end || e.end < win.begin) continue;
+            if (!in_cluster(d.src) && !in_cluster(d.dst)) continue;
+            e.src = d.src;
+            e.dst = d.dst;
+            e.src_host = rep_host(d.src, panel.cluster_id);
+            e.dst_host = rep_host(d.dst, panel.cluster_id);
+            fn(e);
+          }
+        };
+
+    const double row_h = panel.row_height();
+    const auto add_arrow = [&](const Entry& e, bool critical) {
+      // Cross-cluster edges (an endpoint without a host row here) feed
+      // the heat lane but have no arrow geometry in this panel.
+      if (e.src_host < 0 || e.dst_host < 0) return;
+      EdgeArrow a;
+      a.x0 = panel.x_of_time(tasks[e.src].end_time());
+      a.y0 = panel.y + row_h * (e.src_host + 0.5);
+      a.x1 = panel.x_of_time(tasks[e.dst].start_time());
+      a.y1 = panel.y + row_h * (e.dst_host + 0.5);
+      a.critical = critical;
+      if (!clip_arrow(&a, panel.x, panel.y, panel.x + panel.w,
+                      panel.y + panel.h)) {
+        return;
+      }
+      layout->edge_arrows.push_back(a);
+      ++layout->edge_stats.arrows;
+      if (critical) ++layout->edge_stats.critical_arrows;
+    };
+
+    // Density probe: arrows within budget, heat lane above it.
+    const auto cols_ll = std::max<long long>(1, std::llround(panel.w));
+    const std::size_t budget =
+        static_cast<std::size_t>(cols_ll) *
+        static_cast<std::size_t>(std::max(1, style.edge_density));
+    bool heat = mode == EdgeMode::kForce;
+    std::vector<Entry> visible;
+    if (!heat) {
+      if (index != nullptr) {
+        heat = index->count_upto(panel.cluster_id, win.begin, win.end,
+                                 budget + 1) > budget;
+      } else {
+        for_each_entry([&](const Entry& e) { visible.push_back(e); });
+        heat = visible.size() > budget;
+      }
+    }
+
+    if (heat) {
+      visible.clear();
+      // Column mapping — the same device-pixel grid as the LOD bins.
+      double col_w = 1.0;
+      long long c_lo = 0, c_hi = 0;
+      std::function<double(double)> col_of;
+      if (hints.snap) {
+        const SnapGrid g = *hints.snap;
+        col_of = [g](double t) {
+          return (t - g.anchor) * g.cols_per_time -
+                 static_cast<double>(g.origin_col);
+        };
+        c_lo = static_cast<long long>(std::floor(col_of(win.begin)));
+        c_hi = static_cast<long long>(std::ceil(col_of(win.end)));
+      } else {
+        const double len = win.length();
+        col_w = panel.w / static_cast<double>(cols_ll);
+        col_of = [win, len, cols_ll](double t) {
+          return (t - win.begin) / len * static_cast<double>(cols_ll);
+        };
+        c_hi = cols_ll;
+      }
+      if (c_hi <= c_lo) c_hi = c_lo + 1;
+      const std::size_t ncols = static_cast<std::size_t>(c_hi - c_lo);
+
+      // Accumulate one f32 count per column. The adds are 1.0f each and
+      // element-wise, so the lane is bit-exact at any visit order and
+      // under every SIMD kernel (counts stay exact below 2^24).
+      std::vector<float> acc(ncols, 0.0f);
+      const auto& kern = kernels::active();
+      std::vector<Entry> crit;  // critical edges still draw as arrows
+      for_each_entry([&](const Entry& e) {
+        ++layout->edge_stats.considered;
+        const double u0 = std::max(col_of(std::max(e.begin, win.begin)),
+                                   static_cast<double>(c_lo));
+        const double u1 = std::min(col_of(std::min(e.end, win.end)),
+                                   static_cast<double>(c_hi));
+        auto b0 = static_cast<long long>(std::floor(u0));
+        auto b1 = static_cast<long long>(std::ceil(u1));
+        if (b1 <= b0) b1 = b0 + 1;  // instantaneous edge: one column
+        b0 = std::clamp(b0, c_lo, c_hi);
+        b1 = std::clamp(b1, c_lo, c_hi);
+        if (b1 > b0) {
+          kern.heat_accum(acc.data() + (b0 - c_lo),
+                          static_cast<std::size_t>(b1 - b0), 1.0f);
+        }
+        if (on_path(*path, e.src, e.dst)) crit.push_back(e);
+      });
+      float maxv = 0.0f;
+      for (const float v : acc) maxv = std::max(maxv, v);
+      if (maxv > 0.0f) {
+        EdgeHeatLane lane;
+        lane.panel_index = pi;
+        lane.col_w = col_w;
+        lane.x = panel.x + static_cast<double>(c_lo) * col_w;
+        lane.h = std::min(6.0, panel.h);
+        lane.y = panel.y + panel.h - lane.h;
+        lane.levels.resize(ncols);
+        kern.heat_quantize(acc.data(), ncols, 255.0f / maxv,
+                           lane.levels.data());
+        for (const auto v : lane.levels) {
+          if (v != 0) ++layout->edge_stats.heat_columns;
+        }
+        layout->edge_lanes.push_back(std::move(lane));
+      }
+      ++layout->edge_stats.heat_panels;
+      std::sort(crit.begin(), crit.end(), entry_before);
+      for (const Entry& e : crit) add_arrow(e, true);
+    } else {
+      if (index != nullptr) {
+        for_each_entry([&](const Entry& e) { visible.push_back(e); });
+      }
+      layout->edge_stats.considered += visible.size();
+      std::sort(visible.begin(), visible.end(), entry_before);
+      for (const Entry& e : visible) {
+        add_arrow(e, on_path(*path, e.src, e.dst));
+      }
+    }
   }
 }
 
@@ -587,6 +862,8 @@ GanttLayout layout_gantt(const Schedule& schedule,
   }
   add_boxes(layout.composite_begin, layout.tasks.size(), true);
 
+  layout_edges(&layout, schedule, style, hints);
+
   return layout;
 }
 
@@ -596,6 +873,9 @@ const color::Color kFrame{60, 60, 60, 255};
 const color::Color kGrid{225, 225, 225, 255};
 const color::Color kAxisText{30, 30, 30, 255};
 const color::Color kOutline{0, 0, 0, 90};
+const color::Color kEdgeLine{70, 70, 190, 255};
+const color::Color kEdgeCritical{205, 30, 30, 255};
+const color::Color kEdgeHeat{110, 40, 160, 255};  // alpha = quantized level
 
 void paint_panel_chrome(const GanttLayout& layout, const PanelLayout& panel,
                         Canvas& canvas, const GanttStyle& style) {
@@ -718,10 +998,63 @@ void paint_gantt_chrome(const GanttLayout& layout, Canvas& canvas,
   canvas.flush();
 }
 
+namespace {
+
+void paint_edge_arrow(const EdgeArrow& a, Canvas& canvas, color::Color c) {
+  canvas.line(a.x0, a.y0, a.x1, a.y1, c);
+  if (!a.head) return;
+  // Two barbs at the destination, +/-30 degrees off the reversed
+  // direction (closed-form constants keep the geometry deterministic).
+  const double dx = a.x0 - a.x1;
+  const double dy = a.y0 - a.y1;
+  const double len = std::hypot(dx, dy);
+  if (!(len > 1e-9)) return;
+  const double ux = dx / len;
+  const double uy = dy / len;
+  constexpr double kBarb = 4.0;
+  constexpr double kCos = 0.8660254037844387;  // cos 30°
+  constexpr double kSin = 0.5;                 // sin 30°
+  canvas.line(a.x1, a.y1, a.x1 + kBarb * (ux * kCos - uy * kSin),
+              a.y1 + kBarb * (ux * kSin + uy * kCos), c);
+  canvas.line(a.x1, a.y1, a.x1 + kBarb * (ux * kCos + uy * kSin),
+              a.y1 + kBarb * (-ux * kSin + uy * kCos), c);
+}
+
+}  // namespace
+
+void paint_gantt_edges(const GanttLayout& layout, Canvas& canvas) {
+  for (const auto& lane : layout.edge_lanes) {
+    // Merge equal-level runs into single fills; zero columns draw nothing.
+    std::size_t i = 0;
+    while (i < lane.levels.size()) {
+      const std::uint8_t v = lane.levels[i];
+      std::size_t j = i + 1;
+      while (j < lane.levels.size() && lane.levels[j] == v) ++j;
+      if (v != 0) {
+        color::Color c = kEdgeHeat;
+        c.a = v;
+        canvas.fill_rect(lane.x + lane.col_w * static_cast<double>(i),
+                         lane.y, lane.col_w * static_cast<double>(j - i),
+                         lane.h, c);
+      }
+      i = j;
+    }
+  }
+  for (const auto& a : layout.edge_arrows) {
+    if (!a.critical) paint_edge_arrow(a, canvas, kEdgeLine);
+  }
+  // Critical path on top, in its own color.
+  for (const auto& a : layout.edge_arrows) {
+    if (a.critical) paint_edge_arrow(a, canvas, kEdgeCritical);
+  }
+  canvas.flush();
+}
+
 void paint_gantt(const GanttLayout& layout, Canvas& canvas,
                  const GanttStyle& style) {
   paint_gantt_background(layout, canvas);
   paint_gantt_boxes(layout, canvas, style, /*with_labels=*/true);
+  paint_gantt_edges(layout, canvas);
   paint_gantt_chrome(layout, canvas, style);
 }
 

@@ -18,6 +18,7 @@
 
 #include "jedule/color/colormap.hpp"
 #include "jedule/model/composite.hpp"
+#include "jedule/model/edge_index.hpp"
 #include "jedule/model/schedule.hpp"
 #include "jedule/model/task_index.hpp"
 #include "jedule/render/canvas.hpp"
@@ -31,6 +32,16 @@ namespace jedule::render {
 /// kDefault resolves to kOff on the export path (default exports stay
 /// byte-identical) and to kAuto on the interactive frame path.
 enum class LodMode { kDefault, kOff, kAuto, kForce };
+
+/// Dependency-edge rendering policy (DESIGN.md §4j). kOff draws no edges.
+/// kAuto draws one clipped arrow per visible dependency while a panel's
+/// visible edge count stays within GanttStyle::edge_density entries per
+/// pixel column, and collapses the panel to a per-column heat lane above
+/// that budget; kForce always uses the heat lane. The critical path is
+/// overlaid in both sub-modes. kDefault resolves to kAuto — a schedule
+/// without dependencies draws nothing either way, so existing exports stay
+/// byte-identical.
+enum class EdgeMode { kDefault, kOff, kAuto, kForce };
 
 struct GanttStyle {
   int width = 1000;
@@ -81,6 +92,42 @@ struct GanttStyle {
   /// per pixel column (measured before the type filter).
   LodMode lod = LodMode::kDefault;
   int lod_density = 4;
+
+  /// See EdgeMode; `edge_density` is the arrows-vs-heat-lane budget in
+  /// visible dependency edges per pixel column (EdgeMode::kAuto only).
+  EdgeMode edges = EdgeMode::kDefault;
+  int edge_density = 2;
+};
+
+/// One dependency arrow in device coordinates, already clipped to its
+/// panel: from the source task's end time at its representative host row
+/// to the destination task's start time at its row.
+struct EdgeArrow {
+  double x0 = 0, y0 = 0, x1 = 0, y1 = 0;
+  /// Clipping kept the destination endpoint, so the head barbs draw.
+  bool head = false;
+  /// Lies on the critical path: painted on top, in the critical color.
+  bool critical = false;
+};
+
+/// Per-pixel-column dependency density strip along one panel's bottom
+/// edge: levels[i] is the quantized (0..255) edge count of column i,
+/// painted as alpha on the heat color with equal-level runs merged.
+struct EdgeHeatLane {
+  std::size_t panel_index = 0;
+  double x = 0;      // device x of column 0
+  double col_w = 1;  // device width of one column
+  double y = 0, h = 0;
+  std::vector<std::uint8_t> levels;
+};
+
+/// Edge-rendering counters (`jedule info`, serve /stats).
+struct EdgeRenderStats {
+  std::size_t considered = 0;  // visible entries inspected across panels
+  std::size_t arrows = 0;      // individual arrows laid out (incl. critical)
+  std::size_t critical_arrows = 0;
+  std::size_t heat_panels = 0;   // panels that fell back to the heat lane
+  std::size_t heat_columns = 0;  // nonzero heat-lane columns
 };
 
 struct TaskBox {
@@ -134,6 +181,13 @@ struct GanttLayout {
   /// the full task list (hints.index + style.time_window).
   bool culled = false;
 
+  /// Dependency rendering (DESIGN.md §4j): clipped arrows, per-panel heat
+  /// lanes, and the counters behind `jedule info` / serve /stats. Arrows
+  /// flagged `critical` paint last, over the ordinary ones.
+  std::vector<EdgeArrow> edge_arrows;
+  std::vector<EdgeHeatLane> edge_lanes;
+  EdgeRenderStats edge_stats;
+
   int label_font_size = 13;
   int min_label_font_size = 11;
   int axes_font_size = 12;
@@ -157,6 +211,12 @@ struct SnapGrid {
 /// box intersecting the window is identical to the full layout's).
 struct LayoutHints {
   const model::TaskIndex* index = nullptr;
+
+  /// O(log n + k) window queries over the dependency edges. Without it an
+  /// active EdgeMode falls back to a brute-force scan of
+  /// Schedule::dependencies() per panel — the resulting layout is
+  /// identical, just O(m) instead of O(visible).
+  const model::EdgeIndex* edge_index = nullptr;
 
   /// Skip Schedule::validate() (the caller validated once already).
   bool assume_validated = false;
@@ -221,6 +281,12 @@ void paint_gantt_labels(const GanttLayout& layout, Canvas& canvas,
 /// Panel titles, grid lines, host labels, time axes and frames.
 void paint_gantt_chrome(const GanttLayout& layout, Canvas& canvas,
                         const GanttStyle& style);
+
+/// Dependency heat lanes, arrows, and the critical-path overlay (in that
+/// paint order). The tile path calls this per frame, over the blitted
+/// tiles and under labels/chrome — tiles themselves never contain edges,
+/// so toggling edges can never invalidate the tile cache.
+void paint_gantt_edges(const GanttLayout& layout, Canvas& canvas);
 
 /// The horizontal span (x, width) panels occupy for `style` — the fixed
 /// chrome margins, shared with the tile cache's pixel grid.

@@ -825,6 +825,121 @@ std::size_t first_violation_neon(const double* start, const double* end,
 
 #endif  // JEDULE_KERNELS_NEON
 
+// --- edge heat lanes (DESIGN.md §4j) ----------------------------------
+// accumulate: element-wise lane adds, no reassociation, so SIMD matches
+// scalar bit-for-bit. quantize: min-then-truncate; cvttps/vcvtq truncate
+// toward zero exactly like static_cast<int> on in-range values, and the
+// saturating packs clamp negatives to 0 just like the scalar guard.
+
+void heat_accum_scalar(float* acc, std::size_t n, float v) {
+  for (std::size_t i = 0; i < n; ++i) acc[i] += v;
+}
+
+void heat_quantize_scalar(const float* acc, std::size_t n, float scale,
+                          std::uint8_t* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float v = std::min(acc[i] * scale + 0.5f, 255.0f);
+    int q = static_cast<int>(v);
+    if (q < 0) q = 0;
+    out[i] = static_cast<std::uint8_t>(q);
+  }
+}
+
+#if defined(JEDULE_KERNELS_X86)
+
+void heat_accum_sse2(float* acc, std::size_t n, float v) {
+  const __m128 vv = _mm_set1_ps(v);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm_storeu_ps(acc + i, _mm_add_ps(_mm_loadu_ps(acc + i), vv));
+  }
+  for (; i < n; ++i) acc[i] += v;
+}
+
+void heat_quantize_sse2(const float* acc, std::size_t n, float scale,
+                        std::uint8_t* out) {
+  const __m128 vscale = _mm_set1_ps(scale);
+  const __m128 half = _mm_set1_ps(0.5f);
+  const __m128 cap = _mm_set1_ps(255.0f);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128 v = _mm_min_ps(
+        _mm_add_ps(_mm_mul_ps(_mm_loadu_ps(acc + i), vscale), half), cap);
+    const __m128i q = _mm_cvttps_epi32(v);
+    const __m128i p8 = _mm_packus_epi16(_mm_packs_epi32(q, q),
+                                        _mm_setzero_si128());
+    const int word = _mm_cvtsi128_si32(p8);
+    std::memcpy(out + i, &word, 4);
+  }
+  if (i < n) heat_quantize_scalar(acc + i, n - i, scale, out + i);
+}
+
+__attribute__((target("avx2"))) void heat_accum_avx2(float* acc,
+                                                     std::size_t n, float v) {
+  const __m256 vv = _mm256_set1_ps(v);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(acc + i, _mm256_add_ps(_mm256_loadu_ps(acc + i), vv));
+  }
+  if (i < n) heat_accum_sse2(acc + i, n - i, v);
+}
+
+__attribute__((target("avx2"))) void heat_quantize_avx2(const float* acc,
+                                                        std::size_t n,
+                                                        float scale,
+                                                        std::uint8_t* out) {
+  const __m256 vscale = _mm256_set1_ps(scale);
+  const __m256 half = _mm256_set1_ps(0.5f);
+  const __m256 cap = _mm256_set1_ps(255.0f);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_min_ps(
+        _mm256_add_ps(_mm256_mul_ps(_mm256_loadu_ps(acc + i), vscale), half),
+        cap);
+    const __m256i q = _mm256_cvttps_epi32(v);
+    const __m128i lo = _mm256_castsi256_si128(q);
+    const __m128i hi = _mm256_extracti128_si256(q, 1);
+    const __m128i p8 = _mm_packus_epi16(_mm_packs_epi32(lo, hi),
+                                        _mm_setzero_si128());
+    _mm_storel_epi64(reinterpret_cast<__m128i*>(out + i), p8);
+  }
+  if (i < n) heat_quantize_sse2(acc + i, n - i, scale, out + i);
+}
+
+#endif  // JEDULE_KERNELS_X86
+
+#if defined(JEDULE_KERNELS_NEON)
+
+void heat_accum_neon(float* acc, std::size_t n, float v) {
+  const float32x4_t vv = vdupq_n_f32(v);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(acc + i, vaddq_f32(vld1q_f32(acc + i), vv));
+  }
+  for (; i < n; ++i) acc[i] += v;
+}
+
+void heat_quantize_neon(const float* acc, std::size_t n, float scale,
+                        std::uint8_t* out) {
+  const float32x4_t vscale = vdupq_n_f32(scale);
+  const float32x4_t half = vdupq_n_f32(0.5f);
+  const float32x4_t cap = vdupq_n_f32(255.0f);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const float32x4_t v0 = vminq_f32(
+        vaddq_f32(vmulq_f32(vld1q_f32(acc + i), vscale), half), cap);
+    const float32x4_t v1 = vminq_f32(
+        vaddq_f32(vmulq_f32(vld1q_f32(acc + i + 4), vscale), half), cap);
+    // vcvtq truncates toward zero; vqmovun clamps negatives to 0.
+    const uint16x8_t q16 = vcombine_u16(vqmovun_s32(vcvtq_s32_f32(v0)),
+                                        vqmovun_s32(vcvtq_s32_f32(v1)));
+    vst1_u8(out + i, vqmovn_u16(q16));
+  }
+  if (i < n) heat_quantize_scalar(acc + i, n - i, scale, out + i);
+}
+
+#endif  // JEDULE_KERNELS_NEON
+
 std::atomic<const Kernels*> g_override{nullptr};
 
 const Kernels* env_or_best() {
@@ -843,7 +958,8 @@ const Kernels& scalar() {
                          blend_row_scalar,  copy_row_scalar,
                          png_filter_row_scalar, png_unfilter_row_scalar,
                          png_sad_scalar,    minmax_f64_scalar,
-                         first_violation_scalar};
+                         first_violation_scalar, heat_accum_scalar,
+                         heat_quantize_scalar};
   return k;
 }
 
@@ -857,7 +973,8 @@ const std::vector<const Kernels*>& available() {
                                 blend_row_sse2,  copy_row_sse2,
                                 png_filter_row_sse2, png_unfilter_row_sse2,
                                 png_sad_sse2,    minmax_f64_sse2,
-                                first_violation_sse2};
+                                first_violation_sse2, heat_accum_sse2,
+                                heat_quantize_sse2};
       v.push_back(&sse2);
     }
     if (cpu.avx2) {
@@ -865,7 +982,8 @@ const std::vector<const Kernels*>& available() {
                                 blend_row_avx2,  copy_row_avx2,
                                 png_filter_row_avx2, png_unfilter_row_avx2,
                                 png_sad_avx2,    minmax_f64_avx2,
-                                first_violation_avx2};
+                                first_violation_avx2, heat_accum_avx2,
+                                heat_quantize_avx2};
       v.push_back(&avx2);
     }
 #elif defined(JEDULE_KERNELS_NEON)
@@ -874,7 +992,8 @@ const std::vector<const Kernels*>& available() {
                                 blend_row_neon,  copy_row_neon,
                                 png_filter_row_neon, png_unfilter_row_neon,
                                 png_sad_neon,    minmax_f64_neon,
-                                first_violation_neon};
+                                first_violation_neon, heat_accum_neon,
+                                heat_quantize_neon};
       v.push_back(&neon);
     }
 #endif

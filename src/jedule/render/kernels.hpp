@@ -2,14 +2,15 @@
 
 // Runtime-dispatched SIMD row kernels for the software rasterizer, the
 // PNG codec, and the columnar schedule arena (DESIGN.md §4e, §4g, §4h).
-// Eight primitives cover every hot inner loop: opaque row fill (pattern
+// Ten primitives cover every hot inner loop: opaque row fill (pattern
 // broadcast), source-over alpha blend, row copy, PNG scanline
 // filter/unfilter, the sum-of-absolute-differences filter-selection
-// score, and two double-column scans (paired min/max reduction and
+// score, two double-column scans (paired min/max reduction and
 // first-time-violation search) that serve model::ScheduleArena through
-// the ColumnScanOps hook. Each has scalar, SSE2, AVX2 and NEON variants;
-// dispatch picks the best one the executing CPU supports, decided once at
-// startup.
+// the ColumnScanOps hook, and the edge heat-lane pair (f32 column
+// accumulate + byte quantize, DESIGN.md §4j). Each has scalar, SSE2,
+// AVX2 and NEON variants; dispatch picks the best one the executing CPU
+// supports, decided once at startup.
 //
 // Every variant is bit-exact with the scalar path — and the scalar blend
 // is bit-exact with color::blend_over — so switching kernels can never
@@ -82,6 +83,18 @@ using MinMaxF64Fn = void (*)(const double* a, const double* b, std::size_t n,
 using FirstViolationFn = std::size_t (*)(const double* start,
                                          const double* end, std::size_t n);
 
+/// acc[i] += v over [0, n) — the edge heat-lane column accumulate. Lane
+/// adds are element-wise (no reassociation), so every variant is
+/// bit-exact with scalar; heat counts of 1.0f stay exact below 2^24.
+using HeatAccumFn = void (*)(float* acc, std::size_t n, float v);
+
+/// out[i] = clamp(trunc(min(acc[i] * scale + 0.5f, 255.0f)), 0, 255) —
+/// the heat-lane byte quantizer. Truncation toward zero matches
+/// cvttps/vcvtq exactly, so the quantized ramp is identical under every
+/// variant.
+using HeatQuantizeFn = void (*)(const float* acc, std::size_t n, float scale,
+                                std::uint8_t* out);
+
 struct Kernels {
   const char* name;  // "scalar", "sse2", "avx2", "neon"
   FillRowFn fill_row;
@@ -92,6 +105,8 @@ struct Kernels {
   PngSadFn png_sad;
   MinMaxF64Fn minmax_f64;
   FirstViolationFn first_violation;
+  HeatAccumFn heat_accum;
+  HeatQuantizeFn heat_quantize;
 };
 
 /// The portable reference variant (always present).

@@ -25,6 +25,11 @@ struct RenderOptions {
   /// same boxes, O(visible) work — instead of scanning every task.
   const model::TaskIndex* task_index = nullptr;
 
+  /// Optional dependency-edge index (must outlive the render); see
+  /// LayoutHints::edge_index. With it, edge layout costs O(log n +
+  /// visible) per panel instead of a brute-force dependency scan.
+  const model::EdgeIndex* edge_index = nullptr;
+
   /// Precomputed unfiltered composite list (must outlive the render); see
   /// LayoutHints::composites. The engine passes its per-entry cached list
   /// so repeated/appended renders skip the full overlap sweep.
@@ -42,6 +47,7 @@ inline GanttLayout layout_gantt(const model::Schedule& schedule,
                                 const RenderOptions& options) {
   LayoutHints hints;
   hints.index = options.task_index;
+  hints.edge_index = options.edge_index;
   hints.composites = options.composites;
   hints.assume_validated = options.assume_validated;
   return layout_gantt(schedule, options.colormap, options.style,

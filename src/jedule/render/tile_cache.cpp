@@ -45,7 +45,9 @@ void hash_string(std::uint64_t* h, const std::string& s) {
 /// Everything that changes tile pixels except the view window (the window
 /// is what the grid + tile keys encode) and the schedule content (hashed
 /// separately). panel_lod is part of the key: a pan that flips a panel
-/// between exact boxes and density bins must re-rasterize.
+/// between exact boxes and density bins must re-rasterize. The edge
+/// style (edges/edge_density) is deliberately absent — tiles hold the
+/// box layer only, so toggling edges repaints just the frame overlay.
 std::uint64_t hash_style(const GanttStyle& style, std::uint64_t colormap_epoch,
                          const std::vector<std::uint8_t>& panel_lod) {
   std::uint64_t h = kFnvOffset;
@@ -119,6 +121,7 @@ Framebuffer TileCache::render_frame(const Request& req) {
 
   LayoutHints base_hints;
   base_hints.index = req.index;
+  base_hints.edge_index = req.edge_index;
   base_hints.assume_validated = req.validated;
   base_hints.interactive = true;
 
@@ -203,6 +206,9 @@ Framebuffer TileCache::render_frame(const Request& req) {
   last_.layout_ms = ms_since(t_layout);
   last_.boxes = layout.boxes.size();
   for (auto v : layout.panel_lod) last_.lod = last_.lod || v != 0;
+  last_.edges_considered = layout.edge_stats.considered;
+  last_.edge_arrows = layout.edge_stats.arrows;
+  last_.edge_heat_panels = layout.edge_stats.heat_panels;
 
   const std::uint64_t style_h =
       hash_style(req.style, req.colormap_epoch, layout.panel_lod);
@@ -275,6 +281,9 @@ Framebuffer TileCache::render_frame(const Request& req) {
   const auto t_overlay = Clock::now();
   RasterCanvas canvas(fb);
   paint_gantt_header(layout, canvas);
+  // Edges are a per-frame overlay between the blitted box layer and the
+  // labels/chrome — tile bytes never change with the edge style.
+  paint_gantt_edges(layout, canvas);
   if (req.style.show_labels) paint_gantt_labels(layout, canvas, frame_style);
   paint_gantt_chrome(layout, canvas, frame_style);
   last_.overlay_ms = ms_since(t_overlay);
@@ -296,6 +305,8 @@ Framebuffer TileCache::render_tile(const Request& req, const Grid& grid,
   const long long b0 = tile_col * tw - kTileSlack;
   const long long b1 = (tile_col + 1) * tw + kTileSlack;
   GanttStyle style = req.style;
+  // Tiles hold the box layer only; edges paint in the frame overlay.
+  style.edges = EdgeMode::kOff;
   style.time_window =
       model::TimeRange{grid.anchor + static_cast<double>(b0) * grid.time_per_px,
                        grid.anchor + static_cast<double>(b1) * grid.time_per_px};
@@ -327,6 +338,9 @@ Framebuffer TileCache::render_direct(const Request& req,
   last_.layout_ms = ms_since(t_layout);
   last_.boxes = layout.boxes.size();
   for (auto v : layout.panel_lod) last_.lod = last_.lod || v != 0;
+  last_.edges_considered = layout.edge_stats.considered;
+  last_.edge_arrows = layout.edge_stats.arrows;
+  last_.edge_heat_panels = layout.edge_stats.heat_panels;
   last_.cached = false;
 
   Framebuffer fb(style.width, style.height, color::kWhite);

@@ -50,6 +50,11 @@ class TileCache {
     /// Optional; without it culling degrades to full scans (correct,
     /// slower) and the content hash is recomputed per frame.
     const model::TaskIndex* index = nullptr;
+    /// Optional dependency-edge index. Edges paint in the per-frame
+    /// overlay only — tiles never contain them, so edge style changes
+    /// never invalidate the cache. Without the index an active EdgeMode
+    /// falls back to brute-force dependency scans per frame.
+    const model::EdgeIndex* edge_index = nullptr;
     /// Bumped by the caller whenever the colormap object changes (the
     /// cache cannot cheaply hash a colormap).
     std::uint64_t colormap_epoch = 0;

@@ -555,6 +555,10 @@ std::string Server::stats_json() const {
       ",\"artifact_evictions\":" + std::to_string(render_stats.artifact_evictions);
   out += ",\"artifact_entries\":" + std::to_string(render_stats.artifact_entries);
   out += ",\"artifact_bytes\":" + std::to_string(render_stats.artifact_bytes);
+  out += ",\"edge_renders\":" + std::to_string(render_stats.edge_renders);
+  out += ",\"edge_arrows\":" + std::to_string(render_stats.edge_arrows);
+  out +=
+      ",\"edge_heat_frames\":" + std::to_string(render_stats.edge_heat_frames);
   out += ",\"tile\":{";
   out += "\"hits\":" + std::to_string(render_stats.tile.hits);
   out += ",\"misses\":" + std::to_string(render_stats.tile.misses);

@@ -181,6 +181,7 @@ void append_to_schedule(const Dag& dag, const Platform& platform,
     return configs;
   };
 
+  const std::size_t base = out.tasks().size();
   for (int v = 0; v < dag.node_count(); ++v) {
     const auto& node = dag.node(v);
     model::Task t(options.id_prefix + node.name,
@@ -194,6 +195,17 @@ void append_to_schedule(const Dag& dag, const Platform& platform,
     }
     t.set_property("node", std::to_string(v));
     out.add_task(std::move(t));
+  }
+
+  // The DAG's precedence edges become first-class schedule dependencies.
+  // Emitting them in predecessor-list order keeps the schedule's
+  // critical-path tie-breaks identical to dag::Dag::critical_path.
+  for (int v = 0; v < dag.node_count(); ++v) {
+    for (int p : dag.predecessors(v)) {
+      out.add_dependency(static_cast<std::uint32_t>(base + p),
+                         static_cast<std::uint32_t>(base + v),
+                         dag.edge_data(p, v));
+    }
   }
 
   if (options.include_transfers) {

@@ -93,6 +93,16 @@ std::optional<double> parse_double(std::string_view s) {
   return value;
 }
 
+DepToken parse_dep_token(std::string_view token) {
+  const auto colon = token.rfind(':');
+  if (colon != std::string_view::npos) {
+    if (const auto v = parse_double(token.substr(colon + 1))) {
+      return {token.substr(0, colon), *v};
+    }
+  }
+  return {token, 0};
+}
+
 std::string format_fixed(double v, int digits) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", digits, v);

@@ -39,6 +39,18 @@ std::optional<double> parse_double(std::string_view s);
 /// trailing zeros kept ("0.310").
 std::string format_fixed(double v, int digits);
 
+/// One dependency reference from the CSV `deps` column / live-event deps
+/// field: `<src_id>` or `<src_id>:<data>`.
+struct DepToken {
+  std::string_view id;
+  double data = 0;
+};
+
+/// Splits a dependency reference at the LAST ':' — and only when the tail
+/// parses as a number — so task ids containing ':' keep working. The view
+/// aliases `token`.
+DepToken parse_dep_token(std::string_view token);
+
 /// Escape the five XML special characters for use in text or attributes.
 std::string xml_escape(std::string_view s);
 

@@ -99,6 +99,53 @@ TEST(Dag, CriticalPathTimeAndPath) {
   EXPECT_EQ(d.critical_path(times), (std::vector<int>{0, 1, 3}));
 }
 
+TEST(Dag, CriticalPathTieBreaksAreDeterministic) {
+  // Both branches of the diamond finish at the same time: the DP only
+  // replaces its choice on a strictly greater finish, so the first
+  // predecessor in topological order wins — always branch b here.
+  const Dag d = diamond();
+  const std::vector<double> times{10, 20, 20, 10};
+  EXPECT_DOUBLE_EQ(d.critical_path_time(times), 40.0);
+  EXPECT_EQ(d.critical_path(times), (std::vector<int>{0, 1, 3}));
+  // Two sinks tying on finish time: the earlier node keeps the path.
+  Dag two;
+  two.add_node("a", 1.0);
+  two.add_node("b", 1.0);
+  EXPECT_EQ(two.critical_path({5.0, 5.0}), (std::vector<int>{0}));
+}
+
+TEST(Dag, CriticalPathSingleNode) {
+  Dag d;
+  d.add_node("only", 1.0);
+  EXPECT_DOUBLE_EQ(d.critical_path_time({7.5}), 7.5);
+  EXPECT_EQ(d.critical_path({7.5}), (std::vector<int>{0}));
+}
+
+TEST(Dag, CriticalPathOnDisconnectedComponents) {
+  // Two chains with no edges between them: the longer chain is the
+  // critical path and the other component never contributes.
+  Dag d;
+  d.add_node("a0", 1.0);
+  d.add_node("a1", 1.0);
+  d.add_node("b0", 1.0);
+  d.add_node("b1", 1.0);
+  d.add_node("b2", 1.0);
+  d.add_edge(0, 1);
+  d.add_edge(2, 3);
+  d.add_edge(3, 4);
+  const std::vector<double> times{4.0, 4.0, 3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(d.critical_path_time(times), 9.0);
+  EXPECT_EQ(d.critical_path(times), (std::vector<int>{2, 3, 4}));
+  // An isolated node with the globally largest time is a one-node path.
+  Dag iso;
+  iso.add_node("big", 1.0);
+  iso.add_node("c0", 1.0);
+  iso.add_node("c1", 1.0);
+  iso.add_edge(1, 2);
+  EXPECT_EQ(iso.critical_path({10.0, 2.0, 3.0}), (std::vector<int>{0}));
+  EXPECT_DOUBLE_EQ(iso.critical_path_time({10.0, 2.0, 3.0}), 10.0);
+}
+
 TEST(Dag, AverageAreaAndWork) {
   const Dag d = diamond();
   const std::vector<double> times{10, 20, 5, 10};

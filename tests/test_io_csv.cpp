@@ -97,5 +97,32 @@ TEST(WriteCsv, RoundTrips) {
   EXPECT_EQ(back.clusters().size(), 2u);
 }
 
+TEST(WriteCsv, RoundTripsDeps) {
+  auto orig = model::ScheduleBuilder()
+                  .cluster(0, "main", 8)
+                  .task("a", "computation", 0.0, 1.0)
+                  .on(0, 0, 4)
+                  .task("b", "computation", 1.5, 2.0)
+                  .on(0, 4, 4)
+                  .task("c", "transfer", 2.0, 3.0)
+                  .on(0, 0, 2)
+                  .build();
+  orig.add_dependency(0, 1, 4.5);
+  orig.add_dependency(0, 2);
+  orig.add_dependency(1, 2, 0.25);
+  orig.validate();
+  const std::string csv = write_schedule_csv(orig);
+  // The optional sixth column only appears when edges exist.
+  EXPECT_NE(csv.find("deps"), std::string::npos);
+  EXPECT_EQ(read_schedule_csv(csv).dependencies(), orig.dependencies());
+
+  const auto bare = model::ScheduleBuilder()
+                        .cluster(0, "main", 8)
+                        .task("a", "computation", 0.0, 1.0)
+                        .on(0, 0, 4)
+                        .build();
+  EXPECT_EQ(write_schedule_csv(bare).find("deps"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace jedule::io

@@ -72,6 +72,22 @@ model::Schedule rich_schedule() {
       .build();
 }
 
+TEST(WriteJeduleXml, RoundTripsPrecedences) {
+  model::Schedule orig = rich_schedule();
+  orig.add_dependency(0, 1, 12.5);
+  orig.validate();
+  const std::string xml = write_schedule_xml(orig);
+  EXPECT_NE(xml.find("<precedences>"), std::string::npos);
+  EXPECT_NE(xml.find("<precedence"), std::string::npos);
+  // Both the pull parser and the DOM fallback must restore the edge list.
+  EXPECT_EQ(read_schedule_xml(xml).dependencies(), orig.dependencies());
+  EXPECT_EQ(read_schedule_xml_dom(xml).dependencies(), orig.dependencies());
+  // Dependency-free schedules keep emitting the pre-edge document shape.
+  const model::Schedule bare = rich_schedule();
+  EXPECT_EQ(write_schedule_xml(bare).find("<precedences>"),
+            std::string::npos);
+}
+
 TEST(WriteJeduleXml, RoundTripsEverything) {
   const model::Schedule orig = rich_schedule();
   const model::Schedule back = read_schedule_xml(write_schedule_xml(orig));

@@ -1,0 +1,317 @@
+// Differential suite for model::EdgeIndex (DESIGN.md §4j): window queries
+// against a brute-force oracle over random dependency DAGs, the O(delta)
+// extension constructor against a from-scratch build, the snapshot
+// round-trip (including the mmap path), and the critical-path DP against
+// dag::Dag on the same edges.
+
+#include "jedule/model/edge_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <random>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "jedule/dag/dag.hpp"
+#include "jedule/io/snapshot.hpp"
+#include "jedule/model/arena.hpp"
+#include "jedule/model/builder.hpp"
+#include "jedule/model/schedule.hpp"
+#include "jedule/model/task_index.hpp"
+
+namespace jedule::model {
+namespace {
+
+/// Deterministic random schedule over two clusters with `m` forward
+/// dependency edges; some tasks allocate on both clusters, so edges cross
+/// clusters and are indexed in each.
+Schedule random_dag_schedule(int n, int m, unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> start(0.0, 100.0);
+  std::uniform_real_distribution<double> dur(0.0, 8.0);
+  std::uniform_int_distribution<int> host(0, 12);
+  std::uniform_int_distribution<int> span(1, 4);
+  std::uniform_int_distribution<int> coin(0, 3);
+
+  ScheduleBuilder b;
+  b.cluster(0, "c0", 16).cluster(1, "c1", 16);
+  for (int i = 0; i < n; ++i) {
+    const double s = start(rng);
+    const double e = coin(rng) == 0 ? s : s + dur(rng);
+    b.task(std::to_string(i), i % 2 ? "computation" : "transfer", s, e);
+    b.on(i % 2, host(rng), span(rng));
+    if (coin(rng) == 0) {
+      const int h2 = host(rng);
+      b.hosts((i + 1) % 2, {h2, (h2 + 5) % 13});
+    }
+  }
+  Schedule s = b.build();
+
+  std::uniform_int_distribution<int> pick(0, n - 1);
+  std::uniform_real_distribution<double> data(0.0, 64.0);
+  std::set<std::pair<int, int>> used;
+  while (static_cast<int>(used.size()) < m) {
+    int a = pick(rng), c = pick(rng);
+    if (a == c) continue;
+    if (a > c) std::swap(a, c);
+    if (!used.insert({a, c}).second) continue;
+    s.add_dependency(static_cast<std::uint32_t>(a),
+                     static_cast<std::uint32_t>(c), data(rng));
+  }
+  s.validate();
+  return s;
+}
+
+/// Brute-force oracle mirroring emit_entries: one entry per (edge x
+/// cluster containing either endpoint), interval [min(src end, dst start),
+/// max(src end, dst start)], representative host = first host of the
+/// endpoint's first configuration in the cluster (-1 when absent).
+std::vector<EdgeIndex::Entry> brute_entries(const Schedule& s,
+                                            int cluster_id) {
+  auto rep_host = [&](std::uint32_t task) -> std::int32_t {
+    for (const auto& cfg : s.tasks()[task].configurations()) {
+      if (cfg.cluster_id == cluster_id) return cfg.hosts.front().start;
+    }
+    return -1;
+  };
+  auto in_cluster = [&](std::uint32_t task) {
+    for (const auto& cfg : s.tasks()[task].configurations()) {
+      if (cfg.cluster_id == cluster_id) return true;
+    }
+    return false;
+  };
+  std::vector<EdgeIndex::Entry> out;
+  for (const Dependency& d : s.dependencies()) {
+    if (!in_cluster(d.src) && !in_cluster(d.dst)) continue;
+    EdgeIndex::Entry e;
+    e.begin = std::min(s.tasks()[d.src].end_time(),
+                       s.tasks()[d.dst].start_time());
+    e.end = std::max(s.tasks()[d.src].end_time(),
+                     s.tasks()[d.dst].start_time());
+    e.src = d.src;
+    e.dst = d.dst;
+    e.src_host = rep_host(d.src);
+    e.dst_host = rep_host(d.dst);
+    out.push_back(e);
+  }
+  return out;
+}
+
+using Key = std::tuple<double, double, std::int32_t, std::int32_t,
+                       std::uint32_t, std::uint32_t>;
+
+std::multiset<Key> key_set(const std::vector<EdgeIndex::Entry>& entries) {
+  std::multiset<Key> keys;
+  for (const auto& e : entries) {
+    keys.insert({e.begin, e.end, e.src_host, e.dst_host, e.src, e.dst});
+  }
+  return keys;
+}
+
+std::vector<EdgeIndex::Entry> collect(const EdgeIndex& index, int cluster,
+                                      double t0, double t1) {
+  std::vector<EdgeIndex::Entry> got;
+  index.query(cluster, t0, t1,
+              [&](const EdgeIndex::Entry& e) { got.push_back(e); });
+  return got;
+}
+
+std::vector<EdgeIndex::Entry> brute_window(const Schedule& s, int cluster,
+                                           double t0, double t1) {
+  std::vector<EdgeIndex::Entry> out;
+  for (const auto& e : brute_entries(s, cluster)) {
+    if (e.begin > t1 || e.end < t0) continue;
+    out.push_back(e);
+  }
+  return out;
+}
+
+TEST(EdgeIndex, QueryMatchesBruteForce) {
+  const Schedule s = random_dag_schedule(300, 600, 7);
+  const EdgeIndex index(s);
+  EXPECT_EQ(index.edge_count(), s.dependencies().size());
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<double> point(-10.0, 130.0);
+  for (int cluster = 0; cluster <= 1; ++cluster) {
+    for (int trial = 0; trial < 60; ++trial) {
+      double t0 = point(rng), t1 = point(rng);
+      if (t1 < t0) std::swap(t0, t1);
+      EXPECT_EQ(key_set(collect(index, cluster, t0, t1)),
+                key_set(brute_window(s, cluster, t0, t1)))
+          << "cluster " << cluster << " window [" << t0 << ", " << t1 << "]";
+    }
+  }
+}
+
+TEST(EdgeIndex, ThreadCountDoesNotChangeTheIndex) {
+  const Schedule s = random_dag_schedule(200, 400, 3);
+  const EdgeIndex serial(s, 1);
+  const EdgeIndex parallel(s, 8);
+  EXPECT_EQ(serial.content_hash(), parallel.content_hash());
+  const auto a = serial.flatten();
+  const auto b = parallel.flatten();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t c = 0; c < a.size(); ++c) {
+    EXPECT_EQ(a[c].cluster_id, b[c].cluster_id);
+    EXPECT_EQ(key_set(a[c].entries), key_set(b[c].entries));
+    EXPECT_EQ(a[c].max_end, b[c].max_end);
+  }
+  EXPECT_EQ(serial.critical_path(), parallel.critical_path());
+}
+
+TEST(EdgeIndex, CountUptoStopsEarlyButIsExactBelowLimit) {
+  const Schedule s = random_dag_schedule(150, 300, 5);
+  const EdgeIndex index(s);
+  const auto all = brute_window(s, 0, -1e18, 1e18);
+  EXPECT_EQ(index.count_upto(0, -1e18, 1e18, 100000), all.size());
+  EXPECT_EQ(index.count_upto(0, -1e18, 1e18, 5), 5u);
+  EXPECT_EQ(index.count_upto(0, 1e9, 2e9, 5), 0u);
+}
+
+TEST(EdgeIndex, CriticalPathMatchesDag) {
+  for (unsigned seed : {1u, 2u, 9u}) {
+    const Schedule s = random_dag_schedule(120, 240, seed);
+    dag::Dag d;
+    std::vector<double> times;
+    for (const auto& t : s.tasks()) {
+      d.add_node(t.id(), /*work=*/1.0);
+      times.push_back(t.duration());
+    }
+    for (const auto& dep : s.dependencies()) {
+      d.add_edge(static_cast<int>(dep.src), static_cast<int>(dep.dst),
+                 dep.data);
+    }
+    const EdgeIndex index(s);
+    EXPECT_DOUBLE_EQ(index.critical_path_time(), d.critical_path_time(times))
+        << "seed " << seed;
+    const std::vector<int> want = d.critical_path(times);
+    const std::vector<std::uint32_t>& got = index.critical_path();
+    ASSERT_EQ(got.size(), want.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i], static_cast<std::uint32_t>(want[i]));
+    }
+  }
+}
+
+TEST(EdgeIndex, ExtensionMatchesFullRebuild) {
+  // Build the first half, append the second half through the arena (the
+  // engine's O(delta) follow path), and extend the index; every observable
+  // must match an index built from scratch over the final arena.
+  const Schedule full = random_dag_schedule(200, 400, 13);
+  const std::size_t half = 100;
+
+  Schedule prefix;
+  for (const auto& c : full.clusters()) {
+    prefix.add_cluster(c.id, c.name, c.hosts);
+  }
+  for (std::size_t i = 0; i < half; ++i) prefix.add_task(full.tasks()[i]);
+  for (const auto& d : full.dependencies()) {
+    if (d.dst < half) prefix.add_dependency(d.src, d.dst, d.data);
+  }
+  prefix.validate();
+
+  ScheduleArena arena(prefix);
+  const EdgeIndex base(arena);
+
+  std::vector<ScheduleArena::Event> events;
+  for (std::size_t i = half; i < full.tasks().size(); ++i) {
+    const Task& t = full.tasks()[i];
+    ScheduleArena::Event ev;
+    ev.id = t.id();
+    ev.type = t.type();
+    ev.start = t.start_time();
+    ev.end = t.end_time();
+    ev.cluster_id = t.configurations().front().cluster_id;
+    ev.host_start = t.configurations().front().hosts.front().start;
+    ev.host_nb = t.configurations().front().hosts.front().nb;
+    for (const auto& d : full.dependencies()) {
+      if (d.dst == i) {
+        ev.deps.emplace_back(full.tasks()[d.src].id(), d.data);
+      }
+    }
+    events.push_back(std::move(ev));
+  }
+  arena.append(events);
+  const EdgeIndex extended(base, arena, half);
+  const EdgeIndex scratch(arena);
+
+  EXPECT_EQ(extended.edge_count(), scratch.edge_count());
+  EXPECT_EQ(extended.content_hash(), scratch.content_hash());
+  EXPECT_EQ(extended.critical_path(), scratch.critical_path());
+  EXPECT_DOUBLE_EQ(extended.critical_path_time(),
+                   scratch.critical_path_time());
+  std::mt19937 rng(17);
+  std::uniform_real_distribution<double> point(-5.0, 120.0);
+  for (int cluster = 0; cluster <= 1; ++cluster) {
+    EXPECT_GE(extended.segment_count(cluster), 1u);
+    for (int trial = 0; trial < 40; ++trial) {
+      double t0 = point(rng), t1 = point(rng);
+      if (t1 < t0) std::swap(t0, t1);
+      EXPECT_EQ(key_set(collect(extended, cluster, t0, t1)),
+                key_set(collect(scratch, cluster, t0, t1)))
+          << "cluster " << cluster << " window [" << t0 << ", " << t1 << "]";
+    }
+  }
+}
+
+TEST(EdgeIndex, SnapshotRoundTripPreservesEdges) {
+  const Schedule s = random_dag_schedule(150, 300, 21);
+  const ScheduleArena arena(s);
+  const TaskIndex tasks(s);
+  const EdgeIndex edges(arena);
+
+  const std::string path =
+      testing::TempDir() + "edge_index_roundtrip.jbin";
+  io::save_snapshot(arena, tasks, path, &edges);
+  const io::Snapshot loaded = io::load_snapshot(path);
+
+  EXPECT_EQ(loaded.edges.edge_count(), edges.edge_count());
+  EXPECT_EQ(loaded.edges.content_hash(), edges.content_hash());
+  EXPECT_EQ(loaded.edges.critical_path(), edges.critical_path());
+  EXPECT_DOUBLE_EQ(loaded.edges.critical_path_time(),
+                   edges.critical_path_time());
+  std::mt19937 rng(23);
+  std::uniform_real_distribution<double> point(-5.0, 120.0);
+  for (int cluster = 0; cluster <= 1; ++cluster) {
+    for (int trial = 0; trial < 40; ++trial) {
+      double t0 = point(rng), t1 = point(rng);
+      if (t1 < t0) std::swap(t0, t1);
+      EXPECT_EQ(key_set(collect(loaded.edges, cluster, t0, t1)),
+                key_set(collect(edges, cluster, t0, t1)))
+          << "cluster " << cluster << " window [" << t0 << ", " << t1 << "]";
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(EdgeIndex, EdgeFreeSnapshotBytesAreUnchangedByTheEdgeSections) {
+  // A schedule without dependencies must serialize to the same bytes
+  // whether or not an (empty) EdgeIndex is offered — old snapshot files
+  // and their readers stay compatible.
+  const Schedule s = random_dag_schedule(50, 0, 29);
+  const ScheduleArena arena(s);
+  const TaskIndex tasks(s);
+  const EdgeIndex edges(arena);
+  EXPECT_TRUE(edges.empty());
+  EXPECT_EQ(io::serialize_snapshot(arena, tasks, nullptr),
+            io::serialize_snapshot(arena, tasks, &edges));
+}
+
+TEST(EdgeIndex, EmptyScheduleIsWellFormed) {
+  Schedule s;
+  s.add_cluster(0, "c", 2);
+  const EdgeIndex index(s);
+  EXPECT_TRUE(index.empty());
+  EXPECT_EQ(index.edge_count(), 0u);
+  EXPECT_TRUE(index.critical_path().empty());
+  EXPECT_DOUBLE_EQ(index.critical_path_time(), 0.0);
+  EXPECT_EQ(index.count_upto(0, 0, 1, 10), 0u);
+  EXPECT_EQ(index.content_hash(), 0u);
+}
+
+}  // namespace
+}  // namespace jedule::model

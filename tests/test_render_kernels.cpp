@@ -320,5 +320,59 @@ TEST(RasterKernels, FirstViolationVariantsMatchScalar) {
   }
 }
 
+TEST(RasterKernels, HeatAccumVariantsMatchScalar) {
+  util::Rng rng(41);
+  for (const kernels::Kernels* k : kernels::available()) {
+    // Lengths straddling every lane boundary, random increments on random
+    // starting contents: element-wise f32 adds must be bit-exact.
+    for (std::size_t n = 0; n <= 67; ++n) {
+      std::vector<float> a(n), b(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        a[i] = b[i] = static_cast<float>(rng.uniform(0.0, 1e6));
+      }
+      const float v = static_cast<float>(rng.uniform(0.0, 16.0));
+      kernels::scalar().heat_accum(a.data(), n, v);
+      k->heat_accum(b.data(), n, v);
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(a[i], b[i]) << k->name << " n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(RasterKernels, HeatQuantizeVariantsMatchScalar) {
+  util::Rng rng(43);
+  for (const kernels::Kernels* k : kernels::available()) {
+    for (std::size_t n = 0; n <= 67; ++n) {
+      std::vector<float> acc(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        acc[i] = static_cast<float>(rng.uniform(0.0, 300.0));
+      }
+      // Include the saturating end of the scale and an exact-integer edge.
+      if (n > 0) acc[0] = 255.0f;
+      if (n > 1) acc[1] = 1e9f;
+      for (const float scale : {1.0f, 0.37f, 255.0f / 3.0f}) {
+        std::vector<std::uint8_t> a(n, 0xAA), b(n, 0x55);
+        kernels::scalar().heat_quantize(acc.data(), n, scale, a.data());
+        k->heat_quantize(acc.data(), n, scale, b.data());
+        EXPECT_EQ(a, b) << k->name << " n=" << n << " scale=" << scale;
+      }
+    }
+  }
+}
+
+TEST(RasterKernels, HeatQuantizeRoundsHalfUpAndSaturates) {
+  const float acc[] = {0.0f, 0.49f, 0.5f, 1.49f, 254.49f, 254.5f, 1e9f};
+  std::uint8_t out[7] = {};
+  kernels::scalar().heat_quantize(acc, 7, 1.0f, out);
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[1], 0);
+  EXPECT_EQ(out[2], 1);
+  EXPECT_EQ(out[3], 1);
+  EXPECT_EQ(out[4], 254);
+  EXPECT_EQ(out[5], 255);
+  EXPECT_EQ(out[6], 255);
+}
+
 }  // namespace
 }  // namespace jedule::render
